@@ -1,0 +1,60 @@
+//! Raw simulator performance: events per second through the kernel and
+//! TLPs per second through a saturated link — the numbers that bound how
+//! large a block the `repro --full` runs can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcisim_kernel::packet::Command;
+use pcisim_kernel::prelude::*;
+use pcisim_kernel::testutil::{Requester, Responder, REQUESTER_PORT, RESPONDER_PORT};
+use pcisim_pcie::link::{PcieLink, PORT_DOWN_MASTER, PORT_UP_SLAVE};
+use pcisim_pcie::params::{Generation, LinkConfig, LinkWidth};
+
+fn xbar_traffic(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("simulator_speed");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("xbar_10k_reads", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let script = (0..N).map(|i| (Command::ReadReq, 0x1000 + (i % 64) * 64, 64)).collect();
+            let (req, done) = Requester::new("gen", script);
+            let r = sim.add(Box::new(req));
+            let x = sim.add(Box::new(
+                Crossbar::builder("xbar")
+                    .num_ports(2)
+                    .queue_capacity(32)
+                    .route(AddrRange::new(0x1000, 0x10000), PortId(1))
+                    .build(),
+            ));
+            let (resp, _) = Responder::new("dev", ns(10));
+            let d = sim.add(Box::new(resp));
+            sim.connect((r, PortId(0)), (x, PortId(0)));
+            sim.connect((x, PortId(1)), (d, PortId(0)));
+            sim.run_to_quiesce();
+            assert_eq!(done.borrow().len(), N as usize);
+        });
+    });
+    g.bench_function("link_10k_writes", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let script =
+                (0..N).map(|i| (Command::WriteReq, 0x4000_0000 + (i % 64) * 64, 64)).collect();
+            let (req, done) = Requester::new("gen", script);
+            let r = sim.add(Box::new(req));
+            let l = sim.add(Box::new(PcieLink::new(
+                "link",
+                LinkConfig::new(Generation::Gen2, LinkWidth::X8),
+            )));
+            let (resp, _) = Responder::new("dev", 0);
+            let d = sim.add(Box::new(resp));
+            sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+            sim.connect((l, PORT_DOWN_MASTER), (d, RESPONDER_PORT));
+            sim.run_to_quiesce();
+            assert_eq!(done.borrow().len(), N as usize);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, xbar_traffic);
+criterion_main!(benches);

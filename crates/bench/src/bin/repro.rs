@@ -1,0 +1,333 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--full] [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [all]
+//! ```
+//!
+//! `ext` runs the extension experiments beyond the paper's evaluation:
+//! the legacy-crossbar baseline, dual-disk fabric contention, and the
+//! NIC transmit sweep.
+//!
+//! By default block sizes are scaled down 16× (4–32 MB instead of the
+//! paper's 64–512 MB) so the whole suite finishes in seconds; `--full`
+//! runs the paper's sizes.
+
+use pcisim_bench::{reference, table};
+use pcisim_kernel::tick::ns;
+use pcisim_pcie::params::LinkWidth;
+use pcisim_system::prelude::*;
+
+const MB: u64 = 1024 * 1024;
+
+struct Opts {
+    full: bool,
+}
+
+fn block_sizes(opts: &Opts) -> Vec<u64> {
+    if opts.full {
+        vec![64 * MB, 128 * MB, 256 * MB, 512 * MB]
+    } else {
+        vec![4 * MB, 8 * MB, 16 * MB, 32 * MB]
+    }
+}
+
+fn fmt_block(bytes: u64) -> String {
+    format!("{}MB", bytes / MB)
+}
+
+fn fig9a(opts: &Opts) {
+    println!("\n== Fig. 9(a): dd throughput vs block size, switch latency sweep ==");
+    println!(
+        "   paper: sim within {:.0}% of phys (~{:.1} Gb/s); 150→50 ns switch gains ~{} Mb/s (~3%)",
+        reference::PHYS_BAND_FRACTION * 100.0,
+        reference::PHYS_DD_GBPS,
+        reference::SWITCH_LATENCY_GAIN_MBPS
+    );
+    let mut rows = Vec::new();
+    for &block in &block_sizes(opts) {
+        let mut row = vec![fmt_block(block)];
+        for lat in [50u64, 100, 150] {
+            let out = run_dd_experiment(&DdExperiment {
+                block_bytes: block,
+                switch_latency: ns(lat),
+                ..DdExperiment::default()
+            });
+            assert!(out.completed, "fig9a run must complete");
+            row.push(format!("{:.3}", out.throughput_gbps));
+        }
+        row.push(format!("{:.2}", reference::PHYS_DD_GBPS));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table::render(&["block", "L50 (Gb/s)", "L100 (Gb/s)", "L150 (Gb/s)", "phys(paper)"], &rows)
+    );
+}
+
+fn fig9b(opts: &Opts) {
+    println!("\n== Fig. 9(b): dd throughput vs link width (all links swept) ==");
+    println!(
+        "   paper: x1→x2 = {:.2}x; smaller gain to x4; drop at x8 with {:.0}% replays",
+        reference::X1_TO_X2_GAIN,
+        reference::X8_REPLAY_PCT
+    );
+    let mut rows = Vec::new();
+    for &block in &block_sizes(opts) {
+        let mut row = vec![fmt_block(block)];
+        let mut x1 = 0.0;
+        for lanes in [1u8, 2, 4, 8] {
+            let out = run_dd_experiment(&DdExperiment {
+                block_bytes: block,
+                width_all: Some(LinkWidth::new(lanes)),
+                ..DdExperiment::default()
+            });
+            assert!(out.completed, "fig9b run must complete");
+            if lanes == 1 {
+                x1 = out.throughput_gbps;
+            }
+            if lanes == 8 {
+                row.push(format!("{:.3} ({:.0}% rep)", out.throughput_gbps, out.replay_pct));
+            } else {
+                row.push(format!("{:.3}", out.throughput_gbps));
+            }
+            if lanes == 2 {
+                row.push(format!("{:.2}x", out.throughput_gbps / x1));
+            }
+        }
+        rows.push(row);
+    }
+    println!("{}", table::render(&["block", "x1", "x2", "x1→x2", "x4", "x8"], &rows));
+}
+
+fn fig9c(opts: &Opts) {
+    println!("\n== Fig. 9(c): x8 links, replay buffer size sweep ==");
+    println!("   paper timeout rates: rb1=0%, rb2=6%, rb3~27%, rb4~27%; rb3/4 throughput considerably lower");
+    let block = if opts.full { 256 * MB } else { 16 * MB };
+    let mut rows = Vec::new();
+    for rb in [1usize, 2, 3, 4] {
+        let out = run_dd_experiment(&DdExperiment {
+            block_bytes: block,
+            width_all: Some(LinkWidth::X8),
+            replay_buffer: rb,
+            ..DdExperiment::default()
+        });
+        assert!(out.completed, "fig9c run must complete");
+        let paper = reference::FIG9C_TIMEOUT_PCT.iter().find(|&&(b, _)| b == rb).unwrap().1;
+        rows.push(vec![
+            rb.to_string(),
+            format!("{:.3}", out.throughput_gbps),
+            format!("{:.1}%", out.timeout_pct),
+            format!("{:.1}%", out.replay_pct),
+            format!("{paper:.0}%"),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["replay buf", "dd (Gb/s)", "timeout%", "replay%", "paper timeout%"],
+            &rows
+        )
+    );
+}
+
+fn fig9d(opts: &Opts) {
+    println!("\n== Fig. 9(d): x8 links, switch/root port buffer sweep (replay buffer 4) ==");
+    println!(
+        "   paper: jump from 16→20, saturation at ~{:.2} Gb/s; timeouts 27%→20%→0%→0%",
+        reference::SATURATION_GBPS
+    );
+    let block = if opts.full { 256 * MB } else { 16 * MB };
+    let mut rows = Vec::new();
+    for pb in [16usize, 20, 24, 28] {
+        let out = run_dd_experiment(&DdExperiment {
+            block_bytes: block,
+            width_all: Some(LinkWidth::X8),
+            port_buffers: pb,
+            ..DdExperiment::default()
+        });
+        assert!(out.completed, "fig9d run must complete");
+        let paper = reference::FIG9D_TIMEOUT_PCT.iter().find(|&&(b, _)| b == pb).unwrap().1;
+        rows.push(vec![
+            pb.to_string(),
+            format!("{:.3}", out.throughput_gbps),
+            format!("{:.1}%", out.timeout_pct),
+            format!("{:.1}%", out.replay_pct),
+            format!("{paper:.0}%"),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["port buf", "dd (Gb/s)", "timeout%", "replay%", "paper timeout%"],
+            &rows
+        )
+    );
+}
+
+fn table2(_opts: &Opts) {
+    println!("\n== Table II: root-complex latency vs MMIO read access latency ==");
+    let mut rows = Vec::new();
+    for &(lat, paper) in &reference::TABLE_II {
+        let out = run_mmio_experiment(&MmioExperiment {
+            rc_latency: ns(lat),
+            ..MmioExperiment::default()
+        });
+        assert!(out.completed, "table2 run must complete");
+        rows.push(vec![
+            lat.to_string(),
+            format!("{:.0}", out.mean_ns),
+            format!("{paper:.0}"),
+            format!("{:+.0}", out.mean_ns - paper),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["rc latency (ns)", "measured (ns)", "paper (ns)", "delta"], &rows)
+    );
+}
+
+fn sector(_opts: &Opts) {
+    println!("\n== §VI-B device-level: sector throughput over Gen 2 x1 ==");
+    let out = run_sector_microbench(LinkWidth::X1, 256);
+    assert!(out.completed);
+    println!(
+        "measured {:.3} Gb/s   paper {:.3} Gb/s   (wire limit 64/84 x 4 = 3.048 Gb/s)",
+        out.throughput_gbps,
+        reference::SECTOR_LEVEL_GBPS
+    );
+}
+
+fn ext(opts: &Opts) {
+    use pcisim_kernel::tick::TICKS_PER_SEC;
+    use pcisim_system::builder::{build_dual_disk_system, build_legacy_system, build_system,
+        LegacySystemConfig, SystemConfig};
+    use pcisim_system::workload::dd::DdConfig;
+
+    let block = if opts.full { 64 * MB } else { 4 * MB };
+
+    println!("
+== Extension: legacy crossbar baseline vs the PCI-Express model ==");
+    let mut legacy = build_legacy_system(LegacySystemConfig::default());
+    let lr = legacy.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
+    legacy.sim.run(TICKS_PER_SEC, u64::MAX);
+    let mut pcie = build_system(SystemConfig::validation());
+    let pr = pcie.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
+    pcie.sim.run(TICKS_PER_SEC, u64::MAX);
+    let (l, p) = (lr.borrow().throughput_gbps(), pr.borrow().throughput_gbps());
+    println!(
+        "legacy IOBus (no PCIe model): {l:.3} Gb/s   PCIe Gen2 x1 reality: {p:.3} Gb/s   ({:.1}x overstated)",
+        l / p
+    );
+
+    println!("
+== Extension: dual-disk contention on the shared root link ==");
+    let mut rows = Vec::new();
+    for width in [pcisim_pcie::params::LinkWidth::X1, pcisim_pcie::params::LinkWidth::X2,
+                  pcisim_pcie::params::LinkWidth::X4] {
+        let mut config = SystemConfig::validation();
+        config.root_link =
+            pcisim_pcie::params::LinkConfig::new(pcisim_pcie::params::Generation::Gen2, width);
+        let mut sys = build_dual_disk_system(config);
+        let r0 = sys.attach_dd(0, DdConfig { block_bytes: block, ..DdConfig::default() });
+        let r1 = sys.attach_dd(1, DdConfig { block_bytes: block, ..DdConfig::default() });
+        sys.sim.run(TICKS_PER_SEC, u64::MAX);
+        let (a, b) = (r0.borrow().throughput_gbps(), r1.borrow().throughput_gbps());
+        rows.push(vec![
+            width.to_string(),
+            format!("{a:.3}"),
+            format!("{b:.3}"),
+            format!("{:.3}", a + b),
+        ]);
+    }
+    println!("{}", table::render(&["root link", "disk0 Gb/s", "disk1 Gb/s", "aggregate"], &rows));
+
+    println!("
+== Extension: NIC transmit sweep (DMA reads through the fabric) ==");
+    let mut rows = Vec::new();
+    for lanes in [1u8, 2, 4, 8] {
+        let out = run_nic_tx_experiment(&NicTxExperiment {
+            width: LinkWidth::new(lanes),
+            frames: if opts.full { 2048 } else { 256 },
+            ..NicTxExperiment::default()
+        });
+        assert!(out.completed);
+        rows.push(vec![
+            format!("x{lanes}"),
+            format!("{:.3}", out.throughput_gbps),
+            format!("{:.0}", out.frames_per_sec),
+        ]);
+    }
+    println!("{}", table::render(&["width", "Gb/s", "frames/s"], &rows));
+
+    println!("\n== Extension: NIC receive at ~5 Gb/s line rate (DMA writes) ==");
+    let mut rows = Vec::new();
+    for lanes in [1u8, 2, 4, 8] {
+        let out = run_nic_rx_experiment(&NicRxExperiment {
+            width: LinkWidth::new(lanes),
+            frames: if opts.full { 2048 } else { 256 },
+            ..NicRxExperiment::default()
+        });
+        assert!(out.completed);
+        let total = out.frames_delivered + out.frames_dropped;
+        rows.push(vec![
+            format!("x{lanes}"),
+            format!("{:.3}", out.delivered_gbps),
+            format!("{:.1}%", 100.0 * out.frames_dropped as f64 / total as f64),
+        ]);
+    }
+    println!("{}", table::render(&["width", "delivered Gb/s", "dropped"], &rows));
+
+    println!("\n== Extension: credit-based flow control at x8 (vs the paper's ACK/NAK) ==");
+    let mut rows = Vec::new();
+    for (name, credits) in [("ack/nak only", None), ("credit FC (16)", Some(16usize))] {
+        let out = run_dd_experiment(&DdExperiment {
+            block_bytes: block,
+            width_all: Some(LinkWidth::X8),
+            credit_fc: credits,
+            ..DdExperiment::default()
+        });
+        assert!(out.completed);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", out.throughput_gbps),
+            format!("{:.1}%", out.replay_pct),
+            format!("{:.1}%", out.timeout_pct),
+        ]);
+    }
+    println!("{}", table::render(&["flow control", "dd (Gb/s)", "replay%", "timeout%"], &rows));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let opts = Opts { full };
+    let picked: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--full").collect();
+    let run_all = picked.is_empty() || picked.contains(&"all");
+
+    println!(
+        "pcisim repro — {} mode (block sizes {})",
+        if full { "full" } else { "quick" },
+        if full { "64–512 MB as in the paper" } else { "scaled down 16x; pass --full for the paper's sizes" },
+    );
+    if run_all || picked.contains(&"sector") {
+        sector(&opts);
+    }
+    if run_all || picked.contains(&"fig9a") {
+        fig9a(&opts);
+    }
+    if run_all || picked.contains(&"fig9b") {
+        fig9b(&opts);
+    }
+    if run_all || picked.contains(&"fig9c") {
+        fig9c(&opts);
+    }
+    if run_all || picked.contains(&"fig9d") {
+        fig9d(&opts);
+    }
+    if run_all || picked.contains(&"table2") {
+        table2(&opts);
+    }
+    if run_all || picked.contains(&"ext") {
+        ext(&opts);
+    }
+}

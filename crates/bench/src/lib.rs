@@ -1,0 +1,112 @@
+//! `pcisim-bench` — reproduction harness for the paper's evaluation.
+//!
+//! The [`reference`](mod@crate::reference) module records every quantitative anchor the paper
+//! reports (§VI, Figs. 9(a)–(d), Table II); [`table`] renders aligned
+//! result tables; the `repro` binary regenerates each figure/table and
+//! prints paper-vs-measured rows, which EXPERIMENTS.md records.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Quantitative anchors from the paper (Alian, Srinivasan, Kim — IISWC'18).
+pub mod reference {
+    /// Table II: root-complex latency (ns) → measured MMIO read access
+    /// latency (ns).
+    pub const TABLE_II: [(u64, f64); 5] =
+        [(50, 318.0), (75, 358.0), (100, 398.0), (125, 438.0), (150, 517.0)];
+
+    /// §VI-B: device-level sector throughput over Gen 2 x1, Gb/s.
+    pub const SECTOR_LEVEL_GBPS: f64 = 3.072;
+
+    /// §VI-B: throughput gain when doubling the link from x1 to x2.
+    pub const X1_TO_X2_GAIN: f64 = 1.67;
+
+    /// §VI-B: replay percentage observed at x8 (Fig. 9(b)/(c)).
+    pub const X8_REPLAY_PCT: f64 = 27.0;
+
+    /// §VI-B: timeout percentages for replay buffers 1..=4 (Fig. 9(c)).
+    pub const FIG9C_TIMEOUT_PCT: [(usize, f64); 4] =
+        [(1, 0.0), (2, 6.0), (3, 27.0), (4, 27.0)];
+
+    /// §VI-B: timeout percentages for port buffers 16/20/24/28 (Fig. 9(d)).
+    pub const FIG9D_TIMEOUT_PCT: [(usize, f64); 4] =
+        [(16, 27.0), (20, 20.0), (24, 0.0), (28, 0.0)];
+
+    /// §VI-B: saturated `dd` throughput with deep buffers, Gb/s (Fig. 9(d)).
+    pub const SATURATION_GBPS: f64 = 5.08;
+
+    /// §VI-B: `dd` throughput gain from reducing switch latency
+    /// 150 → 50 ns, in Mb/s ("~3% of total throughput").
+    pub const SWITCH_LATENCY_GAIN_MBPS: f64 = 80.0;
+
+    /// §VI-A: the paper's sim throughput is within this fraction of the
+    /// physical Gen 2 x1 setup (abstract: "within 19.0%").
+    pub const PHYS_BAND_FRACTION: f64 = 0.19;
+
+    /// Approximate physical-setup `dd` throughput the paper validates
+    /// against (§VI-A: the effective Gen 2 x1 limit is 4 Gb/s; `dd`
+    /// reports below that; the gem5 IDE result sits within 80–90% of it).
+    pub const PHYS_DD_GBPS: f64 = 3.1;
+}
+
+/// Minimal fixed-width table rendering for the `repro` binary.
+pub mod table {
+    /// Renders `rows` under `headers` with aligned columns.
+    pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            s
+        };
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        out.push_str(&line(&headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_table_ii_is_monotonic() {
+        for w in reference::TABLE_II.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let out = table::render(
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+}

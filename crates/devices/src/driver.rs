@@ -1,0 +1,319 @@
+//! Device driver models: probe logic mirroring the Linux flow (paper §IV).
+//!
+//! A driver exposes a *module device table* of `(vendor, device)` pairs;
+//! the kernel invokes the driver's probe for each enumerated function the
+//! table matches. The probe then reads BARs and walks the capability chain.
+//! Because the 8254x-pcie model disables PM, MSI and MSI-X, the e1000e
+//! probe here ends up registering a **legacy interrupt**, exactly the
+//! behaviour the paper engineers.
+
+use std::fmt;
+
+use pcisim_pci::caps::Generation;
+use pcisim_pci::ecam::Bdf;
+use pcisim_pci::enumeration::EnumerationReport;
+use pcisim_pci::host::ConfigAccess;
+use pcisim_pci::regs::{cap_id, common, pcie_cap};
+
+/// How the probed device will signal interrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptMode {
+    /// Legacy INTx with the given IRQ line.
+    Legacy(u8),
+    /// Message-signaled interrupts: the probe programmed and enabled the
+    /// device's MSI capability (only possible on devices built with the
+    /// `msi_capable` extension; the paper's devices bounce the enable).
+    Msi,
+}
+
+/// Result of a successful probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeInfo {
+    /// Where the function lives.
+    pub bdf: Bdf,
+    /// Base of BAR0 (the register window).
+    pub bar0: u64,
+    /// Interrupt configuration the driver settled on.
+    pub interrupt: InterruptMode,
+    /// Negotiated link `(generation, width)` read from the PCI-Express
+    /// capability, if the device has one.
+    pub link: Option<(Generation, u8)>,
+}
+
+/// Why a probe failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeError {
+    /// No enumerated function matches the module device table.
+    NoMatchingDevice,
+    /// The matched function has no programmed memory BAR0.
+    MissingBar,
+    /// The device lacks the PCI-Express capability the driver requires.
+    NotPciExpress,
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::NoMatchingDevice => write!(f, "no device matches the module device table"),
+            ProbeError::MissingBar => write!(f, "matched device has no memory BAR0"),
+            ProbeError::NotPciExpress => write!(f, "device lacks a PCI-Express capability"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// The e1000e module device table (the subset relevant here: the paper
+/// sets the 8254x-pcie device ID to 0x10D3, a real e1000e ID).
+pub const E1000E_DEVICE_TABLE: &[(u16, u16)] = &[
+    (0x8086, 0x10d3), // 82574L — the ID the paper programs
+    (0x8086, 0x10d4), // 82574LA
+    (0x8086, 0x105e), // 82571EB
+];
+
+/// Device table for the IDE/AHCI disk model.
+pub const IDE_DEVICE_TABLE: &[(u16, u16)] = &[(0x8086, 0x2922)];
+
+/// What the probing driver should do about MSI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsiPolicy {
+    /// Try to enable MSI with this `(message address, message data)` pair;
+    /// fall back to a legacy interrupt if the enable bit bounces (as it
+    /// does on the paper's devices, whose MSI structure is disabled).
+    Request {
+        /// Message address the device will write to raise the interrupt.
+        address: u64,
+        /// Message data (the vector).
+        data: u16,
+    },
+    /// Do not attempt MSI.
+    LegacyOnly,
+}
+
+/// Generic probe: finds the first enumerated function matching `table`,
+/// reads its BAR0, walks the capability chain and picks an interrupt mode.
+pub fn probe<A: ConfigAccess>(
+    access: &mut A,
+    report: &EnumerationReport,
+    table: &[(u16, u16)],
+) -> Result<ProbeInfo, ProbeError> {
+    probe_with_policy(access, report, table, MsiPolicy::LegacyOnly)
+}
+
+/// Like [`probe`], with explicit control over MSI.
+pub fn probe_with_policy<A: ConfigAccess>(
+    access: &mut A,
+    report: &EnumerationReport,
+    table: &[(u16, u16)],
+    msi: MsiPolicy,
+) -> Result<ProbeInfo, ProbeError> {
+    let dev = report
+        .endpoints()
+        .find(|d| table.contains(&(d.vendor_id, d.device_id)))
+        .ok_or(ProbeError::NoMatchingDevice)?;
+    let bar0 = dev
+        .bars
+        .iter()
+        .find(|b| b.index == 0 && !b.is_io)
+        .map(|b| b.base)
+        .ok_or(ProbeError::MissingBar)?;
+
+    // Walk the capability chain in hardware (not just the report) the way
+    // a driver does.
+    let mut pcie_offset = None;
+    let mut msi_offset = None;
+    let mut ptr = access.config_read(dev.bdf, common::CAP_PTR, 1) as u16 & 0xfc;
+    let mut hops = 0;
+    while ptr >= 0x40 && hops < 48 {
+        let id = access.config_read(dev.bdf, ptr, 1) as u8;
+        match id {
+            cap_id::PCI_EXPRESS => pcie_offset = Some(ptr),
+            cap_id::MSI => msi_offset = Some(ptr),
+            _ => {}
+        }
+        ptr = access.config_read(dev.bdf, ptr + 1, 1) as u16 & 0xfc;
+        hops += 1;
+    }
+    let pcie_offset = pcie_offset.ok_or(ProbeError::NotPciExpress)?;
+
+    // Under `MsiPolicy::Request`, program the message address/data and
+    // try the enable bit; on the paper's devices the disabled structure
+    // bounces it and the driver registers a legacy handler instead (§IV).
+    let legacy = |access: &mut A| {
+        let irq = access.config_read(dev.bdf, common::INTERRUPT_LINE, 1) as u8;
+        InterruptMode::Legacy(irq)
+    };
+    let interrupt = match (msi, msi_offset) {
+        (MsiPolicy::Request { address, data }, Some(off)) => {
+            use pcisim_pci::caps::msi;
+            access.config_write(dev.bdf, off + msi::ADDR_LO, 4, address as u32);
+            access.config_write(dev.bdf, off + msi::ADDR_HI, 4, (address >> 32) as u32);
+            access.config_write(dev.bdf, off + msi::DATA, 2, u32::from(data));
+            access.config_write(dev.bdf, off + msi::CONTROL, 2, u32::from(msi::CONTROL_ENABLE));
+            if access.config_read(dev.bdf, off + msi::CONTROL, 2) as u16 & msi::CONTROL_ENABLE != 0
+            {
+                InterruptMode::Msi
+            } else {
+                legacy(access)
+            }
+        }
+        _ => legacy(access),
+    };
+
+    // Negotiated link parameters from the link status register.
+    let ls = access.config_read(dev.bdf, pcie_offset + pcie_cap::LINK_STATUS, 2) as u16;
+    let generation = match ls & 0xf {
+        1 => Some(Generation::Gen1),
+        2 => Some(Generation::Gen2),
+        3 => Some(Generation::Gen3),
+        _ => None,
+    };
+    let width = ((ls >> 4) & 0x3f) as u8;
+    Ok(ProbeInfo {
+        bdf: dev.bdf,
+        bar0,
+        interrupt,
+        link: generation.map(|g| (g, width)),
+    })
+}
+
+/// The e1000e probe (paper §IV): matches on device ID 0x10D3 and, because
+/// MSI is disabled, registers a legacy interrupt handler.
+pub fn e1000e_probe<A: ConfigAccess>(
+    access: &mut A,
+    report: &EnumerationReport,
+) -> Result<ProbeInfo, ProbeError> {
+    probe(access, report, E1000E_DEVICE_TABLE)
+}
+
+/// The IDE disk probe.
+pub fn ide_probe<A: ConfigAccess>(
+    access: &mut A,
+    report: &EnumerationReport,
+) -> Result<ProbeInfo, ProbeError> {
+    probe(access, report, IDE_DEVICE_TABLE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ide::ide_config_space;
+    use crate::nic::nic_config_space;
+    use pcisim_pci::config::shared;
+    use pcisim_pci::enumeration::{enumerate, EnumerationConfig};
+    use pcisim_pci::host::shared_registry;
+
+    fn enumerated_system() -> (pcisim_pci::host::SharedRegistry, EnumerationReport) {
+        let reg = shared_registry();
+        reg.borrow_mut().register(Bdf::new(0, 1, 0), shared(nic_config_space()));
+        reg.borrow_mut().register(Bdf::new(0, 2, 0), shared(ide_config_space()));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        (reg, report)
+    }
+
+    #[test]
+    fn e1000e_matches_0x10d3_and_falls_back_to_legacy_irq() {
+        let (reg, report) = enumerated_system();
+        let info = e1000e_probe(&mut reg.clone(), &report).unwrap();
+        assert_eq!(info.bdf, Bdf::new(0, 1, 0));
+        assert!(matches!(info.interrupt, InterruptMode::Legacy(irq) if irq >= 32),
+            "MSI is disabled so the driver must register a legacy handler, got {:?}",
+            info.interrupt
+        );
+        assert!(info.bar0 >= 0x4000_0000);
+        assert_eq!(info.link, Some((Generation::Gen2, 1)));
+    }
+
+    #[test]
+    fn ide_probe_finds_the_disk() {
+        let (reg, report) = enumerated_system();
+        let info = ide_probe(&mut reg.clone(), &report).unwrap();
+        assert_eq!(info.bdf, Bdf::new(0, 2, 0));
+        assert!(matches!(info.interrupt, InterruptMode::Legacy(_)));
+    }
+
+    #[test]
+    fn probe_fails_without_matching_device() {
+        let reg = shared_registry();
+        reg.borrow_mut().register(Bdf::new(0, 2, 0), shared(ide_config_space()));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let err = e1000e_probe(&mut reg.clone(), &report).unwrap_err();
+        assert_eq!(err, ProbeError::NoMatchingDevice);
+    }
+
+    #[test]
+    fn probe_fails_without_pcie_capability() {
+        // A plain PCI device with the right ID but no capabilities.
+        let reg = shared_registry();
+        let cs = pcisim_pci::header::Type0Header::new(0x8086, 0x10d3)
+            .bar(0, pcisim_pci::header::Bar::Memory32 { size: 0x1000, prefetchable: false })
+            .build();
+        reg.borrow_mut().register(Bdf::new(0, 1, 0), shared(cs));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let err = e1000e_probe(&mut reg.clone(), &report).unwrap_err();
+        assert_eq!(err, ProbeError::NotPciExpress);
+    }
+
+    #[test]
+    fn probe_fails_when_bar0_is_missing() {
+        // Right ID, PCIe cap present, but no BAR0.
+        let reg = shared_registry();
+        let mut cs = pcisim_pci::header::Type0Header::new(0x8086, 0x10d3)
+            .capabilities_at(0x40)
+            .build();
+        pcisim_pci::caps::CapChain::new()
+            .add(0x40, pcisim_pci::caps::Capability::PciExpress {
+                port_type: pcisim_pci::caps::PortType::Endpoint,
+                generation: Generation::Gen2,
+                max_width: 1,
+            })
+            .write_into(&mut cs);
+        reg.borrow_mut().register(Bdf::new(0, 1, 0), shared(cs));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let err = e1000e_probe(&mut reg.clone(), &report).unwrap_err();
+        assert_eq!(err, ProbeError::MissingBar);
+    }
+
+    #[test]
+    fn device_table_contains_the_papers_id() {
+        assert!(E1000E_DEVICE_TABLE.contains(&(0x8086, 0x10d3)));
+    }
+
+    #[test]
+    fn msi_request_bounces_on_a_disabled_structure() {
+        let (reg, report) = enumerated_system();
+        let info = probe_with_policy(
+            &mut reg.clone(),
+            &report,
+            E1000E_DEVICE_TABLE,
+            MsiPolicy::Request { address: 0x2c00_0100, data: 64 },
+        )
+        .unwrap();
+        assert!(
+            matches!(info.interrupt, InterruptMode::Legacy(_)),
+            "the paper's MsiDisabled capability must bounce the enable bit"
+        );
+    }
+
+    #[test]
+    fn msi_request_succeeds_on_a_capable_device() {
+        let reg = shared_registry();
+        reg.borrow_mut()
+            .register(Bdf::new(0, 1, 0), shared(crate::nic::nic_config_space_with(true)));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let info = probe_with_policy(
+            &mut reg.clone(),
+            &report,
+            E1000E_DEVICE_TABLE,
+            MsiPolicy::Request { address: 0x2c00_0100, data: 64 },
+        )
+        .unwrap();
+        assert_eq!(info.interrupt, InterruptMode::Msi);
+        // The device now sees the programmed target.
+        let cs = reg.borrow().lookup(info.bdf).unwrap();
+        assert_eq!(
+            pcisim_pci::caps::msi_target(&cs.borrow()),
+            Some((0x2c00_0100, 64))
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! `pcisim-devices` — PCI-Express device models and driver models.
+//!
+//! The devices the paper's evaluation needs:
+//!
+//! * [`ide`] — the IDE disk with gem5's constant access latency, 4 KB
+//!   sectors DMA-written in cache-line TLPs, and the non-posted-write
+//!   sector barrier (§VI);
+//! * [`nic`] — the 8254x-pcie NIC with the 82574l capability chain and a
+//!   register file for the Table II MMIO-latency experiment (§IV);
+//! * [`driver`] — e1000e/IDE probe models (module device table match,
+//!   capability walk, legacy-interrupt fallback);
+//! * [`intc`] — a minimal interrupt controller terminating INTx messages.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod ide;
+pub mod intc;
+pub mod nic;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::driver::{e1000e_probe, ide_probe, InterruptMode, ProbeInfo};
+    pub use crate::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
+    pub use crate::intc::{InterruptController, INTC_FABRIC_PORT};
+    pub use crate::nic::{Nic, NicConfig, NIC_DEVICE_ID, NIC_DMA_PORT, NIC_PIO_PORT};
+}

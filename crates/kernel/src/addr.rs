@@ -1,0 +1,235 @@
+//! Physical address ranges and address maps.
+//!
+//! Crossbars, bridges and the PCI host route packets by matching the packet
+//! address against the [`AddrRange`]s that downstream components claim,
+//! mirroring gem5's `AddrRange`/`AddrRangeMap`.
+
+use std::fmt;
+
+/// A half-open physical address range `[start, end)`.
+///
+/// ```
+/// use pcisim_kernel::addr::AddrRange;
+/// let r = AddrRange::new(0x1000, 0x2000);
+/// assert!(r.contains(0x1000));
+/// assert!(!r.contains(0x2000));
+/// assert_eq!(r.size(), 0x1000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AddrRange {
+    start: u64,
+    end: u64,
+}
+
+impl AddrRange {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end >= start, "invalid address range {start:#x}..{end:#x}");
+        Self { start, end }
+    }
+
+    /// Creates the range `[base, base + size)`.
+    pub fn with_size(base: u64, size: u64) -> Self {
+        Self::new(base, base.checked_add(size).expect("address range overflow"))
+    }
+
+    /// An empty range at address zero.
+    pub const fn empty() -> Self {
+        Self { start: 0, end: 0 }
+    }
+
+    /// First address in the range.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last address in the range.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range covers no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Whether the whole access `[addr, addr + size)` falls inside the range.
+    pub fn contains_access(&self, addr: u64, size: u64) -> bool {
+        self.contains(addr) && addr + size <= self.end
+    }
+
+    /// Whether any address is in both ranges.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Offset of `addr` from the start of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not contained in the range.
+    pub fn offset(&self, addr: u64) -> u64 {
+        assert!(self.contains(addr), "{addr:#x} outside {self:?}");
+        addr - self.start
+    }
+}
+
+impl fmt::Debug for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}..{:#x}", self.start, self.end)
+    }
+}
+
+/// An ordered collection mapping non-overlapping address ranges to values,
+/// used by routing components to select an egress port for a packet.
+#[derive(Debug, Clone, Default)]
+pub struct AddrMap<T> {
+    entries: Vec<(AddrRange, T)>,
+}
+
+impl<T> AddrMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Inserts a range.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(range)` when the new range overlaps an existing entry;
+    /// the map is unchanged in that case.
+    pub fn insert(&mut self, range: AddrRange, value: T) -> Result<(), AddrRange> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        if self.entries.iter().any(|(r, _)| r.overlaps(&range)) {
+            return Err(range);
+        }
+        let pos = self.entries.partition_point(|(r, _)| r.start() < range.start());
+        self.entries.insert(pos, (range, value));
+        Ok(())
+    }
+
+    /// Finds the value whose range contains `addr`.
+    pub fn lookup(&self, addr: u64) -> Option<&T> {
+        let idx = self.entries.partition_point(|(r, _)| r.end() <= addr);
+        match self.entries.get(idx) {
+            Some((r, v)) if r.contains(addr) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(range, value)` pairs in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&AddrRange, &T)> {
+        self.entries.iter().map(|(r, v)| (r, v))
+    }
+
+    /// Number of ranges in the map.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no ranges.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = AddrRange::with_size(0x3000_0000, 0x1000_0000);
+        assert_eq!(r.start(), 0x3000_0000);
+        assert_eq!(r.end(), 0x4000_0000);
+        assert_eq!(r.size(), 0x1000_0000);
+        assert!(r.contains(0x3fff_ffff));
+        assert!(!r.contains(0x4000_0000));
+        assert_eq!(r.offset(0x3000_0010), 0x10);
+    }
+
+    #[test]
+    fn contains_access_checks_both_ends() {
+        let r = AddrRange::new(0x100, 0x200);
+        assert!(r.contains_access(0x1fc, 4));
+        assert!(!r.contains_access(0x1fd, 4));
+        assert!(!r.contains_access(0xfc, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid address range")]
+    fn inverted_range_panics() {
+        let _ = AddrRange::new(0x200, 0x100);
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let r = AddrRange::empty();
+        assert!(r.is_empty());
+        assert!(!r.contains(0));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = AddrRange::new(0x100, 0x200);
+        assert!(a.overlaps(&AddrRange::new(0x1ff, 0x300)));
+        assert!(a.overlaps(&AddrRange::new(0x0, 0x101)));
+        assert!(a.overlaps(&AddrRange::new(0x140, 0x180)));
+        assert!(!a.overlaps(&AddrRange::new(0x200, 0x300)));
+        assert!(!a.overlaps(&AddrRange::new(0x0, 0x100)));
+    }
+
+    #[test]
+    fn map_lookup_picks_the_right_entry() {
+        let mut m = AddrMap::new();
+        m.insert(AddrRange::new(0x100, 0x200), "a").unwrap();
+        m.insert(AddrRange::new(0x300, 0x400), "b").unwrap();
+        m.insert(AddrRange::new(0x200, 0x300), "c").unwrap();
+        assert_eq!(m.lookup(0x150), Some(&"a"));
+        assert_eq!(m.lookup(0x200), Some(&"c"));
+        assert_eq!(m.lookup(0x3ff), Some(&"b"));
+        assert_eq!(m.lookup(0x400), None);
+        assert_eq!(m.lookup(0x50), None);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn map_rejects_overlap_and_stays_unchanged() {
+        let mut m = AddrMap::new();
+        m.insert(AddrRange::new(0x100, 0x200), 1).unwrap();
+        let err = m.insert(AddrRange::new(0x180, 0x280), 2).unwrap_err();
+        assert_eq!(err, AddrRange::new(0x180, 0x280));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(0x190), Some(&1));
+    }
+
+    #[test]
+    fn map_accepts_empty_range_as_noop() {
+        let mut m: AddrMap<u8> = AddrMap::new();
+        m.insert(AddrRange::empty(), 9).unwrap();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! MemBus ↔ IOBus bridge (gem5's `Bridge`).
+//!
+//! A [`Bridge`] is a slave on the memory bus and a master on the I/O bus: it
+//! accepts requests destined for the off-chip address range, delays them by
+//! a configurable latency through bounded request/response queues, and
+//! forwards them. Responses travel the opposite way. The paper builds its
+//! root complex and switch on top of this component's structure (§III).
+
+use std::collections::VecDeque;
+
+use crate::component::{Component, Event, PortId, RecvResult};
+use crate::packet::Packet;
+use crate::sim::Ctx;
+use crate::stats::{Counter, StatsBuilder};
+use crate::tick::Tick;
+
+/// Port facing the memory bus (receives requests, emits responses).
+pub const BRIDGE_MEM_SIDE: PortId = PortId(0);
+/// Port facing the I/O bus (emits requests, receives responses).
+pub const BRIDGE_IO_SIDE: PortId = PortId(1);
+
+const TAG_REQ: u32 = 0;
+const TAG_RESP: u32 = 1;
+
+/// Builder for [`Bridge`]; see [`Bridge::builder`].
+#[derive(Debug)]
+pub struct BridgeBuilder {
+    name: String,
+    delay: Tick,
+    req_capacity: usize,
+    resp_capacity: usize,
+}
+
+impl BridgeBuilder {
+    /// Sets the one-way forwarding delay.
+    pub fn delay(mut self, t: Tick) -> Self {
+        self.delay = t;
+        self
+    }
+
+    /// Sets the request queue depth.
+    pub fn req_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "request queue must hold at least one packet");
+        self.req_capacity = n;
+        self
+    }
+
+    /// Sets the response queue depth.
+    pub fn resp_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "response queue must hold at least one packet");
+        self.resp_capacity = n;
+        self
+    }
+
+    /// Builds the bridge.
+    pub fn build(self) -> Bridge {
+        Bridge {
+            name: self.name,
+            delay: self.delay,
+            req_capacity: self.req_capacity,
+            resp_capacity: self.resp_capacity,
+            req_inflight: 0,
+            resp_inflight: 0,
+            req_q: VecDeque::new(),
+            resp_q: VecDeque::new(),
+            req_waiting_peer: false,
+            resp_waiting_peer: false,
+            owe_mem_retry: false,
+            owe_io_retry: false,
+            forwarded: Counter::new(),
+            refusals: Counter::new(),
+        }
+    }
+}
+
+/// Unidirectional request bridge with bounded queues in both directions.
+#[derive(Debug)]
+pub struct Bridge {
+    name: String,
+    delay: Tick,
+    req_capacity: usize,
+    resp_capacity: usize,
+    req_inflight: usize,
+    resp_inflight: usize,
+    req_q: VecDeque<Packet>,
+    resp_q: VecDeque<Packet>,
+    req_waiting_peer: bool,
+    resp_waiting_peer: bool,
+    owe_mem_retry: bool,
+    owe_io_retry: bool,
+    forwarded: Counter,
+    refusals: Counter,
+}
+
+impl Bridge {
+    /// Starts building a bridge named `name` with a 50 ns delay and 16-deep
+    /// queues (gem5's defaults are of this order).
+    pub fn builder(name: impl Into<String>) -> BridgeBuilder {
+        BridgeBuilder {
+            name: name.into(),
+            delay: crate::tick::ns(50),
+            req_capacity: 16,
+            resp_capacity: 16,
+        }
+    }
+
+    fn drain_req(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.req_waiting_peer {
+            let Some(pkt) = self.req_q.pop_front() else { return };
+            match ctx.try_send_request(BRIDGE_IO_SIDE, pkt) {
+                Ok(()) => {
+                    self.forwarded.inc();
+                    if self.owe_mem_retry && !self.req_full() {
+                        self.owe_mem_retry = false;
+                        ctx.send_retry(BRIDGE_MEM_SIDE);
+                    }
+                }
+                Err(back) => {
+                    self.req_q.push_front(back);
+                    self.req_waiting_peer = true;
+                }
+            }
+        }
+    }
+
+    fn drain_resp(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.resp_waiting_peer {
+            let Some(pkt) = self.resp_q.pop_front() else { return };
+            match ctx.try_send_response(BRIDGE_MEM_SIDE, pkt) {
+                Ok(()) => {
+                    if self.owe_io_retry && !self.resp_full() {
+                        self.owe_io_retry = false;
+                        ctx.send_retry(BRIDGE_IO_SIDE);
+                    }
+                }
+                Err(back) => {
+                    self.resp_q.push_front(back);
+                    self.resp_waiting_peer = true;
+                }
+            }
+        }
+    }
+
+    fn req_full(&self) -> bool {
+        self.req_q.len() + self.req_inflight >= self.req_capacity
+    }
+
+    fn resp_full(&self) -> bool {
+        self.resp_q.len() + self.resp_inflight >= self.resp_capacity
+    }
+}
+
+impl Component for Bridge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        assert_eq!(port, BRIDGE_MEM_SIDE, "{}: requests only cross mem→io", self.name);
+        if self.req_full() {
+            self.refusals.inc();
+            self.owe_mem_retry = true;
+            return RecvResult::Refused(pkt);
+        }
+        self.req_inflight += 1;
+        ctx.schedule(self.delay, Event::DelayedPacket { tag: TAG_REQ, pkt });
+        RecvResult::Accepted
+    }
+
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        assert_eq!(port, BRIDGE_IO_SIDE, "{}: responses only cross io→mem", self.name);
+        if self.resp_full() {
+            self.refusals.inc();
+            self.owe_io_retry = true;
+            return RecvResult::Refused(pkt);
+        }
+        self.resp_inflight += 1;
+        ctx.schedule(self.delay, Event::DelayedPacket { tag: TAG_RESP, pkt });
+        RecvResult::Accepted
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let Event::DelayedPacket { tag, pkt } = ev else {
+            panic!("{}: unexpected timer", self.name)
+        };
+        match tag {
+            TAG_REQ => {
+                self.req_inflight -= 1;
+                self.req_q.push_back(pkt);
+                self.drain_req(ctx);
+            }
+            TAG_RESP => {
+                self.resp_inflight -= 1;
+                self.resp_q.push_back(pkt);
+                self.drain_resp(ctx);
+            }
+            other => panic!("{}: unknown tag {other}", self.name),
+        }
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        match port {
+            BRIDGE_IO_SIDE => {
+                self.req_waiting_peer = false;
+                self.drain_req(ctx);
+            }
+            BRIDGE_MEM_SIDE => {
+                self.resp_waiting_peer = false;
+                self.drain_resp(ctx);
+            }
+            other => panic!("{}: retry on unknown port {other}", self.name),
+        }
+    }
+
+    fn report_stats(&self, out: &mut StatsBuilder) {
+        out.counter("forwarded", &self.forwarded);
+        out.counter("refusals", &self.refusals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Command;
+    use crate::sim::{RunOutcome, Simulation};
+    use crate::testutil::{Requester, Responder, REQUESTER_PORT, RESPONDER_PORT};
+    use crate::tick::ns;
+
+    fn run_bridge(
+        n_pkts: u64,
+        delay: Tick,
+        req_cap: usize,
+        service: Tick,
+    ) -> (Vec<(crate::packet::PacketId, Tick)>, crate::stats::StatsSnapshot) {
+        let mut sim = Simulation::new();
+        let script = (0..n_pkts).map(|i| (Command::ReadReq, 0x1000 + i * 64, 64)).collect();
+        let (req, done) = Requester::new("cpu", script);
+        let r = sim.add(Box::new(req));
+        let b = sim.add(Box::new(
+            Bridge::builder("bridge").delay(delay).req_capacity(req_cap).build(),
+        ));
+        let (resp, _) = Responder::new("dev", service);
+        let d = sim.add(Box::new(resp));
+        sim.connect((r, REQUESTER_PORT), (b, BRIDGE_MEM_SIDE));
+        sim.connect((b, BRIDGE_IO_SIDE), (d, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        let out = done.borrow().clone();
+        (out, sim.stats())
+    }
+
+    #[test]
+    fn single_request_sees_two_crossings() {
+        let (done, _) = run_bridge(1, ns(50), 16, ns(100));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, ns(200));
+    }
+
+    #[test]
+    fn all_packets_survive_a_shallow_queue() {
+        let (done, stats) = run_bridge(32, ns(50), 2, ns(10));
+        assert_eq!(done.len(), 32);
+        assert_eq!(stats.get("bridge.forwarded"), Some(32.0));
+    }
+
+    #[test]
+    fn zero_delay_bridge_is_transparent() {
+        let (done, _) = run_bridge(1, 0, 16, ns(100));
+        assert_eq!(done[0].1, ns(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "requests only cross mem")]
+    fn request_on_io_side_panics() {
+        let mut sim = Simulation::new();
+        let (req, _) = Requester::new("cpu", vec![(Command::ReadReq, 0, 4)]);
+        let r = sim.add(Box::new(req));
+        let b = sim.add(Box::new(Bridge::builder("bridge").build()));
+        // Wired backwards on purpose.
+        sim.connect((r, REQUESTER_PORT), (b, BRIDGE_IO_SIDE));
+        sim.run_to_quiesce();
+    }
+}

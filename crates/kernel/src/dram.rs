@@ -1,0 +1,267 @@
+//! A simple DRAM / memory-controller terminator.
+//!
+//! [`Dram`] answers every read/write request that falls in its address range
+//! after a fixed access latency plus a bandwidth-serialization term, and
+//! bounds the number of in-flight accesses (refusing above it). It stands in
+//! for gem5's memory controller + DRAM models: the paper's experiments only
+//! need memory to be fast enough never to be the bottleneck, which the
+//! defaults guarantee.
+
+use std::collections::VecDeque;
+
+use crate::addr::AddrRange;
+use crate::component::{Component, Event, PortId, RecvResult};
+use crate::packet::Packet;
+use crate::sim::Ctx;
+use crate::stats::{Counter, StatsBuilder};
+use crate::tick::{transfer_time, Tick};
+
+/// The single port of a [`Dram`].
+pub const DRAM_PORT: PortId = PortId(0);
+
+/// Builder for [`Dram`]; see [`Dram::builder`].
+#[derive(Debug)]
+pub struct DramBuilder {
+    name: String,
+    range: AddrRange,
+    latency: Tick,
+    bytes_per_sec: u64,
+    max_outstanding: usize,
+}
+
+impl DramBuilder {
+    /// Sets the fixed access latency.
+    pub fn latency(mut self, t: Tick) -> Self {
+        self.latency = t;
+        self
+    }
+
+    /// Sets the sustained bandwidth in bytes per second (0 = infinite).
+    pub fn bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Sets the number of simultaneously in-flight accesses.
+    pub fn max_outstanding(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one outstanding access");
+        self.max_outstanding = n;
+        self
+    }
+
+    /// Builds the memory model.
+    pub fn build(self) -> Dram {
+        Dram {
+            name: self.name,
+            range: self.range,
+            latency: self.latency,
+            bytes_per_sec: self.bytes_per_sec,
+            max_outstanding: self.max_outstanding,
+            outstanding: 0,
+            busy_until: 0,
+            blocked_resp: VecDeque::new(),
+            waiting_retry: false,
+            owe_retry: false,
+            reads: Counter::new(),
+            writes: Counter::new(),
+            bytes: Counter::new(),
+        }
+    }
+}
+
+/// Fixed-latency, bandwidth-limited memory.
+#[derive(Debug)]
+pub struct Dram {
+    name: String,
+    range: AddrRange,
+    latency: Tick,
+    bytes_per_sec: u64,
+    max_outstanding: usize,
+    outstanding: usize,
+    busy_until: Tick,
+    blocked_resp: VecDeque<Packet>,
+    waiting_retry: bool,
+    owe_retry: bool,
+    reads: Counter,
+    writes: Counter,
+    bytes: Counter,
+}
+
+impl Dram {
+    /// Starts building a DRAM covering `range`, with a 30 ns latency,
+    /// 25.6 GB/s of bandwidth and 32 outstanding accesses.
+    pub fn builder(name: impl Into<String>, range: AddrRange) -> DramBuilder {
+        DramBuilder {
+            name: name.into(),
+            range,
+            latency: crate::tick::ns(30),
+            bytes_per_sec: 25_600_000_000,
+            max_outstanding: 32,
+        }
+    }
+
+    /// The address range this memory claims.
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.waiting_retry {
+            let Some(pkt) = self.blocked_resp.pop_front() else { return };
+            match ctx.try_send_response(DRAM_PORT, pkt) {
+                Ok(()) => {
+                    self.outstanding -= 1;
+                    if self.owe_retry {
+                        self.owe_retry = false;
+                        ctx.send_retry(DRAM_PORT);
+                    }
+                }
+                Err(back) => {
+                    self.blocked_resp.push_front(back);
+                    self.waiting_retry = true;
+                }
+            }
+        }
+    }
+}
+
+impl Component for Dram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        assert_eq!(port, DRAM_PORT);
+        assert!(
+            self.range.contains(pkt.addr()),
+            "{}: {:#x} outside memory range {}",
+            self.name,
+            pkt.addr(),
+            self.range
+        );
+        if self.outstanding >= self.max_outstanding {
+            self.owe_retry = true;
+            return RecvResult::Refused(pkt);
+        }
+        self.outstanding += 1;
+        if pkt.cmd().is_read() {
+            self.reads.inc();
+        } else {
+            self.writes.inc();
+        }
+        self.bytes.add(u64::from(pkt.size()));
+        let xfer = if self.bytes_per_sec == 0 {
+            0
+        } else {
+            transfer_time(u64::from(pkt.size()), self.bytes_per_sec)
+        };
+        let start = ctx.now().max(self.busy_until);
+        let finish = start + xfer;
+        self.busy_until = finish;
+        let done_at = finish + self.latency;
+        ctx.schedule(done_at - ctx.now(), Event::DelayedPacket { tag: 0, pkt });
+        RecvResult::Accepted
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let Event::DelayedPacket { pkt, .. } = ev else {
+            panic!("{}: unexpected timer", self.name)
+        };
+        if pkt.is_posted() {
+            self.outstanding -= 1;
+            return;
+        }
+        let resp = if pkt.cmd().is_read() {
+            let size = pkt.size() as usize;
+            pkt.into_read_response(vec![0u8; size])
+        } else {
+            pkt.into_response()
+        };
+        self.blocked_resp.push_back(resp);
+        self.flush(ctx);
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, _port: PortId) {
+        self.waiting_retry = false;
+        self.flush(ctx);
+    }
+
+    fn report_stats(&self, out: &mut StatsBuilder) {
+        out.counter("reads", &self.reads);
+        out.counter("writes", &self.writes);
+        out.counter("bytes", &self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Command;
+    use crate::sim::{RunOutcome, Simulation};
+    use crate::testutil::{Requester, REQUESTER_PORT};
+    use crate::tick::{ns, us};
+
+    const BASE: u64 = 0x8000_0000;
+
+    fn run_dram(
+        script: Vec<(Command, u64, u32)>,
+        latency: Tick,
+        bw: u64,
+    ) -> (Vec<Tick>, crate::stats::StatsSnapshot) {
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("gen", script);
+        let r = sim.add(Box::new(req));
+        let d = sim.add(Box::new(
+            Dram::builder("dram", AddrRange::with_size(BASE, 0x1000_0000))
+                .latency(latency)
+                .bandwidth(bw)
+                .build(),
+        ));
+        sim.connect((r, REQUESTER_PORT), (d, DRAM_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        let times = done.borrow().iter().map(|&(_, t)| t).collect();
+        (times, sim.stats())
+    }
+
+    #[test]
+    fn single_read_takes_latency_plus_transfer() {
+        // 64 B at 64 MB/s = 1 us transfer, + 30 ns latency.
+        let (t, stats) = run_dram(vec![(Command::ReadReq, BASE, 64)], ns(30), 64_000_000);
+        assert_eq!(t, vec![us(1) + ns(30)]);
+        assert_eq!(stats.get("dram.reads"), Some(1.0));
+        assert_eq!(stats.get("dram.bytes"), Some(64.0));
+    }
+
+    #[test]
+    fn bandwidth_serializes_but_latency_overlaps() {
+        // Two reads: transfers serialize (1 us each), latency pipelines.
+        let script = vec![(Command::ReadReq, BASE, 64), (Command::ReadReq, BASE + 64, 64)];
+        let (t, _) = run_dram(script, ns(30), 64_000_000);
+        assert_eq!(t[0], us(1) + ns(30));
+        assert_eq!(t[1], us(2) + ns(30));
+    }
+
+    #[test]
+    fn infinite_bandwidth_gives_pure_latency() {
+        let (t, _) = run_dram(vec![(Command::WriteReq, BASE, 64)], ns(30), 0);
+        assert_eq!(t, vec![ns(30)]);
+    }
+
+    #[test]
+    fn counts_reads_and_writes_separately() {
+        let script = vec![
+            (Command::ReadReq, BASE, 64),
+            (Command::WriteReq, BASE + 64, 64),
+            (Command::WriteReq, BASE + 128, 64),
+        ];
+        let (_, stats) = run_dram(script, ns(30), 0);
+        assert_eq!(stats.get("dram.reads"), Some(1.0));
+        assert_eq!(stats.get("dram.writes"), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside memory range")]
+    fn out_of_range_access_panics() {
+        let _ = run_dram(vec![(Command::ReadReq, 0x100, 4)], ns(30), 0);
+    }
+}

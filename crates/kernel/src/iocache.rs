@@ -1,0 +1,263 @@
+//! The DMA IOCache (gem5's `IOCache`).
+//!
+//! gem5 inserts a small cache between off-chip DMA masters and the memory
+//! bus "to ensure the coherency of DMA accesses from the off-chip devices as
+//! well as act as a bandwidth buffer between connections of different
+//! widths" (§III). This model captures the timing-relevant behaviour: a
+//! lookup latency on the request path, a fill latency on the response path,
+//! and an MSHR-style bound on outstanding misses that backpressures the
+//! device side when memory is slow.
+
+use std::collections::VecDeque;
+
+use crate::component::{Component, Event, PortId, RecvResult};
+use crate::packet::Packet;
+use crate::sim::Ctx;
+use crate::stats::{Counter, StatsBuilder};
+use crate::tick::Tick;
+
+/// Port facing the device/root-complex side (receives DMA requests).
+pub const IOCACHE_DEV_SIDE: PortId = PortId(0);
+/// Port facing the memory bus (sends requests onward).
+pub const IOCACHE_MEM_SIDE: PortId = PortId(1);
+
+const TAG_REQ: u32 = 0;
+const TAG_RESP: u32 = 1;
+
+/// Builder for [`IoCache`]; see [`IoCache::builder`].
+#[derive(Debug)]
+pub struct IoCacheBuilder {
+    name: String,
+    lookup_latency: Tick,
+    fill_latency: Tick,
+    mshrs: usize,
+}
+
+impl IoCacheBuilder {
+    /// Sets the tag-lookup latency added on the request path.
+    pub fn lookup_latency(mut self, t: Tick) -> Self {
+        self.lookup_latency = t;
+        self
+    }
+
+    /// Sets the fill latency added on the response path.
+    pub fn fill_latency(mut self, t: Tick) -> Self {
+        self.fill_latency = t;
+        self
+    }
+
+    /// Sets the maximum number of outstanding misses.
+    pub fn mshrs(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one MSHR");
+        self.mshrs = n;
+        self
+    }
+
+    /// Builds the cache.
+    pub fn build(self) -> IoCache {
+        IoCache {
+            name: self.name,
+            lookup_latency: self.lookup_latency,
+            fill_latency: self.fill_latency,
+            mshrs: self.mshrs,
+            outstanding: 0,
+            req_q: VecDeque::new(),
+            resp_q: VecDeque::new(),
+            req_waiting_peer: false,
+            resp_waiting_peer: false,
+            owe_dev_retry: false,
+            accesses: Counter::new(),
+            refusals: Counter::new(),
+        }
+    }
+}
+
+/// Timing model of the DMA IOCache.
+#[derive(Debug)]
+pub struct IoCache {
+    name: String,
+    lookup_latency: Tick,
+    fill_latency: Tick,
+    mshrs: usize,
+    /// Requests accepted and not yet answered (delayed, queued or at
+    /// memory).
+    outstanding: usize,
+    req_q: VecDeque<Packet>,
+    resp_q: VecDeque<Packet>,
+    req_waiting_peer: bool,
+    resp_waiting_peer: bool,
+    owe_dev_retry: bool,
+    accesses: Counter,
+    refusals: Counter,
+}
+
+impl IoCache {
+    /// Starts building an IOCache with gem5-like defaults (2 ns lookup,
+    /// 2 ns fill, 16 MSHRs).
+    pub fn builder(name: impl Into<String>) -> IoCacheBuilder {
+        IoCacheBuilder {
+            name: name.into(),
+            lookup_latency: crate::tick::ns(2),
+            fill_latency: crate::tick::ns(2),
+            mshrs: 16,
+        }
+    }
+
+    fn drain_req(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.req_waiting_peer {
+            let Some(pkt) = self.req_q.pop_front() else { return };
+            let posted = pkt.is_posted();
+            match ctx.try_send_request(IOCACHE_MEM_SIDE, pkt) {
+                Ok(()) => {
+                    // Posted requests get no response; release the MSHR at
+                    // forward time.
+                    if posted {
+                        self.outstanding -= 1;
+                        if self.owe_dev_retry {
+                            self.owe_dev_retry = false;
+                            ctx.send_retry(IOCACHE_DEV_SIDE);
+                        }
+                    }
+                }
+                Err(back) => {
+                    self.req_q.push_front(back);
+                    self.req_waiting_peer = true;
+                }
+            }
+        }
+    }
+
+    fn drain_resp(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.resp_waiting_peer {
+            let Some(pkt) = self.resp_q.pop_front() else { return };
+            match ctx.try_send_response(IOCACHE_DEV_SIDE, pkt) {
+                Ok(()) => {
+                    self.outstanding -= 1;
+                    if self.owe_dev_retry {
+                        self.owe_dev_retry = false;
+                        ctx.send_retry(IOCACHE_DEV_SIDE);
+                    }
+                }
+                Err(back) => {
+                    self.resp_q.push_front(back);
+                    self.resp_waiting_peer = true;
+                }
+            }
+        }
+    }
+}
+
+impl Component for IoCache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        assert_eq!(port, IOCACHE_DEV_SIDE, "{}: DMA requests enter on the device side", self.name);
+        if self.outstanding >= self.mshrs {
+            self.refusals.inc();
+            self.owe_dev_retry = true;
+            return RecvResult::Refused(pkt);
+        }
+        self.outstanding += 1;
+        self.accesses.inc();
+        ctx.schedule(self.lookup_latency, Event::DelayedPacket { tag: TAG_REQ, pkt });
+        RecvResult::Accepted
+    }
+
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        assert_eq!(port, IOCACHE_MEM_SIDE, "{}: memory responses enter on the mem side", self.name);
+        ctx.schedule(self.fill_latency, Event::DelayedPacket { tag: TAG_RESP, pkt });
+        RecvResult::Accepted
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let Event::DelayedPacket { tag, pkt } = ev else {
+            panic!("{}: unexpected timer", self.name)
+        };
+        match tag {
+            TAG_REQ => {
+                self.req_q.push_back(pkt);
+                self.drain_req(ctx);
+            }
+            TAG_RESP => {
+                self.resp_q.push_back(pkt);
+                self.drain_resp(ctx);
+            }
+            other => panic!("{}: unknown tag {other}", self.name),
+        }
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        match port {
+            IOCACHE_MEM_SIDE => {
+                self.req_waiting_peer = false;
+                self.drain_req(ctx);
+            }
+            IOCACHE_DEV_SIDE => {
+                self.resp_waiting_peer = false;
+                self.drain_resp(ctx);
+            }
+            other => panic!("{}: retry on unknown port {other}", self.name),
+        }
+    }
+
+    fn report_stats(&self, out: &mut StatsBuilder) {
+        out.counter("accesses", &self.accesses);
+        out.counter("refusals", &self.refusals);
+        out.scalar("outstanding", self.outstanding as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Command;
+    use crate::sim::{RunOutcome, Simulation};
+    use crate::testutil::{Requester, Responder, REQUESTER_PORT, RESPONDER_PORT};
+    use crate::tick::ns;
+
+    fn run_iocache(n: u64, mshrs: usize, service: Tick) -> (usize, Tick, f64) {
+        let mut sim = Simulation::new();
+        let script = (0..n).map(|i| (Command::WriteReq, 0x8000_0000 + i * 64, 64)).collect();
+        let (req, done) = Requester::new("dma", script);
+        let r = sim.add(Box::new(req));
+        let c = sim.add(Box::new(
+            IoCache::builder("iocache")
+                .lookup_latency(ns(2))
+                .fill_latency(ns(2))
+                .mshrs(mshrs)
+                .build(),
+        ));
+        let (resp, _) = Responder::new("mem", service);
+        let m = sim.add(Box::new(resp));
+        sim.connect((r, REQUESTER_PORT), (c, IOCACHE_DEV_SIDE));
+        sim.connect((c, IOCACHE_MEM_SIDE), (m, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        let completions = done.borrow().len();
+        let refusals = sim.stats().get("iocache.refusals").unwrap();
+        (completions, sim.now(), refusals)
+    }
+
+    #[test]
+    fn adds_lookup_and_fill_latency() {
+        let (n, end, _) = run_iocache(1, 16, ns(30));
+        assert_eq!(n, 1);
+        // 2 ns lookup + 30 ns memory + 2 ns fill.
+        assert_eq!(end, ns(34));
+    }
+
+    #[test]
+    fn mshr_limit_backpressures_but_loses_nothing() {
+        let (n, _, refusals) = run_iocache(64, 2, ns(30));
+        assert_eq!(n, 64);
+        assert!(refusals > 0.0, "a 2-MSHR cache must refuse a 64-deep burst");
+    }
+
+    #[test]
+    fn wide_mshrs_never_refuse_small_bursts() {
+        let (n, _, refusals) = run_iocache(8, 16, ns(30));
+        assert_eq!(n, 8);
+        assert_eq!(refusals, 0.0);
+    }
+}

@@ -1,0 +1,430 @@
+//! Memory-system packets.
+//!
+//! Every transaction in the simulator — MMIO reads, configuration accesses,
+//! DMA writes — is carried by a [`Packet`], just as in gem5. The PCI-Express
+//! model reuses these packets as its transaction layer packets (TLPs): the
+//! packet already carries the information a TLP header needs (requester,
+//! address, size, command) plus the **PCI bus number** field the paper adds
+//! to gem5's packet class for response routing (§V-A).
+
+use std::fmt;
+
+use crate::component::{ComponentId, PortId};
+
+/// The transaction a packet performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Read request; carries no payload, expects [`Command::ReadResp`].
+    ReadReq,
+    /// Read response; carries the read payload.
+    ReadResp,
+    /// Write request; carries the write payload, expects [`Command::WriteResp`]
+    /// unless the packet is posted (see [`Packet::set_posted`]).
+    WriteReq,
+    /// Write completion; carries no payload.
+    WriteResp,
+    /// Configuration-space read request (ECAM window).
+    ConfigRead,
+    /// Configuration-space read response.
+    ConfigReadResp,
+    /// Configuration-space write request.
+    ConfigWrite,
+    /// Configuration-space write completion.
+    ConfigWriteResp,
+    /// Message request (posted); used for message-signaled interrupts.
+    Message,
+}
+
+impl Command {
+    /// Whether this command travels requester → completer.
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            Command::ReadReq
+                | Command::WriteReq
+                | Command::ConfigRead
+                | Command::ConfigWrite
+                | Command::Message
+        )
+    }
+
+    /// Whether this command travels completer → requester.
+    pub fn is_response(self) -> bool {
+        !self.is_request()
+    }
+
+    /// Whether this is a read-flavoured command.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            Command::ReadReq | Command::ReadResp | Command::ConfigRead | Command::ConfigReadResp
+        )
+    }
+
+    /// Whether this is a write-flavoured command.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            Command::WriteReq | Command::WriteResp | Command::ConfigWrite | Command::ConfigWriteResp
+        )
+    }
+
+    /// The response command paired with this request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a response or on [`Command::Message`], which is
+    /// posted and never answered.
+    pub fn response(self) -> Command {
+        match self {
+            Command::ReadReq => Command::ReadResp,
+            Command::WriteReq => Command::WriteResp,
+            Command::ConfigRead => Command::ConfigReadResp,
+            Command::ConfigWrite => Command::ConfigWriteResp,
+            other => panic!("{other:?} has no response command"),
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Unique identity of a packet, preserved from request to response so that
+/// components can match completions to outstanding transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// One hop recorded on a packet's route, used by crossbars and bridges to
+/// steer the response back to the port the request came in on (gem5's
+/// "sender state" stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteHop {
+    /// Component that forwarded the request.
+    pub component: ComponentId,
+    /// Ingress port on that component.
+    pub port: PortId,
+}
+
+/// A memory-system packet.
+///
+/// Construct requests with [`Packet::request`] and turn them into responses
+/// with [`Packet::into_response`], which preserves identity, route and the
+/// PCI bus number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    id: PacketId,
+    cmd: Command,
+    addr: u64,
+    size: u32,
+    requester: ComponentId,
+    /// PCI bus number stamped by the first root-complex/switch slave port the
+    /// request crosses (`None` models the paper's `-1` initial value).
+    pci_bus: Option<u8>,
+    posted: bool,
+    payload: Option<Vec<u8>>,
+    route: Vec<RouteHop>,
+}
+
+impl Packet {
+    /// Creates a request packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmd` is not a request command.
+    pub fn request(id: PacketId, cmd: Command, addr: u64, size: u32, requester: ComponentId) -> Self {
+        assert!(cmd.is_request(), "{cmd:?} is not a request command");
+        Self {
+            id,
+            cmd,
+            addr,
+            size,
+            requester,
+            pci_bus: None,
+            posted: matches!(cmd, Command::Message),
+            payload: None,
+            route: Vec::new(),
+        }
+    }
+
+    /// Packet identity (preserved across request/response).
+    pub fn id(&self) -> PacketId {
+        self.id
+    }
+
+    /// The packet's command.
+    pub fn cmd(&self) -> Command {
+        self.cmd
+    }
+
+    /// Target physical address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Access size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The component that originated the request.
+    pub fn requester(&self) -> ComponentId {
+        self.requester
+    }
+
+    /// Shorthand for `cmd().is_request()`.
+    pub fn is_request(&self) -> bool {
+        self.cmd.is_request()
+    }
+
+    /// Shorthand for `cmd().is_response()`.
+    pub fn is_response(&self) -> bool {
+        self.cmd.is_response()
+    }
+
+    /// PCI bus number recorded on the packet, if any (the paper's new packet
+    /// field, initialised to -1 / `None`).
+    pub fn pci_bus(&self) -> Option<u8> {
+        self.pci_bus
+    }
+
+    /// Stamps the PCI bus number. Only the first stamp sticks, matching the
+    /// paper: a slave port sets the field only when it is still -1.
+    pub fn stamp_pci_bus(&mut self, bus: u8) {
+        if self.pci_bus.is_none() {
+            self.pci_bus = Some(bus);
+        }
+    }
+
+    /// Clears the PCI bus number (used by tests and by the root complex when
+    /// a response leaves the PCI-Express fabric).
+    pub fn clear_pci_bus(&mut self) {
+        self.pci_bus = None;
+    }
+
+    /// Whether this request needs no response (posted write/message).
+    pub fn is_posted(&self) -> bool {
+        self.posted
+    }
+
+    /// Marks a write request as posted (no completion expected). Models the
+    /// posted-write extension discussed in the paper's evaluation.
+    pub fn set_posted(&mut self, posted: bool) {
+        self.posted = posted;
+    }
+
+    /// The data carried by the packet, if any.
+    pub fn payload(&self) -> Option<&[u8]> {
+        self.payload.as_deref()
+    }
+
+    /// Attaches a payload; builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload length does not match the packet size.
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
+        assert_eq!(payload.len() as u32, self.size, "payload length must equal packet size");
+        self.payload = Some(payload);
+        self
+    }
+
+    /// Number of payload bytes on the wire (0 when no payload is attached).
+    pub fn payload_len(&self) -> u32 {
+        match self.cmd {
+            // Reads carry no data in the request direction; writes carry the
+            // full access size even when the simulator elides the bytes.
+            Command::ReadReq | Command::ConfigRead => 0,
+            Command::WriteReq | Command::ConfigWrite | Command::Message => self.size,
+            Command::ReadResp | Command::ConfigReadResp => self.size,
+            Command::WriteResp | Command::ConfigWriteResp => 0,
+        }
+    }
+
+    /// Pushes a routing hop (done by a forwarding component on the request
+    /// path so it can route the response back).
+    pub fn push_route(&mut self, component: ComponentId, port: PortId) {
+        self.route.push(RouteHop { component, port });
+    }
+
+    /// Pops the most recent routing hop (done on the response path).
+    pub fn pop_route(&mut self) -> Option<RouteHop> {
+        self.route.pop()
+    }
+
+    /// Most recent routing hop without removing it.
+    pub fn peek_route(&self) -> Option<&RouteHop> {
+        self.route.last()
+    }
+
+    /// Depth of the route stack.
+    pub fn route_depth(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Converts this request into its response, preserving id, address,
+    /// size, requester, route stack and PCI bus number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not a request or is posted.
+    pub fn into_response(mut self) -> Packet {
+        assert!(self.is_request(), "cannot respond to a response");
+        assert!(!self.posted, "posted requests take no response");
+        self.cmd = self.cmd.response();
+        if self.cmd.is_write() {
+            self.payload = None;
+        }
+        self
+    }
+
+    /// Converts this request into a read response carrying `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not a read request or the data length differs
+    /// from the request size.
+    pub fn into_read_response(mut self, data: Vec<u8>) -> Packet {
+        assert!(
+            matches!(self.cmd, Command::ReadReq | Command::ConfigRead),
+            "into_read_response on {:?}",
+            self.cmd
+        );
+        assert_eq!(data.len() as u32, self.size, "response data length must equal request size");
+        self.cmd = self.cmd.response();
+        self.payload = Some(data);
+        self
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?} addr={:#x} size={}", self.id, self.cmd, self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(cmd: Command) -> Packet {
+        Packet::request(PacketId(1), cmd, 0x4000_0000, 64, ComponentId(3))
+    }
+
+    #[test]
+    fn command_direction_classification() {
+        assert!(Command::ReadReq.is_request());
+        assert!(Command::WriteReq.is_request());
+        assert!(Command::ConfigRead.is_request());
+        assert!(Command::Message.is_request());
+        assert!(Command::ReadResp.is_response());
+        assert!(Command::WriteResp.is_response());
+        assert!(Command::ConfigWriteResp.is_response());
+    }
+
+    #[test]
+    fn command_read_write_classification() {
+        assert!(Command::ReadReq.is_read());
+        assert!(Command::ConfigReadResp.is_read());
+        assert!(Command::WriteReq.is_write());
+        assert!(Command::ConfigWrite.is_write());
+        assert!(!Command::Message.is_read());
+        assert!(!Command::Message.is_write());
+    }
+
+    #[test]
+    fn response_pairs() {
+        assert_eq!(Command::ReadReq.response(), Command::ReadResp);
+        assert_eq!(Command::WriteReq.response(), Command::WriteResp);
+        assert_eq!(Command::ConfigRead.response(), Command::ConfigReadResp);
+        assert_eq!(Command::ConfigWrite.response(), Command::ConfigWriteResp);
+    }
+
+    #[test]
+    #[should_panic(expected = "no response command")]
+    fn message_has_no_response() {
+        let _ = Command::Message.response();
+    }
+
+    #[test]
+    fn request_to_response_preserves_identity() {
+        let mut r = req(Command::ReadReq);
+        r.stamp_pci_bus(2);
+        r.push_route(ComponentId(9), PortId(1));
+        let resp = r.into_read_response(vec![0xab; 64]);
+        assert_eq!(resp.id(), PacketId(1));
+        assert_eq!(resp.cmd(), Command::ReadResp);
+        assert_eq!(resp.addr(), 0x4000_0000);
+        assert_eq!(resp.pci_bus(), Some(2));
+        assert_eq!(resp.requester(), ComponentId(3));
+        assert_eq!(resp.peek_route(), Some(&RouteHop { component: ComponentId(9), port: PortId(1) }));
+        assert_eq!(resp.payload().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn write_response_drops_payload() {
+        let r = req(Command::WriteReq).with_payload(vec![0u8; 64]);
+        let resp = r.into_response();
+        assert_eq!(resp.cmd(), Command::WriteResp);
+        assert!(resp.payload().is_none());
+        assert_eq!(resp.payload_len(), 0);
+    }
+
+    #[test]
+    fn pci_bus_stamp_only_sticks_once() {
+        let mut r = req(Command::ReadReq);
+        assert_eq!(r.pci_bus(), None);
+        r.stamp_pci_bus(1);
+        r.stamp_pci_bus(7);
+        assert_eq!(r.pci_bus(), Some(1));
+        r.clear_pci_bus();
+        assert_eq!(r.pci_bus(), None);
+    }
+
+    #[test]
+    fn payload_len_follows_command_semantics() {
+        assert_eq!(req(Command::ReadReq).payload_len(), 0);
+        assert_eq!(req(Command::WriteReq).payload_len(), 64);
+        let resp = req(Command::ReadReq).into_read_response(vec![0; 64]);
+        assert_eq!(resp.payload_len(), 64);
+    }
+
+    #[test]
+    fn route_stack_is_lifo() {
+        let mut r = req(Command::ReadReq);
+        r.push_route(ComponentId(1), PortId(0));
+        r.push_route(ComponentId(2), PortId(5));
+        assert_eq!(r.route_depth(), 2);
+        assert_eq!(r.pop_route().unwrap().component, ComponentId(2));
+        assert_eq!(r.pop_route().unwrap().component, ComponentId(1));
+        assert_eq!(r.pop_route(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "posted requests take no response")]
+    fn posted_write_cannot_be_answered() {
+        let mut r = req(Command::WriteReq);
+        r.set_posted(true);
+        let _ = r.into_response();
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a request command")]
+    fn cannot_construct_request_from_response_command() {
+        let _ = req(Command::ReadResp);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length must equal packet size")]
+    fn payload_size_mismatch_panics() {
+        let _ = req(Command::WriteReq).with_payload(vec![0u8; 3]);
+    }
+}

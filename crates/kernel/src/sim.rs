@@ -1,0 +1,699 @@
+//! The event-driven simulation driver.
+//!
+//! [`Simulation`] owns every [`Component`], the global event queue and the
+//! port wiring. Packet delivery is synchronous (gem5-style): the receiver's
+//! handler runs nested inside the sender's `try_send_*` call and returns an
+//! accept/refuse outcome immediately. Timers and retry notifications are
+//! queued and fire in strict `(tick, insertion order)` order, so execution
+//! is fully deterministic.
+//!
+//! ```
+//! use pcisim_kernel::sim::Simulation;
+//! let mut sim = Simulation::new();
+//! assert_eq!(sim.now(), 0);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::component::{Component, ComponentId, Event, PortId, RecvResult};
+use crate::packet::{Packet, PacketId};
+use crate::stats::{StatsBuilder, StatsSnapshot};
+use crate::tick::Tick;
+
+/// Why [`Simulation::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No events remain; the system is quiescent.
+    QueueEmpty,
+    /// Simulated time reached the requested limit.
+    TimeLimit,
+    /// A component called [`Ctx::stop`].
+    Stopped,
+    /// The event-count safety valve tripped (likely livelock).
+    EventLimit,
+}
+
+#[derive(Debug)]
+enum ActionBody {
+    Event(Event),
+    Retry { port: PortId },
+}
+
+struct Scheduled {
+    tick: Tick,
+    seq: u64,
+    target: ComponentId,
+    body: ActionBody,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+    }
+}
+
+type Endpoint = (ComponentId, PortId);
+
+/// Shared mutable simulation state reachable from nested dispatches.
+struct Shared {
+    arena: Vec<RefCell<Option<Box<dyn Component>>>>,
+    names: Vec<String>,
+    conns: HashMap<Endpoint, Endpoint>,
+    queue: RefCell<BinaryHeap<Reverse<Scheduled>>>,
+    seq: Cell<u64>,
+    now: Cell<Tick>,
+    next_packet_id: Cell<u64>,
+    stop_requested: Cell<bool>,
+    events_processed: Cell<u64>,
+    trace: Cell<bool>,
+}
+
+impl Shared {
+    fn push(&self, tick: Tick, target: ComponentId, body: ActionBody) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        self.queue.borrow_mut().push(Reverse(Scheduled { tick, seq, target, body }));
+    }
+
+    fn with_component<R>(
+        &self,
+        id: ComponentId,
+        f: impl FnOnce(&mut dyn Component, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let cell = &self.arena[id.0 as usize];
+        let mut slot = cell.try_borrow_mut().unwrap_or_else(|_| {
+            panic!(
+                "re-entrant dispatch into {:?}: a receiver must not synchronously \
+                 send back toward its caller; schedule a zero-delay event instead",
+                self.names[id.0 as usize]
+            )
+        });
+        let comp = slot.as_mut().expect("component slot empty");
+        let mut ctx = Ctx { shared: self, self_id: id };
+        f(comp.as_mut(), &mut ctx)
+    }
+}
+
+/// The execution context handed to every component callback.
+///
+/// All interaction with the rest of the system goes through this type:
+/// scheduling timers, sending packets over connected ports, granting
+/// retries, allocating packet ids, and stopping the simulation.
+pub struct Ctx<'a> {
+    shared: &'a Shared,
+    self_id: ComponentId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.shared.now.get()
+    }
+
+    /// The id of the component being called.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Allocates a fresh, globally unique packet id.
+    pub fn alloc_packet_id(&mut self) -> PacketId {
+        let id = self.shared.next_packet_id.get();
+        self.shared.next_packet_id.set(id + 1);
+        PacketId(id)
+    }
+
+    fn peer(&self, port: PortId) -> Endpoint {
+        *self
+            .shared
+            .conns
+            .get(&(self.self_id, port))
+            .unwrap_or_else(|| panic!("{} {port} is not connected", self.self_id))
+    }
+
+    /// Whether `port` is wired to a peer.
+    pub fn is_connected(&self, port: PortId) -> bool {
+        self.shared.conns.contains_key(&(self.self_id, port))
+    }
+
+    /// Schedules `ev` for delivery to this component after `delay` ticks.
+    pub fn schedule(&mut self, delay: Tick, ev: Event) {
+        self.shared.push(self.now() + delay, self.self_id, ActionBody::Event(ev));
+    }
+
+    /// Sends a request packet out of `port`. The peer's
+    /// [`Component::recv_request`] runs immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(pkt)` when the peer refused the packet; the caller must
+    /// hold it and resend after [`Component::retry_granted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not connected or `pkt` is not a request.
+    pub fn try_send_request(&mut self, port: PortId, pkt: Packet) -> Result<(), Packet> {
+        assert!(pkt.is_request(), "try_send_request with {:?}", pkt.cmd());
+        let (peer, peer_port) = self.peer(port);
+        self.trace(|| format!("-> req {} to {peer}/{peer_port}", pkt));
+        match self.shared.with_component(peer, |c, ctx| c.recv_request(ctx, peer_port, pkt)) {
+            RecvResult::Accepted => Ok(()),
+            RecvResult::Refused(pkt) => Err(pkt),
+        }
+    }
+
+    /// Sends a response packet out of `port`; same contract as
+    /// [`Ctx::try_send_request`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(pkt)` when the peer refused the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not connected or `pkt` is not a response.
+    pub fn try_send_response(&mut self, port: PortId, pkt: Packet) -> Result<(), Packet> {
+        assert!(pkt.is_response(), "try_send_response with {:?}", pkt.cmd());
+        let (peer, peer_port) = self.peer(port);
+        self.trace(|| format!("-> resp {} to {peer}/{peer_port}", pkt));
+        match self.shared.with_component(peer, |c, ctx| c.recv_response(ctx, peer_port, pkt)) {
+            RecvResult::Accepted => Ok(()),
+            RecvResult::Refused(pkt) => Err(pkt),
+        }
+    }
+
+    /// Notifies the peer of `port` that buffer space freed up. Delivered
+    /// from the event queue (never nested), at the current tick.
+    pub fn send_retry(&mut self, port: PortId) {
+        let (peer, peer_port) = self.peer(port);
+        self.shared.push(self.now(), peer, ActionBody::Retry { port: peer_port });
+    }
+
+    /// Requests the simulation loop to stop after the current event.
+    pub fn stop(&mut self) {
+        self.shared.stop_requested.set(true);
+    }
+
+    /// Emits a trace line when tracing is enabled; the closure only runs
+    /// when needed.
+    pub fn trace(&self, f: impl FnOnce() -> String) {
+        if self.shared.trace.get() {
+            eprintln!(
+                "[{:>12}] {} {}",
+                self.now(),
+                self.shared.names[self.self_id.0 as usize],
+                f()
+            );
+        }
+    }
+}
+
+/// Owns components, wiring and the event queue; drives simulated time.
+pub struct Simulation {
+    shared: Shared,
+    initialized: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at tick 0.
+    pub fn new() -> Self {
+        Self {
+            shared: Shared {
+                arena: Vec::new(),
+                names: Vec::new(),
+                conns: HashMap::new(),
+                queue: RefCell::new(BinaryHeap::new()),
+                seq: Cell::new(0),
+                now: Cell::new(0),
+                next_packet_id: Cell::new(0),
+                stop_requested: Cell::new(false),
+                events_processed: Cell::new(0),
+                trace: Cell::new(false),
+            },
+            initialized: false,
+        }
+    }
+
+    /// Enables or disables per-event tracing to stderr.
+    pub fn set_trace(&mut self, on: bool) {
+        self.shared.trace.set(on);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.shared.now.get()
+    }
+
+    /// Number of queued actions dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.shared.events_processed.get()
+    }
+
+    /// Number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.shared.queue.borrow().len()
+    }
+
+    /// Adds a component and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another component already uses the same name or the
+    /// simulation has started.
+    pub fn add(&mut self, component: Box<dyn Component>) -> ComponentId {
+        let name = component.name().to_owned();
+        assert!(!self.shared.names.contains(&name), "duplicate component name {name:?}");
+        assert!(!self.initialized, "cannot add components after the simulation started");
+        let id = ComponentId(self.shared.arena.len() as u32);
+        self.shared.arena.push(RefCell::new(Some(component)));
+        self.shared.names.push(name);
+        id
+    }
+
+    /// Name of component `id`.
+    pub fn name_of(&self, id: ComponentId) -> &str {
+        &self.shared.names[id.0 as usize]
+    }
+
+    /// Wires two ports together bidirectionally: requests flow either way,
+    /// responses travel back along the same pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is already connected or if the two
+    /// endpoints are the same.
+    pub fn connect(&mut self, a: (ComponentId, PortId), b: (ComponentId, PortId)) {
+        assert_ne!(a, b, "cannot connect a port to itself");
+        assert!(!self.shared.conns.contains_key(&a), "{} {} already connected", a.0, a.1);
+        assert!(!self.shared.conns.contains_key(&b), "{} {} already connected", b.0, b.1);
+        self.shared.conns.insert(a, b);
+        self.shared.conns.insert(b, a);
+    }
+
+    /// The endpoint wired to `ep`, if any.
+    pub fn peer_of(&self, ep: (ComponentId, PortId)) -> Option<(ComponentId, PortId)> {
+        self.shared.conns.get(&ep).copied()
+    }
+
+    fn ensure_init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for i in 0..self.shared.arena.len() {
+            self.shared.with_component(ComponentId(i as u32), |c, ctx| c.init(ctx));
+        }
+    }
+
+    /// Runs until the queue drains, `until` is reached, a component stops
+    /// the simulation, or `max_events` dispatches have happened.
+    pub fn run(&mut self, until: Tick, max_events: u64) -> RunOutcome {
+        self.ensure_init();
+        let budget_end = self.events_processed().saturating_add(max_events);
+        loop {
+            if self.shared.stop_requested.get() {
+                self.shared.stop_requested.set(false);
+                return RunOutcome::Stopped;
+            }
+            let next = {
+                let queue = self.shared.queue.borrow();
+                match queue.peek() {
+                    None => return RunOutcome::QueueEmpty,
+                    Some(Reverse(head)) if head.tick > until => {
+                        drop(queue);
+                        self.shared.now.set(until);
+                        return RunOutcome::TimeLimit;
+                    }
+                    Some(_) => {}
+                }
+                drop(queue);
+                self.shared.queue.borrow_mut().pop().expect("peeked")
+            };
+            if self.events_processed() >= budget_end {
+                // Put the action back; the caller may resume.
+                self.shared.queue.borrow_mut().push(next);
+                return RunOutcome::EventLimit;
+            }
+            let Reverse(sched) = next;
+            debug_assert!(sched.tick >= self.now(), "time went backwards");
+            self.shared.now.set(sched.tick);
+            self.shared.events_processed.set(self.events_processed() + 1);
+            self.shared.with_component(sched.target, |c, ctx| match sched.body {
+                ActionBody::Event(ev) => c.handle(ctx, ev),
+                ActionBody::Retry { port } => c.retry_granted(ctx, port),
+            });
+        }
+    }
+
+    /// Runs until the event queue is empty or a component stops the run.
+    pub fn run_to_quiesce(&mut self) -> RunOutcome {
+        self.run(Tick::MAX, u64::MAX)
+    }
+
+    /// Collects statistics from every component.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut all = std::collections::BTreeMap::new();
+        for (i, cell) in self.shared.arena.iter().enumerate() {
+            let slot = cell.borrow();
+            let comp = slot.as_ref().expect("component missing during stats");
+            let mut b = StatsBuilder::new(self.shared.names[i].clone());
+            comp.report_stats(&mut b);
+            all.extend(b.into_values());
+        }
+        StatsSnapshot::from_values(all)
+    }
+}
+
+// Components that need post-run inspection share state with the harness via
+// `Rc<RefCell<...>>` handles created before `Simulation::add` (see the
+// `pcisim-system` workloads); the kernel deliberately offers no downcasting.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Event;
+    use crate::packet::Command;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Fires a chain of timers and records their arrival times.
+    struct TimerChain {
+        name: String,
+        fired: Rc<RefCell<Vec<(Tick, u64)>>>,
+        remaining: u64,
+        period: Tick,
+    }
+    impl Component for TimerChain {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule(self.period, Event::Timer { kind: 0, data: self.remaining });
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            let Event::Timer { data, .. } = ev else { panic!() };
+            self.fired.borrow_mut().push((ctx.now(), data));
+            if data > 1 {
+                ctx.schedule(self.period, Event::Timer { kind: 0, data: data - 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_queue_drains() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.add(Box::new(TimerChain {
+            name: "t".into(),
+            fired: fired.clone(),
+            remaining: 3,
+            period: 10,
+        }));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*fired.borrow(), vec![(10, 3), (20, 2), (30, 1)]);
+        assert_eq!(sim.now(), 30);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn run_respects_time_limit_and_resumes() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.add(Box::new(TimerChain {
+            name: "t".into(),
+            fired: fired.clone(),
+            remaining: 100,
+            period: 10,
+        }));
+        assert_eq!(sim.run(25, u64::MAX), RunOutcome::TimeLimit);
+        assert_eq!(fired.borrow().len(), 2);
+        assert_eq!(sim.now(), 25);
+        assert_eq!(sim.run(45, u64::MAX), RunOutcome::TimeLimit);
+        assert_eq!(fired.borrow().len(), 4);
+    }
+
+    #[test]
+    fn run_respects_event_limit_without_losing_events() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.add(Box::new(TimerChain {
+            name: "t".into(),
+            fired: fired.clone(),
+            remaining: 10,
+            period: 1,
+        }));
+        assert_eq!(sim.run(Tick::MAX, 5), RunOutcome::EventLimit);
+        assert_eq!(sim.events_processed(), 5);
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(fired.borrow().len(), 10);
+    }
+
+    /// Sends `count` requests to its peer as fast as allowed, honouring the
+    /// refusal/retry protocol.
+    struct Producer {
+        name: String,
+        to_send: u32,
+        stalled: Option<Packet>,
+        acked: Rc<RefCell<u32>>,
+    }
+    const P_OUT: PortId = PortId(0);
+    impl Producer {
+        fn pump(&mut self, ctx: &mut Ctx<'_>) {
+            while self.stalled.is_none() && self.to_send > 0 {
+                self.to_send -= 1;
+                let id = ctx.alloc_packet_id();
+                let pkt = Packet::request(id, Command::ReadReq, 0x1000, 4, ctx.self_id());
+                if let Err(back) = ctx.try_send_request(P_OUT, pkt) {
+                    self.stalled = Some(back);
+                }
+            }
+        }
+    }
+    impl Component for Producer {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule(0, Event::Timer { kind: 0, data: 0 });
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _ev: Event) {
+            self.pump(ctx);
+        }
+        fn recv_response(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) -> RecvResult {
+            *self.acked.borrow_mut() += 1;
+            RecvResult::Accepted
+        }
+        fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+            assert_eq!(port, P_OUT);
+            if let Some(pkt) = self.stalled.take() {
+                if let Err(back) = ctx.try_send_request(P_OUT, pkt) {
+                    self.stalled = Some(back);
+                    return;
+                }
+            }
+            self.pump(ctx);
+        }
+    }
+
+    /// Accepts one request at a time; responds after a service delay, then
+    /// grants a retry.
+    struct Server {
+        name: String,
+        busy_with: Option<Packet>,
+        refused: bool,
+        served: Rc<RefCell<u32>>,
+        delay: Tick,
+    }
+    const S_IN: PortId = PortId(0);
+    impl Component for Server {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+            assert_eq!(port, S_IN);
+            if self.busy_with.is_some() {
+                self.refused = true;
+                return RecvResult::Refused(pkt);
+            }
+            self.busy_with = Some(pkt);
+            ctx.schedule(self.delay, Event::Timer { kind: 1, data: 0 });
+            RecvResult::Accepted
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _ev: Event) {
+            let pkt = self.busy_with.take().expect("service timer without packet");
+            *self.served.borrow_mut() += 1;
+            ctx.try_send_response(S_IN, pkt.into_read_response(vec![0; 4]))
+                .expect("producer never refuses responses");
+            if self.refused {
+                self.refused = false;
+                ctx.send_retry(S_IN);
+            }
+        }
+    }
+
+    #[test]
+    fn request_response_with_backpressure_delivers_everything() {
+        let acked = Rc::new(RefCell::new(0));
+        let served = Rc::new(RefCell::new(0));
+        let mut sim = Simulation::new();
+        let p = sim.add(Box::new(Producer {
+            name: "prod".into(),
+            to_send: 10,
+            stalled: None,
+            acked: acked.clone(),
+        }));
+        let s = sim.add(Box::new(Server {
+            name: "serv".into(),
+            busy_with: None,
+            refused: false,
+            served: served.clone(),
+            delay: 100,
+        }));
+        sim.connect((p, P_OUT), (s, S_IN));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*acked.borrow(), 10);
+        assert_eq!(*served.borrow(), 10);
+        // One packet is in service at a time, 100 ticks each.
+        assert_eq!(sim.now(), 1000);
+    }
+
+    #[test]
+    fn stop_request_halts_the_loop_and_can_resume() {
+        struct Stopper;
+        impl Component for Stopper {
+            fn name(&self) -> &str {
+                "stopper"
+            }
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(5, Event::Timer { kind: 0, data: 0 });
+                ctx.schedule(10, Event::Timer { kind: 0, data: 0 });
+            }
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _: Event) {
+                ctx.stop();
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.add(Box::new(Stopper));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::Stopped);
+        assert_eq!(sim.now(), 5);
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::Stopped);
+        assert_eq!(sim.now(), 10);
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+    }
+
+    struct Stub(&'static str);
+    impl Component for Stub {
+        fn name(&self) -> &str {
+            self.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component name")]
+    fn duplicate_names_are_rejected() {
+        let mut sim = Simulation::new();
+        sim.add(Box::new(Stub("x")));
+        sim.add(Box::new(Stub("x")));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_is_rejected() {
+        let mut sim = Simulation::new();
+        let a = sim.add(Box::new(Stub("a")));
+        let b = sim.add(Box::new(Stub("b")));
+        let c = sim.add(Box::new(Stub("c")));
+        sim.connect((a, PortId(0)), (b, PortId(0)));
+        sim.connect((a, PortId(0)), (c, PortId(0)));
+    }
+
+    #[test]
+    fn peer_lookup_is_symmetric() {
+        let mut sim = Simulation::new();
+        let a = sim.add(Box::new(Stub("a")));
+        let b = sim.add(Box::new(Stub("b")));
+        sim.connect((a, PortId(3)), (b, PortId(7)));
+        assert_eq!(sim.peer_of((a, PortId(3))), Some((b, PortId(7))));
+        assert_eq!(sim.peer_of((b, PortId(7))), Some((a, PortId(3))));
+        assert_eq!(sim.peer_of((a, PortId(0))), None);
+        assert_eq!(sim.name_of(a), "a");
+    }
+
+    #[test]
+    fn same_tick_events_fire_in_insertion_order() {
+        struct Recorder {
+            name: String,
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Component for Recorder {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                for i in 0..5 {
+                    ctx.schedule(10, Event::Timer { kind: 0, data: i });
+                }
+            }
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, ev: Event) {
+                let Event::Timer { data, .. } = ev else { panic!() };
+                self.log.borrow_mut().push(data);
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.add(Box::new(Recorder { name: "r".into(), log: log.clone() }));
+        sim.run_to_quiesce();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant dispatch")]
+    fn synchronous_call_cycles_panic() {
+        struct Echo {
+            name: String,
+        }
+        impl Component for Echo {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                if self.name == "e0" {
+                    ctx.schedule(0, Event::Timer { kind: 0, data: 0 });
+                }
+            }
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _: Event) {
+                let id = ctx.alloc_packet_id();
+                let pkt = Packet::request(id, Command::ReadReq, 0, 4, ctx.self_id());
+                let _ = ctx.try_send_request(PortId(0), pkt);
+            }
+            fn recv_request(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) -> RecvResult {
+                // Illegal: synchronously answer toward the caller.
+                let _ = ctx.try_send_response(PortId(0), pkt.into_read_response(vec![0; 4]));
+                RecvResult::Accepted
+            }
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add(Box::new(Echo { name: "e0".into() }));
+        let b = sim.add(Box::new(Echo { name: "e1".into() }));
+        sim.connect((a, PortId(0)), (b, PortId(0)));
+        sim.run_to_quiesce();
+    }
+}

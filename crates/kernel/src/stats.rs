@@ -1,0 +1,306 @@
+//! Lightweight statistics: counters, histograms and a snapshot format.
+//!
+//! Components own their statistics as plain fields and export them through
+//! [`Component::report_stats`](crate::component::Component::report_stats)
+//! into a [`StatsBuilder`]; the simulation aggregates everything into a
+//! [`StatsSnapshot`] that the benchmark harness prints.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use pcisim_kernel::stats::Counter;
+/// let mut c = Counter::default();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.value(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A streaming histogram that tracks count, sum, min and max of samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+/// Collects named statistics from one component.
+#[derive(Debug, Default)]
+pub struct StatsBuilder {
+    scope: String,
+    values: BTreeMap<String, f64>,
+}
+
+impl StatsBuilder {
+    /// Creates a builder scoped to a component name; every key is prefixed
+    /// `scope.key`.
+    pub fn new(scope: impl Into<String>) -> Self {
+        Self { scope: scope.into(), values: BTreeMap::new() }
+    }
+
+    /// Records a scalar value.
+    pub fn scalar(&mut self, key: &str, v: f64) {
+        self.values.insert(format!("{}.{}", self.scope, key), v);
+    }
+
+    /// Records a counter.
+    pub fn counter(&mut self, key: &str, c: &Counter) {
+        self.scalar(key, c.value() as f64);
+    }
+
+    /// Records a histogram as `key.count/mean/min/max`.
+    pub fn histogram(&mut self, key: &str, h: &Histogram) {
+        self.scalar(&format!("{key}.count"), h.count() as f64);
+        self.scalar(&format!("{key}.mean"), h.mean());
+        if let Some(m) = h.min() {
+            self.scalar(&format!("{key}.min"), m);
+        }
+        if let Some(m) = h.max() {
+            self.scalar(&format!("{key}.max"), m);
+        }
+    }
+
+    pub(crate) fn into_values(self) -> BTreeMap<String, f64> {
+        self.values
+    }
+}
+
+/// Aggregated statistics from every component in a simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    values: BTreeMap<String, f64>,
+}
+
+impl StatsSnapshot {
+    pub(crate) fn from_values(values: BTreeMap<String, f64>) -> Self {
+        Self { values }
+    }
+
+    /// Looks up a fully-qualified statistic (`component.key`).
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values.get(key).copied()
+    }
+
+    /// Iterates over all `(key, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All keys whose name starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, f64)> + 'a {
+        self.values
+            .iter()
+            .filter(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of statistics captured.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl StatsSnapshot {
+    /// Serializes the snapshot as a flat JSON object (`{"key": value}`),
+    /// for plotting pipelines. Non-finite values become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Keys are component/stat names: no quotes or control chars.
+            out.push('"');
+            out.push_str(k);
+            out.push_str("\":");
+            if v.is_finite() {
+                out.push_str(&format!("{v}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k:60} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_mean() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        for v in [4.0, 2.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 12.0);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(6.0));
+    }
+
+    #[test]
+    fn builder_prefixes_scope() {
+        let mut b = StatsBuilder::new("link0");
+        b.scalar("tlps", 3.0);
+        let mut c = Counter::new();
+        c.add(7);
+        b.counter("acks", &c);
+        let snap = StatsSnapshot::from_values(b.into_values());
+        assert_eq!(snap.get("link0.tlps"), Some(3.0));
+        assert_eq!(snap.get("link0.acks"), Some(7.0));
+        assert_eq!(snap.get("acks"), None);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_prefix_filter() {
+        let mut b = StatsBuilder::new("sw");
+        b.scalar("a", 1.0);
+        b.scalar("b", 2.0);
+        let snap = StatsSnapshot::from_values(b.into_values());
+        let got: Vec<_> = snap.with_prefix("sw.").collect();
+        assert_eq!(got.len(), 2);
+        assert!(snap.with_prefix("zz").next().is_none());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_flat_json() {
+        let mut b = StatsBuilder::new("c");
+        b.scalar("a", 1.5);
+        b.scalar("b", 2.0);
+        let snap = StatsSnapshot::from_values(b.into_values());
+        assert_eq!(snap.to_json(), r#"{"c.a":1.5,"c.b":2}"#);
+        let empty = StatsSnapshot::default();
+        assert_eq!(empty.to_json(), "{}");
+    }
+
+    #[test]
+    fn json_maps_non_finite_to_null() {
+        let mut b = StatsBuilder::new("c");
+        b.scalar("nan", f64::NAN);
+        let snap = StatsSnapshot::from_values(b.into_values());
+        assert_eq!(snap.to_json(), r#"{"c.nan":null}"#);
+    }
+
+    #[test]
+    fn histogram_in_builder_exports_summary_keys() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(3.0);
+        let mut b = StatsBuilder::new("x");
+        b.histogram("lat", &h);
+        let snap = StatsSnapshot::from_values(b.into_values());
+        assert_eq!(snap.get("x.lat.count"), Some(2.0));
+        assert_eq!(snap.get("x.lat.mean"), Some(2.0));
+        assert_eq!(snap.get("x.lat.min"), Some(1.0));
+        assert_eq!(snap.get("x.lat.max"), Some(3.0));
+    }
+}

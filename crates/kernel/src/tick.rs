@@ -1,0 +1,131 @@
+//! Simulation time.
+//!
+//! Like gem5, the simulator counts time in integer **ticks**, where one tick
+//! is one picosecond. All latencies and delays in the workspace are expressed
+//! as ticks; the helpers in this module convert from human units.
+//!
+//! ```
+//! use pcisim_kernel::tick::{ns, us, TICKS_PER_NS};
+//! assert_eq!(ns(150), 150 * TICKS_PER_NS);
+//! assert_eq!(us(1), ns(1000));
+//! ```
+
+/// A point in simulated time or a duration, in picoseconds.
+pub type Tick = u64;
+
+/// Number of ticks in one picosecond (the base unit).
+pub const TICKS_PER_PS: Tick = 1;
+/// Number of ticks in one nanosecond.
+pub const TICKS_PER_NS: Tick = 1_000;
+/// Number of ticks in one microsecond.
+pub const TICKS_PER_US: Tick = 1_000_000;
+/// Number of ticks in one millisecond.
+pub const TICKS_PER_MS: Tick = 1_000_000_000;
+/// Number of ticks in one second.
+pub const TICKS_PER_SEC: Tick = 1_000_000_000_000;
+
+/// Converts picoseconds to ticks.
+#[inline]
+pub const fn ps(v: u64) -> Tick {
+    v * TICKS_PER_PS
+}
+
+/// Converts nanoseconds to ticks.
+#[inline]
+pub const fn ns(v: u64) -> Tick {
+    v * TICKS_PER_NS
+}
+
+/// Converts microseconds to ticks.
+#[inline]
+pub const fn us(v: u64) -> Tick {
+    v * TICKS_PER_US
+}
+
+/// Converts milliseconds to ticks.
+#[inline]
+pub const fn ms(v: u64) -> Tick {
+    v * TICKS_PER_MS
+}
+
+/// Converts a tick count to fractional seconds.
+#[inline]
+pub fn to_seconds(t: Tick) -> f64 {
+    t as f64 / TICKS_PER_SEC as f64
+}
+
+/// Converts a tick count to fractional nanoseconds.
+#[inline]
+pub fn to_ns(t: Tick) -> f64 {
+    t as f64 / TICKS_PER_NS as f64
+}
+
+/// Computes an achieved bandwidth in gigabits per second.
+///
+/// Returns zero when `elapsed` is zero so callers do not need to special-case
+/// empty measurements.
+///
+/// ```
+/// use pcisim_kernel::tick::{gbps, us};
+/// // 500 bytes in 1 us = 4 Gbps.
+/// assert!((gbps(500, us(1)) - 4.0).abs() < 1e-9);
+/// ```
+#[inline]
+pub fn gbps(bytes: u64, elapsed: Tick) -> f64 {
+    if elapsed == 0 {
+        return 0.0;
+    }
+    (bytes as f64 * 8.0) / to_seconds(elapsed) / 1e9
+}
+
+/// Time to move `bytes` at a rate of `bytes_per_sec`, rounded up to a whole
+/// tick so that back-to-back transfers never under-account time.
+#[inline]
+pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> Tick {
+    if bytes_per_sec == 0 {
+        return 0;
+    }
+    let num = bytes as u128 * TICKS_PER_SEC as u128;
+    num.div_ceil(bytes_per_sec as u128) as Tick
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_compose() {
+        assert_eq!(ns(1), 1_000);
+        assert_eq!(us(1), ns(1_000));
+        assert_eq!(ms(1), us(1_000));
+        assert_eq!(TICKS_PER_SEC, ms(1_000));
+        assert_eq!(ps(7), 7);
+    }
+
+    #[test]
+    fn to_ns_round_trips() {
+        assert_eq!(to_ns(ns(150)), 150.0);
+        assert_eq!(to_seconds(TICKS_PER_SEC), 1.0);
+    }
+
+    #[test]
+    fn gbps_of_zero_elapsed_is_zero() {
+        assert_eq!(gbps(100, 0), 0.0);
+    }
+
+    #[test]
+    fn gbps_matches_hand_computation() {
+        // 1 GB in 1 second = 8 Gbps.
+        let one_gb = 1_000_000_000;
+        assert!((gbps(one_gb, TICKS_PER_SEC) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 3 bytes at 2 B/s takes 1.5 s -> rounds up to exactly 1.5 s in ticks.
+        assert_eq!(transfer_time(3, 2), TICKS_PER_SEC + TICKS_PER_SEC / 2);
+        // 1 byte at 3 B/s is a non-terminating fraction; must round up.
+        assert_eq!(transfer_time(1, 3), TICKS_PER_SEC / 3 + 1);
+        assert_eq!(transfer_time(5, 0), 0);
+    }
+}

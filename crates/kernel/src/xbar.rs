@@ -1,0 +1,483 @@
+//! Crossbar interconnect (gem5's `MemBus` / `IOBus`).
+//!
+//! A [`Crossbar`] routes request packets to one of its ports by address
+//! range and routes responses back along the route stack recorded on the
+//! request path. It models a forwarding (frontend) latency, payload
+//! serialization bandwidth per egress port, and bounded per-port output
+//! queues with the kernel's refusal/retry flow control — loosely following
+//! the ARM AXI-style crossbar gem5 implements.
+
+use std::collections::VecDeque;
+
+use crate::addr::{AddrMap, AddrRange};
+use crate::component::{Component, Event, PortId, RecvResult};
+use crate::packet::Packet;
+use crate::sim::Ctx;
+use crate::stats::{Counter, StatsBuilder};
+use crate::tick::{transfer_time, Tick};
+
+/// Builder for [`Crossbar`]; see [`Crossbar::builder`].
+#[derive(Debug)]
+pub struct CrossbarBuilder {
+    name: String,
+    num_ports: usize,
+    frontend_latency: Tick,
+    bytes_per_sec: u64,
+    queue_capacity: usize,
+    routes: Vec<(AddrRange, PortId)>,
+    default_route: Option<PortId>,
+}
+
+impl CrossbarBuilder {
+    /// Sets the number of ports (ids `0..n`).
+    pub fn num_ports(mut self, n: usize) -> Self {
+        self.num_ports = n;
+        self
+    }
+
+    /// Sets the forwarding-decision latency added to every packet.
+    pub fn frontend_latency(mut self, t: Tick) -> Self {
+        self.frontend_latency = t;
+        self
+    }
+
+    /// Sets the payload serialization bandwidth per egress port
+    /// (0 = infinite).
+    pub fn bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Sets the per-port output queue capacity (requests and responses each
+    /// get a queue of this depth).
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Routes requests for `range` out of `port`.
+    pub fn route(mut self, range: AddrRange, port: PortId) -> Self {
+        self.routes.push((range, port));
+        self
+    }
+
+    /// Routes requests matching no explicit range out of `port`.
+    pub fn default_route(mut self, port: PortId) -> Self {
+        self.default_route = Some(port);
+        self
+    }
+
+    /// Builds the crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a route targets a port outside `0..num_ports` or when
+    /// route ranges overlap.
+    pub fn build(self) -> Crossbar {
+        let mut map = AddrMap::new();
+        for (range, port) in self.routes {
+            assert!(
+                (port.0 as usize) < self.num_ports,
+                "route target {port} out of range for {} ports",
+                self.num_ports
+            );
+            map.insert(range, port)
+                .unwrap_or_else(|r| panic!("overlapping crossbar route {r:?}"));
+        }
+        if let Some(p) = self.default_route {
+            assert!((p.0 as usize) < self.num_ports, "default route {p} out of range");
+        }
+        Crossbar {
+            name: self.name,
+            frontend_latency: self.frontend_latency,
+            bytes_per_sec: self.bytes_per_sec,
+            route: map,
+            default_route: self.default_route,
+            ports: (0..self.num_ports).map(|_| PortState::new(self.queue_capacity)).collect(),
+            stats: XbarStats::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PortState {
+    out_req: VecDeque<Packet>,
+    out_resp: VecDeque<Packet>,
+    capacity: usize,
+    /// Packets accepted and in the latency pipe, destined for this egress.
+    inflight_req: usize,
+    inflight_resp: usize,
+    /// Our send to the peer was refused; waiting for its retry.
+    waiting_peer: bool,
+    /// Egress serialization horizon.
+    busy_until: Tick,
+    /// Ingress ports refused because this egress was full; owed retries.
+    waiting_req_ingress: Vec<PortId>,
+    waiting_resp_ingress: Vec<PortId>,
+}
+
+impl PortState {
+    fn new(capacity: usize) -> Self {
+        Self {
+            out_req: VecDeque::new(),
+            out_resp: VecDeque::new(),
+            capacity,
+            inflight_req: 0,
+            inflight_resp: 0,
+            waiting_peer: false,
+            busy_until: 0,
+            waiting_req_ingress: Vec::new(),
+            waiting_resp_ingress: Vec::new(),
+        }
+    }
+
+    fn req_full(&self) -> bool {
+        self.out_req.len() + self.inflight_req >= self.capacity
+    }
+
+    fn resp_full(&self) -> bool {
+        self.out_resp.len() + self.inflight_resp >= self.capacity
+    }
+}
+
+#[derive(Debug, Default)]
+struct XbarStats {
+    reqs: Counter,
+    resps: Counter,
+    refusals: Counter,
+    bytes: Counter,
+}
+
+/// An address-routed crossbar with bounded per-port queues.
+///
+/// Tag conventions for self-scheduled events: the `DelayedPacket` tag is the
+/// egress port index.
+#[derive(Debug)]
+pub struct Crossbar {
+    name: String,
+    frontend_latency: Tick,
+    bytes_per_sec: u64,
+    route: AddrMap<PortId>,
+    default_route: Option<PortId>,
+    ports: Vec<PortState>,
+    stats: XbarStats,
+}
+
+impl Crossbar {
+    /// Starts building a crossbar named `name`.
+    pub fn builder(name: impl Into<String>) -> CrossbarBuilder {
+        CrossbarBuilder {
+            name: name.into(),
+            num_ports: 2,
+            frontend_latency: 0,
+            bytes_per_sec: 0,
+            queue_capacity: 4,
+            routes: Vec::new(),
+            default_route: None,
+        }
+    }
+
+    /// The port a request for `addr` would leave through.
+    pub fn route_for(&self, addr: u64) -> Option<PortId> {
+        self.route.lookup(addr).copied().or(self.default_route)
+    }
+
+    fn egress_for(&self, pkt: &Packet) -> PortId {
+        self.route_for(pkt.addr()).unwrap_or_else(|| {
+            panic!("{}: no route for address {:#x}", self.name, pkt.addr())
+        })
+    }
+
+    /// Computes when a packet entering now finishes crossing the crossbar
+    /// toward `egress`, updating the serialization horizon.
+    fn pipe_delay(&mut self, now: Tick, egress: PortId, pkt: &Packet) -> Tick {
+        let xfer = if self.bytes_per_sec == 0 {
+            0
+        } else {
+            transfer_time(u64::from(pkt.payload_len()), self.bytes_per_sec)
+        };
+        let start = (now + self.frontend_latency).max(self.ports[egress.0 as usize].busy_until);
+        let finish = start + xfer;
+        self.ports[egress.0 as usize].busy_until = finish;
+        finish - now
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_>, egress: PortId) {
+        let idx = egress.0 as usize;
+        loop {
+            if self.ports[idx].waiting_peer {
+                return;
+            }
+            // Responses first: response progress must never be blocked
+            // behind requests or the fabric can deadlock.
+            if let Some(pkt) = self.ports[idx].out_resp.pop_front() {
+                match ctx.try_send_response(egress, pkt) {
+                    Ok(()) => {
+                        self.notify_waiters(ctx, egress);
+                        continue;
+                    }
+                    Err(pkt) => {
+                        self.ports[idx].out_resp.push_front(pkt);
+                        self.ports[idx].waiting_peer = true;
+                        return;
+                    }
+                }
+            }
+            if let Some(pkt) = self.ports[idx].out_req.pop_front() {
+                match ctx.try_send_request(egress, pkt) {
+                    Ok(()) => {
+                        self.notify_waiters(ctx, egress);
+                        continue;
+                    }
+                    Err(pkt) => {
+                        self.ports[idx].out_req.push_front(pkt);
+                        self.ports[idx].waiting_peer = true;
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+    }
+
+    /// Space freed in `egress` queues: grant retries to refused ingress
+    /// peers.
+    fn notify_waiters(&mut self, ctx: &mut Ctx<'_>, egress: PortId) {
+        let idx = egress.0 as usize;
+        if !self.ports[idx].req_full() {
+            for ingress in std::mem::take(&mut self.ports[idx].waiting_req_ingress) {
+                ctx.send_retry(ingress);
+            }
+        }
+        if !self.ports[idx].resp_full() {
+            for ingress in std::mem::take(&mut self.ports[idx].waiting_resp_ingress) {
+                ctx.send_retry(ingress);
+            }
+        }
+    }
+}
+
+impl Component for Crossbar {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
+        let egress = self.egress_for(&pkt);
+        let idx = egress.0 as usize;
+        if self.ports[idx].req_full() {
+            self.stats.refusals.inc();
+            if !self.ports[idx].waiting_req_ingress.contains(&port) {
+                self.ports[idx].waiting_req_ingress.push(port);
+            }
+            return RecvResult::Refused(pkt);
+        }
+        self.stats.reqs.inc();
+        self.stats.bytes.add(u64::from(pkt.payload_len()));
+        pkt.push_route(ctx.self_id(), port);
+        self.ports[idx].inflight_req += 1;
+        let delay = self.pipe_delay(ctx.now(), egress, &pkt);
+        ctx.schedule(delay, Event::DelayedPacket { tag: u32::from(egress.0), pkt });
+        RecvResult::Accepted
+    }
+
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
+        let hop = pkt.peek_route().copied().unwrap_or_else(|| {
+            panic!("{}: response {} with empty route stack", self.name, pkt)
+        });
+        assert_eq!(hop.component, ctx.self_id(), "{}: response routed to wrong crossbar", self.name);
+        let egress = hop.port;
+        let idx = egress.0 as usize;
+        if self.ports[idx].resp_full() {
+            self.stats.refusals.inc();
+            if !self.ports[idx].waiting_resp_ingress.contains(&port) {
+                self.ports[idx].waiting_resp_ingress.push(port);
+            }
+            return RecvResult::Refused(pkt);
+        }
+        pkt.pop_route();
+        self.stats.resps.inc();
+        self.stats.bytes.add(u64::from(pkt.payload_len()));
+        self.ports[idx].inflight_resp += 1;
+        let delay = self.pipe_delay(ctx.now(), egress, &pkt);
+        ctx.schedule(delay, Event::DelayedPacket { tag: u32::from(egress.0), pkt });
+        RecvResult::Accepted
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let Event::DelayedPacket { tag, pkt } = ev else {
+            panic!("{}: unexpected timer", self.name);
+        };
+        let egress = PortId(tag as u16);
+        let idx = egress.0 as usize;
+        if pkt.is_request() {
+            self.ports[idx].inflight_req -= 1;
+            self.ports[idx].out_req.push_back(pkt);
+        } else {
+            self.ports[idx].inflight_resp -= 1;
+            self.ports[idx].out_resp.push_back(pkt);
+        }
+        self.drain(ctx, egress);
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        self.ports[port.0 as usize].waiting_peer = false;
+        self.drain(ctx, port);
+    }
+
+    fn report_stats(&self, out: &mut StatsBuilder) {
+        out.counter("requests", &self.stats.reqs);
+        out.counter("responses", &self.stats.resps);
+        out.counter("refusals", &self.stats.refusals);
+        out.counter("payload_bytes", &self.stats.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Command;
+    use crate::sim::{RunOutcome, Simulation};
+    use crate::testutil::{Requester, Responder};
+    use crate::tick::ns;
+
+    fn two_port_xbar() -> Crossbar {
+        Crossbar::builder("xbar")
+            .num_ports(2)
+            .frontend_latency(ns(5))
+            .route(AddrRange::new(0x1000, 0x2000), PortId(1))
+            .build()
+    }
+
+    #[test]
+    fn routes_by_address_and_returns_responses() {
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::ReadReq, 0x1800, 64)]);
+        let r = sim.add(Box::new(req));
+        let x = sim.add(Box::new(two_port_xbar()));
+        let (resp, served) = Responder::new("dev", ns(100));
+        let d = sim.add(Box::new(resp));
+        sim.connect((r, PortId(0)), (x, PortId(0)));
+        sim.connect((x, PortId(1)), (d, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1);
+        assert_eq!(*served.borrow(), 1);
+        // 5 ns each crossing (req + resp) + 100 ns service.
+        assert_eq!(done.borrow()[0].1, ns(110));
+    }
+
+    #[test]
+    fn unrouted_address_panics() {
+        let x = two_port_xbar();
+        assert_eq!(x.route_for(0x1800), Some(PortId(1)));
+        assert_eq!(x.route_for(0x5000), None);
+    }
+
+    #[test]
+    fn default_route_catches_unmatched() {
+        let x = Crossbar::builder("x")
+            .num_ports(3)
+            .route(AddrRange::new(0x1000, 0x2000), PortId(1))
+            .default_route(PortId(2))
+            .build();
+        assert_eq!(x.route_for(0x1000), Some(PortId(1)));
+        assert_eq!(x.route_for(0x9999_0000), Some(PortId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping crossbar route")]
+    fn overlapping_routes_rejected() {
+        let _ = Crossbar::builder("x")
+            .num_ports(2)
+            .route(AddrRange::new(0x1000, 0x2000), PortId(0))
+            .route(AddrRange::new(0x1800, 0x2800), PortId(1))
+            .build();
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_writes() {
+        // Two 64 B writes at 64 B/us must finish 1 us apart at the device.
+        let mut sim = Simulation::new();
+        let (req, done) =
+            Requester::new("cpu", vec![(Command::WriteReq, 0x1000, 64), (Command::WriteReq, 0x1040, 64)]);
+        let r = sim.add(Box::new(req));
+        let x = sim.add(Box::new(
+            Crossbar::builder("xbar")
+                .num_ports(2)
+                .bandwidth(64_000_000) // 64 B per microsecond
+                .route(AddrRange::new(0x1000, 0x2000), PortId(1))
+                .build(),
+        ));
+        let (resp, _served) = Responder::new("dev", 0);
+        let d = sim.add(Box::new(resp));
+        sim.connect((r, PortId(0)), (x, PortId(0)));
+        sim.connect((x, PortId(1)), (d, PortId(0)));
+        sim.run_to_quiesce();
+        let done = done.borrow();
+        assert_eq!(done.len(), 2);
+        // Completions one serialization quantum apart.
+        assert_eq!(done[1].1 - done[0].1, crate::tick::us(1));
+    }
+
+    #[test]
+    fn full_queue_refuses_then_recovers() {
+        // A slow responder with a 1-deep crossbar queue: all packets still
+        // arrive, in order.
+        let mut sim = Simulation::new();
+        let pkts: Vec<_> = (0..8).map(|i| (Command::WriteReq, 0x1000 + i * 64, 64)).collect();
+        let (req, done) = Requester::new("cpu", pkts);
+        let r = sim.add(Box::new(req));
+        let x = sim.add(Box::new(
+            Crossbar::builder("xbar")
+                .num_ports(2)
+                .queue_capacity(1)
+                .route(AddrRange::new(0x1000, 0x2000), PortId(1))
+                .build(),
+        ));
+        let (resp, served) = Responder::new("dev", ns(50));
+        let d = sim.add(Box::new(resp));
+        sim.connect((r, PortId(0)), (x, PortId(0)));
+        sim.connect((x, PortId(1)), (d, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*served.borrow(), 8);
+        assert_eq!(done.borrow().len(), 8);
+        let stats = sim.stats();
+        assert!(stats.get("xbar.refusals").unwrap() > 0.0);
+        assert_eq!(stats.get("xbar.requests"), Some(8.0));
+        assert_eq!(stats.get("xbar.responses"), Some(8.0));
+    }
+
+    #[test]
+    fn three_requesters_one_target_all_complete() {
+        let mut sim = Simulation::new();
+        let mut dones = Vec::new();
+        let mut rs = Vec::new();
+        for i in 0..3 {
+            let (req, done) = Requester::new(
+                format!("cpu{i}"),
+                (0..4).map(|j| (Command::ReadReq, 0x1000 + j * 64, 64)).collect(),
+            );
+            dones.push(done);
+            rs.push(sim.add(Box::new(req)));
+        }
+        let x = sim.add(Box::new(
+            Crossbar::builder("xbar")
+                .num_ports(4)
+                .queue_capacity(2)
+                .route(AddrRange::new(0x1000, 0x2000), PortId(3))
+                .build(),
+        ));
+        let (resp, served) = Responder::new("dev", ns(20));
+        let d = sim.add(Box::new(resp));
+        for (i, r) in rs.iter().enumerate() {
+            sim.connect((*r, PortId(0)), (x, PortId(i as u16)));
+        }
+        sim.connect((x, PortId(3)), (d, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*served.borrow(), 12);
+        for done in &dones {
+            assert_eq!(done.borrow().len(), 4);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The 4 KB PCI-Express configuration space.
+//!
+//! A PCI function exposes 256 B of configuration registers (64 B header +
+//! capability space); a PCI-Express function extends this to 4 KB with the
+//! extended capability space starting at offset 0x100 (paper Fig. 4). This
+//! module models the space as a byte array with a per-bit **write mask**, so
+//! read-only registers, partially writable registers and the BAR-sizing
+//! protocol (write all-ones, read back the size mask) all fall out of one
+//! mechanism.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Size of a PCI-Express function's configuration space.
+pub const CONFIG_SPACE_SIZE: usize = 4096;
+/// Size of the legacy PCI configuration space (header + capabilities).
+pub const PCI_CONFIG_SIZE: usize = 256;
+/// First offset of the PCI-Express extended capability space.
+pub const EXTENDED_CONFIG_BASE: u16 = 0x100;
+
+/// A function's configuration registers plus write-mask.
+///
+/// All multi-byte accessors are little-endian, as on the wire.
+///
+/// ```
+/// use pcisim_pci::config::ConfigSpace;
+/// let mut cs = ConfigSpace::new();
+/// cs.init_u16(0x00, 0x8086); // vendor id, read-only by default
+/// assert_eq!(cs.read(0x00, 2), 0x8086);
+/// cs.write(0x00, 2, 0xdead); // software write bounces off the mask
+/// assert_eq!(cs.read(0x00, 2), 0x8086);
+/// ```
+#[derive(Clone)]
+pub struct ConfigSpace {
+    data: Box<[u8; CONFIG_SPACE_SIZE]>,
+    mask: Box<[u8; CONFIG_SPACE_SIZE]>,
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConfigSpace {
+    /// Creates an all-zero configuration space with every bit read-only.
+    pub fn new() -> Self {
+        Self { data: Box::new([0; CONFIG_SPACE_SIZE]), mask: Box::new([0; CONFIG_SPACE_SIZE]) }
+    }
+
+    fn check(offset: u16, size: u8) {
+        assert!(matches!(size, 1 | 2 | 4), "config access size must be 1, 2 or 4");
+        assert!(
+            (offset as usize) + (size as usize) <= CONFIG_SPACE_SIZE,
+            "config access at {offset:#x}+{size} out of bounds"
+        );
+        assert_eq!(offset % u16::from(size), 0, "config access at {offset:#x} must be size-aligned");
+    }
+
+    /// Reads `size` bytes (1, 2 or 4) at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unaligned, oversized or out-of-bounds access.
+    pub fn read(&self, offset: u16, size: u8) -> u32 {
+        Self::check(offset, size);
+        let mut v = 0u32;
+        for i in 0..size {
+            v |= u32::from(self.data[(offset + u16::from(i)) as usize]) << (8 * i);
+        }
+        v
+    }
+
+    /// Software write: `size` bytes at `offset`, filtered through the write
+    /// mask (unwritable bits keep their value).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unaligned, oversized or out-of-bounds access.
+    pub fn write(&mut self, offset: u16, size: u8, value: u32) {
+        Self::check(offset, size);
+        for i in 0..size {
+            let idx = (offset + u16::from(i)) as usize;
+            let byte = (value >> (8 * i)) as u8;
+            let m = self.mask[idx];
+            self.data[idx] = (self.data[idx] & !m) | (byte & m);
+        }
+    }
+
+    /// Device-side initialisation write: sets bytes unconditionally and
+    /// leaves the write mask untouched (i.e. read-only unless
+    /// [`ConfigSpace::set_writable`] is called).
+    pub fn init(&mut self, offset: u16, bytes: &[u8]) {
+        assert!(
+            offset as usize + bytes.len() <= CONFIG_SPACE_SIZE,
+            "init at {offset:#x} out of bounds"
+        );
+        self.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Initialises one byte.
+    pub fn init_u8(&mut self, offset: u16, v: u8) {
+        self.init(offset, &[v]);
+    }
+
+    /// Initialises a little-endian u16.
+    pub fn init_u16(&mut self, offset: u16, v: u16) {
+        self.init(offset, &v.to_le_bytes());
+    }
+
+    /// Initialises a little-endian u32.
+    pub fn init_u32(&mut self, offset: u16, v: u32) {
+        self.init(offset, &v.to_le_bytes());
+    }
+
+    /// Marks bits writable by software: for each byte in `bytes`, a 1 bit in
+    /// the mask makes the corresponding data bit writable.
+    pub fn set_writable(&mut self, offset: u16, bytes: &[u8]) {
+        assert!(
+            offset as usize + bytes.len() <= CONFIG_SPACE_SIZE,
+            "mask at {offset:#x} out of bounds"
+        );
+        self.mask[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Marks `len` bytes fully writable from `offset`.
+    pub fn set_writable_bytes(&mut self, offset: u16, len: usize) {
+        assert!(offset as usize + len <= CONFIG_SPACE_SIZE);
+        for b in &mut self.mask[offset as usize..offset as usize + len] {
+            *b = 0xff;
+        }
+    }
+
+    /// Raw view of the current register values.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data[..]
+    }
+
+    /// Write mask for one byte (useful in tests).
+    pub fn mask_at(&self, offset: u16) -> u8 {
+        self.mask[offset as usize]
+    }
+}
+
+impl fmt::Debug for ConfigSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ConfigSpace {{")?;
+        for row in 0..4 {
+            write!(f, "  {:02x}:", row * 16)?;
+            for col in 0..16 {
+                write!(f, " {:02x}", self.data[row * 16 + col])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  ... }}")
+    }
+}
+
+/// A configuration space shared between a device model, the PCI host
+/// registry and routing components (single-threaded simulator, so `Rc`).
+pub type SharedConfigSpace = Rc<RefCell<ConfigSpace>>;
+
+/// Wraps a [`ConfigSpace`] for sharing.
+pub fn shared(cs: ConfigSpace) -> SharedConfigSpace {
+    Rc::new(RefCell::new(cs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_space_reads_zero_everywhere() {
+        let cs = ConfigSpace::new();
+        assert_eq!(cs.read(0x0, 4), 0);
+        assert_eq!(cs.read(0xffc, 4), 0);
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let mut cs = ConfigSpace::new();
+        cs.init_u32(0x10, 0x1234_5678);
+        assert_eq!(cs.read(0x10, 1), 0x78);
+        assert_eq!(cs.read(0x11, 1), 0x56);
+        assert_eq!(cs.read(0x10, 2), 0x5678);
+        assert_eq!(cs.read(0x12, 2), 0x1234);
+        assert_eq!(cs.read(0x10, 4), 0x1234_5678);
+    }
+
+    #[test]
+    fn writes_respect_the_mask() {
+        let mut cs = ConfigSpace::new();
+        cs.init_u16(0x04, 0x0000);
+        // Only bits 0..=2 of the command register writable.
+        cs.set_writable(0x04, &[0x07, 0x00]);
+        cs.write(0x04, 2, 0xffff);
+        assert_eq!(cs.read(0x04, 2), 0x0007);
+        cs.write(0x04, 2, 0x0000);
+        assert_eq!(cs.read(0x04, 2), 0x0000);
+    }
+
+    #[test]
+    fn partial_byte_masks_merge_old_and_new() {
+        let mut cs = ConfigSpace::new();
+        cs.init_u8(0x40, 0b1010_0101);
+        cs.set_writable(0x40, &[0b0000_1111]);
+        cs.write(0x40, 1, 0b0101_1010);
+        assert_eq!(cs.read(0x40, 1), 0b1010_1010);
+    }
+
+    #[test]
+    fn bar_sizing_protocol_falls_out_of_the_mask() {
+        // A 4 KB memory BAR: address bits [31:12] writable, low bits RO.
+        let mut cs = ConfigSpace::new();
+        cs.init_u32(0x10, 0x0000_0000);
+        cs.set_writable(0x10, &0xffff_f000u32.to_le_bytes());
+        cs.write(0x10, 4, 0xffff_ffff);
+        assert_eq!(cs.read(0x10, 4), 0xffff_f000);
+        cs.write(0x10, 4, 0x4000_0000);
+        assert_eq!(cs.read(0x10, 4), 0x4000_0000);
+    }
+
+    #[test]
+    fn init_does_not_change_writability() {
+        let mut cs = ConfigSpace::new();
+        cs.init_u32(0x20, 0xdead_beef);
+        cs.write(0x20, 4, 0);
+        assert_eq!(cs.read(0x20, 4), 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be size-aligned")]
+    fn unaligned_access_panics() {
+        let cs = ConfigSpace::new();
+        let _ = cs.read(0x01, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be 1, 2 or 4")]
+    fn bad_size_panics() {
+        let cs = ConfigSpace::new();
+        let _ = cs.read(0x0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut cs = ConfigSpace::new();
+        cs.init(0xfff, &[0, 0]);
+    }
+
+    #[test]
+    fn extended_space_is_addressable() {
+        let mut cs = ConfigSpace::new();
+        cs.init_u32(EXTENDED_CONFIG_BASE, 0x0001_0003);
+        assert_eq!(cs.read(0x100, 4), 0x0001_0003);
+    }
+
+    #[test]
+    fn shared_handle_aliases_one_space() {
+        let h = shared(ConfigSpace::new());
+        h.borrow_mut().init_u16(0, 0x8086);
+        let h2 = h.clone();
+        assert_eq!(h2.borrow().read(0, 2), 0x8086);
+    }
+}

@@ -1,0 +1,125 @@
+//! Bus/device/function addressing and the Enhanced Configuration Access
+//! Mechanism (ECAM) codec.
+//!
+//! gem5's PCI Host maps 256 MB of configuration space at 0x3000_0000 where
+//! "up to 4096 bytes of configuration registers can be accessed per function
+//! of a device" (paper §III): address bits \[27:20\] select the bus, \[19:15\]
+//! the device, \[14:12\] the function and \[11:0\] the register offset.
+
+use std::fmt;
+
+/// A PCI bus/device/function triple.
+///
+/// ```
+/// use pcisim_pci::ecam::Bdf;
+/// let bdf = Bdf::new(1, 0, 0);
+/// assert_eq!(bdf.to_string(), "01:00.0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdf {
+    /// Bus number (0..=255).
+    pub bus: u8,
+    /// Device number (0..=31).
+    pub device: u8,
+    /// Function number (0..=7).
+    pub function: u8,
+}
+
+impl Bdf {
+    /// Creates a BDF triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device > 31` or `function > 7`.
+    pub fn new(bus: u8, device: u8, function: u8) -> Self {
+        assert!(device < 32, "PCI device number must be < 32");
+        assert!(function < 8, "PCI function number must be < 8");
+        Self { bus, device, function }
+    }
+}
+
+impl fmt::Display for Bdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}:{:02x}.{}", self.bus, self.device, self.function)
+    }
+}
+
+/// Bytes of ECAM window each function occupies.
+pub const ECAM_PER_FUNCTION: u64 = 4096;
+/// Total ECAM window for 256 buses.
+pub const ECAM_WINDOW_SIZE: u64 = 256 * 32 * 8 * ECAM_PER_FUNCTION;
+
+/// Encodes a configuration access into an ECAM physical address.
+pub fn encode(base: u64, bdf: Bdf, offset: u16) -> u64 {
+    assert!(offset < 0x1000, "config offset must be < 4096");
+    base + (u64::from(bdf.bus) << 20)
+        + (u64::from(bdf.device) << 15)
+        + (u64::from(bdf.function) << 12)
+        + u64::from(offset)
+}
+
+/// Decodes an ECAM physical address back into `(bdf, offset)`.
+///
+/// # Panics
+///
+/// Panics if `addr` is below `base` or beyond the 256 MB window.
+pub fn decode(base: u64, addr: u64) -> (Bdf, u16) {
+    assert!(addr >= base, "ECAM address below window base");
+    let rel = addr - base;
+    assert!(rel < ECAM_WINDOW_SIZE, "ECAM address beyond window");
+    let bus = ((rel >> 20) & 0xff) as u8;
+    let device = ((rel >> 15) & 0x1f) as u8;
+    let function = ((rel >> 12) & 0x7) as u8;
+    let offset = (rel & 0xfff) as u16;
+    (Bdf { bus, device, function }, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u64 = 0x3000_0000;
+
+    #[test]
+    fn round_trips_all_fields() {
+        for (b, d, f, off) in [(0, 0, 0, 0u16), (1, 2, 3, 0x40), (255, 31, 7, 0xffc)] {
+            let bdf = Bdf::new(b, d, f);
+            let addr = encode(BASE, bdf, off);
+            assert_eq!(decode(BASE, addr), (bdf, off));
+        }
+    }
+
+    #[test]
+    fn encoding_matches_ecam_bit_layout() {
+        let addr = encode(BASE, Bdf::new(1, 0, 0), 0);
+        assert_eq!(addr, BASE + (1 << 20));
+        let addr = encode(BASE, Bdf::new(0, 1, 0), 0);
+        assert_eq!(addr, BASE + (1 << 15));
+        let addr = encode(BASE, Bdf::new(0, 0, 1), 0);
+        assert_eq!(addr, BASE + (1 << 12));
+    }
+
+    #[test]
+    fn distinct_functions_never_collide() {
+        let a = encode(BASE, Bdf::new(0, 0, 0), 0xfff);
+        let b = encode(BASE, Bdf::new(0, 0, 1), 0);
+        assert_eq!(b - a, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "device number must be < 32")]
+    fn bad_device_number_panics() {
+        let _ = Bdf::new(0, 32, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond window")]
+    fn decode_out_of_window_panics() {
+        let _ = decode(BASE, BASE + ECAM_WINDOW_SIZE);
+    }
+
+    #[test]
+    fn display_formats_like_lspci() {
+        assert_eq!(Bdf::new(0x1f, 3, 2).to_string(), "1f:03.2");
+    }
+}

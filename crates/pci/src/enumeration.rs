@@ -1,0 +1,718 @@
+//! Enumeration software: the kernel's depth-first PCI bus walk.
+//!
+//! This is the "enumeration software" of the paper (§II-A/§IV): it probes
+//! vendor IDs bus by bus, descends depth-first through bridges assigning
+//! primary/secondary/subordinate bus numbers, sizes and allocates BARs with
+//! the all-ones protocol, programs bridge memory and I/O windows, walks
+//! capability chains and assigns legacy interrupt lines. It runs against any
+//! [`ConfigAccess`] — normally the PCI host registry, so the very same
+//! shared configuration spaces the routing components consult at simulation
+//! time end up programmed.
+
+use std::fmt;
+
+use pcisim_kernel::addr::AddrRange;
+
+use crate::caps::CapEntry;
+use crate::ecam::Bdf;
+use crate::host::ConfigAccess;
+use crate::regs::{command, common, header_type, type0, type1};
+
+/// Granularity of bridge memory windows (PCI-to-PCI bridge spec).
+pub const MEM_WINDOW_ALIGN: u64 = 0x10_0000;
+/// Granularity of bridge I/O windows.
+pub const IO_WINDOW_ALIGN: u64 = 0x1000;
+
+/// Resources the enumerator may hand out.
+#[derive(Debug, Clone)]
+pub struct EnumerationConfig {
+    /// Physical window for memory BARs and bridge memory windows.
+    pub mem_window: AddrRange,
+    /// Physical window for I/O BARs and bridge I/O windows.
+    pub io_window: AddrRange,
+    /// First legacy IRQ number to hand out.
+    pub first_irq: u8,
+}
+
+impl EnumerationConfig {
+    /// The ARM `Vexpress_GEM5_V1` platform windows the paper uses (§III):
+    /// 1 GB of memory space at 0x4000_0000 and 16 MB of I/O space at
+    /// 0x2f00_0000.
+    pub fn vexpress_gem5_v1() -> Self {
+        Self {
+            mem_window: AddrRange::with_size(0x4000_0000, 0x4000_0000),
+            io_window: AddrRange::with_size(0x2f00_0000, 0x0100_0000),
+            first_irq: 32,
+        }
+    }
+}
+
+/// Why enumeration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumerateError {
+    /// The memory or I/O window ran out while placing a BAR or bridge
+    /// window.
+    OutOfResources {
+        /// `"memory"` or `"io"`.
+        kind: &'static str,
+        /// The allocation that failed, in bytes.
+        requested: u64,
+    },
+    /// More than 256 buses were discovered.
+    TooManyBuses,
+    /// A BAR advertised a non-power-of-two size mask.
+    MalformedBar {
+        /// The function carrying the BAR.
+        bdf: Bdf,
+        /// BAR index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for EnumerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumerateError::OutOfResources { kind, requested } => {
+                write!(f, "out of {kind} space allocating {requested:#x} bytes")
+            }
+            EnumerateError::TooManyBuses => write!(f, "more than 256 buses discovered"),
+            EnumerateError::MalformedBar { bdf, index } => {
+                write!(f, "malformed BAR {index} on {bdf}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnumerateError {}
+
+/// A BAR placed by the enumerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarAssignment {
+    /// BAR index (0..=5).
+    pub index: usize,
+    /// Assigned base address.
+    pub base: u64,
+    /// Decoded size in bytes.
+    pub size: u64,
+    /// Whether this is an I/O BAR (else memory).
+    pub is_io: bool,
+}
+
+/// One discovered function.
+#[derive(Debug, Clone)]
+pub struct DeviceInfo {
+    /// Location of the function.
+    pub bdf: Bdf,
+    /// Vendor ID register.
+    pub vendor_id: u16,
+    /// Device ID register.
+    pub device_id: u16,
+    /// `(base class, subclass)`.
+    pub class: (u8, u8),
+    /// Whether the header is type 1.
+    pub is_bridge: bool,
+    /// For bridges: `(secondary, subordinate)` bus numbers.
+    pub bus_range: Option<(u8, u8)>,
+    /// For bridges: the programmed downstream memory window.
+    pub memory_window: Option<AddrRange>,
+    /// For bridges: the programmed downstream I/O window.
+    pub io_window: Option<AddrRange>,
+    /// Assigned BARs.
+    pub bars: Vec<BarAssignment>,
+    /// Capability chain as `(offset, id)` pairs.
+    pub capabilities: Vec<CapEntry>,
+    /// Assigned legacy interrupt line, if the device uses a pin.
+    pub irq: Option<u8>,
+}
+
+/// The result of a bus walk.
+#[derive(Debug, Clone, Default)]
+pub struct EnumerationReport {
+    /// Every function found, in depth-first discovery order.
+    pub devices: Vec<DeviceInfo>,
+    /// Number of buses assigned (highest bus number + 1).
+    pub bus_count: u16,
+}
+
+impl EnumerationReport {
+    /// Finds a function by vendor/device ID.
+    pub fn find(&self, vendor: u16, device: u16) -> Option<&DeviceInfo> {
+        self.devices.iter().find(|d| d.vendor_id == vendor && d.device_id == device)
+    }
+
+    /// Finds a function by location.
+    pub fn at(&self, bdf: Bdf) -> Option<&DeviceInfo> {
+        self.devices.iter().find(|d| d.bdf == bdf)
+    }
+
+    /// All endpoints (non-bridges).
+    pub fn endpoints(&self) -> impl Iterator<Item = &DeviceInfo> {
+        self.devices.iter().filter(|d| !d.is_bridge)
+    }
+
+    /// All bridges.
+    pub fn bridges(&self) -> impl Iterator<Item = &DeviceInfo> {
+        self.devices.iter().filter(|d| d.is_bridge)
+    }
+}
+
+impl fmt::Display for EnumerationReport {
+    /// An `lspci`-like listing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.devices {
+            write!(
+                f,
+                "{} {:04x}:{:04x} class {:02x}{:02x}",
+                d.bdf, d.vendor_id, d.device_id, d.class.0, d.class.1
+            )?;
+            if let Some((sec, sub)) = d.bus_range {
+                write!(f, " bridge [bus {sec:02x}-{sub:02x}]")?;
+            }
+            if let Some(irq) = d.irq {
+                write!(f, " irq {irq}")?;
+            }
+            writeln!(f)?;
+            for b in &d.bars {
+                writeln!(
+                    f,
+                    "        bar{}: {} at {:#010x} [size {:#x}]",
+                    b.index,
+                    if b.is_io { "i/o" } else { "mem" },
+                    b.base,
+                    b.size
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct BumpAllocator {
+    kind: &'static str,
+    cursor: u64,
+    end: u64,
+}
+
+impl BumpAllocator {
+    fn new(kind: &'static str, range: AddrRange) -> Self {
+        Self { kind, cursor: range.start(), end: range.end() }
+    }
+
+    fn align_to(&mut self, align: u64) {
+        assert!(align.is_power_of_two());
+        self.cursor = (self.cursor + align - 1) & !(align - 1);
+    }
+
+    fn alloc(&mut self, size: u64, align: u64) -> Result<u64, EnumerateError> {
+        self.align_to(align);
+        if self.cursor + size > self.end {
+            return Err(EnumerateError::OutOfResources { kind: self.kind, requested: size });
+        }
+        let base = self.cursor;
+        self.cursor += size;
+        Ok(base)
+    }
+}
+
+/// The enumerator; create with [`Enumerator::new`] and call
+/// [`Enumerator::run`].
+pub struct Enumerator<'a, A: ConfigAccess> {
+    access: &'a mut A,
+    mem: BumpAllocator,
+    io: BumpAllocator,
+    next_bus: u16,
+    next_irq: u8,
+    report: EnumerationReport,
+}
+
+impl<'a, A: ConfigAccess> Enumerator<'a, A> {
+    /// Creates an enumerator over `access` with the given resources.
+    pub fn new(access: &'a mut A, config: EnumerationConfig) -> Self {
+        Self {
+            access,
+            mem: BumpAllocator::new("memory", config.mem_window),
+            io: BumpAllocator::new("io", config.io_window),
+            next_bus: 1,
+            next_irq: config.first_irq,
+            report: EnumerationReport::default(),
+        }
+    }
+
+    /// Runs the depth-first walk from bus 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnumerateError`] when address space runs out, a BAR is
+    /// malformed, or the bus space overflows.
+    pub fn run(mut self) -> Result<EnumerationReport, EnumerateError> {
+        self.scan_bus(0)?;
+        self.report.bus_count = self.next_bus;
+        Ok(self.report)
+    }
+
+    fn scan_bus(&mut self, bus: u8) -> Result<(), EnumerateError> {
+        // Single-function devices only, like the paper ("we assume single
+        // function devices and use device and function interchangeably").
+        for device in 0..32 {
+            let bdf = Bdf::new(bus, device, 0);
+            let vendor = self.access.config_read(bdf, common::VENDOR_ID, 2) as u16;
+            if vendor == 0xffff {
+                continue;
+            }
+            let header = self.access.config_read(bdf, common::HEADER_TYPE, 1) as u8 & 0x7f;
+            if header == header_type::BRIDGE {
+                self.configure_bridge(bdf)?;
+            } else {
+                self.configure_endpoint(bdf)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn base_info(&mut self, bdf: Bdf, is_bridge: bool) -> DeviceInfo {
+        let vendor_id = self.access.config_read(bdf, common::VENDOR_ID, 2) as u16;
+        let device_id = self.access.config_read(bdf, common::DEVICE_ID, 2) as u16;
+        let class = (
+            self.access.config_read(bdf, common::CLASS, 1) as u8,
+            self.access.config_read(bdf, common::SUBCLASS, 1) as u8,
+        );
+        DeviceInfo {
+            bdf,
+            vendor_id,
+            device_id,
+            class,
+            is_bridge,
+            bus_range: None,
+            memory_window: None,
+            io_window: None,
+            bars: Vec::new(),
+            capabilities: self.walk_caps(bdf),
+            irq: None,
+        }
+    }
+
+    fn walk_caps(&mut self, bdf: Bdf) -> Vec<CapEntry> {
+        let mut out = Vec::new();
+        let status = self.access.config_read(bdf, common::STATUS, 2) as u16;
+        if status & crate::regs::status::CAP_LIST == 0 {
+            return out;
+        }
+        let mut ptr = self.access.config_read(bdf, common::CAP_PTR, 1) as u16 & 0xfc;
+        let mut hops = 0;
+        while ptr >= 0x40 && hops < 48 {
+            let id = self.access.config_read(bdf, ptr, 1) as u8;
+            out.push((ptr, id));
+            ptr = self.access.config_read(bdf, ptr + 1, 1) as u16 & 0xfc;
+            hops += 1;
+        }
+        out
+    }
+
+    fn size_and_place_bars(
+        &mut self,
+        bdf: Bdf,
+        bar_offsets: &[u16],
+    ) -> Result<Vec<BarAssignment>, EnumerateError> {
+        let mut out = Vec::new();
+        for (index, &offset) in bar_offsets.iter().enumerate() {
+            // The architected sizing protocol: write all-ones, read back.
+            self.access.config_write(bdf, offset, 4, 0xffff_ffff);
+            let probe = self.access.config_read(bdf, offset, 4);
+            if probe == 0 {
+                continue; // unimplemented BAR
+            }
+            let is_io = probe & 1 == 1;
+            let mask = if is_io { probe & 0xffff_fffc } else { probe & 0xffff_fff0 };
+            let size = u64::from(!mask) + 1;
+            if !size.is_power_of_two() || size > u64::from(u32::MAX) {
+                return Err(EnumerateError::MalformedBar { bdf, index });
+            }
+            let base = if is_io {
+                self.io.alloc(size, size.max(4))?
+            } else {
+                self.mem.alloc(size, size.max(16))?
+            };
+            self.access.config_write(bdf, offset, 4, base as u32);
+            out.push(BarAssignment { index, base, size, is_io });
+        }
+        Ok(out)
+    }
+
+    fn assign_irq(&mut self, bdf: Bdf) -> Option<u8> {
+        let pin = self.access.config_read(bdf, common::INTERRUPT_PIN, 1) as u8;
+        if pin == 0 {
+            return None;
+        }
+        let irq = self.next_irq;
+        self.next_irq = self.next_irq.wrapping_add(1);
+        self.access.config_write(bdf, common::INTERRUPT_LINE, 1, u32::from(irq));
+        Some(irq)
+    }
+
+    fn enable_device(&mut self, bdf: Bdf) {
+        let cmd = self.access.config_read(bdf, common::COMMAND, 2);
+        self.access.config_write(
+            bdf,
+            common::COMMAND,
+            2,
+            cmd | u32::from(command::IO_SPACE | command::MEMORY_SPACE | command::BUS_MASTER),
+        );
+    }
+
+    fn configure_endpoint(&mut self, bdf: Bdf) -> Result<(), EnumerateError> {
+        let mut info = self.base_info(bdf, false);
+        info.bars = self.size_and_place_bars(bdf, &type0::BAR)?;
+        info.irq = self.assign_irq(bdf);
+        self.enable_device(bdf);
+        self.report.devices.push(info);
+        Ok(())
+    }
+
+    fn configure_bridge(&mut self, bdf: Bdf) -> Result<(), EnumerateError> {
+        if self.next_bus > 255 {
+            return Err(EnumerateError::TooManyBuses);
+        }
+        let secondary = self.next_bus as u8;
+        self.next_bus += 1;
+        self.access.config_write(bdf, type1::PRIMARY_BUS, 1, u32::from(bdf.bus));
+        self.access.config_write(bdf, type1::SECONDARY_BUS, 1, u32::from(secondary));
+        self.access.config_write(bdf, type1::SUBORDINATE_BUS, 1, 0xff);
+
+        let mut info = self.base_info(bdf, true);
+        info.bars = self.size_and_place_bars(bdf, &type1::BAR)?;
+
+        // Windows open at aligned boundaries before descending.
+        self.mem.align_to(MEM_WINDOW_ALIGN);
+        self.io.align_to(IO_WINDOW_ALIGN);
+        let mem_start = self.mem.cursor;
+        let io_start = self.io.cursor;
+
+        // Reserve a slot in discovery order, then descend depth-first.
+        let slot = self.report.devices.len();
+        self.report.devices.push(info);
+        self.scan_bus(secondary)?;
+
+        let subordinate = (self.next_bus - 1) as u8;
+        self.access.config_write(bdf, type1::SUBORDINATE_BUS, 1, u32::from(subordinate));
+
+        // Close the windows at aligned boundaries.
+        self.mem.align_to(MEM_WINDOW_ALIGN);
+        self.io.align_to(IO_WINDOW_ALIGN);
+        let mem_range = if self.mem.cursor > mem_start {
+            AddrRange::new(mem_start, self.mem.cursor)
+        } else {
+            AddrRange::empty()
+        };
+        let io_range = if self.io.cursor > io_start {
+            AddrRange::new(io_start, self.io.cursor)
+        } else {
+            AddrRange::empty()
+        };
+        self.program_windows(bdf, mem_range, io_range);
+        self.enable_device(bdf);
+
+        let info = &mut self.report.devices[slot];
+        info.bus_range = Some((secondary, subordinate));
+        info.memory_window = Some(mem_range);
+        info.io_window = Some(io_range);
+        Ok(())
+    }
+
+    fn program_windows(&mut self, bdf: Bdf, mem: AddrRange, io: AddrRange) {
+        if mem.is_empty() {
+            self.access.config_write(bdf, type1::MEMORY_BASE, 2, 0xfff0);
+            self.access.config_write(bdf, type1::MEMORY_LIMIT, 2, 0x0000);
+        } else {
+            let limit = mem.end() - 1;
+            self.access.config_write(bdf, type1::MEMORY_BASE, 2, ((mem.start() >> 16) & 0xfff0) as u32);
+            self.access.config_write(bdf, type1::MEMORY_LIMIT, 2, ((limit >> 16) & 0xfff0) as u32);
+        }
+        if io.is_empty() {
+            self.access.config_write(bdf, type1::IO_BASE, 1, 0xf0);
+            self.access.config_write(bdf, type1::IO_LIMIT, 1, 0x00);
+            self.access.config_write(bdf, type1::IO_BASE_UPPER, 2, 0xffff);
+            self.access.config_write(bdf, type1::IO_LIMIT_UPPER, 2, 0x0000);
+        } else {
+            let limit = io.end() - 1;
+            self.access.config_write(bdf, type1::IO_BASE, 1, (((io.start() >> 12) & 0xf) << 4) as u32);
+            self.access.config_write(bdf, type1::IO_LIMIT, 1, (((limit >> 12) & 0xf) << 4) as u32);
+            self.access.config_write(bdf, type1::IO_BASE_UPPER, 2, (io.start() >> 16) as u32);
+            self.access.config_write(bdf, type1::IO_LIMIT_UPPER, 2, (limit >> 16) as u32);
+        }
+    }
+}
+
+/// Convenience wrapper: enumerate `access` with `config`.
+///
+/// # Errors
+///
+/// See [`Enumerator::run`].
+pub fn enumerate<A: ConfigAccess>(
+    access: &mut A,
+    config: EnumerationConfig,
+) -> Result<EnumerationReport, EnumerateError> {
+    Enumerator::new(access, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caps::{CapChain, Capability, Generation, PortType};
+    use crate::config::shared;
+    use crate::header::{io_window, memory_window, Bar, Type0Header, Type1Header};
+    use crate::host::{shared_registry, SharedRegistry};
+    use crate::regs::cap_id;
+
+    fn nic_config() -> crate::config::ConfigSpace {
+        let mut cs = Type0Header::new(0x8086, 0x10d3)
+            .class_code(0x02, 0x00, 0x00)
+            .bar(0, Bar::Memory32 { size: 0x2_0000, prefetchable: false })
+            .bar(2, Bar::Io { size: 0x20 })
+            .interrupt_pin(1)
+            .capabilities_at(0xc8)
+            .build();
+        CapChain::new()
+            .add(0xc8, Capability::PowerManagement)
+            .add(0xd0, Capability::MsiDisabled)
+            .add(0xe0, Capability::PciExpress {
+                port_type: PortType::Endpoint,
+                generation: Generation::Gen2,
+                max_width: 1,
+            })
+            .add(0xa0, Capability::MsixDisabled)
+            .write_into(&mut cs);
+        cs
+    }
+
+    fn bridge_config(device_id: u16, port_type: PortType) -> crate::config::ConfigSpace {
+        let mut cs = Type1Header::new(0x8086, device_id).capabilities_at(0xd8).build();
+        CapChain::new()
+            .add(0xd8, Capability::PciExpress {
+                port_type,
+                generation: Generation::Gen2,
+                max_width: 4,
+            })
+            .write_into(&mut cs);
+        cs
+    }
+
+    /// Builds the paper's validation topology registry:
+    /// bus 0: VP2P root ports at 00:01.0 / 00:02.0 / 00:03.0;
+    /// behind root port 1: switch upstream (bus 1), downstream VP2Ps
+    /// (bus 2), NIC at 03:00.0.
+    fn paper_like_registry() -> SharedRegistry {
+        let reg = shared_registry();
+        let mut r = reg.borrow_mut();
+        r.register(Bdf::new(0, 1, 0), shared(bridge_config(0x9c90, PortType::RootPort)));
+        r.register(Bdf::new(0, 2, 0), shared(bridge_config(0x9c92, PortType::RootPort)));
+        r.register(Bdf::new(0, 3, 0), shared(bridge_config(0x9c94, PortType::RootPort)));
+        // Behind root port 1: a switch upstream port...
+        r.register(Bdf::new(1, 0, 0), shared(bridge_config(0xaa01, PortType::SwitchUpstream)));
+        // ...with two downstream ports on the switch's internal bus...
+        r.register(Bdf::new(2, 0, 0), shared(bridge_config(0xaa02, PortType::SwitchDownstream)));
+        r.register(Bdf::new(2, 1, 0), shared(bridge_config(0xaa03, PortType::SwitchDownstream)));
+        // ...and a NIC behind the first downstream port.
+        r.register(Bdf::new(3, 0, 0), shared(nic_config()));
+        drop(r);
+        reg
+    }
+
+    #[test]
+    fn dfs_assigns_bus_numbers_depth_first() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        // Root port 1 gets bus 1; the switch upstream behind it gets bus 2;
+        // downstream ports get buses 3 and 4; then root ports 2 and 3.
+        let rp1 = report.find(0x8086, 0x9c90).unwrap();
+        assert_eq!(rp1.bus_range, Some((1, 4)));
+        let up = report.find(0x8086, 0xaa01).unwrap();
+        assert_eq!(up.bus_range, Some((2, 4)));
+        let down0 = report.find(0x8086, 0xaa02).unwrap();
+        assert_eq!(down0.bus_range, Some((3, 3)));
+        let down1 = report.find(0x8086, 0xaa03).unwrap();
+        assert_eq!(down1.bus_range, Some((4, 4)));
+        let rp2 = report.find(0x8086, 0x9c92).unwrap();
+        assert_eq!(rp2.bus_range, Some((5, 5)));
+        let rp3 = report.find(0x8086, 0x9c94).unwrap();
+        assert_eq!(rp3.bus_range, Some((6, 6)));
+        assert_eq!(report.bus_count, 7);
+    }
+
+    #[test]
+    fn nic_bars_are_placed_in_platform_windows() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let nic = report.find(0x8086, 0x10d3).unwrap();
+        assert_eq!(nic.bdf, Bdf::new(3, 0, 0));
+        assert_eq!(nic.bars.len(), 2);
+        let mem_bar = &nic.bars[0];
+        assert!(!mem_bar.is_io);
+        assert_eq!(mem_bar.size, 0x2_0000);
+        assert!(mem_bar.base >= 0x4000_0000 && mem_bar.base < 0x8000_0000);
+        assert_eq!(mem_bar.base % mem_bar.size, 0, "BAR must be naturally aligned");
+        let io_bar = &nic.bars[1];
+        assert!(io_bar.is_io);
+        assert_eq!(io_bar.size, 0x20);
+        assert!(io_bar.base >= 0x2f00_0000 && io_bar.base < 0x3000_0000);
+    }
+
+    #[test]
+    fn bridge_windows_cover_downstream_bars() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let nic = report.find(0x8086, 0x10d3).unwrap();
+        let nic_mem = nic.bars[0];
+        let nic_io = nic.bars[1];
+        // Every bridge above the NIC must cover its BARs.
+        for id in [0x9c90u16, 0xaa01, 0xaa02] {
+            let bridge = report.find(0x8086, id).unwrap();
+            let mw = bridge.memory_window.unwrap();
+            let iw = bridge.io_window.unwrap();
+            assert!(
+                mw.contains(nic_mem.base) && mw.contains(nic_mem.base + nic_mem.size - 1),
+                "bridge {id:#x} memory window {mw} misses NIC BAR at {:#x}",
+                nic_mem.base
+            );
+            assert!(iw.contains(nic_io.base), "bridge {id:#x} io window misses NIC IO BAR");
+        }
+        // Sibling downstream port and the other root ports see no devices:
+        // empty windows.
+        for id in [0xaa03u16, 0x9c92, 0x9c94] {
+            let bridge = report.find(0x8086, id).unwrap();
+            assert!(bridge.memory_window.unwrap().is_empty());
+            assert!(bridge.io_window.unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn windows_in_hardware_match_the_report() {
+        // The decode helpers see the same windows the enumerator reports —
+        // this is what the root complex / switch will route by.
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let bridge = report.find(0x8086, 0x9c90).unwrap();
+        let cs = reg.borrow().lookup(Bdf::new(0, 1, 0)).unwrap();
+        let cs = cs.borrow();
+        assert_eq!(memory_window(&cs), bridge.memory_window.unwrap());
+        assert_eq!(io_window(&cs), bridge.io_window.unwrap());
+    }
+
+    #[test]
+    fn sibling_windows_do_not_overlap() {
+        let reg = paper_like_registry();
+        // Put a second NIC behind the second downstream port (bus 4).
+        reg.borrow_mut().register(Bdf::new(4, 0, 0), shared(nic_config()));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let d0 = report.find(0x8086, 0xaa02).unwrap().memory_window.unwrap();
+        let d1 = report.find(0x8086, 0xaa03).unwrap().memory_window.unwrap();
+        assert!(!d0.is_empty() && !d1.is_empty());
+        assert!(!d0.overlaps(&d1), "sibling bridge windows overlap: {d0} vs {d1}");
+    }
+
+    #[test]
+    fn capability_chain_is_reported() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let nic = report.find(0x8086, 0x10d3).unwrap();
+        let ids: Vec<u8> = nic.capabilities.iter().map(|&(_, id)| id).collect();
+        assert_eq!(
+            ids,
+            vec![cap_id::POWER_MANAGEMENT, cap_id::MSI, cap_id::PCI_EXPRESS, cap_id::MSI_X]
+        );
+    }
+
+    #[test]
+    fn irq_assignment_and_command_enable() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let nic = report.find(0x8086, 0x10d3).unwrap();
+        assert_eq!(nic.irq, Some(32));
+        let cs = reg.borrow().lookup(nic.bdf).unwrap();
+        let (io, mem, master) = crate::header::command_enables(&cs.borrow());
+        assert!(io && mem && master, "endpoint must be fully enabled after enumeration");
+        assert_eq!(cs.borrow().read(common::INTERRUPT_LINE, 1), 32);
+    }
+
+    #[test]
+    fn empty_bus_enumerates_to_nothing() {
+        let reg = shared_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        assert!(report.devices.is_empty());
+        assert_eq!(report.bus_count, 1);
+    }
+
+    #[test]
+    fn out_of_memory_space_is_reported() {
+        let reg = shared_registry();
+        reg.borrow_mut().register(
+            Bdf::new(0, 0, 0),
+            shared(
+                Type0Header::new(1, 2)
+                    .bar(0, Bar::Memory32 { size: 0x2000, prefetchable: false })
+                    .build(),
+            ),
+        );
+        let cfg = EnumerationConfig {
+            mem_window: AddrRange::with_size(0x4000_0000, 0x1000),
+            io_window: AddrRange::with_size(0x2f00_0000, 0x1000),
+            first_irq: 32,
+        };
+        let err = enumerate(&mut reg.clone(), cfg).unwrap_err();
+        assert_eq!(err, EnumerateError::OutOfResources { kind: "memory", requested: 0x2000 });
+    }
+
+    #[test]
+    fn io_only_device_allocates_from_the_io_window() {
+        let reg = shared_registry();
+        reg.borrow_mut().register(
+            Bdf::new(0, 0, 0),
+            shared(Type0Header::new(1, 2).bar(0, Bar::Io { size: 0x100 }).build()),
+        );
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let dev = report.find(1, 2).unwrap();
+        assert_eq!(dev.bars.len(), 1);
+        assert!(dev.bars[0].is_io);
+        assert!(dev.bars[0].base >= 0x2f00_0000 && dev.bars[0].base < 0x3000_0000);
+        assert_eq!(dev.bars[0].size, 0x100);
+    }
+
+    #[test]
+    fn sparse_bars_keep_their_indices() {
+        // BARs 1 and 4 only: the report must carry the real indices.
+        let reg = shared_registry();
+        reg.borrow_mut().register(
+            Bdf::new(0, 0, 0),
+            shared(
+                Type0Header::new(1, 2)
+                    .bar(1, Bar::Memory32 { size: 0x1000, prefetchable: false })
+                    .bar(4, Bar::Io { size: 0x40 })
+                    .build(),
+            ),
+        );
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let dev = report.find(1, 2).unwrap();
+        let idx: Vec<usize> = dev.bars.iter().map(|b| b.index).collect();
+        assert_eq!(idx, vec![1, 4]);
+    }
+
+    #[test]
+    fn report_display_mentions_devices() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("8086:10d3"));
+        assert!(text.contains("bridge [bus 01-04]"));
+        assert!(text.contains("bar0: mem"));
+    }
+
+    #[test]
+    fn endpoints_and_bridges_filters() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        assert_eq!(report.endpoints().count(), 1);
+        assert_eq!(report.bridges().count(), 6);
+        assert!(report.at(Bdf::new(3, 0, 0)).is_some());
+        assert!(report.at(Bdf::new(9, 0, 0)).is_none());
+    }
+}

@@ -1,0 +1,505 @@
+//! Type-0 (endpoint) and type-1 (bridge) configuration-header builders,
+//! plus decode helpers for the fields routing components consult.
+//!
+//! The builders produce a [`ConfigSpace`] whose write masks implement the
+//! architected software-visible behaviour: read-only IDs, the BAR sizing
+//! protocol, writable bus numbers and bridge windows, and so on — exactly
+//! the registers the paper describes implementing for its VP2Ps (Fig. 7).
+
+use pcisim_kernel::addr::AddrRange;
+
+use crate::config::ConfigSpace;
+use crate::regs::{command, common, header_type, status, type0, type1};
+
+/// A base address register as declared by a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bar {
+    /// A 32-bit memory BAR of the given size (power of two, ≥ 16).
+    Memory32 {
+        /// Decoded window size in bytes.
+        size: u64,
+        /// Whether the region is prefetchable.
+        prefetchable: bool,
+    },
+    /// An I/O BAR of the given size (power of two, ≥ 4).
+    Io {
+        /// Decoded window size in bytes.
+        size: u64,
+    },
+}
+
+impl Bar {
+    /// Size in bytes of the decoded region.
+    pub fn size(&self) -> u64 {
+        match *self {
+            Bar::Memory32 { size, .. } | Bar::Io { size } => size,
+        }
+    }
+
+    fn low_bits(&self) -> u32 {
+        match *self {
+            Bar::Memory32 { prefetchable, .. } => {
+                if prefetchable {
+                    0b1000
+                } else {
+                    0b0000
+                }
+            }
+            Bar::Io { .. } => 0b01,
+        }
+    }
+
+    fn addr_mask(&self) -> u32 {
+        let size = self.size();
+        assert!(size.is_power_of_two(), "BAR size must be a power of two, got {size}");
+        match *self {
+            Bar::Memory32 { .. } => {
+                assert!(size >= 16, "memory BAR must be at least 16 bytes");
+                !(size as u32 - 1) & 0xffff_fff0
+            }
+            Bar::Io { .. } => {
+                assert!(size >= 4, "I/O BAR must be at least 4 bytes");
+                !(size as u32 - 1) & 0xffff_fffc
+            }
+        }
+    }
+}
+
+/// Builds a type-0 (endpoint) configuration header.
+///
+/// ```
+/// use pcisim_pci::header::{Bar, Type0Header};
+/// let cs = Type0Header::new(0x8086, 0x10d3)
+///     .class_code(0x02, 0x00, 0x00) // ethernet controller
+///     .bar(0, Bar::Memory32 { size: 0x2_0000, prefetchable: false })
+///     .interrupt_pin(1)
+///     .build();
+/// assert_eq!(cs.read(0x00, 2), 0x8086);
+/// assert_eq!(cs.read(0x0e, 1), 0x00); // header type 0
+/// ```
+#[derive(Debug)]
+pub struct Type0Header {
+    vendor: u16,
+    device: u16,
+    revision: u8,
+    class: (u8, u8, u8),
+    subsys_vendor: u16,
+    subsys: u16,
+    bars: [Option<Bar>; 6],
+    interrupt_pin: u8,
+    cap_ptr: u8,
+    status_extra: u16,
+}
+
+impl Type0Header {
+    /// Starts an endpoint header for `vendor:device`.
+    pub fn new(vendor: u16, device: u16) -> Self {
+        Self {
+            vendor,
+            device,
+            revision: 0,
+            class: (0, 0, 0),
+            subsys_vendor: 0,
+            subsys: 0,
+            bars: [None; 6],
+            interrupt_pin: 0,
+            cap_ptr: 0,
+            status_extra: 0,
+        }
+    }
+
+    /// Sets the revision ID.
+    pub fn revision(mut self, r: u8) -> Self {
+        self.revision = r;
+        self
+    }
+
+    /// Sets `(base class, subclass, prog-if)`.
+    pub fn class_code(mut self, class: u8, subclass: u8, prog_if: u8) -> Self {
+        self.class = (class, subclass, prog_if);
+        self
+    }
+
+    /// Sets the subsystem vendor/device IDs.
+    pub fn subsystem(mut self, vendor: u16, id: u16) -> Self {
+        self.subsys_vendor = vendor;
+        self.subsys = id;
+        self
+    }
+
+    /// Declares BAR `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 5`.
+    pub fn bar(mut self, index: usize, bar: Bar) -> Self {
+        self.bars[index] = Some(bar);
+        self
+    }
+
+    /// Sets the interrupt pin (1..=4 for INTA..INTD, 0 for none).
+    pub fn interrupt_pin(mut self, pin: u8) -> Self {
+        assert!(pin <= 4, "interrupt pin must be 0..=4");
+        self.interrupt_pin = pin;
+        self
+    }
+
+    /// Sets the capability list pointer and the status CAP_LIST bit.
+    pub fn capabilities_at(mut self, ptr: u8) -> Self {
+        self.cap_ptr = ptr;
+        self
+    }
+
+    /// Builds the configuration space.
+    pub fn build(self) -> ConfigSpace {
+        let mut cs = ConfigSpace::new();
+        cs.init_u16(common::VENDOR_ID, self.vendor);
+        cs.init_u16(common::DEVICE_ID, self.device);
+        cs.init_u8(common::REVISION, self.revision);
+        cs.init_u8(common::PROG_IF, self.class.2);
+        cs.init_u8(common::SUBCLASS, self.class.1);
+        cs.init_u8(common::CLASS, self.class.0);
+        cs.init_u8(common::HEADER_TYPE, header_type::ENDPOINT);
+        cs.init_u16(type0::SUBSYS_VENDOR_ID, self.subsys_vendor);
+        cs.init_u16(type0::SUBSYS_ID, self.subsys);
+        cs.init_u8(common::INTERRUPT_PIN, self.interrupt_pin);
+        let mut st = self.status_extra;
+        if self.cap_ptr != 0 {
+            cs.init_u8(common::CAP_PTR, self.cap_ptr);
+            st |= status::CAP_LIST;
+        }
+        cs.init_u16(common::STATUS, st);
+        // Writable: command (io/mem/master/intx-disable), cache line,
+        // latency timer, interrupt line.
+        cs.set_writable(
+            common::COMMAND,
+            &(command::IO_SPACE | command::MEMORY_SPACE | command::BUS_MASTER | command::INTX_DISABLE)
+                .to_le_bytes(),
+        );
+        cs.set_writable_bytes(common::CACHE_LINE_SIZE, 1);
+        cs.set_writable_bytes(common::LATENCY_TIMER, 1);
+        cs.set_writable_bytes(common::INTERRUPT_LINE, 1);
+        for (i, bar) in self.bars.iter().enumerate() {
+            if let Some(bar) = bar {
+                cs.init_u32(type0::BAR[i], bar.low_bits());
+                cs.set_writable(type0::BAR[i], &bar.addr_mask().to_le_bytes());
+            }
+        }
+        cs
+    }
+}
+
+/// Builds a type-1 (PCI-to-PCI bridge) configuration header — the header
+/// the paper implements for each virtual PCI-to-PCI bridge (Fig. 7).
+///
+/// ```
+/// use pcisim_pci::header::Type1Header;
+/// let cs = Type1Header::new(0x8086, 0x9c90).capabilities_at(0xd8).build();
+/// assert_eq!(cs.read(0x0e, 1), 0x01); // header type 1
+/// assert_eq!(cs.read(0x34, 1), 0xd8);
+/// ```
+#[derive(Debug)]
+pub struct Type1Header {
+    vendor: u16,
+    device: u16,
+    revision: u8,
+    cap_ptr: u8,
+}
+
+impl Type1Header {
+    /// Starts a bridge header for `vendor:device`.
+    pub fn new(vendor: u16, device: u16) -> Self {
+        Self { vendor, device, revision: 0, cap_ptr: 0 }
+    }
+
+    /// Sets the revision ID.
+    pub fn revision(mut self, r: u8) -> Self {
+        self.revision = r;
+        self
+    }
+
+    /// Sets the capability list pointer (the paper uses 0xd8) and the
+    /// status CAP_LIST bit.
+    pub fn capabilities_at(mut self, ptr: u8) -> Self {
+        self.cap_ptr = ptr;
+        self
+    }
+
+    /// Builds the configuration space.
+    pub fn build(self) -> ConfigSpace {
+        let mut cs = ConfigSpace::new();
+        cs.init_u16(common::VENDOR_ID, self.vendor);
+        cs.init_u16(common::DEVICE_ID, self.device);
+        cs.init_u8(common::REVISION, self.revision);
+        // Class 0x0604: PCI-to-PCI bridge.
+        cs.init_u8(common::CLASS, 0x06);
+        cs.init_u8(common::SUBCLASS, 0x04);
+        cs.init_u8(common::HEADER_TYPE, header_type::BRIDGE);
+        // Status: only the capability-list bit, as the paper specifies
+        // ("all the bits except the 4th bit are set to 0").
+        if self.cap_ptr != 0 {
+            cs.init_u8(common::CAP_PTR, self.cap_ptr);
+            cs.init_u16(common::STATUS, status::CAP_LIST);
+        }
+        // BARs read as zero and are not writable: the VP2P "does not
+        // implement memory-mapped registers of its own".
+        cs.set_writable(
+            common::COMMAND,
+            &(command::IO_SPACE | command::MEMORY_SPACE | command::BUS_MASTER | command::INTX_DISABLE)
+                .to_le_bytes(),
+        );
+        cs.set_writable_bytes(common::CACHE_LINE_SIZE, 1);
+        cs.set_writable_bytes(common::LATENCY_TIMER, 1);
+        cs.set_writable_bytes(common::INTERRUPT_LINE, 1);
+        // Bus numbers + secondary latency timer.
+        cs.set_writable_bytes(type1::PRIMARY_BUS, 4);
+        // I/O window: top nibble of base/limit writable; low nibble RO 0x01
+        // signals 32-bit I/O addressing so software programs the upper
+        // 16-bit registers too.
+        cs.init_u8(type1::IO_BASE, 0x01);
+        cs.init_u8(type1::IO_LIMIT, 0x01);
+        cs.set_writable(type1::IO_BASE, &[0xf0, 0xf0]);
+        cs.set_writable_bytes(type1::IO_BASE_UPPER, 4);
+        // Memory window: bits [15:4] of base/limit writable.
+        cs.set_writable(type1::MEMORY_BASE, &0xfff0u16.to_le_bytes());
+        cs.set_writable(type1::MEMORY_LIMIT, &0xfff0u16.to_le_bytes());
+        // Prefetchable window (64-bit capable).
+        cs.init_u16(type1::PREF_MEMORY_BASE, 0x0001);
+        cs.init_u16(type1::PREF_MEMORY_LIMIT, 0x0001);
+        cs.set_writable(type1::PREF_MEMORY_BASE, &0xfff0u16.to_le_bytes());
+        cs.set_writable(type1::PREF_MEMORY_LIMIT, &0xfff0u16.to_le_bytes());
+        cs.set_writable_bytes(type1::PREF_BASE_UPPER, 8);
+        cs.set_writable_bytes(type1::BRIDGE_CONTROL, 2);
+        cs
+    }
+}
+
+/// Decoded `(primary, secondary, subordinate)` bus numbers of a bridge.
+pub fn bus_numbers(cs: &ConfigSpace) -> (u8, u8, u8) {
+    (
+        cs.read(type1::PRIMARY_BUS, 1) as u8,
+        cs.read(type1::SECONDARY_BUS, 1) as u8,
+        cs.read(type1::SUBORDINATE_BUS, 1) as u8,
+    )
+}
+
+/// Decodes the bridge's downstream I/O window (empty when base > limit,
+/// i.e. unprogrammed).
+pub fn io_window(cs: &ConfigSpace) -> AddrRange {
+    let base_lo = cs.read(type1::IO_BASE, 1) as u64;
+    let limit_lo = cs.read(type1::IO_LIMIT, 1) as u64;
+    let base_hi = cs.read(type1::IO_BASE_UPPER, 2) as u64;
+    let limit_hi = cs.read(type1::IO_LIMIT_UPPER, 2) as u64;
+    let base = ((base_lo >> 4) << 12) | (base_hi << 16);
+    let limit = ((limit_lo >> 4) << 12) | (limit_hi << 16) | 0xfff;
+    if base > limit {
+        AddrRange::empty()
+    } else {
+        AddrRange::new(base, limit + 1)
+    }
+}
+
+/// Decodes the bridge's downstream (non-prefetchable) memory window.
+pub fn memory_window(cs: &ConfigSpace) -> AddrRange {
+    let base = (cs.read(type1::MEMORY_BASE, 2) as u64 & 0xfff0) << 16;
+    let limit = ((cs.read(type1::MEMORY_LIMIT, 2) as u64 & 0xfff0) << 16) | 0xf_ffff;
+    if base > limit {
+        AddrRange::empty()
+    } else {
+        AddrRange::new(base, limit + 1)
+    }
+}
+
+/// Programs a bridge's I/O window registers to cover `range`
+/// (4 KB-granular; an empty range writes an inverted window).
+pub fn program_io_window(cs: &mut ConfigSpace, range: AddrRange) {
+    if range.is_empty() {
+        cs.write(type1::IO_BASE, 1, 0xf0);
+        cs.write(type1::IO_LIMIT, 1, 0x00);
+        cs.write(type1::IO_BASE_UPPER, 2, 0xffff);
+        cs.write(type1::IO_LIMIT_UPPER, 2, 0x0000);
+        return;
+    }
+    assert_eq!(range.start() % 0x1000, 0, "I/O window base must be 4 KB aligned");
+    assert_eq!(range.end() % 0x1000, 0, "I/O window end must be 4 KB aligned");
+    let limit = range.end() - 1;
+    cs.write(type1::IO_BASE, 1, (((range.start() >> 12) & 0xf) << 4) as u32);
+    cs.write(type1::IO_LIMIT, 1, (((limit >> 12) & 0xf) << 4) as u32);
+    cs.write(type1::IO_BASE_UPPER, 2, (range.start() >> 16) as u32);
+    cs.write(type1::IO_LIMIT_UPPER, 2, (limit >> 16) as u32);
+}
+
+/// Programs a bridge's memory window registers to cover `range`
+/// (1 MB-granular; an empty range writes an inverted window).
+pub fn program_memory_window(cs: &mut ConfigSpace, range: AddrRange) {
+    if range.is_empty() {
+        cs.write(type1::MEMORY_BASE, 2, 0xfff0);
+        cs.write(type1::MEMORY_LIMIT, 2, 0x0000);
+        return;
+    }
+    assert_eq!(range.start() % 0x10_0000, 0, "memory window base must be 1 MB aligned");
+    assert_eq!(range.end() % 0x10_0000, 0, "memory window end must be 1 MB aligned");
+    let limit = range.end() - 1;
+    cs.write(type1::MEMORY_BASE, 2, ((range.start() >> 16) & 0xfff0) as u32);
+    cs.write(type1::MEMORY_LIMIT, 2, ((limit >> 16) & 0xfff0) as u32);
+}
+
+/// Reads the base address programmed into BAR `index` of a type-0 header
+/// (flag bits stripped).
+pub fn bar_base(cs: &ConfigSpace, index: usize) -> u64 {
+    let raw = cs.read(type0::BAR[index], 4) as u64;
+    if raw & 1 == 1 {
+        raw & !0x3
+    } else {
+        raw & !0xf
+    }
+}
+
+/// Whether the command register currently enables `(io, memory, bus-master)`
+/// decoding.
+pub fn command_enables(cs: &ConfigSpace) -> (bool, bool, bool) {
+    let cmd = cs.read(common::COMMAND, 2) as u16;
+    (
+        cmd & command::IO_SPACE != 0,
+        cmd & command::MEMORY_SPACE != 0,
+        cmd & command::BUS_MASTER != 0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_header_fields_land_at_spec_offsets() {
+        let cs = Type0Header::new(0x8086, 0x10d3)
+            .revision(0x02)
+            .class_code(0x02, 0x00, 0x00)
+            .subsystem(0x8086, 0xa01f)
+            .interrupt_pin(1)
+            .build();
+        assert_eq!(cs.read(0x00, 2), 0x8086);
+        assert_eq!(cs.read(0x02, 2), 0x10d3);
+        assert_eq!(cs.read(0x08, 1), 0x02);
+        assert_eq!(cs.read(0x0b, 1), 0x02);
+        assert_eq!(cs.read(0x0e, 1), 0x00);
+        assert_eq!(cs.read(0x2c, 2), 0x8086);
+        assert_eq!(cs.read(0x2e, 2), 0xa01f);
+        assert_eq!(cs.read(0x3d, 1), 1);
+    }
+
+    #[test]
+    fn memory_bar_sizing_protocol() {
+        let cs = Type0Header::new(1, 2)
+            .bar(0, Bar::Memory32 { size: 0x2_0000, prefetchable: false })
+            .build();
+        let mut cs = cs;
+        cs.write(0x10, 4, 0xffff_ffff);
+        let readback = cs.read(0x10, 4);
+        // Low flag bits zero (non-prefetchable memory), size mask above.
+        assert_eq!(readback, !0x2_0000u32 + 1);
+        let size = !(readback & 0xffff_fff0) as u64 + 1;
+        assert_eq!(size, 0x2_0000);
+        cs.write(0x10, 4, 0x4010_0000);
+        assert_eq!(bar_base(&cs, 0), 0x4010_0000);
+    }
+
+    #[test]
+    fn io_bar_reports_io_flag() {
+        let mut cs = Type0Header::new(1, 2).bar(1, Bar::Io { size: 0x40 }).build();
+        assert_eq!(cs.read(0x14, 4) & 0x3, 0x1);
+        cs.write(0x14, 4, 0xffff_ffff);
+        let size = !(cs.read(0x14, 4) & 0xffff_fffc) as u64 + 1;
+        assert_eq!(size, 0x40);
+    }
+
+    #[test]
+    fn undeclared_bars_read_zero_and_ignore_writes() {
+        let mut cs = Type0Header::new(1, 2).build();
+        cs.write(0x10, 4, 0xffff_ffff);
+        assert_eq!(cs.read(0x10, 4), 0);
+    }
+
+    #[test]
+    fn cap_pointer_sets_status_bit() {
+        let cs = Type0Header::new(1, 2).capabilities_at(0xc8).build();
+        assert_eq!(cs.read(0x34, 1), 0xc8);
+        assert_eq!(cs.read(0x06, 2) as u16 & status::CAP_LIST, status::CAP_LIST);
+        let no_caps = Type0Header::new(1, 2).build();
+        assert_eq!(no_caps.read(0x06, 2) as u16 & status::CAP_LIST, 0);
+    }
+
+    #[test]
+    fn bridge_header_matches_paper_vp2p_description() {
+        let cs = Type1Header::new(0x8086, 0x9c90).capabilities_at(0xd8).build();
+        assert_eq!(cs.read(0x00, 2), 0x8086);
+        assert_eq!(cs.read(0x02, 2), 0x9c90);
+        assert_eq!(cs.read(0x0e, 1), header_type::BRIDGE as u32);
+        // Status register: only bit 4.
+        assert_eq!(cs.read(0x06, 2), u32::from(status::CAP_LIST));
+        // BARs are hardwired zero.
+        assert_eq!(cs.read(0x10, 4), 0);
+        assert_eq!(cs.read(0x14, 4), 0);
+        // Class code 0x0604.
+        assert_eq!(cs.read(0x0b, 1), 0x06);
+        assert_eq!(cs.read(0x0a, 1), 0x04);
+        // Bus numbers initialised to zero, writable.
+        assert_eq!(bus_numbers(&cs), (0, 0, 0));
+    }
+
+    #[test]
+    fn bus_numbers_round_trip() {
+        let mut cs = Type1Header::new(1, 2).build();
+        cs.write(type1::PRIMARY_BUS, 1, 0);
+        cs.write(type1::SECONDARY_BUS, 1, 1);
+        cs.write(type1::SUBORDINATE_BUS, 1, 3);
+        assert_eq!(bus_numbers(&cs), (0, 1, 3));
+    }
+
+    #[test]
+    fn unprogrammed_windows_are_empty() {
+        let cs = Type1Header::new(1, 2).build();
+        // Fresh header: base == limit == 0 decodes to a non-empty window at
+        // zero per spec, so enumeration always programs or inverts it. Our
+        // builder leaves both at 0 which decodes as [0, 0x1000)/[0,0x100000);
+        // an *inverted* window is empty:
+        let mut inv = cs.clone();
+        program_io_window(&mut inv, AddrRange::empty());
+        program_memory_window(&mut inv, AddrRange::empty());
+        assert!(io_window(&inv).is_empty());
+        assert!(memory_window(&inv).is_empty());
+    }
+
+    #[test]
+    fn io_window_round_trips_32_bit_addresses() {
+        // The platform I/O space lives at 0x2f00_0000 (paper §V-A), which
+        // needs the upper registers.
+        let mut cs = Type1Header::new(1, 2).build();
+        let r = AddrRange::new(0x2f00_0000, 0x2f01_0000);
+        program_io_window(&mut cs, r);
+        assert_eq!(io_window(&cs), r);
+    }
+
+    #[test]
+    fn memory_window_round_trips() {
+        let mut cs = Type1Header::new(1, 2).build();
+        let r = AddrRange::new(0x4000_0000, 0x4020_0000);
+        program_memory_window(&mut cs, r);
+        assert_eq!(memory_window(&cs), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 MB aligned")]
+    fn misaligned_memory_window_panics() {
+        let mut cs = Type1Header::new(1, 2).build();
+        program_memory_window(&mut cs, AddrRange::new(0x4000_0000, 0x4000_1000));
+    }
+
+    #[test]
+    fn command_enable_decoding() {
+        let mut cs = Type0Header::new(1, 2).build();
+        assert_eq!(command_enables(&cs), (false, false, false));
+        cs.write(common::COMMAND, 2, u32::from(command::MEMORY_SPACE | command::BUS_MASTER));
+        assert_eq!(command_enables(&cs), (false, true, true));
+    }
+}

@@ -1,0 +1,235 @@
+//! Standard configuration-register offsets and field constants.
+//!
+//! Offsets follow the PCI/PCI-Express configuration headers the paper
+//! reproduces in Figures 4, 5 and 7: the common type-0 (endpoint) header,
+//! the type-1 (PCI-to-PCI bridge) header, capability IDs, and the
+//! PCI-Express capability structure layout.
+
+/// Offsets common to both header types.
+pub mod common {
+    /// Vendor ID (u16, RO).
+    pub const VENDOR_ID: u16 = 0x00;
+    /// Device ID (u16, RO).
+    pub const DEVICE_ID: u16 = 0x02;
+    /// Command register (u16).
+    pub const COMMAND: u16 = 0x04;
+    /// Status register (u16).
+    pub const STATUS: u16 = 0x06;
+    /// Revision ID (u8, RO).
+    pub const REVISION: u16 = 0x08;
+    /// Programming interface (u8, RO).
+    pub const PROG_IF: u16 = 0x09;
+    /// Sub-class code (u8, RO).
+    pub const SUBCLASS: u16 = 0x0a;
+    /// Base class code (u8, RO).
+    pub const CLASS: u16 = 0x0b;
+    /// Cache line size (u8, RW).
+    pub const CACHE_LINE_SIZE: u16 = 0x0c;
+    /// Latency timer (u8).
+    pub const LATENCY_TIMER: u16 = 0x0d;
+    /// Header type (u8, RO); bit 7 = multi-function.
+    pub const HEADER_TYPE: u16 = 0x0e;
+    /// Built-in self test (u8).
+    pub const BIST: u16 = 0x0f;
+    /// Capability list pointer (u8, RO).
+    pub const CAP_PTR: u16 = 0x34;
+    /// Interrupt line (u8, RW) — programmed by enumeration software.
+    pub const INTERRUPT_LINE: u16 = 0x3c;
+    /// Interrupt pin (u8, RO): 0 = none, 1..=4 = INTA..INTD.
+    pub const INTERRUPT_PIN: u16 = 0x3d;
+}
+
+/// Command register bits.
+pub mod command {
+    /// Respond to I/O space accesses.
+    pub const IO_SPACE: u16 = 1 << 0;
+    /// Respond to memory space accesses.
+    pub const MEMORY_SPACE: u16 = 1 << 1;
+    /// May act as a bus master (issue DMA).
+    pub const BUS_MASTER: u16 = 1 << 2;
+    /// Disable legacy INTx interrupts.
+    pub const INTX_DISABLE: u16 = 1 << 10;
+}
+
+/// Status register bits.
+pub mod status {
+    /// A capability list is present (bit 4) — the paper sets exactly this
+    /// bit on its VP2P status registers.
+    pub const CAP_LIST: u16 = 1 << 4;
+    /// An INTx interrupt is pending.
+    pub const INTERRUPT: u16 = 1 << 3;
+}
+
+/// Type-0 (endpoint) header offsets.
+pub mod type0 {
+    /// Base address registers 0..=5 (u32 each).
+    pub const BAR: [u16; 6] = [0x10, 0x14, 0x18, 0x1c, 0x20, 0x24];
+    /// CardBus CIS pointer.
+    pub const CARDBUS_CIS: u16 = 0x28;
+    /// Subsystem vendor ID (u16, RO).
+    pub const SUBSYS_VENDOR_ID: u16 = 0x2c;
+    /// Subsystem ID (u16, RO).
+    pub const SUBSYS_ID: u16 = 0x2e;
+    /// Expansion ROM base address (u32).
+    pub const ROM_BASE: u16 = 0x30;
+    /// Minimum grant (u8, RO).
+    pub const MIN_GNT: u16 = 0x3e;
+    /// Maximum latency (u8, RO).
+    pub const MAX_LAT: u16 = 0x3f;
+}
+
+/// Type-1 (PCI-to-PCI bridge) header offsets (paper Fig. 7).
+pub mod type1 {
+    /// Base address registers 0..=1 (u32 each).
+    pub const BAR: [u16; 2] = [0x10, 0x14];
+    /// Primary (upstream) bus number (u8, RW).
+    pub const PRIMARY_BUS: u16 = 0x18;
+    /// Secondary (immediate downstream) bus number (u8, RW).
+    pub const SECONDARY_BUS: u16 = 0x19;
+    /// Subordinate (largest downstream) bus number (u8, RW).
+    pub const SUBORDINATE_BUS: u16 = 0x1a;
+    /// Secondary latency timer (u8).
+    pub const SECONDARY_LATENCY: u16 = 0x1b;
+    /// I/O base, address bits \[15:12\] in the top nibble (u8, RW).
+    pub const IO_BASE: u16 = 0x1c;
+    /// I/O limit, address bits \[15:12\] in the top nibble (u8, RW).
+    pub const IO_LIMIT: u16 = 0x1d;
+    /// Secondary status (u16).
+    pub const SECONDARY_STATUS: u16 = 0x1e;
+    /// Memory window base, address bits \[31:20\] in bits \[15:4\] (u16, RW).
+    pub const MEMORY_BASE: u16 = 0x20;
+    /// Memory window limit (u16, RW).
+    pub const MEMORY_LIMIT: u16 = 0x22;
+    /// Prefetchable memory base (u16, RW).
+    pub const PREF_MEMORY_BASE: u16 = 0x24;
+    /// Prefetchable memory limit (u16, RW).
+    pub const PREF_MEMORY_LIMIT: u16 = 0x26;
+    /// Prefetchable base upper 32 bits (u32, RW).
+    pub const PREF_BASE_UPPER: u16 = 0x28;
+    /// Prefetchable limit upper 32 bits (u32, RW).
+    pub const PREF_LIMIT_UPPER: u16 = 0x2c;
+    /// I/O base upper 16 bits (u16, RW) — needed because the platform's
+    /// PCI I/O window sits above 64 KB (paper §V-A).
+    pub const IO_BASE_UPPER: u16 = 0x30;
+    /// I/O limit upper 16 bits (u16, RW).
+    pub const IO_LIMIT_UPPER: u16 = 0x32;
+    /// Expansion ROM base address (u32).
+    pub const ROM_BASE: u16 = 0x38;
+    /// Bridge control (u16).
+    pub const BRIDGE_CONTROL: u16 = 0x3e;
+}
+
+/// Header-type byte values.
+pub mod header_type {
+    /// Endpoint (type 0) header.
+    pub const ENDPOINT: u8 = 0x00;
+    /// PCI-to-PCI bridge (type 1) header.
+    pub const BRIDGE: u8 = 0x01;
+}
+
+/// PCI capability IDs (the four structures gem5 defines — paper §IV).
+pub mod cap_id {
+    /// Power management.
+    pub const POWER_MANAGEMENT: u8 = 0x01;
+    /// Message-signaled interrupts.
+    pub const MSI: u8 = 0x05;
+    /// PCI-Express capability.
+    pub const PCI_EXPRESS: u8 = 0x10;
+    /// MSI-X.
+    pub const MSI_X: u8 = 0x11;
+}
+
+/// PCI-Express extended capability IDs (offset 0x100 space).
+pub mod ext_cap_id {
+    /// Advanced error reporting.
+    pub const AER: u16 = 0x0001;
+    /// Device serial number.
+    pub const DEVICE_SERIAL: u16 = 0x0003;
+    /// Virtual channels.
+    pub const VIRTUAL_CHANNEL: u16 = 0x0002;
+}
+
+/// Register offsets *within* the PCI-Express capability structure
+/// (paper Fig. 5).
+pub mod pcie_cap {
+    /// Capability ID byte.
+    pub const CAP_ID: u16 = 0x00;
+    /// Next capability pointer byte.
+    pub const NEXT_PTR: u16 = 0x01;
+    /// PCI-Express capabilities register (u16): version + device/port type.
+    pub const PCIE_CAPS: u16 = 0x02;
+    /// Device capabilities (u32).
+    pub const DEVICE_CAPS: u16 = 0x04;
+    /// Device control (u16).
+    pub const DEVICE_CONTROL: u16 = 0x08;
+    /// Device status (u16).
+    pub const DEVICE_STATUS: u16 = 0x0a;
+    /// Link capabilities (u32): max speed + max width.
+    pub const LINK_CAPS: u16 = 0x0c;
+    /// Link control (u16).
+    pub const LINK_CONTROL: u16 = 0x10;
+    /// Link status (u16): negotiated speed + width.
+    pub const LINK_STATUS: u16 = 0x12;
+    /// Slot capabilities (u32) — ports connected to a slot only.
+    pub const SLOT_CAPS: u16 = 0x14;
+    /// Slot control (u16).
+    pub const SLOT_CONTROL: u16 = 0x18;
+    /// Slot status (u16).
+    pub const SLOT_STATUS: u16 = 0x1a;
+    /// Root control (u16) — root ports only.
+    pub const ROOT_CONTROL: u16 = 0x1c;
+    /// Root status (u32) — root ports only.
+    pub const ROOT_STATUS: u16 = 0x20;
+    /// Total length of the structure we implement.
+    pub const LEN: u16 = 0x24;
+
+    /// Device/port type field values (bits \[7:4\] of the PCIe capabilities
+    /// register).
+    pub mod port_type {
+        /// PCI-Express endpoint.
+        pub const ENDPOINT: u8 = 0x0;
+        /// Root port of a root complex.
+        pub const ROOT_PORT: u8 = 0x4;
+        /// Upstream port of a switch.
+        pub const SWITCH_UPSTREAM: u8 = 0x5;
+        /// Downstream port of a switch.
+        pub const SWITCH_DOWNSTREAM: u8 = 0x6;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_offsets_are_contiguous_u32s() {
+        for w in type0::BAR.windows(2) {
+            assert_eq!(w[1] - w[0], 4);
+        }
+        assert_eq!(type0::BAR[0], 0x10);
+        assert_eq!(type1::BAR[1], 0x14);
+    }
+
+    #[test]
+    fn type1_layout_matches_figure_7() {
+        assert_eq!(type1::PRIMARY_BUS, 0x18);
+        assert_eq!(type1::SECONDARY_BUS, 0x19);
+        assert_eq!(type1::SUBORDINATE_BUS, 0x1a);
+        assert_eq!(type1::IO_BASE, 0x1c);
+        assert_eq!(type1::MEMORY_BASE, 0x20);
+        assert_eq!(type1::PREF_BASE_UPPER, 0x28);
+        assert_eq!(type1::IO_BASE_UPPER, 0x30);
+        assert_eq!(common::CAP_PTR, 0x34);
+        assert_eq!(type1::BRIDGE_CONTROL, 0x3e);
+    }
+
+    #[test]
+    fn pcie_capability_layout_matches_figure_5() {
+        assert_eq!(pcie_cap::PCIE_CAPS, 0x02);
+        assert_eq!(pcie_cap::DEVICE_CAPS, 0x04);
+        assert_eq!(pcie_cap::LINK_CAPS, 0x0c);
+        assert_eq!(pcie_cap::SLOT_CAPS, 0x14);
+        assert_eq!(pcie_cap::ROOT_CONTROL, 0x1c);
+        assert_eq!(pcie_cap::ROOT_STATUS, 0x20);
+    }
+}

@@ -1,0 +1,427 @@
+//! ACK/NAK protocol state: replay buffer and timer arithmetic.
+//!
+//! The data link layer guarantees in-order, reliable TLP delivery across a
+//! link. The sender keeps transmitted TLPs in a **replay buffer** until a
+//! cumulative ACK arrives; a **replay timer** retransmits the whole buffer
+//! on timeout; the receiver batches acknowledgements behind an **ACK
+//! timer** set to a third of the replay timeout (paper §V-C).
+//!
+//! The replay-timeout interval follows the PCI-Express specification
+//! formula the paper quotes, in symbol times:
+//!
+//! ```text
+//! ((MaxPayloadSize + TLPOverhead) / Width * AckFactor + InternalDelay) * 3
+//!     + RxL0sAdjustment
+//! ```
+//!
+//! with `InternalDelay = RxL0sAdjustment = 0` as in the paper.
+
+use std::collections::VecDeque;
+
+use pcisim_kernel::packet::Packet;
+use pcisim_kernel::tick::Tick;
+
+use crate::params::LinkConfig;
+use crate::tlp::TLP_OVERHEAD_BYTES;
+
+/// AckFactor from the specification's replay-timer table, scaled by 10 to
+/// stay in integers. Indexed by link width and max payload size; the values
+/// grow with payload (larger packets amortize ACK traffic) and with very
+/// wide links (per-lane ACK latency dominates).
+pub fn ack_factor_x10(lanes: u8, max_payload: u32) -> u64 {
+    let payload_idx = match max_payload {
+        0..=128 => 0,
+        129..=256 => 1,
+        257..=512 => 2,
+        513..=1024 => 3,
+        1025..=2048 => 4,
+        _ => 5,
+    };
+    let row: [u64; 6] = match lanes {
+        1 | 2 => [14, 14, 14, 25, 40, 40],
+        4 => [14, 14, 14, 25, 40, 40],
+        8 => [25, 25, 25, 25, 40, 40],
+        _ => [30, 30, 30, 30, 40, 40],
+    };
+    row[payload_idx]
+}
+
+/// Replay-timer timeout for `config`, in ticks.
+///
+/// When `config.scale_timeout_with_width` is false, the formula is
+/// evaluated at x1 — the timeout does not shrink with lane count. This is
+/// an exploration knob for studying how timeout sizing interacts with the
+/// congestion dynamics of Figs. 9(b)–(d); the default follows the
+/// specification text.
+pub fn replay_timeout(config: &LinkConfig) -> Tick {
+    let lanes = if config.scale_timeout_with_width { config.width.lanes() } else { 1 };
+    let symbols_x10 = (u64::from(config.max_payload) + u64::from(TLP_OVERHEAD_BYTES))
+        * ack_factor_x10(lanes, config.max_payload)
+        / u64::from(lanes);
+    // * 3, then scale the x10 fixed point away; round up to a whole tick.
+    (symbols_x10 * 3 * config.symbol_time()).div_ceil(10)
+}
+
+/// ACK-timer period: one third of the **width-scaled** replay-timeout
+/// formula (paper §V-C). Acknowledgement batching tracks the wire rate
+/// even when the replay timeout itself is width-invariant, otherwise wide
+/// links would be acknowledgement-starved.
+pub fn ack_timeout(config: &LinkConfig) -> Tick {
+    let lanes = config.width.lanes();
+    let symbols_x10 = (u64::from(config.max_payload) + u64::from(TLP_OVERHEAD_BYTES))
+        * ack_factor_x10(lanes, config.max_payload)
+        / u64::from(lanes);
+    (symbols_x10 * 3 * config.symbol_time()).div_ceil(10) / 3
+}
+
+/// The sender half of the ACK/NAK protocol for one unidirectional link.
+///
+/// Holds unacknowledged TLPs in sequence order plus a cursor separating
+/// already-transmitted entries from those still waiting for the wire.
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    entries: VecDeque<(u32, Tick, Packet)>,
+    capacity: usize,
+    /// Index of the next entry to (re)transmit.
+    next_tx: usize,
+    /// Set between a timeout/NAK and the cursor catching back up; while
+    /// set, the transaction layer is refused (paper: the data link layer
+    /// "stops accepting packets from the transaction layer during
+    /// retransmission").
+    replaying: bool,
+    next_seq: u32,
+}
+
+impl ReplayBuffer {
+    /// Creates a replay buffer holding at most `capacity` TLPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer must hold at least one TLP");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_tx: 0,
+            replaying: false,
+            next_seq: 0,
+        }
+    }
+
+    /// Whether a new TLP from the transaction layer can be admitted.
+    pub fn can_admit(&self) -> bool {
+        !self.replaying && self.entries.len() < self.capacity
+    }
+
+    /// Admits a TLP at time `now`, assigning it the next sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ReplayBuffer::can_admit`] is false.
+    pub fn admit_at(&mut self, now: Tick, pkt: Packet) -> u32 {
+        assert!(self.can_admit(), "replay buffer full or replaying");
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.entries.push_back((seq, now, pkt));
+        seq
+    }
+
+    /// Admits a TLP with no timestamp (tests and timestamp-free callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ReplayBuffer::can_admit`] is false.
+    pub fn admit(&mut self, pkt: Packet) -> u32 {
+        self.admit_at(0, pkt)
+    }
+
+    /// The tick at which the TLP with sequence number `seq` was admitted,
+    /// if it is still held.
+    pub fn admit_tick_of(&self, seq: u32) -> Option<Tick> {
+        self.entries.iter().find(|(s, _, _)| *s == seq).map(|(_, t, _)| *t)
+    }
+
+    /// The next TLP to put on the wire, if any: `(seq, packet clone)`.
+    pub fn next_to_transmit(&self) -> Option<(u32, Packet)> {
+        self.entries.get(self.next_tx).map(|(s, _, p)| (*s, p.clone()))
+    }
+
+    /// Marks the head-of-cursor TLP as transmitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing was pending transmission.
+    pub fn mark_transmitted(&mut self) {
+        assert!(self.next_tx < self.entries.len(), "nothing pending transmission");
+        self.next_tx += 1;
+        if self.next_tx == self.entries.len() {
+            self.replaying = false;
+        }
+    }
+
+    /// Processes a cumulative ACK: drops every entry with sequence number
+    /// ≤ `seq`. Returns how many entries were released.
+    pub fn ack(&mut self, seq: u32) -> usize {
+        let mut released = 0;
+        while let Some(&(front_seq, _, _)) = self.entries.front() {
+            if seq_le(front_seq, seq) {
+                self.entries.pop_front();
+                released += 1;
+            } else {
+                break;
+            }
+        }
+        self.next_tx = self.next_tx.saturating_sub(released);
+        if self.next_tx >= self.entries.len() {
+            self.replaying = false;
+        }
+        released
+    }
+
+    /// Processes a NAK: entries ≤ `seq` are acknowledged, the rest rewind
+    /// for retransmission. Returns how many TLPs will be replayed.
+    pub fn nak(&mut self, seq: u32) -> usize {
+        self.ack(seq);
+        self.rewind()
+    }
+
+    /// Replay-timeout action: rewind the cursor so every held TLP
+    /// retransmits. Returns how many TLPs will be replayed.
+    pub fn rewind(&mut self) -> usize {
+        self.next_tx = 0;
+        self.replaying = !self.entries.is_empty();
+        self.entries.len()
+    }
+
+    /// Number of unacknowledged TLPs held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no TLPs are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a retransmission burst is in progress.
+    pub fn is_replaying(&self) -> bool {
+        self.replaying
+    }
+
+    /// Whether TLPs are waiting for the wire.
+    pub fn has_pending_tx(&self) -> bool {
+        self.next_tx < self.entries.len()
+    }
+}
+
+/// Sequence comparison tolerant of u32 wraparound (window comparison, as
+/// the 12-bit hardware counters do).
+fn seq_le(a: u32, b: u32) -> bool {
+    b.wrapping_sub(a) < u32::MAX / 2
+}
+
+/// The receiver half: tracks the next expected sequence number.
+#[derive(Debug, Default)]
+pub struct RxState {
+    next_seq: u32,
+}
+
+impl RxState {
+    /// Creates a receiver expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sequence number the receiver expects next.
+    pub fn expected(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Whether `seq` is the expected in-order TLP.
+    pub fn accepts(&self, seq: u32) -> bool {
+        seq == self.next_seq
+    }
+
+    /// Advances past a successfully delivered TLP; returns the sequence
+    /// number to acknowledge.
+    pub fn advance(&mut self) -> u32 {
+        let acked = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        acked
+    }
+
+    /// The cumulative-ACK value for everything received so far, if
+    /// anything was received.
+    pub fn last_received(&self) -> Option<u32> {
+        if self.next_seq == 0 {
+            None
+        } else {
+            Some(self.next_seq.wrapping_sub(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Generation, LinkConfig, LinkWidth};
+    use pcisim_kernel::component::ComponentId;
+    use pcisim_kernel::packet::{Command, PacketId};
+    use pcisim_kernel::tick::ns;
+
+    fn pkt(n: u64) -> Packet {
+        Packet::request(PacketId(n), Command::WriteReq, 0x4000_0000, 64, ComponentId(0))
+            .with_payload(vec![0; 64])
+    }
+
+    #[test]
+    fn timeout_formula_gen2_x1_64b_payload() {
+        // (64 + 20) / 1 * 1.4 * 3 = 352.8 symbols; Gen 2 symbol = 2 ns
+        // -> 705.6 ns, rounded up to the tick.
+        let c = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        assert_eq!(replay_timeout(&c), ns(7056) / 10 + 1 - 1); // 705600 ps
+        assert_eq!(replay_timeout(&c), 705_600);
+        assert_eq!(ack_timeout(&c), 235_200);
+    }
+
+    #[test]
+    fn timeout_shrinks_with_width() {
+        let x1 = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let x4 = LinkConfig::new(Generation::Gen2, LinkWidth::X4);
+        let x8 = LinkConfig::new(Generation::Gen2, LinkWidth::X8);
+        assert!(replay_timeout(&x4) < replay_timeout(&x1));
+        // x8 divides by 8 but uses a larger ack factor (2.5 vs 1.4).
+        assert!(replay_timeout(&x8) < replay_timeout(&x4));
+    }
+
+    #[test]
+    fn ack_factor_table_shape() {
+        // Grows with payload...
+        assert!(ack_factor_x10(1, 4096) > ack_factor_x10(1, 64));
+        // ...and from x4 to x8 per the spec's table.
+        assert!(ack_factor_x10(8, 64) > ack_factor_x10(4, 64));
+        assert_eq!(ack_factor_x10(1, 64), 14);
+        assert_eq!(ack_factor_x10(16, 64), 30);
+    }
+
+    #[test]
+    fn replay_buffer_admission_and_capacity() {
+        let mut rb = ReplayBuffer::new(2);
+        assert!(rb.can_admit());
+        assert_eq!(rb.admit(pkt(0)), 0);
+        assert_eq!(rb.admit(pkt(1)), 1);
+        assert!(!rb.can_admit(), "full buffer must throttle the source");
+        assert_eq!(rb.len(), 2);
+    }
+
+    #[test]
+    fn transmit_cursor_walks_the_buffer() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.admit(pkt(0));
+        rb.admit(pkt(1));
+        let (s0, _) = rb.next_to_transmit().unwrap();
+        assert_eq!(s0, 0);
+        rb.mark_transmitted();
+        let (s1, _) = rb.next_to_transmit().unwrap();
+        assert_eq!(s1, 1);
+        rb.mark_transmitted();
+        assert!(rb.next_to_transmit().is_none());
+        assert!(!rb.has_pending_tx());
+        assert_eq!(rb.len(), 2, "transmitted TLPs stay until acked");
+    }
+
+    #[test]
+    fn cumulative_ack_releases_prefix() {
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..4 {
+            rb.admit(pkt(i));
+            rb.mark_transmitted();
+        }
+        assert_eq!(rb.ack(1), 2);
+        assert_eq!(rb.len(), 2);
+        assert!(rb.can_admit());
+        assert_eq!(rb.ack(3), 2);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn timeout_rewind_replays_everything_and_blocks_admission() {
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..3 {
+            rb.admit(pkt(i));
+            rb.mark_transmitted();
+        }
+        assert_eq!(rb.rewind(), 3);
+        assert!(rb.is_replaying());
+        assert!(!rb.can_admit(), "no new TLPs during retransmission");
+        // Replay in order.
+        for want in 0..3 {
+            let (s, _) = rb.next_to_transmit().unwrap();
+            assert_eq!(s, want);
+            rb.mark_transmitted();
+        }
+        assert!(!rb.is_replaying());
+        assert!(rb.can_admit());
+    }
+
+    #[test]
+    fn ack_during_replay_skips_released_entries() {
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..3 {
+            rb.admit(pkt(i));
+            rb.mark_transmitted();
+        }
+        rb.rewind();
+        rb.ack(0); // first entry acked mid-replay
+        let (s, _) = rb.next_to_transmit().unwrap();
+        assert_eq!(s, 1, "replay resumes at the first unacked TLP");
+    }
+
+    #[test]
+    fn nak_acks_prefix_and_replays_rest() {
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..4 {
+            rb.admit(pkt(i));
+            rb.mark_transmitted();
+        }
+        let replayed = rb.nak(1);
+        assert_eq!(replayed, 2);
+        let (s, _) = rb.next_to_transmit().unwrap();
+        assert_eq!(s, 2);
+    }
+
+    #[test]
+    fn empty_rewind_is_not_a_replay() {
+        let mut rb = ReplayBuffer::new(2);
+        assert_eq!(rb.rewind(), 0);
+        assert!(!rb.is_replaying());
+        assert!(rb.can_admit());
+    }
+
+    #[test]
+    fn rx_state_tracks_in_order_delivery() {
+        let mut rx = RxState::new();
+        assert_eq!(rx.expected(), 0);
+        assert!(rx.accepts(0));
+        assert!(!rx.accepts(1));
+        assert_eq!(rx.last_received(), None);
+        assert_eq!(rx.advance(), 0);
+        assert_eq!(rx.expected(), 1);
+        assert_eq!(rx.last_received(), Some(0));
+    }
+
+    #[test]
+    fn seq_comparison_survives_wraparound() {
+        assert!(seq_le(u32::MAX, 0));
+        assert!(seq_le(u32::MAX - 1, 1));
+        assert!(!seq_le(1, u32::MAX));
+        let mut rb = ReplayBuffer::new(2);
+        rb.next_seq = u32::MAX;
+        rb.admit(pkt(0)); // seq MAX
+        rb.admit(pkt(1)); // seq 0 after wrap
+        rb.mark_transmitted();
+        rb.mark_transmitted();
+        assert_eq!(rb.ack(0), 2, "ack of wrapped seq 0 covers seq MAX too");
+    }
+}

@@ -1,0 +1,1138 @@
+//! The PCI-Express link model (paper §V-C, Fig. 8).
+//!
+//! A [`PcieLink`] is two unidirectional links between an *upstream*
+//! interface (toward the root complex) and a *downstream* interface (toward
+//! a device or switch). Each interface exposes a master/slave port pair, so
+//! the component has four kernel ports:
+//!
+//! ```text
+//!            PORT_UP_SLAVE (0)   PORT_UP_MASTER (1)
+//!                  │ req ↓              ↑ req (DMA)
+//!            ┌─────┴──────────────────────┴─────┐
+//!            │  upstream interface   (TX down)  │
+//!            │   ║ downstream wire   upstream ║ │
+//!            │  downstream interface (TX up)    │
+//!            └─────┬──────────────────────┬─────┘
+//!                  │ req ↓              ↑ req (DMA)
+//!          PORT_DOWN_MASTER (2)   PORT_DOWN_SLAVE (3)
+//! ```
+//!
+//! TLPs admitted from the attached ports get a sequence number, a copy in
+//! the replay buffer, and are serialized onto the wire with the Table I
+//! overheads. Receivers check sequence numbers, deliver to the attached
+//! port, and acknowledge — batched behind the ACK timer or immediately.
+//! Refused deliveries are dropped without advancing the receive sequence,
+//! so the sender's replay timer recovers them, exactly the congestion
+//! mechanism behind the paper's Figure 9(b)–(d).
+
+use std::collections::VecDeque;
+
+use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
+use pcisim_kernel::packet::Packet;
+use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::stats::{Counter, Histogram, StatsBuilder};
+use pcisim_kernel::tick::Tick;
+
+use crate::ack_nak::{ack_timeout, replay_timeout, ReplayBuffer, RxState};
+use crate::params::LinkConfig;
+use crate::tlp::{tlp_wire_bytes, Dllp, DLLP_WIRE_BYTES};
+
+/// Upstream-interface slave port: receives downstream-bound requests,
+/// emits upstream-bound responses. Pair with a root/switch port's master.
+pub const PORT_UP_SLAVE: PortId = PortId(0);
+/// Upstream-interface master port: emits upstream-bound (DMA) requests,
+/// receives downstream-bound responses. Pair with a root/switch port's
+/// slave.
+pub const PORT_UP_MASTER: PortId = PortId(1);
+/// Downstream-interface master port: emits downstream-bound requests,
+/// receives upstream-bound responses. Pair with a device PIO port or a
+/// switch upstream slave.
+pub const PORT_DOWN_MASTER: PortId = PortId(2);
+/// Downstream-interface slave port: receives upstream-bound (DMA)
+/// requests, emits downstream-bound responses. Pair with a device DMA port
+/// or a switch upstream master.
+pub const PORT_DOWN_SLAVE: PortId = PortId(3);
+
+/// Direction of travel across the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// Toward the device (transmitted by the upstream interface).
+    Down = 0,
+    /// Toward the root complex (transmitted by the downstream interface).
+    Up = 1,
+}
+
+impl Dir {
+    fn opposite(self) -> Dir {
+        match self {
+            Dir::Down => Dir::Up,
+            Dir::Up => Dir::Down,
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn from_index(i: u64) -> Dir {
+        if i == 0 {
+            Dir::Down
+        } else {
+            Dir::Up
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Dir::Down => "down",
+            Dir::Up => "up",
+        }
+    }
+}
+
+// Event kinds (`kind = BASE + dir`).
+const K_TX_KICK: u32 = 0;
+const K_REPLAY_TIMEOUT: u32 = 2;
+const K_ACK_TIMER: u32 = 4;
+const K_DLLP_ARRIVE: u32 = 6;
+
+// DelayedPacket tag layout.
+const TAG_SEQ_MASK: u32 = (1 << 28) - 1;
+const TAG_DIR_BIT: u32 = 1 << 30;
+const TAG_CORRUPT_BIT: u32 = 1 << 31;
+
+#[derive(Debug, Default)]
+struct DirStats {
+    tlps_admitted: Counter,
+    tlps_tx: Counter,
+    bytes_tx: Counter,
+    replays: Counter,
+    timeouts: Counter,
+    acks_tx: Counter,
+    acks_rx: Counter,
+    naks_tx: Counter,
+    naks_rx: Counter,
+    rx_delivered: Counter,
+    rx_dropped_refused: Counter,
+    rx_dropped_seq: Counter,
+    rx_dropped_corrupt: Counter,
+    admission_refusals: Counter,
+    /// Admissions refused for lack of flow-control credits (credit mode).
+    credit_stalls: Counter,
+    updatefc_tx: Counter,
+    updatefc_rx: Counter,
+    busy_ticks: Counter,
+    /// Admission-to-delivery latency per TLP, in nanoseconds (includes
+    /// wire, queueing and any replay stalls).
+    delivery_latency_ns: Histogram,
+}
+
+/// Per-direction link state: the TX logic at the source interface and the
+/// RX logic at the sink interface.
+struct DirState {
+    tx: ReplayBuffer,
+    rx: RxState,
+    /// DLLPs queued for transmission *on this direction's wire* (they
+    /// acknowledge the opposite direction's TLPs).
+    pending_dllps: VecDeque<Dllp>,
+    wire_busy_until: Tick,
+    kick_scheduled: bool,
+    replay_armed: bool,
+    replay_gen: u64,
+    /// RX-side: cumulative ACK not yet sent.
+    pending_ack: Option<u32>,
+    ack_timer_armed: bool,
+    /// Admission refusals owed a retry: [request feeder, response feeder].
+    owe_retry: [bool; 2],
+    /// TLPs put on the wire, for error injection.
+    tx_count: u64,
+    /// Credit mode: transmit credits available at this direction's source.
+    tx_credits: u32,
+    /// Credit mode: received TLPs awaiting delivery to the attached port.
+    rx_buffer: VecDeque<Packet>,
+    /// Credit mode: the attached port refused a delivery; waiting for its
+    /// retry before draining further.
+    rx_waiting_retry: bool,
+    /// Credit mode: credits freed but not yet returned via UpdateFC.
+    pending_credit_return: u32,
+    stats: DirStats,
+}
+
+impl DirState {
+    fn new(capacity: usize, credits: u32) -> Self {
+        Self {
+            tx: ReplayBuffer::new(capacity),
+            rx: RxState::new(),
+            pending_dllps: VecDeque::new(),
+            wire_busy_until: 0,
+            kick_scheduled: false,
+            replay_armed: false,
+            replay_gen: 0,
+            pending_ack: None,
+            ack_timer_armed: false,
+            owe_retry: [false; 2],
+            tx_count: 0,
+            tx_credits: credits,
+            rx_buffer: VecDeque::new(),
+            rx_waiting_retry: false,
+            pending_credit_return: 0,
+            stats: DirStats::default(),
+        }
+    }
+}
+
+/// SplitMix64: decorrelates the error injector from transmission counts.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The PCI-Express link component; see the module docs for wiring.
+pub struct PcieLink {
+    name: String,
+    config: LinkConfig,
+    replay_timeout: Tick,
+    ack_timeout: Tick,
+    dirs: [DirState; 2],
+}
+
+impl PcieLink {
+    /// Creates a link named `name` with the given configuration.
+    pub fn new(name: impl Into<String>, config: LinkConfig) -> Self {
+        let rt = replay_timeout(&config);
+        let at = ack_timeout(&config);
+        let cap = config.replay_buffer_size;
+        let credits = config.credit_fc.unwrap_or(0) as u32;
+        Self {
+            name: name.into(),
+            config,
+            replay_timeout: rt,
+            ack_timeout: at,
+            dirs: [DirState::new(cap, credits), DirState::new(cap, credits)],
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// The computed replay-timeout interval.
+    pub fn replay_timeout(&self) -> Tick {
+        self.replay_timeout
+    }
+
+    fn arm_replay(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
+        let st = &mut self.dirs[dir.index()];
+        st.replay_gen += 1;
+        st.replay_armed = true;
+        let gen = st.replay_gen;
+        ctx.schedule(
+            self.replay_timeout,
+            Event::Timer { kind: K_REPLAY_TIMEOUT + dir as u32, data: gen },
+        );
+    }
+
+    fn disarm_replay(&mut self, dir: Dir) {
+        let st = &mut self.dirs[dir.index()];
+        st.replay_gen += 1;
+        st.replay_armed = false;
+    }
+
+    /// Queues an ACK/NAK for transmission on `dir`'s wire.
+    fn queue_dllp(&mut self, ctx: &mut Ctx<'_>, dir: Dir, dllp: Dllp) {
+        let st = &mut self.dirs[dir.index()];
+        match dllp {
+            Dllp::Nak { .. } => st.stats.naks_tx.inc(),
+            Dllp::Ack { .. } => st.stats.acks_tx.inc(),
+            Dllp::UpdateFc { .. } => st.stats.updatefc_tx.inc(),
+        }
+        st.pending_dllps.push_back(dllp);
+        self.pump(ctx, dir);
+    }
+
+    /// The transmission engine for one direction: one packet per call while
+    /// the wire is free, priority ACK/NAK > replayed TLPs > new TLPs.
+    fn pump(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
+        loop {
+            let now = ctx.now();
+            let prop = self.config.propagation_delay;
+            let st = &mut self.dirs[dir.index()];
+            if now < st.wire_busy_until {
+                if !st.kick_scheduled {
+                    st.kick_scheduled = true;
+                    let delay = st.wire_busy_until - now;
+                    ctx.schedule(delay, Event::Timer { kind: K_TX_KICK + dir as u32, data: 0 });
+                }
+                return;
+            }
+            if let Some(dllp) = st.pending_dllps.pop_front() {
+                let t = self.config.tx_time(DLLP_WIRE_BYTES);
+                st.wire_busy_until = now + t;
+                st.stats.busy_ticks.add(t);
+                st.stats.bytes_tx.add(u64::from(DLLP_WIRE_BYTES));
+                let data = match dllp {
+                    Dllp::Ack { seq } => u64::from(seq),
+                    Dllp::Nak { seq } => u64::from(seq) | (1 << 32),
+                    Dllp::UpdateFc { credits } => u64::from(credits) | (1 << 33),
+                };
+                ctx.schedule(
+                    t + prop,
+                    Event::Timer { kind: K_DLLP_ARRIVE + dir as u32, data },
+                );
+                continue;
+            }
+            if let Some((seq, pkt)) = st.tx.next_to_transmit() {
+                assert!(seq <= TAG_SEQ_MASK, "sequence numbers exhausted the tag space");
+                st.tx.mark_transmitted();
+                let wire = tlp_wire_bytes(pkt.payload_len());
+                let t = self.config.tx_time(wire);
+                st.wire_busy_until = now + t;
+                st.stats.tlps_tx.inc();
+                st.stats.bytes_tx.add(u64::from(wire));
+                st.stats.busy_ticks.add(t);
+                st.tx_count += 1;
+                // Pseudo-random (but deterministic) error injection. A
+                // strictly periodic fault would resonate with replay-burst
+                // lengths — corrupting the same TLP in every burst forever
+                // — which no physical error process does.
+                let corrupt = self.config.error_interval != 0
+                    && splitmix64(st.tx_count).is_multiple_of(self.config.error_interval);
+                let mut tag = seq;
+                if dir == Dir::Up {
+                    tag |= TAG_DIR_BIT;
+                }
+                if corrupt {
+                    tag |= TAG_CORRUPT_BIT;
+                }
+                // Cut-through: the receiver sees the TLP after the header
+                // lands; store-and-forward: after the whole packet.
+                let delivery = if self.config.cut_through {
+                    self.config.tx_time(wire.min(crate::tlp::TLP_OVERHEAD_BYTES))
+                } else {
+                    t
+                };
+                ctx.schedule(delivery + prop, Event::DelayedPacket { tag, pkt });
+                if !st.replay_armed {
+                    self.arm_replay(ctx, dir);
+                }
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Admits a TLP from an attached port into `dir`'s transaction layer.
+    /// In credit mode admission also consumes one receive-buffer credit;
+    /// without credits the source is stalled rather than transmitting
+    /// into a full receiver.
+    fn admit(&mut self, ctx: &mut Ctx<'_>, dir: Dir, feeder: usize, pkt: Packet) -> RecvResult {
+        let credit_mode = self.config.credit_fc.is_some();
+        let st = &mut self.dirs[dir.index()];
+        if credit_mode && st.tx_credits == 0 {
+            st.stats.credit_stalls.inc();
+            st.owe_retry[feeder] = true;
+            return RecvResult::Refused(pkt);
+        }
+        if !st.tx.can_admit() {
+            st.stats.admission_refusals.inc();
+            st.owe_retry[feeder] = true;
+            return RecvResult::Refused(pkt);
+        }
+        if credit_mode {
+            st.tx_credits -= 1;
+        }
+        st.tx.admit_at(ctx.now(), pkt);
+        st.stats.tlps_admitted.inc();
+        self.pump(ctx, dir);
+        RecvResult::Accepted
+    }
+
+    /// Grants retries to feeders refused earlier, once space is back.
+    fn grant_feeder_retries(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
+        if !self.dirs[dir.index()].tx.can_admit() {
+            return;
+        }
+        if self.config.credit_fc.is_some() && self.dirs[dir.index()].tx_credits == 0 {
+            return;
+        }
+        let owed = std::mem::take(&mut self.dirs[dir.index()].owe_retry);
+        let (req_port, resp_port) = match dir {
+            Dir::Down => (PORT_UP_SLAVE, PORT_UP_MASTER),
+            Dir::Up => (PORT_DOWN_SLAVE, PORT_DOWN_MASTER),
+        };
+        if owed[0] {
+            ctx.send_retry(req_port);
+        }
+        if owed[1] {
+            ctx.send_retry(resp_port);
+        }
+    }
+
+    /// A TLP reached the sink interface of `dir`.
+    fn tlp_arrived(&mut self, ctx: &mut Ctx<'_>, dir: Dir, seq: u32, corrupt: bool, pkt: Packet) {
+        let ack_immediate = self.config.ack_immediate;
+        let st = &mut self.dirs[dir.index()];
+        if corrupt {
+            st.stats.rx_dropped_corrupt.inc();
+            // NAK the last good sequence number back to the sender.
+            let nak_seq = st.rx.expected().wrapping_sub(1);
+            self.queue_dllp(ctx, dir.opposite(), Dllp::Nak { seq: nak_seq });
+            return;
+        }
+        if !st.rx.accepts(seq) {
+            // Out-of-order (e.g. a replay of something already delivered):
+            // discard without advancing, as the paper's model does. The
+            // pending cumulative ACK (or the next timeout) resynchronizes.
+            st.stats.rx_dropped_seq.inc();
+            return;
+        }
+        if let Some(credits) = self.config.credit_fc {
+            // Credit mode: the receive buffer always has room (the
+            // transmitter consumed a credit), so receipt is unconditional;
+            // delivery happens from the buffer.
+            let st = &mut self.dirs[dir.index()];
+            let acked = st.rx.advance();
+            if let Some(admitted) = st.tx.admit_tick_of(acked) {
+                st.stats
+                    .delivery_latency_ns
+                    .record(pcisim_kernel::tick::to_ns(ctx.now().saturating_sub(admitted)));
+            }
+            st.rx_buffer.push_back(pkt);
+            assert!(st.rx_buffer.len() <= credits, "credit accounting violated");
+            self.send_ack(ctx, dir, acked, ack_immediate);
+            self.drain_rx(ctx, dir);
+            return;
+        }
+        // Deliver to the attached component.
+        let egress_is_req = pkt.is_request();
+        let result = match (dir, egress_is_req) {
+            (Dir::Down, true) => ctx.try_send_request(PORT_DOWN_MASTER, pkt),
+            (Dir::Down, false) => ctx.try_send_response(PORT_DOWN_SLAVE, pkt),
+            (Dir::Up, true) => ctx.try_send_request(PORT_UP_MASTER, pkt),
+            (Dir::Up, false) => ctx.try_send_response(PORT_UP_SLAVE, pkt),
+        };
+        let st = &mut self.dirs[dir.index()];
+        match result {
+            Ok(()) => {
+                let acked = st.rx.advance();
+                st.stats.rx_delivered.inc();
+                // The receiver of a direction lives in the same component
+                // as its sender, so the replay buffer — which still holds
+                // the unacknowledged TLP — provides the admission tick.
+                if let Some(admitted) = st.tx.admit_tick_of(acked) {
+                    st.stats
+                        .delivery_latency_ns
+                        .record(pcisim_kernel::tick::to_ns(ctx.now().saturating_sub(admitted)));
+                }
+                self.send_ack(ctx, dir, acked, ack_immediate);
+            }
+            Err(_dropped) => {
+                // The attached port's buffers are full: do not increment the
+                // receiving sequence number; the sender replays on timeout.
+                st.stats.rx_dropped_refused.inc();
+            }
+        }
+    }
+
+    /// Acknowledges receipt of `acked`: immediately when configured or the
+    /// reverse wire is idle ("the receiver has the option to send an ACK
+    /// back to the sender immediately", §V-C), else behind the ACK timer.
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, dir: Dir, acked: u32, ack_immediate: bool) {
+        let reverse = dir.opposite();
+        let reverse_idle = self.config.ack_opportunistic
+            && ctx.now() >= self.dirs[reverse.index()].wire_busy_until
+            && self.dirs[reverse.index()].pending_dllps.is_empty();
+        let st = &mut self.dirs[dir.index()];
+        st.pending_ack = Some(acked);
+        if ack_immediate || reverse_idle {
+            st.pending_ack = None;
+            self.queue_dllp(ctx, reverse, Dllp::Ack { seq: acked });
+        } else if !st.ack_timer_armed {
+            st.ack_timer_armed = true;
+            ctx.schedule(
+                self.ack_timeout,
+                Event::Timer { kind: K_ACK_TIMER + dir as u32, data: 0 },
+            );
+        }
+    }
+
+    /// Credit mode: delivers buffered TLPs to the attached port and
+    /// returns freed credits via UpdateFC, batched to a quarter of the
+    /// advertised window.
+    fn drain_rx(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
+        let credits = match self.config.credit_fc {
+            Some(c) => c as u32,
+            None => return,
+        };
+        loop {
+            if self.dirs[dir.index()].rx_waiting_retry {
+                break;
+            }
+            let Some(pkt) = self.dirs[dir.index()].rx_buffer.pop_front() else { break };
+            let egress_is_req = pkt.is_request();
+            let result = match (dir, egress_is_req) {
+                (Dir::Down, true) => ctx.try_send_request(PORT_DOWN_MASTER, pkt),
+                (Dir::Down, false) => ctx.try_send_response(PORT_DOWN_SLAVE, pkt),
+                (Dir::Up, true) => ctx.try_send_request(PORT_UP_MASTER, pkt),
+                (Dir::Up, false) => ctx.try_send_response(PORT_UP_SLAVE, pkt),
+            };
+            let st = &mut self.dirs[dir.index()];
+            match result {
+                Ok(()) => {
+                    st.stats.rx_delivered.inc();
+                    st.pending_credit_return += 1;
+                }
+                Err(back) => {
+                    st.rx_buffer.push_front(back);
+                    st.rx_waiting_retry = true;
+                    break;
+                }
+            }
+        }
+        // Return credits once a quarter of the window accumulates (or the
+        // last buffered TLP drained).
+        let st = &mut self.dirs[dir.index()];
+        let threshold = (credits / 4).max(1);
+        if st.pending_credit_return >= threshold
+            || (st.pending_credit_return > 0 && st.rx_buffer.is_empty())
+        {
+            let returned = st.pending_credit_return;
+            st.pending_credit_return = 0;
+            self.queue_dllp(ctx, dir.opposite(), Dllp::UpdateFc { credits: returned });
+        }
+    }
+
+    /// A DLLP that travelled on `dir` reached `dir`'s sink — which is the
+    /// TX side of the opposite direction.
+    fn dllp_arrived(&mut self, ctx: &mut Ctx<'_>, dir: Dir, dllp: Dllp) {
+        let tx_dir = dir.opposite();
+        let st = &mut self.dirs[tx_dir.index()];
+        match dllp {
+            Dllp::Nak { seq } => {
+                st.stats.naks_rx.inc();
+                let replayed = st.tx.nak(seq);
+                st.stats.replays.add(replayed as u64);
+            }
+            Dllp::Ack { seq } => {
+                st.stats.acks_rx.inc();
+                st.tx.ack(seq);
+            }
+            Dllp::UpdateFc { credits } => {
+                st.stats.updatefc_rx.inc();
+                st.tx_credits += credits;
+                self.grant_feeder_retries(ctx, tx_dir);
+                self.pump(ctx, tx_dir);
+                return;
+            }
+        }
+        // "The replay timer is reset whenever an interface receives an ACK."
+        if self.dirs[tx_dir.index()].tx.is_empty() {
+            self.disarm_replay(tx_dir);
+        } else {
+            self.arm_replay(ctx, tx_dir);
+        }
+        self.grant_feeder_retries(ctx, tx_dir);
+        self.pump(ctx, tx_dir);
+    }
+
+    fn replay_timeout_fired(&mut self, ctx: &mut Ctx<'_>, dir: Dir, gen: u64) {
+        let st = &mut self.dirs[dir.index()];
+        if !st.replay_armed || st.replay_gen != gen {
+            return; // stale timer
+        }
+        if st.tx.is_empty() {
+            self.disarm_replay(dir);
+            return;
+        }
+        st.stats.timeouts.inc();
+        let replayed = st.tx.rewind();
+        st.stats.replays.add(replayed as u64);
+        self.arm_replay(ctx, dir);
+        self.pump(ctx, dir);
+    }
+
+    fn ack_timer_fired(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
+        let st = &mut self.dirs[dir.index()];
+        st.ack_timer_armed = false;
+        if let Some(seq) = st.pending_ack.take() {
+            self.queue_dllp(ctx, dir.opposite(), Dllp::Ack { seq });
+        }
+    }
+}
+
+impl Component for PcieLink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        match port {
+            PORT_UP_SLAVE => self.admit(ctx, Dir::Down, 0, pkt),
+            PORT_DOWN_SLAVE => self.admit(ctx, Dir::Up, 0, pkt),
+            other => panic!("{}: request on non-slave port {other}", self.name),
+        }
+    }
+
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        match port {
+            PORT_UP_MASTER => self.admit(ctx, Dir::Down, 1, pkt),
+            PORT_DOWN_MASTER => self.admit(ctx, Dir::Up, 1, pkt),
+            other => panic!("{}: response on non-master port {other}", self.name),
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::DelayedPacket { tag, pkt } => {
+                let dir = if tag & TAG_DIR_BIT != 0 { Dir::Up } else { Dir::Down };
+                let corrupt = tag & TAG_CORRUPT_BIT != 0;
+                let seq = tag & TAG_SEQ_MASK;
+                self.tlp_arrived(ctx, dir, seq, corrupt, pkt);
+            }
+            Event::Timer { kind, data } => {
+                let dir = Dir::from_index(u64::from(kind & 1));
+                match kind & !1 {
+                    K_TX_KICK => {
+                        self.dirs[dir.index()].kick_scheduled = false;
+                        self.pump(ctx, dir);
+                    }
+                    K_REPLAY_TIMEOUT => self.replay_timeout_fired(ctx, dir, data),
+                    K_ACK_TIMER => self.ack_timer_fired(ctx, dir),
+                    K_DLLP_ARRIVE => {
+                        let value = (data & 0xffff_ffff) as u32;
+                        let dllp = if data & (1 << 33) != 0 {
+                            Dllp::UpdateFc { credits: value }
+                        } else if data & (1 << 32) != 0 {
+                            Dllp::Nak { seq: value }
+                        } else {
+                            Dllp::Ack { seq: value }
+                        };
+                        self.dllp_arrived(ctx, dir, dllp);
+                    }
+                    other => panic!("{}: unknown timer kind {other}", self.name),
+                }
+            }
+        }
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        if self.config.credit_fc.is_some() {
+            // Credit mode buffers undelivered TLPs: drain now.
+            let dir = match port {
+                PORT_DOWN_MASTER | PORT_DOWN_SLAVE => Dir::Down,
+                PORT_UP_MASTER | PORT_UP_SLAVE => Dir::Up,
+                other => panic!("{}: retry on unknown port {other}", self.name),
+            };
+            self.dirs[dir.index()].rx_waiting_retry = false;
+            self.drain_rx(ctx, dir);
+        }
+        // ACK/NAK-only mode: a port we failed to deliver into has space
+        // again; the dropped TLP is recovered by the sender's replay
+        // timeout, so nothing to do — the paper's timeout-driven recovery.
+    }
+
+    fn report_stats(&self, out: &mut StatsBuilder) {
+        for dir in [Dir::Down, Dir::Up] {
+            let st = &self.dirs[dir.index()];
+            let l = dir.label();
+            out.counter(&format!("{l}.tlps_admitted"), &st.stats.tlps_admitted);
+            out.counter(&format!("{l}.tlps_tx"), &st.stats.tlps_tx);
+            out.counter(&format!("{l}.bytes_tx"), &st.stats.bytes_tx);
+            out.counter(&format!("{l}.replays"), &st.stats.replays);
+            out.counter(&format!("{l}.timeouts"), &st.stats.timeouts);
+            out.counter(&format!("{l}.acks_tx"), &st.stats.acks_tx);
+            out.counter(&format!("{l}.acks_rx"), &st.stats.acks_rx);
+            out.counter(&format!("{l}.naks_tx"), &st.stats.naks_tx);
+            out.counter(&format!("{l}.naks_rx"), &st.stats.naks_rx);
+            out.counter(&format!("{l}.rx_delivered"), &st.stats.rx_delivered);
+            out.counter(&format!("{l}.rx_dropped_refused"), &st.stats.rx_dropped_refused);
+            out.counter(&format!("{l}.rx_dropped_seq"), &st.stats.rx_dropped_seq);
+            out.counter(&format!("{l}.rx_dropped_corrupt"), &st.stats.rx_dropped_corrupt);
+            out.counter(&format!("{l}.admission_refusals"), &st.stats.admission_refusals);
+            out.counter(&format!("{l}.credit_stalls"), &st.stats.credit_stalls);
+            out.counter(&format!("{l}.updatefc_tx"), &st.stats.updatefc_tx);
+            out.counter(&format!("{l}.updatefc_rx"), &st.stats.updatefc_rx);
+            out.counter(&format!("{l}.busy_ticks"), &st.stats.busy_ticks);
+            out.histogram(&format!("{l}.delivery_latency_ns"), &st.stats.delivery_latency_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Generation, LinkWidth};
+    use pcisim_kernel::packet::Command;
+    use pcisim_kernel::sim::{RunOutcome, Simulation};
+    use pcisim_kernel::testutil::{Requester, Responder, REQUESTER_PORT, RESPONDER_PORT};
+    use pcisim_kernel::tick::ns;
+
+    /// A configuration with deterministic quiet-wire timing (no
+    /// opportunistic ACKs) for the latency arithmetic tests.
+    fn quiet(config: LinkConfig) -> LinkConfig {
+        LinkConfig { ack_opportunistic: false, ..config }
+    }
+
+    /// Wires requester → link upstream, responder → link downstream.
+    fn build(
+        config: LinkConfig,
+        script: Vec<(Command, u64, u32)>,
+        service: Tick,
+    ) -> (Simulation, pcisim_kernel::testutil::CompletionLog) {
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", script);
+        let r = sim.add(Box::new(req));
+        let l = sim.add(Box::new(PcieLink::new("link", config)));
+        let (resp, _) = Responder::new("dev", service);
+        let d = sim.add(Box::new(resp));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (d, RESPONDER_PORT));
+        (sim, done)
+    }
+
+    #[test]
+    fn single_write_timing_matches_wire_arithmetic() {
+        // Gen2 x1: 84 B write = 168 ns down; 20 B response = 40 ns up;
+        // 10 ns device service.
+        let cfg = quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X1));
+        let (mut sim, done) = build(cfg, vec![(Command::WriteReq, 0x4000_0000, 64)], ns(10));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        let done = done.borrow();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, ns(168 + 10 + 40));
+    }
+
+    #[test]
+    fn wider_link_is_proportionally_faster() {
+        let cfg = quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X4));
+        let (mut sim, done) = build(cfg, vec![(Command::WriteReq, 0x4000_0000, 64)], ns(10));
+        sim.run_to_quiesce();
+        assert_eq!(done.borrow()[0].1, ns(42 + 10 + 10));
+    }
+
+    #[test]
+    fn reads_carry_no_payload_down_but_full_payload_up() {
+        let cfg = quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X1));
+        let (mut sim, done) = build(cfg, vec![(Command::ReadReq, 0x4000_0000, 64)], 0);
+        sim.run_to_quiesce();
+        // 20 B req = 40 ns down, 84 B resp = 168 ns up.
+        assert_eq!(done.borrow()[0].1, ns(40 + 168));
+    }
+
+    #[test]
+    fn pipelined_writes_saturate_the_wire() {
+        // 8 writes back to back: the wire serializes them at 168 ns each;
+        // replay buffer of 4 with prompt ACKs keeps the pipe full.
+        let cfg = LinkConfig {
+            ack_immediate: true,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        };
+        let script = (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (mut sim, done) = build(cfg, script, 0);
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 8);
+        let stats = sim.stats();
+        assert_eq!(stats.get("link.down.tlps_admitted"), Some(8.0));
+        assert_eq!(stats.get("link.down.tlps_tx"), Some(8.0), "no replays expected");
+        assert_eq!(stats.get("link.down.timeouts"), Some(0.0));
+        // Wire time for 8 TLPs ≥ 8 * 168 ns.
+        assert!(sim.now() >= ns(8 * 168));
+    }
+
+    #[test]
+    fn acks_are_batched_behind_the_ack_timer() {
+        // With opportunism off, every ACK waits for the timer: cumulative
+        // acknowledgements cover several TLPs each.
+        let cfg = quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X1));
+        let script = (0..16).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (mut sim, done) = build(cfg, script, 0);
+        sim.run_to_quiesce();
+        assert_eq!(done.borrow().len(), 16);
+        let stats = sim.stats();
+        let acks = stats.get("link.up.acks_tx").unwrap();
+        assert!(acks < 16.0, "expected batched ACKs, saw {acks}");
+        assert!(acks >= 1.0);
+    }
+
+    #[test]
+    fn opportunistic_acks_fire_on_an_idle_wire() {
+        // Default mode: a quiet reverse wire carries the ACK immediately,
+        // one per TLP at this gentle rate.
+        let cfg = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let script = (0..4).map(|i| (Command::ReadReq, 0x4000_0000 + i * 64, 4)).collect();
+        let (mut sim, _) = build(cfg, script, ns(500));
+        sim.run_to_quiesce();
+        let stats = sim.stats();
+        assert_eq!(stats.get("link.up.acks_tx"), Some(4.0));
+    }
+
+    #[test]
+    fn immediate_ack_mode_acks_every_tlp() {
+        let cfg = LinkConfig {
+            ack_immediate: true,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        };
+        let script = (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (mut sim, _) = build(cfg, script, 0);
+        sim.run_to_quiesce();
+        let stats = sim.stats();
+        assert_eq!(stats.get("link.up.acks_tx"), Some(8.0));
+    }
+
+    #[test]
+    fn replay_buffer_throttles_the_source() {
+        // Replay buffer of 1: at most one unacked TLP in flight, so the
+        // requester gets refused and retried.
+        let cfg = LinkConfig {
+            replay_buffer_size: 1,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        };
+        let script = (0..4).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (mut sim, done) = build(cfg, script, 0);
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 4, "source throttling must not lose packets");
+        let stats = sim.stats();
+        assert!(stats.get("link.down.admission_refusals").unwrap() > 0.0);
+    }
+
+    /// A sink that refuses everything until `accept_after` requests have
+    /// been attempted, then accepts and responds instantly.
+    struct StubbornSink {
+        name: String,
+        refusals_left: u32,
+        blocked: VecDeque<Packet>,
+        waiting: bool,
+    }
+    impl Component for StubbornSink {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn recv_request(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) -> RecvResult {
+            if self.refusals_left > 0 {
+                self.refusals_left -= 1;
+                return RecvResult::Refused(pkt);
+            }
+            ctx.schedule(0, Event::DelayedPacket { tag: 0, pkt });
+            RecvResult::Accepted
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            let Event::DelayedPacket { pkt, .. } = ev else { panic!() };
+            self.blocked.push_back(pkt.into_response());
+            if !self.waiting {
+                while let Some(p) = self.blocked.pop_front() {
+                    if let Err(back) = ctx.try_send_response(PortId(0), p) {
+                        self.blocked.push_front(back);
+                        self.waiting = true;
+                        break;
+                    }
+                }
+            }
+        }
+        fn retry_granted(&mut self, ctx: &mut Ctx<'_>, _port: PortId) {
+            self.waiting = false;
+            while let Some(p) = self.blocked.pop_front() {
+                if let Err(back) = ctx.try_send_response(PortId(0), p) {
+                    self.blocked.push_front(back);
+                    self.waiting = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refused_delivery_recovers_via_replay_timeout() {
+        let cfg = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::WriteReq, 0x4000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let l = sim.add(Box::new(PcieLink::new("link", cfg)));
+        let s = sim.add(Box::new(StubbornSink {
+            name: "sink".into(),
+            refusals_left: 2,
+            blocked: VecDeque::new(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1, "TLP must eventually deliver");
+        let stats = sim.stats();
+        assert_eq!(stats.get("link.down.rx_dropped_refused"), Some(2.0));
+        assert!(stats.get("link.down.timeouts").unwrap() >= 2.0);
+        assert!(stats.get("link.down.replays").unwrap() >= 2.0);
+        // Delivery happened roughly after two replay timeouts.
+        assert!(sim.now() >= 2 * replay_timeout(&LinkConfig::new(Generation::Gen2, LinkWidth::X1)));
+    }
+
+    #[test]
+    fn injected_errors_recover_via_nak() {
+        let cfg = LinkConfig {
+            error_interval: 3,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        };
+        let script = (0..9).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (mut sim, done) = build(cfg, script, 0);
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 9, "all TLPs must survive injected errors");
+        let stats = sim.stats();
+        assert!(stats.get("link.down.rx_dropped_corrupt").unwrap() > 0.0);
+        assert!(stats.get("link.up.naks_tx").unwrap() > 0.0);
+        assert!(stats.get("link.down.naks_rx").unwrap() > 0.0);
+        assert!(stats.get("link.down.replays").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn dma_direction_works_symmetrically() {
+        // Requester on the *device* side doing DMA upstream.
+        let cfg = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("dev-dma", vec![(Command::WriteReq, 0x8000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let l = sim.add(Box::new(PcieLink::new("link", cfg)));
+        let (resp, _) = Responder::new("mem", ns(30));
+        let m = sim.add(Box::new(resp));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_DOWN_SLAVE));
+        sim.connect((l, PORT_UP_MASTER), (m, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        // 168 ns up + 30 ns service + 40 ns down.
+        assert_eq!(done.borrow()[0].1, ns(168 + 30 + 40));
+        let stats = sim.stats();
+        assert_eq!(stats.get("link.up.tlps_tx"), Some(1.0));
+        assert_eq!(stats.get("link.down.tlps_tx"), Some(1.0));
+    }
+
+    #[test]
+    fn propagation_delay_adds_flight_time() {
+        let cfg = quiet(LinkConfig {
+            propagation_delay: ns(5),
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        });
+        let (mut sim, done) = build(cfg, vec![(Command::WriteReq, 0x4000_0000, 64)], 0);
+        sim.run_to_quiesce();
+        // 168 + 5 down, 40 + 5 up.
+        assert_eq!(done.borrow()[0].1, ns(168 + 5 + 40 + 5));
+    }
+
+    #[test]
+    fn cut_through_delivers_at_header_time() {
+        // Store-and-forward: 84 B write = 168 ns to deliver; cut-through:
+        // only the 20 B header (40 ns), though the wire stays busy 168 ns.
+        let cfg = quiet(LinkConfig {
+            cut_through: true,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        });
+        let (mut sim, done) = build(cfg, vec![(Command::WriteReq, 0x4000_0000, 64)], 0);
+        sim.run_to_quiesce();
+        // 40 ns down (header) + 0 + 40 ns up (response is header-only
+        // anyway).
+        assert_eq!(done.borrow()[0].1, ns(40 + 40));
+    }
+
+    #[test]
+    fn cut_through_keeps_the_wire_serialized() {
+        // Two back-to-back writes: deliveries at header time, but the
+        // second transmission still waits for the first to clear the wire.
+        let cfg = quiet(LinkConfig {
+            cut_through: true,
+            ack_immediate: true,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        });
+        let script = vec![
+            (Command::WriteReq, 0x4000_0000, 64),
+            (Command::WriteReq, 0x4000_0040, 64),
+        ];
+        let (mut sim, done) = build(cfg, script, 0);
+        sim.run_to_quiesce();
+        let done = done.borrow();
+        // Second delivery trails the first by a full wire time (168 ns)
+        // plus the ACK DLLP for the first response that the down wire
+        // carries in between (16 ns) — not by the header time.
+        assert_eq!(done[1].1 - done[0].1, ns(168 + 16));
+    }
+
+    #[test]
+    fn delivery_latency_histogram_tracks_the_wire() {
+        let cfg = quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X1));
+        let (mut sim, _) = build(cfg, vec![(Command::WriteReq, 0x4000_0000, 64)], 0);
+        sim.run_to_quiesce();
+        let stats = sim.stats();
+        assert_eq!(stats.get("link.down.delivery_latency_ns.count"), Some(1.0));
+        // 84 B at Gen 2 x1 = 168 ns admission-to-delivery on a quiet wire.
+        assert_eq!(stats.get("link.down.delivery_latency_ns.mean"), Some(168.0));
+    }
+
+    #[test]
+    fn congested_deliveries_show_inflated_latency() {
+        // A refusing sink forces a replay timeout: the eventual delivery
+        // latency includes the stall.
+        let cfg = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let timeout = replay_timeout(&cfg);
+        let mut sim = Simulation::new();
+        let (req, _done) = Requester::new("cpu", vec![(Command::WriteReq, 0x4000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let l = sim.add(Box::new(PcieLink::new("link", cfg)));
+        let s = sim.add(Box::new(StubbornSink {
+            name: "sink".into(),
+            refusals_left: 1,
+            blocked: VecDeque::new(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        sim.run_to_quiesce();
+        let stats = sim.stats();
+        let mean = stats.get("link.down.delivery_latency_ns.mean").unwrap();
+        assert!(
+            mean >= pcisim_kernel::tick::to_ns(timeout),
+            "latency must include the replay stall: {mean} ns vs timeout {} ns",
+            pcisim_kernel::tick::to_ns(timeout)
+        );
+    }
+
+    /// Refuses the first `refusals_left` deliveries but — unlike
+    /// [`StubbornSink`] — honours the retry contract, granting one after
+    /// each refusal. Credit-mode receivers rely on retries (nothing is
+    /// dropped, so no replay timer will rescue a stuck delivery).
+    struct RetryingSink {
+        name: String,
+        refusals_left: u32,
+        blocked: VecDeque<Packet>,
+        waiting: bool,
+    }
+    impl Component for RetryingSink {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn recv_request(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) -> RecvResult {
+            if self.refusals_left > 0 {
+                self.refusals_left -= 1;
+                ctx.schedule(ns(300), Event::Timer { kind: 9, data: 0 });
+                return RecvResult::Refused(pkt);
+            }
+            ctx.schedule(0, Event::DelayedPacket { tag: 0, pkt });
+            RecvResult::Accepted
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Timer { kind: 9, .. } => ctx.send_retry(PortId(0)),
+                Event::DelayedPacket { pkt, .. } => {
+                    self.blocked.push_back(pkt.into_response());
+                    if !self.waiting {
+                        while let Some(p) = self.blocked.pop_front() {
+                            if let Err(back) = ctx.try_send_response(PortId(0), p) {
+                                self.blocked.push_front(back);
+                                self.waiting = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => panic!(),
+            }
+        }
+        fn retry_granted(&mut self, ctx: &mut Ctx<'_>, _p: PortId) {
+            self.waiting = false;
+            while let Some(p) = self.blocked.pop_front() {
+                if let Err(back) = ctx.try_send_response(PortId(0), p) {
+                    self.blocked.push_front(back);
+                    self.waiting = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn credit_fc_never_drops_into_a_congested_port() {
+        // Same stubborn sink as the replay-timeout test, but with credit
+        // flow control: the link buffers instead of dropping, so zero
+        // timeouts and zero refused deliveries.
+        let cfg = LinkConfig {
+            credit_fc: Some(8),
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        };
+        let mut sim = Simulation::new();
+        let script = (0..6).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (req, done) = Requester::new("cpu", script);
+        let r = sim.add(Box::new(req));
+        let l = sim.add(Box::new(PcieLink::new("link", cfg)));
+        let s = sim.add(Box::new(RetryingSink {
+            name: "sink".into(),
+            refusals_left: 3,
+            blocked: VecDeque::new(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 6);
+        let stats = sim.stats();
+        assert_eq!(stats.get("link.down.timeouts"), Some(0.0), "credits avoid timeouts");
+        assert_eq!(stats.get("link.down.replays"), Some(0.0));
+        assert!(stats.get("link.up.updatefc_tx").unwrap() > 0.0, "credits must return");
+    }
+
+    #[test]
+    fn credit_exhaustion_stalls_the_source() {
+        // 2 credits, a very slow sink: the source gets stalled on credits,
+        // not on the replay buffer.
+        let cfg = LinkConfig {
+            credit_fc: Some(2),
+            replay_buffer_size: 8,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        };
+        let mut sim = Simulation::new();
+        let script = (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (req, done) = Requester::new("cpu", script);
+        let r = sim.add(Box::new(req));
+        let l = sim.add(Box::new(PcieLink::new("link", cfg)));
+        let s = sim.add(Box::new(RetryingSink {
+            name: "sink".into(),
+            refusals_left: 6,
+            blocked: VecDeque::new(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 8, "credit stalls must not lose packets");
+        let stats = sim.stats();
+        assert!(stats.get("link.down.credit_stalls").unwrap() > 0.0);
+        assert_eq!(stats.get("link.down.rx_dropped_refused"), Some(0.0));
+    }
+
+    #[test]
+    fn credit_fc_matches_acknak_on_an_uncongested_link() {
+        // With an always-ready sink, both flow-control modes complete the
+        // same workload; credits only change behaviour under congestion.
+        let run = |credit: Option<usize>| {
+            let cfg = LinkConfig {
+                credit_fc: credit,
+                ..quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X1))
+            };
+            let script =
+                (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+            let (mut sim, done) = build(cfg, script, 0);
+            assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+            let n = done.borrow().len();
+            n
+        };
+        assert_eq!(run(None), 8);
+        assert_eq!(run(Some(16)), 8);
+    }
+
+    #[test]
+    fn utilization_counter_tracks_wire_time() {
+        let cfg = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let script = (0..4).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (mut sim, _) = build(cfg, script, 0);
+        sim.run_to_quiesce();
+        let stats = sim.stats();
+        // 4 TLPs * 168 ns of TLP time, plus DLLP time.
+        assert!(stats.get("link.down.busy_ticks").unwrap() >= (4 * ns(168)) as f64);
+    }
+}

@@ -1,0 +1,255 @@
+//! Link parameters: generation, width, encoding and timing.
+//!
+//! A PCI-Express link transmits 2.5 / 5 / 8 Gb/s per lane in Gen 1/2/3,
+//! encoded 8b/10b (Gen 1/2) or 128b/130b (Gen 3), over 1–32 lanes (paper
+//! §II-B). [`LinkConfig`] turns those parameters into wire timing: the
+//! symbol time (one byte on one lane) that the replay-timeout formula is
+//! expressed in, and the transmission time of a packet across the full
+//! width.
+
+pub use pcisim_pci::caps::Generation;
+
+use pcisim_kernel::tick::{Tick, TICKS_PER_SEC};
+
+/// Number of lanes in a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkWidth(u8);
+
+impl LinkWidth {
+    /// A single lane.
+    pub const X1: LinkWidth = LinkWidth(1);
+    /// Two lanes.
+    pub const X2: LinkWidth = LinkWidth(2);
+    /// Four lanes.
+    pub const X4: LinkWidth = LinkWidth(4);
+    /// Eight lanes.
+    pub const X8: LinkWidth = LinkWidth(8);
+    /// Twelve lanes.
+    pub const X12: LinkWidth = LinkWidth(12);
+    /// Sixteen lanes.
+    pub const X16: LinkWidth = LinkWidth(16);
+    /// Thirty-two lanes (the architected maximum).
+    pub const X32: LinkWidth = LinkWidth(32);
+
+    /// Creates a width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is one of the architected widths
+    /// (1, 2, 4, 8, 12, 16, 32).
+    pub fn new(lanes: u8) -> Self {
+        assert!(
+            matches!(lanes, 1 | 2 | 4 | 8 | 12 | 16 | 32),
+            "invalid link width x{lanes}"
+        );
+        Self(lanes)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for LinkWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Extension methods on [`Generation`] for wire timing.
+pub trait GenerationExt {
+    /// Raw signalling rate per lane in bits per second.
+    fn raw_bits_per_sec(&self) -> u64;
+    /// Encoding overhead as `(numerator, denominator)`: 10/8 for 8b/10b,
+    /// 130/128 for 128b/130b.
+    fn encoding(&self) -> (u64, u64);
+}
+
+impl GenerationExt for Generation {
+    fn raw_bits_per_sec(&self) -> u64 {
+        match self {
+            Generation::Gen1 => 2_500_000_000,
+            Generation::Gen2 => 5_000_000_000,
+            Generation::Gen3 => 8_000_000_000,
+        }
+    }
+
+    fn encoding(&self) -> (u64, u64) {
+        match self {
+            Generation::Gen1 | Generation::Gen2 => (10, 8),
+            Generation::Gen3 => (130, 128),
+        }
+    }
+}
+
+/// Full configuration of one link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Signalling generation.
+    pub generation: Generation,
+    /// Lane count.
+    pub width: LinkWidth,
+    /// Propagation (flight) delay added after serialization.
+    pub propagation_delay: Tick,
+    /// Replay buffer capacity in TLPs (the paper's default is 4, sized per
+    /// the ack factor \[32\]).
+    pub replay_buffer_size: usize,
+    /// Maximum TLP payload in bytes; the paper sets this to the cache line
+    /// size (64 B).
+    pub max_payload: u32,
+    /// When true the receiver acknowledges every TLP immediately instead of
+    /// batching behind the ACK timer (ablation knob).
+    pub ack_immediate: bool,
+    /// When true (default) the receiver acknowledges immediately whenever
+    /// the reverse wire is idle, batching behind the ACK timer only under
+    /// load — the "option to send an ACK back immediately" of §V-C.
+    pub ack_opportunistic: bool,
+    /// Inject a transmission error every N TLPs per direction (0 = never);
+    /// exercises the NAK path.
+    pub error_interval: u64,
+    /// When true (default) the replay-timeout formula divides by the lane
+    /// count as the specification text reads; when false the timeout is
+    /// evaluated at x1 (an exploration knob — see
+    /// `ack_nak::replay_timeout`).
+    pub scale_timeout_with_width: bool,
+    /// Credit-based flow control (real PCI-Express behaviour, the paper's
+    /// future-work "more detailed protocol layers"): the receiving
+    /// interface owns a buffer of this many TLPs, advertises it as
+    /// credits, and the transmitter stalls instead of transmitting into a
+    /// full receiver. UpdateFC DLLPs return credits as the attached
+    /// component drains the buffer. `None` (default) keeps the paper's
+    /// ACK/NAK-only model, where congested deliveries are dropped and
+    /// recovered by replay timeouts.
+    pub credit_fc: Option<usize>,
+    /// Cut-through delivery: hand a TLP to the receiver once its header
+    /// has arrived instead of after full serialization (the wire stays
+    /// busy for the whole packet). The paper's switch is store-and-forward
+    /// "since gem5 deals with individual packets" and notes that real
+    /// switches cut through (§V-B); this knob quantifies the difference.
+    pub cut_through: bool,
+}
+
+impl Default for LinkConfig {
+    /// Gen 2 x1 with the paper's defaults: replay buffer 4, 64 B max
+    /// payload, batched ACKs, no propagation delay, no injected errors.
+    fn default() -> Self {
+        Self {
+            generation: Generation::Gen2,
+            width: LinkWidth::X1,
+            propagation_delay: 0,
+            replay_buffer_size: 4,
+            max_payload: 64,
+            ack_immediate: false,
+            ack_opportunistic: true,
+            error_interval: 0,
+            scale_timeout_with_width: true,
+            credit_fc: None,
+            cut_through: false,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Convenience constructor for a generation/width pair with defaults
+    /// elsewhere.
+    pub fn new(generation: Generation, width: LinkWidth) -> Self {
+        Self { generation, width, ..Self::default() }
+    }
+
+    /// Time to transmit one byte on **one lane**, including the encoding
+    /// overhead — the "symbol time" the replay-timeout formula counts in.
+    pub fn symbol_time(&self) -> Tick {
+        let (num, den) = self.generation.encoding();
+        // 8 payload bits cost 8*num/den line bits at raw_bits_per_sec.
+        let line_bits = 8 * num;
+        let ticks = line_bits as u128 * TICKS_PER_SEC as u128
+            / (den as u128 * self.generation.raw_bits_per_sec() as u128);
+        ticks as Tick
+    }
+
+    /// Time to serialize `bytes` across the whole link width.
+    pub fn tx_time(&self, bytes: u32) -> Tick {
+        let (num, den) = self.generation.encoding();
+        let line_bits = 8 * num * u64::from(bytes);
+        let denom =
+            den as u128 * self.generation.raw_bits_per_sec() as u128 * self.width.lanes() as u128;
+        let ticks = (line_bits as u128 * TICKS_PER_SEC as u128).div_ceil(denom);
+        ticks as Tick
+    }
+
+    /// Effective payload bandwidth of the full link in bits per second
+    /// (after encoding overhead, before packet overheads).
+    pub fn effective_bits_per_sec(&self) -> u64 {
+        let (num, den) = self.generation.encoding();
+        self.generation.raw_bits_per_sec() * u64::from(self.width.lanes()) * den / num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcisim_kernel::tick::ns;
+
+    #[test]
+    fn gen2_x1_symbol_time_is_2ns() {
+        // Gen 2: 5 Gb/s raw, 8b/10b -> a byte costs 10 bits = 2 ns.
+        let c = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        assert_eq!(c.symbol_time(), ns(2));
+    }
+
+    #[test]
+    fn gen1_x1_symbol_time_is_4ns() {
+        let c = LinkConfig::new(Generation::Gen1, LinkWidth::X1);
+        assert_eq!(c.symbol_time(), ns(4));
+    }
+
+    #[test]
+    fn gen3_encoding_is_cheaper() {
+        let c = LinkConfig::new(Generation::Gen3, LinkWidth::X1);
+        // 8 bits * 130/128 at 8 Gb/s = 1.015625 ns -> 1015 ps (floor).
+        assert_eq!(c.symbol_time(), 1015);
+        assert_eq!(c.effective_bits_per_sec(), 8_000_000_000 * 128 / 130);
+    }
+
+    #[test]
+    fn tx_time_scales_inversely_with_width() {
+        let narrow = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let wide = LinkConfig::new(Generation::Gen2, LinkWidth::X8);
+        // An 84-byte TLP on Gen 2 x1: 84 bytes * 2 ns = 168 ns.
+        assert_eq!(narrow.tx_time(84), ns(168));
+        assert_eq!(wide.tx_time(84), ns(21));
+    }
+
+    #[test]
+    fn effective_bandwidth_matches_paper_figures() {
+        // The paper: a Gen 2 x1 link offers 5 Gb/s raw, 4 Gb/s after
+        // 8b/10b (§VI-A).
+        let c = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        assert_eq!(c.effective_bits_per_sec(), 4_000_000_000);
+        let x4 = LinkConfig::new(Generation::Gen2, LinkWidth::X4);
+        assert_eq!(x4.effective_bits_per_sec(), 16_000_000_000);
+    }
+
+    #[test]
+    fn widths_construct_and_display() {
+        assert_eq!(LinkWidth::new(8), LinkWidth::X8);
+        assert_eq!(LinkWidth::X12.lanes(), 12);
+        assert_eq!(LinkWidth::X32.to_string(), "x32");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid link width")]
+    fn odd_width_panics() {
+        let _ = LinkWidth::new(3);
+    }
+
+    #[test]
+    fn default_config_matches_paper_defaults() {
+        let c = LinkConfig::default();
+        assert_eq!(c.replay_buffer_size, 4);
+        assert_eq!(c.max_payload, 64);
+        assert!(!c.ack_immediate);
+        assert_eq!(c.generation, Generation::Gen2);
+    }
+}

@@ -1,0 +1,802 @@
+//! Root complex and switch models (paper §V-A, §V-B, Figs. 6–7).
+//!
+//! Both components share one structure, [`PcieRouter`]: an upstream port
+//! pair plus N downstream port pairs, each downstream pair fronted by a
+//! **virtual PCI-to-PCI bridge** (VP2P) configuration space registered with
+//! the PCI host. A switch additionally carries a VP2P on its upstream port.
+//!
+//! Routing follows the paper exactly:
+//!
+//! * **requests** arriving on the upstream slave are routed to the
+//!   downstream port whose VP2P memory or I/O window contains the packet
+//!   address;
+//! * **requests** arriving on a downstream slave (DMA) are stamped with the
+//!   VP2P's secondary bus number if the packet's PCI bus field is still
+//!   unset, then forwarded upstream (or, in a switch, peer-to-peer when a
+//!   sibling window matches);
+//! * **responses** are routed by comparing the packet's bus number against
+//!   each VP2P's secondary..=subordinate range; no match forwards upstream.
+//!
+//! Each port has bounded ingress and egress buffers (the 16/20/24/28 knob
+//! of Fig. 9(d)) and a processing engine with a pipeline `latency`
+//! (50–150 ns in Fig. 9(a)) and a per-port `service_interval` that bounds
+//! throughput — the "packets too fast for the switch port to handle"
+//! effect behind the x8 collapse of Fig. 9(b).
+
+use std::collections::VecDeque;
+
+use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
+use pcisim_kernel::packet::Packet;
+use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::stats::{Counter, StatsBuilder};
+use pcisim_kernel::tick::{ns, Tick};
+use pcisim_pci::caps::{CapChain, Capability, PortType};
+use pcisim_pci::config::{shared, SharedConfigSpace};
+use pcisim_pci::header::{bus_numbers, io_window, memory_window, Type1Header};
+
+use crate::params::{Generation, LinkWidth};
+
+/// Upstream slave port: receives requests from the memory side, emits
+/// responses toward it.
+pub const PORT_UPSTREAM_SLAVE: PortId = PortId(0);
+/// Upstream master port: emits DMA requests toward memory, receives their
+/// responses.
+pub const PORT_UPSTREAM_MASTER: PortId = PortId(1);
+
+/// Downstream master port of pair `i`: emits requests toward the device,
+/// receives responses.
+pub fn port_downstream_master(i: usize) -> PortId {
+    PortId((2 + 2 * i) as u16)
+}
+
+/// Downstream slave port of pair `i`: receives DMA requests from the
+/// device, emits responses toward it.
+pub fn port_downstream_slave(i: usize) -> PortId {
+    PortId((3 + 2 * i) as u16)
+}
+
+/// Whether the router is a root complex or a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// The root complex: downstream ports are root ports; DMA always goes
+    /// upstream (through the IOCache to memory).
+    RootComplex,
+    /// A switch: carries an upstream VP2P and supports peer-to-peer
+    /// routing between downstream ports.
+    Switch,
+}
+
+/// Timing and buffering knobs shared by root complex and switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// End-to-end processing latency per packet (the paper sweeps the
+    /// switch from 50 to 150 ns and fixes the root complex at 150 ns).
+    pub latency: Tick,
+    /// Minimum spacing between packets serviced by one ingress port; this
+    /// bounds per-port throughput.
+    pub service_interval: Tick,
+    /// Capacity of each ingress and each egress buffer, in packets
+    /// (Fig. 9(d) sweeps 16/20/24/28).
+    pub buffer_size: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self { latency: ns(150), service_interval: ns(42), buffer_size: 16 }
+    }
+}
+
+impl RouterConfig {
+    fn check(&self) {
+        assert!(self.buffer_size > 0, "port buffers must hold at least one packet");
+        assert!(
+            self.latency >= self.service_interval,
+            "latency must cover the service interval"
+        );
+    }
+}
+
+/// Builds a VP2P configuration space with the paper's layout: a type-1
+/// header (Fig. 7) with the capability pointer at 0xd8 and a PCI-Express
+/// capability structure describing the port.
+pub fn make_vp2p(
+    vendor: u16,
+    device: u16,
+    port_type: PortType,
+    generation: Generation,
+    width: LinkWidth,
+) -> SharedConfigSpace {
+    let mut cs = Type1Header::new(vendor, device).capabilities_at(0xd8).build();
+    CapChain::new()
+        .add(0xd8, Capability::PciExpress {
+            port_type,
+            generation,
+            max_width: width.lanes(),
+        })
+        .write_into(&mut cs);
+    shared(cs)
+}
+
+const K_SERVICE_DONE: u32 = 0;
+
+#[derive(Debug, Default)]
+struct PortBuffers {
+    ingress: VecDeque<Packet>,
+    in_service: Option<Packet>,
+    service_egress: usize,
+    engine_busy: bool,
+    /// Peer refused admission; owed a retry when ingress space frees.
+    owe_ingress_retry: bool,
+    egress: VecDeque<Packet>,
+    /// Packets finished with service, in the pipeline toward this egress.
+    egress_inflight: usize,
+    /// Our egress send was refused; waiting for the peer's retry.
+    egress_waiting_peer: bool,
+    /// Ingress ports stalled because this egress was full.
+    egress_waiters: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct RouterStats {
+    requests: Counter,
+    responses: Counter,
+    ingress_refusals: Counter,
+    egress_stalls: Counter,
+}
+
+/// The shared root-complex / switch component. Construct with
+/// [`PcieRouter::root_complex`] or [`PcieRouter::switch`].
+pub struct PcieRouter {
+    name: String,
+    kind: RouterKind,
+    config: RouterConfig,
+    /// One VP2P per downstream port.
+    vp2ps: Vec<SharedConfigSpace>,
+    /// Switch upstream VP2P (None for the root complex).
+    upstream_vp2p: Option<SharedConfigSpace>,
+    ports: Vec<PortBuffers>,
+    stats: RouterStats,
+}
+
+impl PcieRouter {
+    /// Creates a root complex with one VP2P per root port. The paper's
+    /// root complex has three root ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vp2ps` is empty or the configuration is inconsistent.
+    pub fn root_complex(
+        name: impl Into<String>,
+        config: RouterConfig,
+        vp2ps: Vec<SharedConfigSpace>,
+    ) -> Self {
+        config.check();
+        assert!(!vp2ps.is_empty(), "a root complex needs at least one root port");
+        let n = vp2ps.len();
+        Self {
+            name: name.into(),
+            kind: RouterKind::RootComplex,
+            config,
+            vp2ps,
+            upstream_vp2p: None,
+            ports: (0..2 + 2 * n).map(|_| PortBuffers::default()).collect(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Creates a switch with an upstream VP2P and one VP2P per downstream
+    /// port.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `downstream_vp2ps` is empty or the configuration is
+    /// inconsistent.
+    pub fn switch(
+        name: impl Into<String>,
+        config: RouterConfig,
+        upstream_vp2p: SharedConfigSpace,
+        downstream_vp2ps: Vec<SharedConfigSpace>,
+    ) -> Self {
+        config.check();
+        assert!(!downstream_vp2ps.is_empty(), "a switch needs at least one downstream port");
+        let n = downstream_vp2ps.len();
+        Self {
+            name: name.into(),
+            kind: RouterKind::Switch,
+            config,
+            vp2ps: downstream_vp2ps,
+            upstream_vp2p: Some(upstream_vp2p),
+            ports: (0..2 + 2 * n).map(|_| PortBuffers::default()).collect(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Which kind of router this is.
+    pub fn kind(&self) -> RouterKind {
+        self.kind
+    }
+
+    /// Number of downstream port pairs.
+    pub fn num_downstream(&self) -> usize {
+        self.vp2ps.len()
+    }
+
+    /// The VP2P configuration space of downstream port `i`.
+    pub fn vp2p(&self, i: usize) -> SharedConfigSpace {
+        self.vp2ps[i].clone()
+    }
+
+    /// The switch's upstream VP2P, if this is a switch.
+    pub fn upstream_vp2p(&self) -> Option<SharedConfigSpace> {
+        self.upstream_vp2p.clone()
+    }
+
+    /// Downstream pair whose VP2P window contains `addr`, if any.
+    fn downstream_by_window(&self, addr: u64, exclude: Option<usize>) -> Option<usize> {
+        self.vp2ps.iter().enumerate().position(|(i, cs)| {
+            if exclude == Some(i) {
+                return false;
+            }
+            let cs = cs.borrow();
+            memory_window(&cs).contains(addr) || io_window(&cs).contains(addr)
+        })
+    }
+
+    /// Downstream pair whose VP2P bus range covers `bus`, if any.
+    fn downstream_by_bus(&self, bus: u8) -> Option<usize> {
+        self.vp2ps.iter().position(|cs| {
+            let (_, sec, sub) = bus_numbers(&cs.borrow());
+            sec <= bus && bus <= sub && sec != 0
+        })
+    }
+
+    /// Chooses the egress kernel-port index for a packet entering on
+    /// kernel port `ingress`.
+    fn route(&self, ingress: usize, pkt: &Packet) -> usize {
+        let up_slave = PORT_UPSTREAM_SLAVE.0 as usize;
+        let up_master = PORT_UPSTREAM_MASTER.0 as usize;
+        if pkt.is_request() {
+            if ingress == up_slave {
+                // CPU request: window routing.
+                let i = self.downstream_by_window(pkt.addr(), None).unwrap_or_else(|| {
+                    panic!(
+                        "{}: no downstream window for request at {:#x}",
+                        self.name,
+                        pkt.addr()
+                    )
+                });
+                port_downstream_master(i).0 as usize
+            } else {
+                // DMA from a downstream device.
+                debug_assert!(ingress >= 2 && ingress % 2 == 1, "requests enter slave ports");
+                if self.kind == RouterKind::Switch {
+                    let pair = (ingress - 2) / 2;
+                    if let Some(j) = self.downstream_by_window(pkt.addr(), Some(pair)) {
+                        return port_downstream_master(j).0 as usize;
+                    }
+                }
+                up_master
+            }
+        } else {
+            // Response: bus-number routing; no match forwards upstream.
+            match pkt.pci_bus().and_then(|b| self.downstream_by_bus(b)) {
+                Some(j) => port_downstream_slave(j).0 as usize,
+                None => up_slave,
+            }
+        }
+    }
+
+    /// Bus number a slave port stamps onto unstamped requests.
+    fn stamp_for(&self, ingress: usize) -> Option<u8> {
+        let up_slave = PORT_UPSTREAM_SLAVE.0 as usize;
+        if ingress == up_slave {
+            match self.kind {
+                // "The upstream root complex slave port sets the bus number
+                // to be 0."
+                RouterKind::RootComplex => Some(0),
+                // A switch's upstream port sits on the primary bus of its
+                // upstream VP2P.
+                RouterKind::Switch => {
+                    let cs = self.upstream_vp2p.as_ref().expect("switch has upstream vp2p");
+                    Some(bus_numbers(&cs.borrow()).0)
+                }
+            }
+        } else if ingress >= 2 && ingress % 2 == 1 {
+            // Downstream slave: the secondary bus of its VP2P.
+            let pair = (ingress - 2) / 2;
+            Some(bus_numbers(&self.vp2ps[pair].borrow()).1)
+        } else {
+            None
+        }
+    }
+
+    fn ingress_full(&self, port: usize) -> bool {
+        self.ports[port].ingress.len() >= self.config.buffer_size
+    }
+
+    fn egress_full(&self, port: usize) -> bool {
+        let p = &self.ports[port];
+        p.egress.len() + p.egress_inflight >= self.config.buffer_size
+    }
+
+    /// Starts the service engine of `ingress` if idle and the head packet's
+    /// egress has room.
+    fn try_start(&mut self, ctx: &mut Ctx<'_>, ingress: usize) {
+        if self.ports[ingress].engine_busy {
+            return;
+        }
+        let Some(head) = self.ports[ingress].ingress.front() else { return };
+        let egress = self.route(ingress, head);
+        if self.egress_full(egress) {
+            self.stats.egress_stalls.inc();
+            if !self.ports[egress].egress_waiters.contains(&ingress) {
+                self.ports[egress].egress_waiters.push(ingress);
+            }
+            return;
+        }
+        let pkt = self.ports[ingress].ingress.pop_front().expect("head exists");
+        let p = &mut self.ports[ingress];
+        p.engine_busy = true;
+        p.in_service = Some(pkt);
+        p.service_egress = egress;
+        self.ports[egress].egress_inflight += 1;
+        ctx.schedule(
+            self.config.service_interval,
+            Event::Timer { kind: K_SERVICE_DONE, data: ingress as u64 },
+        );
+        // Ingress space freed: grant the feeding peer a retry.
+        if self.ports[ingress].owe_ingress_retry && !self.ingress_full(ingress) {
+            self.ports[ingress].owe_ingress_retry = false;
+            ctx.send_retry(PortId(ingress as u16));
+        }
+    }
+
+    fn service_done(&mut self, ctx: &mut Ctx<'_>, ingress: usize) {
+        let p = &mut self.ports[ingress];
+        let pkt = p.in_service.take().expect("service completion without packet");
+        let egress = p.service_egress;
+        p.engine_busy = false;
+        // Remaining pipeline latency toward the egress buffer.
+        let rest = self.config.latency - self.config.service_interval;
+        ctx.schedule(rest, Event::DelayedPacket { tag: egress as u32, pkt });
+        self.try_start(ctx, ingress);
+    }
+
+    fn drain_egress(&mut self, ctx: &mut Ctx<'_>, egress: usize) {
+        loop {
+            if self.ports[egress].egress_waiting_peer {
+                return;
+            }
+            let Some(pkt) = self.ports[egress].egress.pop_front() else { return };
+            let port = PortId(egress as u16);
+            let result = if pkt.is_request() {
+                ctx.try_send_request(port, pkt)
+            } else {
+                ctx.try_send_response(port, pkt)
+            };
+            match result {
+                Ok(()) => {
+                    // Space freed: restart any ingress engines stalled on
+                    // this egress.
+                    for ing in std::mem::take(&mut self.ports[egress].egress_waiters) {
+                        self.try_start(ctx, ing);
+                    }
+                }
+                Err(back) => {
+                    self.ports[egress].egress.push_front(back);
+                    self.ports[egress].egress_waiting_peer = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
+        let ingress = port.0 as usize;
+        assert!(ingress < self.ports.len(), "{}: unknown port {port}", self.name);
+        if self.ingress_full(ingress) {
+            self.stats.ingress_refusals.inc();
+            self.ports[ingress].owe_ingress_retry = true;
+            return RecvResult::Refused(pkt);
+        }
+        if pkt.is_request() {
+            self.stats.requests.inc();
+            if let Some(bus) = self.stamp_for(ingress) {
+                pkt.stamp_pci_bus(bus);
+            }
+        } else {
+            self.stats.responses.inc();
+        }
+        self.ports[ingress].ingress.push_back(pkt);
+        self.try_start(ctx, ingress);
+        RecvResult::Accepted
+    }
+}
+
+impl Component for PcieRouter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        self.admit(ctx, port, pkt)
+    }
+
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        self.admit(ctx, port, pkt)
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Timer { kind: K_SERVICE_DONE, data } => self.service_done(ctx, data as usize),
+            Event::Timer { kind, .. } => panic!("{}: unknown timer {kind}", self.name),
+            Event::DelayedPacket { tag, pkt } => {
+                let egress = tag as usize;
+                self.ports[egress].egress_inflight -= 1;
+                self.ports[egress].egress.push_back(pkt);
+                self.drain_egress(ctx, egress);
+            }
+        }
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        let egress = port.0 as usize;
+        self.ports[egress].egress_waiting_peer = false;
+        self.drain_egress(ctx, egress);
+    }
+
+    fn report_stats(&self, out: &mut StatsBuilder) {
+        out.counter("requests", &self.stats.requests);
+        out.counter("responses", &self.stats.responses);
+        out.counter("ingress_refusals", &self.stats.ingress_refusals);
+        out.counter("egress_stalls", &self.stats.egress_stalls);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcisim_kernel::addr::AddrRange;
+    use pcisim_kernel::packet::Command;
+    use pcisim_kernel::sim::{RunOutcome, Simulation};
+    use pcisim_kernel::testutil::{Requester, Responder, REQUESTER_PORT, RESPONDER_PORT};
+    use pcisim_pci::header::{program_io_window, program_memory_window};
+    use pcisim_pci::regs::type1;
+
+    /// A VP2P programmed as enumeration software would: bus range and
+    /// windows.
+    fn programmed_vp2p(sec: u8, sub: u8, mem: AddrRange, io: AddrRange) -> SharedConfigSpace {
+        let cs = make_vp2p(0x8086, 0x9c90, PortType::RootPort, Generation::Gen2, LinkWidth::X4);
+        {
+            let mut b = cs.borrow_mut();
+            b.write(type1::SECONDARY_BUS, 1, u32::from(sec));
+            b.write(type1::SUBORDINATE_BUS, 1, u32::from(sub));
+            program_memory_window(&mut b, mem);
+            program_io_window(&mut b, io);
+        }
+        cs
+    }
+
+    fn mem0() -> AddrRange {
+        AddrRange::new(0x4000_0000, 0x4010_0000)
+    }
+    fn mem1() -> AddrRange {
+        AddrRange::new(0x4010_0000, 0x4020_0000)
+    }
+
+    fn rc_two_ports(config: RouterConfig) -> PcieRouter {
+        PcieRouter::root_complex(
+            "rc",
+            config,
+            vec![
+                programmed_vp2p(1, 1, mem0(), AddrRange::empty()),
+                programmed_vp2p(2, 2, mem1(), AddrRange::empty()),
+            ],
+        )
+    }
+
+    struct Harness {
+        sim: Simulation,
+        done: pcisim_kernel::testutil::CompletionLog,
+    }
+
+    fn build_rc_harness(config: RouterConfig, script: Vec<(Command, u64, u32)>) -> Harness {
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", script);
+        let r = sim.add(Box::new(req));
+        let rc = sim.add(Box::new(rc_two_ports(config)));
+        let (d0, _) = Responder::new("dev0", 0);
+        let (d1, _) = Responder::new("dev1", 0);
+        let d0 = sim.add(Box::new(d0));
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        Harness { sim, done }
+    }
+
+    #[test]
+    fn requests_route_by_vp2p_window() {
+        let mut h = build_rc_harness(
+            RouterConfig::default(),
+            vec![
+                (Command::ReadReq, mem0().start() + 0x10, 4),
+                (Command::ReadReq, mem1().start() + 0x20, 4),
+            ],
+        );
+        assert_eq!(h.sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(h.done.borrow().len(), 2);
+        let stats = h.sim.stats();
+        assert_eq!(stats.get("rc.requests"), Some(2.0));
+        assert_eq!(stats.get("rc.responses"), Some(2.0));
+    }
+
+    #[test]
+    fn request_latency_is_twice_the_router_latency() {
+        let cfg = RouterConfig { latency: ns(150), service_interval: ns(25), buffer_size: 16 };
+        let mut h = build_rc_harness(cfg, vec![(Command::ReadReq, mem0().start(), 4)]);
+        h.sim.run_to_quiesce();
+        // 150 ns down + 0 service at the device + 150 ns up.
+        assert_eq!(h.done.borrow()[0].1, ns(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "no downstream window")]
+    fn unrouted_cpu_request_panics() {
+        let mut h = build_rc_harness(
+            RouterConfig::default(),
+            vec![(Command::ReadReq, 0x9000_0000, 4)],
+        );
+        h.sim.run_to_quiesce();
+    }
+
+    #[test]
+    fn dma_goes_upstream_and_response_returns_by_bus_number() {
+        let mut sim = Simulation::new();
+        let rc = sim.add(Box::new(rc_two_ports(RouterConfig::default())));
+        let (req, done) = Requester::new("dev-dma", vec![(Command::WriteReq, 0x8000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let (mem, _) = Responder::new("mem", ns(30));
+        let m = sim.add(Box::new(mem));
+        sim.connect((r, REQUESTER_PORT), (rc, port_downstream_slave(0)));
+        sim.connect((rc, PORT_UPSTREAM_MASTER), (m, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1, "DMA response must route back to pair 0");
+    }
+
+    #[test]
+    fn request_stamps_bus_number_of_its_vp2p() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct BusProbe {
+            seen: Rc<RefCell<Vec<Option<u8>>>>,
+        }
+        impl Component for BusProbe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn recv_request(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) -> RecvResult {
+                self.seen.borrow_mut().push(pkt.pci_bus());
+                ctx.schedule(0, Event::DelayedPacket { tag: 0, pkt });
+                RecvResult::Accepted
+            }
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                let Event::DelayedPacket { pkt, .. } = ev else { panic!() };
+                ctx.try_send_response(PortId(0), pkt.into_response()).unwrap();
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let rc = sim.add(Box::new(rc_two_ports(RouterConfig::default())));
+        let (req, _done) = Requester::new("dev-dma", vec![(Command::WriteReq, 0x8000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let p = sim.add(Box::new(BusProbe { seen: seen.clone() }));
+        // DMA enters via pair 1 (secondary bus 2).
+        sim.connect((r, REQUESTER_PORT), (rc, port_downstream_slave(1)));
+        sim.connect((rc, PORT_UPSTREAM_MASTER), (p, PortId(0)));
+        sim.run_to_quiesce();
+        assert_eq!(*seen.borrow(), vec![Some(2)]);
+    }
+
+    #[test]
+    fn service_interval_bounds_per_port_throughput() {
+        let cfg = RouterConfig { latency: ns(100), service_interval: ns(100), buffer_size: 16 };
+        let script = (0..8).map(|i| (Command::ReadReq, mem0().start() + i * 64, 4)).collect();
+        let mut h = build_rc_harness(cfg, script);
+        h.sim.run_to_quiesce();
+        let done = h.done.borrow();
+        assert_eq!(done.len(), 8);
+        for w in done.windows(2) {
+            assert_eq!(w[1].1 - w[0].1, ns(100), "completions must pace at the service interval");
+        }
+    }
+
+    #[test]
+    fn full_ingress_buffer_refuses_and_recovers() {
+        let cfg = RouterConfig { latency: ns(100), service_interval: ns(100), buffer_size: 2 };
+        let script = (0..16).map(|i| (Command::ReadReq, mem0().start() + i * 64, 4)).collect();
+        let mut h = build_rc_harness(cfg, script);
+        assert_eq!(h.sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(h.done.borrow().len(), 16, "backpressure must not lose packets");
+        let stats = h.sim.stats();
+        assert!(stats.get("rc.ingress_refusals").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn switch_peer_to_peer_routes_between_downstream_ports() {
+        let upstream =
+            programmed_vp2p(1, 3, AddrRange::new(0x4000_0000, 0x4020_0000), AddrRange::empty());
+        let sw = PcieRouter::switch(
+            "sw",
+            RouterConfig::default(),
+            upstream,
+            vec![
+                programmed_vp2p(2, 2, mem0(), AddrRange::empty()),
+                programmed_vp2p(3, 3, mem1(), AddrRange::empty()),
+            ],
+        );
+        assert_eq!(sw.kind(), RouterKind::Switch);
+        assert_eq!(sw.num_downstream(), 2);
+        let mut sim = Simulation::new();
+        let s = sim.add(Box::new(sw));
+        // Device 0 writes into device 1's window: peer-to-peer.
+        let (req, done) = Requester::new("dev0", vec![(Command::WriteReq, mem1().start(), 64)]);
+        let r = sim.add(Box::new(req));
+        let (dev1, served) = Responder::new("dev1", 0);
+        let d1 = sim.add(Box::new(dev1));
+        sim.connect((r, REQUESTER_PORT), (s, port_downstream_slave(0)));
+        sim.connect((s, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*served.borrow(), 1, "peer-to-peer request must reach device 1");
+        assert_eq!(done.borrow().len(), 1, "peer-to-peer response must return to device 0");
+    }
+
+    #[test]
+    fn switch_dma_to_memory_goes_upstream() {
+        let upstream = programmed_vp2p(1, 2, mem0(), AddrRange::empty());
+        let sw = PcieRouter::switch(
+            "sw",
+            RouterConfig::default(),
+            upstream,
+            vec![programmed_vp2p(2, 2, mem0(), AddrRange::empty())],
+        );
+        let mut sim = Simulation::new();
+        let s = sim.add(Box::new(sw));
+        let (req, done) = Requester::new("dev", vec![(Command::WriteReq, 0x8000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let (mem, _) = Responder::new("mem", 0);
+        let m = sim.add(Box::new(mem));
+        sim.connect((r, REQUESTER_PORT), (s, port_downstream_slave(0)));
+        sim.connect((s, PORT_UPSTREAM_MASTER), (m, RESPONDER_PORT));
+        sim.run_to_quiesce();
+        assert_eq!(done.borrow().len(), 1);
+    }
+
+    /// A device that refuses the first `refusals` deliveries, then accepts
+    /// and answers instantly.
+    struct GrumpyDevice {
+        name: String,
+        refusals: u32,
+        blocked: std::collections::VecDeque<Packet>,
+        waiting: bool,
+    }
+    impl Component for GrumpyDevice {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn recv_request(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) -> RecvResult {
+            if self.refusals > 0 {
+                self.refusals -= 1;
+                // Grant the retry from a fresh event so the router resends.
+                ctx.schedule(ns(500), Event::Timer { kind: 7, data: 0 });
+                return RecvResult::Refused(pkt);
+            }
+            ctx.schedule(0, Event::DelayedPacket { tag: 0, pkt });
+            RecvResult::Accepted
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Timer { kind: 7, .. } => ctx.send_retry(PortId(0)),
+                Event::DelayedPacket { pkt, .. } => {
+                    self.blocked.push_back(pkt.into_response());
+                    if !self.waiting {
+                        while let Some(p) = self.blocked.pop_front() {
+                            if let Err(back) = ctx.try_send_response(PortId(0), p) {
+                                self.blocked.push_front(back);
+                                self.waiting = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => panic!(),
+            }
+        }
+        fn retry_granted(&mut self, ctx: &mut Ctx<'_>, _p: PortId) {
+            self.waiting = false;
+            while let Some(p) = self.blocked.pop_front() {
+                if let Err(back) = ctx.try_send_response(PortId(0), p) {
+                    self.blocked.push_front(back);
+                    self.waiting = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn egress_backpressure_holds_packets_until_the_peer_retries() {
+        let mut sim = Simulation::new();
+        let rc = sim.add(Box::new(rc_two_ports(RouterConfig::default())));
+        let (req, done) = Requester::new(
+            "cpu",
+            (0..6).map(|i| (Command::ReadReq, mem0().start() + i * 64, 4)).collect(),
+        );
+        let r = sim.add(Box::new(req));
+        let g = sim.add(Box::new(GrumpyDevice {
+            name: "grumpy".into(),
+            refusals: 3,
+            blocked: Default::default(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (g, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 6, "refused egress must be retried, never dropped");
+    }
+
+    #[test]
+    fn deep_egress_stall_backpressures_the_ingress_engine() {
+        // A tiny port buffer plus a long-refusing peer: the egress fills,
+        // the ingress engine stalls, the upstream peer gets refused — and
+        // everything still completes.
+        let cfg = RouterConfig { latency: ns(50), service_interval: ns(10), buffer_size: 2 };
+        let mut sim = Simulation::new();
+        let rc = sim.add(Box::new(rc_two_ports(cfg)));
+        let (req, done) = Requester::new(
+            "cpu",
+            (0..12).map(|i| (Command::ReadReq, mem0().start() + i * 64, 4)).collect(),
+        );
+        let r = sim.add(Box::new(req));
+        let g = sim.add(Box::new(GrumpyDevice {
+            name: "grumpy".into(),
+            refusals: 8,
+            blocked: Default::default(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (g, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 12);
+        let stats = sim.stats();
+        assert!(stats.get("rc.egress_stalls").unwrap() > 0.0, "the engine must have stalled");
+        assert!(stats.get("rc.ingress_refusals").unwrap() > 0.0, "backpressure must propagate");
+    }
+
+    #[test]
+    fn vp2p_helper_reports_port_type() {
+        let cs = make_vp2p(0x8086, 0x9c90, PortType::RootPort, Generation::Gen2, LinkWidth::X4);
+        let cs = cs.borrow();
+        assert_eq!(cs.read(0x00, 2), 0x8086);
+        assert_eq!(cs.read(0x0e, 1), 1, "type-1 header");
+        assert_eq!(cs.read(0x34, 1), 0xd8, "cap pointer at 0xd8 per the paper");
+        assert_eq!(pcisim_pci::caps::port_type_field(&cs, 0xd8), 0x4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one root port")]
+    fn empty_root_complex_panics() {
+        let _ = PcieRouter::root_complex("rc", RouterConfig::default(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must cover")]
+    fn service_longer_than_latency_panics() {
+        let cfg = RouterConfig { latency: ns(10), service_interval: ns(20), buffer_size: 4 };
+        let _ = PcieRouter::root_complex(
+            "rc",
+            cfg,
+            vec![programmed_vp2p(1, 1, mem0(), AddrRange::empty())],
+        );
+    }
+}

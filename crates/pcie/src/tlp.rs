@@ -1,0 +1,180 @@
+//! TLP/DLLP wire formats and byte overheads (paper Table I).
+//!
+//! The link model reuses gem5 memory packets as TLPs — they already carry
+//! the requester, address, size and transaction type a TLP header needs —
+//! and wraps them, together with data-link-layer packets (DLLPs), in a
+//! `pcie-pkt` whose on-wire size accounts for the transaction, data-link
+//! and physical layer overheads of Table I:
+//!
+//! | overhead | bytes | applies to |
+//! |---|---|---|
+//! | TLP header | 12 | TLP |
+//! | sequence number | 2 | TLP |
+//! | link CRC (LCRC) | 4 | TLP |
+//! | framing symbols | 2 | TLP and DLLP |
+//!
+//! The 8b/10b / 128b/130b encoding overhead is applied as *time*, not
+//! bytes, by [`LinkConfig::tx_time`](crate::params::LinkConfig::tx_time).
+
+use pcisim_kernel::packet::Packet;
+
+/// TLP header bytes (3-dword header + digest margin the paper uses).
+pub const TLP_HEADER_BYTES: u32 = 12;
+/// Sequence number prepended by the data link layer.
+pub const TLP_SEQ_BYTES: u32 = 2;
+/// Link CRC appended by the data link layer.
+pub const TLP_LCRC_BYTES: u32 = 4;
+/// STP/END framing symbols added by the physical layer (TLP and DLLP).
+pub const FRAMING_BYTES: u32 = 2;
+/// DLLP body: 4 bytes of content + 2 bytes of CRC-16.
+pub const DLLP_BODY_BYTES: u32 = 6;
+
+/// Total per-TLP overhead excluding payload.
+pub const TLP_OVERHEAD_BYTES: u32 =
+    TLP_HEADER_BYTES + TLP_SEQ_BYTES + TLP_LCRC_BYTES + FRAMING_BYTES;
+/// Total on-wire size of a DLLP.
+pub const DLLP_WIRE_BYTES: u32 = DLLP_BODY_BYTES + FRAMING_BYTES;
+
+/// A data link layer packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dllp {
+    /// Positive acknowledgement of every TLP with sequence number ≤ `seq`.
+    Ack {
+        /// Highest acknowledged sequence number.
+        seq: u32,
+    },
+    /// Negative acknowledgement: TLPs after `seq` must be replayed.
+    Nak {
+        /// Last correctly received sequence number.
+        seq: u32,
+    },
+    /// Flow-control credit return (UpdateFC): the receiver freed buffer
+    /// space for `credits` more TLPs. Only used in the credit-based
+    /// flow-control extension.
+    UpdateFc {
+        /// Number of receive-buffer slots returned.
+        credits: u32,
+    },
+}
+
+impl Dllp {
+    /// The sequence number carried by ACK/NAK (0 for UpdateFC).
+    pub fn seq(&self) -> u32 {
+        match *self {
+            Dllp::Ack { seq } | Dllp::Nak { seq } => seq,
+            Dllp::UpdateFc { .. } => 0,
+        }
+    }
+
+    /// Whether this is a NAK.
+    pub fn is_nak(&self) -> bool {
+        matches!(self, Dllp::Nak { .. })
+    }
+
+    /// Whether this is an UpdateFC credit return.
+    pub fn is_update_fc(&self) -> bool {
+        matches!(self, Dllp::UpdateFc { .. })
+    }
+}
+
+/// The paper's `pcie-pkt`: a wrapper that travels a unidirectional link and
+/// encapsulates either a TLP (a gem5 packet plus sequence number) or a DLLP.
+#[derive(Debug, Clone)]
+pub enum PciePacket {
+    /// A transaction layer packet.
+    Tlp {
+        /// Data-link-layer sequence number.
+        seq: u32,
+        /// The encapsulated memory packet.
+        pkt: Packet,
+    },
+    /// A data link layer packet.
+    Dllp(Dllp),
+}
+
+impl PciePacket {
+    /// On-wire size in bytes, per Table I. TLP payload is the packet's
+    /// payload length (0 for read requests / write responses, the access
+    /// size for write requests / read responses).
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            PciePacket::Tlp { pkt, .. } => pkt.payload_len() + TLP_OVERHEAD_BYTES,
+            PciePacket::Dllp(_) => DLLP_WIRE_BYTES,
+        }
+    }
+
+    /// Whether this wraps a TLP.
+    pub fn is_tlp(&self) -> bool {
+        matches!(self, PciePacket::Tlp { .. })
+    }
+}
+
+/// On-wire size of a TLP carrying `payload` bytes.
+pub fn tlp_wire_bytes(payload: u32) -> u32 {
+    payload + TLP_OVERHEAD_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcisim_kernel::component::ComponentId;
+    use pcisim_kernel::packet::{Command, PacketId};
+
+    fn pkt(cmd: Command, size: u32) -> Packet {
+        let p = Packet::request(PacketId(1), cmd, 0x4000_0000, size, ComponentId(0));
+        if cmd.is_write() {
+            p.with_payload(vec![0; size as usize])
+        } else {
+            p
+        }
+    }
+
+    #[test]
+    fn table_i_overheads_sum_to_20_bytes() {
+        assert_eq!(TLP_OVERHEAD_BYTES, 20);
+        assert_eq!(DLLP_WIRE_BYTES, 8);
+    }
+
+    #[test]
+    fn cache_line_write_request_is_84_bytes_on_wire() {
+        let w = PciePacket::Tlp { seq: 0, pkt: pkt(Command::WriteReq, 64) };
+        assert_eq!(w.wire_bytes(), 84);
+    }
+
+    #[test]
+    fn read_request_carries_no_payload() {
+        let r = PciePacket::Tlp { seq: 0, pkt: pkt(Command::ReadReq, 64) };
+        assert_eq!(r.wire_bytes(), 20);
+    }
+
+    #[test]
+    fn read_response_carries_the_data() {
+        let resp = pkt(Command::ReadReq, 64).into_read_response(vec![0; 64]);
+        let p = PciePacket::Tlp { seq: 3, pkt: resp };
+        assert_eq!(p.wire_bytes(), 84);
+    }
+
+    #[test]
+    fn write_response_is_header_only() {
+        let resp = pkt(Command::WriteReq, 64).into_response();
+        let p = PciePacket::Tlp { seq: 3, pkt: resp };
+        assert_eq!(p.wire_bytes(), 20);
+    }
+
+    #[test]
+    fn dllp_accessors() {
+        let ack = Dllp::Ack { seq: 41 };
+        let nak = Dllp::Nak { seq: 7 };
+        assert_eq!(ack.seq(), 41);
+        assert!(!ack.is_nak());
+        assert!(nak.is_nak());
+        assert_eq!(PciePacket::Dllp(ack).wire_bytes(), 8);
+        assert!(!PciePacket::Dllp(nak).is_tlp());
+    }
+
+    #[test]
+    fn helper_matches_wrapper() {
+        assert_eq!(tlp_wire_bytes(64), 84);
+        assert_eq!(tlp_wire_bytes(0), 20);
+    }
+}

@@ -1,0 +1,36 @@
+//! `pcisim-system` — full-system assembly and the paper's workloads.
+//!
+//! * [`platform`] — the ARM `Vexpress_GEM5_V1` address map (§III);
+//! * [`builder`] — wires memory bus, DRAM, IOCache, PCI host, interrupt
+//!   controller, root complex, switch, links and a device into one
+//!   enumerated, driver-probed system (Fig. 6);
+//! * [`workload`] — the `dd` block-read workload (§VI-A) and the
+//!   kernel-module MMIO latency probe (Table II);
+//! * [`experiments`] — one entry point per figure/table of the paper's
+//!   evaluation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod experiments;
+pub mod platform;
+pub mod workload;
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::builder::{
+        build_dual_disk_system, build_legacy_system, build_system, BuiltSystem, DeviceSpec,
+        DualDiskSystem, LegacySystemConfig, SystemConfig,
+    };
+    pub use crate::experiments::{
+        run_dd_experiment, run_mmio_experiment, run_nic_rx_experiment, run_nic_tx_experiment,
+        run_sector_microbench, DdExperiment, DdOutcome, MmioExperiment, MmioOutcome,
+        NicRxExperiment, NicRxOutcome, NicTxExperiment, NicTxOutcome,
+    };
+    pub use crate::platform;
+    pub use crate::workload::dd::{DdConfig, DdReport, DdReportHandle};
+    pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
+    pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};
+    pub use crate::workload::nic_tx::{NicTxConfig, NicTxReport, NicTxReportHandle};
+}

@@ -1,0 +1,96 @@
+//! The platform address map (ARM `Vexpress_GEM5_V1`, paper §III).
+//!
+//! The paper's platform assigns 256 MB of PCI configuration space at
+//! 0x3000_0000, 16 MB of PCI I/O space at 0x2f00_0000, 1 GB of PCI memory
+//! space at 0x4000_0000, and DRAM from 2 GB upward — all below 2³², so
+//! 32-bit BARs suffice for every PCI device.
+
+use pcisim_kernel::addr::AddrRange;
+use pcisim_pci::enumeration::EnumerationConfig;
+
+/// Base of the ECAM configuration window.
+pub const PCI_CONFIG_BASE: u64 = 0x3000_0000;
+/// Size of the ECAM configuration window (256 MB).
+pub const PCI_CONFIG_SIZE: u64 = 0x1000_0000;
+/// Base of the PCI I/O window.
+pub const PCI_IO_BASE: u64 = 0x2f00_0000;
+/// Size of the PCI I/O window (16 MB).
+pub const PCI_IO_SIZE: u64 = 0x0100_0000;
+/// Base of the PCI memory (MMIO) window.
+pub const PCI_MEM_BASE: u64 = 0x4000_0000;
+/// Size of the PCI memory window (1 GB).
+pub const PCI_MEM_SIZE: u64 = 0x4000_0000;
+/// Base of DRAM (2 GB).
+pub const DRAM_BASE: u64 = 0x8000_0000;
+/// Simulated DRAM size (1 GB is ample: DMA targets a bounded buffer).
+pub const DRAM_SIZE: u64 = 0x4000_0000;
+/// Base of the interrupt-controller message window (on-chip).
+pub const INTC_BASE: u64 = 0x2c00_0000;
+/// Size of the interrupt-controller message window.
+pub const INTC_SIZE: u64 = 0x1000;
+/// First legacy IRQ handed to PCI devices.
+pub const FIRST_PCI_IRQ: u8 = 32;
+
+/// The ECAM window.
+pub fn config_range() -> AddrRange {
+    AddrRange::with_size(PCI_CONFIG_BASE, PCI_CONFIG_SIZE)
+}
+
+/// The PCI I/O window.
+pub fn io_range() -> AddrRange {
+    AddrRange::with_size(PCI_IO_BASE, PCI_IO_SIZE)
+}
+
+/// The PCI memory window.
+pub fn mem_range() -> AddrRange {
+    AddrRange::with_size(PCI_MEM_BASE, PCI_MEM_SIZE)
+}
+
+/// The DRAM range.
+pub fn dram_range() -> AddrRange {
+    AddrRange::with_size(DRAM_BASE, DRAM_SIZE)
+}
+
+/// The interrupt-controller window.
+pub fn intc_range() -> AddrRange {
+    AddrRange::with_size(INTC_BASE, INTC_SIZE)
+}
+
+/// Enumeration resources matching this platform.
+pub fn enumeration_config() -> EnumerationConfig {
+    EnumerationConfig {
+        mem_window: mem_range(),
+        io_window: io_range(),
+        first_irq: FIRST_PCI_IRQ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_match_the_paper() {
+        assert_eq!(config_range(), AddrRange::new(0x3000_0000, 0x4000_0000));
+        assert_eq!(io_range(), AddrRange::new(0x2f00_0000, 0x3000_0000));
+        assert_eq!(mem_range(), AddrRange::new(0x4000_0000, 0x8000_0000));
+        assert_eq!(dram_range().start(), 0x8000_0000);
+    }
+
+    #[test]
+    fn windows_are_disjoint() {
+        let windows = [config_range(), io_range(), mem_range(), dram_range(), intc_range()];
+        for (i, a) in windows.iter().enumerate() {
+            for b in windows.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn everything_fits_below_4gb_except_dram_end() {
+        assert!(mem_range().end() <= 1 << 32);
+        assert!(io_range().end() <= 1 << 32);
+        assert!(config_range().end() <= 1 << 32);
+    }
+}

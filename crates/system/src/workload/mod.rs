@@ -1,0 +1,6 @@
+//! CPU-side workload models: `dd` block reads and the MMIO latency probe.
+
+pub mod dd;
+pub mod mmio;
+pub mod nic_rx;
+pub mod nic_tx;

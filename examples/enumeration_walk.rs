@@ -1,0 +1,79 @@
+//! Enumeration walkthrough: the §IV story, step by step.
+//!
+//! Builds a registry with the paper's devices (the 8254x-pcie NIC and the
+//! IDE disk behind root ports and a switch), runs the depth-first
+//! enumeration software, and shows what the e1000e driver probe sees —
+//! including the forced fallback to a legacy interrupt because PM, MSI and
+//! MSI-X are all disabled.
+//!
+//! ```text
+//! cargo run --release --example enumeration_walk
+//! ```
+
+use pcisim::devices::driver::{e1000e_probe, ide_probe};
+use pcisim::devices::ide::ide_config_space;
+use pcisim::devices::nic::nic_config_space;
+use pcisim::pci::caps::{walk_capabilities, PortType};
+use pcisim::pci::prelude::*;
+use pcisim::pcie::params::{Generation, LinkWidth};
+use pcisim::pcie::router::make_vp2p;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = shared_registry();
+    {
+        let mut reg = registry.borrow_mut();
+        // Three root ports on bus 0, as the paper's root complex has.
+        for (i, dev_id) in [0x9c90u16, 0x9c92, 0x9c94].iter().enumerate() {
+            reg.register(
+                Bdf::new(0, (i + 1) as u8, 0),
+                make_vp2p(0x8086, *dev_id, PortType::RootPort, Generation::Gen2, LinkWidth::X4),
+            );
+        }
+        // A switch behind root port 1.
+        reg.register(
+            Bdf::new(1, 0, 0),
+            make_vp2p(0x8086, 0xaa01, PortType::SwitchUpstream, Generation::Gen2, LinkWidth::X4),
+        );
+        reg.register(
+            Bdf::new(2, 0, 0),
+            make_vp2p(0x8086, 0xaa02, PortType::SwitchDownstream, Generation::Gen2, LinkWidth::X1),
+        );
+        reg.register(
+            Bdf::new(2, 1, 0),
+            make_vp2p(0x8086, 0xaa03, PortType::SwitchDownstream, Generation::Gen2, LinkWidth::X1),
+        );
+        // The disk behind switch downstream 0, the NIC behind downstream 1.
+        reg.register(Bdf::new(3, 0, 0), shared(ide_config_space()));
+        reg.register(Bdf::new(4, 0, 0), shared(nic_config_space()));
+    }
+
+    println!("running the enumeration software (depth-first bus walk)...\n");
+    let report = enumerate(&mut registry.clone(), EnumerationConfig::vexpress_gem5_v1())?;
+    println!("{report}");
+
+    println!("capability chain of the NIC (the 82574l layout of §IV):");
+    let nic = report.find(0x8086, 0x10d3).expect("NIC enumerated");
+    let cs = registry.borrow().lookup(nic.bdf).expect("registered");
+    for (offset, id) in walk_capabilities(&cs.borrow()) {
+        let name = match id {
+            0x01 => "power management (disabled)",
+            0x05 => "MSI (enable bit wired to 0)",
+            0x10 => "PCI-Express capability",
+            0x11 => "MSI-X (disabled)",
+            _ => "?",
+        };
+        println!("  {offset:#04x}: id {id:#04x} — {name}");
+    }
+
+    println!("\ne1000e probe:");
+    let info = e1000e_probe(&mut registry.clone(), &report)?;
+    println!(
+        "  matched {:04x}:{:04x} at {} — BAR0 {:#x}, link {:?}, interrupt {:?}",
+        0x8086, 0x10d3, info.bdf, info.bar0, info.link, info.interrupt
+    );
+    println!("  (MSI enable bounced off the disabled structure, hence the legacy IRQ)");
+
+    let disk = ide_probe(&mut registry.clone(), &report)?;
+    println!("\nide probe: disk at {} BAR0 {:#x} interrupt {:?}", disk.bdf, disk.bar0, disk.interrupt);
+    Ok(())
+}

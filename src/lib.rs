@@ -1,0 +1,48 @@
+//! `pcisim` — a PCI-Express interconnect simulator.
+//!
+//! This facade crate re-exports the whole workspace, a from-scratch Rust
+//! reproduction of *Simulating PCI-Express Interconnect for Future System
+//! Exploration* (Alian, Srinivasan, Kim — IISWC 2018):
+//!
+//! * [`kernel`] — the deterministic event-driven simulation substrate;
+//! * [`pci`] — configuration spaces, capability chains, ECAM, the PCI
+//!   host and the enumeration software;
+//! * [`pcie`] — the paper's contribution: links with the full ACK/NAK
+//!   protocol, the root complex and switches;
+//! * [`devices`] — the IDE disk, the 8254x-pcie NIC, driver models and
+//!   the interrupt controller;
+//! * [`system`] — full-system assembly, workloads and the per-figure
+//!   experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use pcisim::system::builder::{build_system, SystemConfig};
+//! use pcisim::system::workload::dd::DdConfig;
+//!
+//! // The paper's validation topology, enumerated and driver-probed.
+//! let mut built = build_system(SystemConfig::validation());
+//! let report = built.attach_dd(DdConfig {
+//!     block_bytes: 256 * 1024,
+//!     ..DdConfig::default()
+//! });
+//! built.sim.run_to_quiesce();
+//! let report = report.borrow();
+//! assert!(report.done);
+//! assert!(report.throughput_gbps() > 0.0);
+//! ```
+
+pub use pcisim_devices as devices;
+pub use pcisim_kernel as kernel;
+pub use pcisim_pci as pci;
+pub use pcisim_pcie as pcie;
+pub use pcisim_system as system;
+
+/// One flat import for examples and quick experiments.
+pub mod prelude {
+    pub use pcisim_devices::prelude::*;
+    pub use pcisim_kernel::prelude::*;
+    pub use pcisim_pci::prelude::*;
+    pub use pcisim_pcie::prelude::*;
+    pub use pcisim_system::prelude::*;
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: the full validation topology from enumeration
+//! to `dd` completion, with conservation checks across every component.
+
+use pcisim::kernel::sim::RunOutcome;
+use pcisim::kernel::tick::TICKS_PER_SEC;
+use pcisim::pci::ecam::Bdf;
+use pcisim::system::builder::{build_system, SystemConfig};
+use pcisim::system::workload::dd::DdConfig;
+
+const MB: u64 = 1024 * 1024;
+
+fn run_validation_dd(block: u64) -> (pcisim::system::workload::dd::DdReport, pcisim::kernel::stats::StatsSnapshot) {
+    let mut built = build_system(SystemConfig::validation());
+    let report = built.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
+    let outcome = built.sim.run(TICKS_PER_SEC, u64::MAX);
+    assert_eq!(outcome, RunOutcome::QueueEmpty, "system must quiesce");
+    assert_eq!(built.sim.pending_events(), 0);
+    let r = report.borrow().clone();
+    (r, built.sim.stats())
+}
+
+#[test]
+fn dd_transfers_every_byte_exactly_once() {
+    let (r, stats) = run_validation_dd(2 * MB);
+    assert!(r.done);
+    assert_eq!(r.bytes, 2 * MB);
+    // The disk DMA'd exactly the block, in 64 B TLPs.
+    assert_eq!(stats.get("disk.dma_bytes"), Some((2 * MB) as f64));
+    assert_eq!(stats.get("disk.dma_tlps"), Some((2 * MB / 64) as f64));
+    assert_eq!(stats.get("disk.sectors"), Some((2 * MB / 4096) as f64));
+}
+
+#[test]
+fn write_responses_match_write_requests_when_not_posted() {
+    let (_r, stats) = run_validation_dd(MB);
+    // Every DMA write is answered: the root complex forwarded as many
+    // responses down as requests up (plus the dd MMIO traffic).
+    let rc_req = stats.get("rc.requests").unwrap();
+    let rc_resp = stats.get("rc.responses").unwrap();
+    // MMIO requests are answered too, and interrupt messages are posted
+    // (requests without responses): commands * 5 MMIO writes each, plus
+    // one message per command.
+    let commands = stats.get("dd.commands").unwrap();
+    assert_eq!(rc_req - rc_resp, commands, "only interrupt messages lack responses");
+}
+
+#[test]
+fn link_accounting_is_conserved() {
+    let (_r, stats) = run_validation_dd(MB);
+    for link in ["root_link", "dev_link"] {
+        for dir in ["up", "down"] {
+            let admitted = stats.get(&format!("{link}.{dir}.tlps_admitted")).unwrap();
+            let delivered = stats.get(&format!("{link}.{dir}.rx_delivered")).unwrap();
+            let dropped_refused =
+                stats.get(&format!("{link}.{dir}.rx_dropped_refused")).unwrap();
+            let dropped_seq = stats.get(&format!("{link}.{dir}.rx_dropped_seq")).unwrap();
+            let dropped_corrupt =
+                stats.get(&format!("{link}.{dir}.rx_dropped_corrupt")).unwrap();
+            let tx = stats.get(&format!("{link}.{dir}.tlps_tx")).unwrap();
+            // Every admitted TLP is delivered exactly once...
+            assert_eq!(admitted, delivered, "{link}.{dir}: TLP lost or duplicated");
+            // ...and every transmission is accounted for.
+            assert_eq!(
+                tx,
+                delivered + dropped_refused + dropped_seq + dropped_corrupt,
+                "{link}.{dir}: transmissions unaccounted"
+            );
+        }
+    }
+}
+
+#[test]
+fn interrupts_fire_once_per_disk_command() {
+    let (r, stats) = run_validation_dd(MB);
+    assert_eq!(stats.get("gic.raised"), Some(r.commands as f64));
+    assert_eq!(stats.get("gic.spurious"), Some(0.0));
+    assert_eq!(stats.get("disk.irqs"), Some(r.commands as f64));
+}
+
+#[test]
+fn dram_receives_every_dma_byte() {
+    let (_r, stats) = run_validation_dd(MB);
+    assert_eq!(stats.get("dram.writes"), Some((MB / 64) as f64));
+    assert_eq!(stats.get("dram.bytes"), Some(MB as f64));
+    assert_eq!(stats.get("iocache.accesses").unwrap(), (MB / 64) as f64 + stats.get("gic.raised").unwrap());
+}
+
+#[test]
+fn topology_matches_the_paper() {
+    let built = build_system(SystemConfig::validation());
+    // Bus plan: 0 = root bus, 1 = root port 0's secondary (switch
+    // upstream), 2 = switch internal, 3/4 = downstream secondaries,
+    // 5/6 = the other root ports.
+    assert_eq!(built.report.bus_count, 7);
+    let disk = built.report.find(0x8086, 0x2922).expect("disk enumerated");
+    assert_eq!(disk.bdf, Bdf::new(3, 0, 0));
+    let rp0 = built.report.find(0x8086, 0x9c90).expect("root port 0");
+    assert_eq!(rp0.bus_range, Some((1, 4)));
+    // The probe's negotiated link matches the configured device link
+    // (Gen 2 x1 in the validation setup).
+    let (gen, width) = built.probe.link.expect("link status present");
+    assert_eq!(gen, pcisim::pcie::params::Generation::Gen2);
+    assert_eq!(width, 1);
+}
+
+#[test]
+fn throughput_is_deterministic_across_runs() {
+    let (a, stats_a) = run_validation_dd(MB);
+    let (b, stats_b) = run_validation_dd(MB);
+    assert_eq!(a.end, b.end, "simulated completion time must be bit-identical");
+    assert_eq!(a.bytes, b.bytes);
+    let keys_a: Vec<_> = stats_a.iter().collect();
+    let keys_b: Vec<_> = stats_b.iter().collect();
+    assert_eq!(keys_a, keys_b, "every statistic must be identical across runs");
+}
+
+#[test]
+fn posted_writes_beat_non_posted() {
+    use pcisim::system::builder::DeviceSpec;
+    let run = |posted: bool| {
+        let mut config = SystemConfig::validation();
+        if let DeviceSpec::Disk(disk) = &mut config.device {
+            disk.posted_writes = posted;
+        }
+        let mut built = build_system(config);
+        let report = built.attach_dd(DdConfig { block_bytes: MB, ..DdConfig::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        let r = report.borrow().clone();
+        assert!(r.done);
+        r.throughput_gbps()
+    };
+    let nonposted = run(false);
+    let posted = run(true);
+    assert!(
+        posted > nonposted,
+        "removing the response barrier must help: posted {posted} vs non-posted {nonposted}"
+    );
+}

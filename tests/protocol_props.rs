@@ -1,0 +1,270 @@
+//! Property-based tests of the core protocol invariants.
+//!
+//! * The data link layer never loses or duplicates TLPs, whatever the
+//!   receiver's refusal pattern or the injected error rate;
+//! * enumeration always produces non-overlapping, naturally-aligned BARs
+//!   and bridge windows, whatever the topology;
+//! * the replay-timeout formula behaves monotonically;
+//! * on-wire sizes follow Table I for any payload.
+
+use proptest::prelude::*;
+
+use pcisim::kernel::component::{Component, Event, PortId, RecvResult};
+use pcisim::kernel::packet::{Command, Packet};
+use pcisim::kernel::sim::{Ctx, RunOutcome, Simulation};
+use pcisim::kernel::testutil::{Requester, REQUESTER_PORT};
+use pcisim::pcie::ack_nak::replay_timeout;
+use pcisim::pcie::link::{PcieLink, PORT_DOWN_MASTER, PORT_UP_SLAVE};
+use pcisim::pcie::params::{Generation, LinkConfig, LinkWidth};
+use pcisim::pcie::tlp::tlp_wire_bytes;
+
+/// A sink that refuses deliveries according to a scripted pattern, then
+/// responds to everything it accepted.
+struct PatternSink {
+    name: String,
+    pattern: Vec<bool>, // true = refuse this delivery attempt
+    attempt: usize,
+    received: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+    blocked: std::collections::VecDeque<Packet>,
+    waiting: bool,
+}
+
+impl Component for PatternSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) -> RecvResult {
+        let refuse = self.pattern.get(self.attempt).copied().unwrap_or(false);
+        self.attempt += 1;
+        if refuse {
+            return RecvResult::Refused(pkt);
+        }
+        self.received.borrow_mut().push(pkt.addr());
+        ctx.schedule(0, Event::DelayedPacket { tag: 0, pkt });
+        RecvResult::Accepted
+    }
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let Event::DelayedPacket { pkt, .. } = ev else { panic!() };
+        self.blocked.push_back(pkt.into_response());
+        self.flush(ctx);
+    }
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, _p: PortId) {
+        self.waiting = false;
+        self.flush(ctx);
+    }
+}
+
+impl PatternSink {
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.waiting {
+            let Some(p) = self.blocked.pop_front() else { return };
+            if let Err(back) = ctx.try_send_response(PortId(0), p) {
+                self.blocked.push_front(back);
+                self.waiting = true;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever refusal pattern the receiver exhibits and whatever error
+    /// rate the wire injects, every TLP arrives exactly once and in order.
+    #[test]
+    fn link_never_loses_or_duplicates_tlps(
+        n_pkts in 1usize..40,
+        refusals in proptest::collection::vec(any::<bool>(), 0..80),
+        // 0 = no errors; 1 is excluded: corrupting *every* transmission
+        // (including replays) correctly never converges.
+        error_interval in prop_oneof![Just(0u64), 2u64..6],
+        replay_buffer in 1usize..5,
+        lanes_pow in 0u32..4,
+    ) {
+        let lanes = 1u8 << lanes_pow;
+        let config = LinkConfig {
+            replay_buffer_size: replay_buffer,
+            error_interval,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::new(lanes))
+        };
+        let mut sim = Simulation::new();
+        let script: Vec<_> = (0..n_pkts)
+            .map(|i| (Command::WriteReq, 0x4000_0000 + i as u64 * 64, 64))
+            .collect();
+        let (req, done) = Requester::new("gen", script);
+        let r = sim.add(Box::new(req));
+        let l = sim.add(Box::new(PcieLink::new("link", config)));
+        let received = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let s = sim.add(Box::new(PatternSink {
+            name: "sink".into(),
+            pattern: refusals,
+            attempt: 0,
+            received: received.clone(),
+            blocked: Default::default(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        prop_assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        // Exactly once, in order.
+        let got = received.borrow().clone();
+        let want: Vec<u64> = (0..n_pkts).map(|i| 0x4000_0000 + i as u64 * 64).collect();
+        prop_assert_eq!(got, want);
+        // And every response returned.
+        prop_assert_eq!(done.borrow().len(), n_pkts);
+    }
+
+    /// The replay timeout shrinks (or stays equal) as links get wider and
+    /// grows with the payload.
+    #[test]
+    fn replay_timeout_is_monotonic(payload_pow in 6u32..12) {
+        let payload = 1u32 << payload_pow;
+        let widths = [LinkWidth::X1, LinkWidth::X2, LinkWidth::X4, LinkWidth::X8];
+        let mut last = u64::MAX;
+        for w in widths {
+            let c = LinkConfig {
+                max_payload: payload,
+                ..LinkConfig::new(Generation::Gen2, w)
+            };
+            let t = replay_timeout(&c);
+            prop_assert!(t > 0);
+            prop_assert!(t <= last, "timeout must not grow with width");
+            last = t;
+        }
+        // Payload monotonicity at fixed width.
+        let small = LinkConfig { max_payload: payload, ..LinkConfig::default() };
+        let big = LinkConfig { max_payload: payload * 2, ..LinkConfig::default() };
+        prop_assert!(replay_timeout(&big) >= replay_timeout(&small));
+    }
+
+    /// Table I: on-wire size is payload + 20 bytes, for any payload.
+    #[test]
+    fn tlp_wire_size_is_payload_plus_overheads(payload in 0u32..4096) {
+        prop_assert_eq!(tlp_wire_bytes(payload), payload + 20);
+    }
+
+    /// Transmission time scales linearly in bytes and inversely in lanes
+    /// (up to rounding).
+    #[test]
+    fn tx_time_scales_sanely(bytes in 1u32..4096, lanes_pow in 0u32..4) {
+        let lanes = 1u8 << lanes_pow;
+        let narrow = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let wide = LinkConfig::new(Generation::Gen2, LinkWidth::new(lanes));
+        let t1 = narrow.tx_time(bytes);
+        let tw = wide.tx_time(bytes);
+        // Wider is never slower, and speedup is at most the lane count.
+        prop_assert!(tw <= t1);
+        prop_assert!(tw * u64::from(lanes) + u64::from(lanes) >= t1);
+    }
+}
+
+mod enumeration_props {
+    use super::*;
+    use pcisim::pci::config::shared;
+    use pcisim::pci::ecam::Bdf;
+    use pcisim::pci::enumeration::{enumerate, EnumerationConfig};
+    use pcisim::pci::header::{Bar, Type0Header, Type1Header};
+    use pcisim::pci::host::shared_registry;
+
+    /// A randomly sized endpoint: up to three BARs with power-of-two sizes.
+    fn endpoint(dev_id: u16, bar_sizes: &[u64]) -> pcisim::pci::config::ConfigSpace {
+        let mut h = Type0Header::new(0x1af4, dev_id).interrupt_pin(1);
+        for (i, &size) in bar_sizes.iter().enumerate() {
+            h = h.bar(i, Bar::Memory32 { size, prefetchable: false });
+        }
+        h.build()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any mix of endpoints behind any number of bridges enumerates to
+        /// non-overlapping, naturally aligned BARs, and every bridge window
+        /// covers exactly its subtree.
+        #[test]
+        fn bars_never_overlap_and_align(
+            // Devices on bus 0 (flat topology beside one bridge).
+            flat_sizes in proptest::collection::vec(4u32..14, 0..4),
+            // Devices behind the bridge.
+            deep_sizes in proptest::collection::vec(4u32..14, 0..4),
+        ) {
+            let reg = shared_registry();
+            {
+                let mut r = reg.borrow_mut();
+                for (i, pow) in flat_sizes.iter().enumerate() {
+                    r.register(
+                        Bdf::new(0, (4 + i) as u8, 0),
+                        shared(endpoint(0x1000 + i as u16, &[1u64 << pow])),
+                    );
+                }
+                r.register(Bdf::new(0, 1, 0), shared(Type1Header::new(0x8086, 0x9c90).build()));
+                for (i, pow) in deep_sizes.iter().enumerate() {
+                    r.register(
+                        Bdf::new(1, i as u8, 0),
+                        shared(endpoint(0x2000 + i as u16, &[1u64 << pow])),
+                    );
+                }
+            }
+            let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+
+            // Natural alignment + pairwise disjointness of all BARs.
+            let mut regions: Vec<(u64, u64)> = Vec::new();
+            for d in report.endpoints() {
+                for b in &d.bars {
+                    prop_assert_eq!(b.base % b.size, 0, "BAR must be naturally aligned");
+                    regions.push((b.base, b.base + b.size));
+                }
+            }
+            regions.sort_unstable();
+            for w in regions.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "BARs overlap: {:?}", w);
+            }
+
+            // The bridge window covers exactly the BARs behind it.
+            let bridge = report.find(0x8086, 0x9c90).unwrap();
+            let window = bridge.memory_window.unwrap();
+            for d in report.endpoints() {
+                for b in &d.bars {
+                    let inside = window.contains(b.base);
+                    let behind = d.bdf.bus >= 1;
+                    prop_assert_eq!(
+                        inside, behind,
+                        "window {} vs BAR {:#x} on bus {}", window, b.base, d.bdf.bus
+                    );
+                }
+            }
+        }
+
+        /// Bus numbers are strictly depth-first: each bridge's range
+        /// contains every descendant and nothing else.
+        #[test]
+        fn bus_ranges_nest(depth in 1usize..5) {
+            let reg = shared_registry();
+            {
+                let mut r = reg.borrow_mut();
+                // A chain of bridges, each at device 0 of the previous
+                // secondary bus.
+                for level in 0..depth {
+                    r.register(
+                        Bdf::new(level as u8, 0, 0),
+                        shared(Type1Header::new(0x8086, 0x9c90 + level as u16).build()),
+                    );
+                }
+                // One endpoint at the bottom.
+                r.register(Bdf::new(depth as u8, 0, 0), shared(endpoint(0x999, &[0x1000])));
+            }
+            let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+            prop_assert_eq!(report.bridges().count(), depth);
+            let mut ranges: Vec<(u8, u8)> =
+                report.bridges().map(|b| b.bus_range.unwrap()).collect();
+            ranges.sort_unstable();
+            // Deeper bridges have strictly nested ranges.
+            for w in ranges.windows(2) {
+                let (outer, inner) = (w[0], w[1]);
+                prop_assert!(outer.0 < inner.0 && inner.1 <= outer.1,
+                    "ranges must nest: {:?} then {:?}", outer, inner);
+            }
+            prop_assert_eq!(report.bus_count as usize, depth + 1);
+        }
+    }
+}
