@@ -75,10 +75,8 @@ fn cut_through(c: &mut Criterion) {
                 config.root_link.cut_through = cut;
                 config.device_link.cut_through = cut;
                 let mut built = build_system(config);
-                let report = built.attach_dd(DdConfig {
-                    block_bytes: 1024 * 1024,
-                    ..DdConfig::default()
-                });
+                let report =
+                    built.attach_dd(DdConfig { block_bytes: 1024 * 1024, ..DdConfig::default() });
                 built.sim.run(pcisim_kernel::tick::TICKS_PER_SEC, u64::MAX);
                 let r = report.borrow();
                 assert!(r.done);
@@ -109,5 +107,12 @@ fn credit_flow_control(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, posted_writes, ack_batching, sector_width, cut_through, credit_flow_control);
+criterion_group!(
+    benches,
+    posted_writes,
+    ack_batching,
+    sector_width,
+    cut_through,
+    credit_flow_control
+);
 criterion_main!(benches);

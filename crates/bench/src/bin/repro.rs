@@ -1,12 +1,16 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--full] [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [all]
+//! repro [--full] [--trace PATH] [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
 //! the legacy-crossbar baseline, dual-disk fabric contention, and the
 //! NIC transmit sweep.
+//!
+//! `--trace PATH` additionally re-runs the Table II point with full event
+//! tracing: a Chrome/Perfetto trace is written to PATH and a per-stage
+//! latency attribution of the MMIO read is printed.
 //!
 //! By default block sizes are scaled down 16× (4–32 MB instead of the
 //! paper's 64–512 MB) so the whole suite finishes in seconds; `--full`
@@ -123,10 +127,7 @@ fn fig9c(opts: &Opts) {
     }
     println!(
         "{}",
-        table::render(
-            &["replay buf", "dd (Gb/s)", "timeout%", "replay%", "paper timeout%"],
-            &rows
-        )
+        table::render(&["replay buf", "dd (Gb/s)", "timeout%", "replay%", "paper timeout%"], &rows)
     );
 }
 
@@ -157,10 +158,7 @@ fn fig9d(opts: &Opts) {
     }
     println!(
         "{}",
-        table::render(
-            &["port buf", "dd (Gb/s)", "timeout%", "replay%", "paper timeout%"],
-            &rows
-        )
+        table::render(&["port buf", "dd (Gb/s)", "timeout%", "replay%", "paper timeout%"], &rows)
     );
 }
 
@@ -199,14 +197,17 @@ fn sector(_opts: &Opts) {
 
 fn ext(opts: &Opts) {
     use pcisim_kernel::tick::TICKS_PER_SEC;
-    use pcisim_system::builder::{build_dual_disk_system, build_legacy_system, build_system,
-        LegacySystemConfig, SystemConfig};
+    use pcisim_system::builder::{
+        build_dual_disk_system, build_legacy_system, build_system, LegacySystemConfig, SystemConfig,
+    };
     use pcisim_system::workload::dd::DdConfig;
 
     let block = if opts.full { 64 * MB } else { 4 * MB };
 
-    println!("
-== Extension: legacy crossbar baseline vs the PCI-Express model ==");
+    println!(
+        "
+== Extension: legacy crossbar baseline vs the PCI-Express model =="
+    );
     let mut legacy = build_legacy_system(LegacySystemConfig::default());
     let lr = legacy.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
     legacy.sim.run(TICKS_PER_SEC, u64::MAX);
@@ -219,11 +220,16 @@ fn ext(opts: &Opts) {
         l / p
     );
 
-    println!("
-== Extension: dual-disk contention on the shared root link ==");
+    println!(
+        "
+== Extension: dual-disk contention on the shared root link =="
+    );
     let mut rows = Vec::new();
-    for width in [pcisim_pcie::params::LinkWidth::X1, pcisim_pcie::params::LinkWidth::X2,
-                  pcisim_pcie::params::LinkWidth::X4] {
+    for width in [
+        pcisim_pcie::params::LinkWidth::X1,
+        pcisim_pcie::params::LinkWidth::X2,
+        pcisim_pcie::params::LinkWidth::X4,
+    ] {
         let mut config = SystemConfig::validation();
         config.root_link =
             pcisim_pcie::params::LinkConfig::new(pcisim_pcie::params::Generation::Gen2, width);
@@ -241,8 +247,10 @@ fn ext(opts: &Opts) {
     }
     println!("{}", table::render(&["root link", "disk0 Gb/s", "disk1 Gb/s", "aggregate"], &rows));
 
-    println!("
-== Extension: NIC transmit sweep (DMA reads through the fabric) ==");
+    println!(
+        "
+== Extension: NIC transmit sweep (DMA reads through the fabric) =="
+    );
     let mut rows = Vec::new();
     for lanes in [1u8, 2, 4, 8] {
         let out = run_nic_tx_experiment(&NicTxExperiment {
@@ -297,17 +305,58 @@ fn ext(opts: &Opts) {
     println!("{}", table::render(&["flow control", "dd (Gb/s)", "replay%", "timeout%"], &rows));
 }
 
+/// Re-runs the Table II 150 ns point with tracing, dumps Perfetto JSON to
+/// `path` and prints the per-stage latency attribution (the paper's "where
+/// does the access latency go" question, answered from the trace).
+fn trace_dump(path: &str) {
+    println!("\n== Traced run: Table II @ rc=150 ns, full event trace ==");
+    let out = run_mmio_experiment(&MmioExperiment {
+        rc_latency: ns(150),
+        reads: 8,
+        cpu_overhead: 0,
+        trace: true,
+    });
+    assert!(out.completed, "traced run must complete");
+    let log = out.trace.expect("trace requested");
+    std::fs::write(path, log.to_perfetto_json()).expect("write trace file");
+    println!("Perfetto trace written to {path} (open in ui.perfetto.dev).\n");
+    println!("{}", log.attribution().render());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let opts = Opts { full };
-    let picked: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--full").collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "repro_trace.json".into()));
+    let mut skip_next = false;
+    let picked: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--trace" {
+                skip_next = true;
+                return false;
+            }
+            *a != "--full"
+        })
+        .collect();
     let run_all = picked.is_empty() || picked.contains(&"all");
 
     println!(
         "pcisim repro — {} mode (block sizes {})",
         if full { "full" } else { "quick" },
-        if full { "64–512 MB as in the paper" } else { "scaled down 16x; pass --full for the paper's sizes" },
+        if full {
+            "64–512 MB as in the paper"
+        } else {
+            "scaled down 16x; pass --full for the paper's sizes"
+        },
     );
     if run_all || picked.contains(&"sector") {
         sector(&opts);
@@ -329,5 +378,8 @@ fn main() {
     }
     if run_all || picked.contains(&"ext") {
         ext(&opts);
+    }
+    if let Some(path) = trace_path {
+        trace_dump(&path);
     }
 }

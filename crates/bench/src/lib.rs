@@ -25,12 +25,10 @@ pub mod reference {
     pub const X8_REPLAY_PCT: f64 = 27.0;
 
     /// §VI-B: timeout percentages for replay buffers 1..=4 (Fig. 9(c)).
-    pub const FIG9C_TIMEOUT_PCT: [(usize, f64); 4] =
-        [(1, 0.0), (2, 6.0), (3, 27.0), (4, 27.0)];
+    pub const FIG9C_TIMEOUT_PCT: [(usize, f64); 4] = [(1, 0.0), (2, 6.0), (3, 27.0), (4, 27.0)];
 
     /// §VI-B: timeout percentages for port buffers 16/20/24/28 (Fig. 9(d)).
-    pub const FIG9D_TIMEOUT_PCT: [(usize, f64); 4] =
-        [(16, 27.0), (20, 20.0), (24, 0.0), (28, 0.0)];
+    pub const FIG9D_TIMEOUT_PCT: [(usize, f64); 4] = [(16, 27.0), (20, 20.0), (24, 0.0), (28, 0.0)];
 
     /// §VI-B: saturated `dd` throughput with deep buffers, Gb/s (Fig. 9(d)).
     pub const SATURATION_GBPS: f64 = 5.08;

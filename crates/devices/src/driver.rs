@@ -169,12 +169,7 @@ pub fn probe_with_policy<A: ConfigAccess>(
         _ => None,
     };
     let width = ((ls >> 4) & 0x3f) as u8;
-    Ok(ProbeInfo {
-        bdf: dev.bdf,
-        bar0,
-        interrupt,
-        link: generation.map(|g| (g, width)),
-    })
+    Ok(ProbeInfo { bdf: dev.bdf, bar0, interrupt, link: generation.map(|g| (g, width)) })
 }
 
 /// The e1000e probe (paper §IV): matches on device ID 0x10D3 and, because
@@ -216,7 +211,8 @@ mod tests {
         let (reg, report) = enumerated_system();
         let info = e1000e_probe(&mut reg.clone(), &report).unwrap();
         assert_eq!(info.bdf, Bdf::new(0, 1, 0));
-        assert!(matches!(info.interrupt, InterruptMode::Legacy(irq) if irq >= 32),
+        assert!(
+            matches!(info.interrupt, InterruptMode::Legacy(irq) if irq >= 32),
             "MSI is disabled so the driver must register a legacy handler, got {:?}",
             info.interrupt
         );
@@ -258,15 +254,17 @@ mod tests {
     fn probe_fails_when_bar0_is_missing() {
         // Right ID, PCIe cap present, but no BAR0.
         let reg = shared_registry();
-        let mut cs = pcisim_pci::header::Type0Header::new(0x8086, 0x10d3)
-            .capabilities_at(0x40)
-            .build();
+        let mut cs =
+            pcisim_pci::header::Type0Header::new(0x8086, 0x10d3).capabilities_at(0x40).build();
         pcisim_pci::caps::CapChain::new()
-            .add(0x40, pcisim_pci::caps::Capability::PciExpress {
-                port_type: pcisim_pci::caps::PortType::Endpoint,
-                generation: Generation::Gen2,
-                max_width: 1,
-            })
+            .add(
+                0x40,
+                pcisim_pci::caps::Capability::PciExpress {
+                    port_type: pcisim_pci::caps::PortType::Endpoint,
+                    generation: Generation::Gen2,
+                    max_width: 1,
+                },
+            )
             .write_into(&mut cs);
         reg.borrow_mut().register(Bdf::new(0, 1, 0), shared(cs));
         let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
@@ -311,9 +309,6 @@ mod tests {
         assert_eq!(info.interrupt, InterruptMode::Msi);
         // The device now sees the programmed target.
         let cs = reg.borrow().lookup(info.bdf).unwrap();
-        assert_eq!(
-            pcisim_pci::caps::msi_target(&cs.borrow()),
-            Some((0x2c00_0100, 64))
-        );
+        assert_eq!(pcisim_pci::caps::msi_target(&cs.borrow()), Some((0x2c00_0100, 64)));
     }
 }

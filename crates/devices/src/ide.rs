@@ -114,11 +114,14 @@ pub fn ide_config_space_with(msi_capable: bool) -> ConfigSpace {
     CapChain::new()
         .add(0xc8, Capability::PowerManagement)
         .add(0xd0, msi)
-        .add(0xe0, Capability::PciExpress {
-            port_type: PortType::Endpoint,
-            generation: Generation::Gen2,
-            max_width: 1,
-        })
+        .add(
+            0xe0,
+            Capability::PciExpress {
+                port_type: PortType::Endpoint,
+                generation: Generation::Gen2,
+                max_width: 1,
+            },
+        )
         .write_into(&mut cs);
     cs
 }
@@ -167,7 +170,10 @@ impl IdeDisk {
     /// Creates a disk; returns the component and the shared configuration
     /// space to register with the PCI host.
     pub fn new(name: impl Into<String>, config: IdeDiskConfig) -> (Self, SharedConfigSpace) {
-        assert!(config.sector_size.is_multiple_of(config.cacheline), "sector must be whole cachelines");
+        assert!(
+            config.sector_size.is_multiple_of(config.cacheline),
+            "sector must be whole cachelines"
+        );
         assert!(config.cacheline > 0 && config.sector_size > 0);
         let cs = shared(ide_config_space_with(config.msi_capable));
         (
@@ -260,8 +266,9 @@ impl IdeDisk {
         while self.stalled.is_none() && self.tlps_to_send > 0 {
             let id = ctx.alloc_packet_id();
             let size = self.config.cacheline;
-            let mut pkt = Packet::request(id, Command::WriteReq, self.cur_addr, size, ctx.self_id())
-                .with_payload(vec![0u8; size as usize]);
+            let mut pkt =
+                Packet::request(id, Command::WriteReq, self.cur_addr, size, ctx.self_id())
+                    .with_payload(vec![0u8; size as usize]);
             pkt.set_posted(self.config.posted_writes);
             match ctx.try_send_request(IDE_DMA_PORT, pkt) {
                 Ok(()) => {
@@ -293,10 +300,10 @@ impl IdeDisk {
         self.stats.sectors.inc();
         self.sectors_remaining -= 1;
         if self.sectors_remaining > 0 {
-            ctx.schedule(self.config.per_sector_overhead, Event::Timer {
-                kind: K_SECTOR_GAP,
-                data: 0,
-            });
+            ctx.schedule(
+                self.config.per_sector_overhead,
+                Event::Timer { kind: K_SECTOR_GAP, data: 0 },
+            );
         } else {
             self.busy = false;
             self.irq_pending = true;
@@ -365,7 +372,10 @@ impl Component for IdeDisk {
             }
             other => panic!("{}: unexpected PIO command {other:?}", self.name),
         };
-        ctx.schedule(self.config.pio_latency, Event::DelayedPacket { tag: TAG_PIO_RESP, pkt: resp });
+        ctx.schedule(
+            self.config.pio_latency,
+            Event::DelayedPacket { tag: TAG_PIO_RESP, pkt: resp },
+        );
         RecvResult::Accepted
     }
 
@@ -447,7 +457,7 @@ impl Component for IdeDisk {
 mod tests {
     use super::*;
     use pcisim_kernel::sim::{RunOutcome, Simulation};
-    use pcisim_kernel::testutil::{Requester, Responder, REQUESTER_PORT, RESPONDER_PORT};
+    use pcisim_kernel::testutil::{Responder, RESPONDER_PORT};
 
     const BAR0: u64 = 0x4000_0000;
 
@@ -542,9 +552,8 @@ mod tests {
     fn per_sector_overhead_spaces_sectors() {
         let no_gap = IdeDiskConfig { per_sector_overhead: 0, ..IdeDiskConfig::default() };
         let base = run_transfer(no_gap.clone(), 4).0.now();
-        let padded = run_transfer(IdeDiskConfig { per_sector_overhead: us(2), ..no_gap }, 4)
-            .0
-            .now();
+        let padded =
+            run_transfer(IdeDiskConfig { per_sector_overhead: us(2), ..no_gap }, 4).0.now();
         assert!(padded >= base + 3 * us(2), "3 inter-sector gaps expected");
     }
 
@@ -553,12 +562,10 @@ mod tests {
         // With posted writes the disk never waits for responses, so the
         // run completes sooner and no WriteResp is expected.
         let nonposted = run_transfer(IdeDiskConfig::default(), 4).0.now();
-        let posted = run_transfer(
-            IdeDiskConfig { posted_writes: true, ..IdeDiskConfig::default() },
-            4,
-        )
-        .0
-        .now();
+        let posted =
+            run_transfer(IdeDiskConfig { posted_writes: true, ..IdeDiskConfig::default() }, 4)
+                .0
+                .now();
         assert!(posted < nonposted, "posted mode must be faster ({posted} vs {nonposted})");
     }
 

@@ -26,6 +26,7 @@ use pcisim_kernel::packet::{Command, Packet};
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::{ns, Tick};
+use pcisim_kernel::trace::{TraceCategory, TraceKind};
 use pcisim_pci::caps::{CapChain, Capability, Generation, PortType};
 use pcisim_pci::config::{shared, ConfigSpace, SharedConfigSpace};
 use pcisim_pci::header::{bar_base, Bar, Type0Header};
@@ -148,11 +149,14 @@ pub fn nic_config_space_with(msi_capable: bool) -> ConfigSpace {
     CapChain::new()
         .add(0xc8, Capability::PowerManagement)
         .add(0xd0, msi)
-        .add(0xe0, Capability::PciExpress {
-            port_type: PortType::Endpoint,
-            generation: Generation::Gen2,
-            max_width: 1,
-        })
+        .add(
+            0xe0,
+            Capability::PciExpress {
+                port_type: PortType::Endpoint,
+                generation: Generation::Gen2,
+                max_width: 1,
+            },
+        )
         .add(0xa0, Capability::MsixDisabled)
         .write_into(&mut cs);
     cs
@@ -338,6 +342,7 @@ impl Nic {
             regs::TX_BUFLEN => self.tx_buflen = value,
             regs::TDT => {
                 self.tdt = value;
+                ctx.emit(TraceCategory::Device, TraceKind::Doorbell, None, None, offset);
                 if self.tx_phase == TxPhase::Idle {
                     ctx.schedule(0, Event::Timer { kind: K_TX_KICK, data: 0 });
                 }
@@ -347,6 +352,7 @@ impl Nic {
             regs::RDLEN => self.rdlen = value,
             regs::RDT => {
                 self.rdt = value;
+                ctx.emit(TraceCategory::Device, TraceKind::Doorbell, None, None, offset);
                 self.start_rx_stream(ctx);
                 self.rx_kick(ctx);
             }
@@ -373,15 +379,20 @@ impl Nic {
                 break;
             }
             let chunk = active.remaining.min(self.config.cacheline);
+            let write = active.job.write;
             let id = ctx.alloc_packet_id();
-            let pkt = if active.job.write {
+            let pkt = if write {
                 Packet::request(id, Command::WriteReq, active.next_addr, chunk, ctx.self_id())
                     .with_payload(vec![0u8; chunk as usize])
             } else {
                 Packet::request(id, Command::ReadReq, active.next_addr, chunk, ctx.self_id())
             };
             match ctx.try_send_request(NIC_DMA_PORT, pkt) {
-                Ok(()) => self.chunk_issued(chunk),
+                Ok(()) => {
+                    let kind = if write { TraceKind::DmaWrite } else { TraceKind::DmaRead };
+                    ctx.emit(TraceCategory::Device, kind, Some(id), None, u64::from(chunk));
+                    self.chunk_issued(chunk);
+                }
                 Err(back) => {
                     self.stalled = Some(back);
                 }
@@ -425,12 +436,10 @@ impl Nic {
         }
         self.tx_phase = TxPhase::FetchDescriptor;
         let desc_addr = self.tdba + u64::from(self.tdh) * u64::from(DESC_BYTES);
-        self.enqueue_job(ctx, DmaJob {
-            engine: Engine::Tx,
-            write: false,
-            addr: desc_addr,
-            len: DESC_BYTES,
-        });
+        self.enqueue_job(
+            ctx,
+            DmaJob { engine: Engine::Tx, write: false, addr: desc_addr, len: DESC_BYTES },
+        );
     }
 
     fn tx_job_done(&mut self, ctx: &mut Ctx<'_>) {
@@ -441,19 +450,17 @@ impl Nic {
                 // from TX_BUFLEN and fabricates the address.
                 let buf_addr = 0x9000_0000 + u64::from(self.tdh) * 0x1_0000;
                 let len = self.tx_buflen.max(64);
-                self.enqueue_job(ctx, DmaJob {
-                    engine: Engine::Tx,
-                    write: false,
-                    addr: buf_addr,
-                    len,
-                });
+                self.enqueue_job(
+                    ctx,
+                    DmaJob { engine: Engine::Tx, write: false, addr: buf_addr, len },
+                );
             }
             TxPhase::FetchBuffer => {
                 self.tx_phase = TxPhase::OnWire;
-                ctx.schedule(self.config.tx_wire_time, Event::Timer {
-                    kind: K_TX_WIRE_DONE,
-                    data: 0,
-                });
+                ctx.schedule(
+                    self.config.tx_wire_time,
+                    Event::Timer { kind: K_TX_WIRE_DONE, data: 0 },
+                );
             }
             TxPhase::Writeback => {
                 self.tdh = (self.tdh + 1) % self.tdlen.max(1);
@@ -474,12 +481,10 @@ impl Nic {
     fn tx_wire_done(&mut self, ctx: &mut Ctx<'_>) {
         self.tx_phase = TxPhase::Writeback;
         let desc_addr = self.tdba + u64::from(self.tdh) * u64::from(DESC_BYTES);
-        self.enqueue_job(ctx, DmaJob {
-            engine: Engine::Tx,
-            write: true,
-            addr: desc_addr + 12,
-            len: 4,
-        });
+        self.enqueue_job(
+            ctx,
+            DmaJob { engine: Engine::Tx, write: true, addr: desc_addr + 12, len: 4 },
+        );
     }
 
     // --- RX engine -------------------------------------------------------------
@@ -529,12 +534,10 @@ impl Nic {
         self.rx_fifo -= 1;
         self.rx_phase = RxPhase::FetchDescriptor;
         let desc_addr = self.rdba + u64::from(self.rdh) * u64::from(DESC_BYTES);
-        self.enqueue_job(ctx, DmaJob {
-            engine: Engine::Rx,
-            write: false,
-            addr: desc_addr,
-            len: DESC_BYTES,
-        });
+        self.enqueue_job(
+            ctx,
+            DmaJob { engine: Engine::Rx, write: false, addr: desc_addr, len: DESC_BYTES },
+        );
     }
 
     fn rx_job_done(&mut self, ctx: &mut Ctx<'_>) {
@@ -544,22 +547,23 @@ impl Nic {
                 let (frame_bytes, _, _) = self.config.rx_stream.expect("rx stream configured");
                 // The descriptor names the buffer; the model fabricates it.
                 let buf_addr = 0xa000_0000 + u64::from(self.rdh) * 0x1_0000;
-                self.enqueue_job(ctx, DmaJob {
-                    engine: Engine::Rx,
-                    write: true,
-                    addr: buf_addr,
-                    len: frame_bytes.max(64),
-                });
+                self.enqueue_job(
+                    ctx,
+                    DmaJob {
+                        engine: Engine::Rx,
+                        write: true,
+                        addr: buf_addr,
+                        len: frame_bytes.max(64),
+                    },
+                );
             }
             RxPhase::WriteData => {
                 self.rx_phase = RxPhase::Writeback;
                 let desc_addr = self.rdba + u64::from(self.rdh) * u64::from(DESC_BYTES);
-                self.enqueue_job(ctx, DmaJob {
-                    engine: Engine::Rx,
-                    write: true,
-                    addr: desc_addr + 12,
-                    len: 4,
-                });
+                self.enqueue_job(
+                    ctx,
+                    DmaJob { engine: Engine::Rx, write: true, addr: desc_addr + 12, len: 4 },
+                );
             }
             RxPhase::Writeback => {
                 self.rdh = (self.rdh + 1) % self.rdlen.max(1);
@@ -583,6 +587,7 @@ impl Nic {
         let addr = msi.or_else(|| self.config.intx.map(|(irq, base)| irq_message_addr(base, irq)));
         if let Some(addr) = addr {
             let id = ctx.alloc_packet_id();
+            ctx.emit(TraceCategory::Device, TraceKind::Interrupt, Some(id), None, addr);
             let msg = Packet::request(id, Command::Message, addr, 4, ctx.self_id())
                 .with_payload(vec![0; 4]);
             if let Err(back) = ctx.try_send_request(NIC_DMA_PORT, msg) {
@@ -637,7 +642,10 @@ impl Component for Nic {
             }
             other => panic!("{}: unexpected PIO command {other:?}", self.name),
         };
-        ctx.schedule(self.config.pio_latency, Event::DelayedPacket { tag: TAG_PIO_RESP, pkt: resp });
+        ctx.schedule(
+            self.config.pio_latency,
+            Event::DelayedPacket { tag: TAG_PIO_RESP, pkt: resp },
+        );
         RecvResult::Accepted
     }
 
@@ -824,13 +832,16 @@ mod tests {
 
     #[test]
     fn tx_transmits_one_frame_with_descriptor_and_buffer_dma() {
-        let stats = run_with_driver(NicConfig::default(), vec![
-            (regs::TDBAL, 0x8800_0000),
-            (regs::TDLEN, 64),
-            (regs::TX_BUFLEN, 1514),
-            (regs::IMS, INT_TXDW),
-            (regs::TDT, 1),
-        ]);
+        let stats = run_with_driver(
+            NicConfig::default(),
+            vec![
+                (regs::TDBAL, 0x8800_0000),
+                (regs::TDLEN, 64),
+                (regs::TX_BUFLEN, 1514),
+                (regs::IMS, INT_TXDW),
+                (regs::TDT, 1),
+            ],
+        );
         assert_eq!(stats.get("nic.frames_tx"), Some(1.0));
         // 1 descriptor TLP + ceil(1514/64)=24 buffer TLPs.
         assert_eq!(stats.get("nic.dma_read_tlps"), Some(25.0));
@@ -840,13 +851,16 @@ mod tests {
 
     #[test]
     fn tx_ring_processes_multiple_frames() {
-        let stats = run_with_driver(NicConfig::default(), vec![
-            (regs::TDBAL, 0x8800_0000),
-            (regs::TDLEN, 64),
-            (regs::TX_BUFLEN, 256),
-            (regs::IMS, INT_TXDW),
-            (regs::TDT, 3),
-        ]);
+        let stats = run_with_driver(
+            NicConfig::default(),
+            vec![
+                (regs::TDBAL, 0x8800_0000),
+                (regs::TDLEN, 64),
+                (regs::TX_BUFLEN, 256),
+                (regs::IMS, INT_TXDW),
+                (regs::TDT, 3),
+            ],
+        );
         assert_eq!(stats.get("nic.frames_tx"), Some(3.0));
         // Per frame: 1 descriptor + 4 buffer chunks (reads).
         assert_eq!(stats.get("nic.dma_read_tlps"), Some(15.0));
@@ -855,26 +869,31 @@ mod tests {
 
     #[test]
     fn masked_interrupt_does_not_fire() {
-        let stats = run_with_driver(NicConfig::default(), vec![
-            (regs::TDBAL, 0x8800_0000),
-            (regs::TDLEN, 64),
-            (regs::TX_BUFLEN, 128),
-            (regs::TDT, 1),
-        ]);
+        let stats = run_with_driver(
+            NicConfig::default(),
+            vec![
+                (regs::TDBAL, 0x8800_0000),
+                (regs::TDLEN, 64),
+                (regs::TX_BUFLEN, 128),
+                (regs::TDT, 1),
+            ],
+        );
         assert_eq!(stats.get("nic.frames_tx"), Some(1.0));
         assert_eq!(stats.get("nic.irqs"), Some(0.0), "masked interrupt must not raise");
     }
 
     #[test]
     fn rx_frames_are_written_to_posted_buffers() {
-        let config =
-            NicConfig { rx_stream: Some((512, ns(2000), 4)), ..NicConfig::default() };
-        let stats = run_with_driver(config, vec![
-            (regs::RDBAL, 0x8900_0000),
-            (regs::RDLEN, 64),
-            (regs::IMS, INT_RXT0),
-            (regs::RDT, 16),
-        ]);
+        let config = NicConfig { rx_stream: Some((512, ns(2000), 4)), ..NicConfig::default() };
+        let stats = run_with_driver(
+            config,
+            vec![
+                (regs::RDBAL, 0x8900_0000),
+                (regs::RDLEN, 64),
+                (regs::IMS, INT_RXT0),
+                (regs::RDT, 16),
+            ],
+        );
         assert_eq!(stats.get("nic.frames_rx"), Some(4.0));
         assert_eq!(stats.get("nic.rx_overruns"), Some(0.0));
         // Per frame: 1 descriptor read + 8 data-write chunks + 1 write-back.
@@ -885,14 +904,12 @@ mod tests {
 
     #[test]
     fn rx_without_posted_buffers_counts_overruns() {
-        let config =
-            NicConfig { rx_stream: Some((512, ns(2000), 5)), ..NicConfig::default() };
+        let config = NicConfig { rx_stream: Some((512, ns(2000), 5)), ..NicConfig::default() };
         // Only 2 buffers posted for 5 frames.
-        let stats = run_with_driver(config, vec![
-            (regs::RDBAL, 0x8900_0000),
-            (regs::RDLEN, 64),
-            (regs::RDT, 2),
-        ]);
+        let stats = run_with_driver(
+            config,
+            vec![(regs::RDBAL, 0x8900_0000), (regs::RDLEN, 64), (regs::RDT, 2)],
+        );
         assert_eq!(stats.get("nic.frames_rx"), Some(2.0));
         assert_eq!(stats.get("nic.rx_overruns"), Some(3.0));
     }
@@ -902,8 +919,7 @@ mod tests {
         // Frames every 100 ns against a 30 ns-per-TLP memory: the 9-TLP
         // per-frame DMA takes ~0.3 µs... make memory slow enough that the
         // 32-frame FIFO overflows.
-        let config =
-            NicConfig { rx_stream: Some((1514, ns(100), 128)), ..NicConfig::default() };
+        let config = NicConfig { rx_stream: Some((1514, ns(100), 128)), ..NicConfig::default() };
         let mut sim = Simulation::new();
         let (nic, _cs) = programmed_nic(config);
         let drv = sim.add(Box::new(ScriptDriver {
@@ -927,18 +943,20 @@ mod tests {
     fn rx_and_tx_share_the_dma_pipeline() {
         // Both engines active at once: everything completes, no panic from
         // interleaved completions.
-        let config =
-            NicConfig { rx_stream: Some((256, ns(500), 8)), ..NicConfig::default() };
-        let stats = run_with_driver(config, vec![
-            (regs::RDBAL, 0x8900_0000),
-            (regs::RDLEN, 64),
-            (regs::RDT, 32),
-            (regs::TDBAL, 0x8800_0000),
-            (regs::TDLEN, 64),
-            (regs::TX_BUFLEN, 1024),
-            (regs::IMS, INT_TXDW | INT_RXT0),
-            (regs::TDT, 4),
-        ]);
+        let config = NicConfig { rx_stream: Some((256, ns(500), 8)), ..NicConfig::default() };
+        let stats = run_with_driver(
+            config,
+            vec![
+                (regs::RDBAL, 0x8900_0000),
+                (regs::RDLEN, 64),
+                (regs::RDT, 32),
+                (regs::TDBAL, 0x8800_0000),
+                (regs::TDLEN, 64),
+                (regs::TX_BUFLEN, 1024),
+                (regs::IMS, INT_TXDW | INT_RXT0),
+                (regs::TDT, 4),
+            ],
+        );
         assert_eq!(stats.get("nic.frames_tx"), Some(4.0));
         assert_eq!(stats.get("nic.frames_rx"), Some(8.0));
         assert_eq!(stats.get("nic.irqs"), Some(12.0));

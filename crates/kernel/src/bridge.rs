@@ -13,6 +13,7 @@ use crate::packet::Packet;
 use crate::sim::Ctx;
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::Tick;
+use crate::trace::{TraceCategory, TraceKind};
 
 /// Port facing the memory bus (receives requests, emits responses).
 pub const BRIDGE_MEM_SIDE: PortId = PortId(0);
@@ -162,6 +163,15 @@ impl Component for Bridge {
             self.owe_mem_retry = true;
             return RecvResult::Refused(pkt);
         }
+        if ctx.tracing(TraceCategory::Fabric) {
+            ctx.emit(
+                TraceCategory::Fabric,
+                TraceKind::FabricForward,
+                Some(pkt.id()),
+                Some(pkt.cmd()),
+                u64::from(BRIDGE_IO_SIDE.0),
+            );
+        }
         self.req_inflight += 1;
         ctx.schedule(self.delay, Event::DelayedPacket { tag: TAG_REQ, pkt });
         RecvResult::Accepted
@@ -173,6 +183,15 @@ impl Component for Bridge {
             self.refusals.inc();
             self.owe_io_retry = true;
             return RecvResult::Refused(pkt);
+        }
+        if ctx.tracing(TraceCategory::Fabric) {
+            ctx.emit(
+                TraceCategory::Fabric,
+                TraceKind::FabricForward,
+                Some(pkt.id()),
+                Some(pkt.cmd()),
+                u64::from(BRIDGE_MEM_SIDE.0),
+            );
         }
         self.resp_inflight += 1;
         ctx.schedule(self.delay, Event::DelayedPacket { tag: TAG_RESP, pkt });
@@ -236,9 +255,8 @@ mod tests {
         let script = (0..n_pkts).map(|i| (Command::ReadReq, 0x1000 + i * 64, 64)).collect();
         let (req, done) = Requester::new("cpu", script);
         let r = sim.add(Box::new(req));
-        let b = sim.add(Box::new(
-            Bridge::builder("bridge").delay(delay).req_capacity(req_cap).build(),
-        ));
+        let b =
+            sim.add(Box::new(Bridge::builder("bridge").delay(delay).req_capacity(req_cap).build()));
         let (resp, _) = Responder::new("dev", service);
         let d = sim.add(Box::new(resp));
         sim.connect((r, REQUESTER_PORT), (b, BRIDGE_MEM_SIDE));

@@ -15,6 +15,7 @@ use crate::packet::Packet;
 use crate::sim::Ctx;
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::{transfer_time, Tick};
+use crate::trace::{TraceCategory, TraceKind};
 
 /// The single port of a [`Dram`].
 pub const DRAM_PORT: PortId = PortId(0);
@@ -150,6 +151,15 @@ impl Component for Dram {
             self.writes.inc();
         }
         self.bytes.add(u64::from(pkt.size()));
+        if ctx.tracing(TraceCategory::Fabric) {
+            ctx.emit(
+                TraceCategory::Fabric,
+                TraceKind::DramAccess,
+                Some(pkt.id()),
+                Some(pkt.cmd()),
+                u64::from(pkt.size()),
+            );
+        }
         let xfer = if self.bytes_per_sec == 0 {
             0
         } else {

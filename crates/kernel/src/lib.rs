@@ -43,6 +43,7 @@ pub mod sim;
 pub mod stats;
 pub mod testutil;
 pub mod tick;
+pub mod trace;
 pub mod xbar;
 
 /// Convenient glob import for downstream crates and examples.
@@ -56,5 +57,8 @@ pub mod prelude {
     pub use crate::sim::{Ctx, RunOutcome, Simulation};
     pub use crate::stats::{Counter, Histogram, StatsBuilder, StatsSnapshot};
     pub use crate::tick::{ns, ps, us, Tick};
+    pub use crate::trace::{
+        LatencyAttribution, Stage, TraceCategory, TraceEvent, TraceKind, TraceLog, Tracer,
+    };
     pub use crate::xbar::Crossbar;
 }

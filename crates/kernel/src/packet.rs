@@ -65,7 +65,10 @@ impl Command {
     pub fn is_write(self) -> bool {
         matches!(
             self,
-            Command::WriteReq | Command::WriteResp | Command::ConfigWrite | Command::ConfigWriteResp
+            Command::WriteReq
+                | Command::WriteResp
+                | Command::ConfigWrite
+                | Command::ConfigWriteResp
         )
     }
 
@@ -140,7 +143,13 @@ impl Packet {
     /// # Panics
     ///
     /// Panics if `cmd` is not a request command.
-    pub fn request(id: PacketId, cmd: Command, addr: u64, size: u32, requester: ComponentId) -> Self {
+    pub fn request(
+        id: PacketId,
+        cmd: Command,
+        addr: u64,
+        size: u32,
+        requester: ComponentId,
+    ) -> Self {
         assert!(cmd.is_request(), "{cmd:?} is not a request command");
         Self {
             id,
@@ -365,7 +374,10 @@ mod tests {
         assert_eq!(resp.addr(), 0x4000_0000);
         assert_eq!(resp.pci_bus(), Some(2));
         assert_eq!(resp.requester(), ComponentId(3));
-        assert_eq!(resp.peek_route(), Some(&RouteHop { component: ComponentId(9), port: PortId(1) }));
+        assert_eq!(
+            resp.peek_route(),
+            Some(&RouteHop { component: ComponentId(9), port: PortId(1) })
+        );
         assert_eq!(resp.payload().unwrap().len(), 64);
     }
 

@@ -21,6 +21,7 @@ use crate::component::{Component, ComponentId, Event, PortId, RecvResult};
 use crate::packet::{Packet, PacketId};
 use crate::stats::{StatsBuilder, StatsSnapshot};
 use crate::tick::Tick;
+use crate::trace::{TraceCategory, TraceEvent, TraceKind, TraceLog, Tracer};
 
 /// Why [`Simulation::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +80,7 @@ struct Shared {
     stop_requested: Cell<bool>,
     events_processed: Cell<u64>,
     trace: Cell<bool>,
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -168,9 +170,22 @@ impl Ctx<'_> {
         assert!(pkt.is_request(), "try_send_request with {:?}", pkt.cmd());
         let (peer, peer_port) = self.peer(port);
         self.trace(|| format!("-> req {} to {peer}/{peer_port}", pkt));
+        // Custody tracepoint: snapshot the identity fields before the packet
+        // moves into the receiver, record only on an accepted delivery.
+        let custody = self.shared.tracer.wants(TraceCategory::Hop).then(|| (pkt.id(), pkt.cmd()));
         match self.shared.with_component(peer, |c, ctx| c.recv_request(ctx, peer_port, pkt)) {
-            RecvResult::Accepted => Ok(()),
-            RecvResult::Refused(pkt) => Err(pkt),
+            RecvResult::Accepted => {
+                if let Some((id, cmd)) = custody {
+                    self.record_hop(peer, peer_port, TraceKind::HopRequest, id, cmd);
+                }
+                Ok(())
+            }
+            RecvResult::Refused(pkt) => {
+                if custody.is_some() {
+                    self.record_hop(peer, peer_port, TraceKind::HopRefused, pkt.id(), pkt.cmd());
+                }
+                Err(pkt)
+            }
         }
     }
 
@@ -188,10 +203,40 @@ impl Ctx<'_> {
         assert!(pkt.is_response(), "try_send_response with {:?}", pkt.cmd());
         let (peer, peer_port) = self.peer(port);
         self.trace(|| format!("-> resp {} to {peer}/{peer_port}", pkt));
+        let custody = self.shared.tracer.wants(TraceCategory::Hop).then(|| (pkt.id(), pkt.cmd()));
         match self.shared.with_component(peer, |c, ctx| c.recv_response(ctx, peer_port, pkt)) {
-            RecvResult::Accepted => Ok(()),
-            RecvResult::Refused(pkt) => Err(pkt),
+            RecvResult::Accepted => {
+                if let Some((id, cmd)) = custody {
+                    self.record_hop(peer, peer_port, TraceKind::HopResponse, id, cmd);
+                }
+                Ok(())
+            }
+            RecvResult::Refused(pkt) => {
+                if custody.is_some() {
+                    self.record_hop(peer, peer_port, TraceKind::HopRefused, pkt.id(), pkt.cmd());
+                }
+                Err(pkt)
+            }
         }
+    }
+
+    fn record_hop(
+        &self,
+        peer: ComponentId,
+        peer_port: PortId,
+        kind: TraceKind,
+        id: PacketId,
+        cmd: crate::packet::Command,
+    ) {
+        self.shared.tracer.record(TraceEvent {
+            at: self.now(),
+            component: peer,
+            category: TraceCategory::Hop,
+            kind,
+            packet: Some(id),
+            cmd: Some(cmd),
+            arg: u64::from(peer_port.0),
+        });
     }
 
     /// Notifies the peer of `port` that buffer space freed up. Delivered
@@ -216,6 +261,40 @@ impl Ctx<'_> {
                 self.shared.names[self.self_id.0 as usize],
                 f()
             );
+        }
+    }
+
+    /// Whether structured tracing is enabled for `cat`. Tracepoints should
+    /// gate any event construction on this; when disabled it is a single
+    /// flag load.
+    #[inline]
+    pub fn tracing(&self, cat: TraceCategory) -> bool {
+        self.shared.tracer.wants(cat)
+    }
+
+    /// Records a structured [`TraceEvent`] attributed to this component at
+    /// the current tick. No-op unless `cat` is enabled — but callers on hot
+    /// paths should still check [`Ctx::tracing`] first to skip argument
+    /// evaluation.
+    #[inline]
+    pub fn emit(
+        &self,
+        cat: TraceCategory,
+        kind: TraceKind,
+        packet: Option<PacketId>,
+        cmd: Option<crate::packet::Command>,
+        arg: u64,
+    ) {
+        if self.shared.tracer.wants(cat) {
+            self.shared.tracer.record(TraceEvent {
+                at: self.now(),
+                component: self.self_id,
+                category: cat,
+                kind,
+                packet,
+                cmd,
+                arg,
+            });
         }
     }
 }
@@ -247,6 +326,7 @@ impl Simulation {
                 stop_requested: Cell::new(false),
                 events_processed: Cell::new(0),
                 trace: Cell::new(false),
+                tracer: Tracer::new(),
             },
             initialized: false,
         }
@@ -255,6 +335,33 @@ impl Simulation {
     /// Enables or disables per-event tracing to stderr.
     pub fn set_trace(&mut self, on: bool) {
         self.shared.trace.set(on);
+    }
+
+    /// Enables structured tracing for the categories in `mask` (a bit-or
+    /// of [`TraceCategory::bit`] values, or [`TraceCategory::ALL`]).
+    /// Passing `0` disables tracing, which is the default.
+    pub fn set_trace_mask(&mut self, mask: u32) {
+        self.shared.tracer.set_mask(mask);
+    }
+
+    /// The current structured-trace category mask.
+    pub fn trace_mask(&self) -> u32 {
+        self.shared.tracer.mask()
+    }
+
+    /// Caps the structured-trace ring buffer at `capacity` events.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.shared.tracer.set_capacity(capacity);
+    }
+
+    /// Drains the structured-trace ring into a self-contained [`TraceLog`]
+    /// (events plus component names) ready for export.
+    pub fn take_trace(&mut self) -> TraceLog {
+        TraceLog {
+            events: self.shared.tracer.drain(),
+            names: self.shared.names.clone(),
+            dropped: self.shared.tracer.dropped(),
+        }
     }
 
     /// Current simulated time.

@@ -50,13 +50,39 @@ impl fmt::Display for Counter {
     }
 }
 
-/// A streaming histogram that tracks count, sum, min and max of samples.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Number of log2 buckets a [`Histogram`] keeps; bucket `i >= 1` holds
+/// samples in `[2^(i-1), 2^i)`, bucket 0 holds samples below 1.
+const HIST_BUCKETS: usize = 64;
+
+/// A streaming histogram: count, sum, min, max, plus log2-bucketed
+/// sample counts for percentile estimation.
+///
+/// Percentiles carry at most one power-of-two bucket of error (and are
+/// clamped to the observed min/max), which is plenty for latency
+/// distributions spanning orders of magnitude.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: f64,
     min: Option<f64>,
     max: Option<f64>,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { count: 0, sum: 0.0, min: None, max: None, buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+/// The log2 bucket a sample falls in; NaN and everything below 1 land
+/// in bucket 0.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        return 0;
+    }
+    let n = if v >= u64::MAX as f64 { u64::MAX } else { v as u64 };
+    ((64 - n.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
 }
 
 impl Histogram {
@@ -71,6 +97,7 @@ impl Histogram {
         self.sum += v;
         self.min = Some(self.min.map_or(v, |m| m.min(v)));
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        self.buckets[bucket_index(v)] += 1;
     }
 
     /// Number of samples recorded.
@@ -101,6 +128,43 @@ impl Histogram {
     pub fn max(&self) -> Option<f64> {
         self.max
     }
+
+    /// Estimated `q`-quantile (`q` in 0..=1) from the log2 buckets:
+    /// the upper edge of the bucket holding the rank-`ceil(q*count)`
+    /// sample, clamped to the observed `[min, max]`. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX as f64 } else { (1u64 << i) as f64 };
+                let lo = self.min.unwrap_or(0.0);
+                let hi = self.max.unwrap_or(upper);
+                return Some(upper.clamp(lo, hi));
+            }
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(0.99)
+    }
 }
 
 /// Collects named statistics from one component.
@@ -127,7 +191,7 @@ impl StatsBuilder {
         self.scalar(key, c.value() as f64);
     }
 
-    /// Records a histogram as `key.count/mean/min/max`.
+    /// Records a histogram as `key.count/mean/min/max/p50/p95/p99`.
     pub fn histogram(&mut self, key: &str, h: &Histogram) {
         self.scalar(&format!("{key}.count"), h.count() as f64);
         self.scalar(&format!("{key}.mean"), h.mean());
@@ -136,6 +200,15 @@ impl StatsBuilder {
         }
         if let Some(m) = h.max() {
             self.scalar(&format!("{key}.max"), m);
+        }
+        if let Some(p) = h.p50() {
+            self.scalar(&format!("{key}.p50"), p);
+        }
+        if let Some(p) = h.p95() {
+            self.scalar(&format!("{key}.p95"), p);
+        }
+        if let Some(p) = h.p99() {
+            self.scalar(&format!("{key}.p99"), p);
         }
     }
 
@@ -181,6 +254,18 @@ impl StatsSnapshot {
     /// Whether the snapshot is empty.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Per-key difference `self - earlier`, for interval measurements
+    /// (e.g. counters over just the steady-state phase of a run). Keys
+    /// missing from `earlier` count from zero; keys only in `earlier`
+    /// appear negated.
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut values = self.values.clone();
+        for (k, v) in &earlier.values {
+            *values.entry(k.clone()).or_insert(0.0) -= v;
+        }
+        StatsSnapshot::from_values(values)
     }
 }
 
@@ -302,5 +387,68 @@ mod tests {
         assert_eq!(snap.get("x.lat.mean"), Some(2.0));
         assert_eq!(snap.get("x.lat.min"), Some(1.0));
         assert_eq!(snap.get("x.lat.max"), Some(3.0));
+        assert!(snap.get("x.lat.p50").is_some());
+        assert!(snap.get("x.lat.p95").is_some());
+        assert!(snap.get("x.lat.p99").is_some());
+    }
+
+    #[test]
+    fn percentiles_of_identical_samples_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(300.0);
+        }
+        // The [256, 512) bucket's upper edge is clamped to the max.
+        assert_eq!(h.p50(), Some(300.0));
+        assert_eq!(h.p99(), Some(300.0));
+    }
+
+    #[test]
+    fn percentiles_track_the_tail_within_a_bucket() {
+        let mut h = Histogram::new();
+        // 95 samples near 100, 5 outliers near 10_000.
+        for _ in 0..95 {
+            h.record(100.0);
+        }
+        for _ in 0..5 {
+            h.record(10_000.0);
+        }
+        let p50 = h.p50().unwrap();
+        assert!((100.0..=128.0).contains(&p50), "p50 {p50}");
+        let p99 = h.p99().unwrap();
+        assert!((8192.0..=10_000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(h.percentile(1.0), Some(10_000.0));
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_none() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.percentile(0.0), None);
+    }
+
+    #[test]
+    fn sub_unit_and_negative_samples_share_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0.25);
+        h.record(-3.0);
+        let p = h.percentile(1.0).unwrap();
+        assert!((-3.0..=0.25).contains(&p), "clamped to observed range, got {p}");
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_per_key() {
+        let mut b = StatsBuilder::new("c");
+        b.scalar("a", 10.0);
+        b.scalar("b", 5.0);
+        let earlier = StatsSnapshot::from_values(b.into_values());
+        let mut b = StatsBuilder::new("c");
+        b.scalar("a", 25.0);
+        b.scalar("n", 7.0);
+        let later = StatsSnapshot::from_values(b.into_values());
+        let d = later.diff(&earlier);
+        assert_eq!(d.get("c.a"), Some(15.0));
+        assert_eq!(d.get("c.n"), Some(7.0), "new keys count from zero");
+        assert_eq!(d.get("c.b"), Some(-5.0), "vanished keys appear negated");
     }
 }

@@ -34,10 +34,7 @@ pub const REQUESTER_PORT: PortId = PortId(0);
 impl Requester {
     /// Creates a requester that will issue `script` (command, addr, size)
     /// triples; returns the component and its completion log.
-    pub fn new(
-        name: impl Into<String>,
-        script: Vec<(Command, u64, u32)>,
-    ) -> (Self, CompletionLog) {
+    pub fn new(name: impl Into<String>, script: Vec<(Command, u64, u32)>) -> (Self, CompletionLog) {
         let completions: CompletionLog = Rc::new(RefCell::new(Vec::new()));
         (
             Self {

@@ -15,6 +15,7 @@ use crate::packet::Packet;
 use crate::sim::Ctx;
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::{transfer_time, Tick};
+use crate::trace::{TraceCategory, TraceKind};
 
 /// Builder for [`Crossbar`]; see [`Crossbar::builder`].
 #[derive(Debug)]
@@ -82,8 +83,7 @@ impl CrossbarBuilder {
                 "route target {port} out of range for {} ports",
                 self.num_ports
             );
-            map.insert(range, port)
-                .unwrap_or_else(|r| panic!("overlapping crossbar route {r:?}"));
+            map.insert(range, port).unwrap_or_else(|r| panic!("overlapping crossbar route {r:?}"));
         }
         if let Some(p) = self.default_route {
             assert!((p.0 as usize) < self.num_ports, "default route {p} out of range");
@@ -184,9 +184,8 @@ impl Crossbar {
     }
 
     fn egress_for(&self, pkt: &Packet) -> PortId {
-        self.route_for(pkt.addr()).unwrap_or_else(|| {
-            panic!("{}: no route for address {:#x}", self.name, pkt.addr())
-        })
+        self.route_for(pkt.addr())
+            .unwrap_or_else(|| panic!("{}: no route for address {:#x}", self.name, pkt.addr()))
     }
 
     /// Computes when a packet entering now finishes crossing the crossbar
@@ -275,6 +274,15 @@ impl Component for Crossbar {
         }
         self.stats.reqs.inc();
         self.stats.bytes.add(u64::from(pkt.payload_len()));
+        if ctx.tracing(TraceCategory::Fabric) {
+            ctx.emit(
+                TraceCategory::Fabric,
+                TraceKind::FabricForward,
+                Some(pkt.id()),
+                Some(pkt.cmd()),
+                u64::from(egress.0),
+            );
+        }
         pkt.push_route(ctx.self_id(), port);
         self.ports[idx].inflight_req += 1;
         let delay = self.pipe_delay(ctx.now(), egress, &pkt);
@@ -283,10 +291,16 @@ impl Component for Crossbar {
     }
 
     fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
-        let hop = pkt.peek_route().copied().unwrap_or_else(|| {
-            panic!("{}: response {} with empty route stack", self.name, pkt)
-        });
-        assert_eq!(hop.component, ctx.self_id(), "{}: response routed to wrong crossbar", self.name);
+        let hop = pkt
+            .peek_route()
+            .copied()
+            .unwrap_or_else(|| panic!("{}: response {} with empty route stack", self.name, pkt));
+        assert_eq!(
+            hop.component,
+            ctx.self_id(),
+            "{}: response routed to wrong crossbar",
+            self.name
+        );
         let egress = hop.port;
         let idx = egress.0 as usize;
         if self.ports[idx].resp_full() {
@@ -299,6 +313,15 @@ impl Component for Crossbar {
         pkt.pop_route();
         self.stats.resps.inc();
         self.stats.bytes.add(u64::from(pkt.payload_len()));
+        if ctx.tracing(TraceCategory::Fabric) {
+            ctx.emit(
+                TraceCategory::Fabric,
+                TraceKind::FabricForward,
+                Some(pkt.id()),
+                Some(pkt.cmd()),
+                u64::from(egress.0),
+            );
+        }
         self.ports[idx].inflight_resp += 1;
         let delay = self.pipe_delay(ctx.now(), egress, &pkt);
         ctx.schedule(delay, Event::DelayedPacket { tag: u32::from(egress.0), pkt });
@@ -399,8 +422,10 @@ mod tests {
     fn bandwidth_serializes_back_to_back_writes() {
         // Two 64 B writes at 64 B/us must finish 1 us apart at the device.
         let mut sim = Simulation::new();
-        let (req, done) =
-            Requester::new("cpu", vec![(Command::WriteReq, 0x1000, 64), (Command::WriteReq, 0x1040, 64)]);
+        let (req, done) = Requester::new(
+            "cpu",
+            vec![(Command::WriteReq, 0x1000, 64), (Command::WriteReq, 0x1040, 64)],
+        );
         let r = sim.add(Box::new(req));
         let x = sim.add(Box::new(
             Crossbar::builder("xbar")

@@ -266,7 +266,13 @@ pub fn find_capability(cs: &ConfigSpace, id: u8) -> Option<u16> {
 /// # Panics
 ///
 /// Panics when `offset` is below 0x100 or unaligned.
-pub fn write_extended_cap_header(cs: &mut ConfigSpace, offset: u16, id: u16, version: u8, next: u16) {
+pub fn write_extended_cap_header(
+    cs: &mut ConfigSpace,
+    offset: u16,
+    id: u16,
+    version: u8,
+    next: u16,
+) {
     assert!(offset >= 0x100, "extended capabilities live at 0x100+");
     assert_eq!(offset % 4, 0);
     let header = u32::from(id) | (u32::from(version) << 16) | (u32::from(next) << 20);
@@ -343,11 +349,14 @@ mod tests {
         CapChain::new()
             .add(0xc8, Capability::PowerManagement)
             .add(0xd0, Capability::MsiDisabled)
-            .add(0xe0, Capability::PciExpress {
-                port_type: PortType::Endpoint,
-                generation: Generation::Gen2,
-                max_width: 1,
-            })
+            .add(
+                0xe0,
+                Capability::PciExpress {
+                    port_type: PortType::Endpoint,
+                    generation: Generation::Gen2,
+                    max_width: 1,
+                },
+            )
             .add(0xa0, Capability::MsixDisabled)
             .write_into(cs)
     }
@@ -393,11 +402,14 @@ mod tests {
     fn pcie_cap_reports_port_type_and_link() {
         let mut cs = ConfigSpace::new();
         CapChain::new()
-            .add(0xd8, Capability::PciExpress {
-                port_type: PortType::RootPort,
-                generation: Generation::Gen2,
-                max_width: 4,
-            })
+            .add(
+                0xd8,
+                Capability::PciExpress {
+                    port_type: PortType::RootPort,
+                    generation: Generation::Gen2,
+                    max_width: 4,
+                },
+            )
             .write_into(&mut cs);
         assert_eq!(port_type_field(&cs, 0xd8), pt::ROOT_PORT);
         assert_eq!(link_status(&cs, 0xd8), (2, 4));
@@ -415,11 +427,14 @@ mod tests {
         ] {
             let mut cs = ConfigSpace::new();
             CapChain::new()
-                .add(0x40, Capability::PciExpress {
-                    port_type: ty,
-                    generation: Generation::Gen3,
-                    max_width: 8,
-                })
+                .add(
+                    0x40,
+                    Capability::PciExpress {
+                        port_type: ty,
+                        generation: Generation::Gen3,
+                        max_width: 8,
+                    },
+                )
                 .write_into(&mut cs);
             assert_eq!(port_type_field(&cs, 0x40), want);
         }

@@ -55,7 +55,11 @@ impl ConfigSpace {
             (offset as usize) + (size as usize) <= CONFIG_SPACE_SIZE,
             "config access at {offset:#x}+{size} out of bounds"
         );
-        assert_eq!(offset % u16::from(size), 0, "config access at {offset:#x} must be size-aligned");
+        assert_eq!(
+            offset % u16::from(size),
+            0,
+            "config access at {offset:#x} must be size-aligned"
+        );
     }
 
     /// Reads `size` bytes (1, 2 or 4) at `offset`.

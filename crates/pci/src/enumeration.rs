@@ -425,7 +425,12 @@ impl<'a, A: ConfigAccess> Enumerator<'a, A> {
             self.access.config_write(bdf, type1::MEMORY_LIMIT, 2, 0x0000);
         } else {
             let limit = mem.end() - 1;
-            self.access.config_write(bdf, type1::MEMORY_BASE, 2, ((mem.start() >> 16) & 0xfff0) as u32);
+            self.access.config_write(
+                bdf,
+                type1::MEMORY_BASE,
+                2,
+                ((mem.start() >> 16) & 0xfff0) as u32,
+            );
             self.access.config_write(bdf, type1::MEMORY_LIMIT, 2, ((limit >> 16) & 0xfff0) as u32);
         }
         if io.is_empty() {
@@ -435,7 +440,12 @@ impl<'a, A: ConfigAccess> Enumerator<'a, A> {
             self.access.config_write(bdf, type1::IO_LIMIT_UPPER, 2, 0x0000);
         } else {
             let limit = io.end() - 1;
-            self.access.config_write(bdf, type1::IO_BASE, 1, (((io.start() >> 12) & 0xf) << 4) as u32);
+            self.access.config_write(
+                bdf,
+                type1::IO_BASE,
+                1,
+                (((io.start() >> 12) & 0xf) << 4) as u32,
+            );
             self.access.config_write(bdf, type1::IO_LIMIT, 1, (((limit >> 12) & 0xf) << 4) as u32);
             self.access.config_write(bdf, type1::IO_BASE_UPPER, 2, (io.start() >> 16) as u32);
             self.access.config_write(bdf, type1::IO_LIMIT_UPPER, 2, (limit >> 16) as u32);
@@ -475,11 +485,14 @@ mod tests {
         CapChain::new()
             .add(0xc8, Capability::PowerManagement)
             .add(0xd0, Capability::MsiDisabled)
-            .add(0xe0, Capability::PciExpress {
-                port_type: PortType::Endpoint,
-                generation: Generation::Gen2,
-                max_width: 1,
-            })
+            .add(
+                0xe0,
+                Capability::PciExpress {
+                    port_type: PortType::Endpoint,
+                    generation: Generation::Gen2,
+                    max_width: 1,
+                },
+            )
             .add(0xa0, Capability::MsixDisabled)
             .write_into(&mut cs);
         cs
@@ -488,11 +501,10 @@ mod tests {
     fn bridge_config(device_id: u16, port_type: PortType) -> crate::config::ConfigSpace {
         let mut cs = Type1Header::new(0x8086, device_id).capabilities_at(0xd8).build();
         CapChain::new()
-            .add(0xd8, Capability::PciExpress {
-                port_type,
-                generation: Generation::Gen2,
-                max_width: 4,
-            })
+            .add(
+                0xd8,
+                Capability::PciExpress { port_type, generation: Generation::Gen2, max_width: 4 },
+            )
             .write_into(&mut cs);
         cs
     }

@@ -173,7 +173,10 @@ impl Type0Header {
         // latency timer, interrupt line.
         cs.set_writable(
             common::COMMAND,
-            &(command::IO_SPACE | command::MEMORY_SPACE | command::BUS_MASTER | command::INTX_DISABLE)
+            &(command::IO_SPACE
+                | command::MEMORY_SPACE
+                | command::BUS_MASTER
+                | command::INTX_DISABLE)
                 .to_le_bytes(),
         );
         cs.set_writable_bytes(common::CACHE_LINE_SIZE, 1);
@@ -245,7 +248,10 @@ impl Type1Header {
         // implement memory-mapped registers of its own".
         cs.set_writable(
             common::COMMAND,
-            &(command::IO_SPACE | command::MEMORY_SPACE | command::BUS_MASTER | command::INTX_DISABLE)
+            &(command::IO_SPACE
+                | command::MEMORY_SPACE
+                | command::BUS_MASTER
+                | command::INTX_DISABLE)
                 .to_le_bytes(),
         );
         cs.set_writable_bytes(common::CACHE_LINE_SIZE, 1);
@@ -359,11 +365,7 @@ pub fn bar_base(cs: &ConfigSpace, index: usize) -> u64 {
 /// decoding.
 pub fn command_enables(cs: &ConfigSpace) -> (bool, bool, bool) {
     let cmd = cs.read(common::COMMAND, 2) as u16;
-    (
-        cmd & command::IO_SPACE != 0,
-        cmd & command::MEMORY_SPACE != 0,
-        cmd & command::BUS_MASTER != 0,
-    )
+    (cmd & command::IO_SPACE != 0, cmd & command::MEMORY_SPACE != 0, cmd & command::BUS_MASTER != 0)
 }
 
 #[cfg(test)]

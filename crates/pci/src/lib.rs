@@ -40,9 +40,7 @@ pub mod prelude {
     };
     pub use crate::config::{shared, ConfigSpace, SharedConfigSpace};
     pub use crate::ecam::Bdf;
-    pub use crate::enumeration::{
-        enumerate, EnumerationConfig, EnumerationReport, Enumerator,
-    };
+    pub use crate::enumeration::{enumerate, EnumerationConfig, EnumerationReport, Enumerator};
     pub use crate::header::{Bar, Type0Header, Type1Header};
     pub use crate::host::{shared_registry, ConfigAccess, PciHost, SharedRegistry, PCI_HOST_PORT};
 }

@@ -32,6 +32,7 @@ use pcisim_kernel::packet::Packet;
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::stats::{Counter, Histogram, StatsBuilder};
 use pcisim_kernel::tick::Tick;
+use pcisim_kernel::trace::{TraceCategory, TraceKind};
 
 use crate::ack_nak::{ack_timeout, replay_timeout, ReplayBuffer, RxState};
 use crate::params::LinkConfig;
@@ -245,8 +246,14 @@ impl PcieLink {
     fn queue_dllp(&mut self, ctx: &mut Ctx<'_>, dir: Dir, dllp: Dllp) {
         let st = &mut self.dirs[dir.index()];
         match dllp {
-            Dllp::Nak { .. } => st.stats.naks_tx.inc(),
-            Dllp::Ack { .. } => st.stats.acks_tx.inc(),
+            Dllp::Nak { seq } => {
+                st.stats.naks_tx.inc();
+                ctx.emit(TraceCategory::Link, TraceKind::LinkNak, None, None, u64::from(seq));
+            }
+            Dllp::Ack { seq } => {
+                st.stats.acks_tx.inc();
+                ctx.emit(TraceCategory::Link, TraceKind::LinkAck, None, None, u64::from(seq));
+            }
             Dllp::UpdateFc { .. } => st.stats.updatefc_tx.inc(),
         }
         st.pending_dllps.push_back(dllp);
@@ -278,10 +285,7 @@ impl PcieLink {
                     Dllp::Nak { seq } => u64::from(seq) | (1 << 32),
                     Dllp::UpdateFc { credits } => u64::from(credits) | (1 << 33),
                 };
-                ctx.schedule(
-                    t + prop,
-                    Event::Timer { kind: K_DLLP_ARRIVE + dir as u32, data },
-                );
+                ctx.schedule(t + prop, Event::Timer { kind: K_DLLP_ARRIVE + dir as u32, data });
                 continue;
             }
             if let Some((seq, pkt)) = st.tx.next_to_transmit() {
@@ -294,6 +298,15 @@ impl PcieLink {
                 st.stats.bytes_tx.add(u64::from(wire));
                 st.stats.busy_ticks.add(t);
                 st.tx_count += 1;
+                if ctx.tracing(TraceCategory::Link) {
+                    ctx.emit(
+                        TraceCategory::Link,
+                        TraceKind::LinkTxStart,
+                        Some(pkt.id()),
+                        Some(pkt.cmd()),
+                        u64::from(wire),
+                    );
+                }
                 // Pseudo-random (but deterministic) error injection. A
                 // strictly periodic fault would resonate with replay-burst
                 // lengths — corrupting the same TLP in every burst forever
@@ -344,8 +357,18 @@ impl PcieLink {
         if credit_mode {
             st.tx_credits -= 1;
         }
-        st.tx.admit_at(ctx.now(), pkt);
+        let traced = ctx.tracing(TraceCategory::Link).then(|| (pkt.id(), pkt.cmd()));
+        let seq = st.tx.admit_at(ctx.now(), pkt);
         st.stats.tlps_admitted.inc();
+        if let Some((id, cmd)) = traced {
+            ctx.emit(
+                TraceCategory::Link,
+                TraceKind::LinkAdmit,
+                Some(id),
+                Some(cmd),
+                u64::from(seq),
+            );
+        }
         self.pump(ctx, dir);
         RecvResult::Accepted
     }
@@ -377,6 +400,13 @@ impl PcieLink {
         let st = &mut self.dirs[dir.index()];
         if corrupt {
             st.stats.rx_dropped_corrupt.inc();
+            ctx.emit(
+                TraceCategory::Link,
+                TraceKind::LinkDrop,
+                Some(pkt.id()),
+                None,
+                u64::from(seq),
+            );
             // NAK the last good sequence number back to the sender.
             let nak_seq = st.rx.expected().wrapping_sub(1);
             self.queue_dllp(ctx, dir.opposite(), Dllp::Nak { seq: nak_seq });
@@ -387,6 +417,13 @@ impl PcieLink {
             // discard without advancing, as the paper's model does. The
             // pending cumulative ACK (or the next timeout) resynchronizes.
             st.stats.rx_dropped_seq.inc();
+            ctx.emit(
+                TraceCategory::Link,
+                TraceKind::LinkDrop,
+                Some(pkt.id()),
+                None,
+                u64::from(seq),
+            );
             return;
         }
         if let Some(credits) = self.config.credit_fc {
@@ -400,6 +437,15 @@ impl PcieLink {
                     .delivery_latency_ns
                     .record(pcisim_kernel::tick::to_ns(ctx.now().saturating_sub(admitted)));
             }
+            if ctx.tracing(TraceCategory::Link) {
+                ctx.emit(
+                    TraceCategory::Link,
+                    TraceKind::LinkDeliver,
+                    Some(pkt.id()),
+                    Some(pkt.cmd()),
+                    u64::from(acked),
+                );
+            }
             st.rx_buffer.push_back(pkt);
             assert!(st.rx_buffer.len() <= credits, "credit accounting violated");
             self.send_ack(ctx, dir, acked, ack_immediate);
@@ -407,6 +453,7 @@ impl PcieLink {
             return;
         }
         // Deliver to the attached component.
+        let traced = ctx.tracing(TraceCategory::Link).then(|| (pkt.id(), pkt.cmd()));
         let egress_is_req = pkt.is_request();
         let result = match (dir, egress_is_req) {
             (Dir::Down, true) => ctx.try_send_request(PORT_DOWN_MASTER, pkt),
@@ -419,6 +466,15 @@ impl PcieLink {
             Ok(()) => {
                 let acked = st.rx.advance();
                 st.stats.rx_delivered.inc();
+                if let Some((id, cmd)) = traced {
+                    ctx.emit(
+                        TraceCategory::Link,
+                        TraceKind::LinkDeliver,
+                        Some(id),
+                        Some(cmd),
+                        u64::from(acked),
+                    );
+                }
                 // The receiver of a direction lives in the same component
                 // as its sender, so the replay buffer — which still holds
                 // the unacknowledged TLP — provides the admission tick.
@@ -429,10 +485,19 @@ impl PcieLink {
                 }
                 self.send_ack(ctx, dir, acked, ack_immediate);
             }
-            Err(_dropped) => {
+            Err(dropped) => {
                 // The attached port's buffers are full: do not increment the
                 // receiving sequence number; the sender replays on timeout.
                 st.stats.rx_dropped_refused.inc();
+                if traced.is_some() {
+                    ctx.emit(
+                        TraceCategory::Link,
+                        TraceKind::LinkDrop,
+                        Some(dropped.id()),
+                        Some(dropped.cmd()),
+                        u64::from(seq),
+                    );
+                }
             }
         }
     }
@@ -515,6 +580,15 @@ impl PcieLink {
                 st.stats.naks_rx.inc();
                 let replayed = st.tx.nak(seq);
                 st.stats.replays.add(replayed as u64);
+                if replayed > 0 {
+                    ctx.emit(
+                        TraceCategory::Link,
+                        TraceKind::LinkReplay,
+                        None,
+                        None,
+                        replayed as u64,
+                    );
+                }
             }
             Dllp::Ack { seq } => {
                 st.stats.acks_rx.inc();
@@ -550,6 +624,7 @@ impl PcieLink {
         st.stats.timeouts.inc();
         let replayed = st.tx.rewind();
         st.stats.replays.add(replayed as u64);
+        ctx.emit(TraceCategory::Link, TraceKind::LinkReplayTimeout, None, None, replayed as u64);
         self.arm_replay(ctx, dir);
         self.pump(ctx, dir);
     }
@@ -726,10 +801,8 @@ mod tests {
     fn pipelined_writes_saturate_the_wire() {
         // 8 writes back to back: the wire serializes them at 168 ns each;
         // replay buffer of 4 with prompt ACKs keeps the pipe full.
-        let cfg = LinkConfig {
-            ack_immediate: true,
-            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
-        };
+        let cfg =
+            LinkConfig { ack_immediate: true, ..LinkConfig::new(Generation::Gen2, LinkWidth::X1) };
         let script = (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
         let (mut sim, done) = build(cfg, script, 0);
         assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
@@ -771,10 +844,8 @@ mod tests {
 
     #[test]
     fn immediate_ack_mode_acks_every_tlp() {
-        let cfg = LinkConfig {
-            ack_immediate: true,
-            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
-        };
+        let cfg =
+            LinkConfig { ack_immediate: true, ..LinkConfig::new(Generation::Gen2, LinkWidth::X1) };
         let script = (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
         let (mut sim, _) = build(cfg, script, 0);
         sim.run_to_quiesce();
@@ -870,10 +941,8 @@ mod tests {
 
     #[test]
     fn injected_errors_recover_via_nak() {
-        let cfg = LinkConfig {
-            error_interval: 3,
-            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
-        };
+        let cfg =
+            LinkConfig { error_interval: 3, ..LinkConfig::new(Generation::Gen2, LinkWidth::X1) };
         let script = (0..9).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
         let (mut sim, done) = build(cfg, script, 0);
         assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
@@ -941,10 +1010,8 @@ mod tests {
             ack_immediate: true,
             ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
         });
-        let script = vec![
-            (Command::WriteReq, 0x4000_0000, 64),
-            (Command::WriteReq, 0x4000_0040, 64),
-        ];
+        let script =
+            vec![(Command::WriteReq, 0x4000_0000, 64), (Command::WriteReq, 0x4000_0040, 64)];
         let (mut sim, done) = build(cfg, script, 0);
         sim.run_to_quiesce();
         let done = done.borrow();
@@ -1051,10 +1118,8 @@ mod tests {
         // Same stubborn sink as the replay-timeout test, but with credit
         // flow control: the link buffers instead of dropping, so zero
         // timeouts and zero refused deliveries.
-        let cfg = LinkConfig {
-            credit_fc: Some(8),
-            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
-        };
+        let cfg =
+            LinkConfig { credit_fc: Some(8), ..LinkConfig::new(Generation::Gen2, LinkWidth::X1) };
         let mut sim = Simulation::new();
         let script = (0..6).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
         let (req, done) = Requester::new("cpu", script);
@@ -1114,8 +1179,7 @@ mod tests {
                 credit_fc: credit,
                 ..quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X1))
             };
-            let script =
-                (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+            let script = (0..8).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
             let (mut sim, done) = build(cfg, script, 0);
             assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
             let n = done.borrow().len();

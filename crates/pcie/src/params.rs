@@ -38,10 +38,7 @@ impl LinkWidth {
     /// Panics unless `lanes` is one of the architected widths
     /// (1, 2, 4, 8, 12, 16, 32).
     pub fn new(lanes: u8) -> Self {
-        assert!(
-            matches!(lanes, 1 | 2 | 4 | 8 | 12 | 16 | 32),
-            "invalid link width x{lanes}"
-        );
+        assert!(matches!(lanes, 1 | 2 | 4 | 8 | 12 | 16 | 32), "invalid link width x{lanes}");
         Self(lanes)
     }
 

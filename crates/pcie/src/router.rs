@@ -30,6 +30,7 @@ use pcisim_kernel::packet::Packet;
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::{ns, Tick};
+use pcisim_kernel::trace::{TraceCategory, TraceKind};
 use pcisim_pci::caps::{CapChain, Capability, PortType};
 use pcisim_pci::config::{shared, SharedConfigSpace};
 use pcisim_pci::header::{bus_numbers, io_window, memory_window, Type1Header};
@@ -89,10 +90,7 @@ impl Default for RouterConfig {
 impl RouterConfig {
     fn check(&self) {
         assert!(self.buffer_size > 0, "port buffers must hold at least one packet");
-        assert!(
-            self.latency >= self.service_interval,
-            "latency must cover the service interval"
-        );
+        assert!(self.latency >= self.service_interval, "latency must cover the service interval");
     }
 }
 
@@ -108,11 +106,7 @@ pub fn make_vp2p(
 ) -> SharedConfigSpace {
     let mut cs = Type1Header::new(vendor, device).capabilities_at(0xd8).build();
     CapChain::new()
-        .add(0xd8, Capability::PciExpress {
-            port_type,
-            generation,
-            max_width: width.lanes(),
-        })
+        .add(0xd8, Capability::PciExpress { port_type, generation, max_width: width.lanes() })
         .write_into(&mut cs);
     shared(cs)
 }
@@ -259,11 +253,7 @@ impl PcieRouter {
             if ingress == up_slave {
                 // CPU request: window routing.
                 let i = self.downstream_by_window(pkt.addr(), None).unwrap_or_else(|| {
-                    panic!(
-                        "{}: no downstream window for request at {:#x}",
-                        self.name,
-                        pkt.addr()
-                    )
+                    panic!("{}: no downstream window for request at {:#x}", self.name, pkt.addr())
                 });
                 port_downstream_master(i).0 as usize
             } else {
@@ -335,6 +325,15 @@ impl PcieRouter {
             return;
         }
         let pkt = self.ports[ingress].ingress.pop_front().expect("head exists");
+        if ctx.tracing(TraceCategory::Router) {
+            ctx.emit(
+                TraceCategory::Router,
+                TraceKind::RouteDecision,
+                Some(pkt.id()),
+                Some(pkt.cmd()),
+                egress as u64,
+            );
+        }
         let p = &mut self.ports[ingress];
         p.engine_busy = true;
         p.in_service = Some(pkt);
@@ -356,6 +355,15 @@ impl PcieRouter {
         let pkt = p.in_service.take().expect("service completion without packet");
         let egress = p.service_egress;
         p.engine_busy = false;
+        if ctx.tracing(TraceCategory::Router) {
+            ctx.emit(
+                TraceCategory::Router,
+                TraceKind::ServiceDone,
+                Some(pkt.id()),
+                Some(pkt.cmd()),
+                egress as u64,
+            );
+        }
         // Remaining pipeline latency toward the egress buffer.
         let rest = self.config.latency - self.config.service_interval;
         ctx.schedule(rest, Event::DelayedPacket { tag: egress as u32, pkt });
@@ -408,6 +416,15 @@ impl PcieRouter {
             self.stats.responses.inc();
         }
         self.ports[ingress].ingress.push_back(pkt);
+        if ctx.tracing(TraceCategory::Router) {
+            ctx.emit(
+                TraceCategory::Router,
+                TraceKind::BufferOccupancy,
+                None,
+                None,
+                self.ports[ingress].ingress.len() as u64,
+            );
+        }
         self.try_start(ctx, ingress);
         RecvResult::Accepted
     }
@@ -543,10 +560,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "no downstream window")]
     fn unrouted_cpu_request_panics() {
-        let mut h = build_rc_harness(
-            RouterConfig::default(),
-            vec![(Command::ReadReq, 0x9000_0000, 4)],
-        );
+        let mut h =
+            build_rc_harness(RouterConfig::default(), vec![(Command::ReadReq, 0x9000_0000, 4)]);
         h.sim.run_to_quiesce();
     }
 

@@ -8,15 +8,16 @@
 //! [`PcieLink`]s. After wiring, the builder runs the enumeration software
 //! and the device driver probe, so a built system is ready for a workload.
 
+use pcisim_devices::driver::{ide_probe, ProbeInfo};
 use pcisim_devices::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
 use pcisim_devices::intc::{InterruptController, INTC_FABRIC_PORT};
 use pcisim_devices::nic::{Nic, NicConfig, NIC_DMA_PORT, NIC_PIO_PORT};
-use pcisim_devices::driver::{ide_probe, ProbeInfo};
 use pcisim_kernel::component::{ComponentId, PortId};
-use pcisim_kernel::iocache::{IoCache, IOCACHE_DEV_SIDE, IOCACHE_MEM_SIDE};
 use pcisim_kernel::dram::{Dram, DRAM_PORT};
+use pcisim_kernel::iocache::{IoCache, IOCACHE_DEV_SIDE, IOCACHE_MEM_SIDE};
 use pcisim_kernel::sim::Simulation;
 use pcisim_kernel::tick::{ns, Tick};
+use pcisim_kernel::trace::TraceCategory;
 use pcisim_kernel::xbar::Crossbar;
 use pcisim_pci::caps::PortType;
 use pcisim_pci::ecam::Bdf;
@@ -79,6 +80,10 @@ pub struct SystemConfig {
     /// enable it — the paper's future-work extension. The default follows
     /// the paper: MSI disabled, legacy INTx emulation messages.
     pub use_msi: bool,
+    /// Structured-trace category mask applied to the built simulation
+    /// (a bit-or of [`TraceCategory::bit`] values, or
+    /// [`TraceCategory::ALL`]); `0` — the default — disables tracing.
+    pub trace_mask: u32,
 }
 
 impl SystemConfig {
@@ -99,7 +104,16 @@ impl SystemConfig {
             iocache_mshrs: 16,
             pcihost_latency: ns(20),
             use_msi: false,
+            trace_mask: 0,
         }
+    }
+
+    /// Enables structured tracing of every category (see
+    /// [`TraceCategory::ALL`]); the built system's trace is collected with
+    /// [`Simulation::take_trace`] after the run.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace_mask = TraceCategory::ALL;
+        self
     }
 
     /// The Table II setup: a NIC directly on root port 0, Gen 2 x1 link.
@@ -253,11 +267,7 @@ pub fn build_system(config: SystemConfig) -> BuiltSystem {
         DeviceSpec::Nic(nic_cfg) => {
             let (nic, cs) = Nic::new(
                 "nic",
-                NicConfig {
-                    intx: Some((0, 0)),
-                    msi_capable: config.use_msi,
-                    ..nic_cfg.clone()
-                },
+                NicConfig { intx: Some((0, 0)), msi_capable: config.use_msi, ..nic_cfg.clone() },
             );
             nic_parts = Some(nic);
             disk_parts = None;
@@ -311,6 +321,7 @@ pub fn build_system(config: SystemConfig) -> BuiltSystem {
 
     // --- Components.
     let mut sim = Simulation::new();
+    sim.set_trace_mask(config.trace_mask);
     let mut intc = InterruptController::new("gic", platform::intc_range());
     let cpu_irq = intc.route_irq(irq);
 
@@ -342,14 +353,9 @@ pub fn build_system(config: SystemConfig) -> BuiltSystem {
         config.pcihost_latency,
         registry.clone(),
     )));
-    let iocache_id = sim.add(Box::new(
-        IoCache::builder("iocache").mshrs(config.iocache_mshrs).build(),
-    ));
-    let rc_id = sim.add(Box::new(PcieRouter::root_complex(
-        "rc",
-        config.rc.clone(),
-        rp_vp2ps,
-    )));
+    let iocache_id =
+        sim.add(Box::new(IoCache::builder("iocache").mshrs(config.iocache_mshrs).build()));
+    let rc_id = sim.add(Box::new(PcieRouter::root_complex("rc", config.rc.clone(), rp_vp2ps)));
     let root_link_id = sim.add(Box::new(PcieLink::new("root_link", config.root_link.clone())));
 
     // --- Wiring: memory side.
@@ -383,8 +389,7 @@ pub fn build_system(config: SystemConfig) -> BuiltSystem {
         let (up, down) = switch_vp2ps.expect("switch vp2ps exist");
         let switch_id =
             sim.add(Box::new(PcieRouter::switch("switch", switch_cfg.clone(), up, down)));
-        let dev_link_id =
-            sim.add(Box::new(PcieLink::new("dev_link", config.device_link.clone())));
+        let dev_link_id = sim.add(Box::new(PcieLink::new("dev_link", config.device_link.clone())));
         sim.connect((root_link_id, PORT_DOWN_MASTER), (switch_id, PORT_UPSTREAM_SLAVE));
         sim.connect((root_link_id, PORT_DOWN_SLAVE), (switch_id, PORT_UPSTREAM_MASTER));
         sim.connect((switch_id, port_downstream_master(0)), (dev_link_id, PORT_UP_SLAVE));
@@ -429,10 +434,7 @@ mod tests {
         let built = build_system(SystemConfig::nic_direct());
         let nic = built.report.find(0x8086, 0x10d3).unwrap();
         assert_eq!(nic.bdf, Bdf::new(1, 0, 0));
-        assert!(matches!(
-            built.probe.interrupt,
-            pcisim_devices::driver::InterruptMode::Legacy(_)
-        ));
+        assert!(matches!(built.probe.interrupt, pcisim_devices::driver::InterruptMode::Legacy(_)));
     }
 
     #[test]
@@ -577,9 +579,8 @@ pub fn build_legacy_system(config: LegacySystemConfig) -> BuiltSystem {
         ns(20),
         registry.clone(),
     )));
-    let iocache_id = sim.add(Box::new(
-        IoCache::builder("iocache").mshrs(config.iocache_mshrs).build(),
-    ));
+    let iocache_id =
+        sim.add(Box::new(IoCache::builder("iocache").mshrs(config.iocache_mshrs).build()));
     let bridge_id = sim.add(Box::new(Bridge::builder("bridge").delay(config.bridge_delay).build()));
     let disk_id = sim.add(Box::new(disk));
 
@@ -606,9 +607,9 @@ pub fn build_legacy_system(config: LegacySystemConfig) -> BuiltSystem {
 #[cfg(test)]
 mod legacy_tests {
     use super::*;
+    use crate::workload::dd::DdConfig;
     use pcisim_kernel::sim::RunOutcome;
     use pcisim_kernel::tick::{us, TICKS_PER_SEC};
-    use crate::workload::dd::DdConfig;
 
     #[test]
     fn legacy_system_enumerates_a_flat_bus() {
@@ -797,7 +798,8 @@ pub fn build_dual_disk_system(config: SystemConfig) -> DualDiskSystem {
     }
 
     // Two disks: behind downstream port 0 (bus 3) and port 1 (bus 4).
-    let (disk0, cs0) = IdeDisk::new("disk0", IdeDiskConfig { intx: Some((0, 0)), ..disk_cfg.clone() });
+    let (disk0, cs0) =
+        IdeDisk::new("disk0", IdeDiskConfig { intx: Some((0, 0)), ..disk_cfg.clone() });
     let (disk1, cs1) = IdeDisk::new("disk1", IdeDiskConfig { intx: Some((0, 0)), ..disk_cfg });
     registry.borrow_mut().register(Bdf::new(3, 0, 0), cs0);
     registry.borrow_mut().register(Bdf::new(4, 0, 0), cs1);
@@ -851,9 +853,8 @@ pub fn build_dual_disk_system(config: SystemConfig) -> DualDiskSystem {
         config.pcihost_latency,
         registry.clone(),
     )));
-    let iocache_id = sim.add(Box::new(
-        IoCache::builder("iocache").mshrs(config.iocache_mshrs).build(),
-    ));
+    let iocache_id =
+        sim.add(Box::new(IoCache::builder("iocache").mshrs(config.iocache_mshrs).build()));
     let rc_id = sim.add(Box::new(PcieRouter::root_complex("rc", config.rc.clone(), rp_vp2ps)));
     let root_link_id = sim.add(Box::new(PcieLink::new("root_link", config.root_link.clone())));
     let switch_id = sim.add(Box::new(PcieRouter::switch("switch", switch_cfg, up, down)));
@@ -872,8 +873,7 @@ pub fn build_dual_disk_system(config: SystemConfig) -> DualDiskSystem {
     sim.connect((rc_id, port_downstream_slave(0)), (root_link_id, PORT_UP_MASTER));
     sim.connect((root_link_id, PORT_DOWN_MASTER), (switch_id, PORT_UPSTREAM_SLAVE));
     sim.connect((root_link_id, PORT_DOWN_SLAVE), (switch_id, PORT_UPSTREAM_MASTER));
-    for (i, (link_id, disk_id)) in [(link0_id, disk0_id), (link1_id, disk1_id)].iter().enumerate()
-    {
+    for (i, (link_id, disk_id)) in [(link0_id, disk0_id), (link1_id, disk1_id)].iter().enumerate() {
         sim.connect((switch_id, port_downstream_master(i)), (*link_id, PORT_UP_SLAVE));
         sim.connect((switch_id, port_downstream_slave(i)), (*link_id, PORT_UP_MASTER));
         sim.connect((*link_id, PORT_DOWN_MASTER), (*disk_id, IDE_PIO_PORT));
@@ -928,10 +928,7 @@ mod dual_disk_tests {
         // aggregate must beat one stream (the fabric really fans out).
         assert!(g0 <= solo_gbps * 1.01, "disk0 under contention: {g0} vs solo {solo_gbps}");
         assert!(g1 <= solo_gbps * 1.01, "disk1 under contention: {g1} vs solo {solo_gbps}");
-        assert!(
-            g0 + g1 > solo_gbps * 1.2,
-            "aggregate must scale: {g0} + {g1} vs solo {solo_gbps}"
-        );
+        assert!(g0 + g1 > solo_gbps * 1.2, "aggregate must scale: {g0} + {g1} vs solo {solo_gbps}");
     }
 
     #[test]

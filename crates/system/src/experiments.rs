@@ -7,6 +7,7 @@
 
 use pcisim_kernel::sim::RunOutcome;
 use pcisim_kernel::tick::{self, Tick};
+use pcisim_kernel::trace::{TraceCategory, TraceLog};
 use pcisim_pcie::params::{Generation, LinkConfig, LinkWidth};
 
 use crate::builder::{build_system, DeviceSpec, SystemConfig};
@@ -48,6 +49,9 @@ pub struct DdExperiment {
     /// Credit-based flow control on every link, with this receive window
     /// (extension; `None` = the paper's ACK/NAK-only protocol).
     pub credit_fc: Option<usize>,
+    /// Record a full event trace of the run (all categories); the drained
+    /// [`TraceLog`] is returned in the outcome.
+    pub trace: bool,
 }
 
 impl Default for DdExperiment {
@@ -65,6 +69,7 @@ impl Default for DdExperiment {
             service_interval: None,
             per_sector_overhead: None,
             credit_fc: None,
+            trace: false,
         }
     }
 }
@@ -88,6 +93,8 @@ pub struct DdOutcome {
     pub upstream_tlps: u64,
     /// Whether the workload completed (false = safety valve tripped).
     pub completed: bool,
+    /// The event trace, when the experiment asked for one.
+    pub trace: Option<TraceLog>,
 }
 
 /// Runs one `dd` experiment on the paper's validation topology
@@ -128,13 +135,14 @@ pub fn run_dd_experiment(exp: &DdExperiment) -> DdOutcome {
             disk.per_sector_overhead = oh;
         }
     }
+    if exp.trace {
+        config.trace_mask = TraceCategory::ALL;
+    }
 
     let mut built = build_system(config);
-    let report = built.attach_dd(DdConfig {
-        block_bytes: exp.block_bytes,
-        ..DdConfig::default()
-    });
+    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
     let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let trace = exp.trace.then(|| built.sim.take_trace());
     let stats = built.sim.stats();
     let r = report.borrow();
 
@@ -149,6 +157,7 @@ pub fn run_dd_experiment(exp: &DdExperiment) -> DdOutcome {
         timeout_pct: if up_tx > 0.0 { 100.0 * timeouts / up_tx } else { 0.0 },
         upstream_tlps: up_tx as u64,
         completed: r.done && outcome == RunOutcome::QueueEmpty,
+        trace,
     }
 }
 
@@ -161,11 +170,14 @@ pub struct MmioExperiment {
     pub reads: u32,
     /// CPU-side timing-harness overhead included in each sample.
     pub cpu_overhead: Tick,
+    /// Record a full event trace of the run (all categories); the drained
+    /// [`TraceLog`] is returned in the outcome.
+    pub trace: bool,
 }
 
 impl Default for MmioExperiment {
     fn default() -> Self {
-        Self { rc_latency: tick::ns(150), reads: 64, cpu_overhead: tick::ns(70) }
+        Self { rc_latency: tick::ns(150), reads: 64, cpu_overhead: tick::ns(70), trace: false }
     }
 }
 
@@ -180,6 +192,8 @@ pub struct MmioOutcome {
     pub max_ns: f64,
     /// Whether all reads completed.
     pub completed: bool,
+    /// The event trace, when the experiment asked for one.
+    pub trace: Option<TraceLog>,
 }
 
 /// Runs the Table II experiment: a NIC on root port 0, 4-byte register
@@ -187,6 +201,9 @@ pub struct MmioOutcome {
 pub fn run_mmio_experiment(exp: &MmioExperiment) -> MmioOutcome {
     let mut config = SystemConfig::nic_direct();
     config.rc.latency = exp.rc_latency;
+    if exp.trace {
+        config.trace_mask = TraceCategory::ALL;
+    }
     let mut built = build_system(config);
     let report = built.attach_mmio_probe(MmioProbeConfig {
         reads: exp.reads,
@@ -194,12 +211,14 @@ pub fn run_mmio_experiment(exp: &MmioExperiment) -> MmioOutcome {
         ..MmioProbeConfig::default()
     });
     let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let trace = exp.trace.then(|| built.sim.take_trace());
     let r = report.borrow();
     MmioOutcome {
         mean_ns: r.mean_ns(),
         min_ns: r.min_ns(),
         max_ns: r.max_ns(),
         completed: r.done && outcome == RunOutcome::QueueEmpty,
+        trace,
     }
 }
 
@@ -233,6 +252,7 @@ pub fn run_sector_microbench(width: LinkWidth, sectors: u32) -> DdOutcome {
         timeout_pct: 0.0,
         upstream_tlps: up_tx as u64,
         completed: r.done && outcome == RunOutcome::QueueEmpty,
+        trace: None,
     }
 }
 
@@ -332,6 +352,9 @@ pub struct NicTxExperiment {
     /// Time the NIC needs to put one frame on the medium; bounds the
     /// NIC-side rate (1514 B at 10 Gb/s ≈ 1.2 µs).
     pub tx_wire_time: Tick,
+    /// Record a full event trace of the run (all categories); the drained
+    /// [`TraceLog`] is returned in the outcome.
+    pub trace: bool,
 }
 
 impl Default for NicTxExperiment {
@@ -341,6 +364,7 @@ impl Default for NicTxExperiment {
             frames: 512,
             frame_bytes: 1514,
             tx_wire_time: tick::ns(1200),
+            trace: false,
         }
     }
 }
@@ -356,6 +380,8 @@ pub struct NicTxOutcome {
     pub dma_read_tlps: u64,
     /// Whether the run completed.
     pub completed: bool,
+    /// The event trace, when the experiment asked for one.
+    pub trace: Option<TraceLog>,
 }
 
 /// Runs a NIC transmit experiment: NIC directly on root port 0, frames
@@ -366,6 +392,9 @@ pub fn run_nic_tx_experiment(exp: &NicTxExperiment) -> NicTxOutcome {
     if let DeviceSpec::Nic(nic) = &mut config.device {
         nic.tx_wire_time = exp.tx_wire_time;
     }
+    if exp.trace {
+        config.trace_mask = TraceCategory::ALL;
+    }
     let mut built = build_system(config);
     let report = built.attach_nic_tx(crate::workload::nic_tx::NicTxConfig {
         frames: exp.frames,
@@ -373,6 +402,7 @@ pub fn run_nic_tx_experiment(exp: &NicTxExperiment) -> NicTxOutcome {
         ..Default::default()
     });
     let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let trace = exp.trace.then(|| built.sim.take_trace());
     let stats = built.sim.stats();
     let r = report.borrow();
     NicTxOutcome {
@@ -380,6 +410,7 @@ pub fn run_nic_tx_experiment(exp: &NicTxExperiment) -> NicTxOutcome {
         frames_per_sec: r.frames_per_sec(),
         dma_read_tlps: stats.get("nic.dma_read_tlps").unwrap_or(0.0) as u64,
         completed: r.done && outcome == RunOutcome::QueueEmpty,
+        trace,
     }
 }
 
@@ -402,12 +433,7 @@ impl Default for NicRxExperiment {
         // frame costs a serial descriptor fetch round trip plus the data
         // writes, so this is comfortably above what a Gen 2 x1 slot can
         // drain and comfortably below what x8 can.
-        Self {
-            width: LinkWidth::X1,
-            frames: 512,
-            frame_bytes: 1514,
-            interval: tick::ns(2400),
-        }
+        Self { width: LinkWidth::X1, frames: 512, frame_bytes: 1514, interval: tick::ns(2400) }
     }
 }
 
@@ -448,8 +474,7 @@ pub fn run_nic_rx_experiment(exp: &NicRxExperiment) -> NicRxOutcome {
         frames_delivered: r.frames,
         frames_dropped: dropped,
         // The stream finished when every frame was delivered or dropped.
-        completed: r.frames + dropped == u64::from(exp.frames)
-            && outcome == RunOutcome::QueueEmpty,
+        completed: r.frames + dropped == u64::from(exp.frames) && outcome == RunOutcome::QueueEmpty,
     }
 }
 
@@ -459,20 +484,15 @@ mod nic_rx_tests {
 
     #[test]
     fn narrow_links_drop_line_rate_traffic_but_wide_links_keep_up() {
-        let x1 = run_nic_rx_experiment(&NicRxExperiment {
-            frames: 128,
-            ..NicRxExperiment::default()
-        });
+        let x1 =
+            run_nic_rx_experiment(&NicRxExperiment { frames: 128, ..NicRxExperiment::default() });
         let x8 = run_nic_rx_experiment(&NicRxExperiment {
             frames: 128,
             width: LinkWidth::X8,
             ..NicRxExperiment::default()
         });
         assert!(x1.completed && x8.completed);
-        assert!(
-            x1.frames_dropped > 0,
-            "a Gen2 x1 slot cannot sustain ~5 Gb/s inbound: {x1:?}"
-        );
+        assert!(x1.frames_dropped > 0, "a Gen2 x1 slot cannot sustain ~5 Gb/s inbound: {x1:?}");
         assert_eq!(x8.frames_dropped, 0, "x8 must keep up: {x8:?}");
         assert!(x8.delivered_gbps > x1.delivered_gbps);
     }
@@ -533,10 +553,8 @@ mod nic_tx_tests {
 
     #[test]
     fn nic_tx_completes_and_scales_with_width() {
-        let x1 = run_nic_tx_experiment(&NicTxExperiment {
-            frames: 64,
-            ..NicTxExperiment::default()
-        });
+        let x1 =
+            run_nic_tx_experiment(&NicTxExperiment { frames: 64, ..NicTxExperiment::default() });
         let x4 = run_nic_tx_experiment(&NicTxExperiment {
             frames: 64,
             width: LinkWidth::X4,

@@ -33,4 +33,5 @@ pub mod prelude {
     pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};
     pub use crate::workload::nic_tx::{NicTxConfig, NicTxReport, NicTxReportHandle};
+    pub use pcisim_kernel::trace::{LatencyAttribution, Stage, TraceCategory, TraceLog};
 }

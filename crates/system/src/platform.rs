@@ -58,11 +58,7 @@ pub fn intc_range() -> AddrRange {
 
 /// Enumeration resources matching this platform.
 pub fn enumeration_config() -> EnumerationConfig {
-    EnumerationConfig {
-        mem_window: mem_range(),
-        io_window: io_range(),
-        first_irq: FIRST_PCI_IRQ,
-    }
+    EnumerationConfig { mem_window: mem_range(), io_window: io_range(), first_irq: FIRST_PCI_IRQ }
 }
 
 #[cfg(test)]

@@ -11,12 +11,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use pcisim_devices::ide::{regs, CMD_READ_DMA};
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
 use pcisim_kernel::packet::{Command, Packet};
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::stats::StatsBuilder;
 use pcisim_kernel::tick::{gbps, ns, us, Tick};
-use pcisim_devices::ide::{regs, CMD_READ_DMA};
 
 /// Port wired to the memory bus (MMIO master).
 pub const DD_MEM_PORT: PortId = PortId(0);
@@ -140,14 +140,9 @@ impl DdApp {
 
     fn mmio_write(&mut self, ctx: &mut Ctx<'_>, offset: u64, value: u32) {
         let id = ctx.alloc_packet_id();
-        let pkt = Packet::request(
-            id,
-            Command::WriteReq,
-            self.config.disk_bar + offset,
-            4,
-            ctx.self_id(),
-        )
-        .with_payload(value.to_le_bytes().to_vec());
+        let pkt =
+            Packet::request(id, Command::WriteReq, self.config.disk_bar + offset, 4, ctx.self_id())
+                .with_payload(value.to_le_bytes().to_vec());
         if let Err(back) = ctx.try_send_request(DD_MEM_PORT, pkt) {
             self.stalled = Some(back);
         }
@@ -195,10 +190,10 @@ impl DdApp {
                     u64::from(self.cur_request_sectors) * u64::from(self.config.sector_size);
                 if self.sectors_left_in_block > 0 {
                     self.state = State::WriteSectorCount;
-                    ctx.schedule(self.config.os_request_overhead, Event::Timer {
-                        kind: K_STEP,
-                        data: 0,
-                    });
+                    ctx.schedule(
+                        self.config.os_request_overhead,
+                        Event::Timer { kind: K_STEP, data: 0 },
+                    );
                 } else {
                     self.blocks_left -= 1;
                     if self.blocks_left > 0 {
@@ -291,10 +286,8 @@ mod tests {
         let cpu_irq_port = intc.route_irq(32);
 
         let (dd, report) = DdApp::new("dd", config.clone());
-        let (disk, cs) = IdeDisk::new(
-            "disk",
-            IdeDiskConfig { intx: Some((32, intc_base)), ..disk_cfg },
-        );
+        let (disk, cs) =
+            IdeDisk::new("disk", IdeDiskConfig { intx: Some((32, intc_base)), ..disk_cfg });
         cs.borrow_mut().write(0x10, 4, config.disk_bar as u32);
 
         // DMA fans out by address: memory writes to one responder,

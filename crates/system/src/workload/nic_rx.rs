@@ -110,14 +110,9 @@ impl NicRxApp {
 
     fn mmio_write(&mut self, ctx: &mut Ctx<'_>, offset: u64, value: u32) {
         let id = ctx.alloc_packet_id();
-        let pkt = Packet::request(
-            id,
-            Command::WriteReq,
-            self.config.nic_bar + offset,
-            4,
-            ctx.self_id(),
-        )
-        .with_payload(value.to_le_bytes().to_vec());
+        let pkt =
+            Packet::request(id, Command::WriteReq, self.config.nic_bar + offset, 4, ctx.self_id())
+                .with_payload(value.to_le_bytes().to_vec());
         if let Err(back) = ctx.try_send_request(NIC_RX_MEM_PORT, pkt) {
             self.stalled = Some(back);
         }
@@ -230,11 +225,10 @@ mod tests {
         let intc_base = 0x2c00_0000;
         let mut intc = InterruptController::new("gic", AddrRange::with_size(intc_base, 0x1000));
         let cpu_irq = intc.route_irq(34);
-        let (app, report) = NicRxApp::new("nicrx", NicRxConfig {
-            expect_frames: frames,
-            frame_bytes: 1514,
-            ..NicRxConfig::default()
-        });
+        let (app, report) = NicRxApp::new(
+            "nicrx",
+            NicRxConfig { expect_frames: frames, frame_bytes: 1514, ..NicRxConfig::default() },
+        );
         let (nic, cs) = Nic::new(
             "nic",
             NicConfig {

@@ -182,10 +182,10 @@ impl NicTxApp {
                 if self.frames_posted < self.config.frames {
                     drop(r);
                     self.state = State::PostBatch;
-                    ctx.schedule(self.config.os_batch_overhead, Event::Timer {
-                        kind: K_STEP,
-                        data: 0,
-                    });
+                    ctx.schedule(
+                        self.config.os_batch_overhead,
+                        Event::Timer { kind: K_STEP, data: 0 },
+                    );
                 } else {
                     r.end = ctx.now();
                     r.done = true;
@@ -267,10 +267,8 @@ mod tests {
         let mut intc = InterruptController::new("gic", AddrRange::with_size(intc_base, 0x1000));
         let cpu_irq = intc.route_irq(33);
         let (app, report) = NicTxApp::new("nictx", config.clone());
-        let (nic, cs) = Nic::new(
-            "nic",
-            NicConfig { intx: Some((33, intc_base)), ..NicConfig::default() },
-        );
+        let (nic, cs) =
+            Nic::new("nic", NicConfig { intx: Some((33, intc_base)), ..NicConfig::default() });
         cs.borrow_mut().write(0x10, 4, config.nic_bar as u32);
 
         let xbar = Crossbar::builder("dmabus")

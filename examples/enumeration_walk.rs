@@ -74,6 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  (MSI enable bounced off the disabled structure, hence the legacy IRQ)");
 
     let disk = ide_probe(&mut registry.clone(), &report)?;
-    println!("\nide probe: disk at {} BAR0 {:#x} interrupt {:?}", disk.bdf, disk.bar0, disk.interrupt);
+    println!(
+        "\nide probe: disk at {} BAR0 {:#x} interrupt {:?}",
+        disk.bdf, disk.bar0, disk.interrupt
+    );
     Ok(())
 }

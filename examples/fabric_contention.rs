@@ -50,14 +50,7 @@ fn main() {
     for width in [LinkWidth::X1, LinkWidth::X2, LinkWidth::X4] {
         let s = solo(width);
         let (a, b) = dual(width);
-        println!(
-            "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
-            width.to_string(),
-            s,
-            a,
-            b,
-            a + b
-        );
+        println!("{:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}", width.to_string(), s, a, b, a + b);
     }
     println!("\nWith an x1 root link the two streams halve each other; from x2");
     println!("upward the root link stops being the shared bottleneck and each");

@@ -15,7 +15,10 @@ use pcisim::system::prelude::*;
 fn main() {
     let block_mb: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     println!("dd over the validation topology, {block_mb} MB block, all links swept:\n");
-    println!("{:>6} {:>12} {:>9} {:>10} {:>14}", "width", "dd (Gb/s)", "replay%", "timeout%", "upstream TLPs");
+    println!(
+        "{:>6} {:>12} {:>9} {:>10} {:>14}",
+        "width", "dd (Gb/s)", "replay%", "timeout%", "upstream TLPs"
+    );
     let mut previous: Option<f64> = None;
     for lanes in [1u8, 2, 4, 8] {
         let out = run_dd_experiment(&DdExperiment {
@@ -24,7 +27,8 @@ fn main() {
             ..DdExperiment::default()
         });
         assert!(out.completed, "run must finish");
-        let gain = previous.map(|p| format!("  ({:.2}x)", out.throughput_gbps / p)).unwrap_or_default();
+        let gain =
+            previous.map(|p| format!("  ({:.2}x)", out.throughput_gbps / p)).unwrap_or_default();
         println!(
             "{:>6} {:>12.3} {:>8.1}% {:>9.1}% {:>14}{gain}",
             format!("x{lanes}"),

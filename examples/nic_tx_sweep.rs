@@ -8,12 +8,18 @@
 //!
 //! ```text
 //! cargo run --release --example nic_tx_sweep
+//! cargo run --release --example nic_tx_sweep -- --trace [PATH]
 //! ```
+//!
+//! With `--trace`, a small traced TX run dumps a Chrome/Perfetto trace
+//! (loadable at <https://ui.perfetto.dev>) showing doorbells, DMA
+//! descriptor/buffer fetches, link-layer traffic and the interrupt.
 
 use pcisim::pcie::params::LinkWidth;
 use pcisim::system::prelude::*;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     println!("NIC TX of 256 x 1514 B frames, link width swept (Gen 2):\n");
     println!("{:>6} {:>12} {:>14} {:>12}", "width", "Gb/s", "frames/s", "DMA TLPs");
     for lanes in [1u8, 2, 4, 8, 16] {
@@ -58,4 +64,20 @@ fn main() {
     println!("internal FIFO overflows and frames are lost — a Gen 2 x1 slot");
     println!("cannot carry a 5 Gb/s stream, exactly the class of question the");
     println!("paper's interconnect model exists to answer.");
+
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let path = args.get(pos + 1).cloned().unwrap_or_else(|| "nic_tx_trace.json".into());
+        let out = run_nic_tx_experiment(&NicTxExperiment {
+            frames: 8,
+            trace: true,
+            ..NicTxExperiment::default()
+        });
+        assert!(out.completed);
+        let log = out.trace.expect("trace requested");
+        std::fs::write(&path, log.to_perfetto_json()).expect("write trace file");
+        println!("\nPerfetto trace of an 8-frame x1 TX run written to {path}");
+        println!("(open in ui.perfetto.dev: doorbell, descriptor and buffer");
+        println!("DMA reads, the link-layer ACK stream, and the completion");
+        println!("interrupt are all visible per component).");
+    }
 }

@@ -14,10 +14,7 @@ use pcisim::system::prelude::*;
 
 fn main() {
     println!("dd throughput with and without posted DMA writes (8 MB block):\n");
-    println!(
-        "{:>6} {:>16} {:>13} {:>8}",
-        "width", "non-posted Gb/s", "posted Gb/s", "gain"
-    );
+    println!("{:>6} {:>16} {:>13} {:>8}", "width", "non-posted Gb/s", "posted Gb/s", "gain");
     for lanes in [1u8, 2, 4, 8] {
         let base = DdExperiment {
             block_bytes: 8 * 1024 * 1024,

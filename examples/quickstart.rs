@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pcisim::system::prelude::*;
 use pcisim::system::builder::build_system;
+use pcisim::system::prelude::*;
 
 fn main() {
     // The validation topology of §VI-A: root complex —x4— switch —x1— IDE
@@ -21,10 +21,7 @@ fn main() {
     );
 
     // dd if=/dev/disk of=/dev/null bs=8M count=1 iflag=direct
-    let report = built.attach_dd(DdConfig {
-        block_bytes: 8 * 1024 * 1024,
-        ..DdConfig::default()
-    });
+    let report = built.attach_dd(DdConfig { block_bytes: 8 * 1024 * 1024, ..DdConfig::default() });
 
     let outcome = built.sim.run(pcisim::kernel::tick::TICKS_PER_SEC, u64::MAX);
     let r = report.borrow();

@@ -9,7 +9,9 @@ use pcisim::system::workload::dd::DdConfig;
 
 const MB: u64 = 1024 * 1024;
 
-fn run_validation_dd(block: u64) -> (pcisim::system::workload::dd::DdReport, pcisim::kernel::stats::StatsSnapshot) {
+fn run_validation_dd(
+    block: u64,
+) -> (pcisim::system::workload::dd::DdReport, pcisim::kernel::stats::StatsSnapshot) {
     let mut built = build_system(SystemConfig::validation());
     let report = built.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
     let outcome = built.sim.run(TICKS_PER_SEC, u64::MAX);
@@ -51,11 +53,9 @@ fn link_accounting_is_conserved() {
         for dir in ["up", "down"] {
             let admitted = stats.get(&format!("{link}.{dir}.tlps_admitted")).unwrap();
             let delivered = stats.get(&format!("{link}.{dir}.rx_delivered")).unwrap();
-            let dropped_refused =
-                stats.get(&format!("{link}.{dir}.rx_dropped_refused")).unwrap();
+            let dropped_refused = stats.get(&format!("{link}.{dir}.rx_dropped_refused")).unwrap();
             let dropped_seq = stats.get(&format!("{link}.{dir}.rx_dropped_seq")).unwrap();
-            let dropped_corrupt =
-                stats.get(&format!("{link}.{dir}.rx_dropped_corrupt")).unwrap();
+            let dropped_corrupt = stats.get(&format!("{link}.{dir}.rx_dropped_corrupt")).unwrap();
             let tx = stats.get(&format!("{link}.{dir}.tlps_tx")).unwrap();
             // Every admitted TLP is delivered exactly once...
             assert_eq!(admitted, delivered, "{link}.{dir}: TLP lost or duplicated");
@@ -82,7 +82,10 @@ fn dram_receives_every_dma_byte() {
     let (_r, stats) = run_validation_dd(MB);
     assert_eq!(stats.get("dram.writes"), Some((MB / 64) as f64));
     assert_eq!(stats.get("dram.bytes"), Some(MB as f64));
-    assert_eq!(stats.get("iocache.accesses").unwrap(), (MB / 64) as f64 + stats.get("gic.raised").unwrap());
+    assert_eq!(
+        stats.get("iocache.accesses").unwrap(),
+        (MB / 64) as f64 + stats.get("gic.raised").unwrap()
+    );
 }
 
 #[test]
@@ -112,6 +115,59 @@ fn throughput_is_deterministic_across_runs() {
     let keys_a: Vec<_> = stats_a.iter().collect();
     let keys_b: Vec<_> = stats_b.iter().collect();
     assert_eq!(keys_a, keys_b, "every statistic must be identical across runs");
+}
+
+#[test]
+fn mmio_trace_spans_sum_to_end_to_end_latency() {
+    use pcisim::kernel::tick::{ns, Tick};
+    use pcisim::system::prelude::{run_mmio_experiment, MmioExperiment, Stage};
+
+    // With the CPU-side overhead zeroed, the traced custody intervals
+    // must partition each read's measured end-to-end latency exactly.
+    let out = run_mmio_experiment(&MmioExperiment {
+        rc_latency: ns(150),
+        reads: 4,
+        cpu_overhead: 0,
+        trace: true,
+    });
+    assert!(out.completed);
+    let log = out.trace.expect("trace requested");
+    assert_eq!(log.dropped, 0, "a 4-read run must fit the ring");
+
+    let attr = log.attribution();
+    assert_eq!(attr.lifecycles.len(), 4, "one lifecycle per MMIO read");
+    for l in &attr.lifecycles {
+        assert_eq!(
+            l.per_stage.iter().sum::<Tick>(),
+            l.total(),
+            "per-stage spans must partition the lifecycle"
+        );
+    }
+    let stage_sum: f64 = Stage::ALL.iter().map(|&s| attr.mean_stage_ns(s)).sum();
+    assert!(
+        (stage_sum - out.mean_ns).abs() < 1e-9,
+        "stage means ({stage_sum} ns) must sum to the measured latency ({} ns)",
+        out.mean_ns
+    );
+    // The root complex is crossed twice at 150 ns per crossing.
+    assert!(attr.mean_stage_ns(Stage::RootComplex) >= 300.0 - 1e-9);
+
+    // The Perfetto export of the same log stays loadable.
+    let json = log.to_perfetto_json();
+    assert!(json.starts_with("{\"displayTimeUnit\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn tracing_disabled_leaves_no_events_and_identical_results() {
+    use pcisim::kernel::tick::ns;
+    use pcisim::system::prelude::{run_mmio_experiment, MmioExperiment};
+
+    let base = MmioExperiment { rc_latency: ns(150), reads: 4, cpu_overhead: 0, trace: false };
+    let off = run_mmio_experiment(&base);
+    let on = run_mmio_experiment(&MmioExperiment { trace: true, ..base });
+    assert!(off.trace.is_none(), "no trace unless asked");
+    assert_eq!(off.mean_ns, on.mean_ns, "tracing must not perturb timing");
 }
 
 #[test]

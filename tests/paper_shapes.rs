@@ -33,19 +33,15 @@ fn fig9a_switch_latency_is_a_small_monotonic_effect() {
 #[test]
 fn fig9a_throughput_grows_with_block_size() {
     // Fixed per-block OS setup amortizes over bigger blocks.
-    let t: Vec<f64> = [MB, 4 * MB, 16 * MB]
-        .iter()
-        .map(|&b| dd(|e| e.block_bytes = b).throughput_gbps)
-        .collect();
+    let t: Vec<f64> =
+        [MB, 4 * MB, 16 * MB].iter().map(|&b| dd(|e| e.block_bytes = b).throughput_gbps).collect();
     assert!(t[0] < t[1] && t[1] < t[2], "bigger blocks amortize setup: {t:?}");
 }
 
 #[test]
 fn fig9b_width_scaling_matches_the_paper_trend() {
-    let out: Vec<DdOutcome> = [1u8, 2, 4, 8]
-        .iter()
-        .map(|&l| dd(|e| e.width_all = Some(LinkWidth::new(l))))
-        .collect();
+    let out: Vec<DdOutcome> =
+        [1u8, 2, 4, 8].iter().map(|&l| dd(|e| e.width_all = Some(LinkWidth::new(l)))).collect();
     let t: Vec<f64> = out.iter().map(|o| o.throughput_gbps).collect();
     // x1 → x2: the paper reports 1.67x; accept 1.4–1.9.
     let gain12 = t[1] / t[0];
