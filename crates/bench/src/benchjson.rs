@@ -1,0 +1,413 @@
+//! Machine-readable simulator-speed tracking (`BENCH_simulator_speed.json`).
+//!
+//! The `repro` binary measures the same two microbenchmark scenarios as
+//! `benches/simulator_speed.rs` (a crossbar read storm and a saturated
+//! Gen 2 x8 link write storm), derives ops/sec and raw scheduler
+//! events/sec, and emits them together with per-sweep wall-clock times and
+//! host metadata. CI replays the measurement with `--bench-check` and
+//! fails on a >30% ops/sec regression against the checked-in file, so the
+//! perf trajectory is tracked from the hot-path-overhaul PR onward.
+
+use std::time::Instant;
+
+use pcisim_kernel::packet::Command;
+use pcisim_kernel::prelude::*;
+use pcisim_kernel::testutil::{Requester, Responder, REQUESTER_PORT, RESPONDER_PORT};
+use pcisim_pcie::link::{PcieLink, PORT_DOWN_MASTER, PORT_UP_SLAVE};
+use pcisim_pcie::params::{Generation, LinkConfig, LinkWidth};
+
+/// Requests issued per microbenchmark scenario (matches
+/// `benches/simulator_speed.rs`).
+pub const MICRO_OPS: u64 = 10_000;
+
+/// Ops/sec for each scenario measured immediately *before* the hot-path
+/// overhaul (binary heap + HashMap routing + per-TLP allocation, default
+/// release profile), kept as the historical record the overhaul's ≥2×
+/// acceptance criterion is judged against.
+///
+/// Honesty note: the measurement host's sustained clock swings ~40%
+/// between power states, and these numbers were captured in the slow
+/// state, so naive ratios against them overstate the win. An interleaved
+/// A/B of the seed build against the overhauled build (alternating
+/// best-of-6 processes, both orders) put the *fast-state* seed at
+/// ~2.53e6 xbar / ~1.31e6 link ops/s — i.e. like-for-like speedups of
+/// ~1.2× (xbar) and ~1.6× (link), the rest being host state.
+pub const PRE_CHANGE_OPS_PER_SEC: [(&str, f64); 2] =
+    [("xbar_10k_reads", 1_708_987.0), ("link_10k_writes", 840_858.0)];
+
+/// Quick-mode Fig. 9 sweep wall-clock times (ms) measured immediately
+/// before the overhaul, on the same host as [`PRE_CHANGE_OPS_PER_SEC`].
+pub const PRE_CHANGE_SWEEP_WALL_MS: [(&str, u64); 4] =
+    [("fig9a", 13_207), ("fig9b", 18_704), ("fig9c", 4_867), ("fig9d", 4_970)];
+
+/// One measured microbenchmark scenario.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Scenario name (stable key used in the JSON and by `--bench-check`).
+    pub name: &'static str,
+    /// Completed requests per second of host wall-clock.
+    pub ops_per_sec: f64,
+    /// Scheduler dispatches per second of host wall-clock.
+    pub events_per_sec: f64,
+    /// Wall-clock of the measured iteration, milliseconds.
+    pub wall_ms: f64,
+}
+
+fn run_xbar_reads() -> (u64, f64) {
+    let mut sim = Simulation::new();
+    let script = (0..MICRO_OPS).map(|i| (Command::ReadReq, 0x1000 + (i % 64) * 64, 64)).collect();
+    let (req, done) = Requester::new("gen", script);
+    let r = sim.add(Box::new(req));
+    let x = sim.add(Box::new(
+        Crossbar::builder("xbar")
+            .num_ports(2)
+            .queue_capacity(32)
+            .route(AddrRange::new(0x1000, 0x10000), PortId(1))
+            .build(),
+    ));
+    let (resp, _) = Responder::new("dev", ns(10));
+    let d = sim.add(Box::new(resp));
+    sim.connect((r, PortId(0)), (x, PortId(0)));
+    sim.connect((x, PortId(1)), (d, PortId(0)));
+    let start = Instant::now();
+    sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(done.borrow().len(), MICRO_OPS as usize);
+    (sim.events_processed(), secs)
+}
+
+fn run_link_writes() -> (u64, f64) {
+    let mut sim = Simulation::new();
+    let script =
+        (0..MICRO_OPS).map(|i| (Command::WriteReq, 0x4000_0000 + (i % 64) * 64, 64)).collect();
+    let (req, done) = Requester::new("gen", script);
+    let r = sim.add(Box::new(req));
+    let l =
+        sim.add(Box::new(PcieLink::new("link", LinkConfig::new(Generation::Gen2, LinkWidth::X8))));
+    let (resp, _) = Responder::new("dev", 0);
+    let d = sim.add(Box::new(resp));
+    sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+    sim.connect((l, PORT_DOWN_MASTER), (d, RESPONDER_PORT));
+    let start = Instant::now();
+    sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(done.borrow().len(), MICRO_OPS as usize);
+    (sim.events_processed(), secs)
+}
+
+/// Runs both microbenchmark scenarios, best-of-`samples`, and returns the
+/// per-scenario rates. Build setup is excluded from the timed region.
+pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
+    type Scenario = (&'static str, fn() -> (u64, f64));
+    let scenarios: [Scenario; 2] =
+        [("xbar_10k_reads", run_xbar_reads), ("link_10k_writes", run_link_writes)];
+    scenarios
+        .iter()
+        .map(|&(name, run)| {
+            let mut best: Option<(u64, f64)> = None;
+            for _ in 0..samples.max(1) {
+                let (events, secs) = run();
+                if best.is_none_or(|(_, b)| secs < b) {
+                    best = Some((events, secs));
+                }
+            }
+            let (events, secs) = best.expect("at least one sample");
+            MicroResult {
+                name,
+                ops_per_sec: MICRO_OPS as f64 / secs,
+                events_per_sec: events as f64 / secs,
+                wall_ms: secs * 1e3,
+            }
+        })
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the `BENCH_simulator_speed.json` document: host metadata, the
+/// pre-change historical baseline, and the current measurement.
+pub fn render_json(micro: &[MicroResult], sweep_wall_ms: &[(String, u64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"pcisim-bench-v1\",\n");
+    s.push_str("  \"bench\": \"simulator_speed\",\n");
+    s.push_str(&format!(
+        "  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    ));
+    s.push_str("  \"pre_change\": {\n");
+    s.push_str("    \"note\": \"measured before the hot-path overhaul (binary-heap scheduler, HashMap routing, per-TLP allocation); captured in the host's slow power state — interleaved A/B put the fast-state seed at ~2.53e6 xbar / ~1.31e6 link ops/s (true speedups ~1.2x / ~1.6x)\",\n");
+    s.push_str("    \"ops_per_sec\": {");
+    let pre: Vec<String> =
+        PRE_CHANGE_OPS_PER_SEC.iter().map(|(k, v)| format!("\"{k}\": {}", json_f64(*v))).collect();
+    s.push_str(&pre.join(", "));
+    s.push_str("},\n");
+    s.push_str("    \"sweep_wall_ms\": {");
+    let pre: Vec<String> =
+        PRE_CHANGE_SWEEP_WALL_MS.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    s.push_str(&pre.join(", "));
+    s.push_str("}\n  },\n");
+    s.push_str("  \"current\": {\n");
+    s.push_str("    \"ops_per_sec\": {");
+    let cur: Vec<String> =
+        micro.iter().map(|m| format!("\"{}\": {}", m.name, json_f64(m.ops_per_sec))).collect();
+    s.push_str(&cur.join(", "));
+    s.push_str("},\n");
+    s.push_str("    \"events_per_sec\": {");
+    let cur: Vec<String> =
+        micro.iter().map(|m| format!("\"{}\": {}", m.name, json_f64(m.events_per_sec))).collect();
+    s.push_str(&cur.join(", "));
+    s.push_str("},\n");
+    s.push_str("    \"sweep_wall_ms\": {");
+    let cur: Vec<String> = sweep_wall_ms.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    s.push_str(&cur.join(", "));
+    s.push_str("}\n  }\n}\n");
+    s
+}
+
+/// A minimal JSON value, parsed by [`parse`]. Covers exactly what the
+/// bench files use; no registry dependency required.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Walks nested objects by key path.
+    pub fn path(&self, path: &[&str]) -> Option<&Value> {
+        let mut cur = self;
+        for key in path {
+            let Value::Obj(fields) = cur else { return None };
+            cur = &fields.iter().find(|(k, _)| k == key)?.1;
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => return Err(format!("unsupported escape \\{}", other as char)),
+                }
+            }
+            other => out.push(other as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let micro = vec![
+            MicroResult {
+                name: "xbar_10k_reads",
+                ops_per_sec: 3_400_000.0,
+                events_per_sec: 10_300_000.5,
+                wall_ms: 2.9,
+            },
+            MicroResult {
+                name: "link_10k_writes",
+                ops_per_sec: 1_700_000.0,
+                events_per_sec: 12_000_000.0,
+                wall_ms: 5.8,
+            },
+        ];
+        let sweeps = vec![("fig9a".to_string(), 6_000u64), ("fig9b".to_string(), 9_000u64)];
+        let text = render_json(&micro, &sweeps);
+        let doc = parse(&text).expect("well-formed");
+        assert_eq!(
+            doc.path(&["current", "ops_per_sec", "xbar_10k_reads"]).and_then(Value::as_f64),
+            Some(3_400_000.0)
+        );
+        assert_eq!(
+            doc.path(&["pre_change", "ops_per_sec", "link_10k_writes"]).and_then(Value::as_f64),
+            Some(PRE_CHANGE_OPS_PER_SEC[1].1)
+        );
+        assert_eq!(
+            doc.path(&["current", "sweep_wall_ms", "fig9b"]).and_then(Value::as_f64),
+            Some(9_000.0)
+        );
+        assert_eq!(doc.path(&["schema"]), Some(&Value::Str("pcisim-bench-v1".into())));
+    }
+
+    #[test]
+    fn parser_handles_the_grammar() {
+        let doc = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\ny"}"#)
+            .expect("parses");
+        assert_eq!(doc.path(&["b", "c"]), Some(&Value::Bool(true)));
+        assert_eq!(doc.path(&["e"]), Some(&Value::Str("x\ny".into())));
+        let Some(Value::Arr(items)) = doc.path(&["a"]) else { panic!("array expected") };
+        assert_eq!(items[2], Value::Num(-300.0));
+        assert!(parse("{").is_err());
+        assert!(parse("{} junk").is_err());
+    }
+
+    #[test]
+    fn micro_benchmarks_run_and_report_positive_rates() {
+        let results = run_micro_benchmarks(1);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.ops_per_sec > 0.0, "{}: {r:?}", r.name);
+            assert!(r.events_per_sec >= r.ops_per_sec, "{}: events >= ops", r.name);
+        }
+    }
+}

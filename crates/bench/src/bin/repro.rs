@@ -1,22 +1,38 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--full] [--trace PATH] [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [all]
+//! repro [--full] [--jobs N] [--trace PATH] [--bench-json PATH] [--bench-check PATH]
+//!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
 //! the legacy-crossbar baseline, dual-disk fabric contention, and the
 //! NIC transmit sweep.
 //!
+//! `--jobs N` fans the independent configurations of each Fig. 9 / Table II
+//! sweep across N worker threads (default: all available cores). Every
+//! configuration runs its own `Simulation`, and results are re-assembled in
+//! input order, so the printed tables are bit-identical to `--jobs 1`.
+//!
 //! `--trace PATH` additionally re-runs the Table II point with full event
 //! tracing: a Chrome/Perfetto trace is written to PATH and a per-stage
 //! latency attribution of the MMIO read is printed.
+//!
+//! `--bench-json PATH` measures the `simulator_speed` microbenchmark
+//! scenarios and writes a machine-readable speed report (events/sec,
+//! per-sweep wall-clock, host metadata) to PATH.
+//!
+//! `--bench-check PATH` re-measures the scenarios and exits non-zero if
+//! ops/sec regressed more than 30% against the `current` section of the
+//! JSON at PATH (the CI smoke gate). No figures run in this mode.
 //!
 //! By default block sizes are scaled down 16× (4–32 MB instead of the
 //! paper's 64–512 MB) so the whole suite finishes in seconds; `--full`
 //! runs the paper's sizes.
 
-use pcisim_bench::{reference, table};
+use std::time::Instant;
+
+use pcisim_bench::{benchjson, reference, table};
 use pcisim_kernel::tick::ns;
 use pcisim_pcie::params::LinkWidth;
 use pcisim_system::prelude::*;
@@ -25,6 +41,7 @@ const MB: u64 = 1024 * 1024;
 
 struct Opts {
     full: bool,
+    jobs: usize,
 }
 
 fn block_sizes(opts: &Opts) -> Vec<u64> {
@@ -39,6 +56,16 @@ fn fmt_block(bytes: u64) -> String {
     format!("{}MB", bytes / MB)
 }
 
+/// Runs every `DdExperiment` in `configs` across the sweep runner,
+/// asserting completion, and returns outcomes in input order.
+fn dd_sweep(opts: &Opts, label: &str, configs: &[DdExperiment]) -> Vec<DdOutcome> {
+    let outcomes = run_sweep(configs, opts.jobs, run_dd_experiment);
+    for (out, config) in outcomes.iter().zip(configs) {
+        assert!(out.completed, "{label} run must complete: {config:?}");
+    }
+    outcomes
+}
+
 fn fig9a(opts: &Opts) {
     println!("\n== Fig. 9(a): dd throughput vs block size, switch latency sweep ==");
     println!(
@@ -47,17 +74,24 @@ fn fig9a(opts: &Opts) {
         reference::PHYS_DD_GBPS,
         reference::SWITCH_LATENCY_GAIN_MBPS
     );
-    let mut rows = Vec::new();
-    for &block in &block_sizes(opts) {
-        let mut row = vec![fmt_block(block)];
-        for lat in [50u64, 100, 150] {
-            let out = run_dd_experiment(&DdExperiment {
+    const LATS: [u64; 3] = [50, 100, 150];
+    let blocks = block_sizes(opts);
+    let configs: Vec<DdExperiment> = blocks
+        .iter()
+        .flat_map(|&block| {
+            LATS.iter().map(move |&lat| DdExperiment {
                 block_bytes: block,
                 switch_latency: ns(lat),
                 ..DdExperiment::default()
-            });
-            assert!(out.completed, "fig9a run must complete");
-            row.push(format!("{:.3}", out.throughput_gbps));
+            })
+        })
+        .collect();
+    let outcomes = dd_sweep(opts, "fig9a", &configs);
+    let mut rows = Vec::new();
+    for (bi, &block) in blocks.iter().enumerate() {
+        let mut row = vec![fmt_block(block)];
+        for li in 0..LATS.len() {
+            row.push(format!("{:.3}", outcomes[bi * LATS.len() + li].throughput_gbps));
         }
         row.push(format!("{:.2}", reference::PHYS_DD_GBPS));
         rows.push(row);
@@ -75,20 +109,25 @@ fn fig9b(opts: &Opts) {
         reference::X1_TO_X2_GAIN,
         reference::X8_REPLAY_PCT
     );
-    let mut rows = Vec::new();
-    for &block in &block_sizes(opts) {
-        let mut row = vec![fmt_block(block)];
-        let mut x1 = 0.0;
-        for lanes in [1u8, 2, 4, 8] {
-            let out = run_dd_experiment(&DdExperiment {
+    const LANES: [u8; 4] = [1, 2, 4, 8];
+    let blocks = block_sizes(opts);
+    let configs: Vec<DdExperiment> = blocks
+        .iter()
+        .flat_map(|&block| {
+            LANES.iter().map(move |&lanes| DdExperiment {
                 block_bytes: block,
                 width_all: Some(LinkWidth::new(lanes)),
                 ..DdExperiment::default()
-            });
-            assert!(out.completed, "fig9b run must complete");
-            if lanes == 1 {
-                x1 = out.throughput_gbps;
-            }
+            })
+        })
+        .collect();
+    let outcomes = dd_sweep(opts, "fig9b", &configs);
+    let mut rows = Vec::new();
+    for (bi, &block) in blocks.iter().enumerate() {
+        let mut row = vec![fmt_block(block)];
+        let x1 = outcomes[bi * LANES.len()].throughput_gbps;
+        for (li, &lanes) in LANES.iter().enumerate() {
+            let out = &outcomes[bi * LANES.len() + li];
             if lanes == 8 {
                 row.push(format!("{:.3} ({:.0}% rep)", out.throughput_gbps, out.replay_pct));
             } else {
@@ -107,15 +146,19 @@ fn fig9c(opts: &Opts) {
     println!("\n== Fig. 9(c): x8 links, replay buffer size sweep ==");
     println!("   paper timeout rates: rb1=0%, rb2=6%, rb3~27%, rb4~27%; rb3/4 throughput considerably lower");
     let block = if opts.full { 256 * MB } else { 16 * MB };
-    let mut rows = Vec::new();
-    for rb in [1usize, 2, 3, 4] {
-        let out = run_dd_experiment(&DdExperiment {
+    const RBS: [usize; 4] = [1, 2, 3, 4];
+    let configs: Vec<DdExperiment> = RBS
+        .iter()
+        .map(|&rb| DdExperiment {
             block_bytes: block,
             width_all: Some(LinkWidth::X8),
             replay_buffer: rb,
             ..DdExperiment::default()
-        });
-        assert!(out.completed, "fig9c run must complete");
+        })
+        .collect();
+    let outcomes = dd_sweep(opts, "fig9c", &configs);
+    let mut rows = Vec::new();
+    for (&rb, out) in RBS.iter().zip(&outcomes) {
         let paper = reference::FIG9C_TIMEOUT_PCT.iter().find(|&&(b, _)| b == rb).unwrap().1;
         rows.push(vec![
             rb.to_string(),
@@ -138,15 +181,19 @@ fn fig9d(opts: &Opts) {
         reference::SATURATION_GBPS
     );
     let block = if opts.full { 256 * MB } else { 16 * MB };
-    let mut rows = Vec::new();
-    for pb in [16usize, 20, 24, 28] {
-        let out = run_dd_experiment(&DdExperiment {
+    const PBS: [usize; 4] = [16, 20, 24, 28];
+    let configs: Vec<DdExperiment> = PBS
+        .iter()
+        .map(|&pb| DdExperiment {
             block_bytes: block,
             width_all: Some(LinkWidth::X8),
             port_buffers: pb,
             ..DdExperiment::default()
-        });
-        assert!(out.completed, "fig9d run must complete");
+        })
+        .collect();
+    let outcomes = dd_sweep(opts, "fig9d", &configs);
+    let mut rows = Vec::new();
+    for (&pb, out) in PBS.iter().zip(&outcomes) {
         let paper = reference::FIG9D_TIMEOUT_PCT.iter().find(|&&(b, _)| b == pb).unwrap().1;
         rows.push(vec![
             pb.to_string(),
@@ -162,14 +209,15 @@ fn fig9d(opts: &Opts) {
     );
 }
 
-fn table2(_opts: &Opts) {
+fn table2(opts: &Opts) {
     println!("\n== Table II: root-complex latency vs MMIO read access latency ==");
+    let configs: Vec<MmioExperiment> = reference::TABLE_II
+        .iter()
+        .map(|&(lat, _)| MmioExperiment { rc_latency: ns(lat), ..MmioExperiment::default() })
+        .collect();
+    let outcomes = run_sweep(&configs, opts.jobs, run_mmio_experiment);
     let mut rows = Vec::new();
-    for &(lat, paper) in &reference::TABLE_II {
-        let out = run_mmio_experiment(&MmioExperiment {
-            rc_latency: ns(lat),
-            ..MmioExperiment::default()
-        });
+    for (&(lat, paper), out) in reference::TABLE_II.iter().zip(&outcomes) {
         assert!(out.completed, "table2 run must complete");
         rows.push(vec![
             lat.to_string(),
@@ -251,16 +299,20 @@ fn ext(opts: &Opts) {
         "
 == Extension: NIC transmit sweep (DMA reads through the fabric) =="
     );
-    let mut rows = Vec::new();
-    for lanes in [1u8, 2, 4, 8] {
-        let out = run_nic_tx_experiment(&NicTxExperiment {
+    let nic_tx_configs: Vec<NicTxExperiment> = [1u8, 2, 4, 8]
+        .iter()
+        .map(|&lanes| NicTxExperiment {
             width: LinkWidth::new(lanes),
             frames: if opts.full { 2048 } else { 256 },
             ..NicTxExperiment::default()
-        });
+        })
+        .collect();
+    let outcomes = run_sweep(&nic_tx_configs, opts.jobs, run_nic_tx_experiment);
+    let mut rows = Vec::new();
+    for (config, out) in nic_tx_configs.iter().zip(&outcomes) {
         assert!(out.completed);
         rows.push(vec![
-            format!("x{lanes}"),
+            config.width.to_string(),
             format!("{:.3}", out.throughput_gbps),
             format!("{:.0}", out.frames_per_sec),
         ]);
@@ -268,17 +320,21 @@ fn ext(opts: &Opts) {
     println!("{}", table::render(&["width", "Gb/s", "frames/s"], &rows));
 
     println!("\n== Extension: NIC receive at ~5 Gb/s line rate (DMA writes) ==");
-    let mut rows = Vec::new();
-    for lanes in [1u8, 2, 4, 8] {
-        let out = run_nic_rx_experiment(&NicRxExperiment {
+    let nic_rx_configs: Vec<NicRxExperiment> = [1u8, 2, 4, 8]
+        .iter()
+        .map(|&lanes| NicRxExperiment {
             width: LinkWidth::new(lanes),
             frames: if opts.full { 2048 } else { 256 },
             ..NicRxExperiment::default()
-        });
+        })
+        .collect();
+    let outcomes = run_sweep(&nic_rx_configs, opts.jobs, run_nic_rx_experiment);
+    let mut rows = Vec::new();
+    for (config, out) in nic_rx_configs.iter().zip(&outcomes) {
         assert!(out.completed);
         let total = out.frames_delivered + out.frames_dropped;
         rows.push(vec![
-            format!("x{lanes}"),
+            config.width.to_string(),
             format!("{:.3}", out.delivered_gbps),
             format!("{:.1}%", 100.0 * out.frames_dropped as f64 / total as f64),
         ]);
@@ -323,14 +379,88 @@ fn trace_dump(path: &str) {
     println!("{}", log.attribution().render());
 }
 
+/// Number of microbenchmark samples; `PCISIM_BENCH_SAMPLES` overrides the
+/// default of 3 (the same knob the criterion shim honours).
+fn bench_samples() -> u32 {
+    std::env::var("PCISIM_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+}
+
+/// Measures the microbenchmark scenarios and writes the speed report.
+fn bench_json(path: &str, sweep_wall_ms: &[(String, u64)]) {
+    println!("\n== simulator_speed microbenchmarks (for {path}) ==");
+    let micro = benchjson::run_micro_benchmarks(bench_samples());
+    for m in &micro {
+        println!(
+            "{:>16}: {:>12.0} ops/s  {:>12.0} events/s  ({:.2} ms)",
+            m.name, m.ops_per_sec, m.events_per_sec, m.wall_ms
+        );
+    }
+    std::fs::write(path, benchjson::render_json(&micro, sweep_wall_ms)).expect("write bench json");
+    println!("speed report written to {path}");
+}
+
+/// CI smoke gate: re-measures the scenarios and compares against the
+/// `current` section of the checked-in JSON. Exits non-zero on a >30%
+/// ops/sec regression.
+fn bench_check(path: &str) -> i32 {
+    const MAX_REGRESSION: f64 = 0.30;
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench baseline {path}: {e}"));
+    let doc = benchjson::parse(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    let micro = benchjson::run_micro_benchmarks(bench_samples());
+    let mut failed = false;
+    println!("== bench smoke: measured vs baseline ({path}) ==");
+    for m in &micro {
+        let Some(base) =
+            doc.path(&["current", "ops_per_sec", m.name]).and_then(benchjson::Value::as_f64)
+        else {
+            println!("{:>16}: no baseline entry — skipped", m.name);
+            continue;
+        };
+        let ratio = m.ops_per_sec / base;
+        let verdict = if ratio < 1.0 - MAX_REGRESSION {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:>16}: {:>12.0} ops/s vs baseline {:>12.0} ({:>5.2}x) {verdict}",
+            m.name, m.ops_per_sec, base, ratio
+        );
+    }
+    if failed {
+        eprintln!("bench smoke FAILED: ops/sec regressed more than {:.0}%", MAX_REGRESSION * 100.0);
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let opts = Opts { full };
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        })
+    };
+    let jobs = value_of("--jobs")
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| panic!("--jobs needs a number, got {v}")))
+        .unwrap_or_else(default_jobs);
     let trace_path = args
         .iter()
         .position(|a| a == "--trace")
         .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "repro_trace.json".into()));
+    let bench_json_path = value_of("--bench-json");
+    if let Some(path) = value_of("--bench-check") {
+        std::process::exit(bench_check(&path));
+    }
+    let opts = Opts { full, jobs };
+    const VALUE_FLAGS: [&str; 4] = ["--trace", "--jobs", "--bench-json", "--bench-check"];
     let mut skip_next = false;
     let picked: Vec<&str> = args
         .iter()
@@ -340,7 +470,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--trace" {
+            if VALUE_FLAGS.contains(a) {
                 skip_next = true;
                 return false;
             }
@@ -350,36 +480,46 @@ fn main() {
     let run_all = picked.is_empty() || picked.contains(&"all");
 
     println!(
-        "pcisim repro — {} mode (block sizes {})",
+        "pcisim repro — {} mode (block sizes {}), {jobs} sweep worker{}",
         if full { "full" } else { "quick" },
         if full {
             "64–512 MB as in the paper"
         } else {
             "scaled down 16x; pass --full for the paper's sizes"
         },
+        if jobs == 1 { "" } else { "s" },
     );
+    let mut sweep_wall_ms: Vec<(String, u64)> = Vec::new();
+    let mut timed = |name: &str, f: &dyn Fn(&Opts)| {
+        let start = Instant::now();
+        f(&opts);
+        sweep_wall_ms.push((name.to_string(), start.elapsed().as_millis() as u64));
+    };
     if run_all || picked.contains(&"sector") {
-        sector(&opts);
+        timed("sector", &sector);
     }
     if run_all || picked.contains(&"fig9a") {
-        fig9a(&opts);
+        timed("fig9a", &fig9a);
     }
     if run_all || picked.contains(&"fig9b") {
-        fig9b(&opts);
+        timed("fig9b", &fig9b);
     }
     if run_all || picked.contains(&"fig9c") {
-        fig9c(&opts);
+        timed("fig9c", &fig9c);
     }
     if run_all || picked.contains(&"fig9d") {
-        fig9d(&opts);
+        timed("fig9d", &fig9d);
     }
     if run_all || picked.contains(&"table2") {
-        table2(&opts);
+        timed("table2", &table2);
     }
     if run_all || picked.contains(&"ext") {
-        ext(&opts);
+        timed("ext", &ext);
     }
     if let Some(path) = trace_path {
         trace_dump(&path);
+    }
+    if let Some(path) = bench_json_path {
+        bench_json(&path, &sweep_wall_ms);
     }
 }

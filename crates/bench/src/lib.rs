@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod benchjson;
+
 /// Quantitative anchors from the paper (Alian, Srinivasan, Kim — IISWC'18).
 pub mod reference {
     /// Table II: root-complex latency (ns) → measured MMIO read access

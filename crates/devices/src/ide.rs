@@ -268,7 +268,7 @@ impl IdeDisk {
             let size = self.config.cacheline;
             let mut pkt =
                 Packet::request(id, Command::WriteReq, self.cur_addr, size, ctx.self_id())
-                    .with_payload(vec![0u8; size as usize]);
+                    .with_payload(ctx.alloc_payload(size as usize));
             pkt.set_posted(self.config.posted_writes);
             match ctx.try_send_request(IDE_DMA_PORT, pkt) {
                 Ok(()) => {
@@ -311,7 +311,7 @@ impl IdeDisk {
             if let Some(addr) = self.interrupt_message_addr() {
                 let id = ctx.alloc_packet_id();
                 let msg = Packet::request(id, Command::Message, addr, 4, ctx.self_id())
-                    .with_payload(vec![0; 4]);
+                    .with_payload(ctx.alloc_payload(4));
                 // Interrupt messages are posted; if the fabric refuses, we
                 // retry through the normal stall path.
                 match ctx.try_send_request(IDE_DMA_PORT, msg) {

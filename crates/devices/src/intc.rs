@@ -74,10 +74,13 @@ impl Component for InterruptController {
         &self.name
     }
 
-    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
         assert_eq!(port, INTC_FABRIC_PORT, "{}: interrupts arrive on the fabric port", self.name);
         assert_eq!(pkt.cmd(), Command::Message, "{}: expected an interrupt message", self.name);
         assert!(self.range.contains(pkt.addr()));
+        if let Some(buf) = pkt.take_payload() {
+            ctx.recycle_payload(buf);
+        }
         let irq = (self.range.offset(pkt.addr()) / 4) as u8;
         ctx.schedule(0, Event::Timer { kind: 0, data: u64::from(irq) });
         RecvResult::Accepted
@@ -92,7 +95,7 @@ impl Component for InterruptController {
                 let id = ctx.alloc_packet_id();
                 let addr = irq_message_addr(self.range.start(), irq);
                 let msg = Packet::request(id, Command::Message, addr, 4, ctx.self_id())
-                    .with_payload(vec![0; 4]);
+                    .with_payload(ctx.alloc_payload(4));
                 // CPU-side observers must always accept interrupt wakeups.
                 ctx.try_send_request(cpu_port, msg)
                     .unwrap_or_else(|_| panic!("{}: CPU port refused an interrupt", self.name));

@@ -383,7 +383,7 @@ impl Nic {
             let id = ctx.alloc_packet_id();
             let pkt = if write {
                 Packet::request(id, Command::WriteReq, active.next_addr, chunk, ctx.self_id())
-                    .with_payload(vec![0u8; chunk as usize])
+                    .with_payload(ctx.alloc_payload(chunk as usize))
             } else {
                 Packet::request(id, Command::ReadReq, active.next_addr, chunk, ctx.self_id())
             };
@@ -589,7 +589,7 @@ impl Nic {
             let id = ctx.alloc_packet_id();
             ctx.emit(TraceCategory::Device, TraceKind::Interrupt, Some(id), None, addr);
             let msg = Packet::request(id, Command::Message, addr, 4, ctx.self_id())
-                .with_payload(vec![0; 4]);
+                .with_payload(ctx.alloc_payload(4));
             if let Err(back) = ctx.try_send_request(NIC_DMA_PORT, msg) {
                 self.stalled = Some(back);
             }
@@ -649,9 +649,12 @@ impl Component for Nic {
         RecvResult::Accepted
     }
 
-    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
         assert_eq!(port, NIC_DMA_PORT);
         assert!(matches!(pkt.cmd(), Command::ReadResp | Command::WriteResp));
+        if let Some(buf) = pkt.take_payload() {
+            ctx.recycle_payload(buf);
+        }
         if let Some(active) = &mut self.active {
             active.outstanding -= 1;
         }

@@ -1,0 +1,351 @@
+//! A bucketed calendar queue for the simulation scheduler.
+//!
+//! The kernel's hot path schedules almost every event at `now + d` where
+//! `d` is a small delay (link serialisation, switch latency, a timer a few
+//! hundred nanoseconds out). A global binary heap pays `O(log n)` on every
+//! push and pop for that pattern; a calendar queue pays `O(1)` amortised by
+//! hashing ticks into a ring of per-window FIFO buckets and only falling
+//! back to a heap for the (rare) far-future events.
+//!
+//! Layout:
+//!
+//! - time is divided into fixed windows of `2^BUCKET_BITS` ticks;
+//! - a ring of [`NUM_BUCKETS`] buckets covers the windows immediately
+//!   after the currently open one (`cur_window`);
+//! - entries for the open window live in a small binary heap (`cur`) so
+//!   same-window entries pop in exact `(tick, seq)` order;
+//! - entries beyond the ring horizon go to an overflow heap and migrate
+//!   into the ring as the calendar advances.
+//!
+//! Items themselves live in a slab and are addressed by slot index from
+//! the ring/heaps, so bucket drains and heap sifts move 24-byte keys
+//! instead of full event payloads (~128 bytes for a packet-carrying
+//! action); each item is written and read exactly once.
+//!
+//! Determinism: every push is stamped with a monotonically increasing
+//! sequence number, and [`CalendarQueue::pop`] always yields the globally
+//! smallest `(tick, seq)` pair — bit-identical to the `BinaryHeap` ordering
+//! it replaces. The invariants that make the window-jumping correct are
+//! spelled out in DESIGN.md §"Scheduler internals".
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::tick::Tick;
+
+/// log2 of the bucket window size in ticks. With 1 tick = 1 ps this makes
+/// each window 65,536 ps ≈ 65.5 ns — the same order as one PCIe link
+/// serialisation step, so near-future events land a handful of buckets
+/// ahead of the cursor.
+pub const BUCKET_BITS: u32 = 16;
+
+/// Number of ring buckets (must be a power of two). The ring spans
+/// `NUM_BUCKETS << BUCKET_BITS` ticks ≈ 67 µs of simulated time; anything
+/// scheduled further out overflows to the heap.
+pub const NUM_BUCKETS: u64 = 1024;
+
+const MASK: u64 = NUM_BUCKETS - 1;
+
+/// Ordering key plus the slab slot holding the item. `seq` is unique, so
+/// `slot` never participates in comparisons.
+#[derive(Debug, Clone, Copy)]
+struct Key {
+    tick: Tick,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+    }
+}
+
+/// A priority queue over `(tick, insertion order)` optimised for
+/// near-future pushes.
+///
+/// Invariants (checked in debug builds, argued in DESIGN.md):
+///
+/// 1. every ring-bucket entry has window `w` with
+///    `cur_window < w < cur_window + NUM_BUCKETS`, so each bucket holds at
+///    most one distinct window and can be drained wholesale when opened;
+/// 2. every overflow entry has window `>= cur_window + NUM_BUCKETS`, so
+///    the ring always contains the earliest pending window whenever it is
+///    non-empty.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    buckets: Vec<Vec<Key>>,
+    /// Entries belonging to the currently open window, ordered.
+    cur: BinaryHeap<Reverse<Key>>,
+    /// Entries at or beyond `cur_window + NUM_BUCKETS` windows.
+    overflow: BinaryHeap<Reverse<Key>>,
+    /// Item storage addressed by `Key::slot`.
+    slab: Vec<Option<T>>,
+    /// Vacant slab slots available for reuse.
+    free: Vec<u32>,
+    cur_window: u64,
+    /// Total entries held in the ring buckets (not `cur` / `overflow`).
+    ring_len: usize,
+    len: usize,
+    seq: u64,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with the calendar cursor at window 0.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            cur: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            cur_window: 0,
+            ring_len: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of queued entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues `item` at `tick`, stamped with the next sequence number.
+    /// Later pushes at the same tick pop later (FIFO within a tick).
+    #[inline]
+    pub fn push(&mut self, tick: Tick, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Some(item);
+                slot
+            }
+            None => {
+                let slot = self.slab.len() as u32;
+                self.slab.push(Some(item));
+                slot
+            }
+        };
+        let key = Key { tick, seq, slot };
+        let w = tick >> BUCKET_BITS;
+        if w <= self.cur_window {
+            self.cur.push(Reverse(key));
+        } else if w - self.cur_window < NUM_BUCKETS {
+            self.ring_len += 1;
+            self.buckets[(w & MASK) as usize].push(key);
+        } else {
+            self.overflow.push(Reverse(key));
+        }
+    }
+
+    /// Advances the calendar until the open-window heap holds the globally
+    /// earliest entry (no-op when it already does, or the queue is empty).
+    fn settle(&mut self) {
+        while self.cur.is_empty() && self.len > 0 {
+            // Find the earliest occupied window. By invariant 2 the ring
+            // (when non-empty) always beats the overflow heap, and by
+            // invariant 1 the first non-empty bucket after the cursor
+            // identifies its window exactly.
+            let target = if self.ring_len > 0 {
+                (1..NUM_BUCKETS)
+                    .map(|i| self.cur_window + i)
+                    .find(|w| !self.buckets[(w & MASK) as usize].is_empty())
+                    .expect("ring_len > 0 implies an occupied bucket within the horizon")
+            } else {
+                let Reverse(head) = self.overflow.peek().expect("len > 0 with empty ring and cur");
+                head.tick >> BUCKET_BITS
+            };
+            self.cur_window = target;
+            // Re-establish invariant 2: migrate overflow entries that now
+            // fall inside the ring horizon.
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                let w = head.tick >> BUCKET_BITS;
+                if w >= self.cur_window + NUM_BUCKETS {
+                    break;
+                }
+                let Reverse(key) = self.overflow.pop().expect("peeked");
+                if w <= self.cur_window {
+                    self.cur.push(Reverse(key));
+                } else {
+                    self.ring_len += 1;
+                    self.buckets[(w & MASK) as usize].push(key);
+                }
+            }
+            // Open the bucket for the new cursor window.
+            let bucket = &mut self.buckets[(self.cur_window & MASK) as usize];
+            self.ring_len -= bucket.len();
+            for key in bucket.drain(..) {
+                debug_assert_eq!(key.tick >> BUCKET_BITS, self.cur_window);
+                self.cur.push(Reverse(key));
+            }
+        }
+    }
+
+    /// The tick of the earliest queued entry, if any.
+    #[inline]
+    pub fn next_tick(&mut self) -> Option<Tick> {
+        self.settle();
+        self.cur.peek().map(|&Reverse(key)| key.tick)
+    }
+
+    /// Removes and returns the entry with the smallest `(tick, seq)`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Tick, T)> {
+        self.settle();
+        let Reverse(key) = self.cur.pop()?;
+        self.len -= 1;
+        let item = self.slab[key.slot as usize].take().expect("key points at a filled slot");
+        self.free.push(key.slot);
+        Some((key.tick, item))
+    }
+
+    /// Fused peek-and-pop for the dispatch loop: settles once, then pops
+    /// the head only if its tick is `<= limit`. `Err(head_tick)` reports a
+    /// head beyond the limit without disturbing it; `Ok(None)` means empty.
+    #[inline]
+    pub fn pop_if_at_most(&mut self, limit: Tick) -> Result<Option<(Tick, T)>, Tick> {
+        self.settle();
+        let Some(&Reverse(head)) = self.cur.peek() else { return Ok(None) };
+        if head.tick > limit {
+            return Err(head.tick);
+        }
+        let Reverse(key) = self.cur.pop().expect("peeked");
+        self.len -= 1;
+        let item = self.slab[key.slot as usize].take().expect("key points at a filled slot");
+        self.free.push(key.slot);
+        Ok(Some((key.tick, item)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.next_tick(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pops_in_tick_then_insertion_order() {
+        let mut q = CalendarQueue::new();
+        q.push(50, "b");
+        q.push(10, "a");
+        q.push(50, "c");
+        q.push(5, "z");
+        assert_eq!(q.pop(), Some((5, "z")));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((50, "b")));
+        assert_eq!(q.pop(), Some((50, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_entries_route_through_overflow() {
+        let mut q = CalendarQueue::new();
+        let far = (NUM_BUCKETS + 5) << BUCKET_BITS;
+        q.push(far, "far");
+        q.push(1, "near");
+        assert_eq!(q.pop(), Some((1, "near")));
+        assert_eq!(q.next_tick(), Some(far));
+        // A push landing before the far entry, after the cursor advanced.
+        q.push(far - 3, "nearer");
+        assert_eq!(q.pop(), Some((far - 3, "nearer")));
+        assert_eq!(q.pop(), Some((far, "far")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_collisions_across_the_ring_stay_ordered() {
+        // Two ticks whose windows map to the same ring bucket (w and
+        // w + NUM_BUCKETS) must still pop in tick order.
+        let mut q = CalendarQueue::new();
+        let near = 3 << BUCKET_BITS;
+        let colliding = (3 + NUM_BUCKETS) << BUCKET_BITS;
+        q.push(colliding, "late");
+        q.push(near, "early");
+        assert_eq!(q.pop(), Some((near, "early")));
+        assert_eq!(q.pop(), Some((colliding, "late")));
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_across_push_pop_cycles() {
+        let mut q = CalendarQueue::new();
+        for round in 0u64..1000 {
+            q.push(round * 7, round);
+            q.push(round * 7 + 3, round + 1_000_000);
+            assert_eq!(q.pop(), Some((round * 7, round)));
+            assert_eq!(q.pop(), Some((round * 7 + 3, round + 1_000_000)));
+        }
+        // Steady-state churn must not grow item storage past the high-water
+        // mark of concurrently queued entries.
+        assert!(q.slab.len() <= 4, "slab grew to {} slots", q.slab.len());
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = CalendarQueue::new();
+        let mut reference: BinaryHeap<Reverse<(Tick, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now: Tick = 0;
+        // Deterministic pseudo-random walk: pushes clustered near `now`,
+        // with occasional far-future outliers, interleaved with pops.
+        let mut state = 0x9e37_79b9u64;
+        for step in 0..5_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            if step % 3 != 2 {
+                let delay = match r % 10 {
+                    0..=6 => r % 300_000,                      // typical link/timer delays
+                    7 | 8 => r % (NUM_BUCKETS << BUCKET_BITS), // across the ring
+                    _ => (NUM_BUCKETS << BUCKET_BITS) * 3 + r % 1_000_000, // overflow
+                };
+                q.push(now + delay, seq);
+                reference.push(Reverse((now + delay, seq)));
+                seq += 1;
+            } else if let Some((tick, item)) = q.pop() {
+                let Reverse((rt, ri)) = reference.pop().expect("reference in sync");
+                assert_eq!((tick, item), (rt, ri), "divergence at step {step}");
+                now = tick;
+            }
+        }
+        while let Some((tick, item)) = q.pop() {
+            let Reverse((rt, ri)) = reference.pop().expect("reference in sync");
+            assert_eq!((tick, item), (rt, ri));
+        }
+        assert!(reference.is_empty());
+    }
+}

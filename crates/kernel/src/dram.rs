@@ -174,16 +174,24 @@ impl Component for Dram {
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
-        let Event::DelayedPacket { pkt, .. } = ev else {
+        let Event::DelayedPacket { mut pkt, .. } = ev else {
             panic!("{}: unexpected timer", self.name)
         };
+        // The terminator consumes write payloads here; hand the buffers back
+        // to the pool so the next DMA burst reuses them.
+        if pkt.cmd().is_write() {
+            if let Some(buf) = pkt.take_payload() {
+                ctx.recycle_payload(buf);
+            }
+        }
         if pkt.is_posted() {
             self.outstanding -= 1;
             return;
         }
         let resp = if pkt.cmd().is_read() {
             let size = pkt.size() as usize;
-            pkt.into_read_response(vec![0u8; size])
+            let data = ctx.alloc_payload(size);
+            pkt.into_read_response(data)
         } else {
             pkt.into_response()
         };

@@ -35,6 +35,7 @@
 
 pub mod addr;
 pub mod bridge;
+pub mod calendar;
 pub mod component;
 pub mod dram;
 pub mod iocache;

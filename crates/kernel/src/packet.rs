@@ -117,6 +117,85 @@ pub struct RouteHop {
     pub port: PortId,
 }
 
+/// Number of route hops stored inline in every packet. Fabric paths in
+/// this simulator cross at most a couple of crossbars, so the inline
+/// capacity covers every real topology; deeper stacks spill to the heap.
+const INLINE_HOPS: usize = 4;
+
+const NO_HOP: RouteHop = RouteHop { component: ComponentId(0), port: PortId(0) };
+
+/// LIFO hop stack with inline storage for the common shallow case, so
+/// creating, forwarding and dropping a packet performs no heap allocation.
+#[derive(Debug, Clone)]
+struct RouteStack {
+    inline: [RouteHop; INLINE_HOPS],
+    len: u8,
+    /// Hops beyond the inline capacity, oldest first (rarely allocated).
+    /// Boxed so the never-spilling common case pays one pointer, not an
+    /// inline `Vec` — this keeps `Packet` a cache line smaller.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<RouteHop>>>,
+}
+
+impl RouteStack {
+    const fn new() -> Self {
+        Self { inline: [NO_HOP; INLINE_HOPS], len: 0, spill: None }
+    }
+
+    fn depth(&self) -> usize {
+        self.len as usize + self.spill.as_ref().map_or(0, |s| s.len())
+    }
+
+    #[inline]
+    fn push(&mut self, hop: RouteHop) {
+        if (self.len as usize) < INLINE_HOPS {
+            self.inline[self.len as usize] = hop;
+            self.len += 1;
+        } else {
+            self.spill.get_or_insert_with(Default::default).push(hop);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<RouteHop> {
+        if let Some(spill) = &mut self.spill {
+            if let Some(hop) = spill.pop() {
+                return Some(hop);
+            }
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.inline[self.len as usize])
+    }
+
+    #[inline]
+    fn last(&self) -> Option<&RouteHop> {
+        if let Some(spill) = &self.spill {
+            if let Some(hop) = spill.last() {
+                return Some(hop);
+            }
+        }
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.inline[self.len as usize - 1])
+        }
+    }
+}
+
+impl PartialEq for RouteStack {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical comparison: only the live hops count, not the storage.
+        self.depth() == other.depth()
+            && (0..self.len as usize).all(|i| self.inline[i] == other.inline[i])
+            && self.spill.as_ref().map_or(&[] as &[RouteHop], |s| s)
+                == other.spill.as_ref().map_or(&[] as &[RouteHop], |s| s)
+    }
+}
+impl Eq for RouteStack {}
+
 /// A memory-system packet.
 ///
 /// Construct requests with [`Packet::request`] and turn them into responses
@@ -134,7 +213,7 @@ pub struct Packet {
     pci_bus: Option<u8>,
     posted: bool,
     payload: Option<Vec<u8>>,
-    route: Vec<RouteHop>,
+    route: RouteStack,
 }
 
 impl Packet {
@@ -160,7 +239,7 @@ impl Packet {
             pci_bus: None,
             posted: matches!(cmd, Command::Message),
             payload: None,
-            route: Vec::new(),
+            route: RouteStack::new(),
         }
     }
 
@@ -258,25 +337,63 @@ impl Packet {
         }
     }
 
+    /// Detaches and returns the payload buffer, leaving the packet without
+    /// data. Components that consume a payload should hand the buffer back
+    /// to [`crate::sim::Ctx::recycle_payload`] so DMA bursts reuse
+    /// allocations instead of hitting the heap per TLP.
+    pub fn take_payload(&mut self) -> Option<Vec<u8>> {
+        self.payload.take()
+    }
+
+    /// Clones the packet, carrying its data in `payload` (a buffer already
+    /// filled with a copy of this packet's payload bytes — typically drawn
+    /// from the scheduler's recycled-buffer pool via
+    /// [`crate::sim::Ctx::clone_packet`] rather than a fresh allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` presence or length disagrees with this packet.
+    pub fn clone_with_payload(&self, payload: Option<Vec<u8>>) -> Packet {
+        assert_eq!(
+            payload.as_ref().map(Vec::len),
+            self.payload.as_ref().map(Vec::len),
+            "clone payload must mirror the original"
+        );
+        Packet {
+            id: self.id,
+            cmd: self.cmd,
+            addr: self.addr,
+            size: self.size,
+            requester: self.requester,
+            pci_bus: self.pci_bus,
+            posted: self.posted,
+            payload,
+            route: self.route.clone(),
+        }
+    }
+
     /// Pushes a routing hop (done by a forwarding component on the request
     /// path so it can route the response back).
+    #[inline]
     pub fn push_route(&mut self, component: ComponentId, port: PortId) {
         self.route.push(RouteHop { component, port });
     }
 
     /// Pops the most recent routing hop (done on the response path).
+    #[inline]
     pub fn pop_route(&mut self) -> Option<RouteHop> {
         self.route.pop()
     }
 
     /// Most recent routing hop without removing it.
+    #[inline]
     pub fn peek_route(&self) -> Option<&RouteHop> {
         self.route.last()
     }
 
     /// Depth of the route stack.
     pub fn route_depth(&self) -> usize {
-        self.route.len()
+        self.route.depth()
     }
 
     /// Converts this request into its response, preserving id, address,

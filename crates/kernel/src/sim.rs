@@ -14,9 +14,8 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
+use crate::calendar::CalendarQueue;
 use crate::component::{Component, ComponentId, Event, PortId, RecvResult};
 use crate::packet::{Packet, PacketId};
 use crate::stats::{StatsBuilder, StatsSnapshot};
@@ -42,52 +41,47 @@ enum ActionBody {
     Retry { port: PortId },
 }
 
-struct Scheduled {
-    tick: Tick,
-    seq: u64,
+/// A queued dispatch: which component to call and with what. Ordering
+/// (tick, insertion sequence) is owned by the [`CalendarQueue`].
+struct Action {
     target: ComponentId,
     body: ActionBody,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.tick == other.tick && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.tick, self.seq).cmp(&(other.tick, other.seq))
-    }
-}
-
 type Endpoint = (ComponentId, PortId);
+
+/// Cap on recycled payload buffers held by the pool; beyond this, returned
+/// buffers are simply dropped. Bounds steady-state memory while covering
+/// every in-flight DMA burst the experiments produce.
+const PAYLOAD_POOL_CAP: usize = 256;
 
 /// Shared mutable simulation state reachable from nested dispatches.
 struct Shared {
     arena: Vec<RefCell<Option<Box<dyn Component>>>>,
     names: Vec<String>,
-    conns: HashMap<Endpoint, Endpoint>,
-    queue: RefCell<BinaryHeap<Reverse<Scheduled>>>,
-    seq: Cell<u64>,
+    /// Dense routing table: `conns[component][port]` is the wired peer.
+    /// Built at `connect` time so `try_send_*` is two array loads, no hash.
+    conns: Vec<Vec<Option<Endpoint>>>,
+    queue: RefCell<CalendarQueue<Action>>,
     now: Cell<Tick>,
     next_packet_id: Cell<u64>,
     stop_requested: Cell<bool>,
     events_processed: Cell<u64>,
     trace: Cell<bool>,
     tracer: Tracer,
+    /// Free list of payload buffers recycled across DMA bursts.
+    payload_pool: RefCell<Vec<Vec<u8>>>,
 }
 
 impl Shared {
+    #[inline]
     fn push(&self, tick: Tick, target: ComponentId, body: ActionBody) {
-        let seq = self.seq.get();
-        self.seq.set(seq + 1);
-        self.queue.borrow_mut().push(Reverse(Scheduled { tick, seq, target, body }));
+        self.queue.borrow_mut().push(tick, Action { target, body });
+    }
+
+    #[inline]
+    fn lookup_peer(&self, ep: Endpoint) -> Option<Endpoint> {
+        self.conns.get(ep.0 .0 as usize)?.get(ep.1 .0 as usize).copied().flatten()
     }
 
     fn with_component<R>(
@@ -121,36 +115,86 @@ pub struct Ctx<'a> {
 
 impl Ctx<'_> {
     /// Current simulated time.
+    #[inline]
     pub fn now(&self) -> Tick {
         self.shared.now.get()
     }
 
     /// The id of the component being called.
+    #[inline]
     pub fn self_id(&self) -> ComponentId {
         self.self_id
     }
 
     /// Allocates a fresh, globally unique packet id.
+    #[inline]
     pub fn alloc_packet_id(&mut self) -> PacketId {
         let id = self.shared.next_packet_id.get();
         self.shared.next_packet_id.set(id + 1);
         PacketId(id)
     }
 
+    /// Hands out a zeroed payload buffer of `len` bytes, reusing a
+    /// recycled allocation when one is available. Pair with
+    /// [`Ctx::recycle_payload`] at the point the payload is consumed.
+    #[inline]
+    pub fn alloc_payload(&mut self, len: usize) -> Vec<u8> {
+        let mut buf = self.shared.payload_pool.borrow_mut().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a payload buffer to the free list for reuse by a later
+    /// [`Ctx::alloc_payload`]. Dropping the buffer instead is always safe —
+    /// recycling is purely an allocation-traffic optimisation.
+    #[inline]
+    pub fn recycle_payload(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut pool = self.shared.payload_pool.borrow_mut();
+        if pool.len() < PAYLOAD_POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
+    /// Clones `pkt` with its payload copied into a pooled buffer instead of
+    /// a fresh allocation — the data-link layer uses this to put a wire copy
+    /// of a replay-buffer TLP on the link without per-transmission mallocs.
+    #[inline]
+    pub fn clone_packet(&mut self, pkt: &Packet) -> Packet {
+        let payload = pkt.payload().map(|src| {
+            let mut buf = self.shared.payload_pool.borrow_mut().pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(src);
+            buf
+        });
+        pkt.clone_with_payload(payload)
+    }
+
+    /// Recycles every owned buffer of a packet that has reached the end of
+    /// its life (delivered, acknowledged, or absorbed), then drops it.
+    #[inline]
+    pub fn recycle_packet(&mut self, mut pkt: Packet) {
+        if let Some(buf) = pkt.take_payload() {
+            self.recycle_payload(buf);
+        }
+    }
+
+    #[inline]
     fn peer(&self, port: PortId) -> Endpoint {
-        *self
-            .shared
-            .conns
-            .get(&(self.self_id, port))
+        self.shared
+            .lookup_peer((self.self_id, port))
             .unwrap_or_else(|| panic!("{} {port} is not connected", self.self_id))
     }
 
     /// Whether `port` is wired to a peer.
+    #[inline]
     pub fn is_connected(&self, port: PortId) -> bool {
-        self.shared.conns.contains_key(&(self.self_id, port))
+        self.shared.lookup_peer((self.self_id, port)).is_some()
     }
 
     /// Schedules `ev` for delivery to this component after `delay` ticks.
+    #[inline]
     pub fn schedule(&mut self, delay: Tick, ev: Event) {
         self.shared.push(self.now() + delay, self.self_id, ActionBody::Event(ev));
     }
@@ -241,18 +285,21 @@ impl Ctx<'_> {
 
     /// Notifies the peer of `port` that buffer space freed up. Delivered
     /// from the event queue (never nested), at the current tick.
+    #[inline]
     pub fn send_retry(&mut self, port: PortId) {
         let (peer, peer_port) = self.peer(port);
         self.shared.push(self.now(), peer, ActionBody::Retry { port: peer_port });
     }
 
     /// Requests the simulation loop to stop after the current event.
+    #[inline]
     pub fn stop(&mut self) {
         self.shared.stop_requested.set(true);
     }
 
     /// Emits a trace line when tracing is enabled; the closure only runs
     /// when needed.
+    #[inline]
     pub fn trace(&self, f: impl FnOnce() -> String) {
         if self.shared.trace.get() {
             eprintln!(
@@ -318,15 +365,15 @@ impl Simulation {
             shared: Shared {
                 arena: Vec::new(),
                 names: Vec::new(),
-                conns: HashMap::new(),
-                queue: RefCell::new(BinaryHeap::new()),
-                seq: Cell::new(0),
+                conns: Vec::new(),
+                queue: RefCell::new(CalendarQueue::new()),
                 now: Cell::new(0),
                 next_packet_id: Cell::new(0),
                 stop_requested: Cell::new(false),
                 events_processed: Cell::new(0),
                 trace: Cell::new(false),
                 tracer: Tracer::new(),
+                payload_pool: RefCell::new(Vec::new()),
             },
             initialized: false,
         }
@@ -409,15 +456,25 @@ impl Simulation {
     /// endpoints are the same.
     pub fn connect(&mut self, a: (ComponentId, PortId), b: (ComponentId, PortId)) {
         assert_ne!(a, b, "cannot connect a port to itself");
-        assert!(!self.shared.conns.contains_key(&a), "{} {} already connected", a.0, a.1);
-        assert!(!self.shared.conns.contains_key(&b), "{} {} already connected", b.0, b.1);
-        self.shared.conns.insert(a, b);
-        self.shared.conns.insert(b, a);
+        assert!(self.shared.lookup_peer(a).is_none(), "{} {} already connected", a.0, a.1);
+        assert!(self.shared.lookup_peer(b).is_none(), "{} {} already connected", b.0, b.1);
+        for &((comp, port), peer) in &[(a, b), (b, a)] {
+            let ci = comp.0 as usize;
+            if self.shared.conns.len() <= ci {
+                self.shared.conns.resize_with(ci + 1, Vec::new);
+            }
+            let ports = &mut self.shared.conns[ci];
+            let pi = port.0 as usize;
+            if ports.len() <= pi {
+                ports.resize(pi + 1, None);
+            }
+            ports[pi] = Some(peer);
+        }
     }
 
     /// The endpoint wired to `ep`, if any.
     pub fn peer_of(&self, ep: (ComponentId, PortId)) -> Option<(ComponentId, PortId)> {
-        self.shared.conns.get(&ep).copied()
+        self.shared.lookup_peer(ep)
     }
 
     fn ensure_init(&mut self) {
@@ -440,30 +497,35 @@ impl Simulation {
                 self.shared.stop_requested.set(false);
                 return RunOutcome::Stopped;
             }
-            let next = {
-                let queue = self.shared.queue.borrow();
-                match queue.peek() {
-                    None => return RunOutcome::QueueEmpty,
-                    Some(Reverse(head)) if head.tick > until => {
-                        drop(queue);
+            // Budget and time limits are checked before the pop, so the head
+            // action stays queued (with its original sequence stamp) and the
+            // caller can resume exactly where it left off. The fused
+            // peek-and-pop settles the queue once per event.
+            let (tick, action) = {
+                let mut queue = self.shared.queue.borrow_mut();
+                if self.events_processed() >= budget_end {
+                    match queue.next_tick() {
+                        None => return RunOutcome::QueueEmpty,
+                        Some(tick) if tick > until => {
+                            self.shared.now.set(until);
+                            return RunOutcome::TimeLimit;
+                        }
+                        Some(_) => return RunOutcome::EventLimit,
+                    }
+                }
+                match queue.pop_if_at_most(until) {
+                    Ok(None) => return RunOutcome::QueueEmpty,
+                    Err(_head) => {
                         self.shared.now.set(until);
                         return RunOutcome::TimeLimit;
                     }
-                    Some(_) => {}
+                    Ok(Some(popped)) => popped,
                 }
-                drop(queue);
-                self.shared.queue.borrow_mut().pop().expect("peeked")
             };
-            if self.events_processed() >= budget_end {
-                // Put the action back; the caller may resume.
-                self.shared.queue.borrow_mut().push(next);
-                return RunOutcome::EventLimit;
-            }
-            let Reverse(sched) = next;
-            debug_assert!(sched.tick >= self.now(), "time went backwards");
-            self.shared.now.set(sched.tick);
+            debug_assert!(tick >= self.now(), "time went backwards");
+            self.shared.now.set(tick);
             self.shared.events_processed.set(self.events_processed() + 1);
-            self.shared.with_component(sched.target, |c, ctx| match sched.body {
+            self.shared.with_component(action.target, |c, ctx| match action.body {
                 ActionBody::Event(ev) => c.handle(ctx, ev),
                 ActionBody::Retry { port } => c.retry_granted(ctx, port),
             });

@@ -85,8 +85,14 @@ pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> Tick {
     if bytes_per_sec == 0 {
         return 0;
     }
-    let num = bytes as u128 * TICKS_PER_SEC as u128;
-    num.div_ceil(bytes_per_sec as u128) as Tick
+    // Packet-sized transfers fit 64-bit arithmetic; the u128 division (a
+    // libcall) is only needed when `bytes * TICKS_PER_SEC` overflows.
+    if let Some(num) = bytes.checked_mul(TICKS_PER_SEC) {
+        num.div_ceil(bytes_per_sec)
+    } else {
+        let num = bytes as u128 * TICKS_PER_SEC as u128;
+        num.div_ceil(bytes_per_sec as u128) as Tick
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,69 @@ proptest! {
         prop_assert_eq!(a, b, "identical runs must be bit-identical");
     }
 
+    /// For any monotone interleaving of pushes and pops, the calendar
+    /// queue agrees exactly with a sorted reference model: items come out
+    /// in (tick, insertion-order) order, including far-future ticks that
+    /// live in the overflow heap and limit-bounded `pop_if_at_most` calls.
+    #[test]
+    fn calendar_queue_matches_reference_model(
+        ops in proptest::collection::vec((any::<u8>(), 0u64..1 << 28), 1..256),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        use pcisim_kernel::calendar::CalendarQueue;
+
+        let mut queue: CalendarQueue<u32> = CalendarQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (i, &(op, delta)) in ops.iter().enumerate() {
+            match op % 4 {
+                // Push at `now + delta`; small deltas exercise the bucket
+                // ring, large ones (>= bucket span) the overflow heap.
+                0 | 1 => {
+                    let delta = if op & 4 == 0 { delta % (1 << 12) } else { delta };
+                    queue.push(now + delta, i as u32);
+                    model.push(Reverse((now + delta, seq, i as u32)));
+                    seq += 1;
+                }
+                2 => {
+                    let got = queue.pop();
+                    let want = model.pop().map(|Reverse((t, _, v))| (t, v));
+                    prop_assert_eq!(got, want);
+                    if let Some((t, _)) = got {
+                        now = t;
+                    }
+                }
+                _ => {
+                    let limit = now + delta % (1 << 13);
+                    match queue.pop_if_at_most(limit) {
+                        Ok(Some((t, v))) => {
+                            let Reverse((mt, ms, mv)) = model.pop().expect("model nonempty");
+                            let _ = ms;
+                            prop_assert_eq!((t, v), (mt, mv));
+                            prop_assert!(t <= limit);
+                            now = t;
+                        }
+                        Ok(None) => prop_assert!(model.is_empty()),
+                        Err(head) => {
+                            let &Reverse((mt, _, _)) = model.peek().expect("head beyond limit");
+                            prop_assert_eq!(head, mt);
+                            prop_assert!(head > limit);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+        }
+        // Drain: everything left must come out fully ordered.
+        while let Some((t, v)) = queue.pop() {
+            let Reverse((mt, _, mv)) = model.pop().expect("model tracks len");
+            prop_assert_eq!((t, v), (mt, mv));
+        }
+        prop_assert!(model.is_empty());
+    }
+
     /// Completions from a FIFO pipeline preserve issue order.
     #[test]
     fn bridge_preserves_order(n in 1u64..48, cap in 1usize..6) {

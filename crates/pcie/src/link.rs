@@ -138,8 +138,17 @@ struct DirState {
     pending_dllps: VecDeque<Dllp>,
     wire_busy_until: Tick,
     kick_scheduled: bool,
+    /// The in-flight frame's arrival event lands exactly when this wire
+    /// frees (store-and-forward, zero propagation), so that event doubles
+    /// as the TX kick and no separate kick timer is scheduled.
+    pump_on_arrival: bool,
     replay_armed: bool,
-    replay_gen: u64,
+    /// Lazy replay timer: the tick the armed timeout is due. Re-arming on
+    /// an ACK only moves this deadline; at most one timer event is
+    /// outstanding per direction, re-scheduling itself forward on stale
+    /// fires instead of pushing a fresh event per acknowledgement.
+    replay_deadline: Tick,
+    replay_timer_outstanding: bool,
     /// RX-side: cumulative ACK not yet sent.
     pending_ack: Option<u32>,
     ack_timer_armed: bool,
@@ -167,8 +176,10 @@ impl DirState {
             pending_dllps: VecDeque::new(),
             wire_busy_until: 0,
             kick_scheduled: false,
+            pump_on_arrival: false,
             replay_armed: false,
-            replay_gen: 0,
+            replay_deadline: 0,
+            replay_timer_outstanding: false,
             pending_ack: None,
             ack_timer_armed: false,
             owe_retry: [false; 2],
@@ -227,19 +238,19 @@ impl PcieLink {
 
     fn arm_replay(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
         let st = &mut self.dirs[dir.index()];
-        st.replay_gen += 1;
         st.replay_armed = true;
-        let gen = st.replay_gen;
-        ctx.schedule(
-            self.replay_timeout,
-            Event::Timer { kind: K_REPLAY_TIMEOUT + dir as u32, data: gen },
-        );
+        st.replay_deadline = ctx.now() + self.replay_timeout;
+        if !st.replay_timer_outstanding {
+            st.replay_timer_outstanding = true;
+            ctx.schedule(
+                self.replay_timeout,
+                Event::Timer { kind: K_REPLAY_TIMEOUT + dir as u32, data: 0 },
+            );
+        }
     }
 
     fn disarm_replay(&mut self, dir: Dir) {
-        let st = &mut self.dirs[dir.index()];
-        st.replay_gen += 1;
-        st.replay_armed = false;
+        self.dirs[dir.index()].replay_armed = false;
     }
 
     /// Queues an ACK/NAK for transmission on `dir`'s wire.
@@ -268,7 +279,9 @@ impl PcieLink {
             let prop = self.config.propagation_delay;
             let st = &mut self.dirs[dir.index()];
             if now < st.wire_busy_until {
-                if !st.kick_scheduled {
+                // When the in-flight frame's arrival event coincides with
+                // the wire freeing, that event pumps — no kick timer.
+                if !st.kick_scheduled && !st.pump_on_arrival {
                     st.kick_scheduled = true;
                     let delay = st.wire_busy_until - now;
                     ctx.schedule(delay, Event::Timer { kind: K_TX_KICK + dir as u32, data: 0 });
@@ -278,6 +291,7 @@ impl PcieLink {
             if let Some(dllp) = st.pending_dllps.pop_front() {
                 let t = self.config.tx_time(DLLP_WIRE_BYTES);
                 st.wire_busy_until = now + t;
+                st.pump_on_arrival = prop == 0;
                 st.stats.busy_ticks.add(t);
                 st.stats.bytes_tx.add(u64::from(DLLP_WIRE_BYTES));
                 let data = match dllp {
@@ -288,8 +302,11 @@ impl PcieLink {
                 ctx.schedule(t + prop, Event::Timer { kind: K_DLLP_ARRIVE + dir as u32, data });
                 continue;
             }
-            if let Some((seq, pkt)) = st.tx.next_to_transmit() {
+            if let Some((seq, held)) = st.tx.next_to_transmit_ref() {
                 assert!(seq <= TAG_SEQ_MASK, "sequence numbers exhausted the tag space");
+                // Wire copy via the pooled allocator; the replay buffer
+                // keeps the original until it is acknowledged.
+                let pkt = ctx.clone_packet(held);
                 st.tx.mark_transmitted();
                 let wire = tlp_wire_bytes(pkt.payload_len());
                 let t = self.config.tx_time(wire);
@@ -328,6 +345,8 @@ impl PcieLink {
                     t
                 };
                 ctx.schedule(delivery + prop, Event::DelayedPacket { tag, pkt });
+                let st = &mut self.dirs[dir.index()];
+                st.pump_on_arrival = delivery + prop == t;
                 if !st.replay_armed {
                     self.arm_replay(ctx, dir);
                 }
@@ -407,6 +426,7 @@ impl PcieLink {
                 None,
                 u64::from(seq),
             );
+            ctx.recycle_packet(pkt);
             // NAK the last good sequence number back to the sender.
             let nak_seq = st.rx.expected().wrapping_sub(1);
             self.queue_dllp(ctx, dir.opposite(), Dllp::Nak { seq: nak_seq });
@@ -424,6 +444,7 @@ impl PcieLink {
                 None,
                 u64::from(seq),
             );
+            ctx.recycle_packet(pkt);
             return;
         }
         if let Some(credits) = self.config.credit_fc {
@@ -498,6 +519,7 @@ impl PcieLink {
                         u64::from(seq),
                     );
                 }
+                ctx.recycle_packet(dropped);
             }
         }
     }
@@ -578,7 +600,7 @@ impl PcieLink {
         match dllp {
             Dllp::Nak { seq } => {
                 st.stats.naks_rx.inc();
-                let replayed = st.tx.nak(seq);
+                let replayed = st.tx.nak_drain(seq, |pkt| ctx.recycle_packet(pkt));
                 st.stats.replays.add(replayed as u64);
                 if replayed > 0 {
                     ctx.emit(
@@ -592,7 +614,7 @@ impl PcieLink {
             }
             Dllp::Ack { seq } => {
                 st.stats.acks_rx.inc();
-                st.tx.ack(seq);
+                st.tx.ack_drain(seq, |pkt| ctx.recycle_packet(pkt));
             }
             Dllp::UpdateFc { credits } => {
                 st.stats.updatefc_rx.inc();
@@ -612,13 +634,24 @@ impl PcieLink {
         self.pump(ctx, tx_dir);
     }
 
-    fn replay_timeout_fired(&mut self, ctx: &mut Ctx<'_>, dir: Dir, gen: u64) {
+    fn replay_timeout_fired(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
         let st = &mut self.dirs[dir.index()];
-        if !st.replay_armed || st.replay_gen != gen {
-            return; // stale timer
+        st.replay_timer_outstanding = false;
+        if !st.replay_armed {
+            return; // disarmed while in flight
         }
         if st.tx.is_empty() {
             self.disarm_replay(dir);
+            return;
+        }
+        let st = &mut self.dirs[dir.index()];
+        if ctx.now() < st.replay_deadline {
+            // An ACK moved the deadline forward since this timer was
+            // scheduled: chase it instead of having queued one event per
+            // acknowledgement.
+            st.replay_timer_outstanding = true;
+            let delay = st.replay_deadline - ctx.now();
+            ctx.schedule(delay, Event::Timer { kind: K_REPLAY_TIMEOUT + dir as u32, data: 0 });
             return;
         }
         st.stats.timeouts.inc();
@@ -665,7 +698,13 @@ impl Component for PcieLink {
                 let dir = if tag & TAG_DIR_BIT != 0 { Dir::Up } else { Dir::Down };
                 let corrupt = tag & TAG_CORRUPT_BIT != 0;
                 let seq = tag & TAG_SEQ_MASK;
+                // This arrival is the fused TX kick for `dir`'s wire when
+                // the frame's flight time equals its serialization time.
+                let pump_after = std::mem::take(&mut self.dirs[dir.index()].pump_on_arrival);
                 self.tlp_arrived(ctx, dir, seq, corrupt, pkt);
+                if pump_after {
+                    self.pump(ctx, dir);
+                }
             }
             Event::Timer { kind, data } => {
                 let dir = Dir::from_index(u64::from(kind & 1));
@@ -674,7 +713,7 @@ impl Component for PcieLink {
                         self.dirs[dir.index()].kick_scheduled = false;
                         self.pump(ctx, dir);
                     }
-                    K_REPLAY_TIMEOUT => self.replay_timeout_fired(ctx, dir, data),
+                    K_REPLAY_TIMEOUT => self.replay_timeout_fired(ctx, dir),
                     K_ACK_TIMER => self.ack_timer_fired(ctx, dir),
                     K_DLLP_ARRIVE => {
                         let value = (data & 0xffff_ffff) as u32;
@@ -685,7 +724,12 @@ impl Component for PcieLink {
                         } else {
                             Dllp::Ack { seq: value }
                         };
+                        let pump_after =
+                            std::mem::take(&mut self.dirs[dir.index()].pump_on_arrival);
                         self.dllp_arrived(ctx, dir, dllp);
+                        if pump_after {
+                            self.pump(ctx, dir);
+                        }
                     }
                     other => panic!("{}: unknown timer kind {other}", self.name),
                 }

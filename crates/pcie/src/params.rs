@@ -166,13 +166,18 @@ impl LinkConfig {
     }
 
     /// Time to serialize `bytes` across the whole link width.
+    #[inline]
     pub fn tx_time(&self, bytes: u32) -> Tick {
         let (num, den) = self.generation.encoding();
         let line_bits = 8 * num * u64::from(bytes);
-        let denom =
-            den as u128 * self.generation.raw_bits_per_sec() as u128 * self.width.lanes() as u128;
-        let ticks = (line_bits as u128 * TICKS_PER_SEC as u128).div_ceil(denom);
-        ticks as Tick
+        let denom = den * self.generation.raw_bits_per_sec() * u64::from(self.width.lanes());
+        // Packet-sized transfers fit 64-bit arithmetic; the u128 division
+        // (a libcall) is only needed for pathological sizes.
+        if let Some(ticks) = line_bits.checked_mul(TICKS_PER_SEC) {
+            ticks.div_ceil(denom)
+        } else {
+            (line_bits as u128 * TICKS_PER_SEC as u128).div_ceil(denom as u128) as Tick
+        }
     }
 
     /// Effective payload bandwidth of the full link in bits per second

@@ -15,6 +15,7 @@
 pub mod builder;
 pub mod experiments;
 pub mod platform;
+pub mod sweep;
 pub mod workload;
 
 /// Convenient glob import for examples and benches.
@@ -29,6 +30,7 @@ pub mod prelude {
         NicRxExperiment, NicRxOutcome, NicTxExperiment, NicTxOutcome,
     };
     pub use crate::platform;
+    pub use crate::sweep::{default_jobs, run_sweep};
     pub use crate::workload::dd::{DdConfig, DdReport, DdReportHandle};
     pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};

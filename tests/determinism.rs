@@ -1,0 +1,123 @@
+//! Determinism suite: identical configurations must produce bit-identical
+//! results — across repeated runs in one process, across serial vs
+//! parallel sweep execution, and against golden anchors recorded on the
+//! pre-overhaul scheduler so hot-path optimizations cannot silently
+//! change the paper's metrics.
+
+use pcisim::kernel::sim::RunOutcome;
+use pcisim::kernel::stats::StatsSnapshot;
+use pcisim::kernel::tick::{ns, TICKS_PER_SEC};
+use pcisim::system::builder::{build_system, SystemConfig};
+use pcisim::system::experiments::{run_dd_experiment, DdExperiment, DdOutcome};
+use pcisim::system::sweep::run_sweep;
+use pcisim::system::workload::dd::DdConfig;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over every `(key, value)` pair of a stats snapshot: a compact
+/// fingerprint of every counter in the simulation.
+fn stats_fnv(stats: &StatsSnapshot) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    for (k, v) in stats.iter() {
+        h = fnv1a(h, k.as_bytes());
+        h = fnv1a(h, &v.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Every field of a [`DdOutcome`] that a regression could disturb, with
+/// floats compared bit-for-bit.
+fn outcome_fingerprint(o: &DdOutcome) -> [u64; 7] {
+    [
+        o.throughput_gbps.to_bits(),
+        o.bytes,
+        o.sim_time,
+        o.replay_pct.to_bits(),
+        o.timeout_pct.to_bits(),
+        o.upstream_tlps,
+        u64::from(o.completed),
+    ]
+}
+
+#[test]
+fn identical_configs_produce_identical_outcomes_and_traces() {
+    let exp = DdExperiment { block_bytes: 64 * KB, trace: true, ..DdExperiment::default() };
+    let a = run_dd_experiment(&exp);
+    let b = run_dd_experiment(&exp);
+    assert_eq!(outcome_fingerprint(&a), outcome_fingerprint(&b));
+    let (ta, tb) = (a.trace.expect("traced run"), b.trace.expect("traced run"));
+    assert_eq!(ta.dropped, tb.dropped);
+    assert_eq!(ta.names, tb.names);
+    assert_eq!(ta.events, tb.events, "event traces must be identical");
+}
+
+/// Golden anchors for the paper's §VI-B validation run (1 MB `dd` on the
+/// default topology). Every value here — including the quiesce time —
+/// was recorded on the pre-overhaul scheduler (binary-heap queue,
+/// HashMap routing, per-TLP allocation, eager replay timers) and is
+/// asserted unchanged after the hot-path overhaul: the optimizations may
+/// only change *how fast host work happens*, never what the simulation
+/// computes or when it quiesces.
+#[test]
+fn golden_anchors_pin_the_paper_metrics() {
+    let o = run_dd_experiment(&DdExperiment { block_bytes: MB, ..DdExperiment::default() });
+    assert!(o.completed);
+    assert_eq!(o.bytes, MB);
+    assert_eq!(o.upstream_tlps, 16432);
+    assert_eq!(o.throughput_gbps.to_bits(), 0x400020cebc8a05c3, "{}", o.throughput_gbps);
+    assert_eq!(o.replay_pct.to_bits(), 0.0f64.to_bits());
+    assert_eq!(o.timeout_pct.to_bits(), 0.0f64.to_bits());
+    assert_eq!(o.sim_time, GOLDEN_SIM_TIME);
+}
+
+const GOLDEN_SIM_TIME: u64 = 4_161_336_600;
+const GOLDEN_STATS_FNV: u64 = 0x8ab2_5545_b5f0_1779;
+
+/// Two full system builds with the same config agree on every statistic,
+/// and the whole snapshot matches its recorded fingerprint.
+#[test]
+fn stats_snapshot_is_reproducible_and_matches_golden() {
+    let run = || {
+        let mut built = build_system(SystemConfig::validation());
+        let report = built.attach_dd(DdConfig { block_bytes: 64 * KB, ..DdConfig::default() });
+        let outcome = built.sim.run(TICKS_PER_SEC, u64::MAX);
+        assert_eq!(outcome, RunOutcome::QueueEmpty, "system must quiesce");
+        assert!(report.borrow().done);
+        built.sim.stats()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "repeated builds must produce identical snapshots");
+    assert_eq!(stats_fnv(&a), GOLDEN_STATS_FNV, "got {:#018x}", stats_fnv(&a));
+}
+
+/// A sweep fanned across worker threads returns exactly what the serial
+/// reference produces, in the same order — the contract `repro --jobs N`
+/// relies on.
+#[test]
+fn serial_and_parallel_sweeps_are_bit_identical() {
+    let configs: Vec<DdExperiment> = [50u64, 90, 130]
+        .into_iter()
+        .flat_map(|lat| {
+            [1usize, 4].map(|rb| DdExperiment {
+                block_bytes: 64 * KB,
+                switch_latency: ns(lat),
+                replay_buffer: rb,
+                ..DdExperiment::default()
+            })
+        })
+        .collect();
+    let serial = run_sweep(&configs, 1, run_dd_experiment);
+    let parallel = run_sweep(&configs, 4, run_dd_experiment);
+    let fingerprints = |v: &[DdOutcome]| v.iter().map(outcome_fingerprint).collect::<Vec<_>>();
+    assert_eq!(fingerprints(&serial), fingerprints(&parallel));
+}
