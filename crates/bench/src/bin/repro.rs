@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! repro [--full] [--jobs N] [--trace PATH] [--bench-json PATH] [--bench-check PATH]
-//!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [all]
+//!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
 //! the legacy-crossbar baseline, dual-disk fabric contention, and the
 //! NIC transmit sweep.
+//!
+//! `faults` (alias `--faults`) runs the deterministic fault campaign:
+//! `dd` goodput under link-level error injection, swept over the
+//! `error_interval` ladder at several generation/width points.
 //!
 //! `--jobs N` fans the independent configurations of each Fig. 9 / Table II
 //! sweep across N worker threads (default: all available cores). Every
@@ -34,7 +38,7 @@ use std::time::Instant;
 
 use pcisim_bench::{benchjson, reference, table};
 use pcisim_kernel::tick::ns;
-use pcisim_pcie::params::LinkWidth;
+use pcisim_pcie::params::{Generation, LinkWidth};
 use pcisim_system::prelude::*;
 
 const MB: u64 = 1024 * 1024;
@@ -361,6 +365,56 @@ fn ext(opts: &Opts) {
     println!("{}", table::render(&["flow control", "dd (Gb/s)", "replay%", "timeout%"], &rows));
 }
 
+/// The deterministic fault campaign: `dd` goodput under link-level error
+/// injection, swept over the `error_interval` ladder at several
+/// generation/width points. Injection is a pure function of each
+/// interface's transmit count, so the table is bit-identical across runs
+/// and `--jobs` values.
+fn faults(opts: &Opts) {
+    println!("\n== Fault campaign: dd goodput under deterministic link error injection ==");
+    println!("   a TLP is corrupted when splitmix64(tx_count) hits a multiple of the interval;");
+    println!("   smaller interval = harsher (interval 0 = fault-free baseline)");
+    let block = if opts.full { 4 * MB } else { 256 * 1024 };
+    const POINTS: [(Generation, Option<LinkWidth>, &str); 3] = [
+        (Generation::Gen2, None, "Gen2 x4/x1"),
+        (Generation::Gen2, Some(LinkWidth::X4), "Gen2 x4 all"),
+        (Generation::Gen3, None, "Gen3 x4/x1"),
+    ];
+    let configs: Vec<FaultExperiment> = POINTS
+        .iter()
+        .flat_map(|&(generation, width_all, _)| error_rate_ladder(generation, width_all, block))
+        .collect();
+    let outcomes = run_sweep(&configs, opts.jobs, run_fault_experiment);
+    let ladder_len = configs.len() / POINTS.len();
+    let mut rows = Vec::new();
+    for (pi, &(_, _, label)) in POINTS.iter().enumerate() {
+        for li in 0..ladder_len {
+            let out = &outcomes[pi * ladder_len + li];
+            assert!(out.completed, "fault campaign point must converge: {out:?}");
+            rows.push(vec![
+                label.to_string(),
+                if out.error_interval == 0 {
+                    "none".to_string()
+                } else {
+                    format!("1/{}", out.error_interval)
+                },
+                format!("{:.3}", out.throughput_gbps),
+                out.corrupt_drops.to_string(),
+                out.replays.to_string(),
+                out.naks.to_string(),
+                format!("{:#06x}", out.device_aer_cor),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table::render(
+            &["links", "err rate", "dd (Gb/s)", "corrupt", "replays", "naks", "dev AER cor"],
+            &rows
+        )
+    );
+}
+
 /// Re-runs the Table II 150 ns point with tracing, dumps Perfetto JSON to
 /// `path` and prints the per-stage latency attribution (the paper's "where
 /// does the access latency go" question, answered from the trace).
@@ -515,6 +569,9 @@ fn main() {
     }
     if run_all || picked.contains(&"ext") {
         timed("ext", &ext);
+    }
+    if run_all || picked.contains(&"faults") || picked.contains(&"--faults") {
+        timed("faults", &faults);
     }
     if let Some(path) = trace_path {
         trace_dump(&path);

@@ -21,7 +21,7 @@ use pcisim_kernel::packet::{Command, Packet};
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::{ns, us, Tick};
-use pcisim_pci::caps::{CapChain, Capability, Generation, PortType};
+use pcisim_pci::caps::{write_aer_capability, CapChain, Capability, Generation, PortType};
 use pcisim_pci::config::{shared, ConfigSpace, SharedConfigSpace};
 use pcisim_pci::header::{bar_base, Bar, Type0Header};
 
@@ -123,6 +123,7 @@ pub fn ide_config_space_with(msi_capable: bool) -> ConfigSpace {
             },
         )
         .write_into(&mut cs);
+    write_aer_capability(&mut cs, 0x100, 0);
     cs
 }
 

@@ -22,14 +22,17 @@
 use std::collections::VecDeque;
 
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
-use pcisim_kernel::packet::{Command, Packet};
+use pcisim_kernel::packet::{Command, CompletionStatus, Packet};
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::{ns, Tick};
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
-use pcisim_pci::caps::{CapChain, Capability, Generation, PortType};
+use pcisim_pci::caps::{
+    aer_record_uncorrectable, write_aer_capability, CapChain, Capability, Generation, PortType,
+};
 use pcisim_pci::config::{shared, ConfigSpace, SharedConfigSpace};
 use pcisim_pci::header::{bar_base, Bar, Type0Header};
+use pcisim_pci::regs::{aer, common, status};
 
 use crate::intc::irq_message_addr;
 
@@ -159,6 +162,9 @@ pub fn nic_config_space_with(msi_capable: bool) -> ConfigSpace {
         )
         .add(0xa0, Capability::MsixDisabled)
         .write_into(&mut cs);
+    // AER extended capability at the top of extended config space: DMA
+    // error completions latch here so enumeration/diagnosis can walk it.
+    write_aer_capability(&mut cs, 0x100, 0);
     cs
 }
 
@@ -220,6 +226,9 @@ struct NicStats {
     dma_read_tlps: Counter,
     dma_write_tlps: Counter,
     dma_bytes: Counter,
+    /// DMA requests that completed with an error status (UR/CA/timeout)
+    /// instead of data; reads consumed all-ones.
+    dma_error_completions: Counter,
     irqs: Counter,
 }
 
@@ -399,6 +408,28 @@ impl Nic {
             }
         }
         self.check_job_done(ctx);
+    }
+
+    /// Latches a failed DMA completion into the config space: the legacy
+    /// Status bit a requester sets on receiving a UR/CA completion, plus
+    /// the corresponding AER uncorrectable bit for timeouts.
+    fn record_dma_error(&mut self, completion: CompletionStatus) {
+        let mut cs = self.config_space.borrow_mut();
+        match completion {
+            CompletionStatus::UnsupportedRequest => {
+                let st = cs.read(common::STATUS, 2) as u16;
+                cs.init_u16(common::STATUS, st | status::RECEIVED_MASTER_ABORT);
+                aer_record_uncorrectable(&mut cs, aer::uncor::UNSUPPORTED_REQUEST, 0);
+            }
+            CompletionStatus::CompleterAbort => {
+                let st = cs.read(common::STATUS, 2) as u16;
+                cs.init_u16(common::STATUS, st | status::RECEIVED_TARGET_ABORT);
+            }
+            CompletionStatus::CompletionTimeout => {
+                aer_record_uncorrectable(&mut cs, aer::uncor::COMPLETION_TIMEOUT, 0);
+            }
+            CompletionStatus::SuccessfulCompletion => {}
+        }
     }
 
     fn chunk_issued(&mut self, chunk: u32) {
@@ -652,6 +683,15 @@ impl Component for Nic {
     fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
         assert_eq!(port, NIC_DMA_PORT);
         assert!(matches!(pkt.cmd(), Command::ReadResp | Command::WriteResp));
+        if pkt.is_error() {
+            // A DMA request master-aborted or timed out somewhere in the
+            // fabric: reads delivered all-ones. The engine keeps running —
+            // a real device DMAs garbage, it does not wedge — but the
+            // failure latches in the legacy Status register and AER so
+            // software can see it.
+            self.stats.dma_error_completions.inc();
+            self.record_dma_error(pkt.status());
+        }
         if let Some(buf) = pkt.take_payload() {
             ctx.recycle_payload(buf);
         }
@@ -714,6 +754,7 @@ impl Component for Nic {
         out.counter("dma_read_tlps", &self.stats.dma_read_tlps);
         out.counter("dma_write_tlps", &self.stats.dma_write_tlps);
         out.counter("dma_bytes", &self.stats.dma_bytes);
+        out.counter("dma_error_completions", &self.stats.dma_error_completions);
         out.counter("irqs", &self.stats.irqs);
     }
 }

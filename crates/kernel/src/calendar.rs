@@ -55,6 +55,16 @@ struct Key {
     slot: u32,
 }
 
+/// Names one queued entry so it can later be cancelled with
+/// [`CalendarQueue::cancel`]. The sequence stamp makes handles single-use:
+/// once the entry has popped (or been cancelled) the handle goes stale and
+/// further cancels are no-ops, even if the slab slot has been reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    slot: u32,
+    seq: u64,
+}
+
 impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.tick == other.tick && self.seq == other.seq
@@ -90,13 +100,17 @@ pub struct CalendarQueue<T> {
     cur: BinaryHeap<Reverse<Key>>,
     /// Entries at or beyond `cur_window + NUM_BUCKETS` windows.
     overflow: BinaryHeap<Reverse<Key>>,
-    /// Item storage addressed by `Key::slot`.
-    slab: Vec<Option<T>>,
+    /// Item storage addressed by `Key::slot`, stamped with the sequence
+    /// number of the push that filled it (`None` = cancelled tombstone or
+    /// vacant).
+    slab: Vec<(u64, Option<T>)>,
     /// Vacant slab slots available for reuse.
     free: Vec<u32>,
     cur_window: u64,
-    /// Total entries held in the ring buckets (not `cur` / `overflow`).
+    /// Total keys held in the ring buckets (not `cur` / `overflow`),
+    /// tombstones included.
     ring_len: usize,
+    /// Live (non-cancelled) entries.
     len: usize,
     seq: u64,
 }
@@ -137,19 +151,20 @@ impl<T> CalendarQueue<T> {
 
     /// Queues `item` at `tick`, stamped with the next sequence number.
     /// Later pushes at the same tick pop later (FIFO within a tick).
+    /// The returned handle can cancel the entry before it pops.
     #[inline]
-    pub fn push(&mut self, tick: Tick, item: T) {
+    pub fn push(&mut self, tick: Tick, item: T) -> EventHandle {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.slab[slot as usize] = Some(item);
+                self.slab[slot as usize] = (seq, Some(item));
                 slot
             }
             None => {
                 let slot = self.slab.len() as u32;
-                self.slab.push(Some(item));
+                self.slab.push((seq, Some(item)));
                 slot
             }
         };
@@ -163,6 +178,27 @@ impl<T> CalendarQueue<T> {
         } else {
             self.overflow.push(Reverse(key));
         }
+        EventHandle { slot, seq }
+    }
+
+    /// Cancels the entry named by `handle`, returning its item; `None`
+    /// when the entry has already popped or been cancelled (stale handle).
+    ///
+    /// The cancelled key stays where it physically sits (bucket or heap)
+    /// as a tombstone and is reclaimed when the dispatch loop reaches it;
+    /// tombstones are skipped silently, so a cancelled event never fires,
+    /// never advances time, and never perturbs the order of live events.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<T> {
+        let (stamp, item) = self.slab.get_mut(handle.slot as usize)?;
+        if *stamp != handle.seq {
+            return None;
+        }
+        let item = item.take()?;
+        self.len -= 1;
+        // The slot is NOT freed here: its key still sits in a bucket or
+        // heap, and a reused slot would make that stale key resurrect the
+        // new occupant. The slot frees when the tombstone key pops.
+        Some(item)
     }
 
     /// Advances the calendar until the open-window heap holds the globally
@@ -208,20 +244,36 @@ impl<T> CalendarQueue<T> {
         }
     }
 
-    /// The tick of the earliest queued entry, if any.
+    /// Like [`CalendarQueue::settle`], but additionally discards cancelled
+    /// tombstone keys at the head of the open-window heap (reclaiming their
+    /// slab slots), so afterwards the head of `cur` — when present — is a
+    /// live entry.
+    fn settle_live(&mut self) {
+        loop {
+            self.settle();
+            let Some(&Reverse(head)) = self.cur.peek() else { return };
+            if self.slab[head.slot as usize].1.is_some() {
+                return;
+            }
+            self.cur.pop();
+            self.free.push(head.slot);
+        }
+    }
+
+    /// The tick of the earliest queued (live) entry, if any.
     #[inline]
     pub fn next_tick(&mut self) -> Option<Tick> {
-        self.settle();
+        self.settle_live();
         self.cur.peek().map(|&Reverse(key)| key.tick)
     }
 
     /// Removes and returns the entry with the smallest `(tick, seq)`.
     #[inline]
     pub fn pop(&mut self) -> Option<(Tick, T)> {
-        self.settle();
+        self.settle_live();
         let Reverse(key) = self.cur.pop()?;
         self.len -= 1;
-        let item = self.slab[key.slot as usize].take().expect("key points at a filled slot");
+        let item = self.slab[key.slot as usize].1.take().expect("live head after settle_live");
         self.free.push(key.slot);
         Some((key.tick, item))
     }
@@ -231,14 +283,14 @@ impl<T> CalendarQueue<T> {
     /// head beyond the limit without disturbing it; `Ok(None)` means empty.
     #[inline]
     pub fn pop_if_at_most(&mut self, limit: Tick) -> Result<Option<(Tick, T)>, Tick> {
-        self.settle();
+        self.settle_live();
         let Some(&Reverse(head)) = self.cur.peek() else { return Ok(None) };
         if head.tick > limit {
             return Err(head.tick);
         }
         let Reverse(key) = self.cur.pop().expect("peeked");
         self.len -= 1;
-        let item = self.slab[key.slot as usize].take().expect("key points at a filled slot");
+        let item = self.slab[key.slot as usize].1.take().expect("live head after settle_live");
         self.free.push(key.slot);
         Ok(Some((key.tick, item)))
     }
@@ -311,6 +363,118 @@ mod tests {
         // Steady-state churn must not grow item storage past the high-water
         // mark of concurrently queued entries.
         assert!(q.slab.len() <= 4, "slab grew to {} slots", q.slab.len());
+    }
+
+    #[test]
+    fn cancel_removes_an_entry_without_disturbing_the_rest() {
+        let mut q = CalendarQueue::new();
+        q.push(10, "a");
+        let h = q.push(20, "b");
+        q.push(30, "c");
+        assert_eq!(q.cancel(h), Some("b"));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_handles_are_noops() {
+        let mut q = CalendarQueue::new();
+        let h = q.push(5, "x");
+        assert_eq!(q.pop(), Some((5, "x")));
+        assert_eq!(q.cancel(h), None, "popped entry cannot be cancelled");
+        let h2 = q.push(7, "y");
+        assert_eq!(q.cancel(h2), Some("y"));
+        assert_eq!(q.cancel(h2), None, "double cancel is a no-op");
+        // The tombstone slot must not be resurrectable by the stale handle
+        // after a new push reuses the slab.
+        let h3 = q.push(9, "z");
+        assert_eq!(q.cancel(h), None);
+        assert_eq!(q.pop(), Some((9, "z")));
+        assert_eq!(q.cancel(h3), None);
+    }
+
+    #[test]
+    fn cancelled_head_does_not_gate_next_tick_or_pop_if_at_most() {
+        let mut q = CalendarQueue::new();
+        let h = q.push(10, "dead");
+        q.push(500, "live");
+        assert_eq!(q.cancel(h), Some("dead"));
+        // The tombstone at tick 10 must be invisible: the head is 500.
+        assert_eq!(q.next_tick(), Some(500));
+        assert_eq!(q.pop_if_at_most(100), Err(500));
+        assert_eq!(q.pop_if_at_most(500), Ok(Some((500, "live"))));
+        assert_eq!(q.pop_if_at_most(u64::MAX), Ok(None));
+    }
+
+    #[test]
+    fn cancel_in_far_future_windows_reclaims_on_reach() {
+        let mut q = CalendarQueue::new();
+        let ring = q.push(5 << BUCKET_BITS, "ring");
+        let far = (NUM_BUCKETS + 9) << BUCKET_BITS;
+        let over = q.push(far, "overflow");
+        q.push(1, "now");
+        assert_eq!(q.cancel(ring), Some("ring"));
+        assert_eq!(q.cancel(over), Some("overflow"));
+        assert_eq!(q.pop(), Some((1, "now")));
+        assert_eq!(q.pop(), None, "tombstones across ring and overflow never surface");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_cancel_matches_reference_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = CalendarQueue::new();
+        let mut reference: BinaryHeap<Reverse<(Tick, u64)>> = BinaryHeap::new();
+        let mut handles: Vec<(EventHandle, Tick, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut now: Tick = 0;
+        let mut state = 0x1234_5678u64;
+        for step in 0..5_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            match step % 4 {
+                0 | 1 => {
+                    let delay = match r % 10 {
+                        0..=7 => r % 300_000,
+                        _ => (NUM_BUCKETS << BUCKET_BITS) + r % 1_000_000,
+                    };
+                    let h = q.push(now + delay, seq);
+                    reference.push(Reverse((now + delay, seq)));
+                    handles.push((h, now + delay, seq));
+                    seq += 1;
+                }
+                2 => {
+                    if !handles.is_empty() {
+                        let (h, tick, item) =
+                            handles.swap_remove((r % handles.len() as u64) as usize);
+                        // Only cancel entries still in the future of the cursor
+                        // (the reference heap cannot express cancelling a
+                        // popped entry, and the queue would refuse anyway).
+                        if tick >= now && q.cancel(h).is_some() {
+                            let mut rest: Vec<_> = reference.drain().collect();
+                            rest.retain(|&Reverse((t, i))| (t, i) != (tick, item));
+                            reference = rest.into_iter().collect();
+                        }
+                    }
+                }
+                _ => {
+                    if let Some((tick, item)) = q.pop() {
+                        let Reverse((rt, ri)) = reference.pop().expect("reference in sync");
+                        assert_eq!((tick, item), (rt, ri), "divergence at step {step}");
+                        now = tick;
+                    }
+                }
+            }
+        }
+        while let Some((tick, item)) = q.pop() {
+            let Reverse((rt, ri)) = reference.pop().expect("reference in sync");
+            assert_eq!((tick, item), (rt, ri));
+        }
+        assert!(reference.is_empty());
     }
 
     #[test]

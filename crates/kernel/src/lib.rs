@@ -54,7 +54,7 @@ pub mod prelude {
     pub use crate::component::{Component, ComponentId, Event, PortId, RecvResult};
     pub use crate::dram::Dram;
     pub use crate::iocache::IoCache;
-    pub use crate::packet::{Command, Packet, PacketId};
+    pub use crate::packet::{Command, CompletionStatus, Packet, PacketId};
     pub use crate::sim::{Ctx, RunOutcome, Simulation};
     pub use crate::stats::{Counter, Histogram, StatsBuilder, StatsSnapshot};
     pub use crate::tick::{ns, ps, us, Tick};

@@ -95,6 +95,32 @@ impl fmt::Display for Command {
     }
 }
 
+/// Completion status carried by a response packet — the TLP completion
+/// status field of the PCI-Express transaction layer, reduced to the
+/// statuses the fabric can actually produce. Requests always carry
+/// [`CompletionStatus::SuccessfulCompletion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompletionStatus {
+    /// The completer serviced the request (SC).
+    #[default]
+    SuccessfulCompletion,
+    /// No completer claimed the request — master abort (UR). Reads return
+    /// all-ones data, as on a real root complex.
+    UnsupportedRequest,
+    /// The completer claimed but could not service the request (CA).
+    CompleterAbort,
+    /// No completion arrived before the requester's completion timeout;
+    /// the requester synthesized this completion itself.
+    CompletionTimeout,
+}
+
+impl CompletionStatus {
+    /// Whether this status reports an error.
+    pub fn is_error(self) -> bool {
+        self != CompletionStatus::SuccessfulCompletion
+    }
+}
+
 /// Unique identity of a packet, preserved from request to response so that
 /// components can match completions to outstanding transactions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -214,6 +240,7 @@ pub struct Packet {
     posted: bool,
     payload: Option<Vec<u8>>,
     route: RouteStack,
+    status: CompletionStatus,
 }
 
 impl Packet {
@@ -240,7 +267,19 @@ impl Packet {
             posted: matches!(cmd, Command::Message),
             payload: None,
             route: RouteStack::new(),
+            status: CompletionStatus::SuccessfulCompletion,
         }
+    }
+
+    /// Completion status of the packet. Meaningful on responses; requests
+    /// always report [`CompletionStatus::SuccessfulCompletion`].
+    pub fn status(&self) -> CompletionStatus {
+        self.status
+    }
+
+    /// Shorthand for `status().is_error()`.
+    pub fn is_error(&self) -> bool {
+        self.status.is_error()
     }
 
     /// Packet identity (preserved across request/response).
@@ -369,6 +408,7 @@ impl Packet {
             posted: self.posted,
             payload,
             route: self.route.clone(),
+            status: self.status,
         }
     }
 
@@ -427,6 +467,36 @@ impl Packet {
         assert_eq!(data.len() as u32, self.size, "response data length must equal request size");
         self.cmd = self.cmd.response();
         self.payload = Some(data);
+        self
+    }
+
+    /// Converts this non-posted request into an **error completion** with the
+    /// given status, preserving id, address, size, requester, route stack and
+    /// PCI bus number so the completion retraces the request's path home.
+    ///
+    /// Read-flavoured requests return all-ones data — the value a real root
+    /// complex forwards to the CPU on a master abort — while write-flavoured
+    /// requests complete with no payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not a request, is posted, or `status` is
+    /// [`CompletionStatus::SuccessfulCompletion`].
+    pub fn into_error_response(mut self, status: CompletionStatus) -> Packet {
+        assert!(self.is_request(), "cannot synthesize a completion for a response");
+        assert!(!self.posted, "posted requests take no completion");
+        assert!(status.is_error(), "error completions must carry an error status");
+        self.status = status;
+        match self.cmd {
+            Command::ReadReq | Command::ConfigRead => {
+                self.cmd = self.cmd.response();
+                self.payload = Some(vec![0xff; self.size as usize]);
+            }
+            _ => {
+                self.cmd = self.cmd.response();
+                self.payload = None;
+            }
+        }
         self
     }
 }
@@ -555,5 +625,53 @@ mod tests {
     #[should_panic(expected = "payload length must equal packet size")]
     fn payload_size_mismatch_panics() {
         let _ = req(Command::WriteReq).with_payload(vec![0u8; 3]);
+    }
+
+    #[test]
+    fn error_read_completion_returns_all_ones() {
+        let mut r = req(Command::ReadReq);
+        r.stamp_pci_bus(4);
+        r.push_route(ComponentId(9), PortId(1));
+        let resp = r.into_error_response(CompletionStatus::UnsupportedRequest);
+        assert_eq!(resp.cmd(), Command::ReadResp);
+        assert_eq!(resp.status(), CompletionStatus::UnsupportedRequest);
+        assert!(resp.is_error());
+        assert_eq!(resp.id(), PacketId(1));
+        assert_eq!(resp.pci_bus(), Some(4));
+        assert_eq!(resp.route_depth(), 1);
+        assert!(resp.payload().unwrap().iter().all(|&b| b == 0xff));
+        assert_eq!(resp.payload_len(), 64);
+    }
+
+    #[test]
+    fn error_write_completion_carries_no_payload() {
+        let r = req(Command::WriteReq).with_payload(vec![0u8; 64]);
+        let resp = r.into_error_response(CompletionStatus::CompletionTimeout);
+        assert_eq!(resp.cmd(), Command::WriteResp);
+        assert_eq!(resp.status(), CompletionStatus::CompletionTimeout);
+        assert!(resp.payload().is_none());
+    }
+
+    #[test]
+    fn successful_requests_report_no_error() {
+        let r = req(Command::ReadReq);
+        assert_eq!(r.status(), CompletionStatus::SuccessfulCompletion);
+        assert!(!r.is_error());
+        let resp = r.into_read_response(vec![0; 64]);
+        assert!(!resp.is_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "posted requests take no completion")]
+    fn posted_request_cannot_error_complete() {
+        let mut r = req(Command::WriteReq);
+        r.set_posted(true);
+        let _ = r.into_error_response(CompletionStatus::UnsupportedRequest);
+    }
+
+    #[test]
+    #[should_panic(expected = "must carry an error status")]
+    fn error_completion_rejects_success_status() {
+        let _ = req(Command::ReadReq).into_error_response(CompletionStatus::SuccessfulCompletion);
     }
 }

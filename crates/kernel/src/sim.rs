@@ -15,7 +15,7 @@
 
 use std::cell::{Cell, RefCell};
 
-use crate::calendar::CalendarQueue;
+use crate::calendar::{CalendarQueue, EventHandle};
 use crate::component::{Component, ComponentId, Event, PortId, RecvResult};
 use crate::packet::{Packet, PacketId};
 use crate::stats::{StatsBuilder, StatsSnapshot};
@@ -75,8 +75,8 @@ struct Shared {
 
 impl Shared {
     #[inline]
-    fn push(&self, tick: Tick, target: ComponentId, body: ActionBody) {
-        self.queue.borrow_mut().push(tick, Action { target, body });
+    fn push(&self, tick: Tick, target: ComponentId, body: ActionBody) -> EventHandle {
+        self.queue.borrow_mut().push(tick, Action { target, body })
     }
 
     #[inline]
@@ -194,9 +194,28 @@ impl Ctx<'_> {
     }
 
     /// Schedules `ev` for delivery to this component after `delay` ticks.
+    /// The returned handle can cancel the event with
+    /// [`Ctx::cancel_scheduled`] any time before it fires; callers with no
+    /// cancellation need simply ignore it.
     #[inline]
-    pub fn schedule(&mut self, delay: Tick, ev: Event) {
-        self.shared.push(self.now() + delay, self.self_id, ActionBody::Event(ev));
+    pub fn schedule(&mut self, delay: Tick, ev: Event) -> EventHandle {
+        self.shared.push(self.now() + delay, self.self_id, ActionBody::Event(ev))
+    }
+
+    /// Cancels an event previously scheduled by this component, returning
+    /// it so the caller can reclaim any packet it carries. `None` when the
+    /// event has already fired or been cancelled (stale handle — always
+    /// safe). A cancelled event is skipped silently by the dispatch loop:
+    /// it never advances time, never counts as processed, and never
+    /// perturbs the order of live events — which is what lets per-request
+    /// timeout timers be armed pervasively without disturbing quiesce
+    /// times on the happy path.
+    pub fn cancel_scheduled(&mut self, handle: EventHandle) -> Option<Event> {
+        match self.shared.queue.borrow_mut().cancel(handle) {
+            Some(Action { body: ActionBody::Event(ev), .. }) => Some(ev),
+            Some(_) => None, // retries are not cancellable; treat as stale
+            None => None,
+        }
     }
 
     /// Sends a request packet out of `port`. The peer's
@@ -742,6 +761,40 @@ mod tests {
         assert_eq!(*served.borrow(), 10);
         // One packet is in service at a time, 100 ticks each.
         assert_eq!(sim.now(), 1000);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires_and_does_not_stretch_the_run() {
+        /// Arms a short work timer and a long watchdog; cancels the
+        /// watchdog when the work timer fires.
+        struct Guarded {
+            fired: Rc<RefCell<Vec<(Tick, u32)>>>,
+            watchdog: Option<crate::calendar::EventHandle>,
+        }
+        impl Component for Guarded {
+            fn name(&self) -> &str {
+                "guarded"
+            }
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                self.watchdog = Some(ctx.schedule(1_000_000, Event::Timer { kind: 9, data: 0 }));
+                ctx.schedule(50, Event::Timer { kind: 1, data: 0 });
+            }
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                let Event::Timer { kind, .. } = ev else { panic!() };
+                self.fired.borrow_mut().push((ctx.now(), kind));
+                if kind == 1 {
+                    let cancelled = ctx.cancel_scheduled(self.watchdog.take().unwrap());
+                    assert!(matches!(cancelled, Some(Event::Timer { kind: 9, .. })));
+                }
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.add(Box::new(Guarded { fired: fired.clone(), watchdog: None }));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*fired.borrow(), vec![(50, 1)], "watchdog must never fire");
+        assert_eq!(sim.now(), 50, "cancelled timer must not advance quiesce time");
+        assert_eq!(sim.events_processed(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 
 use crate::addr::{AddrMap, AddrRange};
 use crate::component::{Component, Event, PortId, RecvResult};
-use crate::packet::Packet;
+use crate::packet::{CompletionStatus, Packet};
 use crate::sim::Ctx;
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::{transfer_time, Tick};
@@ -147,6 +147,9 @@ struct XbarStats {
     resps: Counter,
     refusals: Counter,
     bytes: Counter,
+    /// Requests matching no route: answered with an Unsupported Request
+    /// completion (master abort) instead of panicking.
+    unrouted: Counter,
 }
 
 /// An address-routed crossbar with bounded per-port queues.
@@ -181,11 +184,6 @@ impl Crossbar {
     /// The port a request for `addr` would leave through.
     pub fn route_for(&self, addr: u64) -> Option<PortId> {
         self.route.lookup(addr).copied().or(self.default_route)
-    }
-
-    fn egress_for(&self, pkt: &Packet) -> PortId {
-        self.route_for(pkt.addr())
-            .unwrap_or_else(|| panic!("{}: no route for address {:#x}", self.name, pkt.addr()))
     }
 
     /// Computes when a packet entering now finishes crossing the crossbar
@@ -263,7 +261,33 @@ impl Component for Crossbar {
     }
 
     fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
-        let egress = self.egress_for(&pkt);
+        let Some(egress) = self.route_for(pkt.addr()) else {
+            // Master abort: no port claims this address. Posted requests
+            // vanish silently (nobody is waiting); non-posted requests get
+            // an Unsupported Request completion synthesized back out the
+            // ingress port after the frontend latency — never synchronously,
+            // which would re-enter the sender.
+            self.stats.unrouted.inc();
+            if ctx.tracing(TraceCategory::Fabric) {
+                ctx.emit(
+                    TraceCategory::Fabric,
+                    TraceKind::FabricForward,
+                    Some(pkt.id()),
+                    Some(pkt.cmd()),
+                    u64::MAX,
+                );
+            }
+            if pkt.is_posted() {
+                ctx.recycle_packet(pkt);
+                return RecvResult::Accepted;
+            }
+            let resp = pkt.into_error_response(CompletionStatus::UnsupportedRequest);
+            let idx = port.0 as usize;
+            self.ports[idx].inflight_resp += 1;
+            let delay = self.pipe_delay(ctx.now(), port, &resp);
+            ctx.schedule(delay, Event::DelayedPacket { tag: u32::from(port.0), pkt: resp });
+            return RecvResult::Accepted;
+        };
         let idx = egress.0 as usize;
         if self.ports[idx].req_full() {
             self.stats.refusals.inc();
@@ -354,6 +378,7 @@ impl Component for Crossbar {
         out.counter("responses", &self.stats.resps);
         out.counter("refusals", &self.stats.refusals);
         out.counter("payload_bytes", &self.stats.bytes);
+        out.counter("unsupported_requests", &self.stats.unrouted);
     }
 }
 
@@ -391,10 +416,93 @@ mod tests {
     }
 
     #[test]
-    fn unrouted_address_panics() {
+    fn unrouted_address_has_no_route() {
         let x = two_port_xbar();
         assert_eq!(x.route_for(0x1800), Some(PortId(1)));
         assert_eq!(x.route_for(0x5000), None);
+    }
+
+    /// Sends one scripted request and captures the full response packet,
+    /// which [`Requester`] cannot (it recycles payloads on arrival).
+    #[derive(Debug)]
+    struct Probe {
+        script: Vec<(Command, u64, u32, bool)>,
+        got: std::rc::Rc<std::cell::RefCell<Vec<Packet>>>,
+    }
+
+    impl Component for Probe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule(0, Event::Timer { kind: 0, data: 0 });
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _ev: Event) {
+            for (cmd, addr, size, posted) in self.script.drain(..) {
+                let id = ctx.alloc_packet_id();
+                let mut pkt = Packet::request(id, cmd, addr, size, ctx.self_id());
+                if cmd.is_write() {
+                    pkt = pkt.with_payload(vec![0xab; size as usize]);
+                }
+                pkt.set_posted(posted);
+                ctx.try_send_request(PortId(0), pkt).expect("probe send refused");
+            }
+        }
+        fn recv_response(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) -> RecvResult {
+            self.got.borrow_mut().push(pkt);
+            RecvResult::Accepted
+        }
+    }
+
+    #[test]
+    fn unrouted_read_completes_with_unsupported_request_all_ones() {
+        let mut sim = Simulation::new();
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let p = sim.add(Box::new(Probe {
+            script: vec![(Command::ReadReq, 0x5000, 64, false)],
+            got: got.clone(),
+        }));
+        let x = sim.add(Box::new(two_port_xbar()));
+        let (resp, served) = Responder::new("dev", ns(100));
+        let d = sim.add(Box::new(resp));
+        sim.connect((p, PortId(0)), (x, PortId(0)));
+        sim.connect((x, PortId(1)), (d, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty, "no hang on master abort");
+        assert_eq!(*served.borrow(), 0, "nothing reached the device");
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].cmd(), Command::ReadResp);
+        assert_eq!(got[0].status(), crate::packet::CompletionStatus::UnsupportedRequest);
+        assert!(
+            got[0].payload().unwrap().iter().all(|&b| b == 0xff),
+            "master abort reads all-ones"
+        );
+        assert_eq!(sim.stats().get("xbar.unsupported_requests"), Some(1.0));
+    }
+
+    #[test]
+    fn unrouted_posted_write_is_dropped_silently() {
+        let mut sim = Simulation::new();
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let p = sim.add(Box::new(Probe {
+            script: vec![
+                (Command::WriteReq, 0x5000, 64, true),
+                (Command::ReadReq, 0x1800, 64, false),
+            ],
+            got: got.clone(),
+        }));
+        let x = sim.add(Box::new(two_port_xbar()));
+        let (resp, served) = Responder::new("dev", ns(100));
+        let d = sim.add(Box::new(resp));
+        sim.connect((p, PortId(0)), (x, PortId(0)));
+        sim.connect((x, PortId(1)), (d, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        // The posted write vanished; the routed read still completed.
+        assert_eq!(*served.borrow(), 1);
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert!(!got[0].is_error());
+        assert_eq!(sim.stats().get("xbar.unsupported_requests"), Some(1.0));
     }
 
     #[test]

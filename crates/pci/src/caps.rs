@@ -7,7 +7,7 @@
 //! forcing the driver onto legacy interrupts; these builders reproduce that.
 
 use crate::config::ConfigSpace;
-use crate::regs::{cap_id, pcie_cap};
+use crate::regs::{aer, cap_id, ext_cap_id, pcie_cap};
 
 /// PCI-Express link generation (determines the per-lane signalling rate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -299,6 +299,69 @@ pub fn walk_extended_capabilities(cs: &ConfigSpace) -> Vec<(u16, u16, u8)> {
     out
 }
 
+/// Finds the offset of the first extended capability with `id`, if present.
+pub fn find_extended_capability(cs: &ConfigSpace, id: u16) -> Option<u16> {
+    walk_extended_capabilities(cs).into_iter().find(|&(_, cid, _)| cid == id).map(|(off, _, _)| off)
+}
+
+/// Writes an Advanced Error Reporting extended capability structure at
+/// `offset` (paper §IV leaves AER unimplemented in gem5; this model fills
+/// the gap so the fabric's error paths are architecturally visible).
+///
+/// Status registers start clear and accumulate error bits as the fabric
+/// records them; the mask registers are software-writable. `next` chains to
+/// the following extended capability (0 terminates).
+///
+/// # Panics
+///
+/// Panics when `offset` is below 0x100 or unaligned.
+pub fn write_aer_capability(cs: &mut ConfigSpace, offset: u16, next: u16) {
+    write_extended_cap_header(cs, offset, ext_cap_id::AER, 1, next);
+    cs.init_u32(offset + aer::UNCOR_STATUS, 0);
+    cs.init_u32(offset + aer::UNCOR_MASK, 0);
+    cs.set_writable_bytes(offset + aer::UNCOR_MASK, 4);
+    // Severity reset values: completion timeout and UR are non-fatal.
+    cs.init_u32(offset + aer::UNCOR_SEVERITY, 0);
+    cs.set_writable_bytes(offset + aer::UNCOR_SEVERITY, 4);
+    cs.init_u32(offset + aer::COR_STATUS, 0);
+    cs.init_u32(offset + aer::COR_MASK, 0);
+    cs.set_writable_bytes(offset + aer::COR_MASK, 4);
+    cs.init_u32(offset + aer::CAP_CONTROL, 0);
+    cs.init_u32(offset + aer::ERROR_SOURCE_ID, 0);
+}
+
+/// Sets `bits` in the AER uncorrectable error status register and records
+/// `source` as the uncorrectable error source requester ID. No-op when the
+/// function has no AER capability — status bits log regardless of the mask
+/// (the mask gates reporting, not logging, per spec §6.2.3).
+pub fn aer_record_uncorrectable(cs: &mut ConfigSpace, bits: u32, source: u16) {
+    let Some(off) = find_extended_capability(cs, ext_cap_id::AER) else { return };
+    let status = cs.read(off + aer::UNCOR_STATUS, 4);
+    cs.init_u32(off + aer::UNCOR_STATUS, status | bits);
+    let src = cs.read(off + aer::ERROR_SOURCE_ID, 4);
+    cs.init_u32(off + aer::ERROR_SOURCE_ID, (src & 0x0000_ffff) | (u32::from(source) << 16));
+}
+
+/// Sets `bits` in the AER correctable error status register and records
+/// `source` as the correctable error source requester ID. No-op when the
+/// function has no AER capability.
+pub fn aer_record_correctable(cs: &mut ConfigSpace, bits: u32, source: u16) {
+    let Some(off) = find_extended_capability(cs, ext_cap_id::AER) else { return };
+    let status = cs.read(off + aer::COR_STATUS, 4);
+    cs.init_u32(off + aer::COR_STATUS, status | bits);
+    let src = cs.read(off + aer::ERROR_SOURCE_ID, 4);
+    cs.init_u32(off + aer::ERROR_SOURCE_ID, (src & 0xffff_0000) | u32::from(source));
+}
+
+/// Reads `(uncorrectable status, correctable status)` out of a function's
+/// AER capability; `(0, 0)` when absent.
+pub fn aer_status(cs: &ConfigSpace) -> (u32, u32) {
+    match find_extended_capability(cs, ext_cap_id::AER) {
+        Some(off) => (cs.read(off + aer::UNCOR_STATUS, 4), cs.read(off + aer::COR_STATUS, 4)),
+        None => (0, 0),
+    }
+}
+
 /// Offsets within a 64-bit MSI capability structure.
 pub mod msi {
     /// Message control register (u16).
@@ -464,6 +527,39 @@ mod tests {
         write_extended_cap_header(&mut cs, 0x140, crate::regs::ext_cap_id::DEVICE_SERIAL, 1, 0);
         let caps = walk_extended_capabilities(&cs);
         assert_eq!(caps, vec![(0x100, 0x0001, 1), (0x140, 0x0003, 1)]);
+    }
+
+    #[test]
+    fn aer_capability_is_walkable_and_accumulates_errors() {
+        let mut cs = ConfigSpace::new();
+        write_aer_capability(&mut cs, 0x100, 0);
+        assert_eq!(find_extended_capability(&cs, crate::regs::ext_cap_id::AER), Some(0x100));
+        assert_eq!(aer_status(&cs), (0, 0));
+
+        aer_record_correctable(&mut cs, aer::cor::BAD_TLP, 0x0008);
+        aer_record_correctable(&mut cs, aer::cor::REPLAY_TIMER_TIMEOUT, 0x0008);
+        aer_record_uncorrectable(&mut cs, aer::uncor::UNSUPPORTED_REQUEST, 0x0100);
+        let (uncor, cor) = aer_status(&cs);
+        assert_eq!(uncor, aer::uncor::UNSUPPORTED_REQUEST);
+        assert_eq!(cor, aer::cor::BAD_TLP | aer::cor::REPLAY_TIMER_TIMEOUT);
+        let source = cs.read(0x100 + aer::ERROR_SOURCE_ID, 4);
+        assert_eq!(source & 0xffff, 0x0008, "correctable source in low half");
+        assert_eq!(source >> 16, 0x0100, "uncorrectable source in high half");
+
+        // Masks are software-writable; status logging ignores them.
+        cs.write(0x100 + aer::COR_MASK, 4, aer::cor::BAD_DLLP);
+        assert_eq!(cs.read(0x100 + aer::COR_MASK, 4), aer::cor::BAD_DLLP);
+        aer_record_correctable(&mut cs, aer::cor::BAD_DLLP, 0x0008);
+        assert_eq!(aer_status(&cs).1 & aer::cor::BAD_DLLP, aer::cor::BAD_DLLP);
+    }
+
+    #[test]
+    fn aer_record_without_capability_is_a_noop() {
+        let mut cs = ConfigSpace::new();
+        aer_record_uncorrectable(&mut cs, aer::uncor::COMPLETION_TIMEOUT, 0x42);
+        aer_record_correctable(&mut cs, aer::cor::RECEIVER_ERROR, 0x42);
+        assert_eq!(aer_status(&cs), (0, 0));
+        assert!(walk_extended_capabilities(&cs).is_empty());
     }
 
     #[test]

@@ -58,6 +58,18 @@ pub mod status {
     pub const CAP_LIST: u16 = 1 << 4;
     /// An INTx interrupt is pending.
     pub const INTERRUPT: u16 = 1 << 3;
+    /// The device, as a completer, signaled Unsupported Request /
+    /// Target Abort for a request it received (bit 11).
+    pub const SIGNALED_TARGET_ABORT: u16 = 1 << 11;
+    /// The device, as a requester, received a Completer Abort (bit 12).
+    pub const RECEIVED_TARGET_ABORT: u16 = 1 << 12;
+    /// The device, as a requester, received a master abort — its request
+    /// terminated with an Unsupported Request completion (bit 13).
+    pub const RECEIVED_MASTER_ABORT: u16 = 1 << 13;
+    /// The device signaled a system error (bit 14).
+    pub const SIGNALED_SYSTEM_ERROR: u16 = 1 << 14;
+    /// The device detected a parity/poisoned-TLP error (bit 15).
+    pub const DETECTED_PARITY_ERROR: u16 = 1 << 15;
 }
 
 /// Type-0 (endpoint) header offsets.
@@ -197,6 +209,61 @@ pub mod pcie_cap {
     }
 }
 
+/// Register offsets *within* the Advanced Error Reporting extended
+/// capability structure, plus the status-bit assignments the fabric uses.
+///
+/// Offsets are relative to the extended-capability header dword, mirroring
+/// the PCIe spec §7.8.4 layout for the subset this model implements.
+pub mod aer {
+    /// Uncorrectable error status (u32, accumulating).
+    pub const UNCOR_STATUS: u16 = 0x04;
+    /// Uncorrectable error mask (u32, RW).
+    pub const UNCOR_MASK: u16 = 0x08;
+    /// Uncorrectable error severity (u32, RW).
+    pub const UNCOR_SEVERITY: u16 = 0x0c;
+    /// Correctable error status (u32, accumulating).
+    pub const COR_STATUS: u16 = 0x10;
+    /// Correctable error mask (u32, RW).
+    pub const COR_MASK: u16 = 0x14;
+    /// Advanced error capabilities and control (u32).
+    pub const CAP_CONTROL: u16 = 0x18;
+    /// Error source identification: \[15:0\] correctable source requester
+    /// ID, \[31:16\] uncorrectable source requester ID (u32, RO).
+    pub const ERROR_SOURCE_ID: u16 = 0x34;
+    /// Total length of the structure we implement.
+    pub const LEN: u16 = 0x38;
+
+    /// Uncorrectable-error status/mask bits.
+    pub mod uncor {
+        /// Completion timeout: no completion arrived for a non-posted
+        /// request before the requester's timer expired (bit 14).
+        pub const COMPLETION_TIMEOUT: u32 = 1 << 14;
+        /// Completer abort received (bit 15).
+        pub const COMPLETER_ABORT: u32 = 1 << 15;
+        /// Unexpected completion: a completion arrived that matches no
+        /// outstanding request — e.g. after its timeout fired (bit 16).
+        pub const UNEXPECTED_COMPLETION: u32 = 1 << 16;
+        /// Unsupported request: no completer claimed the request (bit 20).
+        pub const UNSUPPORTED_REQUEST: u32 = 1 << 20;
+    }
+
+    /// Correctable-error status/mask bits.
+    pub mod cor {
+        /// Receiver error: a corrupt TLP/DLLP arrived (bit 0).
+        pub const RECEIVER_ERROR: u32 = 1 << 0;
+        /// Bad TLP: LCRC failure or wrong sequence number, NAK sent (bit 6).
+        pub const BAD_TLP: u32 = 1 << 6;
+        /// Bad DLLP: CRC failure on an ACK/NAK DLLP (bit 7).
+        pub const BAD_DLLP: u32 = 1 << 7;
+        /// Replay number rollover: the same TLP was replayed four times
+        /// (bit 8).
+        pub const REPLAY_NUM_ROLLOVER: u32 = 1 << 8;
+        /// Replay timer timeout: the replay timer expired with unacked
+        /// TLPs outstanding (bit 12).
+        pub const REPLAY_TIMER_TIMEOUT: u32 = 1 << 12;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +288,19 @@ mod tests {
         assert_eq!(type1::IO_BASE_UPPER, 0x30);
         assert_eq!(common::CAP_PTR, 0x34);
         assert_eq!(type1::BRIDGE_CONTROL, 0x3e);
+    }
+
+    #[test]
+    fn aer_layout_matches_spec() {
+        assert_eq!(aer::UNCOR_STATUS, 0x04);
+        assert_eq!(aer::UNCOR_MASK, 0x08);
+        assert_eq!(aer::COR_STATUS, 0x10);
+        assert_eq!(aer::COR_MASK, 0x14);
+        assert_eq!(aer::ERROR_SOURCE_ID, 0x34);
+        assert_eq!(aer::uncor::COMPLETION_TIMEOUT, 0x0000_4000);
+        assert_eq!(aer::uncor::UNSUPPORTED_REQUEST, 0x0010_0000);
+        assert_eq!(aer::cor::BAD_TLP, 0x0000_0040);
+        assert_eq!(aer::cor::REPLAY_TIMER_TIMEOUT, 0x0000_1000);
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub fn ack_factor_x10(lanes: u8, max_payload: u32) -> u64 {
         1 | 2 => [14, 14, 14, 25, 40, 40],
         4 => [14, 14, 14, 25, 40, 40],
         8 => [25, 25, 25, 25, 40, 40],
-        _ => [30, 30, 30, 30, 40, 40],
+        12 | 16 => [30, 30, 30, 30, 40, 40],
+        // x32 has its own row in the spec's table: per-lane ACK latency
+        // dominates at the widest link even for small payloads.
+        _ => [40, 40, 40, 40, 40, 40],
     };
     row[payload_idx]
 }
@@ -237,8 +240,12 @@ impl ReplayBuffer {
 }
 
 /// Sequence comparison tolerant of u32 wraparound (window comparison, as
-/// the 12-bit hardware counters do).
-fn seq_le(a: u32, b: u32) -> bool {
+/// the 12-bit hardware counters do): `a ≤ b` when `b` is at most half the
+/// sequence space ahead of `a`. Equivalently, values more than half the
+/// space "ahead" are interpreted as being behind — which is what makes a
+/// `nak(u32::MAX)` from a receiver that has seen nothing yet release no
+/// live entries (all of 0, 1, 2… are *ahead* of u32::MAX).
+pub(crate) fn seq_le(a: u32, b: u32) -> bool {
     b.wrapping_sub(a) < u32::MAX / 2
 }
 
@@ -320,10 +327,14 @@ mod tests {
     fn ack_factor_table_shape() {
         // Grows with payload...
         assert!(ack_factor_x10(1, 4096) > ack_factor_x10(1, 64));
-        // ...and from x4 to x8 per the spec's table.
+        // ...and from x4 to x8 to x32 per the spec's table.
         assert!(ack_factor_x10(8, 64) > ack_factor_x10(4, 64));
+        assert!(ack_factor_x10(32, 64) > ack_factor_x10(16, 64));
         assert_eq!(ack_factor_x10(1, 64), 14);
         assert_eq!(ack_factor_x10(16, 64), 30);
+        // x32 is its own row, not a copy of the x12/x16 one.
+        assert_eq!(ack_factor_x10(32, 64), 40);
+        assert_eq!(ack_factor_x10(32, 4096), 40);
     }
 
     #[test]
@@ -410,6 +421,24 @@ mod tests {
         assert_eq!(replayed, 2);
         let (s, _) = rb.next_to_transmit().unwrap();
         assert_eq!(s, 2);
+    }
+
+    #[test]
+    fn nak_before_any_receipt_rewinds_everything() {
+        // A receiver that has accepted nothing NAKs `expected() - 1`,
+        // which wraps to u32::MAX. The window comparison puts u32::MAX
+        // *behind* every live sequence number, so the wrapped NAK must
+        // acknowledge nothing and rewind the whole buffer.
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..3 {
+            rb.admit(pkt(i));
+            rb.mark_transmitted();
+        }
+        let replayed = rb.nak(u32::MAX);
+        assert_eq!(replayed, 3, "wrapped NAK must replay everything");
+        assert_eq!(rb.len(), 3, "wrapped NAK must release nothing");
+        let (s, _) = rb.next_to_transmit().unwrap();
+        assert_eq!(s, 0, "replay restarts from the first held TLP");
     }
 
     #[test]

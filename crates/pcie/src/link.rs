@@ -34,7 +34,11 @@ use pcisim_kernel::stats::{Counter, Histogram, StatsBuilder};
 use pcisim_kernel::tick::Tick;
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
 
-use crate::ack_nak::{ack_timeout, replay_timeout, ReplayBuffer, RxState};
+use pcisim_pci::caps::aer_record_correctable;
+use pcisim_pci::config::SharedConfigSpace;
+use pcisim_pci::regs::aer::cor;
+
+use crate::ack_nak::{ack_timeout, replay_timeout, seq_le, ReplayBuffer, RxState};
 use crate::params::LinkConfig;
 use crate::tlp::{tlp_wire_bytes, Dllp, DLLP_WIRE_BYTES};
 
@@ -165,6 +169,10 @@ struct DirState {
     rx_waiting_retry: bool,
     /// Credit mode: credits freed but not yet returned via UpdateFC.
     pending_credit_return: u32,
+    /// The spec's REPLAY_NUM: a 2-bit count of consecutive replay events
+    /// without acknowledged progress; its rollover is a correctable AER
+    /// error at the transmitter.
+    replay_num: u32,
     stats: DirStats,
 }
 
@@ -188,6 +196,7 @@ impl DirState {
             rx_buffer: VecDeque::new(),
             rx_waiting_retry: false,
             pending_credit_return: 0,
+            replay_num: 0,
             stats: DirStats::default(),
         }
     }
@@ -208,6 +217,11 @@ pub struct PcieLink {
     replay_timeout: Tick,
     ack_timeout: Tick,
     dirs: [DirState; 2],
+    /// AER reporters for the two interfaces: `[upstream, downstream]`.
+    /// When attached, data-link errors latch into the config space's AER
+    /// correctable-status register — receiver-side errors at the receiving
+    /// end, replay errors at the transmitting end.
+    aer: [Option<SharedConfigSpace>; 2],
 }
 
 impl PcieLink {
@@ -223,6 +237,55 @@ impl PcieLink {
             replay_timeout: rt,
             ack_timeout: at,
             dirs: [DirState::new(cap, credits), DirState::new(cap, credits)],
+            aer: [None, None],
+        }
+    }
+
+    /// Attaches AER-capable config spaces to the link's interfaces so
+    /// data-link errors are advised to software the way real hardware
+    /// does: a corrupted TLP latches Receiver Error + Bad TLP at the
+    /// *receiving* end; a replay-timer expiry latches Replay Timer
+    /// Timeout and a REPLAY_NUM rollover latches REPLAY_NUM Rollover at
+    /// the *transmitting* end. Ends without an AER capability (or passed
+    /// as `None`) simply record nothing; the recovery protocol itself is
+    /// unaffected.
+    pub fn attach_aer(
+        &mut self,
+        upstream: Option<SharedConfigSpace>,
+        downstream: Option<SharedConfigSpace>,
+    ) {
+        self.aer = [upstream, downstream];
+    }
+
+    /// The interface transmitting `dir`: the upstream end transmits Down.
+    fn tx_end(dir: Dir) -> usize {
+        match dir {
+            Dir::Down => 0,
+            Dir::Up => 1,
+        }
+    }
+
+    /// The interface receiving `dir`.
+    fn rx_end(dir: Dir) -> usize {
+        Self::tx_end(dir.opposite())
+    }
+
+    /// Latches correctable-error `bits` into the AER block of interface
+    /// `end`, if one is attached.
+    fn record_cor(&self, end: usize, bits: u32) {
+        if let Some(cs) = &self.aer[end] {
+            aer_record_correctable(&mut cs.borrow_mut(), bits, 0);
+        }
+    }
+
+    /// Advances the transmitter's REPLAY_NUM counter for one replay event
+    /// and latches the AER rollover error when the 2-bit count wraps
+    /// (four consecutive replays without acknowledged progress).
+    fn bump_replay_num(&mut self, dir: Dir) {
+        let st = &mut self.dirs[dir.index()];
+        st.replay_num = (st.replay_num + 1) & 3;
+        if st.replay_num == 0 {
+            self.record_cor(Self::tx_end(dir), cor::REPLAY_NUM_ROLLOVER);
         }
     }
 
@@ -428,14 +491,20 @@ impl PcieLink {
             );
             ctx.recycle_packet(pkt);
             // NAK the last good sequence number back to the sender.
+            // Before anything has been received, `expected() - 1` wraps
+            // to u32::MAX; that is sound because the replay buffer's
+            // window comparison (`seq_le`) places u32::MAX *behind*
+            // every live sequence number — `nak(u32::MAX)` acknowledges
+            // nothing and rewinds everything, exactly the intent of
+            // "NAK from the start".
             let nak_seq = st.rx.expected().wrapping_sub(1);
+            self.record_cor(Self::rx_end(dir), cor::RECEIVER_ERROR | cor::BAD_TLP);
             self.queue_dllp(ctx, dir.opposite(), Dllp::Nak { seq: nak_seq });
             return;
         }
         if !st.rx.accepts(seq) {
             // Out-of-order (e.g. a replay of something already delivered):
-            // discard without advancing, as the paper's model does. The
-            // pending cumulative ACK (or the next timeout) resynchronizes.
+            // discard without advancing, as the paper's model does.
             st.stats.rx_dropped_seq.inc();
             ctx.emit(
                 TraceCategory::Link,
@@ -445,6 +514,21 @@ impl PcieLink {
                 u64::from(seq),
             );
             ctx.recycle_packet(pkt);
+            // A duplicate of something already delivered means the
+            // sender's replay timer beat our acknowledgement: re-ACK the
+            // cumulative high-water mark immediately so the replay burst
+            // stops, as the spec's ACK-scheduling rules require for
+            // duplicates. Future-sequence drops (mid-NAK-recovery) are
+            // left to the pending cumulative ACK instead. Error-free
+            // runs never reach this branch, so quiet-wire timing is
+            // unchanged.
+            let st = &mut self.dirs[dir.index()];
+            if let Some(last) = st.rx.last_received() {
+                if seq_le(seq, last) {
+                    st.pending_ack = None;
+                    self.queue_dllp(ctx, dir.opposite(), Dllp::Ack { seq: last });
+                }
+            }
             return;
         }
         if let Some(credits) = self.config.credit_fc {
@@ -597,11 +681,13 @@ impl PcieLink {
     fn dllp_arrived(&mut self, ctx: &mut Ctx<'_>, dir: Dir, dllp: Dllp) {
         let tx_dir = dir.opposite();
         let st = &mut self.dirs[tx_dir.index()];
+        let mut replay_event = false;
         match dllp {
             Dllp::Nak { seq } => {
                 st.stats.naks_rx.inc();
                 let replayed = st.tx.nak_drain(seq, |pkt| ctx.recycle_packet(pkt));
                 st.stats.replays.add(replayed as u64);
+                replay_event = replayed > 0;
                 if replayed > 0 {
                     ctx.emit(
                         TraceCategory::Link,
@@ -615,6 +701,9 @@ impl PcieLink {
             Dllp::Ack { seq } => {
                 st.stats.acks_rx.inc();
                 st.tx.ack_drain(seq, |pkt| ctx.recycle_packet(pkt));
+                // Acknowledged progress resets the consecutive-replay
+                // count.
+                st.replay_num = 0;
             }
             Dllp::UpdateFc { credits } => {
                 st.stats.updatefc_rx.inc();
@@ -623,6 +712,9 @@ impl PcieLink {
                 self.pump(ctx, tx_dir);
                 return;
             }
+        }
+        if replay_event {
+            self.bump_replay_num(tx_dir);
         }
         // "The replay timer is reset whenever an interface receives an ACK."
         if self.dirs[tx_dir.index()].tx.is_empty() {
@@ -658,6 +750,8 @@ impl PcieLink {
         let replayed = st.tx.rewind();
         st.stats.replays.add(replayed as u64);
         ctx.emit(TraceCategory::Link, TraceKind::LinkReplayTimeout, None, None, replayed as u64);
+        self.record_cor(Self::tx_end(dir), cor::REPLAY_TIMER_TIMEOUT);
+        self.bump_replay_num(dir);
         self.arm_replay(ctx, dir);
         self.pump(ctx, dir);
     }
@@ -1231,6 +1325,128 @@ mod tests {
         };
         assert_eq!(run(None), 8);
         assert_eq!(run(Some(16)), 8);
+    }
+
+    fn aer_cs() -> SharedConfigSpace {
+        let mut cs = pcisim_pci::config::ConfigSpace::new();
+        pcisim_pci::caps::write_aer_capability(&mut cs, 0x100, 0);
+        pcisim_pci::config::shared(cs)
+    }
+
+    #[test]
+    fn duplicate_tlps_are_reacked_immediately() {
+        // A 600 ns flight time makes the first ACK arrive *after* the
+        // 705.6 ns replay deadline: the sender replays a TLP the receiver
+        // already delivered. The duplicate must trigger an immediate
+        // cumulative re-ACK (not wait for a timer), and the run must
+        // still converge with exactly one completion.
+        let cfg = quiet(LinkConfig {
+            propagation_delay: ns(600),
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::X1)
+        });
+        let (mut sim, done) = build(cfg, vec![(Command::WriteReq, 0x4000_0000, 64)], 0);
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1, "duplicates must not double-deliver");
+        let stats = sim.stats();
+        assert!(
+            stats.get("link.down.rx_dropped_seq").unwrap() >= 1.0,
+            "scenario must actually produce a duplicate"
+        );
+        // One ACK from the delivery, at least one more from the
+        // duplicate's immediate re-ACK.
+        assert!(stats.get("link.up.acks_tx").unwrap() >= 2.0, "duplicate must re-ACK");
+        assert_eq!(stats.get("link.down.rx_delivered"), Some(1.0));
+    }
+
+    #[test]
+    fn corrupt_tlps_latch_aer_at_the_receiving_end() {
+        let up_cs = aer_cs();
+        let down_cs = aer_cs();
+        let cfg =
+            LinkConfig { error_interval: 3, ..LinkConfig::new(Generation::Gen2, LinkWidth::X1) };
+        let mut sim = Simulation::new();
+        let script = (0..9).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64)).collect();
+        let (req, done) = Requester::new("cpu", script);
+        let r = sim.add(Box::new(req));
+        let mut link = PcieLink::new("link", cfg);
+        link.attach_aer(Some(up_cs.clone()), Some(down_cs.clone()));
+        let l = sim.add(Box::new(link));
+        let (resp, _) = Responder::new("dev", 0);
+        let d = sim.add(Box::new(resp));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (d, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 9);
+        let stats = sim.stats();
+        assert!(stats.get("link.down.rx_dropped_corrupt").unwrap() > 0.0);
+        // Downstream-bound corruption is detected by the downstream
+        // interface: Receiver Error + Bad TLP latch there.
+        let (_, cor_bits) = pcisim_pci::caps::aer_status(&down_cs.borrow());
+        assert_eq!(
+            cor_bits & (cor::RECEIVER_ERROR | cor::BAD_TLP),
+            cor::RECEIVER_ERROR | cor::BAD_TLP,
+            "receiving end must log the corrupt TLP"
+        );
+    }
+
+    #[test]
+    fn replay_timeout_latches_aer_at_the_transmitter() {
+        let up_cs = aer_cs();
+        let down_cs = aer_cs();
+        let cfg = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::WriteReq, 0x4000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let mut link = PcieLink::new("link", cfg);
+        link.attach_aer(Some(up_cs.clone()), Some(down_cs.clone()));
+        let l = sim.add(Box::new(link));
+        let s = sim.add(Box::new(StubbornSink {
+            name: "sink".into(),
+            refusals_left: 2,
+            blocked: VecDeque::new(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1);
+        // The down direction is transmitted by the upstream interface:
+        // its AER block logs the replay-timer expiries.
+        let (_, cor_bits) = pcisim_pci::caps::aer_status(&up_cs.borrow());
+        assert_ne!(cor_bits & cor::REPLAY_TIMER_TIMEOUT, 0);
+        // Two replays without progress do not roll the 2-bit REPLAY_NUM.
+        assert_eq!(cor_bits & cor::REPLAY_NUM_ROLLOVER, 0);
+        // The receiving end saw no corrupt TLPs, only refusals.
+        let (_, down_cor) = pcisim_pci::caps::aer_status(&down_cs.borrow());
+        assert_eq!(down_cor & cor::BAD_TLP, 0);
+    }
+
+    #[test]
+    fn four_consecutive_replays_roll_replay_num_over() {
+        let up_cs = aer_cs();
+        let cfg = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::WriteReq, 0x4000_0000, 64)]);
+        let r = sim.add(Box::new(req));
+        let mut link = PcieLink::new("link", cfg);
+        link.attach_aer(Some(up_cs.clone()), None);
+        let l = sim.add(Box::new(link));
+        let s = sim.add(Box::new(StubbornSink {
+            name: "sink".into(),
+            refusals_left: 4,
+            blocked: VecDeque::new(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1);
+        let (_, cor_bits) = pcisim_pci::caps::aer_status(&up_cs.borrow());
+        assert_ne!(
+            cor_bits & cor::REPLAY_NUM_ROLLOVER,
+            0,
+            "four consecutive replay events must latch the rollover"
+        );
     }
 
     #[test]

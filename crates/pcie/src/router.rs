@@ -23,17 +23,21 @@
 //! throughput — the "packets too fast for the switch port to handle"
 //! effect behind the x8 collapse of Fig. 9(b).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
+use pcisim_kernel::calendar::EventHandle;
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
-use pcisim_kernel::packet::Packet;
+use pcisim_kernel::packet::{CompletionStatus, Packet};
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::{ns, Tick};
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
-use pcisim_pci::caps::{CapChain, Capability, PortType};
+use pcisim_pci::caps::{
+    aer_record_uncorrectable, write_aer_capability, CapChain, Capability, PortType,
+};
 use pcisim_pci::config::{shared, SharedConfigSpace};
 use pcisim_pci::header::{bus_numbers, io_window, memory_window, Type1Header};
+use pcisim_pci::regs::{aer, common, status};
 
 use crate::params::{Generation, LinkWidth};
 
@@ -79,11 +83,22 @@ pub struct RouterConfig {
     /// Capacity of each ingress and each egress buffer, in packets
     /// (Fig. 9(d) sweeps 16/20/24/28).
     pub buffer_size: usize,
+    /// Requester-side completion timeout for non-posted requests admitted
+    /// on the upstream slave port. `None` disables tracking (the default —
+    /// switches don't own the timeout; the spec places it at the
+    /// requester). The spec range is 50 µs to 50 ms; the system builder
+    /// arms the root complex with the low end.
+    pub completion_timeout: Option<Tick>,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        Self { latency: ns(150), service_interval: ns(42), buffer_size: 16 }
+        Self {
+            latency: ns(150),
+            service_interval: ns(42),
+            buffer_size: 16,
+            completion_timeout: None,
+        }
     }
 }
 
@@ -108,16 +123,21 @@ pub fn make_vp2p(
     CapChain::new()
         .add(0xd8, Capability::PciExpress { port_type, generation, max_width: width.lanes() })
         .write_into(&mut cs);
+    write_aer_capability(&mut cs, 0x100, 0);
     shared(cs)
 }
 
 const K_SERVICE_DONE: u32 = 0;
+const K_CPL_TIMEOUT: u32 = 1;
 
 #[derive(Debug, Default)]
 struct PortBuffers {
     ingress: VecDeque<Packet>,
     in_service: Option<Packet>,
     service_egress: usize,
+    /// The packet in service matched no route: convert it to an
+    /// Unsupported Request completion when service finishes.
+    service_unrouted: bool,
     engine_busy: bool,
     /// Peer refused admission; owed a retry when ingress space frees.
     owe_ingress_retry: bool,
@@ -136,6 +156,25 @@ struct RouterStats {
     responses: Counter,
     ingress_refusals: Counter,
     egress_stalls: Counter,
+    /// Requests matching no downstream window: completed with an
+    /// Unsupported Request (master abort) instead of panicking.
+    unsupported_requests: Counter,
+    /// Non-posted requests whose completion never arrived in time; an
+    /// error completion was synthesized at the upstream port.
+    completion_timeouts: Counter,
+    /// Completions that arrived after their request had already timed out;
+    /// dropped as Unexpected Completions.
+    late_completions: Counter,
+}
+
+/// One outstanding non-posted request tracked by the completion-timeout
+/// engine at the upstream slave port.
+#[derive(Debug)]
+struct PendingCompletion {
+    timer: EventHandle,
+    /// Full clone of the admitted request, kept so a synthesized error
+    /// completion carries the real route stack back through the fabric.
+    request: Packet,
 }
 
 /// The shared root-complex / switch component. Construct with
@@ -150,6 +189,12 @@ pub struct PcieRouter {
     upstream_vp2p: Option<SharedConfigSpace>,
     ports: Vec<PortBuffers>,
     stats: RouterStats,
+    /// Outstanding non-posted upstream requests, keyed by packet id
+    /// (completion-timeout tracking; empty when the knob is off).
+    pending: HashMap<u64, PendingCompletion>,
+    /// Ids whose timeout already fired: a completion showing up now is an
+    /// Unexpected Completion and must be swallowed, not forwarded.
+    timed_out: HashSet<u64>,
 }
 
 impl PcieRouter {
@@ -175,6 +220,8 @@ impl PcieRouter {
             upstream_vp2p: None,
             ports: (0..2 + 2 * n).map(|_| PortBuffers::default()).collect(),
             stats: RouterStats::default(),
+            pending: HashMap::new(),
+            timed_out: HashSet::new(),
         }
     }
 
@@ -202,6 +249,8 @@ impl PcieRouter {
             upstream_vp2p: Some(upstream_vp2p),
             ports: (0..2 + 2 * n).map(|_| PortBuffers::default()).collect(),
             stats: RouterStats::default(),
+            pending: HashMap::new(),
+            timed_out: HashSet::new(),
         }
     }
 
@@ -245,16 +294,15 @@ impl PcieRouter {
     }
 
     /// Chooses the egress kernel-port index for a packet entering on
-    /// kernel port `ingress`.
-    fn route(&self, ingress: usize, pkt: &Packet) -> usize {
+    /// kernel port `ingress`; `None` means no downstream window claims the
+    /// request (master abort).
+    fn route(&self, ingress: usize, pkt: &Packet) -> Option<usize> {
         let up_slave = PORT_UPSTREAM_SLAVE.0 as usize;
         let up_master = PORT_UPSTREAM_MASTER.0 as usize;
-        if pkt.is_request() {
+        Some(if pkt.is_request() {
             if ingress == up_slave {
                 // CPU request: window routing.
-                let i = self.downstream_by_window(pkt.addr(), None).unwrap_or_else(|| {
-                    panic!("{}: no downstream window for request at {:#x}", self.name, pkt.addr())
-                });
+                let i = self.downstream_by_window(pkt.addr(), None)?;
                 port_downstream_master(i).0 as usize
             } else {
                 // DMA from a downstream device.
@@ -262,7 +310,7 @@ impl PcieRouter {
                 if self.kind == RouterKind::Switch {
                     let pair = (ingress - 2) / 2;
                     if let Some(j) = self.downstream_by_window(pkt.addr(), Some(pair)) {
-                        return port_downstream_master(j).0 as usize;
+                        return Some(port_downstream_master(j).0 as usize);
                     }
                 }
                 up_master
@@ -273,7 +321,30 @@ impl PcieRouter {
                 Some(j) => port_downstream_slave(j).0 as usize,
                 None => up_slave,
             }
+        })
+    }
+
+    /// The configuration space that records errors seen at the upstream
+    /// port: the first root-port VP2P on a root complex (standing in for
+    /// the host bridge), the upstream VP2P on a switch.
+    fn upstream_cs(&self) -> SharedConfigSpace {
+        match self.kind {
+            RouterKind::RootComplex => self.vp2ps[0].clone(),
+            RouterKind::Switch => {
+                self.upstream_vp2p.as_ref().expect("switch has upstream vp2p").clone()
+            }
         }
+    }
+
+    /// Records a master abort: Received-Master-Abort in the legacy status
+    /// register plus the Unsupported Request bit in AER.
+    fn record_master_abort(&mut self, pkt: &Packet) {
+        let cs = self.upstream_cs();
+        let mut cs = cs.borrow_mut();
+        let st = cs.read(common::STATUS, 2) as u16;
+        cs.init_u16(common::STATUS, st | status::RECEIVED_MASTER_ABORT);
+        let source = u16::from(pkt.pci_bus().unwrap_or(0)) << 8;
+        aer_record_uncorrectable(&mut cs, aer::uncor::UNSUPPORTED_REQUEST, source);
     }
 
     /// Bus number a slave port stamps onto unstamped requests.
@@ -312,49 +383,90 @@ impl PcieRouter {
     /// Starts the service engine of `ingress` if idle and the head packet's
     /// egress has room.
     fn try_start(&mut self, ctx: &mut Ctx<'_>, ingress: usize) {
-        if self.ports[ingress].engine_busy {
-            return;
-        }
-        let Some(head) = self.ports[ingress].ingress.front() else { return };
-        let egress = self.route(ingress, head);
-        if self.egress_full(egress) {
-            self.stats.egress_stalls.inc();
-            if !self.ports[egress].egress_waiters.contains(&ingress) {
-                self.ports[egress].egress_waiters.push(ingress);
+        loop {
+            if self.ports[ingress].engine_busy {
+                return;
+            }
+            let Some(head) = self.ports[ingress].ingress.front() else { return };
+            // An unroutable request (master abort) is turned around: its
+            // Unsupported Request completion leaves back through the
+            // ingress port's own egress buffer, paced like any other
+            // packet. Posted requests vanish on the spot — nobody waits.
+            let (egress, unrouted) = match self.route(ingress, head) {
+                Some(e) => (e, false),
+                None => {
+                    if head.is_posted() {
+                        let pkt = self.ports[ingress].ingress.pop_front().expect("head exists");
+                        self.stats.unsupported_requests.inc();
+                        self.record_master_abort(&pkt);
+                        ctx.recycle_packet(pkt);
+                        if self.ports[ingress].owe_ingress_retry && !self.ingress_full(ingress) {
+                            self.ports[ingress].owe_ingress_retry = false;
+                            ctx.send_retry(PortId(ingress as u16));
+                        }
+                        continue;
+                    }
+                    (ingress, true)
+                }
+            };
+            if self.egress_full(egress) {
+                self.stats.egress_stalls.inc();
+                if !self.ports[egress].egress_waiters.contains(&ingress) {
+                    self.ports[egress].egress_waiters.push(ingress);
+                }
+                return;
+            }
+            let pkt = self.ports[ingress].ingress.pop_front().expect("head exists");
+            if unrouted {
+                self.stats.unsupported_requests.inc();
+                self.record_master_abort(&pkt);
+            }
+            if ctx.tracing(TraceCategory::Router) {
+                ctx.emit(
+                    TraceCategory::Router,
+                    TraceKind::RouteDecision,
+                    Some(pkt.id()),
+                    Some(pkt.cmd()),
+                    egress as u64,
+                );
+            }
+            let p = &mut self.ports[ingress];
+            p.engine_busy = true;
+            p.in_service = Some(pkt);
+            p.service_egress = egress;
+            p.service_unrouted = unrouted;
+            self.ports[egress].egress_inflight += 1;
+            ctx.schedule(
+                self.config.service_interval,
+                Event::Timer { kind: K_SERVICE_DONE, data: ingress as u64 },
+            );
+            // Ingress space freed: grant the feeding peer a retry.
+            if self.ports[ingress].owe_ingress_retry && !self.ingress_full(ingress) {
+                self.ports[ingress].owe_ingress_retry = false;
+                ctx.send_retry(PortId(ingress as u16));
             }
             return;
-        }
-        let pkt = self.ports[ingress].ingress.pop_front().expect("head exists");
-        if ctx.tracing(TraceCategory::Router) {
-            ctx.emit(
-                TraceCategory::Router,
-                TraceKind::RouteDecision,
-                Some(pkt.id()),
-                Some(pkt.cmd()),
-                egress as u64,
-            );
-        }
-        let p = &mut self.ports[ingress];
-        p.engine_busy = true;
-        p.in_service = Some(pkt);
-        p.service_egress = egress;
-        self.ports[egress].egress_inflight += 1;
-        ctx.schedule(
-            self.config.service_interval,
-            Event::Timer { kind: K_SERVICE_DONE, data: ingress as u64 },
-        );
-        // Ingress space freed: grant the feeding peer a retry.
-        if self.ports[ingress].owe_ingress_retry && !self.ingress_full(ingress) {
-            self.ports[ingress].owe_ingress_retry = false;
-            ctx.send_retry(PortId(ingress as u16));
         }
     }
 
     fn service_done(&mut self, ctx: &mut Ctx<'_>, ingress: usize) {
         let p = &mut self.ports[ingress];
-        let pkt = p.in_service.take().expect("service completion without packet");
+        let mut pkt = p.in_service.take().expect("service completion without packet");
         let egress = p.service_egress;
         p.engine_busy = false;
+        if std::mem::replace(&mut p.service_unrouted, false) {
+            if let Some(buf) = pkt.take_payload() {
+                ctx.recycle_payload(buf);
+            }
+            // The request dies here, so the completion-timeout entry armed
+            // at admission must die with it — otherwise the timer would
+            // fire and send the requester a second, spurious completion.
+            if let Some(pending) = self.pending.remove(&pkt.id().0) {
+                ctx.cancel_scheduled(pending.timer);
+                ctx.recycle_packet(pending.request);
+            }
+            pkt = pkt.into_error_response(CompletionStatus::UnsupportedRequest);
+        }
         if ctx.tracing(TraceCategory::Router) {
             ctx.emit(
                 TraceCategory::Router,
@@ -412,7 +524,37 @@ impl PcieRouter {
             if let Some(bus) = self.stamp_for(ingress) {
                 pkt.stamp_pci_bus(bus);
             }
+            // Requester-side completion timeout: track every non-posted
+            // request admitted at the upstream slave until its completion
+            // is admitted back (or the timer fires).
+            if ingress == PORT_UPSTREAM_SLAVE.0 as usize && !pkt.is_posted() {
+                if let Some(timeout) = self.config.completion_timeout {
+                    let timer = ctx
+                        .schedule(timeout, Event::Timer { kind: K_CPL_TIMEOUT, data: pkt.id().0 });
+                    let request = ctx.clone_packet(&pkt);
+                    self.pending.insert(pkt.id().0, PendingCompletion { timer, request });
+                }
+            }
         } else {
+            let id = pkt.id().0;
+            if let Some(p) = self.pending.remove(&id) {
+                ctx.cancel_scheduled(p.timer);
+                ctx.recycle_packet(p.request);
+            } else if self.timed_out.remove(&id) {
+                // The requester already saw a synthesized timeout
+                // completion; this one is an Unexpected Completion and
+                // must not be forwarded a second time.
+                self.stats.late_completions.inc();
+                let cs = self.upstream_cs();
+                let source = u16::from(pkt.pci_bus().unwrap_or(0)) << 8;
+                aer_record_uncorrectable(
+                    &mut cs.borrow_mut(),
+                    aer::uncor::UNEXPECTED_COMPLETION,
+                    source,
+                );
+                ctx.recycle_packet(pkt);
+                return RecvResult::Accepted;
+            }
             self.stats.responses.inc();
         }
         self.ports[ingress].ingress.push_back(pkt);
@@ -427,6 +569,39 @@ impl PcieRouter {
         }
         self.try_start(ctx, ingress);
         RecvResult::Accepted
+    }
+
+    /// The completion timeout of outstanding request `id` fired: synthesize
+    /// an error completion from the stored request (reads return all-ones)
+    /// and send it back out the upstream slave port, so the requester
+    /// unblocks and the simulation quiesces instead of hanging.
+    fn completion_timeout_fired(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let Some(p) = self.pending.remove(&id) else { return };
+        self.timed_out.insert(id);
+        self.stats.completion_timeouts.inc();
+        let mut req = p.request;
+        {
+            let cs = self.upstream_cs();
+            let mut cs = cs.borrow_mut();
+            let source = u16::from(req.pci_bus().unwrap_or(0)) << 8;
+            aer_record_uncorrectable(&mut cs, aer::uncor::COMPLETION_TIMEOUT, source);
+        }
+        if let Some(buf) = req.take_payload() {
+            ctx.recycle_payload(buf);
+        }
+        if ctx.tracing(TraceCategory::Router) {
+            ctx.emit(
+                TraceCategory::Router,
+                TraceKind::RouteDecision,
+                Some(req.id()),
+                Some(req.cmd()),
+                u64::MAX,
+            );
+        }
+        let resp = req.into_error_response(CompletionStatus::CompletionTimeout);
+        let up_slave = PORT_UPSTREAM_SLAVE.0 as usize;
+        self.ports[up_slave].egress.push_back(resp);
+        self.drain_egress(ctx, up_slave);
     }
 }
 
@@ -446,6 +621,7 @@ impl Component for PcieRouter {
     fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match ev {
             Event::Timer { kind: K_SERVICE_DONE, data } => self.service_done(ctx, data as usize),
+            Event::Timer { kind: K_CPL_TIMEOUT, data } => self.completion_timeout_fired(ctx, data),
             Event::Timer { kind, .. } => panic!("{}: unknown timer {kind}", self.name),
             Event::DelayedPacket { tag, pkt } => {
                 let egress = tag as usize;
@@ -467,6 +643,9 @@ impl Component for PcieRouter {
         out.counter("responses", &self.stats.responses);
         out.counter("ingress_refusals", &self.stats.ingress_refusals);
         out.counter("egress_stalls", &self.stats.egress_stalls);
+        out.counter("unsupported_requests", &self.stats.unsupported_requests);
+        out.counter("completion_timeouts", &self.stats.completion_timeouts);
+        out.counter("late_completions", &self.stats.late_completions);
     }
 }
 
@@ -550,7 +729,12 @@ mod tests {
 
     #[test]
     fn request_latency_is_twice_the_router_latency() {
-        let cfg = RouterConfig { latency: ns(150), service_interval: ns(25), buffer_size: 16 };
+        let cfg = RouterConfig {
+            latency: ns(150),
+            service_interval: ns(25),
+            buffer_size: 16,
+            ..RouterConfig::default()
+        };
         let mut h = build_rc_harness(cfg, vec![(Command::ReadReq, mem0().start(), 4)]);
         h.sim.run_to_quiesce();
         // 150 ns down + 0 service at the device + 150 ns up.
@@ -558,11 +742,194 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no downstream window")]
-    fn unrouted_cpu_request_panics() {
-        let mut h =
-            build_rc_harness(RouterConfig::default(), vec![(Command::ReadReq, 0x9000_0000, 4)]);
-        h.sim.run_to_quiesce();
+    fn unrouted_cpu_request_completes_with_master_abort() {
+        // One read misses every window, one hits: both must complete, no
+        // panic, and the miss must be recorded as a master abort.
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new(
+            "cpu",
+            vec![(Command::ReadReq, 0x9000_0000, 4), (Command::ReadReq, mem0().start(), 4)],
+        );
+        let r = sim.add(Box::new(req));
+        let rc = rc_two_ports(RouterConfig::default());
+        let rp0 = rc.vp2p(0);
+        let rc = sim.add(Box::new(rc));
+        let (d0, served) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let (d1, _) = Responder::new("dev1", 0);
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty, "master abort must not hang");
+        assert_eq!(done.borrow().len(), 2, "both reads complete");
+        assert_eq!(*served.borrow(), 1, "only the routed read reaches the device");
+        let stats = sim.stats();
+        assert_eq!(stats.get("rc.unsupported_requests"), Some(1.0));
+        let cs = rp0.borrow();
+        assert_ne!(
+            cs.read(common::STATUS, 2) as u16 & status::RECEIVED_MASTER_ABORT,
+            0,
+            "Received Master Abort must latch in the status register"
+        );
+        let (uncor, _) = pcisim_pci::caps::aer_status(&cs);
+        assert_ne!(uncor & aer::uncor::UNSUPPORTED_REQUEST, 0, "AER must log the UR");
+    }
+
+    #[test]
+    fn unrouted_posted_write_is_dropped_and_counted() {
+        let mut sim = Simulation::new();
+        struct PostedProbe;
+        impl Component for PostedProbe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(0, Event::Timer { kind: 0, data: 0 });
+            }
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _ev: Event) {
+                let id = ctx.alloc_packet_id();
+                let mut pkt =
+                    Packet::request(id, Command::WriteReq, 0x9000_0000, 64, ctx.self_id())
+                        .with_payload(vec![0; 64]);
+                pkt.set_posted(true);
+                ctx.try_send_request(PortId(0), pkt).unwrap();
+            }
+        }
+        let p = sim.add(Box::new(PostedProbe));
+        let rc = sim.add(Box::new(rc_two_ports(RouterConfig::default())));
+        let (d0, served) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let (d1, _) = Responder::new("dev1", 0);
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((p, PortId(0)), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*served.borrow(), 0);
+        assert_eq!(sim.stats().get("rc.unsupported_requests"), Some(1.0));
+    }
+
+    /// Accepts every request and never answers — a hung device.
+    struct BlackHole;
+    impl Component for BlackHole {
+        fn name(&self) -> &str {
+            "blackhole"
+        }
+        fn recv_request(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) -> RecvResult {
+            ctx.recycle_packet(pkt);
+            RecvResult::Accepted
+        }
+    }
+
+    #[test]
+    fn non_responding_device_trips_the_completion_timeout() {
+        let cfg = RouterConfig {
+            completion_timeout: Some(pcisim_kernel::tick::us(50)),
+            ..RouterConfig::default()
+        };
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::ReadReq, mem0().start(), 4)]);
+        let r = sim.add(Box::new(req));
+        let rc = rc_two_ports(cfg);
+        let rp0 = rc.vp2p(0);
+        let rc = sim.add(Box::new(rc));
+        let b = sim.add(Box::new(BlackHole));
+        let (d1, _) = Responder::new("dev1", 0);
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (b, PortId(0)));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(
+            sim.run_to_quiesce(),
+            RunOutcome::QueueEmpty,
+            "timeout must unblock the requester and quiesce"
+        );
+        let done = done.borrow();
+        assert_eq!(done.len(), 1, "a synthesized completion must arrive");
+        assert!(done[0].1 >= pcisim_kernel::tick::us(50), "not before the timeout");
+        let stats = sim.stats();
+        assert_eq!(stats.get("rc.completion_timeouts"), Some(1.0));
+        let (uncor, _) = pcisim_pci::caps::aer_status(&rp0.borrow());
+        assert_ne!(uncor & aer::uncor::COMPLETION_TIMEOUT, 0, "AER must log the timeout");
+    }
+
+    #[test]
+    fn unrouted_request_settles_its_completion_timer() {
+        // A master-aborted read with the timeout knob on: exactly one
+        // completion (the UR), never a second synthesized timeout.
+        let cfg = RouterConfig {
+            completion_timeout: Some(pcisim_kernel::tick::us(50)),
+            ..RouterConfig::default()
+        };
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::ReadReq, 0x9000_0000, 4)]);
+        let r = sim.add(Box::new(req));
+        let rc = sim.add(Box::new(rc_two_ports(cfg)));
+        let (d0, _) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let (d1, _) = Responder::new("dev1", 0);
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        let done = done.borrow();
+        assert_eq!(done.len(), 1, "exactly one completion — the UR, no late timeout");
+        assert!(done[0].1 < pcisim_kernel::tick::us(50), "the UR must arrive promptly");
+        let stats = sim.stats();
+        assert_eq!(stats.get("rc.unsupported_requests"), Some(1.0));
+        assert_eq!(stats.get("rc.completion_timeouts"), Some(0.0));
+    }
+
+    #[test]
+    fn late_completion_is_swallowed_as_unexpected() {
+        // The device answers, but far beyond the timeout: the requester
+        // sees exactly one (synthesized) completion; the late one is
+        // dropped and counted.
+        let cfg = RouterConfig {
+            completion_timeout: Some(pcisim_kernel::tick::us(50)),
+            ..RouterConfig::default()
+        };
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::ReadReq, mem0().start(), 4)]);
+        let r = sim.add(Box::new(req));
+        let rc = sim.add(Box::new(rc_two_ports(cfg)));
+        let (slow, served) = Responder::new("slow", pcisim_kernel::tick::us(200));
+        let s = sim.add(Box::new(slow));
+        let (d1, _) = Responder::new("dev1", 0);
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (s, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1, "exactly one completion reaches the requester");
+        assert_eq!(*served.borrow(), 1, "the device did answer — late");
+        let stats = sim.stats();
+        assert_eq!(stats.get("rc.completion_timeouts"), Some(1.0));
+        assert_eq!(stats.get("rc.late_completions"), Some(1.0));
+    }
+
+    #[test]
+    fn in_time_completion_cancels_the_timer_without_trace() {
+        // With the knob on and a fast device, nothing error-related fires
+        // and the run is timing-identical to the untracked case.
+        let cfg = RouterConfig {
+            completion_timeout: Some(pcisim_kernel::tick::us(50)),
+            ..RouterConfig::default()
+        };
+        let mut h = build_rc_harness(cfg, vec![(Command::ReadReq, mem0().start(), 4)]);
+        assert_eq!(h.sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(h.done.borrow().len(), 1);
+        let stats = h.sim.stats();
+        assert_eq!(stats.get("rc.completion_timeouts"), Some(0.0));
+        assert_eq!(stats.get("rc.late_completions"), Some(0.0));
+        // Same completion time as request_latency_is_twice_the_router_latency
+        // modulo the default service interval: the tracker is invisible.
+        let mut h2 =
+            build_rc_harness(RouterConfig::default(), vec![(Command::ReadReq, mem0().start(), 4)]);
+        h2.sim.run_to_quiesce();
+        assert_eq!(h.done.borrow()[0].1, h2.done.borrow()[0].1);
     }
 
     #[test]
@@ -615,7 +982,12 @@ mod tests {
 
     #[test]
     fn service_interval_bounds_per_port_throughput() {
-        let cfg = RouterConfig { latency: ns(100), service_interval: ns(100), buffer_size: 16 };
+        let cfg = RouterConfig {
+            latency: ns(100),
+            service_interval: ns(100),
+            buffer_size: 16,
+            ..RouterConfig::default()
+        };
         let script = (0..8).map(|i| (Command::ReadReq, mem0().start() + i * 64, 4)).collect();
         let mut h = build_rc_harness(cfg, script);
         h.sim.run_to_quiesce();
@@ -628,7 +1000,12 @@ mod tests {
 
     #[test]
     fn full_ingress_buffer_refuses_and_recovers() {
-        let cfg = RouterConfig { latency: ns(100), service_interval: ns(100), buffer_size: 2 };
+        let cfg = RouterConfig {
+            latency: ns(100),
+            service_interval: ns(100),
+            buffer_size: 2,
+            ..RouterConfig::default()
+        };
         let script = (0..16).map(|i| (Command::ReadReq, mem0().start() + i * 64, 4)).collect();
         let mut h = build_rc_harness(cfg, script);
         assert_eq!(h.sim.run_to_quiesce(), RunOutcome::QueueEmpty);
@@ -765,7 +1142,12 @@ mod tests {
         // A tiny port buffer plus a long-refusing peer: the egress fills,
         // the ingress engine stalls, the upstream peer gets refused — and
         // everything still completes.
-        let cfg = RouterConfig { latency: ns(50), service_interval: ns(10), buffer_size: 2 };
+        let cfg = RouterConfig {
+            latency: ns(50),
+            service_interval: ns(10),
+            buffer_size: 2,
+            ..RouterConfig::default()
+        };
         let mut sim = Simulation::new();
         let rc = sim.add(Box::new(rc_two_ports(cfg)));
         let (req, done) = Requester::new(
@@ -807,7 +1189,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "latency must cover")]
     fn service_longer_than_latency_panics() {
-        let cfg = RouterConfig { latency: ns(10), service_interval: ns(20), buffer_size: 4 };
+        let cfg = RouterConfig {
+            latency: ns(10),
+            service_interval: ns(20),
+            buffer_size: 4,
+            ..RouterConfig::default()
+        };
         let _ = PcieRouter::root_complex(
             "rc",
             cfg,

@@ -16,7 +16,7 @@ use pcisim_kernel::component::{ComponentId, PortId};
 use pcisim_kernel::dram::{Dram, DRAM_PORT};
 use pcisim_kernel::iocache::{IoCache, IOCACHE_DEV_SIDE, IOCACHE_MEM_SIDE};
 use pcisim_kernel::sim::Simulation;
-use pcisim_kernel::tick::{ns, Tick};
+use pcisim_kernel::tick::{ns, us, Tick};
 use pcisim_kernel::trace::TraceCategory;
 use pcisim_kernel::xbar::Crossbar;
 use pcisim_pci::caps::PortType;
@@ -93,7 +93,14 @@ impl SystemConfig {
     pub fn validation() -> Self {
         use pcisim_pcie::params::{Generation, LinkWidth};
         Self {
-            rc: RouterConfig::default(),
+            rc: RouterConfig {
+                // Low end of the spec's default completion-timeout range:
+                // CPU-side non-posted requests that never complete come
+                // back as all-ones error completions instead of hanging
+                // the simulation.
+                completion_timeout: Some(us(50)),
+                ..RouterConfig::default()
+            },
             switch: Some(RouterConfig::default()),
             root_link: LinkConfig::new(Generation::Gen2, LinkWidth::X4),
             device_link: LinkConfig::new(Generation::Gen2, LinkWidth::X1),
@@ -274,7 +281,7 @@ pub fn build_system(config: SystemConfig) -> BuiltSystem {
             cs
         }
     };
-    registry.borrow_mut().register(Bdf::new(device_bus, 0, 0), device_cs);
+    registry.borrow_mut().register(Bdf::new(device_bus, 0, 0), device_cs.clone());
 
     // --- Enumeration software + driver probe (functional, at "boot").
     let report = enumerate(&mut registry.clone(), platform::enumeration_config())
@@ -355,8 +362,18 @@ pub fn build_system(config: SystemConfig) -> BuiltSystem {
     )));
     let iocache_id =
         sim.add(Box::new(IoCache::builder("iocache").mshrs(config.iocache_mshrs).build()));
+    // The link ends report data-link errors into the AER blocks of the
+    // config spaces they terminate at: root port 0 upstream, the switch's
+    // upstream port (or the device itself) downstream.
+    let rp0_cs = rp_vp2ps[0].clone();
     let rc_id = sim.add(Box::new(PcieRouter::root_complex("rc", config.rc.clone(), rp_vp2ps)));
-    let root_link_id = sim.add(Box::new(PcieLink::new("root_link", config.root_link.clone())));
+    let mut root_link = PcieLink::new("root_link", config.root_link.clone());
+    let root_link_downstream = match &switch_vp2ps {
+        Some((up, _)) => up.clone(),
+        None => device_cs.clone(),
+    };
+    root_link.attach_aer(Some(rp0_cs), Some(root_link_downstream));
+    let root_link_id = sim.add(Box::new(root_link));
 
     // --- Wiring: memory side.
     sim.connect((membus_id, PortId(1)), (dram_id, DRAM_PORT));
@@ -387,9 +404,12 @@ pub fn build_system(config: SystemConfig) -> BuiltSystem {
 
     if let Some(switch_cfg) = &config.switch {
         let (up, down) = switch_vp2ps.expect("switch vp2ps exist");
+        let down0_cs = down[0].clone();
         let switch_id =
             sim.add(Box::new(PcieRouter::switch("switch", switch_cfg.clone(), up, down)));
-        let dev_link_id = sim.add(Box::new(PcieLink::new("dev_link", config.device_link.clone())));
+        let mut dev_link = PcieLink::new("dev_link", config.device_link.clone());
+        dev_link.attach_aer(Some(down0_cs), Some(device_cs.clone()));
+        let dev_link_id = sim.add(Box::new(dev_link));
         sim.connect((root_link_id, PORT_DOWN_MASTER), (switch_id, PORT_UPSTREAM_SLAVE));
         sim.connect((root_link_id, PORT_DOWN_SLAVE), (switch_id, PORT_UPSTREAM_MASTER));
         sim.connect((switch_id, port_downstream_master(0)), (dev_link_id, PORT_UP_SLAVE));
@@ -801,8 +821,8 @@ pub fn build_dual_disk_system(config: SystemConfig) -> DualDiskSystem {
     let (disk0, cs0) =
         IdeDisk::new("disk0", IdeDiskConfig { intx: Some((0, 0)), ..disk_cfg.clone() });
     let (disk1, cs1) = IdeDisk::new("disk1", IdeDiskConfig { intx: Some((0, 0)), ..disk_cfg });
-    registry.borrow_mut().register(Bdf::new(3, 0, 0), cs0);
-    registry.borrow_mut().register(Bdf::new(4, 0, 0), cs1);
+    registry.borrow_mut().register(Bdf::new(3, 0, 0), cs0.clone());
+    registry.borrow_mut().register(Bdf::new(4, 0, 0), cs1.clone());
 
     let report = enumerate(&mut registry.clone(), platform::enumeration_config())
         .expect("dual-disk topology must enumerate");
@@ -855,11 +875,19 @@ pub fn build_dual_disk_system(config: SystemConfig) -> DualDiskSystem {
     )));
     let iocache_id =
         sim.add(Box::new(IoCache::builder("iocache").mshrs(config.iocache_mshrs).build()));
+    let rp0_cs = rp_vp2ps[0].clone();
     let rc_id = sim.add(Box::new(PcieRouter::root_complex("rc", config.rc.clone(), rp_vp2ps)));
-    let root_link_id = sim.add(Box::new(PcieLink::new("root_link", config.root_link.clone())));
+    let mut root_link = PcieLink::new("root_link", config.root_link.clone());
+    root_link.attach_aer(Some(rp0_cs), Some(up.clone()));
+    let root_link_id = sim.add(Box::new(root_link));
+    let (down0_cs, down1_cs) = (down[0].clone(), down[1].clone());
     let switch_id = sim.add(Box::new(PcieRouter::switch("switch", switch_cfg, up, down)));
-    let link0_id = sim.add(Box::new(PcieLink::new("dev_link", config.device_link.clone())));
-    let link1_id = sim.add(Box::new(PcieLink::new("dev_link1", config.device_link.clone())));
+    let mut link0 = PcieLink::new("dev_link", config.device_link.clone());
+    link0.attach_aer(Some(down0_cs), Some(cs0));
+    let link0_id = sim.add(Box::new(link0));
+    let mut link1 = PcieLink::new("dev_link1", config.device_link.clone());
+    link1.attach_aer(Some(down1_cs), Some(cs1));
+    let link1_id = sim.add(Box::new(link1));
     let disk0_id = sim.add(Box::new(disk0));
     let disk1_id = sim.add(Box::new(disk1));
 

@@ -8,6 +8,7 @@
 use pcisim_kernel::sim::RunOutcome;
 use pcisim_kernel::tick::{self, Tick};
 use pcisim_kernel::trace::{TraceCategory, TraceLog};
+use pcisim_pci::caps::aer_status;
 use pcisim_pcie::params::{Generation, LinkConfig, LinkWidth};
 
 use crate::builder::{build_system, DeviceSpec, SystemConfig};
@@ -253,6 +254,203 @@ pub fn run_sector_microbench(width: LinkWidth, sectors: u32) -> DdOutcome {
         upstream_tlps: up_tx as u64,
         completed: r.done && outcome == RunOutcome::QueueEmpty,
         trace: None,
+    }
+}
+
+/// Parameters of one fault-campaign point: a `dd` run over the validation
+/// topology with deterministic error injection on *both* links.
+#[derive(Debug, Clone)]
+pub struct FaultExperiment {
+    /// Block size in bytes (small blocks keep campaign points fast).
+    pub block_bytes: u64,
+    /// Corrupt the TLP whenever `splitmix64(tx_count)` is a multiple of
+    /// this; `0` disables injection (the fault-free baseline), and a
+    /// *smaller* interval means *more* corruption.
+    pub error_interval: u64,
+    /// Link generation for both links.
+    pub generation: Generation,
+    /// Width applied to both links; `None` keeps the validation
+    /// topology's x4 root / x1 device links.
+    pub width_all: Option<LinkWidth>,
+}
+
+impl Default for FaultExperiment {
+    fn default() -> Self {
+        Self {
+            block_bytes: 256 * 1024,
+            error_interval: 0,
+            generation: Generation::Gen2,
+            width_all: None,
+        }
+    }
+}
+
+/// Measurements from one fault-campaign point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOutcome {
+    /// The injection interval this point ran with (0 = fault-free).
+    pub error_interval: u64,
+    /// Goodput `dd` reports, in Gb/s.
+    pub throughput_gbps: f64,
+    /// Simulated wall time of the whole run.
+    pub sim_time: Tick,
+    /// TLPs dropped to injected corruption, summed over both links and
+    /// both directions.
+    pub corrupt_drops: u64,
+    /// Replayed TLPs, summed over both links and both directions.
+    pub replays: u64,
+    /// NAK DLLPs transmitted, summed over both links and both directions.
+    pub naks: u64,
+    /// Replay timeouts, summed over both links and both directions.
+    pub replay_timeouts: u64,
+    /// AER correctable-status mask latched in the endpoint's config
+    /// space (RECEIVER_ERROR / BAD_TLP / REPLAY_* bits).
+    pub device_aer_cor: u32,
+    /// AER uncorrectable-status mask latched in the endpoint's config
+    /// space (should stay 0: corruption is correctable).
+    pub device_aer_uncor: u32,
+    /// Whether the workload completed (false = safety valve tripped).
+    pub completed: bool,
+}
+
+/// Runs one fault-campaign point: the validation `dd` workload with
+/// `error_interval` applied to both links. Injection is a pure function
+/// of each interface's transmit count, so the run is deterministic and
+/// campaign points are safe to fan out with [`crate::sweep::run_sweep`].
+pub fn run_fault_experiment(exp: &FaultExperiment) -> FaultOutcome {
+    let mut config = SystemConfig::validation();
+    let (root_width, device_width) = match exp.width_all {
+        Some(w) => (w, w),
+        None => (LinkWidth::X4, LinkWidth::X1),
+    };
+    config.root_link = LinkConfig {
+        error_interval: exp.error_interval,
+        ..LinkConfig::new(exp.generation, root_width)
+    };
+    config.device_link = LinkConfig {
+        error_interval: exp.error_interval,
+        ..LinkConfig::new(exp.generation, device_width)
+    };
+
+    let mut built = build_system(config);
+    let device_bdf = built.probe.bdf;
+    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let stats = built.sim.stats();
+    let r = report.borrow();
+
+    // Sum a per-interface counter over both links and both directions.
+    let sum = |counter: &str| -> u64 {
+        ["root_link", "dev_link"]
+            .iter()
+            .flat_map(|link| {
+                ["down", "up"].iter().map(move |dir| format!("{link}.{dir}.{counter}"))
+            })
+            .map(|key| stats.get(&key).unwrap_or(0.0))
+            .sum::<f64>() as u64
+    };
+    let (uncor, cor) = built
+        .registry
+        .borrow()
+        .lookup(device_bdf)
+        .map(|cs| aer_status(&cs.borrow()))
+        .unwrap_or((0, 0));
+
+    FaultOutcome {
+        error_interval: exp.error_interval,
+        throughput_gbps: r.throughput_gbps(),
+        sim_time: built.sim.now(),
+        corrupt_drops: sum("rx_dropped_corrupt"),
+        replays: sum("replays"),
+        naks: sum("naks_tx"),
+        replay_timeouts: sum("timeouts"),
+        device_aer_cor: cor,
+        device_aer_uncor: uncor,
+        completed: r.done && outcome == RunOutcome::QueueEmpty,
+    }
+}
+
+/// Builds the deterministic fault-campaign ladder: the fault-free
+/// baseline followed by progressively *harsher* injection (smaller
+/// intervals corrupt more TLPs) at the given generation/width point.
+pub fn error_rate_ladder(
+    generation: Generation,
+    width_all: Option<LinkWidth>,
+    block_bytes: u64,
+) -> Vec<FaultExperiment> {
+    [0u64, 257, 61, 13]
+        .into_iter()
+        .map(|error_interval| FaultExperiment {
+            block_bytes,
+            error_interval,
+            generation,
+            width_all,
+        })
+        .collect()
+}
+
+/// Runs a full error-rate sweep — [`error_rate_ladder`] fanned across
+/// `jobs` worker threads — and returns one outcome per ladder point, in
+/// ladder order. Results are bit-identical for any `jobs` value.
+pub fn error_rate_sweep(
+    generation: Generation,
+    width_all: Option<LinkWidth>,
+    block_bytes: u64,
+    jobs: usize,
+) -> Vec<FaultOutcome> {
+    let ladder = error_rate_ladder(generation, width_all, block_bytes);
+    crate::sweep::run_sweep(&ladder, jobs, run_fault_experiment)
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use pcisim_pci::regs::aer::cor;
+
+    #[test]
+    fn faulty_run_completes_with_replays_and_aer_evidence() {
+        let out = run_fault_experiment(&FaultExperiment {
+            error_interval: 13,
+            ..FaultExperiment::default()
+        });
+        assert!(out.completed, "lossy links must still converge: {out:?}");
+        assert!(out.corrupt_drops > 0, "interval 13 must corrupt TLPs: {out:?}");
+        assert!(out.replays >= out.corrupt_drops, "every corrupt drop forces a replay: {out:?}");
+        assert!(out.naks > 0, "corrupt receipt must NAK: {out:?}");
+        assert_ne!(
+            out.device_aer_cor & (cor::RECEIVER_ERROR | cor::BAD_TLP),
+            0,
+            "endpoint AER must latch receiver errors: {out:#x?}"
+        );
+        assert_eq!(out.device_aer_uncor, 0, "corruption is correctable: {out:#x?}");
+    }
+
+    #[test]
+    fn goodput_degrades_monotonically_with_error_rate() {
+        let outs = error_rate_sweep(Generation::Gen2, None, 256 * 1024, 1);
+        assert!(outs.iter().all(|o| o.completed), "{outs:?}");
+        assert_eq!(outs[0].corrupt_drops, 0, "interval 0 must inject nothing");
+        for pair in outs.windows(2) {
+            assert!(
+                pair[1].throughput_gbps < pair[0].throughput_gbps,
+                "harsher injection must cost goodput: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+            assert!(
+                pair[1].corrupt_drops > pair[0].corrupt_drops,
+                "harsher injection must corrupt more: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn fault_sweep_is_bit_identical_serial_vs_parallel() {
+        let serial = error_rate_sweep(Generation::Gen2, None, 64 * 1024, 1);
+        let parallel = error_rate_sweep(Generation::Gen2, None, 64 * 1024, 4);
+        assert_eq!(serial, parallel);
     }
 }
 

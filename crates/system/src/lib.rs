@@ -25,8 +25,9 @@ pub mod prelude {
         DualDiskSystem, LegacySystemConfig, SystemConfig,
     };
     pub use crate::experiments::{
-        run_dd_experiment, run_mmio_experiment, run_nic_rx_experiment, run_nic_tx_experiment,
-        run_sector_microbench, DdExperiment, DdOutcome, MmioExperiment, MmioOutcome,
+        error_rate_ladder, error_rate_sweep, run_dd_experiment, run_fault_experiment,
+        run_mmio_experiment, run_nic_rx_experiment, run_nic_tx_experiment, run_sector_microbench,
+        DdExperiment, DdOutcome, FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome,
         NicRxExperiment, NicRxOutcome, NicTxExperiment, NicTxOutcome,
     };
     pub use crate::platform;

@@ -114,6 +114,72 @@ proptest! {
         prop_assert_eq!(done.borrow().len(), n_pkts);
     }
 
+    /// AER evidence is consistent with what the wire actually did: the
+    /// receiving end latches Receiver Error / Bad TLP exactly when a
+    /// corrupt TLP was dropped there, and the lossy run still converges
+    /// with every TLP delivered exactly once.
+    #[test]
+    fn lossy_link_latches_aer_exactly_when_corruption_occurs(
+        n_pkts in 1usize..40,
+        error_interval in prop_oneof![Just(0u64), 2u64..8],
+        lanes_pow in 0u32..4,
+    ) {
+        use pcisim::pci::caps::{aer_status, write_aer_capability};
+        use pcisim::pci::config::{shared, ConfigSpace};
+        use pcisim::pci::regs::aer::cor;
+
+        let aer_cs = || {
+            let mut cs = ConfigSpace::new();
+            write_aer_capability(&mut cs, 0x100, 0);
+            shared(cs)
+        };
+        let (up_cs, down_cs) = (aer_cs(), aer_cs());
+        let config = LinkConfig {
+            error_interval,
+            ..LinkConfig::new(Generation::Gen2, LinkWidth::new(1u8 << lanes_pow))
+        };
+        let mut sim = Simulation::new();
+        let script: Vec<_> = (0..n_pkts)
+            .map(|i| (Command::WriteReq, 0x4000_0000 + i as u64 * 64, 64))
+            .collect();
+        let (req, done) = Requester::new("gen", script);
+        let r = sim.add(Box::new(req));
+        let mut link = PcieLink::new("link", config);
+        link.attach_aer(Some(up_cs.clone()), Some(down_cs.clone()));
+        let l = sim.add(Box::new(link));
+        let received = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let s = sim.add(Box::new(PatternSink {
+            name: "sink".into(),
+            pattern: Vec::new(),
+            attempt: 0,
+            received: received.clone(),
+            blocked: Default::default(),
+            waiting: false,
+        }));
+        sim.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        sim.connect((l, PORT_DOWN_MASTER), (s, PortId(0)));
+        prop_assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        prop_assert_eq!(received.borrow().len(), n_pkts);
+        prop_assert_eq!(done.borrow().len(), n_pkts);
+
+        let stats = sim.stats();
+        let corrupt_down = stats.get("link.down.rx_dropped_corrupt").unwrap_or(0.0);
+        let corrupt_up = stats.get("link.up.rx_dropped_corrupt").unwrap_or(0.0);
+        let rx_bits = cor::RECEIVER_ERROR | cor::BAD_TLP;
+        // Downstream corruption latches at the downstream (receiving) end,
+        // upstream corruption at the upstream end — and never without cause.
+        let (_, down_cor) = aer_status(&down_cs.borrow());
+        let (_, up_cor) = aer_status(&up_cs.borrow());
+        prop_assert_eq!(down_cor & rx_bits != 0, corrupt_down > 0.0,
+            "down cor {:#x} vs {} drops", down_cor, corrupt_down);
+        prop_assert_eq!(up_cor & rx_bits != 0, corrupt_up > 0.0,
+            "up cor {:#x} vs {} drops", up_cor, corrupt_up);
+        if error_interval == 0 {
+            prop_assert_eq!(down_cor, 0);
+            prop_assert_eq!(up_cor, 0);
+        }
+    }
+
     /// The replay timeout shrinks (or stays equal) as links get wider and
     /// grows with the payload.
     #[test]
