@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--full] [--jobs N] [--trace PATH] [--bench-json PATH] [--bench-check PATH]
-//!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [all]
+//!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
@@ -12,6 +12,11 @@
 //! `faults` (alias `--faults`) runs the deterministic fault campaign:
 //! `dd` goodput under link-level error injection, swept over the
 //! `error_interval` ladder at several generation/width points.
+//!
+//! `topology` (alias `--topology`) runs the multi-endpoint contention
+//! experiment: two NIC transmit streams behind one shared upstream link
+//! vs. split across two root ports — bandwidth share and DMA p99 tail
+//! latency per placement.
 //!
 //! `--jobs N` fans the independent configurations of each Fig. 9 / Table II
 //! sweep across N worker threads (default: all available cores). Every
@@ -415,6 +420,37 @@ fn faults(opts: &Opts) {
     );
 }
 
+/// The multi-endpoint contention tables: identical dual-NIC transmit
+/// streams behind one shared switch uplink vs. split across root ports.
+/// Placement is the designer's knob; the fabric model prices it.
+fn topology(opts: &Opts) {
+    println!("\n== Topology: dual-NIC placement — shared uplink vs. split root ports ==");
+    println!("   each NIC offers ~10 Gb/s (1514 B / 1.2 µs); links Gen2 x4");
+    let out = run_topology_experiment(&TopologyExperiment {
+        frames: if opts.full { 2048 } else { 256 },
+        ..TopologyExperiment::default()
+    });
+    let mut rows = Vec::new();
+    for (label, arm) in [("shared uplink", &out.shared), ("split root ports", &out.split)] {
+        assert!(arm.completed, "topology arm must complete: {arm:?}");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", arm.per_stream_gbps[0]),
+            format!("{:.3}", arm.per_stream_gbps[1]),
+            format!("{:.3}", arm.aggregate_gbps()),
+            format!("{:.0}", arm.p99_dma_read_ns[0]),
+            format!("{:.0}", arm.p99_dma_read_ns[1]),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["placement", "nic0 Gb/s", "nic1 Gb/s", "aggregate", "nic0 p99 (ns)", "nic1 p99 (ns)"],
+            &rows
+        )
+    );
+}
+
 /// Re-runs the Table II 150 ns point with tracing, dumps Perfetto JSON to
 /// `path` and prints the per-stage latency attribution (the paper's "where
 /// does the access latency go" question, answered from the trace).
@@ -572,6 +608,9 @@ fn main() {
     }
     if run_all || picked.contains(&"faults") || picked.contains(&"--faults") {
         timed("faults", &faults);
+    }
+    if run_all || picked.contains(&"topology") || picked.contains(&"--topology") {
+        timed("topology", &topology);
     }
     if let Some(path) = trace_path {
         trace_dump(&path);

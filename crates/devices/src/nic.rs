@@ -19,12 +19,12 @@
 //! single pipeline, as on the real device. MMIO register reads serve the
 //! paper's Table II latency experiment.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
 use pcisim_kernel::packet::{Command, CompletionStatus, Packet};
 use pcisim_kernel::sim::Ctx;
-use pcisim_kernel::stats::{Counter, StatsBuilder};
+use pcisim_kernel::stats::{Counter, Histogram, StatsBuilder};
 use pcisim_kernel::tick::{ns, Tick};
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
 use pcisim_pci::caps::{
@@ -229,6 +229,10 @@ struct NicStats {
     /// DMA requests that completed with an error status (UR/CA/timeout)
     /// instead of data; reads consumed all-ones.
     dma_error_completions: Counter,
+    /// Round-trip fabric latency of DMA read TLPs, issue to completion,
+    /// in ticks — the per-stream tail-latency view the contention
+    /// experiments compare.
+    dma_read_latency: Histogram,
     irqs: Counter,
 }
 
@@ -254,6 +258,8 @@ pub struct Nic {
     jobs: VecDeque<DmaJob>,
     active: Option<ActiveJob>,
     stalled: Option<Packet>,
+    /// Issue tick of each in-flight DMA read, by packet id.
+    dma_read_issue: HashMap<u64, Tick>,
     // TX engine.
     tx_phase: TxPhase,
     // RX engine.
@@ -292,6 +298,7 @@ impl Nic {
                 jobs: VecDeque::new(),
                 active: None,
                 stalled: None,
+                dma_read_issue: HashMap::new(),
                 tx_phase: TxPhase::Idle,
                 rx_phase: RxPhase::Idle,
                 rx_fifo: 0,
@@ -400,6 +407,9 @@ impl Nic {
                 Ok(()) => {
                     let kind = if write { TraceKind::DmaWrite } else { TraceKind::DmaRead };
                     ctx.emit(TraceCategory::Device, kind, Some(id), None, u64::from(chunk));
+                    if !write {
+                        self.dma_read_issue.insert(id.0, ctx.now());
+                    }
                     self.chunk_issued(chunk);
                 }
                 Err(back) => {
@@ -695,6 +705,9 @@ impl Component for Nic {
         if let Some(buf) = pkt.take_payload() {
             ctx.recycle_payload(buf);
         }
+        if let Some(issued) = self.dma_read_issue.remove(&pkt.id().0) {
+            self.stats.dma_read_latency.record((ctx.now() - issued) as f64);
+        }
         if let Some(active) = &mut self.active {
             active.outstanding -= 1;
         }
@@ -723,8 +736,12 @@ impl Component for Nic {
                 if let Some(pkt) = self.stalled.take() {
                     let chunk = pkt.size();
                     let is_msg = pkt.cmd() == Command::Message;
+                    let read_id = (pkt.cmd() == Command::ReadReq).then(|| pkt.id().0);
                     match ctx.try_send_request(NIC_DMA_PORT, pkt) {
                         Ok(()) => {
+                            if let Some(id) = read_id {
+                                self.dma_read_issue.insert(id, ctx.now());
+                            }
                             if !is_msg {
                                 self.chunk_issued(chunk);
                             }
@@ -755,6 +772,7 @@ impl Component for Nic {
         out.counter("dma_write_tlps", &self.stats.dma_write_tlps);
         out.counter("dma_bytes", &self.stats.dma_bytes);
         out.counter("dma_error_completions", &self.stats.dma_error_completions);
+        out.histogram("dma_read_latency", &self.stats.dma_read_latency);
         out.counter("irqs", &self.stats.irqs);
     }
 }

@@ -12,8 +12,9 @@
 //!   address;
 //! * **requests** arriving on a downstream slave (DMA) are stamped with the
 //!   VP2P's secondary bus number if the packet's PCI bus field is still
-//!   unset, then forwarded upstream (or, in a switch, peer-to-peer when a
-//!   sibling window matches);
+//!   unset, then forwarded peer-to-peer when a sibling window matches and
+//!   upstream otherwise — in both switches and the root complex, so reads
+//!   between endpoints under different root ports never leave the fabric;
 //! * **responses** are routed by comparing the packet's bus number against
 //!   each VP2P's secondary..=subordinate range; no match forwards upstream.
 //!
@@ -63,11 +64,12 @@ pub fn port_downstream_slave(i: usize) -> PortId {
 /// Whether the router is a root complex or a switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterKind {
-    /// The root complex: downstream ports are root ports; DMA always goes
-    /// upstream (through the IOCache to memory).
+    /// The root complex: downstream ports are root ports; DMA that no
+    /// sibling root-port window claims goes upstream (through the IOCache
+    /// to memory).
     RootComplex,
-    /// A switch: carries an upstream VP2P and supports peer-to-peer
-    /// routing between downstream ports.
+    /// A switch: carries an upstream VP2P on top of the shared
+    /// peer-to-peer / upstream routing.
     Switch,
 }
 
@@ -175,6 +177,11 @@ struct PendingCompletion {
     /// Full clone of the admitted request, kept so a synthesized error
     /// completion carries the real route stack back through the fabric.
     request: Packet,
+    /// Downstream pair the request was routed toward (window match at
+    /// admission), so a timeout latches in that port's registers rather
+    /// than blaming port 0 for every failure. `None` when no window
+    /// claimed the address.
+    pair: Option<usize>,
 }
 
 /// The shared root-complex / switch component. Construct with
@@ -305,13 +312,13 @@ impl PcieRouter {
                 let i = self.downstream_by_window(pkt.addr(), None)?;
                 port_downstream_master(i).0 as usize
             } else {
-                // DMA from a downstream device.
+                // DMA from a downstream device: peer-to-peer when a
+                // sibling window claims the address (between root ports as
+                // much as between switch downstream ports), else upstream.
                 debug_assert!(ingress >= 2 && ingress % 2 == 1, "requests enter slave ports");
-                if self.kind == RouterKind::Switch {
-                    let pair = (ingress - 2) / 2;
-                    if let Some(j) = self.downstream_by_window(pkt.addr(), Some(pair)) {
-                        return Some(port_downstream_master(j).0 as usize);
-                    }
+                let pair = (ingress - 2) / 2;
+                if let Some(j) = self.downstream_by_window(pkt.addr(), Some(pair)) {
+                    return Some(port_downstream_master(j).0 as usize);
                 }
                 up_master
             }
@@ -336,10 +343,26 @@ impl PcieRouter {
         }
     }
 
-    /// Records a master abort: Received-Master-Abort in the legacy status
+    /// The configuration space errors are attributed to: the VP2P of the
+    /// downstream pair that carried (or should have carried) the
+    /// transaction when known, the upstream stand-in otherwise.
+    fn attributed_cs(&self, pair: Option<usize>) -> SharedConfigSpace {
+        match pair {
+            Some(i) => self.vp2ps[i].clone(),
+            None => self.upstream_cs(),
+        }
+    }
+
+    /// Downstream pair a kernel port index belongs to, if any.
+    fn pair_of(ingress: usize) -> Option<usize> {
+        (ingress >= 2).then(|| (ingress - 2) / 2)
+    }
+
+    /// Records a master abort against downstream pair `pair` (or the
+    /// upstream stand-in): Received-Master-Abort in the legacy status
     /// register plus the Unsupported Request bit in AER.
-    fn record_master_abort(&mut self, pkt: &Packet) {
-        let cs = self.upstream_cs();
+    fn record_master_abort(&mut self, pkt: &Packet, pair: Option<usize>) {
+        let cs = self.attributed_cs(pair);
         let mut cs = cs.borrow_mut();
         let st = cs.read(common::STATUS, 2) as u16;
         cs.init_u16(common::STATUS, st | status::RECEIVED_MASTER_ABORT);
@@ -398,7 +421,7 @@ impl PcieRouter {
                     if head.is_posted() {
                         let pkt = self.ports[ingress].ingress.pop_front().expect("head exists");
                         self.stats.unsupported_requests.inc();
-                        self.record_master_abort(&pkt);
+                        self.record_master_abort(&pkt, Self::pair_of(ingress));
                         ctx.recycle_packet(pkt);
                         if self.ports[ingress].owe_ingress_retry && !self.ingress_full(ingress) {
                             self.ports[ingress].owe_ingress_retry = false;
@@ -419,7 +442,7 @@ impl PcieRouter {
             let pkt = self.ports[ingress].ingress.pop_front().expect("head exists");
             if unrouted {
                 self.stats.unsupported_requests.inc();
-                self.record_master_abort(&pkt);
+                self.record_master_abort(&pkt, Self::pair_of(ingress));
             }
             if ctx.tracing(TraceCategory::Router) {
                 ctx.emit(
@@ -532,10 +555,19 @@ impl PcieRouter {
                     let timer = ctx
                         .schedule(timeout, Event::Timer { kind: K_CPL_TIMEOUT, data: pkt.id().0 });
                     let request = ctx.clone_packet(&pkt);
-                    self.pending.insert(pkt.id().0, PendingCompletion { timer, request });
+                    let pair = self.downstream_by_window(pkt.addr(), None);
+                    self.pending.insert(pkt.id().0, PendingCompletion { timer, request, pair });
                 }
             }
         } else {
+            if pkt.status() == CompletionStatus::UnsupportedRequest {
+                // A completer below this port master-aborted the request:
+                // the port pair that forwarded it is the one whose
+                // bookkeeping must show it.
+                if let Some(pair) = Self::pair_of(ingress) {
+                    self.record_master_abort(&pkt, Some(pair));
+                }
+            }
             let id = pkt.id().0;
             if let Some(p) = self.pending.remove(&id) {
                 ctx.cancel_scheduled(p.timer);
@@ -545,7 +577,7 @@ impl PcieRouter {
                 // completion; this one is an Unexpected Completion and
                 // must not be forwarded a second time.
                 self.stats.late_completions.inc();
-                let cs = self.upstream_cs();
+                let cs = self.attributed_cs(Self::pair_of(ingress));
                 let source = u16::from(pkt.pci_bus().unwrap_or(0)) << 8;
                 aer_record_uncorrectable(
                     &mut cs.borrow_mut(),
@@ -581,7 +613,7 @@ impl PcieRouter {
         self.stats.completion_timeouts.inc();
         let mut req = p.request;
         {
-            let cs = self.upstream_cs();
+            let cs = self.attributed_cs(p.pair);
             let mut cs = cs.borrow_mut();
             let source = u16::from(req.pci_bus().unwrap_or(0)) << 8;
             aer_record_uncorrectable(&mut cs, aer::uncor::COMPLETION_TIMEOUT, source);
@@ -1041,6 +1073,113 @@ mod tests {
         assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
         assert_eq!(*served.borrow(), 1, "peer-to-peer request must reach device 1");
         assert_eq!(done.borrow().len(), 1, "peer-to-peer response must return to device 0");
+    }
+
+    #[test]
+    fn root_complex_peer_to_peer_crosses_sibling_root_ports() {
+        // A device under root port 0 reads a BAR under root port 1: the
+        // request must route across the sibling subtree without ever
+        // leaving the fabric, and the completion must return by bus number.
+        let mut sim = Simulation::new();
+        let rc = sim.add(Box::new(rc_two_ports(RouterConfig::default())));
+        let (req, done) = Requester::new("dev0", vec![(Command::ReadReq, mem1().start(), 4)]);
+        let r = sim.add(Box::new(req));
+        let (dev1, served) = Responder::new("dev1", 0);
+        let d1 = sim.add(Box::new(dev1));
+        // Upstream master left unconnected on purpose: the read must never
+        // try to go to memory.
+        sim.connect((r, REQUESTER_PORT), (rc, port_downstream_slave(0)));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(*served.borrow(), 1, "peer-to-peer read must reach the sibling endpoint");
+        assert_eq!(done.borrow().len(), 1, "completion must return to the requester");
+    }
+
+    #[test]
+    fn completion_timeout_latches_on_the_port_that_carried_the_request() {
+        // A hung device under root port 1: the timeout must latch in port
+        // 1's registers and leave port 0's spotless.
+        let cfg = RouterConfig {
+            completion_timeout: Some(pcisim_kernel::tick::us(50)),
+            ..RouterConfig::default()
+        };
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::ReadReq, mem1().start(), 4)]);
+        let r = sim.add(Box::new(req));
+        let rc = rc_two_ports(cfg);
+        let (rp0, rp1) = (rc.vp2p(0), rc.vp2p(1));
+        let rc = sim.add(Box::new(rc));
+        let (d0, _) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let b = sim.add(Box::new(BlackHole));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (b, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1);
+        let (uncor1, _) = pcisim_pci::caps::aer_status(&rp1.borrow());
+        assert_ne!(uncor1 & aer::uncor::COMPLETION_TIMEOUT, 0, "port 1 must log its timeout");
+        let cs0 = rp0.borrow();
+        let (uncor0, cor0) = pcisim_pci::caps::aer_status(&cs0);
+        assert_eq!((uncor0, cor0), (0, 0), "port 0 saw nothing and must stay clean");
+        assert_eq!(
+            cs0.read(common::STATUS, 2) as u16 & status::RECEIVED_MASTER_ABORT,
+            0,
+            "port 0's status register must stay clean"
+        );
+    }
+
+    /// Answers every request with an Unsupported Request error completion —
+    /// a completer that master-aborts.
+    struct Aborter;
+    impl Component for Aborter {
+        fn name(&self) -> &str {
+            "aborter"
+        }
+        fn recv_request(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) -> RecvResult {
+            ctx.schedule(0, Event::DelayedPacket { tag: 0, pkt });
+            RecvResult::Accepted
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            let Event::DelayedPacket { pkt, .. } = ev else { panic!() };
+            let resp = pkt.into_error_response(CompletionStatus::UnsupportedRequest);
+            ctx.try_send_response(PortId(0), resp).unwrap();
+        }
+    }
+
+    #[test]
+    fn forwarded_ur_completion_latches_master_abort_on_its_own_port() {
+        // The completer under root port 1 master-aborts: the UR completion
+        // travelling back through pair 1 must latch Received Master Abort
+        // in port 1's status register — and only there.
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::ReadReq, mem1().start(), 4)]);
+        let r = sim.add(Box::new(req));
+        let rc = rc_two_ports(RouterConfig::default());
+        let (rp0, rp1) = (rc.vp2p(0), rc.vp2p(1));
+        let rc = sim.add(Box::new(rc));
+        let (d0, _) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let a = sim.add(Box::new(Aborter));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (a, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1, "the UR completion still reaches the requester");
+        let cs1 = rp1.borrow();
+        assert_ne!(
+            cs1.read(common::STATUS, 2) as u16 & status::RECEIVED_MASTER_ABORT,
+            0,
+            "port 1 forwarded the UR and must record the master abort"
+        );
+        let cs0 = rp0.borrow();
+        assert_eq!(
+            cs0.read(common::STATUS, 2) as u16 & status::RECEIVED_MASTER_ABORT,
+            0,
+            "port 0 must stay clean"
+        );
+        let (uncor0, _) = pcisim_pci::caps::aer_status(&cs0);
+        assert_eq!(uncor0, 0, "port 0's AER must stay clean");
     }
 
     #[test]

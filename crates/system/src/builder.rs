@@ -1,17 +1,18 @@
 //! Full-system assembly (paper Fig. 6).
 //!
-//! Builds the topology the paper evaluates: a CPU-side memory bus with
-//! DRAM, interrupt controller and PCI host; the root complex hanging off
-//! the memory bus with its DMA path through the IOCache; and a PCI-Express
-//! device — the IDE disk behind a switch (the validation setup) or a NIC
-//! directly on a root port (the Table II setup) — connected through
-//! [`PcieLink`]s. After wiring, the builder runs the enumeration software
-//! and the device driver probe, so a built system is ready for a workload.
+//! Builds the topologies the paper evaluates — the IDE disk behind a
+//! switch (the validation setup), a NIC directly on a root port (the
+//! Table II setup), and the legacy pre-PCIe arrangement — as thin
+//! wrappers over the declarative [`Topology`](crate::topology::Topology)
+//! tree (`build_legacy_system` excepted: it carries no PCI-Express
+//! fabric at all). After wiring, the builder runs the enumeration
+//! software and the device driver probe, so a built system is ready for
+//! a workload.
 
 use pcisim_devices::driver::{ide_probe, ProbeInfo};
 use pcisim_devices::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
 use pcisim_devices::intc::{InterruptController, INTC_FABRIC_PORT};
-use pcisim_devices::nic::{Nic, NicConfig, NIC_DMA_PORT, NIC_PIO_PORT};
+use pcisim_devices::nic::NicConfig;
 use pcisim_kernel::component::{ComponentId, PortId};
 use pcisim_kernel::dram::{Dram, DRAM_PORT};
 use pcisim_kernel::iocache::{IoCache, IOCACHE_DEV_SIDE, IOCACHE_MEM_SIDE};
@@ -19,20 +20,14 @@ use pcisim_kernel::sim::Simulation;
 use pcisim_kernel::tick::{ns, us, Tick};
 use pcisim_kernel::trace::TraceCategory;
 use pcisim_kernel::xbar::Crossbar;
-use pcisim_pci::caps::PortType;
 use pcisim_pci::ecam::Bdf;
 use pcisim_pci::enumeration::{enumerate, EnumerationReport};
 use pcisim_pci::host::{shared_registry, PciHost, SharedRegistry, PCI_HOST_PORT};
-use pcisim_pcie::link::{
-    PcieLink, PORT_DOWN_MASTER, PORT_DOWN_SLAVE, PORT_UP_MASTER, PORT_UP_SLAVE,
-};
 use pcisim_pcie::params::LinkConfig;
-use pcisim_pcie::router::{
-    make_vp2p, port_downstream_master, port_downstream_slave, PcieRouter, RouterConfig,
-    PORT_UPSTREAM_MASTER, PORT_UPSTREAM_SLAVE,
-};
+use pcisim_pcie::router::RouterConfig;
 
 use crate::platform;
+use crate::topology::{build_topology, Attachment, Node, Topology};
 use crate::workload::dd::{DdApp, DdConfig, DdReportHandle, DD_IRQ_PORT, DD_MEM_PORT};
 use crate::workload::mmio::{MmioProbe, MmioProbeConfig, MmioReportHandle, MMIO_MEM_PORT};
 use crate::workload::nic_rx::{
@@ -204,230 +199,16 @@ impl BuiltSystem {
 /// Panics when enumeration or the driver probe fails — a built-in
 /// topology that does not enumerate is a bug, not a runtime condition.
 pub fn build_system(config: SystemConfig) -> BuiltSystem {
-    let registry = shared_registry();
-    let has_switch = config.switch.is_some();
-
-    // --- VP2Ps and device configuration spaces, registered at the BDFs
-    // the depth-first enumeration will assign.
-    let rp_ids = [0x9c90u16, 0x9c92, 0x9c94]; // Intel Wildcat root ports (§V-A)
-    let rp_vp2ps: Vec<_> = rp_ids
-        .iter()
-        .map(|&id| {
-            make_vp2p(
-                0x8086,
-                id,
-                PortType::RootPort,
-                config.root_link.generation,
-                config.root_link.width,
-            )
-        })
-        .collect();
-    for (i, vp2p) in rp_vp2ps.iter().enumerate() {
-        registry.borrow_mut().register(Bdf::new(0, (i + 1) as u8, 0), vp2p.clone());
-    }
-
-    let mut switch_vp2ps = None;
-    if has_switch {
-        let up = make_vp2p(
-            0x8086,
-            0xaa01,
-            PortType::SwitchUpstream,
-            config.root_link.generation,
-            config.root_link.width,
-        );
-        let down: Vec<_> = [0xaa02u16, 0xaa03]
-            .iter()
-            .map(|&id| {
-                make_vp2p(
-                    0x8086,
-                    id,
-                    PortType::SwitchDownstream,
-                    config.device_link.generation,
-                    config.device_link.width,
-                )
-            })
-            .collect();
-        registry.borrow_mut().register(Bdf::new(1, 0, 0), up.clone());
-        for (i, d) in down.iter().enumerate() {
-            registry.borrow_mut().register(Bdf::new(2, i as u8, 0), d.clone());
-        }
-        switch_vp2ps = Some((up, down));
-    }
-
-    // Device config space: bus 3 behind the switch, bus 1 without one.
-    let device_bus = if has_switch { 3 } else { 1 };
-    let (disk_parts, nic_parts);
-    let device_cs = match &config.device {
-        DeviceSpec::Disk(disk_cfg) => {
-            let (disk, cs) = IdeDisk::new(
-                "disk",
-                IdeDiskConfig {
-                    intx: Some((0, 0)), // irq patched below
-                    msi_capable: config.use_msi,
-                    ..disk_cfg.clone()
-                },
-            );
-            disk_parts = Some(disk);
-            nic_parts = None;
-            cs
-        }
-        DeviceSpec::Nic(nic_cfg) => {
-            let (nic, cs) = Nic::new(
-                "nic",
-                NicConfig { intx: Some((0, 0)), msi_capable: config.use_msi, ..nic_cfg.clone() },
-            );
-            nic_parts = Some(nic);
-            disk_parts = None;
-            cs
-        }
-    };
-    registry.borrow_mut().register(Bdf::new(device_bus, 0, 0), device_cs.clone());
-
-    // --- Enumeration software + driver probe (functional, at "boot").
-    let report = enumerate(&mut registry.clone(), platform::enumeration_config())
-        .expect("built-in topology must enumerate");
-    // MSI vectors (when requested) live above the legacy IRQ range.
-    const MSI_VECTOR: u8 = 96;
-    let msi_policy = if config.use_msi {
-        pcisim_devices::driver::MsiPolicy::Request {
-            address: crate::platform::INTC_BASE + u64::from(MSI_VECTOR) * 4,
-            data: u16::from(MSI_VECTOR),
-        }
-    } else {
-        pcisim_devices::driver::MsiPolicy::LegacyOnly
-    };
-    let table = match &config.device {
-        DeviceSpec::Disk(_) => pcisim_devices::driver::IDE_DEVICE_TABLE,
-        DeviceSpec::Nic(_) => pcisim_devices::driver::E1000E_DEVICE_TABLE,
-    };
-    let probe = pcisim_devices::driver::probe_with_policy(
-        &mut registry.clone(),
-        &report,
-        table,
-        msi_policy,
-    )
-    .expect("built-in topology must probe");
-    let irq = match probe.interrupt {
-        pcisim_devices::driver::InterruptMode::Legacy(irq) => irq,
-        pcisim_devices::driver::InterruptMode::Msi => {
-            assert!(config.use_msi, "MSI must only engage when requested");
-            MSI_VECTOR
-        }
-    };
-
-    // Patch the device's interrupt target now that the IRQ is known.
-    let intx = Some((irq, platform::INTC_BASE));
-    let mut disk_parts = disk_parts;
-    let mut nic_parts = nic_parts;
-    if let Some(disk) = &mut disk_parts {
-        disk.set_intx(intx);
-    }
-    if let Some(nic) = &mut nic_parts {
-        nic.set_intx(intx);
-    }
-
-    // --- Components.
-    let mut sim = Simulation::new();
-    sim.set_trace_mask(config.trace_mask);
-    let mut intc = InterruptController::new("gic", platform::intc_range());
-    let cpu_irq = intc.route_irq(irq);
-
-    let membus = Crossbar::builder("membus")
-        .num_ports(6)
-        .frontend_latency(config.membus_frontend)
-        .queue_capacity(64)
-        .route(platform::dram_range(), PortId(1))
-        .route(platform::intc_range(), PortId(2))
-        .route(platform::config_range(), PortId(3))
-        .route(platform::mem_range(), PortId(4))
-        .route(platform::io_range(), PortId(4))
-        .build();
-    // Port map: 0 = CPU workload, 1 = DRAM, 2 = INTC, 3 = PCI host,
-    // 4 = RC upstream slave (both PCI windows), 5 = IOCache memory side.
-    let membus_id = sim.add(Box::new(membus));
-
-    let dram_id = sim.add(Box::new(
-        Dram::builder("dram", platform::dram_range())
-            .latency(config.dram_latency)
-            .bandwidth(config.dram_bandwidth)
-            .build(),
-    ));
-    let intc_id = sim.add(Box::new(intc));
-    let host_id = sim.add(Box::new(PciHost::new(
-        "pcihost",
-        platform::PCI_CONFIG_BASE,
-        platform::PCI_CONFIG_SIZE,
-        config.pcihost_latency,
-        registry.clone(),
-    )));
-    let iocache_id =
-        sim.add(Box::new(IoCache::builder("iocache").mshrs(config.iocache_mshrs).build()));
-    // The link ends report data-link errors into the AER blocks of the
-    // config spaces they terminate at: root port 0 upstream, the switch's
-    // upstream port (or the device itself) downstream.
-    let rp0_cs = rp_vp2ps[0].clone();
-    let rc_id = sim.add(Box::new(PcieRouter::root_complex("rc", config.rc.clone(), rp_vp2ps)));
-    let mut root_link = PcieLink::new("root_link", config.root_link.clone());
-    let root_link_downstream = match &switch_vp2ps {
-        Some((up, _)) => up.clone(),
-        None => device_cs.clone(),
-    };
-    root_link.attach_aer(Some(rp0_cs), Some(root_link_downstream));
-    let root_link_id = sim.add(Box::new(root_link));
-
-    // --- Wiring: memory side.
-    sim.connect((membus_id, PortId(1)), (dram_id, DRAM_PORT));
-    sim.connect((membus_id, PortId(2)), (intc_id, INTC_FABRIC_PORT));
-    sim.connect((membus_id, PortId(3)), (host_id, PCI_HOST_PORT));
-    sim.connect((membus_id, PortId(4)), (rc_id, PORT_UPSTREAM_SLAVE));
-    sim.connect((rc_id, PORT_UPSTREAM_MASTER), (iocache_id, IOCACHE_DEV_SIDE));
-    sim.connect((iocache_id, IOCACHE_MEM_SIDE), (membus_id, PortId(5)));
-
-    // --- Wiring: PCIe side.
-    sim.connect((rc_id, port_downstream_master(0)), (root_link_id, PORT_UP_SLAVE));
-    sim.connect((rc_id, port_downstream_slave(0)), (root_link_id, PORT_UP_MASTER));
-
-    let (dev_pio, dev_dma, dev_id);
-    match (disk_parts, nic_parts) {
-        (Some(disk), None) => {
-            dev_id = sim.add(Box::new(disk));
-            dev_pio = IDE_PIO_PORT;
-            dev_dma = IDE_DMA_PORT;
-        }
-        (None, Some(nic)) => {
-            dev_id = sim.add(Box::new(nic));
-            dev_pio = NIC_PIO_PORT;
-            dev_dma = NIC_DMA_PORT;
-        }
-        _ => unreachable!("exactly one device"),
-    }
-
-    if let Some(switch_cfg) = &config.switch {
-        let (up, down) = switch_vp2ps.expect("switch vp2ps exist");
-        let down0_cs = down[0].clone();
-        let switch_id =
-            sim.add(Box::new(PcieRouter::switch("switch", switch_cfg.clone(), up, down)));
-        let mut dev_link = PcieLink::new("dev_link", config.device_link.clone());
-        dev_link.attach_aer(Some(down0_cs), Some(device_cs.clone()));
-        let dev_link_id = sim.add(Box::new(dev_link));
-        sim.connect((root_link_id, PORT_DOWN_MASTER), (switch_id, PORT_UPSTREAM_SLAVE));
-        sim.connect((root_link_id, PORT_DOWN_SLAVE), (switch_id, PORT_UPSTREAM_MASTER));
-        sim.connect((switch_id, port_downstream_master(0)), (dev_link_id, PORT_UP_SLAVE));
-        sim.connect((switch_id, port_downstream_slave(0)), (dev_link_id, PORT_UP_MASTER));
-        sim.connect((dev_link_id, PORT_DOWN_MASTER), (dev_id, dev_pio));
-        sim.connect((dev_link_id, PORT_DOWN_SLAVE), (dev_id, dev_dma));
-    } else {
-        sim.connect((root_link_id, PORT_DOWN_MASTER), (dev_id, dev_pio));
-        sim.connect((root_link_id, PORT_DOWN_SLAVE), (dev_id, dev_dma));
-    }
-
+    let built = build_topology(Topology::from_system_config(&config));
+    let probe = built.probe.expect("built-in topology must probe");
+    let endpoint = &built.endpoints[0];
     BuiltSystem {
-        sim,
-        registry,
-        report,
+        cpu_mem_port: endpoint.cpu_mem_port,
+        cpu_irq_port: endpoint.cpu_irq_port,
+        sim: built.sim,
+        registry: built.registry,
+        report: built.report,
         probe,
-        cpu_mem_port: (membus_id, PortId(0)),
-        cpu_irq_port: (intc_id, cpu_irq),
     }
 }
 
@@ -767,153 +548,37 @@ impl DualDiskSystem {
 /// Panics when the configuration carries no switch or when enumeration
 /// fails.
 pub fn build_dual_disk_system(config: SystemConfig) -> DualDiskSystem {
-    use pcisim_devices::driver::InterruptMode;
-
     let switch_cfg = config.switch.clone().expect("dual-disk topology needs a switch");
     let disk_cfg = match &config.device {
         DeviceSpec::Disk(d) => d.clone(),
         DeviceSpec::Nic(_) => panic!("dual-disk topology needs DeviceSpec::Disk"),
     };
-    let registry = shared_registry();
-
-    // VP2Ps as in build_system.
-    let rp_ids = [0x9c90u16, 0x9c92, 0x9c94];
-    let rp_vp2ps: Vec<_> = rp_ids
-        .iter()
-        .map(|&id| {
-            make_vp2p(
-                0x8086,
-                id,
-                PortType::RootPort,
-                config.root_link.generation,
-                config.root_link.width,
-            )
-        })
-        .collect();
-    for (i, vp2p) in rp_vp2ps.iter().enumerate() {
-        registry.borrow_mut().register(Bdf::new(0, (i + 1) as u8, 0), vp2p.clone());
-    }
-    let up = make_vp2p(
-        0x8086,
-        0xaa01,
-        PortType::SwitchUpstream,
-        config.root_link.generation,
-        config.root_link.width,
-    );
-    let down: Vec<_> = [0xaa02u16, 0xaa03]
-        .iter()
-        .map(|&id| {
-            make_vp2p(
-                0x8086,
-                id,
-                PortType::SwitchDownstream,
-                config.device_link.generation,
-                config.device_link.width,
-            )
-        })
-        .collect();
-    registry.borrow_mut().register(Bdf::new(1, 0, 0), up.clone());
-    for (i, d) in down.iter().enumerate() {
-        registry.borrow_mut().register(Bdf::new(2, i as u8, 0), d.clone());
-    }
 
     // Two disks: behind downstream port 0 (bus 3) and port 1 (bus 4).
-    let (disk0, cs0) =
-        IdeDisk::new("disk0", IdeDiskConfig { intx: Some((0, 0)), ..disk_cfg.clone() });
-    let (disk1, cs1) = IdeDisk::new("disk1", IdeDiskConfig { intx: Some((0, 0)), ..disk_cfg });
-    registry.borrow_mut().register(Bdf::new(3, 0, 0), cs0.clone());
-    registry.borrow_mut().register(Bdf::new(4, 0, 0), cs1.clone());
+    let ports = (0..2)
+        .map(|i| {
+            let disk = Node::endpoint(format!("disk{i}"), DeviceSpec::Disk(disk_cfg.clone()));
+            let link_name = if i == 0 { "dev_link".to_string() } else { format!("dev_link{i}") };
+            Some(Attachment::named(link_name, config.device_link.clone(), disk))
+        })
+        .collect();
+    let switch = Node::Switch { config: switch_cfg, name: Some("switch".into()), ports };
+    let root = Attachment::named("root_link", config.root_link.clone(), switch);
+    let mut topo = Topology::new(config.rc.clone(), vec![Some(root), None, None]);
+    topo.membus_frontend = config.membus_frontend;
+    topo.dram_latency = config.dram_latency;
+    topo.dram_bandwidth = config.dram_bandwidth;
+    topo.iocache_mshrs = config.iocache_mshrs;
+    topo.pcihost_latency = config.pcihost_latency;
+    topo.trace_mask = config.trace_mask;
 
-    let report = enumerate(&mut registry.clone(), platform::enumeration_config())
-        .expect("dual-disk topology must enumerate");
-
-    let mut disk_bars = [0u64; 2];
-    let mut irqs = [0u8; 2];
-    for (i, bus) in [3u8, 4].iter().enumerate() {
-        let info = report.at(Bdf::new(*bus, 0, 0)).expect("disk enumerated");
-        disk_bars[i] = info.bars.iter().find(|b| !b.is_io).expect("memory BAR").base;
-        irqs[i] = info.irq.expect("interrupt pin wired");
-    }
-    let _ = InterruptMode::Legacy(0); // both disks use INTx here
-
-    let mut disk0 = disk0;
-    let mut disk1 = disk1;
-    disk0.set_intx(Some((irqs[0], platform::INTC_BASE)));
-    disk1.set_intx(Some((irqs[1], platform::INTC_BASE)));
-
-    let mut sim = Simulation::new();
-    let mut intc = InterruptController::new("gic", platform::intc_range());
-    let cpu_irq0 = intc.route_irq(irqs[0]);
-    let cpu_irq1 = intc.route_irq(irqs[1]);
-
-    // MemBus: 0 = dd0, 1 = DRAM, 2 = INTC, 3 = PCI host, 4 = RC upstream,
-    // 5 = IOCache mem side, 6 = dd1.
-    let membus = Crossbar::builder("membus")
-        .num_ports(7)
-        .frontend_latency(config.membus_frontend)
-        .queue_capacity(64)
-        .route(platform::dram_range(), PortId(1))
-        .route(platform::intc_range(), PortId(2))
-        .route(platform::config_range(), PortId(3))
-        .route(platform::mem_range(), PortId(4))
-        .route(platform::io_range(), PortId(4))
-        .build();
-    let membus_id = sim.add(Box::new(membus));
-    let dram_id = sim.add(Box::new(
-        Dram::builder("dram", platform::dram_range())
-            .latency(config.dram_latency)
-            .bandwidth(config.dram_bandwidth)
-            .build(),
-    ));
-    let intc_id = sim.add(Box::new(intc));
-    let host_id = sim.add(Box::new(PciHost::new(
-        "pcihost",
-        platform::PCI_CONFIG_BASE,
-        platform::PCI_CONFIG_SIZE,
-        config.pcihost_latency,
-        registry.clone(),
-    )));
-    let iocache_id =
-        sim.add(Box::new(IoCache::builder("iocache").mshrs(config.iocache_mshrs).build()));
-    let rp0_cs = rp_vp2ps[0].clone();
-    let rc_id = sim.add(Box::new(PcieRouter::root_complex("rc", config.rc.clone(), rp_vp2ps)));
-    let mut root_link = PcieLink::new("root_link", config.root_link.clone());
-    root_link.attach_aer(Some(rp0_cs), Some(up.clone()));
-    let root_link_id = sim.add(Box::new(root_link));
-    let (down0_cs, down1_cs) = (down[0].clone(), down[1].clone());
-    let switch_id = sim.add(Box::new(PcieRouter::switch("switch", switch_cfg, up, down)));
-    let mut link0 = PcieLink::new("dev_link", config.device_link.clone());
-    link0.attach_aer(Some(down0_cs), Some(cs0));
-    let link0_id = sim.add(Box::new(link0));
-    let mut link1 = PcieLink::new("dev_link1", config.device_link.clone());
-    link1.attach_aer(Some(down1_cs), Some(cs1));
-    let link1_id = sim.add(Box::new(link1));
-    let disk0_id = sim.add(Box::new(disk0));
-    let disk1_id = sim.add(Box::new(disk1));
-
-    sim.connect((membus_id, PortId(1)), (dram_id, DRAM_PORT));
-    sim.connect((membus_id, PortId(2)), (intc_id, INTC_FABRIC_PORT));
-    sim.connect((membus_id, PortId(3)), (host_id, PCI_HOST_PORT));
-    sim.connect((membus_id, PortId(4)), (rc_id, PORT_UPSTREAM_SLAVE));
-    sim.connect((rc_id, PORT_UPSTREAM_MASTER), (iocache_id, IOCACHE_DEV_SIDE));
-    sim.connect((iocache_id, IOCACHE_MEM_SIDE), (membus_id, PortId(5)));
-    sim.connect((rc_id, port_downstream_master(0)), (root_link_id, PORT_UP_SLAVE));
-    sim.connect((rc_id, port_downstream_slave(0)), (root_link_id, PORT_UP_MASTER));
-    sim.connect((root_link_id, PORT_DOWN_MASTER), (switch_id, PORT_UPSTREAM_SLAVE));
-    sim.connect((root_link_id, PORT_DOWN_SLAVE), (switch_id, PORT_UPSTREAM_MASTER));
-    for (i, (link_id, disk_id)) in [(link0_id, disk0_id), (link1_id, disk1_id)].iter().enumerate() {
-        sim.connect((switch_id, port_downstream_master(i)), (*link_id, PORT_UP_SLAVE));
-        sim.connect((switch_id, port_downstream_slave(i)), (*link_id, PORT_UP_MASTER));
-        sim.connect((*link_id, PORT_DOWN_MASTER), (*disk_id, IDE_PIO_PORT));
-        sim.connect((*link_id, PORT_DOWN_SLAVE), (*disk_id, IDE_DMA_PORT));
-    }
-
+    let built = build_topology(topo);
     DualDiskSystem {
-        sim,
-        report,
-        disk_bars,
-        cpu_mem_ports: [(membus_id, PortId(0)), (membus_id, PortId(6))],
-        cpu_irq_ports: [(intc_id, cpu_irq0), (intc_id, cpu_irq1)],
+        disk_bars: [built.endpoints[0].bar0, built.endpoints[1].bar0],
+        cpu_mem_ports: [built.endpoints[0].cpu_mem_port, built.endpoints[1].cpu_mem_port],
+        cpu_irq_ports: [built.endpoints[0].cpu_irq_port, built.endpoints[1].cpu_irq_port],
+        sim: built.sim,
+        report: built.report,
     }
 }
 

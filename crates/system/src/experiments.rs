@@ -789,3 +789,125 @@ mod nic_tx_tests {
         assert!(gain < 1.05, "the medium, not the link, must limit x8+: gain {gain}");
     }
 }
+
+/// Parameters of the multi-endpoint contention experiment (`repro
+/// --topology`): the same pair of NIC transmit streams run twice — behind
+/// one switch sharing a single upstream link, then split across two root
+/// ports — to measure what fabric sharing costs in bandwidth and tail
+/// latency.
+#[derive(Debug, Clone)]
+pub struct TopologyExperiment {
+    /// Frames each NIC transmits.
+    pub frames: u32,
+    /// Frame payload bytes.
+    pub frame_bytes: u32,
+    /// Per-NIC medium rate (wire time per frame); 1514 B / 1.2 µs ≈
+    /// 10 Gb/s of offered load per stream.
+    pub tx_wire_time: Tick,
+}
+
+impl Default for TopologyExperiment {
+    fn default() -> Self {
+        Self { frames: 256, frame_bytes: 1514, tx_wire_time: tick::ns(1200) }
+    }
+}
+
+/// Measurements of one arm (shared or split) of the contention
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct ContentionOutcome {
+    /// Payload throughput of each stream in Gb/s.
+    pub per_stream_gbps: [f64; 2],
+    /// 99th-percentile DMA read round-trip latency of each NIC in ns.
+    pub p99_dma_read_ns: [f64; 2],
+    /// Whether both streams completed.
+    pub completed: bool,
+}
+
+impl ContentionOutcome {
+    /// Combined throughput of both streams in Gb/s.
+    pub fn aggregate_gbps(&self) -> f64 {
+        self.per_stream_gbps.iter().sum()
+    }
+}
+
+/// Both arms of the contention experiment.
+#[derive(Debug, Clone)]
+pub struct TopologyOutcome {
+    /// Two NICs behind one switch, sharing the upstream link.
+    pub shared: ContentionOutcome,
+    /// The same NICs split across root ports 0 and 1.
+    pub split: ContentionOutcome,
+}
+
+fn run_contention_arm(
+    topo: crate::topology::Topology,
+    exp: &TopologyExperiment,
+) -> ContentionOutcome {
+    let mut built = crate::topology::build_topology(topo);
+    let workload = crate::workload::nic_tx::NicTxConfig {
+        frames: exp.frames,
+        frame_bytes: exp.frame_bytes,
+        ..Default::default()
+    };
+    let r0 = built.attach_nic_tx(0, workload.clone());
+    let r1 = built.attach_nic_tx(1, workload);
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let stats = built.sim.stats();
+    let p99_ns = |nic: &str| {
+        stats.get(&format!("{nic}.dma_read_latency.p99")).unwrap_or(0.0) / tick::TICKS_PER_NS as f64
+    };
+    let result = ContentionOutcome {
+        per_stream_gbps: [r0.borrow().throughput_gbps(), r1.borrow().throughput_gbps()],
+        p99_dma_read_ns: [p99_ns("nic0"), p99_ns("nic1")],
+        completed: r0.borrow().done && r1.borrow().done && outcome == RunOutcome::QueueEmpty,
+    };
+    result
+}
+
+/// Runs the contention experiment: identical dual-NIC transmit workloads
+/// over [`Topology::dual_nic_shared`](crate::topology::Topology) and
+/// [`Topology::dual_nic_split`](crate::topology::Topology). Sharing one
+/// upstream link must cost aggregate bandwidth and inflate the DMA p99
+/// relative to the split placement — the trade the paper's Fig. 2
+/// architecture lets a designer quantify before building hardware.
+pub fn run_topology_experiment(exp: &TopologyExperiment) -> TopologyOutcome {
+    use pcisim_devices::nic::NicConfig;
+    let nic = NicConfig { tx_wire_time: exp.tx_wire_time, ..NicConfig::default() };
+    TopologyOutcome {
+        shared: run_contention_arm(crate::topology::Topology::dual_nic_shared(nic.clone()), exp),
+        split: run_contention_arm(crate::topology::Topology::dual_nic_split(nic), exp),
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+
+    #[test]
+    fn shared_uplink_costs_bandwidth_and_tail_latency() {
+        let out = run_topology_experiment(&TopologyExperiment {
+            frames: 128,
+            ..TopologyExperiment::default()
+        });
+        assert!(out.shared.completed && out.split.completed);
+        // Split streams each own a root link: the pair in aggregate must
+        // beat the shared-uplink pair, and the shared arm's DMA reads
+        // must queue visibly longer at the tail.
+        assert!(
+            out.split.aggregate_gbps() > out.shared.aggregate_gbps() * 1.05,
+            "split {:?} vs shared {:?}",
+            out.split,
+            out.shared
+        );
+        assert!(
+            out.shared.p99_dma_read_ns[0] > out.split.p99_dma_read_ns[0],
+            "shared p99 {:?} vs split p99 {:?}",
+            out.shared.p99_dma_read_ns,
+            out.split.p99_dma_read_ns
+        );
+        // Fair sharing: neither shared stream starves the other.
+        let [a, b] = out.shared.per_stream_gbps;
+        assert!((a - b).abs() < 0.3 * a.max(b), "unfair share: {a} vs {b}");
+    }
+}

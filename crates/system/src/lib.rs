@@ -1,6 +1,8 @@
 //! `pcisim-system` — full-system assembly and the paper's workloads.
 //!
 //! * [`platform`] — the ARM `Vexpress_GEM5_V1` address map (§III);
+//! * [`topology`] — declarative PCI-Express trees: N root ports,
+//!   switches nested to arbitrary depth, any mix of endpoints (Fig. 2);
 //! * [`builder`] — wires memory bus, DRAM, IOCache, PCI host, interrupt
 //!   controller, root complex, switch, links and a device into one
 //!   enumerated, driver-probed system (Fig. 6);
@@ -16,6 +18,7 @@ pub mod builder;
 pub mod experiments;
 pub mod platform;
 pub mod sweep;
+pub mod topology;
 pub mod workload;
 
 /// Convenient glob import for examples and benches.
@@ -27,11 +30,15 @@ pub mod prelude {
     pub use crate::experiments::{
         error_rate_ladder, error_rate_sweep, run_dd_experiment, run_fault_experiment,
         run_mmio_experiment, run_nic_rx_experiment, run_nic_tx_experiment, run_sector_microbench,
-        DdExperiment, DdOutcome, FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome,
-        NicRxExperiment, NicRxOutcome, NicTxExperiment, NicTxOutcome,
+        run_topology_experiment, ContentionOutcome, DdExperiment, DdOutcome, FaultExperiment,
+        FaultOutcome, MmioExperiment, MmioOutcome, NicRxExperiment, NicRxOutcome, NicTxExperiment,
+        NicTxOutcome, TopologyExperiment, TopologyOutcome,
     };
     pub use crate::platform;
     pub use crate::sweep::{default_jobs, run_sweep};
+    pub use crate::topology::{
+        build_topology, Attachment, EndpointHandle, Node, PlannedTopology, Topology, TopologySystem,
+    };
     pub use crate::workload::dd::{DdConfig, DdReport, DdReportHandle};
     pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};

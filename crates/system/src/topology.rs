@@ -1,0 +1,960 @@
+//! Declarative PCI-Express tree topologies (paper §V, Fig. 2/6).
+//!
+//! The paper's root complex carries **three root ports**, and its whole
+//! point is *future system exploration* — so the system builder takes a
+//! [`Topology`]: a tree with N root ports on the root complex, switches
+//! nestable to arbitrary depth with per-node timing/buffering, and any
+//! mix of IDE-disk / NIC endpoints at the leaves.
+//!
+//! A topology is built in two stages:
+//!
+//! 1. [`Topology::plan`] walks the tree in the exact depth-first order
+//!    the enumeration software will, creating every VP2P and endpoint
+//!    configuration space and registering it at the BDF enumeration will
+//!    discover it at (each bridge consumes one bus number when visited,
+//!    populated or not);
+//! 2. [`build_topology`] runs real enumeration + driver setup over the
+//!    registry, then instantiates and wires the simulation: memory bus,
+//!    DRAM, interrupt controller, PCI host, IOCache, the root complex,
+//!    and one [`PcieLink`] per tree edge.
+//!
+//! The paper's validation chain (disk behind a switch on root port 0) is
+//! [`Topology::validation`]; [`build_system`](crate::builder::build_system)
+//! is now a thin wrapper over this module and reproduces the original
+//! golden anchors bit-identically.
+
+use std::collections::HashMap;
+
+use pcisim_devices::driver::{probe_with_policy, InterruptMode, MsiPolicy, ProbeInfo};
+use pcisim_devices::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
+use pcisim_devices::intc::{InterruptController, INTC_FABRIC_PORT};
+use pcisim_devices::nic::{Nic, NicConfig, NIC_DMA_PORT, NIC_PIO_PORT};
+use pcisim_kernel::component::{ComponentId, PortId};
+use pcisim_kernel::dram::{Dram, DRAM_PORT};
+use pcisim_kernel::iocache::{IoCache, IOCACHE_DEV_SIDE, IOCACHE_MEM_SIDE};
+use pcisim_kernel::sim::Simulation;
+use pcisim_kernel::tick::{ns, us, Tick};
+use pcisim_kernel::trace::TraceCategory;
+use pcisim_kernel::xbar::Crossbar;
+use pcisim_pci::caps::PortType;
+use pcisim_pci::config::SharedConfigSpace;
+use pcisim_pci::ecam::Bdf;
+use pcisim_pci::enumeration::{enumerate, EnumerationReport};
+use pcisim_pci::host::{shared_registry, PciHost, SharedRegistry, PCI_HOST_PORT};
+use pcisim_pcie::link::{
+    PcieLink, PORT_DOWN_MASTER, PORT_DOWN_SLAVE, PORT_UP_MASTER, PORT_UP_SLAVE,
+};
+use pcisim_pcie::params::{Generation, LinkConfig, LinkWidth};
+use pcisim_pcie::router::{
+    make_vp2p, port_downstream_master, port_downstream_slave, PcieRouter, RouterConfig,
+    PORT_UPSTREAM_MASTER, PORT_UPSTREAM_SLAVE,
+};
+
+use crate::builder::DeviceSpec;
+use crate::platform;
+use crate::workload::dd::{DdApp, DdConfig, DdReportHandle, DD_IRQ_PORT, DD_MEM_PORT};
+use crate::workload::mmio::{MmioProbe, MmioProbeConfig, MmioReportHandle, MMIO_MEM_PORT};
+use crate::workload::nic_rx::{
+    NicRxApp, NicRxConfig, NicRxReportHandle, NIC_RX_IRQ_PORT, NIC_RX_MEM_PORT,
+};
+use crate::workload::nic_tx::{
+    NicTxApp, NicTxConfig, NicTxReportHandle, NIC_TX_IRQ_PORT, NIC_TX_MEM_PORT,
+};
+
+/// MSI vectors (when requested) live above the legacy IRQ range.
+const MSI_VECTOR: u8 = 96;
+
+/// A subtree hanging off a downstream port: the link to it plus what sits
+/// at the far end.
+#[derive(Debug, Clone)]
+pub struct Attachment {
+    /// The PCI-Express link forming this tree edge.
+    pub link: LinkConfig,
+    /// Component name of the link; auto-named `link{n}` (DFS order) when
+    /// `None`. Names must be unique per topology — they prefix stats keys.
+    pub link_name: Option<String>,
+    /// What the link connects to.
+    pub node: Node,
+}
+
+impl Attachment {
+    /// An attachment with an auto-assigned link name.
+    pub fn new(link: LinkConfig, node: Node) -> Self {
+        Self { link, link_name: None, node }
+    }
+
+    /// An attachment with an explicit link component name.
+    pub fn named(name: impl Into<String>, link: LinkConfig, node: Node) -> Self {
+        Self { link, link_name: Some(name.into()), node }
+    }
+}
+
+/// One node of the topology tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A switch: nestable to arbitrary depth. Empty port slots (`None`)
+    /// still register a VP2P and consume a bus number, exactly as real
+    /// hardware exposes unpopulated downstream ports.
+    Switch {
+        /// Timing/buffering of the switch.
+        config: RouterConfig,
+        /// Component name; auto-named `sw{n}` when `None`.
+        name: Option<String>,
+        /// Downstream ports in slot order.
+        ports: Vec<Option<Attachment>>,
+    },
+    /// A leaf endpoint device.
+    Endpoint {
+        /// Which device model sits here.
+        device: DeviceSpec,
+        /// Component name; auto-named `ep{n}` when `None`.
+        name: Option<String>,
+    },
+}
+
+impl Node {
+    /// A switch node with an auto-assigned name.
+    pub fn switch(config: RouterConfig, ports: Vec<Option<Attachment>>) -> Self {
+        Node::Switch { config, name: None, ports }
+    }
+
+    /// An endpoint node with an explicit component name.
+    pub fn endpoint(name: impl Into<String>, device: DeviceSpec) -> Self {
+        Node::Endpoint { device, name: Some(name.into()) }
+    }
+}
+
+/// A declarative PCI-Express tree plus the platform knobs shared by every
+/// topology (memory side, interrupt delivery, tracing).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Root complex timing/buffering.
+    pub rc: RouterConfig,
+    /// Root ports in slot order; `None` registers the VP2P but wires
+    /// nothing behind it (the paper's RC exposes three root ports with
+    /// only one populated in the validation setup).
+    pub root_ports: Vec<Option<Attachment>>,
+    /// Memory-bus forwarding latency.
+    pub membus_frontend: Tick,
+    /// DRAM access latency.
+    pub dram_latency: Tick,
+    /// DRAM sustained bandwidth in bytes/second (0 = infinite).
+    pub dram_bandwidth: u64,
+    /// IOCache outstanding-miss limit.
+    pub iocache_mshrs: usize,
+    /// PCI host configuration-access service latency.
+    pub pcihost_latency: Tick,
+    /// Give the (single) endpoint a functional MSI capability and have
+    /// the driver enable it. Panics at build time when the tree carries
+    /// more than one endpoint.
+    pub use_msi: bool,
+    /// Structured-trace category mask applied to the built simulation.
+    pub trace_mask: u32,
+}
+
+impl Topology {
+    /// A topology over `root_ports` with the paper's platform defaults
+    /// (the memory-side values of `SystemConfig::validation()`).
+    pub fn new(rc: RouterConfig, root_ports: Vec<Option<Attachment>>) -> Self {
+        Self {
+            rc,
+            root_ports,
+            membus_frontend: ns(5),
+            dram_latency: ns(30),
+            dram_bandwidth: 25_600_000_000,
+            iocache_mshrs: 16,
+            pcihost_latency: ns(20),
+            use_msi: false,
+            trace_mask: 0,
+        }
+    }
+
+    /// The root complex configuration every preset uses: paper timing
+    /// with the completion-timeout knob armed at the spec's low end.
+    fn preset_rc() -> RouterConfig {
+        RouterConfig { completion_timeout: Some(us(50)), ..RouterConfig::default() }
+    }
+
+    /// The paper's validation chain as a one-liner: IDE disk behind a
+    /// switch on root port 0, Gen 2 x4 root link, Gen 2 x1 device link,
+    /// two empty root ports and one empty switch port.
+    pub fn validation() -> Self {
+        let disk = Node::endpoint("disk", DeviceSpec::Disk(IdeDiskConfig::default()));
+        let switch = Node::Switch {
+            config: RouterConfig::default(),
+            name: Some("switch".into()),
+            ports: vec![
+                Some(Attachment::named(
+                    "dev_link",
+                    LinkConfig::new(Generation::Gen2, LinkWidth::X1),
+                    disk,
+                )),
+                None,
+            ],
+        };
+        let root = Attachment::named(
+            "root_link",
+            LinkConfig::new(Generation::Gen2, LinkWidth::X4),
+            switch,
+        );
+        Self::new(Self::preset_rc(), vec![Some(root), None, None])
+    }
+
+    /// The paper's three root ports, all populated: the validation chain
+    /// (disk behind a switch) on port 0, a NIC directly on port 1, a
+    /// second disk directly on port 2.
+    pub fn three_root_ports() -> Self {
+        let x4 = || LinkConfig::new(Generation::Gen2, LinkWidth::X4);
+        let x1 = || LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let disk0 = Node::endpoint("disk0", DeviceSpec::Disk(IdeDiskConfig::default()));
+        let switch = Node::Switch {
+            config: RouterConfig::default(),
+            name: Some("switch".into()),
+            ports: vec![Some(Attachment::named("dev_link0", x1(), disk0)), None],
+        };
+        let nic1 = Node::endpoint("nic1", DeviceSpec::Nic(NicConfig::default()));
+        let disk2 = Node::endpoint("disk2", DeviceSpec::Disk(IdeDiskConfig::default()));
+        Self::new(
+            Self::preset_rc(),
+            vec![
+                Some(Attachment::named("root_link0", x4(), switch)),
+                Some(Attachment::named("root_link1", x1(), nic1)),
+                Some(Attachment::named("root_link2", x1(), disk2)),
+            ],
+        )
+    }
+
+    /// A cascaded-switch chain: `levels` switches in series under root
+    /// port 0 with the disk at the leaf. `levels >= 1`.
+    pub fn cascaded(levels: usize) -> Self {
+        assert!(levels >= 1, "a cascade needs at least one switch");
+        let x1 = || LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        let mut node = Node::endpoint("disk0", DeviceSpec::Disk(IdeDiskConfig::default()));
+        for level in (0..levels).rev() {
+            node = Node::Switch {
+                config: RouterConfig::default(),
+                name: Some(format!("sw{level}")),
+                ports: vec![Some(Attachment::named(format!("link{}", level + 1), x1(), node))],
+            };
+        }
+        let root =
+            Attachment::named("link0", LinkConfig::new(Generation::Gen2, LinkWidth::X4), node);
+        Self::new(Self::preset_rc(), vec![Some(root), None, None])
+    }
+
+    /// Two NICs behind one switch on root port 0: both streams share the
+    /// single upstream link (the contention arm of `repro --topology`).
+    pub fn dual_nic_shared(nic: NicConfig) -> Self {
+        let x4 = || LinkConfig::new(Generation::Gen2, LinkWidth::X4);
+        let ports = (0..2)
+            .map(|i| {
+                let node = Node::endpoint(format!("nic{i}"), DeviceSpec::Nic(nic.clone()));
+                Some(Attachment::named(format!("dev_link{i}"), x4(), node))
+            })
+            .collect();
+        let switch =
+            Node::Switch { config: RouterConfig::default(), name: Some("switch".into()), ports };
+        let root = Attachment::named("root_link", x4(), switch);
+        Self::new(Self::preset_rc(), vec![Some(root), None, None])
+    }
+
+    /// The same two NICs split across root ports 0 and 1: each stream
+    /// owns its root link (the no-contention arm of `repro --topology`).
+    pub fn dual_nic_split(nic: NicConfig) -> Self {
+        let x4 = || LinkConfig::new(Generation::Gen2, LinkWidth::X4);
+        let ports = (0..2)
+            .map(|i| {
+                let node = Node::endpoint(format!("nic{i}"), DeviceSpec::Nic(nic.clone()));
+                Some(Attachment::named(format!("root_link{i}"), x4(), node))
+            })
+            .chain(std::iter::once(None))
+            .collect();
+        Self::new(Self::preset_rc(), ports)
+    }
+
+    /// The tree a [`SystemConfig`](crate::builder::SystemConfig)
+    /// describes: the device on root port 0, behind a switch when one is
+    /// configured, with two empty root ports beside it.
+    pub fn from_system_config(config: &crate::builder::SystemConfig) -> Self {
+        let device_name = match &config.device {
+            DeviceSpec::Disk(_) => "disk",
+            DeviceSpec::Nic(_) => "nic",
+        };
+        let device = Node::endpoint(device_name, config.device.clone());
+        let node = match &config.switch {
+            Some(switch) => Node::Switch {
+                config: switch.clone(),
+                name: Some("switch".into()),
+                ports: vec![
+                    Some(Attachment::named("dev_link", config.device_link.clone(), device)),
+                    None,
+                ],
+            },
+            None => device,
+        };
+        let root = Attachment::named("root_link", config.root_link.clone(), node);
+        Self {
+            rc: config.rc.clone(),
+            root_ports: vec![Some(root), None, None],
+            membus_frontend: config.membus_frontend,
+            dram_latency: config.dram_latency,
+            dram_bandwidth: config.dram_bandwidth,
+            iocache_mshrs: config.iocache_mshrs,
+            pcihost_latency: config.pcihost_latency,
+            use_msi: config.use_msi,
+            trace_mask: config.trace_mask,
+        }
+    }
+
+    /// Enables structured tracing of every category.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace_mask = TraceCategory::ALL;
+        self
+    }
+
+    /// Number of endpoints in the tree.
+    pub fn endpoint_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Endpoint { .. } => 1,
+                Node::Switch { ports, .. } => ports.iter().flatten().map(|a| count(&a.node)).sum(),
+            }
+        }
+        self.root_ports.iter().flatten().map(|a| count(&a.node)).sum()
+    }
+
+    /// Registers every configuration space of the tree at the BDF the
+    /// depth-first enumeration will assign, and returns the plan the
+    /// builder (and the conformance tests) work from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree has no root ports or needs more than 256
+    /// buses.
+    pub fn plan(&self) -> PlannedTopology {
+        assert!(!self.root_ports.is_empty(), "a topology needs at least one root port");
+        let mut plan = Planner {
+            registry: shared_registry(),
+            routers: Vec::new(),
+            endpoints: Vec::new(),
+            devices: Vec::new(),
+            order: Vec::new(),
+            next_bus: 1,
+            next_switch: 0,
+            next_link: 0,
+            next_endpoint: 0,
+            use_msi: self.use_msi,
+        };
+
+        // The root complex: one VP2P per root port, registered on bus 0
+        // at slots 1.., populated or not.
+        let rc_vp2ps: Vec<_> = (0..self.root_ports.len())
+            .map(|i| {
+                let link = port_link(&self.root_ports, i);
+                let id = 0x9c90u16.wrapping_add(2 * i as u16); // Intel Wildcat root ports (§V-A)
+                let vp2p = make_vp2p(0x8086, id, PortType::RootPort, link.generation, link.width);
+                plan.registry.borrow_mut().register(Bdf::new(0, (i + 1) as u8, 0), vp2p.clone());
+                vp2p
+            })
+            .collect();
+        plan.routers.push(PlannedRouter {
+            name: "rc".into(),
+            config: self.rc.clone(),
+            upstream_vp2p: None,
+            downstream_vp2ps: rc_vp2ps,
+            parent: None,
+        });
+
+        // Depth-first over the ports, mirroring the enumerator's walk:
+        // every registered bridge consumes a bus number when visited.
+        for (i, port) in self.root_ports.iter().enumerate() {
+            let bus = plan.take_bus();
+            if let Some(att) = port {
+                plan.place(att, 0, i, bus);
+            }
+        }
+
+        let Planner { registry, routers, endpoints, devices, order, .. } = plan;
+        PlannedTopology { registry, routers, endpoints, order, devices }
+    }
+}
+
+/// The link config VP2P `i` of a port list advertises: its own attachment
+/// when populated, the first populated sibling's otherwise (matching the
+/// paper setup, where all three root ports advertise the root link).
+fn port_link(ports: &[Option<Attachment>], i: usize) -> LinkConfig {
+    ports[i]
+        .as_ref()
+        .or_else(|| ports.iter().flatten().next())
+        .map(|a| a.link.clone())
+        .unwrap_or_else(|| LinkConfig::new(Generation::Gen2, LinkWidth::X1))
+}
+
+/// A tree edge: which router's downstream pair the child hangs off, and
+/// the link forming the edge.
+#[derive(Debug, Clone)]
+pub struct PlannedEdge {
+    /// Index into [`PlannedTopology::routers`] of the parent.
+    pub router: usize,
+    /// Downstream pair on the parent.
+    pub pair: usize,
+    /// Component name of the link.
+    pub link_name: String,
+    /// Link configuration of the edge.
+    pub link: LinkConfig,
+}
+
+/// A router (the root complex or a switch) of a planned topology.
+#[derive(Debug, Clone)]
+pub struct PlannedRouter {
+    /// Component name.
+    pub name: String,
+    /// Timing/buffering.
+    pub config: RouterConfig,
+    /// `None` for the root complex, the upstream VP2P for a switch.
+    pub upstream_vp2p: Option<SharedConfigSpace>,
+    /// One VP2P per downstream pair, in slot order.
+    pub downstream_vp2ps: Vec<SharedConfigSpace>,
+    /// Edge from the parent; `None` for the root complex.
+    pub parent: Option<PlannedEdge>,
+}
+
+/// An endpoint of a planned topology.
+#[derive(Debug, Clone)]
+pub struct PlannedEndpoint {
+    /// Component name.
+    pub name: String,
+    /// Where enumeration will find it.
+    pub bdf: Bdf,
+    /// Edge from the parent router.
+    pub parent: PlannedEdge,
+    /// The endpoint's configuration space.
+    pub config_space: SharedConfigSpace,
+    /// Whether the endpoint is the IDE disk (else the NIC).
+    pub is_disk: bool,
+}
+
+/// Depth-first visit order of the tree below the root complex.
+#[derive(Debug, Clone, Copy)]
+pub enum PlannedItem {
+    /// Index into [`PlannedTopology::routers`] (never 0).
+    Switch(usize),
+    /// Index into [`PlannedTopology::endpoints`].
+    Endpoint(usize),
+}
+
+/// The registered form of a [`Topology`]: every configuration space
+/// created and registered at its post-enumeration BDF, plus the flat
+/// router/endpoint lists the builder and the conformance tests walk.
+pub struct PlannedTopology {
+    /// The PCI host registry holding every config space.
+    pub registry: SharedRegistry,
+    /// Routers in depth-first pre-order; `[0]` is the root complex.
+    pub routers: Vec<PlannedRouter>,
+    /// Endpoints in depth-first order.
+    pub endpoints: Vec<PlannedEndpoint>,
+    /// Depth-first visit order of everything below the root complex.
+    pub order: Vec<PlannedItem>,
+    /// Device components, parallel to `endpoints` (consumed by the
+    /// builder).
+    devices: Vec<EndpointDevice>,
+}
+
+impl PlannedTopology {
+    /// Runs BIOS-style enumeration over the planned registry and returns
+    /// the report, without building a simulation. Conformance tests use
+    /// this to check bus/BAR invariants on arbitrary trees cheaply.
+    pub fn enumerate(&self) -> Result<EnumerationReport, pcisim_pci::enumeration::EnumerateError> {
+        enumerate(&mut self.registry.clone(), platform::enumeration_config())
+    }
+}
+
+enum EndpointDevice {
+    Disk(Box<IdeDisk>),
+    Nic(Box<Nic>),
+}
+
+struct Planner {
+    registry: SharedRegistry,
+    routers: Vec<PlannedRouter>,
+    endpoints: Vec<PlannedEndpoint>,
+    devices: Vec<EndpointDevice>,
+    order: Vec<PlannedItem>,
+    next_bus: u16,
+    next_switch: u16,
+    next_link: u32,
+    next_endpoint: u32,
+    use_msi: bool,
+}
+
+impl Planner {
+    fn take_bus(&mut self) -> u8 {
+        let bus = self.next_bus;
+        assert!(bus < 256, "topology needs more than 256 buses");
+        self.next_bus += 1;
+        bus as u8
+    }
+
+    fn edge(&mut self, att: &Attachment, router: usize, pair: usize) -> PlannedEdge {
+        let link_name = att.link_name.clone().unwrap_or_else(|| {
+            let n = self.next_link;
+            format!("link{n}")
+        });
+        self.next_link += 1;
+        PlannedEdge { router, pair, link_name, link: att.link.clone() }
+    }
+
+    /// Places the node of `att` on `bus`, hanging off `(router, pair)`.
+    fn place(&mut self, att: &Attachment, router: usize, pair: usize, bus: u8) {
+        let edge = self.edge(att, router, pair);
+        match &att.node {
+            Node::Endpoint { device, name } => {
+                let name = name.clone().unwrap_or_else(|| format!("ep{}", self.next_endpoint));
+                self.next_endpoint += 1;
+                let intx = Some((0, 0)); // irq patched after enumeration
+                let (dev, cs) = match device {
+                    DeviceSpec::Disk(cfg) => {
+                        let (disk, cs) = IdeDisk::new(
+                            name.clone(),
+                            IdeDiskConfig { intx, msi_capable: self.use_msi, ..cfg.clone() },
+                        );
+                        (EndpointDevice::Disk(Box::new(disk)), cs)
+                    }
+                    DeviceSpec::Nic(cfg) => {
+                        let (nic, cs) = Nic::new(
+                            name.clone(),
+                            NicConfig { intx, msi_capable: self.use_msi, ..cfg.clone() },
+                        );
+                        (EndpointDevice::Nic(Box::new(nic)), cs)
+                    }
+                };
+                let bdf = Bdf::new(bus, 0, 0);
+                self.registry.borrow_mut().register(bdf, cs.clone());
+                self.order.push(PlannedItem::Endpoint(self.endpoints.len()));
+                self.endpoints.push(PlannedEndpoint {
+                    name,
+                    bdf,
+                    parent: edge,
+                    config_space: cs,
+                    is_disk: matches!(device, DeviceSpec::Disk(_)),
+                });
+                self.devices.push(dev);
+            }
+            Node::Switch { config, name, ports } => {
+                let k = self.next_switch;
+                self.next_switch += 1;
+                let name = name.clone().unwrap_or_else(|| format!("sw{k}"));
+                let up_id = 0xaa01u16.wrapping_add(k.wrapping_mul(0x10));
+                let up = make_vp2p(
+                    0x8086,
+                    up_id,
+                    PortType::SwitchUpstream,
+                    att.link.generation,
+                    att.link.width,
+                );
+                self.registry.borrow_mut().register(Bdf::new(bus, 0, 0), up.clone());
+                // The switch's internal bus, where its downstream VP2Ps
+                // live.
+                let internal = self.take_bus();
+                let downstream_vp2ps: Vec<_> = (0..ports.len())
+                    .map(|j| {
+                        let link = port_link(ports, j);
+                        let down = make_vp2p(
+                            0x8086,
+                            up_id.wrapping_add(1 + j as u16),
+                            PortType::SwitchDownstream,
+                            link.generation,
+                            link.width,
+                        );
+                        self.registry
+                            .borrow_mut()
+                            .register(Bdf::new(internal, j as u8, 0), down.clone());
+                        down
+                    })
+                    .collect();
+                let index = self.routers.len();
+                self.order.push(PlannedItem::Switch(index));
+                self.routers.push(PlannedRouter {
+                    name,
+                    config: config.clone(),
+                    upstream_vp2p: Some(up),
+                    downstream_vp2ps,
+                    parent: Some(edge),
+                });
+                for (j, port) in ports.iter().enumerate() {
+                    let child_bus = self.take_bus();
+                    if let Some(child) = port {
+                        self.place(child, index, j, child_bus);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One endpoint of a built [`TopologySystem`]: everything a workload
+/// needs to attach to it.
+#[derive(Debug, Clone)]
+pub struct EndpointHandle {
+    /// Component name of the device.
+    pub name: String,
+    /// Where enumeration found it.
+    pub bdf: Bdf,
+    /// Its first memory BAR.
+    pub bar0: u64,
+    /// Its interrupt line (legacy INTx or the MSI vector).
+    pub irq: u8,
+    /// Whether it is the IDE disk (else the NIC).
+    pub is_disk: bool,
+    /// Reserved memory-bus endpoint for this endpoint's CPU workload.
+    pub cpu_mem_port: (ComponentId, PortId),
+    /// Interrupt-controller endpoint delivering this endpoint's IRQ.
+    pub cpu_irq_port: (ComponentId, PortId),
+}
+
+/// A wired, enumerated, driver-initialized system built from a
+/// [`Topology`], awaiting workloads.
+pub struct TopologySystem {
+    /// The simulation holding every component.
+    pub sim: Simulation,
+    /// The PCI host registry (for further functional config access).
+    pub registry: SharedRegistry,
+    /// What the enumeration software found.
+    pub report: EnumerationReport,
+    /// The driver probe result — present when the tree carries exactly
+    /// one endpoint (multi-endpoint trees are set up from the report).
+    pub probe: Option<ProbeInfo>,
+    /// One handle per endpoint, in depth-first order.
+    pub endpoints: Vec<EndpointHandle>,
+}
+
+impl TopologySystem {
+    /// The endpoint with component name `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no endpoint carries that name.
+    pub fn endpoint(&self, name: &str) -> &EndpointHandle {
+        self.endpoints
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("no endpoint named {name}"))
+    }
+
+    /// Attaches a `dd` workload (named `dd{index}`) to endpoint `index`,
+    /// which must be a disk.
+    pub fn attach_dd(&mut self, index: usize, mut config: DdConfig) -> DdReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(ep.is_disk, "endpoint {index} ({}) is not a disk", ep.name);
+        config.disk_bar = ep.bar0;
+        // Distinct DMA buffers so DRAM traffic does not alias.
+        config.dma_target = platform::DRAM_BASE + index as u64 * 0x1000_0000;
+        let (dd, report) = DdApp::new(format!("dd{index}"), config);
+        let id = self.sim.add(Box::new(dd));
+        self.sim.connect((id, DD_MEM_PORT), ep.cpu_mem_port);
+        self.sim.connect((id, DD_IRQ_PORT), ep.cpu_irq_port);
+        report
+    }
+
+    /// Attaches a NIC transmit workload (named `nictx{index}`) to
+    /// endpoint `index`, which must be a NIC.
+    pub fn attach_nic_tx(&mut self, index: usize, mut config: NicTxConfig) -> NicTxReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(!ep.is_disk, "endpoint {index} ({}) is not a NIC", ep.name);
+        config.nic_bar = ep.bar0;
+        let (app, report) = NicTxApp::new(format!("nictx{index}"), config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, NIC_TX_MEM_PORT), ep.cpu_mem_port);
+        self.sim.connect((id, NIC_TX_IRQ_PORT), ep.cpu_irq_port);
+        report
+    }
+
+    /// Attaches a NIC receive workload (named `nicrx{index}`) to endpoint
+    /// `index`, which must be a NIC with `rx_stream` configured.
+    pub fn attach_nic_rx(&mut self, index: usize, mut config: NicRxConfig) -> NicRxReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(!ep.is_disk, "endpoint {index} ({}) is not a NIC", ep.name);
+        config.nic_bar = ep.bar0;
+        let (app, report) = NicRxApp::new(format!("nicrx{index}"), config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, NIC_RX_MEM_PORT), ep.cpu_mem_port);
+        self.sim.connect((id, NIC_RX_IRQ_PORT), ep.cpu_irq_port);
+        report
+    }
+
+    /// Attaches the MMIO latency probe (named `mmio_probe{index}`)
+    /// against endpoint `index`'s BAR0.
+    pub fn attach_mmio_probe(
+        &mut self,
+        index: usize,
+        mut config: MmioProbeConfig,
+    ) -> MmioReportHandle {
+        let ep = &self.endpoints[index];
+        config.target = ep.bar0 + 0x0008;
+        let (probe, report) = MmioProbe::new(format!("mmio_probe{index}"), config);
+        let id = self.sim.add(Box::new(probe));
+        self.sim.connect((id, MMIO_MEM_PORT), ep.cpu_mem_port);
+        report
+    }
+}
+
+/// Builds the full system for a [`Topology`]: plans and registers the
+/// tree, runs enumeration and driver setup, then instantiates and wires
+/// every component.
+///
+/// # Panics
+///
+/// Panics when enumeration or the driver probe fails, or when `use_msi`
+/// is set on a tree that does not carry exactly one endpoint.
+pub fn build_topology(topo: Topology) -> TopologySystem {
+    let plan = topo.plan();
+    let report = enumerate(&mut plan.registry.clone(), platform::enumeration_config())
+        .expect("topology must enumerate");
+
+    // Driver setup. A single endpoint goes through the real driver probe
+    // (which may enable MSI); multi-endpoint trees are set up from the
+    // enumeration report with legacy INTx, like a kernel bringing up
+    // several stock devices.
+    let mut probe = None;
+    let mut irqs: Vec<u8> = Vec::with_capacity(plan.endpoints.len());
+    if plan.endpoints.len() == 1 {
+        let msi_policy = if topo.use_msi {
+            MsiPolicy::Request {
+                address: platform::INTC_BASE + u64::from(MSI_VECTOR) * 4,
+                data: u16::from(MSI_VECTOR),
+            }
+        } else {
+            MsiPolicy::LegacyOnly
+        };
+        let table = if plan.endpoints[0].is_disk {
+            pcisim_devices::driver::IDE_DEVICE_TABLE
+        } else {
+            pcisim_devices::driver::E1000E_DEVICE_TABLE
+        };
+        let info = probe_with_policy(&mut plan.registry.clone(), &report, table, msi_policy)
+            .expect("topology must probe");
+        irqs.push(match info.interrupt {
+            InterruptMode::Legacy(irq) => irq,
+            InterruptMode::Msi => {
+                assert!(topo.use_msi, "MSI must only engage when requested");
+                MSI_VECTOR
+            }
+        });
+        probe = Some(info);
+    } else {
+        assert!(!topo.use_msi, "use_msi needs a single-endpoint topology");
+        for ep in &plan.endpoints {
+            let info = report.at(ep.bdf).expect("endpoint enumerated");
+            irqs.push(info.irq.expect("interrupt pin wired"));
+        }
+    }
+
+    // Patch each device's interrupt target now that the IRQs are known.
+    let mut devices = plan.devices;
+    for (dev, &irq) in devices.iter_mut().zip(&irqs) {
+        let intx = Some((irq, platform::INTC_BASE));
+        match dev {
+            EndpointDevice::Disk(disk) => disk.set_intx(intx),
+            EndpointDevice::Nic(nic) => nic.set_intx(intx),
+        }
+    }
+
+    // --- Components: memory side first, then the PCIe tree depth-first.
+    let mut sim = Simulation::new();
+    sim.set_trace_mask(topo.trace_mask);
+    let mut intc = InterruptController::new("gic", platform::intc_range());
+    let mut irq_ports: HashMap<u8, PortId> = HashMap::new();
+    let cpu_irqs: Vec<PortId> = irqs
+        .iter()
+        .map(|&irq| *irq_ports.entry(irq).or_insert_with(|| intc.route_irq(irq)))
+        .collect();
+
+    // Port map: 0 = first CPU workload, 1 = DRAM, 2 = INTC, 3 = PCI
+    // host, 4 = RC upstream slave (both PCI windows), 5 = IOCache memory
+    // side, 6.. = further CPU workloads.
+    let num_ports = 6 + plan.endpoints.len().saturating_sub(1);
+    let membus = Crossbar::builder("membus")
+        .num_ports(num_ports)
+        .frontend_latency(topo.membus_frontend)
+        .queue_capacity(64)
+        .route(platform::dram_range(), PortId(1))
+        .route(platform::intc_range(), PortId(2))
+        .route(platform::config_range(), PortId(3))
+        .route(platform::mem_range(), PortId(4))
+        .route(platform::io_range(), PortId(4))
+        .build();
+    let membus_id = sim.add(Box::new(membus));
+    let dram_id = sim.add(Box::new(
+        Dram::builder("dram", platform::dram_range())
+            .latency(topo.dram_latency)
+            .bandwidth(topo.dram_bandwidth)
+            .build(),
+    ));
+    let intc_id = sim.add(Box::new(intc));
+    let host_id = sim.add(Box::new(PciHost::new(
+        "pcihost",
+        platform::PCI_CONFIG_BASE,
+        platform::PCI_CONFIG_SIZE,
+        topo.pcihost_latency,
+        plan.registry.clone(),
+    )));
+    let iocache_id =
+        sim.add(Box::new(IoCache::builder("iocache").mshrs(topo.iocache_mshrs).build()));
+
+    let rc = &plan.routers[0];
+    let rc_id = sim.add(Box::new(PcieRouter::root_complex(
+        rc.name.clone(),
+        rc.config.clone(),
+        rc.downstream_vp2ps.clone(),
+    )));
+
+    sim.connect((membus_id, PortId(1)), (dram_id, DRAM_PORT));
+    sim.connect((membus_id, PortId(2)), (intc_id, INTC_FABRIC_PORT));
+    sim.connect((membus_id, PortId(3)), (host_id, PCI_HOST_PORT));
+    sim.connect((membus_id, PortId(4)), (rc_id, PORT_UPSTREAM_SLAVE));
+    sim.connect((rc_id, PORT_UPSTREAM_MASTER), (iocache_id, IOCACHE_DEV_SIDE));
+    sim.connect((iocache_id, IOCACHE_MEM_SIDE), (membus_id, PortId(5)));
+
+    // PCIe tree: every edge gets a link whose AER endpoints are the
+    // parent port's VP2P and the child's upstream config space.
+    let mut router_ids = vec![rc_id];
+    let mut devices = devices.into_iter();
+    let mut endpoint_handles = Vec::with_capacity(plan.endpoints.len());
+    for item in &plan.order {
+        let (edge, child_cs) = match item {
+            PlannedItem::Switch(i) => {
+                let r = &plan.routers[*i];
+                (r.parent.as_ref().expect("switch has a parent"), r.upstream_vp2p.clone().unwrap())
+            }
+            PlannedItem::Endpoint(i) => {
+                let ep = &plan.endpoints[*i];
+                (&ep.parent, ep.config_space.clone())
+            }
+        };
+        let parent_id = router_ids[edge.router];
+        let parent_cs = plan.routers[edge.router].downstream_vp2ps[edge.pair].clone();
+        let mut link = PcieLink::new(edge.link_name.clone(), edge.link.clone());
+        link.attach_aer(Some(parent_cs), Some(child_cs));
+        let link_id = sim.add(Box::new(link));
+        sim.connect((parent_id, port_downstream_master(edge.pair)), (link_id, PORT_UP_SLAVE));
+        sim.connect((parent_id, port_downstream_slave(edge.pair)), (link_id, PORT_UP_MASTER));
+        match item {
+            PlannedItem::Switch(i) => {
+                let r = &plan.routers[*i];
+                debug_assert_eq!(router_ids.len(), *i);
+                let id = sim.add(Box::new(PcieRouter::switch(
+                    r.name.clone(),
+                    r.config.clone(),
+                    r.upstream_vp2p.clone().unwrap(),
+                    r.downstream_vp2ps.clone(),
+                )));
+                router_ids.push(id);
+                sim.connect((link_id, PORT_DOWN_MASTER), (id, PORT_UPSTREAM_SLAVE));
+                sim.connect((link_id, PORT_DOWN_SLAVE), (id, PORT_UPSTREAM_MASTER));
+            }
+            PlannedItem::Endpoint(i) => {
+                let ep = &plan.endpoints[*i];
+                let (dev_id, pio, dma) = match devices.next().expect("device per endpoint") {
+                    EndpointDevice::Disk(disk) => {
+                        (sim.add(disk), IDE_PIO_PORT, IDE_DMA_PORT)
+                    }
+                    EndpointDevice::Nic(nic) => {
+                        (sim.add(nic), NIC_PIO_PORT, NIC_DMA_PORT)
+                    }
+                };
+                sim.connect((link_id, PORT_DOWN_MASTER), (dev_id, pio));
+                sim.connect((link_id, PORT_DOWN_SLAVE), (dev_id, dma));
+                let info = report.at(ep.bdf).expect("endpoint enumerated");
+                let bar0 = match &probe {
+                    Some(p) => p.bar0,
+                    None => info.bars.iter().find(|b| !b.is_io).expect("memory BAR").base,
+                };
+                let mem_port = if *i == 0 { PortId(0) } else { PortId((5 + *i) as u16) };
+                endpoint_handles.push(EndpointHandle {
+                    name: ep.name.clone(),
+                    bdf: ep.bdf,
+                    bar0,
+                    irq: irqs[*i],
+                    is_disk: ep.is_disk,
+                    cpu_mem_port: (membus_id, mem_port),
+                    cpu_irq_port: (intc_id, cpu_irqs[*i]),
+                });
+            }
+        }
+    }
+
+    TopologySystem { sim, registry: plan.registry, report, probe, endpoints: endpoint_handles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::dd::DdConfig;
+    use crate::workload::nic_tx::NicTxConfig;
+    use pcisim_kernel::sim::RunOutcome;
+    use pcisim_kernel::tick::TICKS_PER_SEC;
+
+    #[test]
+    fn validation_preset_matches_the_system_config_layout() {
+        let built = build_topology(Topology::validation());
+        assert_eq!(built.report.bridges().count(), 6);
+        assert_eq!(built.report.endpoints().count(), 1);
+        assert_eq!(built.endpoints[0].bdf, Bdf::new(3, 0, 0));
+        assert!(built.probe.is_some(), "single endpoint goes through the driver probe");
+    }
+
+    #[test]
+    fn three_root_ports_enumerate_three_endpoints() {
+        let built = build_topology(Topology::three_root_ports());
+        // 3 root ports + switch up + 2 switch downs = 6 bridges.
+        assert_eq!(built.report.bridges().count(), 6);
+        assert_eq!(built.report.endpoints().count(), 3);
+        assert_eq!(built.endpoint("disk0").bdf, Bdf::new(3, 0, 0));
+        assert_eq!(built.endpoint("nic1").bdf, Bdf::new(5, 0, 0));
+        assert_eq!(built.endpoint("disk2").bdf, Bdf::new(6, 0, 0));
+        let mut bars: Vec<_> = built.endpoints.iter().map(|e| e.bar0).collect();
+        bars.dedup();
+        assert_eq!(bars.len(), 3, "every endpoint gets its own BAR");
+        let mut irqs: Vec<_> = built.endpoints.iter().map(|e| e.irq).collect();
+        irqs.dedup();
+        assert_eq!(irqs.len(), 3, "every endpoint gets its own interrupt line");
+    }
+
+    #[test]
+    fn three_root_ports_run_concurrent_workloads_to_quiescence() {
+        let mut built = build_topology(Topology::three_root_ports());
+        let dd0 = built.attach_dd(0, DdConfig { block_bytes: 256 * 1024, ..DdConfig::default() });
+        let tx = built.attach_nic_tx(1, NicTxConfig { frames: 64, ..NicTxConfig::default() });
+        let dd2 = built.attach_dd(2, DdConfig { block_bytes: 256 * 1024, ..DdConfig::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(dd0.borrow().done && dd2.borrow().done);
+        assert_eq!(tx.borrow().frames, 64);
+        // Streams on separate root ports must not serialize behind each
+        // other: both disks see the same fabric, so they finish alike.
+        let (g0, g2) = (dd0.borrow().throughput_gbps(), dd2.borrow().throughput_gbps());
+        assert!((g0 - g2).abs() < 0.5 * g0, "disk0 {g0} vs disk2 {g2} Gb/s");
+    }
+
+    #[test]
+    fn cascaded_switches_nest_to_depth_three() {
+        let built = build_topology(Topology::cascaded(3));
+        // 3 root ports + 3 × (switch up + 1 down) = 9 bridges.
+        assert_eq!(built.report.bridges().count(), 9);
+        assert_eq!(built.report.endpoints().count(), 1);
+        let mut built = built;
+        let dd = built.attach_dd(0, DdConfig { block_bytes: 64 * 1024, ..DdConfig::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(dd.borrow().done, "dd must complete through three switch hops");
+    }
+
+    #[test]
+    fn empty_ports_consume_bus_numbers_like_real_hardware() {
+        let plan = Topology::validation().plan();
+        // RP0 → bus 1 (switch), internal bus 2, port 0 → bus 3 (disk),
+        // port 1 → bus 4 (empty), RP1 → bus 5, RP2 → bus 6.
+        assert_eq!(plan.endpoints[0].bdf, Bdf::new(3, 0, 0));
+        let report = enumerate(&mut plan.registry.clone(), platform::enumeration_config())
+            .expect("validation plan enumerates");
+        assert_eq!(report.bus_count, 7);
+    }
+}

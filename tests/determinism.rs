@@ -176,3 +176,88 @@ fn serial_and_parallel_sweeps_are_bit_identical() {
     let fingerprints = |v: &[DdOutcome]| v.iter().map(outcome_fingerprint).collect::<Vec<_>>();
     assert_eq!(fingerprints(&serial), fingerprints(&parallel));
 }
+
+// Golden anchors for the declarative-topology presets, recorded when the
+// topology tree replaced the hard-coded single chain. The three-root-port
+// tree is the paper's Fig. 2 platform; the cascade pins deep-switch
+// routing. Quiesce time and the full stats fingerprint must both hold.
+const GOLDEN_THREE_RP_TIME: u64 = 1_336_740_100;
+const GOLDEN_THREE_RP_FNV: u64 = 0xaa1f_2ce7_ffb4_6d65;
+const GOLDEN_CASCADE_TIME: u64 = 654_112_600;
+const GOLDEN_CASCADE_FNV: u64 = 0x4d7c_4d2f_37ce_d7bf;
+
+/// The paper's three-root-port platform (disk + NIC + disk, concurrent
+/// workloads) quiesces at the recorded tick with the recorded stats
+/// fingerprint — and does so twice in a row.
+#[test]
+fn three_root_port_topology_matches_golden() {
+    use pcisim::system::topology::{build_topology, Topology};
+    use pcisim::system::workload::dd::DdConfig as Dd;
+    use pcisim::system::workload::nic_tx::NicTxConfig;
+
+    let run = || {
+        let mut built = build_topology(Topology::three_root_ports());
+        let dd0 = built.attach_dd(0, Dd { block_bytes: 256 * KB, ..Dd::default() });
+        let tx = built.attach_nic_tx(1, NicTxConfig { frames: 64, ..NicTxConfig::default() });
+        let dd2 = built.attach_dd(2, Dd { block_bytes: 256 * KB, ..Dd::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(dd0.borrow().done && dd2.borrow().done);
+        assert_eq!(tx.borrow().frames, 64);
+        (built.sim.now(), stats_fnv(&built.sim.stats()))
+    };
+    let (time, fnv) = run();
+    assert_eq!(run(), (time, fnv), "repeated builds must agree");
+    assert_eq!(time, GOLDEN_THREE_RP_TIME, "got {time}");
+    assert_eq!(fnv, GOLDEN_THREE_RP_FNV, "got {fnv:#018x}");
+}
+
+/// A disk behind three cascaded switches quiesces at the recorded tick
+/// with the recorded stats fingerprint.
+#[test]
+fn cascaded_switch_topology_matches_golden() {
+    use pcisim::system::topology::{build_topology, Topology};
+    use pcisim::system::workload::dd::DdConfig as Dd;
+
+    let run = || {
+        let mut built = build_topology(Topology::cascaded(3));
+        let dd = built.attach_dd(0, Dd { block_bytes: 64 * KB, ..Dd::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(dd.borrow().done);
+        (built.sim.now(), stats_fnv(&built.sim.stats()))
+    };
+    let (time, fnv) = run();
+    assert_eq!(run(), (time, fnv), "repeated builds must agree");
+    assert_eq!(time, GOLDEN_CASCADE_TIME, "got {time}");
+    assert_eq!(fnv, GOLDEN_CASCADE_FNV, "got {fnv:#018x}");
+}
+
+/// Topology contention sweeps parallelize like every other sweep:
+/// `--jobs N` over shared-vs-split experiments is bit-identical to the
+/// serial reference.
+#[test]
+fn topology_sweep_serial_equals_parallel() {
+    use pcisim::system::experiments::{
+        run_topology_experiment, TopologyExperiment, TopologyOutcome,
+    };
+
+    let fingerprint = |o: &TopologyOutcome| {
+        let arm = |a: &pcisim::system::experiments::ContentionOutcome| {
+            [
+                a.per_stream_gbps[0].to_bits(),
+                a.per_stream_gbps[1].to_bits(),
+                a.p99_dma_read_ns[0].to_bits(),
+                a.p99_dma_read_ns[1].to_bits(),
+                u64::from(a.completed),
+            ]
+        };
+        [arm(&o.shared), arm(&o.split)]
+    };
+    let configs: Vec<TopologyExperiment> = [32u32, 48, 64]
+        .into_iter()
+        .map(|frames| TopologyExperiment { frames, ..TopologyExperiment::default() })
+        .collect();
+    let serial = run_sweep(&configs, 1, run_topology_experiment);
+    let parallel = run_sweep(&configs, 4, run_topology_experiment);
+    let fp = |v: &[TopologyOutcome]| v.iter().map(fingerprint).collect::<Vec<_>>();
+    assert_eq!(fp(&serial), fp(&parallel));
+}

@@ -160,3 +160,54 @@ fn mixed_good_and_bad_reads_all_complete_in_order() {
     assert_eq!(stats.get("rc.unsupported_requests"), Some(2.0));
     assert_eq!(stats.get("rc.completion_timeouts"), Some(0.0));
 }
+
+#[test]
+fn errors_latch_on_the_root_port_that_carried_the_request() {
+    use pcisim::system::topology::{build_topology, Topology};
+
+    // Discover disk2's BAR (root port 2, direct attach) from a clean build.
+    let built = build_topology(Topology::three_root_ports());
+    let disk2_bar = built.endpoint("disk2").bar0;
+    drop(built);
+
+    // Timeout far below the fabric round trip, then: one read of disk2
+    // (times out on root port 2's path), one read of nothing (unrouted
+    // master abort, latched at the RC's home registers on port 0).
+    let mut topo = Topology::three_root_ports();
+    topo.rc.completion_timeout = Some(ns(100));
+    let mut built = build_topology(topo);
+    let (reader, seen) = CpuReader::new(vec![disk2_bar, 0x7fff_0000]);
+    let id = built.sim.add(Box::new(reader));
+    let cpu_mem_port = built.endpoints[0].cpu_mem_port;
+    built.sim.connect((id, PortId(0)), cpu_mem_port);
+    assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+    let seen = seen.borrow().clone();
+    assert_eq!(seen.len(), 2);
+    assert_eq!(seen[0].0, CompletionStatus::CompletionTimeout);
+    assert_eq!(seen[1].0, CompletionStatus::UnsupportedRequest);
+
+    let port_regs = |slot: u8| {
+        let cs = built.registry.borrow().lookup(Bdf::new(0, slot, 0)).expect("root port");
+        let cs = cs.borrow();
+        let st = cs.read(common::STATUS, 2) as u16;
+        let (uncor, _cor) = aer_status(&cs);
+        (st, uncor)
+    };
+    // The timeout rode root port 2: it must latch there and nowhere else.
+    let (_, uncor_rp2) = port_regs(3);
+    assert_ne!(uncor_rp2 & aer::uncor::COMPLETION_TIMEOUT, 0, "port 2 carried the timeout");
+    let (st_rp0, uncor_rp0) = port_regs(1);
+    assert_eq!(
+        uncor_rp0 & aer::uncor::COMPLETION_TIMEOUT,
+        0,
+        "port 0 must not inherit port 2's completion timeout"
+    );
+    // The unrouted read latches the master abort at the RC home (port 0)
+    // and must not leak onto the ports that carried nothing bad.
+    assert_ne!(st_rp0 & status::RECEIVED_MASTER_ABORT, 0);
+    let (st_rp1, uncor_rp1) = port_regs(2);
+    assert_eq!(st_rp1 & status::RECEIVED_MASTER_ABORT, 0, "idle port 1 stays clean");
+    assert_eq!(uncor_rp1, 0, "idle port 1 records no uncorrectable errors");
+    let (st_rp2, _) = port_regs(3);
+    assert_eq!(st_rp2 & status::RECEIVED_MASTER_ABORT, 0, "port 2 saw no master abort");
+}

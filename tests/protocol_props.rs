@@ -334,3 +334,199 @@ mod enumeration_props {
         }
     }
 }
+
+mod routing_props {
+    use super::*;
+    use pcisim::devices::ide::IdeDiskConfig;
+    use pcisim::devices::nic::NicConfig;
+    use pcisim::kernel::component::ComponentId;
+    use pcisim::kernel::testutil::{Requester, Responder, ServeCount, RESPONDER_PORT};
+    use pcisim::pcie::router::{
+        port_downstream_master, port_downstream_slave, PcieRouter, RouterConfig,
+        PORT_UPSTREAM_MASTER, PORT_UPSTREAM_SLAVE,
+    };
+    use pcisim::system::builder::DeviceSpec;
+    use pcisim::system::topology::{Attachment, Node, PlannedTopology, Topology};
+
+    /// Consumes generator bytes into one port: empty, an endpoint, or a
+    /// nested switch while depth remains.
+    fn grow_port(
+        bytes: &mut std::vec::IntoIter<u8>,
+        depth: usize,
+        count: &mut usize,
+    ) -> Option<Attachment> {
+        let b = bytes.next().unwrap_or(1);
+        match b % 4 {
+            0 => None,
+            3 if depth > 0 => {
+                let fanout = 1 + (bytes.next().unwrap_or(0) % 2) as usize;
+                let ports = (0..fanout).map(|_| grow_port(bytes, depth - 1, count)).collect();
+                Some(Attachment::new(
+                    LinkConfig::default(),
+                    Node::switch(RouterConfig::default(), ports),
+                ))
+            }
+            _ => {
+                *count += 1;
+                let device = if b & 0x10 == 0 {
+                    DeviceSpec::Disk(IdeDiskConfig::default())
+                } else {
+                    DeviceSpec::Nic(NicConfig::default())
+                };
+                Some(Attachment::new(
+                    LinkConfig::default(),
+                    Node::endpoint(format!("ep{count}"), device),
+                ))
+            }
+        }
+    }
+
+    /// A bounded random tree: up to three root ports, switches at most
+    /// two levels deep, at least one endpoint.
+    fn grow_topology(shape: Vec<u8>) -> Topology {
+        let mut bytes = shape.into_iter();
+        let n_roots = 1 + (bytes.next().unwrap_or(0) % 3) as usize;
+        let mut count = 0usize;
+        let mut roots: Vec<Option<Attachment>> =
+            (0..n_roots).map(|_| grow_port(&mut bytes, 2, &mut count)).collect();
+        if count == 0 {
+            roots[0] = Some(Attachment::new(
+                LinkConfig::default(),
+                Node::endpoint("ep0", DeviceSpec::Disk(IdeDiskConfig::default())),
+            ));
+        }
+        Topology::new(RouterConfig::default(), roots)
+    }
+
+    /// Instantiates the planned routers (links elided — the routers do
+    /// all the routing) and wires parent/child port pairs.
+    fn build_fabric(sim: &mut Simulation, plan: &PlannedTopology) -> Vec<ComponentId> {
+        let mut ids: Vec<ComponentId> = Vec::new();
+        for (i, r) in plan.routers.iter().enumerate() {
+            let router = if i == 0 {
+                PcieRouter::root_complex(
+                    r.name.clone(),
+                    r.config.clone(),
+                    r.downstream_vp2ps.clone(),
+                )
+            } else {
+                PcieRouter::switch(
+                    r.name.clone(),
+                    r.config.clone(),
+                    r.upstream_vp2p.clone().expect("switch has an upstream VP2P"),
+                    r.downstream_vp2ps.clone(),
+                )
+            };
+            let id = sim.add(Box::new(router));
+            if let Some(edge) = &r.parent {
+                let parent = ids[edge.router];
+                sim.connect((parent, port_downstream_master(edge.pair)), (id, PORT_UPSTREAM_SLAVE));
+                sim.connect((id, PORT_UPSTREAM_MASTER), (parent, port_downstream_slave(edge.pair)));
+            }
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Runs one (requester, completer) experiment over the planned tree:
+    /// `requester` is an endpoint index or `None` for the CPU side.
+    /// Returns (completions seen, completer serves, stray serves).
+    fn run_pair(
+        plan: &PlannedTopology,
+        requester: Option<usize>,
+        completer: usize,
+        target: u64,
+    ) -> (usize, u32, u32) {
+        let mut sim = Simulation::new();
+        let routers = build_fabric(&mut sim, plan);
+        let script = vec![(Command::ReadReq, target, 4)];
+        let (req, done) = Requester::new("probe-req", script);
+        let req = sim.add(Box::new(req));
+        match requester {
+            None => sim.connect((req, REQUESTER_PORT), (routers[0], PORT_UPSTREAM_SLAVE)),
+            Some(a) => {
+                let edge = &plan.endpoints[a].parent;
+                sim.connect(
+                    (req, REQUESTER_PORT),
+                    (routers[edge.router], port_downstream_slave(edge.pair)),
+                );
+            }
+        }
+        // Memory behind the RC: nothing in this experiment targets DRAM,
+        // so any serve it records is a routing escape.
+        let (mem, mem_served) = Responder::new("mem", 0);
+        let mem = sim.add(Box::new(mem));
+        sim.connect((routers[0], PORT_UPSTREAM_MASTER), (mem, RESPONDER_PORT));
+        // A responder at every endpoint slot except the requester's.
+        let mut serves: Vec<Option<ServeCount>> = Vec::new();
+        for (i, ep) in plan.endpoints.iter().enumerate() {
+            if Some(i) == requester {
+                serves.push(None);
+                continue;
+            }
+            let (resp, served) = Responder::new(format!("resp{i}"), 0);
+            let id = sim.add(Box::new(resp));
+            let edge = &ep.parent;
+            sim.connect(
+                (routers[edge.router], port_downstream_master(edge.pair)),
+                (id, RESPONDER_PORT),
+            );
+            serves.push(Some(served));
+        }
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        let completer_serves =
+            *serves[completer].as_ref().expect("completer has a responder").borrow();
+        let strays: u32 = serves
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != completer)
+            .filter_map(|(_, s)| s.as_ref())
+            .map(|s| *s.borrow())
+            .sum::<u32>()
+            + *mem_served.borrow();
+        let completions = done.borrow().len();
+        (completions, completer_serves, strays)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Whatever the tree shape, a non-posted read from any requester
+        /// (the CPU or any endpoint, including peers under different root
+        /// ports) to any other endpoint's BAR reaches exactly that
+        /// endpoint and yields exactly one completion back at the
+        /// requester — routed by bus number, never via memory.
+        #[test]
+        fn every_pair_routes_one_request_and_one_completion(
+            shape in proptest::collection::vec(any::<u8>(), 4..32),
+        ) {
+            let plan = grow_topology(shape).plan();
+            let report = plan.enumerate().expect("random tree must enumerate");
+            let bars: Vec<u64> = plan
+                .endpoints
+                .iter()
+                .map(|ep| {
+                    let info = report.at(ep.bdf).expect("endpoint enumerated");
+                    info.bars.iter().find(|b| !b.is_io).expect("memory BAR").base
+                })
+                .collect();
+
+            let mut pairs: Vec<(Option<usize>, usize)> =
+                (0..bars.len()).map(|i| (None, i)).collect();
+            for a in 0..bars.len() {
+                for b in 0..bars.len() {
+                    if a != b {
+                        pairs.push((Some(a), b));
+                    }
+                }
+            }
+            for (requester, completer) in pairs {
+                let (completions, serves, strays) =
+                    run_pair(&plan, requester, completer, bars[completer]);
+                prop_assert_eq!(completions, 1, "exactly one completion for {:?}->{}", requester, completer);
+                prop_assert_eq!(serves, 1, "exactly one delivery for {:?}->{}", requester, completer);
+                prop_assert_eq!(strays, 0, "no stray deliveries for {:?}->{}", requester, completer);
+            }
+        }
+    }
+}
