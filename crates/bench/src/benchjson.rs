@@ -122,6 +122,70 @@ pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
         .collect()
 }
 
+/// Cold-vs-warm wall-clock of one small `dd` sweep, measured by
+/// [`run_warm_start_benchmark`] and recorded in the JSON so the
+/// warm-start trajectory is tracked alongside raw simulator speed.
+#[derive(Debug, Clone)]
+pub struct WarmStartResult {
+    /// Sweep points per arm.
+    pub configs: usize,
+    /// Wall-clock of the cold sweep (every point enumerates + probes).
+    pub cold_ms: f64,
+    /// Wall-clock of the warm sweep (one warmup, every point forked).
+    pub warm_ms: f64,
+}
+
+impl WarmStartResult {
+    /// Cold/warm wall-clock ratio (>1 means warm start is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.cold_ms / self.warm_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times a small serial `dd` switch-latency sweep cold (every point
+/// builds, enumerates and probes its own system) against the identical
+/// sweep warm-started from one checkpoint, best-of-`samples` per arm.
+///
+/// Outcomes of the two arms are asserted bit-identical — this benchmark
+/// doubles as a smoke check of warm-start equivalence. Enumeration in
+/// this simulator is a functional config-space walk (microseconds, not
+/// the hours a full-system boot costs), so expect a modest ratio near
+/// 1x; the value of the mechanism is the *forking semantics*, and the
+/// number here keeps the overhead honest.
+pub fn run_warm_start_benchmark(samples: u32) -> WarmStartResult {
+    use pcisim_system::prelude::*;
+    let configs: Vec<DdExperiment> = [50u64, 75, 100, 125, 150, 175]
+        .into_iter()
+        .map(|lat| DdExperiment {
+            block_bytes: 256 * 1024,
+            switch_latency: pcisim_kernel::tick::ns(lat),
+            ..DdExperiment::default()
+        })
+        .collect();
+    let mut cold_best = f64::INFINITY;
+    let mut warm_best = f64::INFINITY;
+    let mut cold_out = Vec::new();
+    let mut warm_out = Vec::new();
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        cold_out = run_sweep(&configs, 1, run_dd_experiment);
+        cold_best = cold_best.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        warm_out = run_dd_sweep_warm(&configs, 1);
+        warm_best = warm_best.min(start.elapsed().as_secs_f64());
+    }
+    for (c, w) in cold_out.iter().zip(&warm_out) {
+        assert_eq!(c.sim_time, w.sim_time, "warm sweep must match cold bit-for-bit");
+        assert_eq!(c.throughput_gbps.to_bits(), w.throughput_gbps.to_bits());
+        assert_eq!(c.upstream_tlps, w.upstream_tlps);
+    }
+    WarmStartResult { configs: configs.len(), cold_ms: cold_best * 1e3, warm_ms: warm_best * 1e3 }
+}
+
 fn json_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.1}")
@@ -131,8 +195,13 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Renders the `BENCH_simulator_speed.json` document: host metadata, the
-/// pre-change historical baseline, and the current measurement.
-pub fn render_json(micro: &[MicroResult], sweep_wall_ms: &[(String, u64)]) -> String {
+/// pre-change historical baseline, and the current measurement (including
+/// the warm-start cold/warm comparison when one was measured).
+pub fn render_json(
+    micro: &[MicroResult],
+    sweep_wall_ms: &[(String, u64)],
+    warm: Option<&WarmStartResult>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"pcisim-bench-v1\",\n");
@@ -169,7 +238,17 @@ pub fn render_json(micro: &[MicroResult], sweep_wall_ms: &[(String, u64)]) -> St
     s.push_str("    \"sweep_wall_ms\": {");
     let cur: Vec<String> = sweep_wall_ms.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
     s.push_str(&cur.join(", "));
-    s.push_str("}\n  }\n}\n");
+    s.push('}');
+    if let Some(w) = warm {
+        s.push_str(&format!(
+            ",\n    \"warm_start\": {{\"configs\": {}, \"cold_ms\": {}, \"warm_ms\": {}, \"speedup\": {}}}",
+            w.configs,
+            json_f64(w.cold_ms),
+            json_f64(w.warm_ms),
+            json_f64(w.speedup()),
+        ));
+    }
+    s.push_str("\n  }\n}\n");
     s
 }
 
@@ -372,8 +451,19 @@ mod tests {
             },
         ];
         let sweeps = vec![("fig9a".to_string(), 6_000u64), ("fig9b".to_string(), 9_000u64)];
-        let text = render_json(&micro, &sweeps);
+        let warm = WarmStartResult { configs: 6, cold_ms: 1000.0, warm_ms: 800.0 };
+        let text = render_json(&micro, &sweeps, Some(&warm));
         let doc = parse(&text).expect("well-formed");
+        assert_eq!(
+            doc.path(&["current", "warm_start", "configs"]).and_then(Value::as_f64),
+            Some(6.0)
+        );
+        assert_eq!(
+            doc.path(&["current", "warm_start", "speedup"]).and_then(Value::as_f64),
+            Some(1.25)
+        );
+        let bare = render_json(&micro, &sweeps, None);
+        assert!(parse(&bare).expect("well-formed").path(&["current", "warm_start"]).is_none());
         assert_eq!(
             doc.path(&["current", "ops_per_sec", "xbar_10k_reads"]).and_then(Value::as_f64),
             Some(3_400_000.0)

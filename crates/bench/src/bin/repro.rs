@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--full] [--jobs N] [--trace PATH] [--bench-json PATH] [--bench-check PATH]
+//! repro [--full] [--jobs N] [--warm-start] [--trace PATH] [--checkpoint PATH]
+//!       [--bench-json PATH] [--bench-check PATH]
 //!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology] [all]
 //! ```
 //!
@@ -22,6 +23,16 @@
 //! sweep across N worker threads (default: all available cores). Every
 //! configuration runs its own `Simulation`, and results are re-assembled in
 //! input order, so the printed tables are bit-identical to `--jobs 1`.
+//!
+//! `--warm-start` forks every `dd` / fault sweep point from a checkpoint
+//! taken after one warmed-up reference run instead of building and
+//! enumerating each point from scratch. Tables are bit-identical to cold
+//! runs; enumeration and the driver probe execute once per block size.
+//!
+//! `--checkpoint PATH` demonstrates file-backed checkpoint/restore: it
+//! warms up the validation system, writes the checkpoint to PATH,
+//! rebuilds the tree from the warm seed, restores from the file and runs
+//! to completion, printing the cold-vs-restored comparison.
 //!
 //! `--trace PATH` additionally re-runs the Table II point with full event
 //! tracing: a Chrome/Perfetto trace is written to PATH and a per-stage
@@ -51,6 +62,7 @@ const MB: u64 = 1024 * 1024;
 struct Opts {
     full: bool,
     jobs: usize,
+    warm_start: bool,
 }
 
 fn block_sizes(opts: &Opts) -> Vec<u64> {
@@ -65,10 +77,16 @@ fn fmt_block(bytes: u64) -> String {
     format!("{}MB", bytes / MB)
 }
 
-/// Runs every `DdExperiment` in `configs` across the sweep runner,
-/// asserting completion, and returns outcomes in input order.
+/// Runs every `DdExperiment` in `configs` across the sweep runner —
+/// warm-started from one checkpoint per block size under `--warm-start`,
+/// cold otherwise — asserting completion, and returns outcomes in input
+/// order. Both paths produce bit-identical tables.
 fn dd_sweep(opts: &Opts, label: &str, configs: &[DdExperiment]) -> Vec<DdOutcome> {
-    let outcomes = run_sweep(configs, opts.jobs, run_dd_experiment);
+    let outcomes = if opts.warm_start {
+        run_dd_sweep_warm(configs, opts.jobs)
+    } else {
+        run_sweep(configs, opts.jobs, run_dd_experiment)
+    };
     for (out, config) in outcomes.iter().zip(configs) {
         assert!(out.completed, "{label} run must complete: {config:?}");
     }
@@ -389,7 +407,11 @@ fn faults(opts: &Opts) {
         .iter()
         .flat_map(|&(generation, width_all, _)| error_rate_ladder(generation, width_all, block))
         .collect();
-    let outcomes = run_sweep(&configs, opts.jobs, run_fault_experiment);
+    let outcomes = if opts.warm_start {
+        run_fault_sweep_warm(&configs, opts.jobs)
+    } else {
+        run_sweep(&configs, opts.jobs, run_fault_experiment)
+    };
     let ladder_len = configs.len() / POINTS.len();
     let mut rows = Vec::new();
     for (pi, &(_, _, label)) in POINTS.iter().enumerate() {
@@ -469,13 +491,58 @@ fn trace_dump(path: &str) {
     println!("{}", log.attribution().render());
 }
 
+/// Demonstrates file-backed checkpoint/restore: warms up the validation
+/// `dd` system, saves it to `path`, rebuilds the tree from the warm seed
+/// (no enumeration, no driver probe), restores from the file and resumes
+/// to completion — asserting the restored run is bit-identical to an
+/// uninterrupted cold run.
+fn checkpoint_demo(path: &str) {
+    use pcisim_kernel::sim::RunOutcome;
+    use pcisim_kernel::tick::TICKS_PER_SEC;
+    use pcisim_system::builder::{build_system, build_system_warm, SystemConfig};
+    use pcisim_system::workload::dd::DdConfig;
+
+    println!("\n== Checkpoint demo: warm up, save, restore from file, resume ==");
+    let block = MB;
+
+    // Cold reference: one uninterrupted run.
+    let mut cold = build_system(SystemConfig::validation());
+    let cold_report = cold.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
+    assert_eq!(cold.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+
+    // Warm up a second system to WARMUP_TICK and save it to disk.
+    let mut warm = build_system(SystemConfig::validation());
+    let seed = warm.warm_seed();
+    let _ = warm.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
+    assert_eq!(warm.sim.run(WARMUP_TICK, u64::MAX), RunOutcome::TimeLimit);
+    let bytes = warm.checkpoint_to(path).expect("checkpoint written");
+
+    // Rebuild from the seed, restore the file, resume.
+    let mut restored = build_system_warm(SystemConfig::validation(), &seed);
+    let report = restored.attach_dd(DdConfig { block_bytes: block, ..DdConfig::default() });
+    restored.restore_from(path).expect("checkpoint restores");
+    assert_eq!(restored.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+
+    let (c, r) = (cold_report.borrow().clone(), report.borrow().clone());
+    assert_eq!(cold.sim.now(), restored.sim.now(), "restored run must match the cold run");
+    assert_eq!(c.throughput_gbps().to_bits(), r.throughput_gbps().to_bits());
+    println!("checkpoint: {bytes} bytes (taken at tick {WARMUP_TICK}) -> {path}");
+    println!("cold run:     {:.3} Gb/s, done at tick {}", c.throughput_gbps(), cold.sim.now());
+    println!(
+        "restored run: {:.3} Gb/s, done at tick {} (bit-identical)",
+        r.throughput_gbps(),
+        restored.sim.now()
+    );
+}
+
 /// Number of microbenchmark samples; `PCISIM_BENCH_SAMPLES` overrides the
 /// default of 3 (the same knob the criterion shim honours).
 fn bench_samples() -> u32 {
     std::env::var("PCISIM_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
 }
 
-/// Measures the microbenchmark scenarios and writes the speed report.
+/// Measures the microbenchmark scenarios plus the warm-start cold/warm
+/// comparison and writes the speed report.
 fn bench_json(path: &str, sweep_wall_ms: &[(String, u64)]) {
     println!("\n== simulator_speed microbenchmarks (for {path}) ==");
     let micro = benchjson::run_micro_benchmarks(bench_samples());
@@ -485,7 +552,17 @@ fn bench_json(path: &str, sweep_wall_ms: &[(String, u64)]) {
             m.name, m.ops_per_sec, m.events_per_sec, m.wall_ms
         );
     }
-    std::fs::write(path, benchjson::render_json(&micro, sweep_wall_ms)).expect("write bench json");
+    let warm = benchjson::run_warm_start_benchmark(bench_samples());
+    println!(
+        "{:>16}: cold {:>8.1} ms vs warm {:>8.1} ms over {} configs ({:.2}x)",
+        "warm_start",
+        warm.cold_ms,
+        warm.warm_ms,
+        warm.configs,
+        warm.speedup()
+    );
+    std::fs::write(path, benchjson::render_json(&micro, sweep_wall_ms, Some(&warm)))
+        .expect("write bench json");
     println!("speed report written to {path}");
 }
 
@@ -546,11 +623,14 @@ fn main() {
         .position(|a| a == "--trace")
         .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "repro_trace.json".into()));
     let bench_json_path = value_of("--bench-json");
+    let checkpoint_path = value_of("--checkpoint");
     if let Some(path) = value_of("--bench-check") {
         std::process::exit(bench_check(&path));
     }
-    let opts = Opts { full, jobs };
-    const VALUE_FLAGS: [&str; 4] = ["--trace", "--jobs", "--bench-json", "--bench-check"];
+    let warm_start = args.iter().any(|a| a == "--warm-start");
+    let opts = Opts { full, jobs, warm_start };
+    const VALUE_FLAGS: [&str; 5] =
+        ["--trace", "--jobs", "--bench-json", "--bench-check", "--checkpoint"];
     let mut skip_next = false;
     let picked: Vec<&str> = args
         .iter()
@@ -564,13 +644,13 @@ fn main() {
                 skip_next = true;
                 return false;
             }
-            *a != "--full"
+            *a != "--full" && *a != "--warm-start"
         })
         .collect();
     let run_all = picked.is_empty() || picked.contains(&"all");
 
     println!(
-        "pcisim repro — {} mode (block sizes {}), {jobs} sweep worker{}",
+        "pcisim repro — {} mode (block sizes {}), {jobs} sweep worker{}{}",
         if full { "full" } else { "quick" },
         if full {
             "64–512 MB as in the paper"
@@ -578,6 +658,7 @@ fn main() {
             "scaled down 16x; pass --full for the paper's sizes"
         },
         if jobs == 1 { "" } else { "s" },
+        if warm_start { ", warm-started dd/fault sweeps" } else { "" },
     );
     let mut sweep_wall_ms: Vec<(String, u64)> = Vec::new();
     let mut timed = |name: &str, f: &dyn Fn(&Opts)| {
@@ -614,6 +695,9 @@ fn main() {
     }
     if let Some(path) = trace_path {
         trace_dump(&path);
+    }
+    if let Some(path) = checkpoint_path {
+        checkpoint_demo(&path);
     }
     if let Some(path) = bench_json_path {
         bench_json(&path, &sweep_wall_ms);

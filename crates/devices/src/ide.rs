@@ -17,8 +17,9 @@
 use std::collections::VecDeque;
 
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
-use pcisim_kernel::packet::{Command, Packet};
+use pcisim_kernel::packet::{decode_packet_queue, encode_packet_queue, Command, Packet};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::{ns, us, Tick};
 use pcisim_pci::caps::{write_aer_capability, CapChain, Capability, Generation, PortType};
@@ -451,6 +452,57 @@ impl Component for IdeDisk {
         out.counter("dma_tlps", &self.stats.dma_tlps);
         out.counter("dma_stalls", &self.stats.dma_stalls);
         out.counter("irqs", &self.stats.irqs);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        // Config (latencies, sector geometry, intx target) and the config
+        // space (owned by the PCI host registry) are not serialized.
+        w.u32(self.sector_count);
+        w.u64(self.dma_addr);
+        w.bool(self.busy);
+        w.bool(self.irq_pending);
+        w.u32(self.sectors_remaining);
+        w.u64(self.cur_addr);
+        w.u32(self.tlps_to_send);
+        w.u32(self.tlps_outstanding);
+        w.bool(self.sector_active);
+        match &self.stalled {
+            Some(pkt) => {
+                w.bool(true);
+                pkt.encode(w);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.pio_waiting);
+        encode_packet_queue(w, &self.pio_blocked);
+        self.stats.commands.encode(w);
+        self.stats.sectors.encode(w);
+        self.stats.dma_bytes.encode(w);
+        self.stats.dma_tlps.encode(w);
+        self.stats.dma_stalls.encode(w);
+        self.stats.irqs.encode(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.sector_count = r.u32()?;
+        self.dma_addr = r.u64()?;
+        self.busy = r.bool()?;
+        self.irq_pending = r.bool()?;
+        self.sectors_remaining = r.u32()?;
+        self.cur_addr = r.u64()?;
+        self.tlps_to_send = r.u32()?;
+        self.tlps_outstanding = r.u32()?;
+        self.sector_active = r.bool()?;
+        self.stalled = if r.bool()? { Some(Packet::decode(r)?) } else { None };
+        self.pio_waiting = r.bool()?;
+        self.pio_blocked = decode_packet_queue(r)?;
+        self.stats.commands = Counter::decode(r)?;
+        self.stats.sectors = Counter::decode(r)?;
+        self.stats.dma_bytes = Counter::decode(r)?;
+        self.stats.dma_tlps = Counter::decode(r)?;
+        self.stats.dma_stalls = Counter::decode(r)?;
+        self.stats.irqs = Counter::decode(r)?;
+        Ok(())
     }
 }
 

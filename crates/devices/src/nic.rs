@@ -22,8 +22,11 @@
 use std::collections::{HashMap, VecDeque};
 
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
-use pcisim_kernel::packet::{Command, CompletionStatus, Packet};
+use pcisim_kernel::packet::{
+    decode_packet_queue, encode_packet_queue, Command, CompletionStatus, Packet,
+};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::{Counter, Histogram, StatsBuilder};
 use pcisim_kernel::tick::{ns, Tick};
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
@@ -166,6 +169,25 @@ pub fn nic_config_space_with(msi_capable: bool) -> ConfigSpace {
     // error completions latch here so enumeration/diagnosis can walk it.
     write_aer_capability(&mut cs, 0x100, 0);
     cs
+}
+
+fn encode_dma_job(w: &mut StateWriter, job: &DmaJob) {
+    w.u8(match job.engine {
+        Engine::Tx => 0,
+        Engine::Rx => 1,
+    });
+    w.bool(job.write);
+    w.u64(job.addr);
+    w.u32(job.len);
+}
+
+fn decode_dma_job(r: &mut StateReader<'_>) -> Result<DmaJob, SnapshotError> {
+    let engine = match r.u8()? {
+        0 => Engine::Tx,
+        1 => Engine::Rx,
+        other => return Err(SnapshotError::Corrupt(format!("unknown DMA engine {other}"))),
+    };
+    Ok(DmaJob { engine, write: r.bool()?, addr: r.u64()?, len: r.u32()? })
 }
 
 const K_TX_KICK: u32 = 0;
@@ -774,6 +796,149 @@ impl Component for Nic {
         out.counter("dma_error_completions", &self.stats.dma_error_completions);
         out.histogram("dma_read_latency", &self.stats.dma_read_latency);
         out.counter("irqs", &self.stats.irqs);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u32(self.ctrl);
+        w.u32(self.icr);
+        w.u32(self.ims);
+        w.u64(self.tdba);
+        w.u32(self.tdlen);
+        w.u32(self.tdh);
+        w.u32(self.tdt);
+        w.u32(self.tx_buflen);
+        w.u64(self.rdba);
+        w.u32(self.rdlen);
+        w.u32(self.rdh);
+        w.u32(self.rdt);
+        w.usize(self.jobs.len());
+        for job in &self.jobs {
+            encode_dma_job(w, job);
+        }
+        match &self.active {
+            Some(a) => {
+                w.bool(true);
+                encode_dma_job(w, &a.job);
+                w.u64(a.next_addr);
+                w.u32(a.remaining);
+                w.u32(a.outstanding);
+            }
+            None => w.bool(false),
+        }
+        match &self.stalled {
+            Some(pkt) => {
+                w.bool(true);
+                pkt.encode(w);
+            }
+            None => w.bool(false),
+        }
+        // HashMap iterates in hash order; sort so the byte stream is
+        // deterministic.
+        let mut issues: Vec<(u64, Tick)> =
+            self.dma_read_issue.iter().map(|(&id, &t)| (id, t)).collect();
+        issues.sort_unstable();
+        w.usize(issues.len());
+        for (id, t) in issues {
+            w.u64(id);
+            w.u64(t);
+        }
+        w.u8(match self.tx_phase {
+            TxPhase::Idle => 0,
+            TxPhase::FetchDescriptor => 1,
+            TxPhase::FetchBuffer => 2,
+            TxPhase::OnWire => 3,
+            TxPhase::Writeback => 4,
+        });
+        w.u8(match self.rx_phase {
+            RxPhase::Idle => 0,
+            RxPhase::FetchDescriptor => 1,
+            RxPhase::WriteData => 2,
+            RxPhase::Writeback => 3,
+        });
+        w.u32(self.rx_fifo);
+        w.u32(self.rx_frames_left);
+        w.bool(self.rx_stream_started);
+        w.bool(self.pio_waiting);
+        encode_packet_queue(w, &self.pio_blocked);
+        self.stats.mmio_reads.encode(w);
+        self.stats.mmio_writes.encode(w);
+        self.stats.frames_tx.encode(w);
+        self.stats.frames_rx.encode(w);
+        self.stats.rx_overruns.encode(w);
+        self.stats.dma_read_tlps.encode(w);
+        self.stats.dma_write_tlps.encode(w);
+        self.stats.dma_bytes.encode(w);
+        self.stats.dma_error_completions.encode(w);
+        self.stats.dma_read_latency.encode(w);
+        self.stats.irqs.encode(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.ctrl = r.u32()?;
+        self.icr = r.u32()?;
+        self.ims = r.u32()?;
+        self.tdba = r.u64()?;
+        self.tdlen = r.u32()?;
+        self.tdh = r.u32()?;
+        self.tdt = r.u32()?;
+        self.tx_buflen = r.u32()?;
+        self.rdba = r.u64()?;
+        self.rdlen = r.u32()?;
+        self.rdh = r.u32()?;
+        self.rdt = r.u32()?;
+        let n_jobs = r.usize()?;
+        let mut jobs = VecDeque::with_capacity(n_jobs.min(4096));
+        for _ in 0..n_jobs {
+            jobs.push_back(decode_dma_job(r)?);
+        }
+        self.jobs = jobs;
+        self.active = if r.bool()? {
+            let job = decode_dma_job(r)?;
+            Some(ActiveJob { job, next_addr: r.u64()?, remaining: r.u32()?, outstanding: r.u32()? })
+        } else {
+            None
+        };
+        self.stalled = if r.bool()? { Some(Packet::decode(r)?) } else { None };
+        let n_issues = r.usize()?;
+        let mut issues = HashMap::with_capacity(n_issues.min(4096));
+        for _ in 0..n_issues {
+            let id = r.u64()?;
+            let t = r.u64()?;
+            issues.insert(id, t);
+        }
+        self.dma_read_issue = issues;
+        self.tx_phase = match r.u8()? {
+            0 => TxPhase::Idle,
+            1 => TxPhase::FetchDescriptor,
+            2 => TxPhase::FetchBuffer,
+            3 => TxPhase::OnWire,
+            4 => TxPhase::Writeback,
+            other => return Err(SnapshotError::Corrupt(format!("unknown TX phase {other}"))),
+        };
+        self.rx_phase = match r.u8()? {
+            0 => RxPhase::Idle,
+            1 => RxPhase::FetchDescriptor,
+            2 => RxPhase::WriteData,
+            3 => RxPhase::Writeback,
+            other => return Err(SnapshotError::Corrupt(format!("unknown RX phase {other}"))),
+        };
+        self.rx_fifo = r.u32()?;
+        self.rx_frames_left = r.u32()?;
+        self.rx_stream_started = r.bool()?;
+        self.pio_waiting = r.bool()?;
+        self.pio_blocked = decode_packet_queue(r)?;
+        self.stats.mmio_reads = Counter::decode(r)?;
+        self.stats.mmio_writes = Counter::decode(r)?;
+        self.stats.frames_tx = Counter::decode(r)?;
+        self.stats.frames_rx = Counter::decode(r)?;
+        self.stats.rx_overruns = Counter::decode(r)?;
+        self.stats.dma_read_tlps = Counter::decode(r)?;
+        self.stats.dma_write_tlps = Counter::decode(r)?;
+        self.stats.dma_bytes = Counter::decode(r)?;
+        self.stats.dma_error_completions = Counter::decode(r)?;
+        self.stats.dma_read_latency = Histogram::decode(r)?;
+        self.stats.irqs = Counter::decode(r)?;
+        Ok(())
     }
 }
 

@@ -9,8 +9,9 @@
 use std::collections::VecDeque;
 
 use crate::component::{Component, Event, PortId, RecvResult};
-use crate::packet::Packet;
+use crate::packet::{decode_packet_queue, encode_packet_queue, Packet};
 use crate::sim::Ctx;
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::Tick;
 use crate::trace::{TraceCategory, TraceKind};
@@ -234,6 +235,33 @@ impl Component for Bridge {
     fn report_stats(&self, out: &mut StatsBuilder) {
         out.counter("forwarded", &self.forwarded);
         out.counter("refusals", &self.refusals);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.req_inflight);
+        w.usize(self.resp_inflight);
+        encode_packet_queue(w, &self.req_q);
+        encode_packet_queue(w, &self.resp_q);
+        w.bool(self.req_waiting_peer);
+        w.bool(self.resp_waiting_peer);
+        w.bool(self.owe_mem_retry);
+        w.bool(self.owe_io_retry);
+        self.forwarded.encode(w);
+        self.refusals.encode(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.req_inflight = r.usize()?;
+        self.resp_inflight = r.usize()?;
+        self.req_q = decode_packet_queue(r)?;
+        self.resp_q = decode_packet_queue(r)?;
+        self.req_waiting_peer = r.bool()?;
+        self.resp_waiting_peer = r.bool()?;
+        self.owe_mem_retry = r.bool()?;
+        self.owe_io_retry = r.bool()?;
+        self.forwarded = Counter::decode(r)?;
+        self.refusals = Counter::decode(r)?;
+        Ok(())
     }
 }
 

@@ -31,6 +31,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::tick::Tick;
 
 /// log2 of the bucket window size in ticks. With 1 tick = 1 ps this makes
@@ -63,6 +64,23 @@ struct Key {
 pub struct EventHandle {
     slot: u32,
     seq: u64,
+}
+
+impl EventHandle {
+    /// Serializes the handle for a checkpoint. Slab slots and sequence
+    /// stamps survive [`CalendarQueue::restore`] verbatim, so a restored
+    /// handle cancels the same queued entry it did before the checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.u32(self.slot);
+        w.u64(self.seq);
+    }
+
+    /// Deserializes a handle written by [`EventHandle::encode`].
+    pub fn decode(r: &mut StateReader<'_>) -> Result<Self, SnapshotError> {
+        let slot = r.u32()?;
+        let seq = r.u64()?;
+        Ok(Self { slot, seq })
+    }
 }
 
 impl PartialEq for Key {
@@ -293,6 +311,119 @@ impl<T> CalendarQueue<T> {
         let item = self.slab[key.slot as usize].1.take().expect("live head after settle_live");
         self.free.push(key.slot);
         Ok(Some((key.tick, item)))
+    }
+
+    /// Serializes the queue into a checkpoint: the sequence allocator, the
+    /// slab free list, and every pending key — live entries *and* cancelled
+    /// tombstones — as portable `(tick, seq, slot)` triples sorted by pop
+    /// order. Slot indices and sequence stamps are preserved exactly so
+    /// that [`EventHandle`]s held by components (e.g. armed completion
+    /// timers) remain valid against the restored queue. Live items are
+    /// encoded by `enc`.
+    pub fn save(&self, w: &mut StateWriter, mut enc: impl FnMut(&mut StateWriter, &T)) {
+        w.u64(self.seq);
+        w.usize(self.slab.len());
+        w.usize(self.free.len());
+        for &slot in &self.free {
+            w.u32(slot);
+        }
+        let mut keys: Vec<Key> =
+            Vec::with_capacity(self.cur.len() + self.overflow.len() + self.ring_len);
+        keys.extend(self.cur.iter().map(|&Reverse(k)| k));
+        keys.extend(self.overflow.iter().map(|&Reverse(k)| k));
+        for bucket in &self.buckets {
+            keys.extend_from_slice(bucket);
+        }
+        keys.sort_by_key(|k| (k.tick, k.seq));
+        w.usize(keys.len());
+        for k in keys {
+            w.u64(k.tick);
+            w.u64(k.seq);
+            w.u32(k.slot);
+            match &self.slab[k.slot as usize].1 {
+                Some(item) => {
+                    w.bool(true);
+                    enc(w, item);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Rebuilds a queue from [`CalendarQueue::save`] output, with the
+    /// calendar cursor positioned for simulated time `now`. Items are
+    /// decoded by `dec`. The rebuilt queue pops in the identical global
+    /// `(tick, seq)` order, reuses the identical slab slots and free list,
+    /// and continues the sequence counter — so post-restore scheduling is
+    /// bit-identical to the uninterrupted original.
+    pub fn restore(
+        now: Tick,
+        r: &mut StateReader<'_>,
+        mut dec: impl FnMut(&mut StateReader<'_>) -> Result<T, SnapshotError>,
+    ) -> Result<Self, SnapshotError> {
+        let seq = r.u64()?;
+        let slab_len = r.usize()?;
+        let free_len = r.usize()?;
+        let mut free = Vec::new();
+        for _ in 0..free_len {
+            free.push(r.u32()?);
+        }
+        let n_keys = r.usize()?;
+        let mut entries = Vec::new();
+        for _ in 0..n_keys {
+            let tick = r.u64()?;
+            let kseq = r.u64()?;
+            let slot = r.u32()?;
+            let item = if r.bool()? { Some(dec(r)?) } else { None };
+            entries.push((tick, kseq, slot, item));
+        }
+        // Every slab slot is accounted for exactly once: vacant slots sit
+        // in the free list, occupied ones carry exactly one pending key.
+        if slab_len != free.len() + entries.len() {
+            return Err(SnapshotError::Corrupt("slab population does not match its size".into()));
+        }
+        let mut q = Self::new();
+        q.seq = seq;
+        q.slab.resize_with(slab_len, || (0, None));
+        q.cur_window = now >> BUCKET_BITS;
+        let mut occupied = vec![false; slab_len];
+        for &slot in &free {
+            let i = slot as usize;
+            if i >= slab_len || occupied[i] {
+                return Err(SnapshotError::Corrupt("free-list slot invalid or duplicated".into()));
+            }
+            occupied[i] = true;
+        }
+        q.free = free;
+        for (tick, kseq, slot, item) in entries {
+            let i = slot as usize;
+            if i >= slab_len || occupied[i] {
+                return Err(SnapshotError::Corrupt("entry slot invalid or duplicated".into()));
+            }
+            occupied[i] = true;
+            if tick < now {
+                return Err(SnapshotError::Corrupt("queued entry is in the past".into()));
+            }
+            if kseq >= seq {
+                return Err(SnapshotError::Corrupt("entry sequence beyond the allocator".into()));
+            }
+            let live = item.is_some();
+            q.slab[i] = (kseq, item);
+            let key = Key { tick, seq: kseq, slot };
+            let w = tick >> BUCKET_BITS;
+            if w <= q.cur_window {
+                q.cur.push(Reverse(key));
+            } else if w - q.cur_window < NUM_BUCKETS {
+                q.ring_len += 1;
+                q.buckets[(w & MASK) as usize].push(key);
+            } else {
+                q.overflow.push(Reverse(key));
+            }
+            if live {
+                q.len += 1;
+            }
+        }
+        Ok(q)
     }
 }
 

@@ -30,6 +30,7 @@ use std::fmt;
 
 use crate::packet::Packet;
 use crate::sim::Ctx;
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::stats::StatsBuilder;
 
 /// Identifies a component within a [`Simulation`](crate::sim::Simulation).
@@ -118,6 +119,20 @@ pub trait Component {
 
     /// Reports statistics into `out`. Called after the simulation stops.
     fn report_stats(&self, _out: &mut StatsBuilder) {}
+
+    /// Appends this component's dynamic state to a checkpoint. Stateless
+    /// components keep the default (write nothing). Stateful components
+    /// must save every field that evolves with simulated time — and only
+    /// those: configuration belongs to the freshly built tree a checkpoint
+    /// is restored into, not to the checkpoint.
+    fn save_state(&self, _w: &mut StateWriter) {}
+
+    /// Overwrites this component's dynamic state from a checkpoint,
+    /// consuming exactly the bytes [`Component::save_state`] wrote. The
+    /// default matches the stateless default of `save_state`.
+    fn restore_state(&mut self, _r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@ use std::collections::VecDeque;
 
 use crate::addr::AddrRange;
 use crate::component::{Component, Event, PortId, RecvResult};
-use crate::packet::Packet;
+use crate::packet::{decode_packet_queue, encode_packet_queue, Packet};
 use crate::sim::Ctx;
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::{transfer_time, Tick};
 use crate::trace::{TraceCategory, TraceKind};
@@ -208,6 +209,29 @@ impl Component for Dram {
         out.counter("reads", &self.reads);
         out.counter("writes", &self.writes);
         out.counter("bytes", &self.bytes);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.outstanding);
+        w.u64(self.busy_until);
+        encode_packet_queue(w, &self.blocked_resp);
+        w.bool(self.waiting_retry);
+        w.bool(self.owe_retry);
+        self.reads.encode(w);
+        self.writes.encode(w);
+        self.bytes.encode(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.outstanding = r.usize()?;
+        self.busy_until = r.u64()?;
+        self.blocked_resp = decode_packet_queue(r)?;
+        self.waiting_retry = r.bool()?;
+        self.owe_retry = r.bool()?;
+        self.reads = Counter::decode(r)?;
+        self.writes = Counter::decode(r)?;
+        self.bytes = Counter::decode(r)?;
+        Ok(())
     }
 }
 

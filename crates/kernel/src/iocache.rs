@@ -11,8 +11,9 @@
 use std::collections::VecDeque;
 
 use crate::component::{Component, Event, PortId, RecvResult};
-use crate::packet::Packet;
+use crate::packet::{decode_packet_queue, encode_packet_queue, Packet};
 use crate::sim::Ctx;
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::Tick;
 
@@ -206,6 +207,29 @@ impl Component for IoCache {
         out.counter("accesses", &self.accesses);
         out.counter("refusals", &self.refusals);
         out.scalar("outstanding", self.outstanding as f64);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.outstanding);
+        encode_packet_queue(w, &self.req_q);
+        encode_packet_queue(w, &self.resp_q);
+        w.bool(self.req_waiting_peer);
+        w.bool(self.resp_waiting_peer);
+        w.bool(self.owe_dev_retry);
+        self.accesses.encode(w);
+        self.refusals.encode(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.outstanding = r.usize()?;
+        self.req_q = decode_packet_queue(r)?;
+        self.resp_q = decode_packet_queue(r)?;
+        self.req_waiting_peer = r.bool()?;
+        self.resp_waiting_peer = r.bool()?;
+        self.owe_dev_retry = r.bool()?;
+        self.accesses = Counter::decode(r)?;
+        self.refusals = Counter::decode(r)?;
+        Ok(())
     }
 }
 

@@ -13,7 +13,9 @@
 //! * [`xbar`], [`bridge`], [`iocache`], [`dram`] — the stock gem5 fabric
 //!   models the paper builds upon (MemBus/IOBus crossbars, the
 //!   MemBus↔IOBus bridge, the DMA IOCache, and a DRAM terminator);
-//! * [`stats`] — counters/histograms and snapshotting.
+//! * [`stats`] — counters/histograms and snapshotting;
+//! * [`snapshot`] — deterministic checkpoint/restore over a versioned,
+//!   checksummed little-endian state codec.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod dram;
 pub mod iocache;
 pub mod packet;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod testutil;
 pub mod tick;
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use crate::iocache::IoCache;
     pub use crate::packet::{Command, CompletionStatus, Packet, PacketId};
     pub use crate::sim::{Ctx, RunOutcome, Simulation};
+    pub use crate::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
     pub use crate::stats::{Counter, Histogram, StatsBuilder, StatsSnapshot};
     pub use crate::tick::{ns, ps, us, Tick};
     pub use crate::trace::{

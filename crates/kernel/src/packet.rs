@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::component::{ComponentId, PortId};
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// The transaction a packet performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,6 +96,39 @@ impl fmt::Display for Command {
     }
 }
 
+impl Command {
+    /// Stable wire encoding for checkpoints.
+    pub fn encode(self) -> u8 {
+        match self {
+            Command::ReadReq => 0,
+            Command::ReadResp => 1,
+            Command::WriteReq => 2,
+            Command::WriteResp => 3,
+            Command::ConfigRead => 4,
+            Command::ConfigReadResp => 5,
+            Command::ConfigWrite => 6,
+            Command::ConfigWriteResp => 7,
+            Command::Message => 8,
+        }
+    }
+
+    /// Decodes a checkpoint byte back into a command.
+    pub fn decode(b: u8) -> Result<Self, SnapshotError> {
+        Ok(match b {
+            0 => Command::ReadReq,
+            1 => Command::ReadResp,
+            2 => Command::WriteReq,
+            3 => Command::WriteResp,
+            4 => Command::ConfigRead,
+            5 => Command::ConfigReadResp,
+            6 => Command::ConfigWrite,
+            7 => Command::ConfigWriteResp,
+            8 => Command::Message,
+            other => return Err(SnapshotError::Corrupt(format!("command byte {other:#04x}"))),
+        })
+    }
+}
+
 /// Completion status carried by a response packet — the TLP completion
 /// status field of the PCI-Express transaction layer, reduced to the
 /// statuses the fabric can actually produce. Requests always carry
@@ -118,6 +152,27 @@ impl CompletionStatus {
     /// Whether this status reports an error.
     pub fn is_error(self) -> bool {
         self != CompletionStatus::SuccessfulCompletion
+    }
+
+    /// Stable wire encoding for checkpoints.
+    pub fn encode(self) -> u8 {
+        match self {
+            CompletionStatus::SuccessfulCompletion => 0,
+            CompletionStatus::UnsupportedRequest => 1,
+            CompletionStatus::CompleterAbort => 2,
+            CompletionStatus::CompletionTimeout => 3,
+        }
+    }
+
+    /// Decodes a checkpoint byte back into a completion status.
+    pub fn decode(b: u8) -> Result<Self, SnapshotError> {
+        Ok(match b {
+            0 => CompletionStatus::SuccessfulCompletion,
+            1 => CompletionStatus::UnsupportedRequest,
+            2 => CompletionStatus::CompleterAbort,
+            3 => CompletionStatus::CompletionTimeout,
+            other => return Err(SnapshotError::Corrupt(format!("status byte {other:#04x}"))),
+        })
     }
 }
 
@@ -499,6 +554,74 @@ impl Packet {
         }
         self
     }
+
+    /// Serializes the packet — identity, header fields, payload and the
+    /// full route stack — into a checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.u64(self.id.0);
+        w.u8(self.cmd.encode());
+        w.u64(self.addr);
+        w.u32(self.size);
+        w.u32(self.requester.0);
+        w.opt_u8(self.pci_bus);
+        w.bool(self.posted);
+        match &self.payload {
+            Some(p) => {
+                w.bool(true);
+                w.bytes(p);
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.route.depth());
+        // Oldest hop first, so decode can push in order.
+        let spill: &[RouteHop] = self.route.spill.as_ref().map_or(&[], |s| s);
+        for hop in self.route.inline[..self.route.len as usize].iter().chain(spill) {
+            w.u32(hop.component.0);
+            w.u16(hop.port.0);
+        }
+        w.u8(self.status.encode());
+    }
+
+    /// Deserializes a packet from a checkpoint.
+    pub fn decode(r: &mut StateReader<'_>) -> Result<Self, SnapshotError> {
+        let id = PacketId(r.u64()?);
+        let cmd = Command::decode(r.u8()?)?;
+        let addr = r.u64()?;
+        let size = r.u32()?;
+        let requester = ComponentId(r.u32()?);
+        let pci_bus = r.opt_u8()?;
+        let posted = r.bool()?;
+        let payload = if r.bool()? { Some(r.bytes()?.to_vec()) } else { None };
+        let depth = r.usize()?;
+        let mut route = RouteStack::new();
+        for _ in 0..depth {
+            let component = ComponentId(r.u32()?);
+            let port = PortId(r.u16()?);
+            route.push(RouteHop { component, port });
+        }
+        let status = CompletionStatus::decode(r.u8()?)?;
+        Ok(Self { id, cmd, addr, size, requester, pci_bus, posted, payload, route, status })
+    }
+}
+
+/// Serializes a packet queue oldest-first for a checkpoint.
+pub fn encode_packet_queue(w: &mut StateWriter, q: &std::collections::VecDeque<Packet>) {
+    w.usize(q.len());
+    for pkt in q {
+        pkt.encode(w);
+    }
+}
+
+/// Deserializes a packet queue written by [`encode_packet_queue`].
+pub fn decode_packet_queue(
+    r: &mut StateReader<'_>,
+) -> Result<std::collections::VecDeque<Packet>, SnapshotError> {
+    let n = r.usize()?;
+    let mut q = std::collections::VecDeque::with_capacity(n.min(4096));
+    for _ in 0..n {
+        q.push_back(Packet::decode(r)?);
+    }
+    Ok(q)
 }
 
 impl fmt::Display for Packet {

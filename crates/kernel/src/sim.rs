@@ -18,6 +18,9 @@ use std::cell::{Cell, RefCell};
 use crate::calendar::{CalendarQueue, EventHandle};
 use crate::component::{Component, ComponentId, Event, PortId, RecvResult};
 use crate::packet::{Packet, PacketId};
+use crate::snapshot::{
+    fnv1a, SnapshotError, StateReader, StateWriter, FNV_OFFSET, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 use crate::stats::{StatsBuilder, StatsSnapshot};
 use crate::tick::Tick;
 use crate::trace::{TraceCategory, TraceEvent, TraceKind, TraceLog, Tracer};
@@ -556,6 +559,153 @@ impl Simulation {
         self.run(Tick::MAX, u64::MAX)
     }
 
+    /// Value the next [`Ctx::alloc_packet_id`] will hand out. Exposed so
+    /// tests can audit PacketId continuity across checkpoint/restore.
+    pub fn next_packet_id(&self) -> u64 {
+        self.shared.next_packet_id.get()
+    }
+
+    /// FNV-1a fingerprint of the component tree's *shape*: component names
+    /// (in id order) and the complete port wiring. Configuration values are
+    /// deliberately excluded, so a checkpoint taken on one tree restores
+    /// into an identically shaped tree built with different parameters —
+    /// which is what makes warm-started parameter sweeps possible.
+    pub fn topology_fingerprint(&self) -> u64 {
+        let mut w = StateWriter::new();
+        w.usize(self.shared.names.len());
+        for name in &self.shared.names {
+            w.str(name);
+        }
+        w.usize(self.shared.conns.len());
+        for row in &self.shared.conns {
+            w.usize(row.len());
+            for ep in row {
+                match ep {
+                    Some((c, p)) => {
+                        w.bool(true);
+                        w.u32(c.0);
+                        w.u16(p.0);
+                    }
+                    None => w.bool(false),
+                }
+            }
+        }
+        fnv1a(FNV_OFFSET, &w.into_bytes())
+    }
+
+    /// Serializes the complete dynamic state — simulated time, the event
+    /// queue (armed timers and all, with slab slots preserved so
+    /// outstanding [`EventHandle`]s stay valid), the PacketId allocator,
+    /// the trace ring, and every component's
+    /// [`Component::save_state`] section — into a self-contained,
+    /// checksummed checkpoint. Runs `init` first if the simulation has
+    /// never run, so a restored simulation never re-runs it.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        self.ensure_init();
+        let mut body = StateWriter::new();
+        body.u64(self.topology_fingerprint());
+        body.u64(self.now());
+        body.u64(self.shared.next_packet_id.get());
+        body.u64(self.shared.events_processed.get());
+        self.shared.queue.borrow().save(&mut body, encode_action);
+        self.shared.tracer.save_ring(&mut body);
+        body.usize(self.shared.arena.len());
+        for (i, cell) in self.shared.arena.iter().enumerate() {
+            let slot = cell.borrow();
+            let comp = slot.as_ref().expect("component missing during checkpoint");
+            body.str(&self.shared.names[i]);
+            let mut section = StateWriter::new();
+            comp.save_state(&mut section);
+            body.bytes(&section.into_bytes());
+        }
+        let body = body.into_bytes();
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&fnv1a(FNV_OFFSET, &body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Applies a [`Simulation::checkpoint`] to this simulation, which must
+    /// be a freshly built tree with the same topology fingerprint (same
+    /// component names and wiring; configuration may differ). Afterwards
+    /// the simulation continues bit-for-bit like the one that was saved:
+    /// same event order, same packet ids, same statistics.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed, truncated, corrupted, version-skewed or
+    /// wrong-topology input yields a typed [`SnapshotError`]; decoding
+    /// never panics. On error the simulation may be partially overwritten
+    /// and must be discarded.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut header = StateReader::new(bytes);
+        let magic = header.u32()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = header.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let stored = header.u64()?;
+        let body = &bytes[16..];
+        let computed = fnv1a(FNV_OFFSET, body);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        let mut r = StateReader::new(body);
+        let fingerprint = r.u64()?;
+        let expected = self.topology_fingerprint();
+        if fingerprint != expected {
+            return Err(SnapshotError::TopologyMismatch { stored: fingerprint, expected });
+        }
+        let now = r.u64()?;
+        let next_packet_id = r.u64()?;
+        let events_processed = r.u64()?;
+        let n_components = self.shared.arena.len() as u32;
+        let queue = CalendarQueue::restore(now, &mut r, |r| {
+            decode_action(r, n_components, next_packet_id)
+        })?;
+        self.shared.tracer.restore_ring(&mut r)?;
+        let count = r.usize()?;
+        if count != self.shared.arena.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "checkpoint has {count} components, tree has {}",
+                self.shared.arena.len()
+            )));
+        }
+        for (i, cell) in self.shared.arena.iter().enumerate() {
+            let name = r.str()?;
+            if name != self.shared.names[i] {
+                return Err(SnapshotError::Corrupt(format!(
+                    "section {name:?} does not match component {:?}",
+                    self.shared.names[i]
+                )));
+            }
+            let section = r.bytes()?;
+            let mut sr = StateReader::new(section);
+            let mut slot = cell.borrow_mut();
+            let comp = slot.as_mut().expect("component slot empty");
+            comp.restore_state(&mut sr)?;
+            sr.finish(&name)?;
+        }
+        r.finish("simulation")?;
+        *self.shared.queue.borrow_mut() = queue;
+        self.shared.now.set(now);
+        self.shared.next_packet_id.set(next_packet_id);
+        self.shared.events_processed.set(events_processed);
+        self.shared.stop_requested.set(false);
+        // `init` already ran in the simulation that produced the
+        // checkpoint; it must never run again here.
+        self.initialized = true;
+        Ok(())
+    }
+
     /// Collects statistics from every component.
     pub fn stats(&self) -> StatsSnapshot {
         let mut all = std::collections::BTreeMap::new();
@@ -568,6 +718,56 @@ impl Simulation {
         }
         StatsSnapshot::from_values(all)
     }
+}
+
+fn encode_action(w: &mut StateWriter, a: &Action) {
+    w.u32(a.target.0);
+    match &a.body {
+        ActionBody::Event(Event::Timer { kind, data }) => {
+            w.u8(0);
+            w.u32(*kind);
+            w.u64(*data);
+        }
+        ActionBody::Event(Event::DelayedPacket { tag, pkt }) => {
+            w.u8(1);
+            w.u32(*tag);
+            pkt.encode(w);
+        }
+        ActionBody::Retry { port } => {
+            w.u8(2);
+            w.u16(port.0);
+        }
+    }
+}
+
+fn decode_action(
+    r: &mut StateReader<'_>,
+    n_components: u32,
+    next_packet_id: u64,
+) -> Result<Action, SnapshotError> {
+    let target = r.u32()?;
+    if target >= n_components {
+        return Err(SnapshotError::Corrupt(format!("event target c{target} out of range")));
+    }
+    let body = match r.u8()? {
+        0 => ActionBody::Event(Event::Timer { kind: r.u32()?, data: r.u64()? }),
+        1 => {
+            let tag = r.u32()?;
+            let pkt = Packet::decode(r)?;
+            // Continuity audit: a queued packet must predate the restored
+            // allocator cursor, or future allocations would collide.
+            if pkt.id().0 >= next_packet_id {
+                return Err(SnapshotError::Corrupt(format!(
+                    "queued {} is beyond the packet-id allocator ({next_packet_id})",
+                    pkt.id()
+                )));
+            }
+            ActionBody::Event(Event::DelayedPacket { tag, pkt })
+        }
+        2 => ActionBody::Retry { port: PortId(r.u16()?) },
+        other => return Err(SnapshotError::Corrupt(format!("action tag {other}"))),
+    };
+    Ok(Action { target: ComponentId(target), body })
 }
 
 // Components that need post-run inspection share state with the harness via

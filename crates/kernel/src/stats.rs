@@ -8,6 +8,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
+
 /// A monotonically increasing event counter.
 ///
 /// ```
@@ -41,6 +43,16 @@ impl Counter {
     /// Current count.
     pub fn value(&self) -> u64 {
         self.0
+    }
+
+    /// Serializes the counter into a checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.u64(self.0);
+    }
+
+    /// Deserializes a counter from a checkpoint.
+    pub fn decode(r: &mut StateReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self(r.u64()?))
     }
 }
 
@@ -164,6 +176,31 @@ impl Histogram {
     /// Estimated 99th percentile.
     pub fn p99(&self) -> Option<f64> {
         self.percentile(0.99)
+    }
+
+    /// Serializes the histogram into a checkpoint. Floats travel as raw
+    /// bit patterns so accumulated rounding state round-trips bit-exactly.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.u64(self.count);
+        w.f64(self.sum);
+        w.opt_f64(self.min);
+        w.opt_f64(self.max);
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+    }
+
+    /// Deserializes a histogram from a checkpoint.
+    pub fn decode(r: &mut StateReader<'_>) -> Result<Self, SnapshotError> {
+        let count = r.u64()?;
+        let sum = r.f64()?;
+        let min = r.opt_f64()?;
+        let max = r.opt_f64()?;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for b in &mut buckets {
+            *b = r.u64()?;
+        }
+        Ok(Self { count, sum, min, max, buckets })
     }
 }
 

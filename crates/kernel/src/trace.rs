@@ -38,6 +38,7 @@ use std::fmt::Write as _;
 
 use crate::component::ComponentId;
 use crate::packet::{Command, PacketId};
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::tick::{to_ns, Tick};
 
 /// Coarse event classes, individually enabled in the [`Tracer`] mask.
@@ -79,6 +80,29 @@ impl TraceCategory {
             TraceCategory::Fabric => "fabric",
             TraceCategory::Device => "device",
         }
+    }
+
+    /// Stable wire encoding for checkpoints.
+    pub fn encode(self) -> u8 {
+        match self {
+            TraceCategory::Hop => 0,
+            TraceCategory::Link => 1,
+            TraceCategory::Router => 2,
+            TraceCategory::Fabric => 3,
+            TraceCategory::Device => 4,
+        }
+    }
+
+    /// Decodes a checkpoint byte back into a category.
+    pub fn decode(b: u8) -> Result<Self, SnapshotError> {
+        Ok(match b {
+            0 => TraceCategory::Hop,
+            1 => TraceCategory::Link,
+            2 => TraceCategory::Router,
+            3 => TraceCategory::Fabric,
+            4 => TraceCategory::Device,
+            other => return Err(SnapshotError::Corrupt(format!("trace category {other}"))),
+        })
     }
 }
 
@@ -160,6 +184,42 @@ impl TraceKind {
             TraceKind::Interrupt => "interrupt",
         }
     }
+
+    const ALL_KINDS: [TraceKind; 20] = [
+        TraceKind::HopRequest,
+        TraceKind::HopResponse,
+        TraceKind::HopRefused,
+        TraceKind::LinkAdmit,
+        TraceKind::LinkTxStart,
+        TraceKind::LinkDeliver,
+        TraceKind::LinkAck,
+        TraceKind::LinkNak,
+        TraceKind::LinkReplay,
+        TraceKind::LinkReplayTimeout,
+        TraceKind::LinkDrop,
+        TraceKind::RouteDecision,
+        TraceKind::BufferOccupancy,
+        TraceKind::ServiceDone,
+        TraceKind::FabricForward,
+        TraceKind::DramAccess,
+        TraceKind::DmaRead,
+        TraceKind::DmaWrite,
+        TraceKind::Doorbell,
+        TraceKind::Interrupt,
+    ];
+
+    /// Stable wire encoding for checkpoints.
+    pub fn encode(self) -> u8 {
+        Self::ALL_KINDS.iter().position(|&k| k == self).expect("kind in table") as u8
+    }
+
+    /// Decodes a checkpoint byte back into a kind.
+    pub fn decode(b: u8) -> Result<Self, SnapshotError> {
+        Self::ALL_KINDS
+            .get(b as usize)
+            .copied()
+            .ok_or_else(|| SnapshotError::Corrupt(format!("trace kind {b}")))
+    }
 }
 
 /// One recorded event.
@@ -179,6 +239,32 @@ pub struct TraceEvent {
     pub cmd: Option<Command>,
     /// Kind-specific detail; see [`TraceKind`].
     pub arg: u64,
+}
+
+impl TraceEvent {
+    /// Serializes the event into a checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.u64(self.at);
+        w.u32(self.component.0);
+        w.u8(self.category.encode());
+        w.u8(self.kind.encode());
+        w.opt_u64(self.packet.map(|p| p.0));
+        w.opt_u8(self.cmd.map(Command::encode));
+        w.u64(self.arg);
+    }
+
+    /// Deserializes an event from a checkpoint.
+    pub fn decode(r: &mut StateReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            at: r.u64()?,
+            component: ComponentId(r.u32()?),
+            category: TraceCategory::decode(r.u8()?)?,
+            kind: TraceKind::decode(r.u8()?)?,
+            packet: r.opt_u64()?.map(PacketId),
+            cmd: r.opt_u8()?.map(Command::decode).transpose()?,
+            arg: r.u64()?,
+        })
+    }
 }
 
 /// Default ring capacity: enough for several million-event runs of the
@@ -266,6 +352,34 @@ impl Tracer {
     /// Drains every buffered event, oldest first.
     pub fn drain(&self) -> Vec<TraceEvent> {
         self.buf.borrow_mut().drain(..).collect()
+    }
+
+    /// Serializes the ring contents (oldest first) and the eviction count
+    /// into a checkpoint, without draining. The enable mask and capacity
+    /// are configuration and are *not* saved: they belong to the tree a
+    /// checkpoint restores into.
+    pub fn save_ring(&self, w: &mut StateWriter) {
+        let buf = self.buf.borrow();
+        w.u64(self.dropped.get());
+        w.usize(buf.len());
+        for ev in buf.iter() {
+            ev.encode(w);
+        }
+    }
+
+    /// Replaces the ring contents and eviction count from a checkpoint, so
+    /// a restored run's drained trace equals prefix + suffix of the
+    /// uninterrupted run's.
+    pub fn restore_ring(&self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let dropped = r.u64()?;
+        let n = r.usize()?;
+        let mut buf = VecDeque::new();
+        for _ in 0..n {
+            buf.push_back(TraceEvent::decode(r)?);
+        }
+        self.dropped.set(dropped);
+        *self.buf.borrow_mut() = buf;
+        Ok(())
     }
 }
 

@@ -11,8 +11,9 @@ use std::collections::VecDeque;
 
 use crate::addr::{AddrMap, AddrRange};
 use crate::component::{Component, Event, PortId, RecvResult};
-use crate::packet::{CompletionStatus, Packet};
+use crate::packet::{decode_packet_queue, encode_packet_queue, CompletionStatus, Packet};
 use crate::sim::Ctx;
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::stats::{Counter, StatsBuilder};
 use crate::tick::{transfer_time, Tick};
 use crate::trace::{TraceCategory, TraceKind};
@@ -379,6 +380,62 @@ impl Component for Crossbar {
         out.counter("refusals", &self.stats.refusals);
         out.counter("payload_bytes", &self.stats.bytes);
         out.counter("unsupported_requests", &self.stats.unrouted);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.ports.len());
+        for p in &self.ports {
+            encode_packet_queue(w, &p.out_req);
+            encode_packet_queue(w, &p.out_resp);
+            w.usize(p.inflight_req);
+            w.usize(p.inflight_resp);
+            w.bool(p.waiting_peer);
+            w.u64(p.busy_until);
+            w.usize(p.waiting_req_ingress.len());
+            for ingress in &p.waiting_req_ingress {
+                w.u16(ingress.0);
+            }
+            w.usize(p.waiting_resp_ingress.len());
+            for ingress in &p.waiting_resp_ingress {
+                w.u16(ingress.0);
+            }
+        }
+        self.stats.reqs.encode(w);
+        self.stats.resps.encode(w);
+        self.stats.refusals.encode(w);
+        self.stats.bytes.encode(w);
+        self.stats.unrouted.encode(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.usize()?;
+        if n != self.ports.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{}: checkpoint has {n} ports, component has {}",
+                self.name,
+                self.ports.len()
+            )));
+        }
+        for p in &mut self.ports {
+            p.out_req = decode_packet_queue(r)?;
+            p.out_resp = decode_packet_queue(r)?;
+            p.inflight_req = r.usize()?;
+            p.inflight_resp = r.usize()?;
+            p.waiting_peer = r.bool()?;
+            p.busy_until = r.u64()?;
+            let n_req = r.usize()?;
+            p.waiting_req_ingress =
+                (0..n_req).map(|_| r.u16().map(PortId)).collect::<Result<_, _>>()?;
+            let n_resp = r.usize()?;
+            p.waiting_resp_ingress =
+                (0..n_resp).map(|_| r.u16().map(PortId)).collect::<Result<_, _>>()?;
+        }
+        self.stats.reqs = Counter::decode(r)?;
+        self.stats.resps = Counter::decode(r)?;
+        self.stats.refusals = Counter::decode(r)?;
+        self.stats.bytes = Counter::decode(r)?;
+        self.stats.unrouted = Counter::decode(r)?;
+        Ok(())
     }
 }
 

@@ -141,6 +141,18 @@ impl ConfigSpace {
         &self.data[..]
     }
 
+    /// Overwrites every register value from a checkpoint image. The write
+    /// mask is untouched: writability is decided at construction time and
+    /// the restored tree was built the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is not exactly [`CONFIG_SPACE_SIZE`] long.
+    pub fn load_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), CONFIG_SPACE_SIZE, "config image must be 4 KB");
+        self.data.copy_from_slice(bytes);
+    }
+
     /// Write mask for one byte (useful in tests).
     pub fn mask_at(&self, offset: u16) -> u8 {
         self.mask[offset as usize]

@@ -14,8 +14,9 @@ use std::rc::Rc;
 
 use pcisim_kernel::addr::AddrRange;
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
-use pcisim_kernel::packet::{Command, Packet};
+use pcisim_kernel::packet::{decode_packet_queue, encode_packet_queue, Command, Packet};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::Tick;
 
@@ -247,6 +248,67 @@ impl Component for PciHost {
         out.counter("config_reads", &self.reads);
         out.counter("config_writes", &self.writes);
         out.counter("absent_function_accesses", &self.misses);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        encode_packet_queue(w, &self.blocked);
+        w.bool(self.waiting_retry);
+        self.reads.encode(w);
+        self.writes.encode(w);
+        self.misses.encode(w);
+        // The host is the single owner of every configuration space in the
+        // tree (endpoints and VP2Ps alike register here; routers and AER
+        // reporters hold Rc clones), so their register values are saved
+        // exactly once, in ascending BDF order. Write masks are set at
+        // construction time and not saved.
+        let registry = self.registry.borrow();
+        let bdfs = registry.bdfs();
+        w.usize(bdfs.len());
+        for bdf in bdfs {
+            w.u8(bdf.bus);
+            w.u8(bdf.device);
+            w.u8(bdf.function);
+            let cs = registry.lookup(bdf).expect("bdf came from the registry");
+            let cs = cs.borrow();
+            w.bytes(cs.bytes());
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.blocked = decode_packet_queue(r)?;
+        self.waiting_retry = r.bool()?;
+        self.reads = Counter::decode(r)?;
+        self.writes = Counter::decode(r)?;
+        self.misses = Counter::decode(r)?;
+        let registry = self.registry.borrow();
+        let n = r.usize()?;
+        if n != registry.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{}: checkpoint has {n} PCI functions, registry has {}",
+                self.name,
+                registry.len()
+            )));
+        }
+        for _ in 0..n {
+            let bus = r.u8()?;
+            let device = r.u8()?;
+            let function = r.u8()?;
+            let image = r.bytes()?;
+            if image.len() != crate::config::CONFIG_SPACE_SIZE {
+                return Err(SnapshotError::Corrupt(format!(
+                    "config image for {bus:02x}:{device:02x}.{function} is {} bytes",
+                    image.len()
+                )));
+            }
+            let bdf = Bdf::new(bus, device, function);
+            let Some(cs) = registry.lookup(bdf) else {
+                return Err(SnapshotError::Corrupt(format!(
+                    "checkpoint names unregistered PCI function {bdf}"
+                )));
+            };
+            cs.borrow_mut().load_bytes(image);
+        }
+        Ok(())
     }
 }
 

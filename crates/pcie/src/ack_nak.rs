@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use pcisim_kernel::packet::Packet;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::tick::Tick;
 
 use crate::params::LinkConfig;
@@ -237,6 +238,52 @@ impl ReplayBuffer {
     pub fn has_pending_tx(&self) -> bool {
         self.next_tx < self.entries.len()
     }
+
+    /// Serializes the dynamic state (entries, cursor, sequence counter)
+    /// for a checkpoint. Capacity is construction-time configuration and
+    /// is not written.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.usize(self.entries.len());
+        for (seq, tick, pkt) in &self.entries {
+            w.u32(*seq);
+            w.u64(*tick);
+            pkt.encode(w);
+        }
+        w.usize(self.next_tx);
+        w.bool(self.replaying);
+        w.u32(self.next_seq);
+    }
+
+    /// Restores state written by [`ReplayBuffer::encode`] into a freshly
+    /// built buffer of the same capacity.
+    pub fn decode_into(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.usize()?;
+        if n > self.capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "replay buffer holds {n} TLPs but capacity is {}",
+                self.capacity
+            )));
+        }
+        let mut entries = VecDeque::with_capacity(self.capacity);
+        for _ in 0..n {
+            let seq = r.u32()?;
+            let tick = r.u64()?;
+            let pkt = Packet::decode(r)?;
+            entries.push_back((seq, tick, pkt));
+        }
+        self.entries = entries;
+        self.next_tx = r.usize()?;
+        if self.next_tx > self.entries.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "replay cursor {} beyond {} held TLPs",
+                self.next_tx,
+                self.entries.len()
+            )));
+        }
+        self.replaying = r.bool()?;
+        self.next_seq = r.u32()?;
+        Ok(())
+    }
 }
 
 /// Sequence comparison tolerant of u32 wraparound (window comparison, as
@@ -287,6 +334,17 @@ impl RxState {
         } else {
             Some(self.next_seq.wrapping_sub(1))
         }
+    }
+
+    /// Serializes the receiver state for a checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.u32(self.next_seq);
+    }
+
+    /// Restores state written by [`RxState::encode`].
+    pub fn decode_into(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.next_seq = r.u32()?;
+        Ok(())
     }
 }
 

@@ -28,8 +28,9 @@
 use std::collections::VecDeque;
 
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
-use pcisim_kernel::packet::Packet;
+use pcisim_kernel::packet::{decode_packet_queue, encode_packet_queue, Packet};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::{Counter, Histogram, StatsBuilder};
 use pcisim_kernel::tick::Tick;
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
@@ -106,6 +107,34 @@ const TAG_SEQ_MASK: u32 = (1 << 28) - 1;
 const TAG_DIR_BIT: u32 = 1 << 30;
 const TAG_CORRUPT_BIT: u32 = 1 << 31;
 
+fn encode_dllp(w: &mut StateWriter, dllp: &Dllp) {
+    match dllp {
+        Dllp::Ack { seq } => {
+            w.u8(0);
+            w.u32(*seq);
+        }
+        Dllp::Nak { seq } => {
+            w.u8(1);
+            w.u32(*seq);
+        }
+        Dllp::UpdateFc { credits } => {
+            w.u8(2);
+            w.u32(*credits);
+        }
+    }
+}
+
+fn decode_dllp(r: &mut StateReader<'_>) -> Result<Dllp, SnapshotError> {
+    let tag = r.u8()?;
+    let value = r.u32()?;
+    match tag {
+        0 => Ok(Dllp::Ack { seq: value }),
+        1 => Ok(Dllp::Nak { seq: value }),
+        2 => Ok(Dllp::UpdateFc { credits: value }),
+        other => Err(SnapshotError::Corrupt(format!("unknown DLLP tag {other}"))),
+    }
+}
+
 #[derive(Debug, Default)]
 struct DirStats {
     tlps_admitted: Counter,
@@ -130,6 +159,69 @@ struct DirStats {
     /// Admission-to-delivery latency per TLP, in nanoseconds (includes
     /// wire, queueing and any replay stalls).
     delivery_latency_ns: Histogram,
+}
+
+impl DirStats {
+    fn encode(&self, w: &mut StateWriter) {
+        for c in self.counters() {
+            c.encode(w);
+        }
+        self.delivery_latency_ns.encode(w);
+    }
+
+    fn decode_into(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        for c in self.counters_mut() {
+            *c = Counter::decode(r)?;
+        }
+        self.delivery_latency_ns = Histogram::decode(r)?;
+        Ok(())
+    }
+
+    fn counters(&self) -> [&Counter; 18] {
+        [
+            &self.tlps_admitted,
+            &self.tlps_tx,
+            &self.bytes_tx,
+            &self.replays,
+            &self.timeouts,
+            &self.acks_tx,
+            &self.acks_rx,
+            &self.naks_tx,
+            &self.naks_rx,
+            &self.rx_delivered,
+            &self.rx_dropped_refused,
+            &self.rx_dropped_seq,
+            &self.rx_dropped_corrupt,
+            &self.admission_refusals,
+            &self.credit_stalls,
+            &self.updatefc_tx,
+            &self.updatefc_rx,
+            &self.busy_ticks,
+        ]
+    }
+
+    fn counters_mut(&mut self) -> [&mut Counter; 18] {
+        [
+            &mut self.tlps_admitted,
+            &mut self.tlps_tx,
+            &mut self.bytes_tx,
+            &mut self.replays,
+            &mut self.timeouts,
+            &mut self.acks_tx,
+            &mut self.acks_rx,
+            &mut self.naks_tx,
+            &mut self.naks_rx,
+            &mut self.rx_delivered,
+            &mut self.rx_dropped_refused,
+            &mut self.rx_dropped_seq,
+            &mut self.rx_dropped_corrupt,
+            &mut self.admission_refusals,
+            &mut self.credit_stalls,
+            &mut self.updatefc_tx,
+            &mut self.updatefc_rx,
+            &mut self.busy_ticks,
+        ]
+    }
 }
 
 /// Per-direction link state: the TX logic at the source interface and the
@@ -871,6 +963,70 @@ impl Component for PcieLink {
             out.counter(&format!("{l}.busy_ticks"), &st.stats.busy_ticks);
             out.histogram(&format!("{l}.delivery_latency_ns"), &st.stats.delivery_latency_ns);
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        for st in &self.dirs {
+            st.tx.encode(w);
+            st.rx.encode(w);
+            w.usize(st.pending_dllps.len());
+            for dllp in &st.pending_dllps {
+                encode_dllp(w, dllp);
+            }
+            w.u64(st.wire_busy_until);
+            w.bool(st.kick_scheduled);
+            w.bool(st.pump_on_arrival);
+            w.bool(st.replay_armed);
+            w.u64(st.replay_deadline);
+            w.bool(st.replay_timer_outstanding);
+            w.opt_u64(st.pending_ack.map(u64::from));
+            w.bool(st.ack_timer_armed);
+            w.bool(st.owe_retry[0]);
+            w.bool(st.owe_retry[1]);
+            w.u64(st.tx_count);
+            w.u32(st.tx_credits);
+            encode_packet_queue(w, &st.rx_buffer);
+            w.bool(st.rx_waiting_retry);
+            w.u32(st.pending_credit_return);
+            w.u32(st.replay_num);
+            st.stats.encode(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        for st in &mut self.dirs {
+            st.tx.decode_into(r)?;
+            st.rx.decode_into(r)?;
+            let n_dllps = r.usize()?;
+            let mut dllps = VecDeque::with_capacity(n_dllps.min(4096));
+            for _ in 0..n_dllps {
+                dllps.push_back(decode_dllp(r)?);
+            }
+            st.pending_dllps = dllps;
+            st.wire_busy_until = r.u64()?;
+            st.kick_scheduled = r.bool()?;
+            st.pump_on_arrival = r.bool()?;
+            st.replay_armed = r.bool()?;
+            st.replay_deadline = r.u64()?;
+            st.replay_timer_outstanding = r.bool()?;
+            st.pending_ack = match r.opt_u64()? {
+                Some(v) => Some(u32::try_from(v).map_err(|_| {
+                    SnapshotError::Corrupt(format!("pending ACK {v} exceeds the sequence space"))
+                })?),
+                None => None,
+            };
+            st.ack_timer_armed = r.bool()?;
+            st.owe_retry[0] = r.bool()?;
+            st.owe_retry[1] = r.bool()?;
+            st.tx_count = r.u64()?;
+            st.tx_credits = r.u32()?;
+            st.rx_buffer = decode_packet_queue(r)?;
+            st.rx_waiting_retry = r.bool()?;
+            st.pending_credit_return = r.u32()?;
+            st.replay_num = r.u32()?;
+            st.stats.decode_into(r)?;
+        }
+        Ok(())
     }
 }
 

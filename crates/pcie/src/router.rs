@@ -28,8 +28,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use pcisim_kernel::calendar::EventHandle;
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
-use pcisim_kernel::packet::{CompletionStatus, Packet};
+use pcisim_kernel::packet::{decode_packet_queue, encode_packet_queue, CompletionStatus, Packet};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::{Counter, StatsBuilder};
 use pcisim_kernel::tick::{ns, Tick};
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
@@ -678,6 +679,104 @@ impl Component for PcieRouter {
         out.counter("unsupported_requests", &self.stats.unsupported_requests);
         out.counter("completion_timeouts", &self.stats.completion_timeouts);
         out.counter("late_completions", &self.stats.late_completions);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.ports.len());
+        for p in &self.ports {
+            encode_packet_queue(w, &p.ingress);
+            match &p.in_service {
+                Some(pkt) => {
+                    w.bool(true);
+                    pkt.encode(w);
+                }
+                None => w.bool(false),
+            }
+            w.usize(p.service_egress);
+            w.bool(p.service_unrouted);
+            w.bool(p.engine_busy);
+            w.bool(p.owe_ingress_retry);
+            encode_packet_queue(w, &p.egress);
+            w.usize(p.egress_inflight);
+            w.bool(p.egress_waiting_peer);
+            w.usize(p.egress_waiters.len());
+            for &ing in &p.egress_waiters {
+                w.usize(ing);
+            }
+        }
+        self.stats.requests.encode(w);
+        self.stats.responses.encode(w);
+        self.stats.ingress_refusals.encode(w);
+        self.stats.egress_stalls.encode(w);
+        self.stats.unsupported_requests.encode(w);
+        self.stats.completion_timeouts.encode(w);
+        self.stats.late_completions.encode(w);
+        // HashMap/HashSet iterate in hash order; sort so the byte stream
+        // (and hence the checkpoint's checksum) is deterministic.
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let p = &self.pending[&id];
+            w.u64(id);
+            p.timer.encode(w);
+            p.request.encode(w);
+            w.opt_u64(p.pair.map(|i| i as u64));
+        }
+        let mut timed_out: Vec<u64> = self.timed_out.iter().copied().collect();
+        timed_out.sort_unstable();
+        w.usize(timed_out.len());
+        for id in timed_out {
+            w.u64(id);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.usize()?;
+        if n != self.ports.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{}: checkpoint has {n} ports, component has {}",
+                self.name,
+                self.ports.len()
+            )));
+        }
+        for p in &mut self.ports {
+            p.ingress = decode_packet_queue(r)?;
+            p.in_service = if r.bool()? { Some(Packet::decode(r)?) } else { None };
+            p.service_egress = r.usize()?;
+            p.service_unrouted = r.bool()?;
+            p.engine_busy = r.bool()?;
+            p.owe_ingress_retry = r.bool()?;
+            p.egress = decode_packet_queue(r)?;
+            p.egress_inflight = r.usize()?;
+            p.egress_waiting_peer = r.bool()?;
+            let n_waiters = r.usize()?;
+            p.egress_waiters = (0..n_waiters).map(|_| r.usize()).collect::<Result<_, _>>()?;
+        }
+        self.stats.requests = Counter::decode(r)?;
+        self.stats.responses = Counter::decode(r)?;
+        self.stats.ingress_refusals = Counter::decode(r)?;
+        self.stats.egress_stalls = Counter::decode(r)?;
+        self.stats.unsupported_requests = Counter::decode(r)?;
+        self.stats.completion_timeouts = Counter::decode(r)?;
+        self.stats.late_completions = Counter::decode(r)?;
+        let n_pending = r.usize()?;
+        let mut pending = HashMap::with_capacity(n_pending.min(4096));
+        for _ in 0..n_pending {
+            let id = r.u64()?;
+            let timer = EventHandle::decode(r)?;
+            let request = Packet::decode(r)?;
+            let pair = r.opt_u64()?.map(|i| i as usize);
+            pending.insert(id, PendingCompletion { timer, request, pair });
+        }
+        self.pending = pending;
+        let n_timed_out = r.usize()?;
+        let mut timed_out = HashSet::with_capacity(n_timed_out.min(4096));
+        for _ in 0..n_timed_out {
+            timed_out.insert(r.u64()?);
+        }
+        self.timed_out = timed_out;
+        Ok(())
     }
 }
 

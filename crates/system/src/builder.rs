@@ -27,7 +27,10 @@ use pcisim_pcie::params::LinkConfig;
 use pcisim_pcie::router::RouterConfig;
 
 use crate::platform;
-use crate::topology::{build_topology, Attachment, Node, Topology};
+use crate::snapshot::WarmSeed;
+use crate::topology::{
+    build_topology, build_topology_warm, Attachment, Node, Topology, TopologySystem,
+};
 use crate::workload::dd::{DdApp, DdConfig, DdReportHandle, DD_IRQ_PORT, DD_MEM_PORT};
 use crate::workload::mmio::{MmioProbe, MmioProbeConfig, MmioReportHandle, MMIO_MEM_PORT};
 use crate::workload::nic_rx::{
@@ -199,7 +202,24 @@ impl BuiltSystem {
 /// Panics when enumeration or the driver probe fails — a built-in
 /// topology that does not enumerate is a bug, not a runtime condition.
 pub fn build_system(config: SystemConfig) -> BuiltSystem {
-    let built = build_topology(Topology::from_system_config(&config));
+    finish_built_system(build_topology(Topology::from_system_config(&config)))
+}
+
+/// Builds the full system per `config` from a [`WarmSeed`], skipping
+/// enumeration and the driver probe (see
+/// [`build_topology_warm`](crate::topology::build_topology_warm)).
+///
+/// The returned system's config spaces are at reset values until a
+/// checkpoint from the seeding run is restored into it.
+///
+/// # Panics
+///
+/// Panics when the seed does not match the tree's endpoint count.
+pub fn build_system_warm(config: SystemConfig, seed: &WarmSeed) -> BuiltSystem {
+    finish_built_system(build_topology_warm(&Topology::from_system_config(&config), seed))
+}
+
+fn finish_built_system(built: TopologySystem) -> BuiltSystem {
     let probe = built.probe.expect("built-in topology must probe");
     let endpoint = &built.endpoints[0];
     BuiltSystem {

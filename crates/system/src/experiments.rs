@@ -11,8 +11,9 @@ use pcisim_kernel::trace::{TraceCategory, TraceLog};
 use pcisim_pci::caps::aer_status;
 use pcisim_pcie::params::{Generation, LinkConfig, LinkWidth};
 
-use crate::builder::{build_system, DeviceSpec, SystemConfig};
-use crate::workload::dd::DdConfig;
+use crate::builder::{build_system, build_system_warm, BuiltSystem, DeviceSpec, SystemConfig};
+use crate::snapshot::{SystemHandle, WarmSeed};
+use crate::workload::dd::{DdConfig, DdReportHandle};
 use crate::workload::mmio::MmioProbeConfig;
 
 /// Safety valve: no experiment should need more events than this.
@@ -98,9 +99,9 @@ pub struct DdOutcome {
     pub trace: Option<TraceLog>,
 }
 
-/// Runs one `dd` experiment on the paper's validation topology
-/// (disk — x1 link — switch — x4 link — root complex, Gen 2 by default).
-pub fn run_dd_experiment(exp: &DdExperiment) -> DdOutcome {
+/// Translates a [`DdExperiment`]'s knobs into the full-system
+/// configuration both the cold and warm runners build from.
+fn dd_system_config(exp: &DdExperiment) -> SystemConfig {
     let mut config = SystemConfig::validation();
     config.rc.latency = exp.rc_latency;
     config.rc.buffer_size = exp.port_buffers;
@@ -139,14 +140,18 @@ pub fn run_dd_experiment(exp: &DdExperiment) -> DdOutcome {
     if exp.trace {
         config.trace_mask = TraceCategory::ALL;
     }
+    config
+}
 
-    let mut built = build_system(config);
-    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
-    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
-    let trace = exp.trace.then(|| built.sim.take_trace());
+/// Distils the statistics of a finished `dd` run into a [`DdOutcome`].
+fn collect_dd_outcome(
+    built: &mut BuiltSystem,
+    report: &DdReportHandle,
+    outcome: RunOutcome,
+    trace: Option<TraceLog>,
+) -> DdOutcome {
     let stats = built.sim.stats();
     let r = report.borrow();
-
     let up_tx = stats.get("dev_link.up.tlps_tx").unwrap_or(0.0);
     let replays = stats.get("dev_link.up.replays").unwrap_or(0.0);
     let timeouts = stats.get("dev_link.up.timeouts").unwrap_or(0.0);
@@ -160,6 +165,16 @@ pub fn run_dd_experiment(exp: &DdExperiment) -> DdOutcome {
         completed: r.done && outcome == RunOutcome::QueueEmpty,
         trace,
     }
+}
+
+/// Runs one `dd` experiment on the paper's validation topology
+/// (disk — x1 link — switch — x4 link — root complex, Gen 2 by default).
+pub fn run_dd_experiment(exp: &DdExperiment) -> DdOutcome {
+    let mut built = build_system(dd_system_config(exp));
+    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let trace = exp.trace.then(|| built.sim.take_trace());
+    collect_dd_outcome(&mut built, &report, outcome, trace)
 }
 
 /// Parameters of a Table II run.
@@ -318,6 +333,15 @@ pub struct FaultOutcome {
 /// of each interface's transmit count, so the run is deterministic and
 /// campaign points are safe to fan out with [`crate::sweep::run_sweep`].
 pub fn run_fault_experiment(exp: &FaultExperiment) -> FaultOutcome {
+    let mut built = build_system(fault_system_config(exp));
+    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    collect_fault_outcome(&mut built, &report, outcome, exp.error_interval)
+}
+
+/// Translates a [`FaultExperiment`]'s knobs into the full-system
+/// configuration both the cold and warm runners build from.
+fn fault_system_config(exp: &FaultExperiment) -> SystemConfig {
     let mut config = SystemConfig::validation();
     let (root_width, device_width) = match exp.width_all {
         Some(w) => (w, w),
@@ -331,11 +355,17 @@ pub fn run_fault_experiment(exp: &FaultExperiment) -> FaultOutcome {
         error_interval: exp.error_interval,
         ..LinkConfig::new(exp.generation, device_width)
     };
+    config
+}
 
-    let mut built = build_system(config);
+/// Distils the statistics of a finished fault run into a [`FaultOutcome`].
+fn collect_fault_outcome(
+    built: &mut BuiltSystem,
+    report: &DdReportHandle,
+    outcome: RunOutcome,
+    error_interval: u64,
+) -> FaultOutcome {
     let device_bdf = built.probe.bdf;
-    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
-    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
     let stats = built.sim.stats();
     let r = report.borrow();
 
@@ -357,7 +387,7 @@ pub fn run_fault_experiment(exp: &FaultExperiment) -> FaultOutcome {
         .unwrap_or((0, 0));
 
     FaultOutcome {
-        error_interval: exp.error_interval,
+        error_interval,
         throughput_gbps: r.throughput_gbps(),
         sim_time: built.sim.now(),
         corrupt_drops: sum("rx_dropped_corrupt"),
@@ -400,6 +430,155 @@ pub fn error_rate_sweep(
 ) -> Vec<FaultOutcome> {
     let ladder = error_rate_ladder(generation, width_all, block_bytes);
     crate::sweep::run_sweep(&ladder, jobs, run_fault_experiment)
+}
+
+/// Simulated tick at which warm-start checkpoints are taken.
+///
+/// At 100 µs the `dd` driver has finished its OS-side setup step (it runs
+/// at 10 ns) but its first block submission is still 300 µs away
+/// (`os_block_setup` defaults to 400 µs), so **no TLP has touched the
+/// fabric yet**: every link, router and queue holds its reset state, and
+/// the only pending work is the driver's armed timer. That makes the
+/// checkpoint independent of every fabric knob — switch/RC latency, link
+/// width/generation, replay buffers, port buffers, flow control, error
+/// injection — which is exactly what lets one warmed-up run fork an
+/// entire parameter sweep. The workload's own state *does* depend on its
+/// block size, so warm starts are keyed per distinct `block_bytes`.
+pub const WARMUP_TICK: Tick = tick::us(100);
+
+/// A warmed-up `dd` reference run, ready to fork sweep points from.
+///
+/// Produced once by [`prepare_dd_warm_start`]; each sweep point then
+/// builds its own differently parameterized tree from the [`WarmSeed`]
+/// (skipping enumeration and the driver probe) and restores the
+/// checkpoint into it. The struct is plain data (`Send + Sync`), so a
+/// single warm start is shared across parallel sweep workers.
+#[derive(Debug, Clone)]
+pub struct DdWarmStart {
+    /// Checkpoint of the warmed-up system, taken at [`WARMUP_TICK`].
+    pub snapshot: Vec<u8>,
+    /// The functional enumeration + driver-probe results to replay.
+    pub seed: WarmSeed,
+    /// Block size the workload was attached with; forked runs must match.
+    pub block_bytes: u64,
+}
+
+/// Builds the validation system once, attaches `dd` with `block_bytes`,
+/// runs to [`WARMUP_TICK`] and captures the checkpoint + warm seed every
+/// subsequent sweep point forks from.
+pub fn prepare_dd_warm_start(block_bytes: u64) -> DdWarmStart {
+    let mut built = build_system(SystemConfig::validation());
+    let seed = built.warm_seed();
+    let _ = built.attach_dd(DdConfig { block_bytes, ..DdConfig::default() });
+    let outcome = built.sim.run(WARMUP_TICK, MAX_EVENTS);
+    assert_eq!(outcome, RunOutcome::TimeLimit, "warmup must pause at the warmup tick");
+    DdWarmStart { snapshot: built.checkpoint(), seed, block_bytes }
+}
+
+/// Warm-started [`run_dd_experiment`]: builds the experiment's tree from
+/// the warm seed (no enumeration, no driver probe), restores the warmed
+/// checkpoint and runs to completion. Bit-identical to the cold runner
+/// for any experiment whose `block_bytes` matches the warm start.
+///
+/// # Panics
+///
+/// Panics when `exp.block_bytes` differs from the warm start's, or when
+/// the experiment asks for a trace (traces cover a whole run from tick 0;
+/// fork them from cold runs instead).
+pub fn run_dd_experiment_warm(exp: &DdExperiment, warm: &DdWarmStart) -> DdOutcome {
+    assert_eq!(
+        exp.block_bytes, warm.block_bytes,
+        "a warm start is keyed by block size: the driver state at the \
+         warmup tick already depends on it"
+    );
+    assert!(!exp.trace, "warm-started runs do not trace; use run_dd_experiment");
+    let mut built = build_system_warm(dd_system_config(exp), &warm.seed);
+    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
+    built.restore(&warm.snapshot).expect("a warm snapshot restores into its own tree shape");
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    collect_dd_outcome(&mut built, &report, outcome, None)
+}
+
+/// Warm-started `dd` sweep: enumerates + warms up once per distinct block
+/// size (in first-appearance order), then forks every sweep point from
+/// the matching checkpoint across `jobs` workers. Results are
+/// bit-identical to `run_sweep(configs, jobs, run_dd_experiment)`.
+pub fn run_dd_sweep_warm(configs: &[DdExperiment], jobs: usize) -> Vec<DdOutcome> {
+    crate::sweep::run_sweep_warm(
+        configs,
+        jobs,
+        || {
+            let mut warms: Vec<DdWarmStart> = Vec::new();
+            for exp in configs {
+                if !warms.iter().any(|w| w.block_bytes == exp.block_bytes) {
+                    warms.push(prepare_dd_warm_start(exp.block_bytes));
+                }
+            }
+            warms
+        },
+        |exp, warms: &Vec<DdWarmStart>| {
+            let warm = warms
+                .iter()
+                .find(|w| w.block_bytes == exp.block_bytes)
+                .expect("a warm start exists for every block size in the sweep");
+            run_dd_experiment_warm(exp, warm)
+        },
+    )
+}
+
+/// Warm-started [`run_fault_experiment`]. Error injection is a link
+/// *configuration* knob (a pure function of each interface's transmit
+/// count, which is zero at [`WARMUP_TICK`]), so every ladder point forks
+/// from the same fault-free warm start.
+///
+/// # Panics
+///
+/// Panics when `exp.block_bytes` differs from the warm start's.
+pub fn run_fault_experiment_warm(exp: &FaultExperiment, warm: &DdWarmStart) -> FaultOutcome {
+    assert_eq!(
+        exp.block_bytes, warm.block_bytes,
+        "a warm start is keyed by block size: the driver state at the \
+         warmup tick already depends on it"
+    );
+    let mut built = build_system_warm(fault_system_config(exp), &warm.seed);
+    let report = built.attach_dd(DdConfig { block_bytes: exp.block_bytes, ..DdConfig::default() });
+    built.restore(&warm.snapshot).expect("a warm snapshot restores into its own tree shape");
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    collect_fault_outcome(&mut built, &report, outcome, exp.error_interval)
+}
+
+/// Warm-started fault campaign over `configs` (which must share one block
+/// size): warms up once, forks every point. Bit-identical to
+/// `run_sweep(configs, jobs, run_fault_experiment)`.
+///
+/// # Panics
+///
+/// Panics when the campaign mixes block sizes.
+pub fn run_fault_sweep_warm(configs: &[FaultExperiment], jobs: usize) -> Vec<FaultOutcome> {
+    if let Some(first) = configs.first() {
+        assert!(
+            configs.iter().all(|c| c.block_bytes == first.block_bytes),
+            "a fault campaign warm-starts from a single block size"
+        );
+    }
+    crate::sweep::run_sweep_warm(
+        configs,
+        jobs,
+        || prepare_dd_warm_start(configs[0].block_bytes),
+        run_fault_experiment_warm,
+    )
+}
+
+/// Warm-started [`error_rate_sweep`]: same ladder, same outcomes, but the
+/// system is enumerated and warmed up exactly once.
+pub fn error_rate_sweep_warm(
+    generation: Generation,
+    width_all: Option<LinkWidth>,
+    block_bytes: u64,
+    jobs: usize,
+) -> Vec<FaultOutcome> {
+    let ladder = error_rate_ladder(generation, width_all, block_bytes);
+    run_fault_sweep_warm(&ladder, jobs)
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@
 //! * [`workload`] — the `dd` block-read workload (§VI-A) and the
 //!   kernel-module MMIO latency probe (Table II);
 //! * [`experiments`] — one entry point per figure/table of the paper's
-//!   evaluation.
+//!   evaluation;
+//! * [`snapshot`] — checkpoint/restore over built systems and the
+//!   [`WarmSeed`](snapshot::WarmSeed) that lets warm-started sweeps skip
+//!   enumeration and driver probing.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -17,6 +20,7 @@
 pub mod builder;
 pub mod experiments;
 pub mod platform;
+pub mod snapshot;
 pub mod sweep;
 pub mod topology;
 pub mod workload;
@@ -24,24 +28,29 @@ pub mod workload;
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::builder::{
-        build_dual_disk_system, build_legacy_system, build_system, BuiltSystem, DeviceSpec,
-        DualDiskSystem, LegacySystemConfig, SystemConfig,
+        build_dual_disk_system, build_legacy_system, build_system, build_system_warm, BuiltSystem,
+        DeviceSpec, DualDiskSystem, LegacySystemConfig, SystemConfig,
     };
     pub use crate::experiments::{
-        error_rate_ladder, error_rate_sweep, run_dd_experiment, run_fault_experiment,
-        run_mmio_experiment, run_nic_rx_experiment, run_nic_tx_experiment, run_sector_microbench,
-        run_topology_experiment, ContentionOutcome, DdExperiment, DdOutcome, FaultExperiment,
-        FaultOutcome, MmioExperiment, MmioOutcome, NicRxExperiment, NicRxOutcome, NicTxExperiment,
-        NicTxOutcome, TopologyExperiment, TopologyOutcome,
+        error_rate_ladder, error_rate_sweep, error_rate_sweep_warm, prepare_dd_warm_start,
+        run_dd_experiment, run_dd_experiment_warm, run_dd_sweep_warm, run_fault_experiment,
+        run_fault_experiment_warm, run_fault_sweep_warm, run_mmio_experiment,
+        run_nic_rx_experiment, run_nic_tx_experiment, run_sector_microbench,
+        run_topology_experiment, ContentionOutcome, DdExperiment, DdOutcome, DdWarmStart,
+        FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome, NicRxExperiment, NicRxOutcome,
+        NicTxExperiment, NicTxOutcome, TopologyExperiment, TopologyOutcome, WARMUP_TICK,
     };
     pub use crate::platform;
-    pub use crate::sweep::{default_jobs, run_sweep};
+    pub use crate::snapshot::{SystemHandle, WarmSeed};
+    pub use crate::sweep::{default_jobs, run_sweep, run_sweep_warm};
     pub use crate::topology::{
-        build_topology, Attachment, EndpointHandle, Node, PlannedTopology, Topology, TopologySystem,
+        build_topology, build_topology_warm, Attachment, EndpointHandle, Node, PlannedTopology,
+        Topology, TopologySystem,
     };
     pub use crate::workload::dd::{DdConfig, DdReport, DdReportHandle};
     pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};
     pub use crate::workload::nic_tx::{NicTxConfig, NicTxReport, NicTxReportHandle};
+    pub use pcisim_kernel::snapshot::SnapshotError;
     pub use pcisim_kernel::trace::{LatencyAttribution, Stage, TraceCategory, TraceLog};
 }

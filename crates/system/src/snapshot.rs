@@ -1,0 +1,209 @@
+//! System-level checkpoint/restore and warm-start seeds.
+//!
+//! The kernel's [`Simulation::checkpoint`]/[`Simulation::restore`] carry
+//! the complete dynamic state of a component tree; this module adds the
+//! system-side plumbing around them:
+//!
+//! * [`SystemHandle`] — one trait over every built system
+//!   ([`BuiltSystem`], [`TopologySystem`], [`DualDiskSystem`]) exposing
+//!   `checkpoint`/`restore` plus file-backed `checkpoint_to`/
+//!   `restore_from`. The on-disk format is the kernel's checksummed
+//!   checkpoint, whose body leads with the topology fingerprint — a
+//!   checkpoint written from one tree refuses to restore into a
+//!   differently shaped one.
+//! * [`WarmSeed`] — the plain-data record of what the functional
+//!   enumeration software and driver probe computed for a tree. Building
+//!   a second, identically shaped tree from a seed
+//!   ([`build_topology_warm`](crate::topology::build_topology_warm) /
+//!   [`build_system_warm`](crate::builder::build_system_warm)) skips both
+//!   walks; restoring a checkpoint then supplies every config-space
+//!   image. The seed is `Send + Sync`, so one warmed-up reference run can
+//!   fork every point of a parallel sweep.
+
+use std::path::Path;
+
+use pcisim_devices::driver::{InterruptMode, ProbeInfo};
+use pcisim_kernel::sim::Simulation;
+use pcisim_kernel::snapshot::SnapshotError;
+use pcisim_pci::enumeration::EnumerationReport;
+
+use crate::builder::{BuiltSystem, DualDiskSystem};
+use crate::topology::{TopologySystem, MSI_VECTOR};
+
+/// What one functional enumeration + driver-probe pass over a topology
+/// computed, captured as plain data so it can be shared across sweep
+/// worker threads and replayed into identically shaped trees.
+///
+/// A seed deliberately holds no `Rc` handles into the tree it came from:
+/// cloning it is cheap and the clone is independent of the originating
+/// simulation's lifetime.
+#[derive(Debug, Clone)]
+pub struct WarmSeed {
+    /// What the enumeration software found (BDFs, BARs, bus ranges).
+    pub report: EnumerationReport,
+    /// The driver probe result — present when the tree carries exactly
+    /// one endpoint, mirroring [`TopologySystem::probe`].
+    pub probe: Option<ProbeInfo>,
+    /// Interrupt line of each endpoint, in depth-first endpoint order.
+    pub irqs: Vec<u8>,
+}
+
+/// Checkpoint/restore over any built system.
+///
+/// `checkpoint` serializes the complete dynamic state — simulated time,
+/// the calendar queue (armed timers included, with event-handle slots
+/// preserved), the PacketId allocator, the trace ring, every component
+/// section, and all config-space images via the PCI host — into a
+/// self-contained, versioned, FNV-checksummed byte image. `restore`
+/// applies such an image to a freshly built tree with the same topology
+/// fingerprint; afterwards the simulation continues bit-for-bit like the
+/// one that was saved.
+pub trait SystemHandle {
+    /// The simulation holding every component of this system.
+    fn sim_mut(&mut self) -> &mut Simulation;
+
+    /// Serializes the system's complete dynamic state.
+    fn checkpoint(&mut self) -> Vec<u8> {
+        self.sim_mut().checkpoint()
+    }
+
+    /// Applies a checkpoint taken from an identically shaped tree.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed, truncated, corrupted, version-skewed or
+    /// wrong-topology input yields a typed [`SnapshotError`]; on error
+    /// the system may be partially overwritten and must be discarded.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.sim_mut().restore(bytes)
+    }
+
+    /// Writes a checkpoint to `path` and returns the byte count.
+    ///
+    /// # Errors
+    ///
+    /// File-system failures surface as [`SnapshotError::Io`].
+    fn checkpoint_to(&mut self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
+        let path = path.as_ref();
+        let bytes = self.checkpoint();
+        std::fs::write(path, &bytes)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+        Ok(bytes.len())
+    }
+
+    /// Reads a checkpoint file written by [`SystemHandle::checkpoint_to`]
+    /// and applies it.
+    ///
+    /// # Errors
+    ///
+    /// File-system failures surface as [`SnapshotError::Io`]; a file from
+    /// a differently shaped tree is rejected with
+    /// [`SnapshotError::TopologyMismatch`], and any corruption with the
+    /// matching typed variant — never a panic.
+    fn restore_from(&mut self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+        self.restore(&bytes)
+    }
+}
+
+impl SystemHandle for Simulation {
+    fn sim_mut(&mut self) -> &mut Simulation {
+        self
+    }
+}
+
+impl SystemHandle for BuiltSystem {
+    fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+}
+
+impl SystemHandle for TopologySystem {
+    fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+}
+
+impl SystemHandle for DualDiskSystem {
+    fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+}
+
+impl TopologySystem {
+    /// Captures the warm-start seed of this system: everything the
+    /// enumeration software and driver probe computed, as plain data.
+    pub fn warm_seed(&self) -> WarmSeed {
+        WarmSeed {
+            report: self.report.clone(),
+            probe: self.probe.clone(),
+            irqs: self.endpoints.iter().map(|e| e.irq).collect(),
+        }
+    }
+}
+
+impl BuiltSystem {
+    /// Captures the warm-start seed of this system (see
+    /// [`TopologySystem::warm_seed`]).
+    pub fn warm_seed(&self) -> WarmSeed {
+        let irq = match self.probe.interrupt {
+            InterruptMode::Legacy(irq) => irq,
+            InterruptMode::Msi => MSI_VECTOR,
+        };
+        WarmSeed { report: self.report.clone(), probe: Some(self.probe.clone()), irqs: vec![irq] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_system, build_system_warm, SystemConfig};
+    use crate::workload::dd::DdConfig;
+    use pcisim_kernel::sim::RunOutcome;
+    use pcisim_kernel::tick::{us, TICKS_PER_SEC};
+
+    fn warm_system() -> (BuiltSystem, WarmSeed) {
+        let mut built = build_system(SystemConfig::validation());
+        let seed = built.warm_seed();
+        let _ = built.attach_dd(DdConfig { block_bytes: 64 * 1024, ..DdConfig::default() });
+        assert_eq!(built.sim.run(us(100), u64::MAX), RunOutcome::TimeLimit);
+        (built, seed)
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips_through_disk() {
+        let (mut built, seed) = warm_system();
+        let dir = std::env::temp_dir().join("pcisim_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.ckpt");
+        let written = built.checkpoint_to(&path).expect("checkpoint written");
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len() as usize);
+
+        let mut fresh = build_system_warm(SystemConfig::validation(), &seed);
+        let report = fresh.attach_dd(DdConfig { block_bytes: 64 * 1024, ..DdConfig::default() });
+        fresh.restore_from(&path).expect("checkpoint restores");
+        assert_eq!(fresh.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(report.borrow().done);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let (mut built, _) = warm_system();
+        let err = built.restore_from("/nonexistent/pcisim.ckpt").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn mismatched_tree_is_rejected() {
+        let (mut built, _) = warm_system();
+        let snap = built.checkpoint();
+        // A dual-disk tree has a different shape; the fingerprint gate
+        // must refuse the checkpoint.
+        let mut other = crate::builder::build_dual_disk_system(SystemConfig::validation());
+        let err = other.restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::TopologyMismatch { .. }), "{err:?}");
+    }
+}

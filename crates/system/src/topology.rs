@@ -52,6 +52,7 @@ use pcisim_pcie::router::{
 
 use crate::builder::DeviceSpec;
 use crate::platform;
+use crate::snapshot::WarmSeed;
 use crate::workload::dd::{DdApp, DdConfig, DdReportHandle, DD_IRQ_PORT, DD_MEM_PORT};
 use crate::workload::mmio::{MmioProbe, MmioProbeConfig, MmioReportHandle, MMIO_MEM_PORT};
 use crate::workload::nic_rx::{
@@ -62,7 +63,7 @@ use crate::workload::nic_tx::{
 };
 
 /// MSI vectors (when requested) live above the legacy IRQ range.
-const MSI_VECTOR: u8 = 96;
+pub(crate) const MSI_VECTOR: u8 = 96;
 
 /// A subtree hanging off a downstream port: the link to it plus what sits
 /// at the far end.
@@ -749,6 +750,43 @@ pub fn build_topology(topo: Topology) -> TopologySystem {
         }
     }
 
+    build_planned(&topo, plan, report, probe, irqs)
+}
+
+/// Builds the system for a [`Topology`] *without* running enumeration or
+/// the driver probe, replaying a [`WarmSeed`] captured from a previous
+/// build of an identically shaped tree instead.
+///
+/// Because the functional walks are skipped, every configuration space
+/// stays at its reset values: the returned system is only meaningful once
+/// a checkpoint from the seeding run is restored into it (the checkpoint
+/// carries every config-space image through the PCI host section). The
+/// tree's *configuration* — link widths, latencies, buffer depths — comes
+/// entirely from `topo`, which is what makes warm-started parameter
+/// sweeps possible: one warmed-up reference run forks into many
+/// differently parameterized points.
+pub fn build_topology_warm(topo: &Topology, seed: &WarmSeed) -> TopologySystem {
+    let plan = topo.plan();
+    assert_eq!(
+        plan.endpoints.len(),
+        seed.irqs.len(),
+        "warm seed records {} endpoints, tree has {}",
+        seed.irqs.len(),
+        plan.endpoints.len()
+    );
+    build_planned(topo, plan, seed.report.clone(), seed.probe.clone(), seed.irqs.clone())
+}
+
+/// Shared back half of [`build_topology`]/[`build_topology_warm`]:
+/// instantiates and wires every component from the plan plus the
+/// (freshly computed or seed-replayed) enumeration and probe results.
+fn build_planned(
+    topo: &Topology,
+    plan: PlannedTopology,
+    report: EnumerationReport,
+    probe: Option<ProbeInfo>,
+    irqs: Vec<u8>,
+) -> TopologySystem {
     // Patch each device's interrupt target now that the IRQs are known.
     let mut devices = plan.devices;
     for (dev, &irq) in devices.iter_mut().zip(&irqs) {
@@ -855,12 +893,8 @@ pub fn build_topology(topo: Topology) -> TopologySystem {
             PlannedItem::Endpoint(i) => {
                 let ep = &plan.endpoints[*i];
                 let (dev_id, pio, dma) = match devices.next().expect("device per endpoint") {
-                    EndpointDevice::Disk(disk) => {
-                        (sim.add(disk), IDE_PIO_PORT, IDE_DMA_PORT)
-                    }
-                    EndpointDevice::Nic(nic) => {
-                        (sim.add(nic), NIC_PIO_PORT, NIC_DMA_PORT)
-                    }
+                    EndpointDevice::Disk(disk) => (sim.add(disk), IDE_PIO_PORT, IDE_DMA_PORT),
+                    EndpointDevice::Nic(nic) => (sim.add(nic), NIC_PIO_PORT, NIC_DMA_PORT),
                 };
                 sim.connect((link_id, PORT_DOWN_MASTER), (dev_id, pio));
                 sim.connect((link_id, PORT_DOWN_SLAVE), (dev_id, dma));

@@ -15,6 +15,7 @@ use pcisim_devices::ide::{regs, CMD_READ_DMA};
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
 use pcisim_kernel::packet::{Command, Packet};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::StatsBuilder;
 use pcisim_kernel::tick::{gbps, ns, us, Tick};
 
@@ -266,6 +267,66 @@ impl Component for DdApp {
         out.scalar("commands", r.commands as f64);
         out.scalar("done", f64::from(u8::from(r.done)));
         out.scalar("throughput_gbps", r.throughput_gbps());
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u8(match self.state {
+            State::Setup => 0,
+            State::WriteSectorCount => 1,
+            State::WriteAddrLo => 2,
+            State::WriteAddrHi => 3,
+            State::WriteCommand => 4,
+            State::WaitIrq => 5,
+            State::AckIrq => 6,
+            State::RequestGap => 7,
+            State::Done => 8,
+        });
+        w.u32(self.blocks_left);
+        w.u64(self.sectors_left_in_block);
+        w.u32(self.cur_request_sectors);
+        let r = self.report.borrow();
+        w.bool(r.done);
+        w.u64(r.bytes);
+        w.u64(r.start);
+        w.u64(r.end);
+        w.u64(r.commands);
+        match &self.stalled {
+            Some(pkt) => {
+                w.bool(true);
+                pkt.encode(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.state = match r.u8()? {
+            0 => State::Setup,
+            1 => State::WriteSectorCount,
+            2 => State::WriteAddrLo,
+            3 => State::WriteAddrHi,
+            4 => State::WriteCommand,
+            5 => State::WaitIrq,
+            6 => State::AckIrq,
+            7 => State::RequestGap,
+            8 => State::Done,
+            other => {
+                return Err(SnapshotError::Corrupt(format!("unknown dd state {other}")));
+            }
+        };
+        self.blocks_left = r.u32()?;
+        self.sectors_left_in_block = r.u64()?;
+        self.cur_request_sectors = r.u32()?;
+        {
+            let mut rep = self.report.borrow_mut();
+            rep.done = r.bool()?;
+            rep.bytes = r.u64()?;
+            rep.start = r.u64()?;
+            rep.end = r.u64()?;
+            rep.commands = r.u64()?;
+        }
+        self.stalled = if r.bool()? { Some(Packet::decode(r)?) } else { None };
+        Ok(())
     }
 }
 

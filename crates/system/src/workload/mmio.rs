@@ -13,6 +13,7 @@ use std::rc::Rc;
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
 use pcisim_kernel::packet::{Command, Packet};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::StatsBuilder;
 use pcisim_kernel::tick::{to_ns, us, Tick};
 
@@ -145,6 +146,30 @@ impl Component for MmioProbe {
         let r = self.report.borrow();
         out.scalar("reads", r.latencies.len() as f64);
         out.scalar("mean_latency_ns", r.mean_ns());
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u32(self.remaining);
+        w.opt_u64(self.issued_at);
+        let r = self.report.borrow();
+        w.bool(r.done);
+        w.usize(r.latencies.len());
+        for &t in &r.latencies {
+            w.u64(t);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.remaining = r.u32()?;
+        self.issued_at = r.opt_u64()?;
+        let mut rep = self.report.borrow_mut();
+        rep.done = r.bool()?;
+        let n = r.usize()?;
+        rep.latencies = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            rep.latencies.push(r.u64()?);
+        }
+        Ok(())
     }
 }
 

@@ -14,6 +14,7 @@ use pcisim_devices::nic::{regs, INT_RXT0};
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
 use pcisim_kernel::packet::{Command, Packet};
 use pcisim_kernel::sim::Ctx;
+use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::StatsBuilder;
 use pcisim_kernel::tick::{gbps, ns, Tick};
 
@@ -208,6 +209,55 @@ impl Component for NicRxApp {
         out.scalar("frames", r.frames as f64);
         out.scalar("bytes", r.bytes as f64);
         out.scalar("done", f64::from(u8::from(r.done)));
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        match self.state {
+            State::Setup(n) => {
+                w.u8(0);
+                w.usize(n);
+            }
+            State::Receiving => w.u8(1),
+            State::Done => w.u8(2),
+        }
+        w.u32(self.tail);
+        w.u32(self.frames_seen);
+        let r = self.report.borrow();
+        w.bool(r.done);
+        w.u64(r.frames);
+        w.u64(r.bytes);
+        w.u64(r.start);
+        w.u64(r.end);
+        match &self.stalled {
+            Some(pkt) => {
+                w.bool(true);
+                pkt.encode(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.state = match r.u8()? {
+            0 => State::Setup(r.usize()?),
+            1 => State::Receiving,
+            2 => State::Done,
+            other => {
+                return Err(SnapshotError::Corrupt(format!("unknown nic-rx state {other}")));
+            }
+        };
+        self.tail = r.u32()?;
+        self.frames_seen = r.u32()?;
+        {
+            let mut rep = self.report.borrow_mut();
+            rep.done = r.bool()?;
+            rep.frames = r.u64()?;
+            rep.bytes = r.u64()?;
+            rep.start = r.u64()?;
+            rep.end = r.u64()?;
+        }
+        self.stalled = if r.bool()? { Some(Packet::decode(r)?) } else { None };
+        Ok(())
     }
 }
 
