@@ -1,9 +1,10 @@
 //! Machine-readable simulator-speed tracking (`BENCH_simulator_speed.json`).
 //!
-//! The `repro` binary measures the same two microbenchmark scenarios as
+//! The `repro` binary measures the two microbenchmark scenarios of
 //! `benches/simulator_speed.rs` (a crossbar read storm and a saturated
-//! Gen 2 x8 link write storm), derives ops/sec and raw scheduler
-//! events/sec, and emits them together with per-sweep wall-clock times and
+//! Gen 2 x8 link write storm) plus a full-system multi-queue MSI-X NIC
+//! transmit run, derives ops/sec and raw scheduler events/sec, and emits
+//! them together with per-sweep wall-clock times and
 //! host metadata. CI replays the measurement with `--bench-check` and
 //! fails on a >30% ops/sec regression against the checked-in file, so the
 //! perf trajectory is tracked from the hot-path-overhaul PR onward.
@@ -95,12 +96,32 @@ fn run_link_writes() -> (u64, f64) {
     (sim.events_processed(), secs)
 }
 
-/// Runs both microbenchmark scenarios, best-of-`samples`, and returns the
-/// per-scenario rates. Build setup is excluded from the timed region.
+fn run_msix_tx() -> (u64, f64) {
+    use pcisim_system::prelude::*;
+    let mut built = build_system(SystemConfig::nic_msix(4, 0));
+    let report = built.attach_msix_tx(MsixTxConfig {
+        queues: 4,
+        frames: MICRO_OPS as u32,
+        ..Default::default()
+    });
+    let start = Instant::now();
+    built.sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    assert!(report.borrow().done, "msix bench transmit must complete");
+    (built.sim.events_processed(), secs)
+}
+
+/// Runs the microbenchmark scenarios, best-of-`samples`, and returns the
+/// per-scenario rates. Build setup is excluded from the timed region
+/// (the MSI-X scenario's timed region does include enumeration and driver
+/// probe — they are part of the system datapath being measured).
 pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
     type Scenario = (&'static str, fn() -> (u64, f64));
-    let scenarios: [Scenario; 2] =
-        [("xbar_10k_reads", run_xbar_reads), ("link_10k_writes", run_link_writes)];
+    let scenarios: [Scenario; 3] = [
+        ("xbar_10k_reads", run_xbar_reads),
+        ("link_10k_writes", run_link_writes),
+        ("msix_4q_tx_10k_frames", run_msix_tx),
+    ];
     scenarios
         .iter()
         .map(|&(name, run)| {
@@ -494,7 +515,7 @@ mod tests {
     #[test]
     fn micro_benchmarks_run_and_report_positive_rates() {
         let results = run_micro_benchmarks(1);
-        assert_eq!(results.len(), 2);
+        assert_eq!(results.len(), 3);
         for r in &results {
             assert!(r.ops_per_sec > 0.0, "{}: {r:?}", r.name);
             assert!(r.events_per_sec >= r.ops_per_sec, "{}: events >= ops", r.name);

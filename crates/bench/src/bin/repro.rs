@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--full] [--jobs N] [--warm-start] [--trace PATH] [--checkpoint PATH]
 //!       [--bench-json PATH] [--bench-check PATH]
-//!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology] [all]
+//!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology]
+//!       [msix] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
@@ -18,6 +19,10 @@
 //! experiment: two NIC transmit streams behind one shared upstream link
 //! vs. split across two root ports — bandwidth share and DMA p99 tail
 //! latency per placement.
+//!
+//! `msix` (alias `--msix`) runs the interrupt-delivery experiment: the
+//! same NIC transmit load over legacy INTx vs. per-queue MSI-X vectors,
+//! plus queue-count and per-vector moderation sweeps.
 //!
 //! `--jobs N` fans the independent configurations of each Fig. 9 / Table II
 //! sweep across N worker threads (default: all available cores). Every
@@ -473,6 +478,80 @@ fn topology(opts: &Opts) {
     );
 }
 
+/// The interrupt-delivery tables: the same NIC transmit load serviced
+/// over a single legacy INTx line vs. per-queue MSI-X vectors (doorbell
+/// memory writes through the fabric), then the queue-count and
+/// per-vector moderation sweeps.
+fn msix(opts: &Opts) {
+    let frames = if opts.full { 2048 } else { 256 };
+
+    println!("\n== MSI-X: interrupt delivery — legacy INTx vs per-queue vectors ==");
+    println!("   same offered load; INTx = single queue on the shared line,");
+    println!("   MSI-X = per-queue vectors as posted memory writes; links Gen2 x4");
+    let mode_configs: Vec<MsixTxExperiment> = vec![
+        MsixTxExperiment { frames, use_msix: false, queues: 1, ..MsixTxExperiment::default() },
+        MsixTxExperiment { frames, queues: 1, ..MsixTxExperiment::default() },
+        MsixTxExperiment { frames, queues: 4, ..MsixTxExperiment::default() },
+    ];
+    let labels = ["INTx, 1 queue", "MSI-X, 1 queue", "MSI-X, 4 queues"];
+    let outcomes = run_sweep(&mode_configs, opts.jobs, run_msix_tx_experiment);
+    let mut rows = Vec::new();
+    for (label, out) in labels.iter().zip(&outcomes) {
+        assert!(out.completed, "msix mode run must complete: {label}");
+        rows.push(vec![
+            (*label).to_string(),
+            format!("{:.3}", out.throughput_gbps),
+            format!("{:.0}", out.frames_per_sec),
+            out.irqs.to_string(),
+            format!("{:.2}", out.irqs as f64 / f64::from(frames)),
+        ]);
+    }
+    println!("{}", table::render(&["mode", "Gb/s", "frames/s", "irqs", "irqs/frame"], &rows));
+
+    println!("\n== MSI-X: queue-count sweep (per-queue vectors, no moderation) ==");
+    let queue_configs: Vec<MsixTxExperiment> = [1u32, 2, 4]
+        .iter()
+        .map(|&queues| MsixTxExperiment { frames, queues, ..MsixTxExperiment::default() })
+        .collect();
+    let outcomes = run_sweep(&queue_configs, opts.jobs, run_msix_tx_experiment);
+    let mut rows = Vec::new();
+    for (config, out) in queue_configs.iter().zip(&outcomes) {
+        assert!(out.completed, "msix queue sweep must complete: {config:?}");
+        rows.push(vec![
+            config.queues.to_string(),
+            format!("{:.3}", out.throughput_gbps),
+            format!("{:.0}", out.frames_per_sec),
+            out.irqs.to_string(),
+        ]);
+    }
+    println!("{}", table::render(&["queues", "Gb/s", "frames/s", "irqs"], &rows));
+
+    println!("\n== MSI-X: per-vector moderation sweep (4 queues) ==");
+    println!("   holdoff coalesces completions into one doorbell per timer expiry");
+    let mod_configs: Vec<MsixTxExperiment> = [0u64, 10, 50]
+        .iter()
+        .map(|&usecs| MsixTxExperiment {
+            frames,
+            queues: 4,
+            moderation: pcisim_kernel::tick::us(usecs),
+            ..MsixTxExperiment::default()
+        })
+        .collect();
+    let outcomes = run_sweep(&mod_configs, opts.jobs, run_msix_tx_experiment);
+    let mut rows = Vec::new();
+    for (&usecs, out) in [0u64, 10, 50].iter().zip(&outcomes) {
+        assert!(out.completed, "msix moderation sweep must complete: {usecs} us");
+        rows.push(vec![
+            if usecs == 0 { "none".to_string() } else { format!("{usecs} us") },
+            format!("{:.3}", out.throughput_gbps),
+            out.irqs.to_string(),
+            format!("{:.2}", out.irqs as f64 / f64::from(frames)),
+            out.irqs_coalesced.to_string(),
+        ]);
+    }
+    println!("{}", table::render(&["holdoff", "Gb/s", "irqs", "irqs/frame", "coalesced"], &rows));
+}
+
 /// Re-runs the Table II 150 ns point with tracing, dumps Perfetto JSON to
 /// `path` and prints the per-stage latency attribution (the paper's "where
 /// does the access latency go" question, answered from the trace).
@@ -692,6 +771,9 @@ fn main() {
     }
     if run_all || picked.contains(&"topology") || picked.contains(&"--topology") {
         timed("topology", &topology);
+    }
+    if run_all || picked.contains(&"msix") || picked.contains(&"--msix") {
+        timed("msix", &msix);
     }
     if let Some(path) = trace_path {
         trace_dump(&path);

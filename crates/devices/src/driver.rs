@@ -24,6 +24,13 @@ pub enum InterruptMode {
     /// device's MSI capability (only possible on devices built with the
     /// `msi_capable` extension; the paper's devices bounce the enable).
     Msi,
+    /// MSI-X: the probe set the function enable and read back the table
+    /// size; the driver then programs per-vector address/data/mask through
+    /// the device's BAR-mapped table (MMIO, not config space).
+    Msix {
+        /// Vectors the table holds (table size field + 1).
+        vectors: u16,
+    },
 }
 
 /// Result of a successful probe.
@@ -86,6 +93,10 @@ pub enum MsiPolicy {
         /// Message data (the vector).
         data: u16,
     },
+    /// Try to enable MSI-X (per-vector targets are programmed later via
+    /// the BAR-mapped table); fall back to a legacy interrupt if the
+    /// function enable bounces (hardwired-disabled structure).
+    RequestMsix,
     /// Do not attempt MSI.
     LegacyOnly,
 }
@@ -122,6 +133,7 @@ pub fn probe_with_policy<A: ConfigAccess>(
     // a driver does.
     let mut pcie_offset = None;
     let mut msi_offset = None;
+    let mut msix_offset = None;
     let mut ptr = access.config_read(dev.bdf, common::CAP_PTR, 1) as u16 & 0xfc;
     let mut hops = 0;
     while ptr >= 0x40 && hops < 48 {
@@ -129,6 +141,7 @@ pub fn probe_with_policy<A: ConfigAccess>(
         match id {
             cap_id::PCI_EXPRESS => pcie_offset = Some(ptr),
             cap_id::MSI => msi_offset = Some(ptr),
+            cap_id::MSI_X => msix_offset = Some(ptr),
             _ => {}
         }
         ptr = access.config_read(dev.bdf, ptr + 1, 1) as u16 & 0xfc;
@@ -143,8 +156,8 @@ pub fn probe_with_policy<A: ConfigAccess>(
         let irq = access.config_read(dev.bdf, common::INTERRUPT_LINE, 1) as u8;
         InterruptMode::Legacy(irq)
     };
-    let interrupt = match (msi, msi_offset) {
-        (MsiPolicy::Request { address, data }, Some(off)) => {
+    let interrupt = match (msi, msi_offset, msix_offset) {
+        (MsiPolicy::Request { address, data }, Some(off), _) => {
             use pcisim_pci::caps::msi;
             access.config_write(dev.bdf, off + msi::ADDR_LO, 4, address as u32);
             access.config_write(dev.bdf, off + msi::ADDR_HI, 4, (address >> 32) as u32);
@@ -154,6 +167,18 @@ pub fn probe_with_policy<A: ConfigAccess>(
             {
                 InterruptMode::Msi
             } else {
+                legacy(access)
+            }
+        }
+        (MsiPolicy::RequestMsix, _, Some(off)) => {
+            use pcisim_pci::caps::msix;
+            access.config_write(dev.bdf, off + msix::CONTROL, 2, u32::from(msix::CONTROL_ENABLE));
+            let ctrl = access.config_read(dev.bdf, off + msix::CONTROL, 2) as u16;
+            if ctrl & msix::CONTROL_ENABLE != 0 {
+                InterruptMode::Msix { vectors: (ctrl & msix::CONTROL_TABLE_SIZE) + 1 }
+            } else {
+                // Hardwired-disabled structure (the paper's configuration):
+                // the enable bounces and the driver registers INTx.
                 legacy(access)
             }
         }
@@ -310,5 +335,49 @@ mod tests {
         // The device now sees the programmed target.
         let cs = reg.borrow().lookup(info.bdf).unwrap();
         assert_eq!(pcisim_pci::caps::msi_target(&cs.borrow()), Some((0x2c00_0100, 64)));
+    }
+
+    #[test]
+    fn msix_request_bounces_on_a_disabled_structure() {
+        let (reg, report) = enumerated_system();
+        let info = probe_with_policy(
+            &mut reg.clone(),
+            &report,
+            E1000E_DEVICE_TABLE,
+            MsiPolicy::RequestMsix,
+        )
+        .unwrap();
+        assert!(
+            matches!(info.interrupt, InterruptMode::Legacy(_)),
+            "the paper's MsixDisabled capability must bounce the enable bit"
+        );
+    }
+
+    #[test]
+    fn msix_request_succeeds_on_a_capable_device() {
+        let reg = shared_registry();
+        let cfg = crate::nic::NicConfig {
+            queues: 4,
+            msix_capable: true,
+            ..crate::nic::NicConfig::default()
+        };
+        reg.borrow_mut()
+            .register(Bdf::new(0, 1, 0), shared(crate::nic::nic_config_space_for(&cfg)));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let info = probe_with_policy(
+            &mut reg.clone(),
+            &report,
+            E1000E_DEVICE_TABLE,
+            MsiPolicy::RequestMsix,
+        )
+        .unwrap();
+        assert_eq!(
+            info.interrupt,
+            InterruptMode::Msix { vectors: 8 },
+            "4 queue pairs expose 8 vectors"
+        );
+        // The function enable round-tripped through config space.
+        let cs = reg.borrow().lookup(info.bdf).unwrap();
+        assert!(pcisim_pci::caps::msix_enabled(&cs.borrow()));
     }
 }

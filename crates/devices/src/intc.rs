@@ -7,6 +7,15 @@
 //! window, one word per interrupt line; the controller then forwards a
 //! message out of the port registered for that line, waking the CPU-side
 //! component (the workload models in `pcisim-system`).
+//!
+//! The same window doubles as the platform's **MSI/MSI-X doorbell**:
+//! message-signaled interrupts arrive as ordinary [`Command::WriteReq`]
+//! memory writes (one word per vector, like a GICv2m/ITS translator
+//! frame), so they traverse the full fabric — links, switches, root
+//! complex, memory bus — contending with DMA traffic and showing up in
+//! traces with the same custody hops as any other TLP. A doorbell write
+//! is completed with a normal write response; the vector number is the
+//! word index, exactly as for legacy messages.
 
 use std::collections::HashMap;
 
@@ -77,31 +86,55 @@ impl Component for InterruptController {
 
     fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) -> RecvResult {
         assert_eq!(port, INTC_FABRIC_PORT, "{}: interrupts arrive on the fabric port", self.name);
-        assert_eq!(pkt.cmd(), Command::Message, "{}: expected an interrupt message", self.name);
+        let is_doorbell = pkt.cmd() == Command::WriteReq;
+        assert!(
+            is_doorbell || pkt.cmd() == Command::Message,
+            "{}: expected an interrupt message or doorbell write, got {:?}",
+            self.name,
+            pkt.cmd()
+        );
         assert!(self.range.contains(pkt.addr()));
         if let Some(buf) = pkt.take_payload() {
             ctx.recycle_payload(buf);
         }
         let irq = (self.range.offset(pkt.addr()) / 4) as u8;
         ctx.schedule(0, Event::Timer { kind: 0, data: u64::from(irq) });
+        if is_doorbell {
+            // Complete the memory write like any other completer would; the
+            // in-flight response lives on the calendar queue, so no extra
+            // component state needs checkpointing.
+            ctx.schedule(0, Event::DelayedPacket { tag: 0, pkt: pkt.into_response() });
+        }
         RecvResult::Accepted
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
-        let Event::Timer { data, .. } = ev else { panic!("{}: unexpected event", self.name) };
-        let irq = data as u8;
-        match self.routes.get(&irq) {
-            Some(&cpu_port) => {
-                self.raised.inc();
-                let id = ctx.alloc_packet_id();
-                let addr = irq_message_addr(self.range.start(), irq);
-                let msg = Packet::request(id, Command::Message, addr, 4, ctx.self_id())
-                    .with_payload(ctx.alloc_payload(4));
-                // CPU-side observers must always accept interrupt wakeups.
-                ctx.try_send_request(cpu_port, msg)
-                    .unwrap_or_else(|_| panic!("{}: CPU port refused an interrupt", self.name));
+        match ev {
+            Event::Timer { data, .. } => {
+                let irq = data as u8;
+                match self.routes.get(&irq) {
+                    Some(&cpu_port) => {
+                        self.raised.inc();
+                        let id = ctx.alloc_packet_id();
+                        let addr = irq_message_addr(self.range.start(), irq);
+                        let msg = Packet::request(id, Command::Message, addr, 4, ctx.self_id())
+                            .with_payload(ctx.alloc_payload(4));
+                        // CPU-side observers must always accept interrupt
+                        // wakeups.
+                        ctx.try_send_request(cpu_port, msg).unwrap_or_else(|_| {
+                            panic!("{}: CPU port refused an interrupt", self.name)
+                        });
+                    }
+                    None => self.spurious.inc(),
+                }
             }
-            None => self.spurious.inc(),
+            Event::DelayedPacket { pkt, .. } => {
+                // A refused completion retries after a short backoff rather
+                // than holding component state.
+                if let Err(back) = ctx.try_send_response(INTC_FABRIC_PORT, pkt) {
+                    ctx.schedule(10, Event::DelayedPacket { tag: 0, pkt: back });
+                }
+            }
         }
     }
 
@@ -164,6 +197,27 @@ mod tests {
         sim.connect((g, cpu_port), (o, PortId(0)));
         assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
         assert_eq!(fired.borrow().len(), 1);
+        assert_eq!(sim.stats().get("gic.raised"), Some(1.0));
+    }
+
+    #[test]
+    fn doorbell_write_raises_vector_and_is_completed() {
+        let mut sim = Simulation::new();
+        let mut intc = InterruptController::new("gic", AddrRange::with_size(BASE, 0x1000));
+        let cpu_port = intc.route_irq(96);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        // An MSI doorbell is an ordinary posted memory write to the
+        // vector's word — and unlike a Message it gets a completion.
+        let (req, done) =
+            Requester::new("dev", vec![(Command::WriteReq, irq_message_addr(BASE, 96), 4)]);
+        let r = sim.add(Box::new(req));
+        let g = sim.add(Box::new(intc));
+        let o = sim.add(Box::new(IrqObserver { name: "cpu".into(), fired: fired.clone() }));
+        sim.connect((r, REQUESTER_PORT), (g, INTC_FABRIC_PORT));
+        sim.connect((g, cpu_port), (o, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(fired.borrow().len(), 1, "doorbell must wake the observer");
+        assert_eq!(done.borrow().len(), 1, "doorbell write must be completed");
         assert_eq!(sim.stats().get("gic.raised"), Some(1.0));
     }
 

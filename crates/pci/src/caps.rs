@@ -70,6 +70,22 @@ pub enum Capability {
     MsiCapable,
     /// MSI-X with the enable bit hardwired to zero.
     MsixDisabled,
+    /// A functional MSI-X capability: the vector table and pending-bit
+    /// array live in a device BAR (the device model serves them through
+    /// its MMIO path, so programming round-trips through simulated TLPs);
+    /// software can flip the function enable and function mask bits.
+    MsixCapable {
+        /// Number of vectors (1..=2048), encoded as N-1 in message control.
+        table_size: u16,
+        /// BAR index (BIR) holding the vector table.
+        table_bar: u8,
+        /// Byte offset of the table within that BAR (8-byte aligned).
+        table_offset: u32,
+        /// BAR index (BIR) holding the pending-bit array.
+        pba_bar: u8,
+        /// Byte offset of the PBA within that BAR (8-byte aligned).
+        pba_offset: u32,
+    },
     /// The PCI-Express capability structure.
     PciExpress {
         /// Reported device/port type.
@@ -87,7 +103,7 @@ impl Capability {
         match self {
             Capability::PowerManagement => cap_id::POWER_MANAGEMENT,
             Capability::MsiDisabled | Capability::MsiCapable => cap_id::MSI,
-            Capability::MsixDisabled => cap_id::MSI_X,
+            Capability::MsixDisabled | Capability::MsixCapable { .. } => cap_id::MSI_X,
             Capability::PciExpress { .. } => cap_id::PCI_EXPRESS,
         }
     }
@@ -97,7 +113,8 @@ impl Capability {
         match self {
             Capability::PowerManagement => 8,
             Capability::MsiDisabled | Capability::MsiCapable => 16,
-            Capability::MsixDisabled => 12,
+            Capability::MsixDisabled | Capability::MsixCapable { .. } => 12,
+            Capability::PciExpress { port_type: PortType::Endpoint, .. } => pcie_cap::ENDPOINT_LEN,
             Capability::PciExpress { .. } => pcie_cap::LEN,
         }
     }
@@ -136,6 +153,28 @@ impl Capability {
             Capability::MsixDisabled => {
                 // Message control: table size 0, enable bit read-only zero.
                 cs.init_u16(offset + 2, 0x0000);
+            }
+            Capability::MsixCapable {
+                table_size,
+                table_bar,
+                table_offset,
+                pba_bar,
+                pba_offset,
+            } => {
+                assert!(
+                    (1..=2048).contains(&table_size),
+                    "MSI-X table size must be 1..=2048, got {table_size}"
+                );
+                assert!(table_bar < 6 && pba_bar < 6, "BIR must name a type-0 BAR (0..=5)");
+                assert_eq!(table_offset % 8, 0, "MSI-X table must be 8-byte aligned");
+                assert_eq!(pba_offset % 8, 0, "MSI-X PBA must be 8-byte aligned");
+                // Message control: table size N-1 in bits 10:0 (read-only);
+                // function mask (bit 14) and enable (bit 15) writable.
+                cs.init_u16(offset + msix::CONTROL, table_size - 1);
+                cs.set_writable(offset + msix::CONTROL, &[0x00, 0xc0]);
+                // Table / PBA locators: BIR in the low 3 bits, offset above.
+                cs.init_u32(offset + msix::TABLE, table_offset | u32::from(table_bar));
+                cs.init_u32(offset + msix::PBA, pba_offset | u32::from(pba_bar));
             }
             Capability::PciExpress { port_type, generation, max_width } => {
                 assert!(
@@ -390,6 +429,78 @@ pub fn msi_target(cs: &ConfigSpace) -> Option<(u64, u16)> {
     Some(((hi << 32) | lo, data))
 }
 
+/// Offsets within an MSI-X capability structure and its BAR-resident
+/// vector table.
+pub mod msix {
+    /// Message control register (u16).
+    pub const CONTROL: u16 = 0x02;
+    /// Function enable bit within the control register.
+    pub const CONTROL_ENABLE: u16 = 0x8000;
+    /// Function mask bit within the control register.
+    pub const CONTROL_FUNCTION_MASK: u16 = 0x4000;
+    /// Table size field mask (encodes N-1) within the control register.
+    pub const CONTROL_TABLE_SIZE: u16 = 0x07ff;
+    /// Table locator dword (offset | BIR).
+    pub const TABLE: u16 = 0x04;
+    /// PBA locator dword (offset | BIR).
+    pub const PBA: u16 = 0x08;
+    /// Bytes per vector-table entry.
+    pub const ENTRY_SIZE: u64 = 16;
+    /// Message address low dword, within an entry.
+    pub const ENTRY_ADDR_LO: u64 = 0x0;
+    /// Message address high dword, within an entry.
+    pub const ENTRY_ADDR_HI: u64 = 0x4;
+    /// Message data dword, within an entry.
+    pub const ENTRY_DATA: u64 = 0x8;
+    /// Vector control dword, within an entry.
+    pub const ENTRY_VECTOR_CTRL: u64 = 0xc;
+    /// Per-vector mask bit within the vector control dword.
+    pub const VECTOR_CTRL_MASK: u32 = 0x1;
+}
+
+/// Number of MSI-X vectors the function advertises; 0 when no MSI-X
+/// capability is present or the structure is the hardwired-disabled one
+/// (table size field 0 *and* an unwritable enable bit).
+pub fn msix_table_size(cs: &ConfigSpace) -> u16 {
+    let Some(off) = find_capability(cs, cap_id::MSI_X) else { return 0 };
+    let control = cs.read(off + msix::CONTROL, 2) as u16;
+    let encoded = control & msix::CONTROL_TABLE_SIZE;
+    if encoded == 0 && cs.mask_at(off + msix::CONTROL + 1) & 0x80 == 0 {
+        return 0; // MsixDisabled: not a 1-vector function
+    }
+    encoded + 1
+}
+
+/// Whether software has set the MSI-X function enable bit.
+pub fn msix_enabled(cs: &ConfigSpace) -> bool {
+    find_capability(cs, cap_id::MSI_X)
+        .is_some_and(|off| cs.read(off + msix::CONTROL, 2) as u16 & msix::CONTROL_ENABLE != 0)
+}
+
+/// Whether software has set the MSI-X function mask bit (all vectors
+/// masked regardless of their per-vector mask).
+pub fn msix_function_masked(cs: &ConfigSpace) -> bool {
+    find_capability(cs, cap_id::MSI_X).is_some_and(|off| {
+        cs.read(off + msix::CONTROL, 2) as u16 & msix::CONTROL_FUNCTION_MASK != 0
+    })
+}
+
+/// `(BIR, byte offset)` of the MSI-X vector table, when the capability is
+/// present.
+pub fn msix_table_location(cs: &ConfigSpace) -> Option<(u8, u32)> {
+    let off = find_capability(cs, cap_id::MSI_X)?;
+    let dword = cs.read(off + msix::TABLE, 4);
+    Some(((dword & 0x7) as u8, dword & !0x7))
+}
+
+/// `(BIR, byte offset)` of the MSI-X pending-bit array, when the
+/// capability is present.
+pub fn msix_pba_location(cs: &ConfigSpace) -> Option<(u8, u32)> {
+    let off = find_capability(cs, cap_id::MSI_X)?;
+    let dword = cs.read(off + msix::PBA, 4);
+    Some(((dword & 0x7) as u8, dword & !0x7))
+}
+
 /// Reads the negotiated `(generation-speed-field, width)` out of a PCIe
 /// capability structure's link-status register at `cap_offset`.
 pub fn link_status(cs: &ConfigSpace, cap_offset: u16) -> (u8, u8) {
@@ -601,6 +712,72 @@ mod tests {
         cs.init_u16(crate::regs::common::STATUS, crate::regs::status::CAP_LIST);
         cs.write(0x50 + msi::CONTROL, 2, u32::from(msi::CONTROL_ENABLE));
         assert_eq!(msi_target(&cs), None);
+    }
+
+    #[test]
+    fn msix_capable_structure_encodes_table_and_flips_enable() {
+        let mut cs = ConfigSpace::new();
+        CapChain::new()
+            .add(
+                0xa0,
+                Capability::MsixCapable {
+                    table_size: 8,
+                    table_bar: 0,
+                    table_offset: 0x1_0000,
+                    pba_bar: 0,
+                    pba_offset: 0x1_8000,
+                },
+            )
+            .write_into(&mut cs);
+        cs.init_u8(crate::regs::common::CAP_PTR, 0xa0);
+        cs.init_u16(crate::regs::common::STATUS, crate::regs::status::CAP_LIST);
+        assert_eq!(msix_table_size(&cs), 8);
+        assert_eq!(msix_table_location(&cs), Some((0, 0x1_0000)));
+        assert_eq!(msix_pba_location(&cs), Some((0, 0x1_8000)));
+        assert!(!msix_enabled(&cs));
+
+        // Table size is read-only; enable and function mask round-trip.
+        cs.write(0xa0 + msix::CONTROL, 2, 0x07ff);
+        assert_eq!(msix_table_size(&cs), 8, "table size must not be writable");
+        cs.write(0xa0 + msix::CONTROL, 2, u32::from(msix::CONTROL_ENABLE));
+        assert!(msix_enabled(&cs) && !msix_function_masked(&cs));
+        cs.write(
+            0xa0 + msix::CONTROL,
+            2,
+            u32::from(msix::CONTROL_ENABLE | msix::CONTROL_FUNCTION_MASK),
+        );
+        assert!(msix_enabled(&cs) && msix_function_masked(&cs));
+        cs.write(0xa0 + msix::CONTROL, 2, 0);
+        assert!(!msix_enabled(&cs));
+    }
+
+    #[test]
+    fn msix_disabled_structure_advertises_no_vectors() {
+        let mut cs = ConfigSpace::new();
+        let first = chain_8254x_pcie(&mut cs);
+        cs.init_u8(crate::regs::common::CAP_PTR, first);
+        cs.init_u16(crate::regs::common::STATUS, crate::regs::status::CAP_LIST);
+        assert_eq!(msix_table_size(&cs), 0);
+        cs.write(0xa0 + msix::CONTROL, 2, u32::from(msix::CONTROL_ENABLE));
+        assert!(!msix_enabled(&cs), "MSI-X enable must bounce off");
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte aligned")]
+    fn msix_misaligned_table_panics() {
+        let mut cs = ConfigSpace::new();
+        CapChain::new()
+            .add(
+                0xa0,
+                Capability::MsixCapable {
+                    table_size: 4,
+                    table_bar: 0,
+                    table_offset: 0x1_0004,
+                    pba_bar: 0,
+                    pba_offset: 0x1_8000,
+                },
+            )
+            .write_into(&mut cs);
     }
 
     #[test]

@@ -292,6 +292,16 @@ impl<'a, A: ConfigAccess> Enumerator<'a, A> {
         }
     }
 
+    /// Walks the function's capability linked list through config reads.
+    ///
+    /// Contract: entries are reported in *link order* — the order the
+    /// device chained them, **not** ascending offset order. The paper's
+    /// NIC layout (82574L-style) links `[PM, MSI, PCI_EXPRESS, MSI_X]`
+    /// with the MSI-X structure at a *lower* offset than the rest, so any
+    /// consumer that sorts by offset silently reorders the chain. The walk
+    /// is bounded to 48 hops so a corrupted (cyclic) chain terminates, and
+    /// legacy capability pointers can never reach the extended config
+    /// region (they are single bytes, so offsets top out at 0xfc).
     fn walk_caps(&mut self, bdf: Bdf) -> Vec<CapEntry> {
         let mut out = Vec::new();
         let status = self.access.config_read(bdf, common::STATUS, 2) as u16;
@@ -632,6 +642,121 @@ mod tests {
             ids,
             vec![cap_id::POWER_MANAGEMENT, cap_id::MSI, cap_id::PCI_EXPRESS, cap_id::MSI_X]
         );
+    }
+
+    /// The walk-order contract: capabilities are reported in link order,
+    /// which for the paper's NIC is `[PM, MSI, PCIe, MSI-X]` even though
+    /// MSI-X sits at the lowest offset — sorting by offset would misreport
+    /// the chain.
+    #[test]
+    fn capability_walk_order_is_link_order_not_offset_order() {
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let nic = report.find(0x8086, 0x10d3).unwrap();
+        assert_eq!(
+            nic.capabilities,
+            vec![
+                (0xc8, cap_id::POWER_MANAGEMENT),
+                (0xd0, cap_id::MSI),
+                (0xe0, cap_id::PCI_EXPRESS),
+                (0xa0, cap_id::MSI_X),
+            ]
+        );
+        let offsets: Vec<u16> = nic.capabilities.iter().map(|&(off, _)| off).collect();
+        assert!(!offsets.windows(2).all(|w| w[0] <= w[1]), "fixture must exercise link order");
+    }
+
+    /// Every walked capability structure lies entirely below the extended
+    /// configuration region at 0x100 — the legacy chain and extended
+    /// capabilities can never overlap.
+    #[test]
+    fn capability_walk_never_overlaps_extended_config() {
+        use crate::config::EXTENDED_CONFIG_BASE;
+        let reg = paper_like_registry();
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let len_of = |id: u8, is_bridge: bool| -> u16 {
+            match id {
+                cap_id::POWER_MANAGEMENT => 8,
+                cap_id::MSI => 16,
+                cap_id::MSI_X => 12,
+                cap_id::PCI_EXPRESS if is_bridge => crate::regs::pcie_cap::LEN,
+                cap_id::PCI_EXPRESS => crate::regs::pcie_cap::ENDPOINT_LEN,
+                other => panic!("unexpected capability id {other:#x}"),
+            }
+        };
+        for dev in &report.devices {
+            for &(off, id) in &dev.capabilities {
+                assert!(off >= 0x40, "{}: capability at {off:#x} inside the header", dev.bdf);
+                assert!(
+                    off + len_of(id, dev.is_bridge) <= EXTENDED_CONFIG_BASE,
+                    "{}: capability {id:#x} at {off:#x} overlaps the extended region",
+                    dev.bdf
+                );
+            }
+        }
+    }
+
+    /// A corrupted, cyclic capability chain terminates the walk instead of
+    /// hanging enumeration.
+    #[test]
+    fn cyclic_capability_chain_terminates() {
+        let reg = shared_registry();
+        let mut cs = Type0Header::new(0xdead, 0xbeef).capabilities_at(0x40).build();
+        // Two capabilities pointing at each other.
+        cs.init_u8(0x40, cap_id::MSI);
+        cs.init_u8(0x41, 0x48);
+        cs.init_u8(0x48, cap_id::POWER_MANAGEMENT);
+        cs.init_u8(0x49, 0x40);
+        reg.borrow_mut().register(Bdf::new(0, 0, 0), shared(cs));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let dev = report.find(0xdead, 0xbeef).unwrap();
+        assert_eq!(dev.capabilities.len(), 48, "cycle guard must bound the walk");
+    }
+
+    /// An MSI-X-capable endpoint's table and PBA BIRs name BARs the
+    /// enumerator actually placed.
+    #[test]
+    fn msix_table_and_pba_birs_point_at_real_bars() {
+        use crate::caps::{msix_pba_location, msix_table_location};
+        let reg = shared_registry();
+        let mut cs = Type0Header::new(0x8086, 0x10d3)
+            .class_code(0x02, 0x00, 0x00)
+            .bar(0, Bar::Memory32 { size: 0x2_0000, prefetchable: false })
+            .interrupt_pin(1)
+            .capabilities_at(0xa0)
+            .build();
+        CapChain::new()
+            .add(
+                0xa0,
+                Capability::MsixCapable {
+                    table_size: 8,
+                    table_bar: 0,
+                    table_offset: 0x1_0000,
+                    pba_bar: 0,
+                    pba_offset: 0x1_8000,
+                },
+            )
+            .write_into(&mut cs);
+        reg.borrow_mut().register(Bdf::new(0, 0, 0), shared(cs));
+        let report = enumerate(&mut reg.clone(), EnumerationConfig::vexpress_gem5_v1()).unwrap();
+        let nic = report.find(0x8086, 0x10d3).unwrap();
+        let cs = reg.borrow().lookup(nic.bdf).unwrap();
+        let cs = cs.borrow();
+        for (what, (bir, offset)) in
+            [("table", msix_table_location(&cs).unwrap()), ("pba", msix_pba_location(&cs).unwrap())]
+        {
+            let bar = nic
+                .bars
+                .iter()
+                .find(|b| b.index == usize::from(bir))
+                .unwrap_or_else(|| panic!("MSI-X {what} BIR {bir} names no placed BAR"));
+            assert!(!bar.is_io, "MSI-X {what} must live in a memory BAR");
+            assert!(
+                u64::from(offset) < bar.size,
+                "MSI-X {what} offset {offset:#x} outside BAR {bir} (size {:#x})",
+                bar.size
+            );
+        }
     }
 
     #[test]

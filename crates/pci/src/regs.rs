@@ -192,8 +192,14 @@ pub mod pcie_cap {
     pub const ROOT_CONTROL: u16 = 0x1c;
     /// Root status (u32) — root ports only.
     pub const ROOT_STATUS: u16 = 0x20;
-    /// Total length of the structure we implement.
+    /// Total length of the structure we implement for ports (slot and
+    /// root registers included).
     pub const LEN: u16 = 0x24;
+    /// Length of the structure for endpoints, which implement nothing
+    /// past the link status register. The paper's NIC places its PCIe
+    /// capability at 0xe0, so the port-sized structure would nominally
+    /// spill into the extended configuration region at 0x100.
+    pub const ENDPOINT_LEN: u16 = 0x14;
 
     /// Device/port type field values (bits \[7:4\] of the PCIe capabilities
     /// register).

@@ -29,10 +29,13 @@ use pcisim_pcie::router::RouterConfig;
 use crate::platform;
 use crate::snapshot::WarmSeed;
 use crate::topology::{
-    build_topology, build_topology_warm, Attachment, Node, Topology, TopologySystem,
+    build_topology, build_topology_warm, Attachment, Node, Topology, TopologySystem, MSI_VECTOR,
 };
 use crate::workload::dd::{DdApp, DdConfig, DdReportHandle, DD_IRQ_PORT, DD_MEM_PORT};
 use crate::workload::mmio::{MmioProbe, MmioProbeConfig, MmioReportHandle, MMIO_MEM_PORT};
+use crate::workload::msix::{
+    msix_tx_irq_port, MsixTxApp, MsixTxConfig, MsixTxReportHandle, MSIX_TX_MEM_PORT,
+};
 use crate::workload::nic_rx::{
     NicRxApp, NicRxConfig, NicRxReportHandle, NIC_RX_IRQ_PORT, NIC_RX_MEM_PORT,
 };
@@ -78,6 +81,11 @@ pub struct SystemConfig {
     /// enable it — the paper's future-work extension. The default follows
     /// the paper: MSI disabled, legacy INTx emulation messages.
     pub use_msi: bool,
+    /// Have the driver enable the device's MSI-X structure instead: the
+    /// NIC is forced `msix_capable`, and every table vector gets its own
+    /// doorbell word at the interrupt controller (see
+    /// [`Topology::use_msix`](crate::topology::Topology)).
+    pub use_msix: bool,
     /// Structured-trace category mask applied to the built simulation
     /// (a bit-or of [`TraceCategory::bit`] values, or
     /// [`TraceCategory::ALL`]); `0` — the default — disables tracing.
@@ -109,6 +117,7 @@ impl SystemConfig {
             iocache_mshrs: 16,
             pcihost_latency: ns(20),
             use_msi: false,
+            use_msix: false,
             trace_mask: 0,
         }
     }
@@ -131,6 +140,22 @@ impl SystemConfig {
             ..Self::validation()
         }
     }
+
+    /// The MSI-X exploration setup: a multi-queue NIC directly on root
+    /// port 0 with its MSI-X structure enabled by the driver, per-vector
+    /// interrupt moderation set to `moderation` (0 = immediate delivery).
+    pub fn nic_msix(queues: u32, moderation: Tick) -> Self {
+        Self {
+            device: DeviceSpec::Nic(NicConfig {
+                queues,
+                msix_capable: true,
+                moderation,
+                ..NicConfig::default()
+            }),
+            use_msix: true,
+            ..Self::nic_direct()
+        }
+    }
 }
 
 /// A wired, enumerated, probed system awaiting a workload.
@@ -147,6 +172,9 @@ pub struct BuiltSystem {
     pub cpu_mem_port: (ComponentId, PortId),
     /// Interrupt-controller endpoint delivering the device's IRQ.
     pub cpu_irq_port: (ComponentId, PortId),
+    /// One interrupt-controller endpoint per MSI-X vector (vector `v` at
+    /// index `v`); a single entry for legacy INTx/MSI.
+    pub cpu_irq_ports: Vec<(ComponentId, PortId)>,
 }
 
 impl BuiltSystem {
@@ -181,6 +209,42 @@ impl BuiltSystem {
         let id = self.sim.add(Box::new(app));
         self.sim.connect((id, NIC_RX_MEM_PORT), self.cpu_mem_port);
         self.sim.connect((id, NIC_RX_IRQ_PORT), self.cpu_irq_port);
+        report
+    }
+
+    /// Attaches the multi-queue MSI-X transmit driver against the probed
+    /// NIC and returns its report handle.
+    ///
+    /// The probe must have negotiated MSI-X (build with
+    /// [`SystemConfig::nic_msix`]); each TX queue's vector port is wired
+    /// to its own interrupt-controller doorbell endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the driver probe did not negotiate MSI-X or the NIC's
+    /// table is too small for `config.queues` queue pairs.
+    pub fn attach_msix_tx(&mut self, mut config: MsixTxConfig) -> MsixTxReportHandle {
+        config.nic_bar = self.probe.bar0;
+        config.doorbell_base = platform::INTC_BASE;
+        config.base_vector = MSI_VECTOR;
+        let vectors = match self.probe.interrupt {
+            pcisim_devices::driver::InterruptMode::Msix { vectors } => vectors,
+            ref other => panic!("MSI-X workload needs an MSI-X probe, got {other:?}"),
+        };
+        assert!(
+            vectors >= pcisim_devices::nic::num_msix_vectors(config.queues),
+            "NIC exposes {vectors} vectors; {} queue pairs need {}",
+            config.queues,
+            pcisim_devices::nic::num_msix_vectors(config.queues)
+        );
+        let queues = config.queues;
+        let (app, report) = MsixTxApp::new("msixtx", config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, MSIX_TX_MEM_PORT), self.cpu_mem_port);
+        for q in 0..queues {
+            let v = pcisim_devices::nic::tx_vector(q);
+            self.sim.connect((id, msix_tx_irq_port(v)), self.cpu_irq_ports[usize::from(v)]);
+        }
         report
     }
 
@@ -225,6 +289,7 @@ fn finish_built_system(built: TopologySystem) -> BuiltSystem {
     BuiltSystem {
         cpu_mem_port: endpoint.cpu_mem_port,
         cpu_irq_port: endpoint.cpu_irq_port,
+        cpu_irq_ports: endpoint.cpu_irq_ports.clone(),
         sim: built.sim,
         registry: built.registry,
         report: built.report,
@@ -422,6 +487,7 @@ pub fn build_legacy_system(config: LegacySystemConfig) -> BuiltSystem {
         probe,
         cpu_mem_port: (membus_id, PortId(0)),
         cpu_irq_port: (intc_id, cpu_irq),
+        cpu_irq_ports: vec![(intc_id, cpu_irq)],
     }
 }
 
@@ -525,6 +591,50 @@ mod msi_tests {
             built.sim.stats().get("gic.raised").unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn msix_probe_negotiates_per_queue_vectors() {
+        let built = build_system(SystemConfig::nic_msix(4, 0));
+        assert_eq!(built.probe.interrupt, InterruptMode::Msix { vectors: 8 });
+        assert_eq!(built.cpu_irq_ports.len(), 8);
+    }
+
+    #[test]
+    fn msix_tx_transmits_on_every_queue() {
+        let mut built = build_system(SystemConfig::nic_msix(4, 0));
+        let report =
+            built.attach_msix_tx(MsixTxConfig { queues: 4, frames: 64, ..MsixTxConfig::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        let r = report.borrow();
+        assert!(r.done, "all queues must drain");
+        assert_eq!(r.frames, 64);
+        assert_eq!(r.per_queue_frames, vec![16, 16, 16, 16]);
+        // Without moderation every completion raises its own vector.
+        assert_eq!(r.irqs, 64);
+        assert_eq!(built.sim.stats().get("nic.msix_irqs"), Some(64.0));
+    }
+
+    #[test]
+    fn msix_moderation_coalesces_interrupts() {
+        let run = |moderation| {
+            let mut built = build_system(SystemConfig::nic_msix(2, moderation));
+            let report = built.attach_msix_tx(MsixTxConfig {
+                queues: 2,
+                frames: 64,
+                ..MsixTxConfig::default()
+            });
+            assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+            let r = report.borrow().clone();
+            assert!(r.done);
+            assert_eq!(r.frames, 64);
+            (r.irqs, built.sim.stats().get("nic.irqs_coalesced").unwrap_or(0.0))
+        };
+        let (imm_irqs, imm_coalesced) = run(0);
+        let (mod_irqs, mod_coalesced) = run(us(20));
+        assert_eq!(imm_coalesced, 0.0);
+        assert!(mod_irqs < imm_irqs, "holdoff must coalesce: {mod_irqs} vs {imm_irqs} interrupts");
+        assert!(mod_coalesced > 0.0);
     }
 }
 

@@ -1059,6 +1059,169 @@ pub fn run_topology_experiment(exp: &TopologyExperiment) -> TopologyOutcome {
     }
 }
 
+/// Parameters of a multi-queue MSI-X transmit run (`repro msix`).
+///
+/// With `use_msix` the NIC exposes one MSI-X vector per queue and the
+/// driver services completions NAPI-style off per-vector doorbells;
+/// without it the same NIC falls back to a single legacy INTx line and
+/// the single-queue driver — the baseline the MSI-X numbers are
+/// attributed against.
+#[derive(Debug, Clone)]
+pub struct MsixTxExperiment {
+    /// TX queue pairs (MSI-X runs; the INTx baseline is single-queue).
+    pub queues: u32,
+    /// Total frames to transmit.
+    pub frames: u32,
+    /// Frame payload bytes.
+    pub frame_bytes: u32,
+    /// Per-vector interrupt holdoff (0 = every completion interrupts).
+    pub moderation: Tick,
+    /// Enable the MSI-X structure; `false` = legacy INTx baseline.
+    pub use_msix: bool,
+    /// Link width between the root port and the NIC.
+    pub width: LinkWidth,
+    /// Record a full event trace of the run.
+    pub trace: bool,
+}
+
+impl Default for MsixTxExperiment {
+    fn default() -> Self {
+        Self {
+            queues: 4,
+            frames: 256,
+            frame_bytes: 1514,
+            moderation: 0,
+            use_msix: true,
+            width: LinkWidth::X4,
+            trace: false,
+        }
+    }
+}
+
+/// Measurements from a multi-queue MSI-X (or INTx-baseline) transmit run.
+#[derive(Debug, Clone)]
+pub struct MsixTxOutcome {
+    /// Payload throughput in Gb/s.
+    pub throughput_gbps: f64,
+    /// Transmit rate in frames/second.
+    pub frames_per_sec: f64,
+    /// Interrupts the CPU took (`gic.raised`: INTx messages or MSI-X
+    /// doorbell deliveries).
+    pub irqs: u64,
+    /// Interrupt causes folded into an already-armed holdoff timer.
+    pub irqs_coalesced: u64,
+    /// Whether the run completed.
+    pub completed: bool,
+    /// The event trace, when the experiment asked for one.
+    pub trace: Option<TraceLog>,
+}
+
+/// Runs one arm of the interrupt-delivery experiment: a multi-queue NIC
+/// under MSI-X (per-queue vectors raised as posted memory writes through
+/// the fabric) or the same NIC on its legacy INTx line.
+pub fn run_msix_tx_experiment(exp: &MsixTxExperiment) -> MsixTxOutcome {
+    enum Report {
+        Msix(crate::workload::msix::MsixTxReportHandle),
+        Legacy(crate::workload::nic_tx::NicTxReportHandle),
+    }
+    let mut config = if exp.use_msix {
+        SystemConfig::nic_msix(exp.queues, exp.moderation)
+    } else {
+        SystemConfig::nic_direct()
+    };
+    config.root_link = LinkConfig::new(Generation::Gen2, exp.width);
+    if exp.trace {
+        config.trace_mask = TraceCategory::ALL;
+    }
+    let mut built = build_system(config);
+    let report = if exp.use_msix {
+        Report::Msix(built.attach_msix_tx(crate::workload::msix::MsixTxConfig {
+            queues: exp.queues,
+            frames: exp.frames,
+            frame_bytes: exp.frame_bytes,
+            ..Default::default()
+        }))
+    } else {
+        Report::Legacy(built.attach_nic_tx(crate::workload::nic_tx::NicTxConfig {
+            frames: exp.frames,
+            frame_bytes: exp.frame_bytes,
+            ..Default::default()
+        }))
+    };
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let trace = exp.trace.then(|| built.sim.take_trace());
+    let stats = built.sim.stats();
+    let (done, throughput_gbps, frames_per_sec) = match &report {
+        Report::Msix(r) => {
+            let r = r.borrow();
+            (r.done, r.throughput_gbps(), r.frames_per_sec())
+        }
+        Report::Legacy(r) => {
+            let r = r.borrow();
+            (r.done, r.throughput_gbps(), r.frames_per_sec())
+        }
+    };
+    MsixTxOutcome {
+        throughput_gbps,
+        frames_per_sec,
+        irqs: stats.get("gic.raised").unwrap_or(0.0) as u64,
+        irqs_coalesced: stats.get("nic.irqs_coalesced").unwrap_or(0.0) as u64,
+        completed: done && outcome == RunOutcome::QueueEmpty,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod msix_tests {
+    use super::*;
+
+    #[test]
+    fn msix_beats_the_intx_baseline_on_throughput() {
+        let intx = run_msix_tx_experiment(&MsixTxExperiment {
+            frames: 128,
+            use_msix: false,
+            ..MsixTxExperiment::default()
+        });
+        let msix = run_msix_tx_experiment(&MsixTxExperiment {
+            frames: 128,
+            queues: 4,
+            ..MsixTxExperiment::default()
+        });
+        assert!(intx.completed && msix.completed);
+        assert!(
+            msix.throughput_gbps > intx.throughput_gbps,
+            "four queues with per-queue vectors must outrun the single \
+             legacy queue: {} vs {} Gb/s",
+            msix.throughput_gbps,
+            intx.throughput_gbps
+        );
+    }
+
+    #[test]
+    fn moderation_trades_interrupt_rate_for_nothing_when_unloaded() {
+        let imm = run_msix_tx_experiment(&MsixTxExperiment {
+            frames: 96,
+            queues: 2,
+            ..MsixTxExperiment::default()
+        });
+        let moderated = run_msix_tx_experiment(&MsixTxExperiment {
+            frames: 96,
+            queues: 2,
+            moderation: tick::us(20),
+            ..MsixTxExperiment::default()
+        });
+        assert!(imm.completed && moderated.completed);
+        assert_eq!(imm.irqs_coalesced, 0);
+        assert!(
+            moderated.irqs < imm.irqs,
+            "holdoff must cut the interrupt rate: {} vs {}",
+            moderated.irqs,
+            imm.irqs
+        );
+        assert!(moderated.irqs_coalesced > 0);
+    }
+}
+
 #[cfg(test)]
 mod topology_tests {
     use super::*;

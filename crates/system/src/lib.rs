@@ -35,10 +35,11 @@ pub mod prelude {
         error_rate_ladder, error_rate_sweep, error_rate_sweep_warm, prepare_dd_warm_start,
         run_dd_experiment, run_dd_experiment_warm, run_dd_sweep_warm, run_fault_experiment,
         run_fault_experiment_warm, run_fault_sweep_warm, run_mmio_experiment,
-        run_nic_rx_experiment, run_nic_tx_experiment, run_sector_microbench,
-        run_topology_experiment, ContentionOutcome, DdExperiment, DdOutcome, DdWarmStart,
-        FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome, NicRxExperiment, NicRxOutcome,
-        NicTxExperiment, NicTxOutcome, TopologyExperiment, TopologyOutcome, WARMUP_TICK,
+        run_msix_tx_experiment, run_nic_rx_experiment, run_nic_tx_experiment,
+        run_sector_microbench, run_topology_experiment, ContentionOutcome, DdExperiment, DdOutcome,
+        DdWarmStart, FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome, MsixTxExperiment,
+        MsixTxOutcome, NicRxExperiment, NicRxOutcome, NicTxExperiment, NicTxOutcome,
+        TopologyExperiment, TopologyOutcome, WARMUP_TICK,
     };
     pub use crate::platform;
     pub use crate::snapshot::{SystemHandle, WarmSeed};
@@ -49,6 +50,7 @@ pub mod prelude {
     };
     pub use crate::workload::dd::{DdConfig, DdReport, DdReportHandle};
     pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
+    pub use crate::workload::msix::{MsixTxConfig, MsixTxReport, MsixTxReportHandle};
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};
     pub use crate::workload::nic_tx::{NicTxConfig, NicTxReport, NicTxReportHandle};
     pub use pcisim_kernel::snapshot::SnapshotError;

@@ -150,7 +150,9 @@ impl BuiltSystem {
     pub fn warm_seed(&self) -> WarmSeed {
         let irq = match self.probe.interrupt {
             InterruptMode::Legacy(irq) => irq,
-            InterruptMode::Msi => MSI_VECTOR,
+            // Message-signaled modes route from the base vector; MSI-X
+            // per-queue vectors are base + vector index.
+            InterruptMode::Msi | InterruptMode::Msix { .. } => MSI_VECTOR,
         };
         WarmSeed { report: self.report.clone(), probe: Some(self.probe.clone()), irqs: vec![irq] }
     }

@@ -149,6 +149,13 @@ pub struct Topology {
     /// the driver enable it. Panics at build time when the tree carries
     /// more than one endpoint.
     pub use_msi: bool,
+    /// Have the driver enable the endpoint's MSI-X structure instead:
+    /// the (single) NIC endpoint is forced `msix_capable`, the interrupt
+    /// controller routes one doorbell word per vector starting at the
+    /// base MSI vector, and [`EndpointHandle::cpu_irq_ports`] exposes one
+    /// CPU notification port per vector. Panics at build time when the
+    /// tree carries more than one endpoint.
+    pub use_msix: bool,
     /// Structured-trace category mask applied to the built simulation.
     pub trace_mask: u32,
 }
@@ -166,6 +173,7 @@ impl Topology {
             iocache_mshrs: 16,
             pcihost_latency: ns(20),
             use_msi: false,
+            use_msix: false,
             trace_mask: 0,
         }
     }
@@ -303,6 +311,7 @@ impl Topology {
             iocache_mshrs: config.iocache_mshrs,
             pcihost_latency: config.pcihost_latency,
             use_msi: config.use_msi,
+            use_msix: config.use_msix,
             trace_mask: config.trace_mask,
         }
     }
@@ -345,6 +354,7 @@ impl Topology {
             next_link: 0,
             next_endpoint: 0,
             use_msi: self.use_msi,
+            use_msix: self.use_msix,
         };
 
         // The root complex: one VP2P per root port, registered on bus 0
@@ -486,6 +496,7 @@ struct Planner {
     next_link: u32,
     next_endpoint: u32,
     use_msi: bool,
+    use_msix: bool,
 }
 
 impl Planner {
@@ -524,7 +535,12 @@ impl Planner {
                     DeviceSpec::Nic(cfg) => {
                         let (nic, cs) = Nic::new(
                             name.clone(),
-                            NicConfig { intx, msi_capable: self.use_msi, ..cfg.clone() },
+                            NicConfig {
+                                intx,
+                                msi_capable: self.use_msi,
+                                msix_capable: cfg.msix_capable || self.use_msix,
+                                ..cfg.clone()
+                            },
                         );
                         (EndpointDevice::Nic(Box::new(nic)), cs)
                     }
@@ -611,6 +627,9 @@ pub struct EndpointHandle {
     pub cpu_mem_port: (ComponentId, PortId),
     /// Interrupt-controller endpoint delivering this endpoint's IRQ.
     pub cpu_irq_port: (ComponentId, PortId),
+    /// One interrupt-controller endpoint per MSI-X vector (vector `v` at
+    /// index `v`); a single entry — `cpu_irq_port` — for legacy INTx/MSI.
+    pub cpu_irq_ports: Vec<(ComponentId, PortId)>,
 }
 
 /// A wired, enumerated, driver-initialized system built from a
@@ -719,7 +738,9 @@ pub fn build_topology(topo: Topology) -> TopologySystem {
     let mut probe = None;
     let mut irqs: Vec<u8> = Vec::with_capacity(plan.endpoints.len());
     if plan.endpoints.len() == 1 {
-        let msi_policy = if topo.use_msi {
+        let msi_policy = if topo.use_msix {
+            MsiPolicy::RequestMsix
+        } else if topo.use_msi {
             MsiPolicy::Request {
                 address: platform::INTC_BASE + u64::from(MSI_VECTOR) * 4,
                 data: u16::from(MSI_VECTOR),
@@ -740,10 +761,15 @@ pub fn build_topology(topo: Topology) -> TopologySystem {
                 assert!(topo.use_msi, "MSI must only engage when requested");
                 MSI_VECTOR
             }
+            InterruptMode::Msix { .. } => {
+                assert!(topo.use_msix, "MSI-X must only engage when requested");
+                MSI_VECTOR
+            }
         });
         probe = Some(info);
     } else {
         assert!(!topo.use_msi, "use_msi needs a single-endpoint topology");
+        assert!(!topo.use_msix, "use_msix needs a single-endpoint topology");
         for ep in &plan.endpoints {
             let info = report.at(ep.bdf).expect("endpoint enumerated");
             irqs.push(info.irq.expect("interrupt pin wired"));
@@ -801,10 +827,29 @@ fn build_planned(
     let mut sim = Simulation::new();
     sim.set_trace_mask(topo.trace_mask);
     let mut intc = InterruptController::new("gic", platform::intc_range());
-    let mut irq_ports: HashMap<u8, PortId> = HashMap::new();
-    let cpu_irqs: Vec<PortId> = irqs
+    // Per-endpoint interrupt vector lists: one legacy line or MSI vector,
+    // or — under MSI-X — one doorbell word per table entry, base + index.
+    let vector_lists: Vec<Vec<u8>> = irqs
         .iter()
-        .map(|&irq| *irq_ports.entry(irq).or_insert_with(|| intc.route_irq(irq)))
+        .enumerate()
+        .map(|(i, &irq)| match &probe {
+            Some(p) if i == 0 => match p.interrupt {
+                InterruptMode::Msix { vectors } => {
+                    (0..vectors).map(|v| MSI_VECTOR + v as u8).collect()
+                }
+                _ => vec![irq],
+            },
+            _ => vec![irq],
+        })
+        .collect();
+    let mut irq_ports: HashMap<u8, PortId> = HashMap::new();
+    let cpu_irqs: Vec<Vec<PortId>> = vector_lists
+        .iter()
+        .map(|list| {
+            list.iter()
+                .map(|&irq| *irq_ports.entry(irq).or_insert_with(|| intc.route_irq(irq)))
+                .collect()
+        })
         .collect();
 
     // Port map: 0 = first CPU workload, 1 = DRAM, 2 = INTC, 3 = PCI
@@ -911,7 +956,8 @@ fn build_planned(
                     irq: irqs[*i],
                     is_disk: ep.is_disk,
                     cpu_mem_port: (membus_id, mem_port),
-                    cpu_irq_port: (intc_id, cpu_irqs[*i]),
+                    cpu_irq_port: (intc_id, cpu_irqs[*i][0]),
+                    cpu_irq_ports: cpu_irqs[*i].iter().map(|&p| (intc_id, p)).collect(),
                 });
             }
         }

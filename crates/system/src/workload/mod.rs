@@ -2,5 +2,6 @@
 
 pub mod dd;
 pub mod mmio;
+pub mod msix;
 pub mod nic_rx;
 pub mod nic_tx;

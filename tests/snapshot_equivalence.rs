@@ -258,6 +258,50 @@ fn warmed_validation(block_bytes: u64) -> pcisim::system::builder::BuiltSystem {
     built
 }
 
+/// Checkpoint an MSI-X run in the middle of its moderation holdoff
+/// windows — armed per-vector timers, coalesced-pending flags, per-queue
+/// rings and the programmed MSI-X table all live state — restore into a
+/// fresh tree and resume: the quiesce tick, statistics and PacketId
+/// allocator are bit-identical to the uninterrupted run, at several cut
+/// points.
+#[test]
+fn msix_moderation_checkpoint_restores_bit_identically() {
+    use pcisim::system::prelude::MsixTxConfig;
+
+    let build = || {
+        let mut built = build_system(SystemConfig::nic_msix(4, us(100)));
+        let report =
+            built.attach_msix_tx(MsixTxConfig { queues: 4, frames: 64, ..MsixTxConfig::default() });
+        (built, report)
+    };
+
+    // Reference: the uninterrupted run, with moderation demonstrably
+    // active (fewer doorbells than frames).
+    let (mut reference, ref_report) = build();
+    assert_eq!(reference.sim.run(MAX_TIME, MAX_EVENTS), RunOutcome::QueueEmpty);
+    let r = ref_report.borrow().clone();
+    assert!(r.done);
+    assert!(r.irqs < 64, "holdoff must be coalescing during this run, took {}", r.irqs);
+    let ref_tick = reference.sim.now();
+    let ref_fnv = stats_fnv(&reference.sim.stats());
+    let ref_pid = reference.sim.next_packet_id();
+
+    for frac in [25u64, 50, 75] {
+        let (mut interrupted, _) = build();
+        let outcome = interrupted.sim.run(ref_tick * frac / 100, MAX_EVENTS);
+        assert!(matches!(outcome, RunOutcome::TimeLimit | RunOutcome::QueueEmpty), "{outcome:?}");
+        let snap = interrupted.checkpoint();
+
+        let (mut resumed, report) = build();
+        resumed.restore(&snap).expect("mid-holdoff checkpoint restores");
+        assert_eq!(resumed.sim.run(MAX_TIME, MAX_EVENTS), RunOutcome::QueueEmpty);
+        assert!(report.borrow().done);
+        assert_eq!(resumed.sim.now(), ref_tick, "quiesce tick at {frac}%");
+        assert_eq!(stats_fnv(&resumed.sim.stats()), ref_fnv, "stats fingerprint at {frac}%");
+        assert_eq!(resumed.sim.next_packet_id(), ref_pid, "PacketId allocator at {frac}%");
+    }
+}
+
 #[test]
 fn truncated_checkpoints_are_rejected_with_typed_errors() {
     let mut built = warmed_validation(64 * 1024);
