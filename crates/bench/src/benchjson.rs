@@ -2,12 +2,15 @@
 //!
 //! The `repro` binary measures the two microbenchmark scenarios of
 //! `benches/simulator_speed.rs` (a crossbar read storm and a saturated
-//! Gen 2 x8 link write storm) plus a full-system multi-queue MSI-X NIC
-//! transmit run, derives ops/sec and raw scheduler events/sec, and emits
-//! them together with per-sweep wall-clock times and
-//! host metadata. CI replays the measurement with `--bench-check` and
-//! fails on a >30% ops/sec regression against the checked-in file, so the
-//! perf trajectory is tracked from the hot-path-overhaul PR onward.
+//! Gen 2 x8 link write storm), a full-system multi-queue MSI-X NIC
+//! transmit run, and two sharded-driver scenarios (a 2-shard cascade cut
+//! and a 4-shard fanout tree, shard counts stamped in the JSON next to
+//! the detected host core count), derives ops/sec and raw scheduler
+//! events/sec, and emits them together with per-sweep wall-clock times
+//! and host metadata. CI replays the measurement with `--bench-check`
+//! and fails on a >30% ops/sec regression against the checked-in file,
+//! so the perf trajectory is tracked from the hot-path-overhaul PR
+//! onward.
 
 use std::time::Instant;
 
@@ -52,9 +55,13 @@ pub struct MicroResult {
     pub events_per_sec: f64,
     /// Wall-clock of the measured iteration, milliseconds.
     pub wall_ms: f64,
+    /// Shard count for scenarios run under the sharded driver (`None`
+    /// for serial scenarios). Recorded in the JSON: sharded rates are
+    /// meaningless without it and the host core count next to them.
+    pub shards: Option<u32>,
 }
 
-fn run_xbar_reads() -> (u64, f64) {
+fn run_xbar_reads() -> (u64, u64, f64) {
     let mut sim = Simulation::new();
     let script = (0..MICRO_OPS).map(|i| (Command::ReadReq, 0x1000 + (i % 64) * 64, 64)).collect();
     let (req, done) = Requester::new("gen", script);
@@ -74,10 +81,10 @@ fn run_xbar_reads() -> (u64, f64) {
     sim.run_to_quiesce();
     let secs = start.elapsed().as_secs_f64();
     assert_eq!(done.borrow().len(), MICRO_OPS as usize);
-    (sim.events_processed(), secs)
+    (MICRO_OPS, sim.events_processed(), secs)
 }
 
-fn run_link_writes() -> (u64, f64) {
+fn run_link_writes() -> (u64, u64, f64) {
     let mut sim = Simulation::new();
     let script =
         (0..MICRO_OPS).map(|i| (Command::WriteReq, 0x4000_0000 + (i % 64) * 64, 64)).collect();
@@ -93,10 +100,10 @@ fn run_link_writes() -> (u64, f64) {
     sim.run_to_quiesce();
     let secs = start.elapsed().as_secs_f64();
     assert_eq!(done.borrow().len(), MICRO_OPS as usize);
-    (sim.events_processed(), secs)
+    (MICRO_OPS, sim.events_processed(), secs)
 }
 
-fn run_msix_tx() -> (u64, f64) {
+fn run_msix_tx() -> (u64, u64, f64) {
     use pcisim_system::prelude::*;
     let mut built = build_system(SystemConfig::nic_msix(4, 0));
     let report = built.attach_msix_tx(MsixTxConfig {
@@ -108,7 +115,43 @@ fn run_msix_tx() -> (u64, f64) {
     built.sim.run_to_quiesce();
     let secs = start.elapsed().as_secs_f64();
     assert!(report.borrow().done, "msix bench transmit must complete");
-    (built.sim.events_processed(), secs)
+    (MICRO_OPS, built.sim.events_processed(), secs)
+}
+
+/// A multi-shard `dd` run over `topo` under the sharded driver; ops are
+/// scheduler events (the sharded acceptance metric is aggregate
+/// events/sec, so the ops gate and the event rate coincide here).
+fn run_sharded_dd(
+    topo: pcisim_system::topology::Topology,
+    shards: usize,
+    block: u64,
+) -> (u64, u64, f64) {
+    use pcisim_system::prelude::*;
+    let mut sys = build_topology_sharded(topo, shards);
+    let mut reports = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        if sys.endpoints[i].is_disk {
+            reports.push(sys.attach_dd(i, DdConfig { block_bytes: block, ..DdConfig::default() }));
+        }
+    }
+    let mut driver = sys.into_driver();
+    let start = Instant::now();
+    driver.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    for r in &reports {
+        assert!(r.borrow().done, "sharded bench dd must complete");
+    }
+    (driver.events_processed(), driver.events_processed(), secs)
+}
+
+/// 2-shard cascade: `cascaded(3)`'s disk stream crossing one cut link.
+fn run_sharded_cascaded3() -> (u64, u64, f64) {
+    run_sharded_dd(pcisim_system::topology::Topology::cascaded(3), 2, 4 * 1024 * 1024)
+}
+
+/// 4-shard fanout: 32 disks over `fanout(2, 4, 4)`, three cut subtrees.
+fn run_sharded_fanout() -> (u64, u64, f64) {
+    run_sharded_dd(pcisim_system::topology::Topology::fanout(2, 4, 4), 4, 256 * 1024)
 }
 
 /// Runs the microbenchmark scenarios, best-of-`samples`, and returns the
@@ -116,28 +159,31 @@ fn run_msix_tx() -> (u64, f64) {
 /// (the MSI-X scenario's timed region does include enumeration and driver
 /// probe — they are part of the system datapath being measured).
 pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
-    type Scenario = (&'static str, fn() -> (u64, f64));
-    let scenarios: [Scenario; 3] = [
-        ("xbar_10k_reads", run_xbar_reads),
-        ("link_10k_writes", run_link_writes),
-        ("msix_4q_tx_10k_frames", run_msix_tx),
+    type Scenario = (&'static str, Option<u32>, fn() -> (u64, u64, f64));
+    let scenarios: [Scenario; 5] = [
+        ("xbar_10k_reads", None, run_xbar_reads),
+        ("link_10k_writes", None, run_link_writes),
+        ("msix_4q_tx_10k_frames", None, run_msix_tx),
+        ("sharded_cascaded3_tx", Some(2), run_sharded_cascaded3),
+        ("sharded_fanout32_dd", Some(4), run_sharded_fanout),
     ];
     scenarios
         .iter()
-        .map(|&(name, run)| {
-            let mut best: Option<(u64, f64)> = None;
+        .map(|&(name, shards, run)| {
+            let mut best: Option<(u64, u64, f64)> = None;
             for _ in 0..samples.max(1) {
-                let (events, secs) = run();
-                if best.is_none_or(|(_, b)| secs < b) {
-                    best = Some((events, secs));
+                let (ops, events, secs) = run();
+                if best.is_none_or(|(_, _, b)| secs < b) {
+                    best = Some((ops, events, secs));
                 }
             }
-            let (events, secs) = best.expect("at least one sample");
+            let (ops, events, secs) = best.expect("at least one sample");
             MicroResult {
                 name,
-                ops_per_sec: MICRO_OPS as f64 / secs,
+                ops_per_sec: ops as f64 / secs,
                 events_per_sec: events as f64 / secs,
                 wall_ms: secs * 1e3,
+                shards,
             }
         })
         .collect()
@@ -154,6 +200,13 @@ pub struct WarmStartResult {
     pub cold_ms: f64,
     /// Wall-clock of the warm sweep (one warmup, every point forked).
     pub warm_ms: f64,
+    /// Scheduler events of warmup each forked point skips re-simulating.
+    pub warm_events_skipped: u64,
+    /// Build + enumeration + driver-probe passes per arm: the cold sweep
+    /// pays one per point, the warm sweep one per distinct block size.
+    pub cold_setups: usize,
+    /// See [`Self::cold_setups`].
+    pub warm_setups: usize,
 }
 
 impl WarmStartResult {
@@ -172,11 +225,16 @@ impl WarmStartResult {
 /// sweep warm-started from one checkpoint, best-of-`samples` per arm.
 ///
 /// Outcomes of the two arms are asserted bit-identical — this benchmark
-/// doubles as a smoke check of warm-start equivalence. Enumeration in
-/// this simulator is a functional config-space walk (microseconds, not
-/// the hours a full-system boot costs), so expect a modest ratio near
-/// 1x; the value of the mechanism is the *forking semantics*, and the
-/// number here keeps the overhead honest.
+/// doubles as a smoke check of warm-start equivalence. The wall-clock
+/// ratio lands near 1.00x *by construction*: the warm arm still
+/// simulates each point's post-warmup workload tail (the overwhelming
+/// majority of events) and additionally pays the checkpoint restore, so
+/// the only savings are the skipped build/enumeration/probe passes and
+/// the warmup events — both microseconds-scale in this simulator, unlike
+/// the full-system boots gem5-style warm starts amortize. To keep the
+/// number honest instead of impressive, the result records exactly what
+/// the warm arm skipped: the warmup events per point and the setup
+/// passes per arm.
 pub fn run_warm_start_benchmark(samples: u32) -> WarmStartResult {
     use pcisim_system::prelude::*;
     let configs: Vec<DdExperiment> = [50u64, 75, 100, 125, 150, 175]
@@ -204,7 +262,18 @@ pub fn run_warm_start_benchmark(samples: u32) -> WarmStartResult {
         assert_eq!(c.throughput_gbps.to_bits(), w.throughput_gbps.to_bits());
         assert_eq!(c.upstream_tlps, w.upstream_tlps);
     }
-    WarmStartResult { configs: configs.len(), cold_ms: cold_best * 1e3, warm_ms: warm_best * 1e3 }
+    // What the warm arm actually skipped, measured outside the timed
+    // region (the warm start is deterministic, so this matches the ones
+    // the timed arm prepared internally).
+    let warm = prepare_dd_warm_start(configs[0].block_bytes);
+    WarmStartResult {
+        configs: configs.len(),
+        cold_ms: cold_best * 1e3,
+        warm_ms: warm_best * 1e3,
+        warm_events_skipped: warm.warm_events,
+        cold_setups: configs.len(),
+        warm_setups: 1,
+    }
 }
 
 fn json_f64(v: f64) -> String {
@@ -256,17 +325,25 @@ pub fn render_json(
         micro.iter().map(|m| format!("\"{}\": {}", m.name, json_f64(m.events_per_sec))).collect();
     s.push_str(&cur.join(", "));
     s.push_str("},\n");
+    s.push_str("    \"shards\": {");
+    let cur: Vec<String> =
+        micro.iter().filter_map(|m| m.shards.map(|n| format!("\"{}\": {n}", m.name))).collect();
+    s.push_str(&cur.join(", "));
+    s.push_str("},\n");
     s.push_str("    \"sweep_wall_ms\": {");
     let cur: Vec<String> = sweep_wall_ms.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
     s.push_str(&cur.join(", "));
     s.push('}');
     if let Some(w) = warm {
         s.push_str(&format!(
-            ",\n    \"warm_start\": {{\"configs\": {}, \"cold_ms\": {}, \"warm_ms\": {}, \"speedup\": {}}}",
+            ",\n    \"warm_start\": {{\n      \"note\": \"near-1x by construction: each warm point still simulates its full post-warmup workload tail and pays the restore; the savings are the setup passes and warmup events recorded here\",\n      \"configs\": {}, \"cold_ms\": {}, \"warm_ms\": {}, \"speedup\": {},\n      \"warm_events_skipped_per_config\": {}, \"cold_setups\": {}, \"warm_setups\": {}\n    }}",
             w.configs,
             json_f64(w.cold_ms),
             json_f64(w.warm_ms),
             json_f64(w.speedup()),
+            w.warm_events_skipped,
+            w.cold_setups,
+            w.warm_setups,
         ));
     }
     s.push_str("\n  }\n}\n");
@@ -463,16 +540,32 @@ mod tests {
                 ops_per_sec: 3_400_000.0,
                 events_per_sec: 10_300_000.5,
                 wall_ms: 2.9,
+                shards: None,
             },
             MicroResult {
                 name: "link_10k_writes",
                 ops_per_sec: 1_700_000.0,
                 events_per_sec: 12_000_000.0,
                 wall_ms: 5.8,
+                shards: None,
+            },
+            MicroResult {
+                name: "sharded_cascaded3_tx",
+                ops_per_sec: 2_000_000.0,
+                events_per_sec: 2_000_000.0,
+                wall_ms: 7.0,
+                shards: Some(2),
             },
         ];
         let sweeps = vec![("fig9a".to_string(), 6_000u64), ("fig9b".to_string(), 9_000u64)];
-        let warm = WarmStartResult { configs: 6, cold_ms: 1000.0, warm_ms: 800.0 };
+        let warm = WarmStartResult {
+            configs: 6,
+            cold_ms: 1000.0,
+            warm_ms: 800.0,
+            warm_events_skipped: 12_345,
+            cold_setups: 6,
+            warm_setups: 1,
+        };
         let text = render_json(&micro, &sweeps, Some(&warm));
         let doc = parse(&text).expect("well-formed");
         assert_eq!(
@@ -483,6 +576,17 @@ mod tests {
             doc.path(&["current", "warm_start", "speedup"]).and_then(Value::as_f64),
             Some(1.25)
         );
+        assert_eq!(
+            doc.path(&["current", "warm_start", "warm_events_skipped_per_config"])
+                .and_then(Value::as_f64),
+            Some(12_345.0)
+        );
+        assert_eq!(
+            doc.path(&["current", "shards", "sharded_cascaded3_tx"]).and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert!(doc.path(&["current", "shards", "xbar_10k_reads"]).is_none());
+        assert!(doc.path(&["host", "cpus"]).and_then(Value::as_f64).is_some_and(|n| n >= 1.0));
         let bare = render_json(&micro, &sweeps, None);
         assert!(parse(&bare).expect("well-formed").path(&["current", "warm_start"]).is_none());
         assert_eq!(
@@ -515,7 +619,7 @@ mod tests {
     #[test]
     fn micro_benchmarks_run_and_report_positive_rates() {
         let results = run_micro_benchmarks(1);
-        assert_eq!(results.len(), 3);
+        assert_eq!(results.len(), 5);
         for r in &results {
             assert!(r.ops_per_sec > 0.0, "{}: {r:?}", r.name);
             assert!(r.events_per_sec >= r.ops_per_sec, "{}: events >= ops", r.name);

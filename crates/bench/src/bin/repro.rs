@@ -1,10 +1,10 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--full] [--jobs N] [--warm-start] [--trace PATH] [--checkpoint PATH]
-//!       [--bench-json PATH] [--bench-check PATH]
+//! repro [--full] [--jobs N] [--shards N] [--warm-start] [--trace PATH]
+//!       [--checkpoint PATH] [--bench-json PATH] [--bench-check PATH]
 //!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology]
-//!       [msix] [all]
+//!       [msix] [shard] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
@@ -23,6 +23,13 @@
 //! `msix` (alias `--msix`) runs the interrupt-delivery experiment: the
 //! same NIC transmit load over legacy INTx vs. per-queue MSI-X vectors,
 //! plus queue-count and per-vector moderation sweeps.
+//!
+//! `shard` (alias `--shard`) runs the shard-scaling experiment: the same
+//! multi-endpoint `dd` run partitioned across 1, 2, … worker shards
+//! (conservative link-lookahead sync), printing aggregate events/sec per
+//! shard count and asserting every count reproduces the serial quiesce
+//! tick and stats FNV bit-for-bit. `--shards N` raises the top of the
+//! ladder (default 4).
 //!
 //! `--jobs N` fans the independent configurations of each Fig. 9 / Table II
 //! sweep across N worker threads (default: all available cores). Every
@@ -68,6 +75,7 @@ struct Opts {
     full: bool,
     jobs: usize,
     warm_start: bool,
+    shards: usize,
 }
 
 fn block_sizes(opts: &Opts) -> Vec<u64> {
@@ -552,6 +560,79 @@ fn msix(opts: &Opts) {
     println!("{}", table::render(&["holdoff", "Gb/s", "irqs", "irqs/frame", "coalesced"], &rows));
 }
 
+/// The shard-scaling tables: the same multi-endpoint `dd` run partitioned
+/// across 1, 2, … worker shards with conservative link-lookahead sync.
+/// Every shard count must reproduce the serial quiesce tick and stats FNV
+/// bit-for-bit; what varies is only the aggregate event rate.
+fn shard_scaling(opts: &Opts) {
+    use pcisim_system::topology::Topology;
+    println!("\n== Shard scaling: conservative link-lookahead parallel runs ==");
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "   host has {cpus} core{}: parallel speedup needs shards <= cores; \
+         identity holds regardless",
+        if cpus == 1 { "" } else { "s" }
+    );
+    let mut ladder: Vec<usize> = Vec::new();
+    let mut n = 1;
+    while n < opts.shards.max(1) {
+        ladder.push(n);
+        n *= 2;
+    }
+    ladder.push(opts.shards.max(1));
+    // The 256-bus architectural limit caps a PCI segment below 256
+    // endpoints (every link consumes a bus number): fanout(3,8,8) — 192
+    // disks on 247 buses — is the widest 3-level tree the spec admits.
+    let arms: Vec<(&str, Topology, u64)> = if opts.full {
+        vec![
+            ("cascaded(3)", Topology::cascaded(3), 16 * MB),
+            ("fanout(3,8,8), 192 disks", Topology::fanout(3, 8, 8), 256 * 1024),
+        ]
+    } else {
+        vec![
+            ("cascaded(3)", Topology::cascaded(3), MB),
+            ("fanout(2,4,4), 32 disks", Topology::fanout(2, 4, 4), 256 * 1024),
+        ]
+    };
+    for (label, topo, block) in arms {
+        println!("\n   {label}, one {}KB dd stream per disk:", block / 1024);
+        let mut rows = Vec::new();
+        let mut base: Option<ShardScalingOutcome> = None;
+        for &shards in &ladder {
+            let out = run_shard_scaling(topo.clone(), shards, block);
+            if let Some(b) = &base {
+                assert_eq!(out.quiesce_tick, b.quiesce_tick, "{label}: quiesce tick must match");
+                assert_eq!(out.stats_fnv, b.stats_fnv, "{label}: stats FNV must match");
+            }
+            rows.push(vec![
+                out.shards.to_string(),
+                out.cut_links.to_string(),
+                out.events.to_string(),
+                format!("{:.1}", out.wall_secs * 1e3),
+                format!("{:.0}", out.events_per_sec()),
+                base.as_ref().map_or("1.00x".to_string(), |b| {
+                    format!("{:.2}x", out.events_per_sec() / b.events_per_sec())
+                }),
+            ]);
+            if base.is_none() {
+                base = Some(out);
+            }
+        }
+        let b = base.expect("ladder is non-empty");
+        println!(
+            "   bit-identical at every shard count: quiesce tick {}, stats fnv {:#018x}",
+            b.quiesce_tick, b.stats_fnv
+        );
+        println!(
+            "{}",
+            table::render(
+                &["shards", "cut links", "events", "wall ms", "events/s", "vs serial"],
+                &rows
+            )
+        );
+    }
+}
+
 /// Re-runs the Table II 150 ns point with tracing, dumps Perfetto JSON to
 /// `path` and prints the per-stage latency attribution (the paper's "where
 /// does the access latency go" question, answered from the trace).
@@ -633,12 +714,15 @@ fn bench_json(path: &str, sweep_wall_ms: &[(String, u64)]) {
     }
     let warm = benchjson::run_warm_start_benchmark(bench_samples());
     println!(
-        "{:>16}: cold {:>8.1} ms vs warm {:>8.1} ms over {} configs ({:.2}x)",
+        "{:>16}: cold {:>8.1} ms vs warm {:>8.1} ms over {} configs ({:.2}x; warm arm \
+         skips {} setup passes + {} warmup events/point, still runs each workload tail)",
         "warm_start",
         warm.cold_ms,
         warm.warm_ms,
         warm.configs,
-        warm.speedup()
+        warm.speedup(),
+        warm.cold_setups - warm.warm_setups,
+        warm.warm_events_skipped,
     );
     std::fs::write(path, benchjson::render_json(&micro, sweep_wall_ms, Some(&warm)))
         .expect("write bench json");
@@ -707,9 +791,12 @@ fn main() {
         std::process::exit(bench_check(&path));
     }
     let warm_start = args.iter().any(|a| a == "--warm-start");
-    let opts = Opts { full, jobs, warm_start };
-    const VALUE_FLAGS: [&str; 5] =
-        ["--trace", "--jobs", "--bench-json", "--bench-check", "--checkpoint"];
+    let shards = value_of("--shards")
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| panic!("--shards needs a number, got {v}")))
+        .unwrap_or(4);
+    let opts = Opts { full, jobs, warm_start, shards };
+    const VALUE_FLAGS: [&str; 6] =
+        ["--trace", "--jobs", "--shards", "--bench-json", "--bench-check", "--checkpoint"];
     let mut skip_next = false;
     let picked: Vec<&str> = args
         .iter()
@@ -774,6 +861,9 @@ fn main() {
     }
     if run_all || picked.contains(&"msix") || picked.contains(&"--msix") {
         timed("msix", &msix);
+    }
+    if run_all || picked.contains(&"shard") || picked.contains(&"--shard") {
+        timed("shard", &shard_scaling);
     }
     if let Some(path) = trace_path {
         trace_dump(&path);

@@ -405,6 +405,7 @@ impl Component for IdeDisk {
                 self.flush_pio(ctx);
             }
             Event::DelayedPacket { tag, .. } => panic!("{}: unknown tag {tag}", self.name),
+            Event::StampedPacket { .. } => panic!("{}: unexpected stamped packet", self.name),
         }
     }
 

@@ -1137,6 +1137,7 @@ impl Component for Nic {
                 self.flush_pio(ctx);
             }
             Event::DelayedPacket { tag, .. } => panic!("{}: unknown tag {tag}", self.name),
+            Event::StampedPacket { .. } => panic!("{}: unexpected stamped packet", self.name),
         }
     }
 

@@ -13,23 +13,30 @@
 //! - a ring of [`NUM_BUCKETS`] buckets covers the windows immediately
 //!   after the currently open one (`cur_window`);
 //! - entries for the open window live in a small binary heap (`cur`) so
-//!   same-window entries pop in exact `(tick, seq)` order;
+//!   same-window entries pop in exact `(tick, order)` order;
 //! - entries beyond the ring horizon go to an overflow heap and migrate
 //!   into the ring as the calendar advances.
 //!
 //! Items themselves live in a slab and are addressed by slot index from
-//! the ring/heaps, so bucket drains and heap sifts move 24-byte keys
+//! the ring/heaps, so bucket drains and heap sifts move small keys
 //! instead of full event payloads (~128 bytes for a packet-carrying
 //! action); each item is written and read exactly once.
 //!
-//! Determinism: every push is stamped with a monotonically increasing
-//! sequence number, and [`CalendarQueue::pop`] always yields the globally
-//! smallest `(tick, seq)` pair — bit-identical to the `BinaryHeap` ordering
-//! it replaces. The invariants that make the window-jumping correct are
-//! spelled out in DESIGN.md §"Scheduler internals".
+//! Determinism: every push carries a caller-supplied **order stamp**, and
+//! [`CalendarQueue::pop`] always yields the globally smallest
+//! `(tick, order)` pair. The simulation kernel derives the stamp from the
+//! scheduling component's id and a per-component counter, which makes the
+//! pop order *partition-independent*: a simulation split across shards
+//! (see `crate::shard`) generates the identical stamp for every event it
+//! would generate serially, so same-tick ties break identically no matter
+//! how the component tree is divided. Order stamps must be unique among
+//! concurrently queued entries — the kernel guarantees this by never
+//! reusing a `(component, stream, counter)` triple. The invariants that
+//! make the window-jumping correct are spelled out in DESIGN.md §"Scheduler
+//! internals".
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::tick::Tick;
@@ -47,45 +54,49 @@ pub const NUM_BUCKETS: u64 = 1024;
 
 const MASK: u64 = NUM_BUCKETS - 1;
 
-/// Ordering key plus the slab slot holding the item. `seq` is unique, so
-/// `slot` never participates in comparisons.
+/// Ordering key plus the slab slot holding the item. `order` is unique,
+/// so `slot` never participates in comparisons.
 #[derive(Debug, Clone, Copy)]
 struct Key {
     tick: Tick,
-    seq: u64,
+    order: u64,
     slot: u32,
 }
 
 /// Names one queued entry so it can later be cancelled with
-/// [`CalendarQueue::cancel`]. The sequence stamp makes handles single-use:
+/// [`CalendarQueue::cancel`]. The order stamp makes handles single-use:
 /// once the entry has popped (or been cancelled) the handle goes stale and
-/// further cancels are no-ops, even if the slab slot has been reused.
+/// further cancels are no-ops, even if the slab slot has been reused. The
+/// slot doubles as a *hint*: a handle that survived a checkpoint/restore
+/// cycle may name a stale slot, in which case the cancel falls back to the
+/// order-stamp side map built during [`CalendarQueue::restore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventHandle {
     slot: u32,
-    seq: u64,
+    order: u64,
 }
 
 impl EventHandle {
-    /// Serializes the handle for a checkpoint. Slab slots and sequence
-    /// stamps survive [`CalendarQueue::restore`] verbatim, so a restored
-    /// handle cancels the same queued entry it did before the checkpoint.
+    /// Serializes the handle for a checkpoint. Order stamps are globally
+    /// unique and never reused, so a restored handle cancels the same
+    /// logical entry it did before the checkpoint even though slab slots
+    /// are reassigned on restore.
     pub fn encode(&self, w: &mut StateWriter) {
         w.u32(self.slot);
-        w.u64(self.seq);
+        w.u64(self.order);
     }
 
     /// Deserializes a handle written by [`EventHandle::encode`].
     pub fn decode(r: &mut StateReader<'_>) -> Result<Self, SnapshotError> {
         let slot = r.u32()?;
-        let seq = r.u64()?;
-        Ok(Self { slot, seq })
+        let order = r.u64()?;
+        Ok(Self { slot, order })
     }
 }
 
 impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
-        self.tick == other.tick && self.seq == other.seq
+        self.tick == other.tick && self.order == other.order
     }
 }
 impl Eq for Key {}
@@ -96,12 +107,12 @@ impl PartialOrd for Key {
 }
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+        (self.tick, self.order).cmp(&(other.tick, other.order))
     }
 }
 
-/// A priority queue over `(tick, insertion order)` optimised for
-/// near-future pushes.
+/// A priority queue over `(tick, order stamp)` optimised for near-future
+/// pushes.
 ///
 /// Invariants (checked in debug builds, argued in DESIGN.md):
 ///
@@ -118,9 +129,8 @@ pub struct CalendarQueue<T> {
     cur: BinaryHeap<Reverse<Key>>,
     /// Entries at or beyond `cur_window + NUM_BUCKETS` windows.
     overflow: BinaryHeap<Reverse<Key>>,
-    /// Item storage addressed by `Key::slot`, stamped with the sequence
-    /// number of the push that filled it (`None` = cancelled tombstone or
-    /// vacant).
+    /// Item storage addressed by `Key::slot`, stamped with the order of
+    /// the push that filled it (`None` = cancelled tombstone or vacant).
     slab: Vec<(u64, Option<T>)>,
     /// Vacant slab slots available for reuse.
     free: Vec<u32>,
@@ -130,7 +140,11 @@ pub struct CalendarQueue<T> {
     ring_len: usize,
     /// Live (non-cancelled) entries.
     len: usize,
-    seq: u64,
+    /// Order-stamp → slot side map for entries rebuilt by
+    /// [`CalendarQueue::restore`]: handles saved before the checkpoint
+    /// carry slot hints from the *old* queue, so cancels resolve through
+    /// this map when the hint misses. Entries are pruned lazily.
+    restored: BTreeMap<u64, u32>,
 }
 
 impl<T> Default for CalendarQueue<T> {
@@ -151,7 +165,7 @@ impl<T> CalendarQueue<T> {
             cur_window: 0,
             ring_len: 0,
             len: 0,
-            seq: 0,
+            restored: BTreeMap::new(),
         }
     }
 
@@ -167,26 +181,25 @@ impl<T> CalendarQueue<T> {
         self.len == 0
     }
 
-    /// Queues `item` at `tick`, stamped with the next sequence number.
-    /// Later pushes at the same tick pop later (FIFO within a tick).
-    /// The returned handle can cancel the entry before it pops.
+    /// Queues `item` at `tick` with the caller-supplied `order` stamp.
+    /// Entries pop in `(tick, order)` order; stamps must be unique among
+    /// concurrently queued entries. The returned handle can cancel the
+    /// entry before it pops.
     #[inline]
-    pub fn push(&mut self, tick: Tick, item: T) -> EventHandle {
-        let seq = self.seq;
-        self.seq += 1;
+    pub fn push(&mut self, tick: Tick, order: u64, item: T) -> EventHandle {
         self.len += 1;
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.slab[slot as usize] = (seq, Some(item));
+                self.slab[slot as usize] = (order, Some(item));
                 slot
             }
             None => {
                 let slot = self.slab.len() as u32;
-                self.slab.push((seq, Some(item)));
+                self.slab.push((order, Some(item)));
                 slot
             }
         };
-        let key = Key { tick, seq, slot };
+        let key = Key { tick, order, slot };
         let w = tick >> BUCKET_BITS;
         if w <= self.cur_window {
             self.cur.push(Reverse(key));
@@ -196,7 +209,7 @@ impl<T> CalendarQueue<T> {
         } else {
             self.overflow.push(Reverse(key));
         }
-        EventHandle { slot, seq }
+        EventHandle { slot, order }
     }
 
     /// Cancels the entry named by `handle`, returning its item; `None`
@@ -207,11 +220,21 @@ impl<T> CalendarQueue<T> {
     /// tombstones are skipped silently, so a cancelled event never fires,
     /// never advances time, and never perturbs the order of live events.
     pub fn cancel(&mut self, handle: EventHandle) -> Option<T> {
-        let (stamp, item) = self.slab.get_mut(handle.slot as usize)?;
-        if *stamp != handle.seq {
-            return None;
-        }
-        let item = item.take()?;
+        let slot = match self.slab.get(handle.slot as usize) {
+            Some((stamp, _)) if *stamp == handle.order => handle.slot,
+            _ => {
+                // Slot hint misses: the handle may predate a restore. The
+                // side map resolves the order stamp to the rebuilt slot;
+                // stale map entries (entry already popped, slot reused)
+                // are detected by the stamp check and pruned.
+                let slot = self.restored.remove(&handle.order)?;
+                match self.slab.get(slot as usize) {
+                    Some((stamp, _)) if *stamp == handle.order => slot,
+                    _ => return None,
+                }
+            }
+        };
+        let item = self.slab[slot as usize].1.take()?;
         self.len -= 1;
         // The slot is NOT freed here: its key still sits in a bucket or
         // heap, and a reused slot would make that stale key resurrect the
@@ -285,7 +308,7 @@ impl<T> CalendarQueue<T> {
         self.cur.peek().map(|&Reverse(key)| key.tick)
     }
 
-    /// Removes and returns the entry with the smallest `(tick, seq)`.
+    /// Removes and returns the entry with the smallest `(tick, order)`.
     #[inline]
     pub fn pop(&mut self) -> Option<(Tick, T)> {
         self.settle_live();
@@ -296,11 +319,24 @@ impl<T> CalendarQueue<T> {
         Some((key.tick, item))
     }
 
+    /// Like [`CalendarQueue::pop`], but also yields the popped entry's
+    /// order stamp — the dispatch loop forwards it to the tracer so trace
+    /// streams from different shards can be merged deterministically.
+    #[inline]
+    pub fn pop_stamped(&mut self) -> Option<(Tick, u64, T)> {
+        self.settle_live();
+        let Reverse(key) = self.cur.pop()?;
+        self.len -= 1;
+        let item = self.slab[key.slot as usize].1.take().expect("live head after settle_live");
+        self.free.push(key.slot);
+        Some((key.tick, key.order, item))
+    }
+
     /// Fused peek-and-pop for the dispatch loop: settles once, then pops
     /// the head only if its tick is `<= limit`. `Err(head_tick)` reports a
     /// head beyond the limit without disturbing it; `Ok(None)` means empty.
     #[inline]
-    pub fn pop_if_at_most(&mut self, limit: Tick) -> Result<Option<(Tick, T)>, Tick> {
+    pub fn pop_if_at_most(&mut self, limit: Tick) -> Result<Option<(Tick, u64, T)>, Tick> {
         self.settle_live();
         let Some(&Reverse(head)) = self.cur.peek() else { return Ok(None) };
         if head.tick > limit {
@@ -310,118 +346,105 @@ impl<T> CalendarQueue<T> {
         self.len -= 1;
         let item = self.slab[key.slot as usize].1.take().expect("live head after settle_live");
         self.free.push(key.slot);
-        Ok(Some((key.tick, item)))
+        Ok(Some((key.tick, key.order, item)))
     }
 
-    /// Serializes the queue into a checkpoint: the sequence allocator, the
-    /// slab free list, and every pending key — live entries *and* cancelled
-    /// tombstones — as portable `(tick, seq, slot)` triples sorted by pop
-    /// order. Slot indices and sequence stamps are preserved exactly so
-    /// that [`EventHandle`]s held by components (e.g. armed completion
-    /// timers) remain valid against the restored queue. Live items are
-    /// encoded by `enc`.
-    pub fn save(&self, w: &mut StateWriter, mut enc: impl FnMut(&mut StateWriter, &T)) {
-        w.u64(self.seq);
-        w.usize(self.slab.len());
-        w.usize(self.free.len());
-        for &slot in &self.free {
-            w.u32(slot);
-        }
-        let mut keys: Vec<Key> =
-            Vec::with_capacity(self.cur.len() + self.overflow.len() + self.ring_len);
-        keys.extend(self.cur.iter().map(|&Reverse(k)| k));
-        keys.extend(self.overflow.iter().map(|&Reverse(k)| k));
-        for bucket in &self.buckets {
-            keys.extend_from_slice(bucket);
-        }
-        keys.sort_by_key(|k| (k.tick, k.seq));
-        w.usize(keys.len());
-        for k in keys {
-            w.u64(k.tick);
-            w.u64(k.seq);
-            w.u32(k.slot);
-            match &self.slab[k.slot as usize].1 {
-                Some(item) => {
-                    w.bool(true);
-                    enc(w, item);
-                }
-                None => w.bool(false),
+    /// Creates an empty queue with the calendar cursor positioned for
+    /// simulated time `now` (purely a placement optimisation; pop order is
+    /// independent of the cursor).
+    pub(crate) fn with_cursor(now: Tick) -> Self {
+        let mut q = Self::new();
+        q.cur_window = now >> BUCKET_BITS;
+        q
+    }
+
+    /// Pushes a checkpoint-restored entry and registers it in the
+    /// order-stamp side map, so [`EventHandle`]s minted before the
+    /// checkpoint can still cancel it.
+    pub(crate) fn push_restored(&mut self, tick: Tick, order: u64, item: T) {
+        let handle = self.push(tick, order, item);
+        self.restored.insert(order, handle.slot);
+    }
+
+    /// Visits every live (non-cancelled) entry in arbitrary order. Used by
+    /// checkpointing and by the sharded driver's global state gather.
+    pub fn for_each_live(&self, mut f: impl FnMut(Tick, u64, &T)) {
+        let mut visit = |key: &Key| {
+            if let (stamp, Some(item)) = &self.slab[key.slot as usize] {
+                debug_assert_eq!(*stamp, key.order);
+                f(key.tick, key.order, item);
             }
+        };
+        for Reverse(k) in self.cur.iter() {
+            visit(k);
+        }
+        for Reverse(k) in self.overflow.iter() {
+            visit(k);
+        }
+        for bucket in &self.buckets {
+            for k in bucket {
+                visit(k);
+            }
+        }
+    }
+
+    /// Serializes the queue into a checkpoint as portable `(tick, order)`
+    /// entries sorted by pop order. Cancelled tombstones are *not* saved —
+    /// they are logically gone — and slab slots are not preserved: the
+    /// format is independent of the physical layout, which is what lets a
+    /// checkpoint taken by an N-shard run restore into an M-shard (or
+    /// serial) run. Live items are encoded by `enc`.
+    pub fn save(&self, w: &mut StateWriter, mut enc: impl FnMut(&mut StateWriter, &T)) {
+        let mut keys: Vec<(Tick, u64)> = Vec::with_capacity(self.len);
+        self.for_each_live(|tick, order, _| keys.push((tick, order)));
+        keys.sort_unstable();
+        w.usize(keys.len());
+        // Entries are located slot-by-slot; build an order → slot index to
+        // emit them in sorted order without cloning items.
+        let mut slots: BTreeMap<u64, u32> = BTreeMap::new();
+        for (slot, (stamp, item)) in self.slab.iter().enumerate() {
+            if item.is_some() {
+                slots.insert(*stamp, slot as u32);
+            }
+        }
+        for (tick, order) in keys {
+            w.u64(tick);
+            w.u64(order);
+            let slot = slots[&order];
+            enc(w, self.slab[slot as usize].1.as_ref().expect("live entry"));
         }
     }
 
     /// Rebuilds a queue from [`CalendarQueue::save`] output, with the
     /// calendar cursor positioned for simulated time `now`. Items are
     /// decoded by `dec`. The rebuilt queue pops in the identical global
-    /// `(tick, seq)` order, reuses the identical slab slots and free list,
-    /// and continues the sequence counter — so post-restore scheduling is
-    /// bit-identical to the uninterrupted original.
+    /// `(tick, order)` order; [`EventHandle`]s saved before the checkpoint
+    /// resolve through the order-stamp side map, so post-restore
+    /// cancellation behaves exactly like the uninterrupted original.
     pub fn restore(
         now: Tick,
         r: &mut StateReader<'_>,
         mut dec: impl FnMut(&mut StateReader<'_>) -> Result<T, SnapshotError>,
     ) -> Result<Self, SnapshotError> {
-        let seq = r.u64()?;
-        let slab_len = r.usize()?;
-        let free_len = r.usize()?;
-        let mut free = Vec::new();
-        for _ in 0..free_len {
-            free.push(r.u32()?);
-        }
-        let n_keys = r.usize()?;
-        let mut entries = Vec::new();
-        for _ in 0..n_keys {
+        let n = r.usize()?;
+        let mut q = Self::with_cursor(now);
+        let mut last: Option<(Tick, u64)> = None;
+        for _ in 0..n {
             let tick = r.u64()?;
-            let kseq = r.u64()?;
-            let slot = r.u32()?;
-            let item = if r.bool()? { Some(dec(r)?) } else { None };
-            entries.push((tick, kseq, slot, item));
-        }
-        // Every slab slot is accounted for exactly once: vacant slots sit
-        // in the free list, occupied ones carry exactly one pending key.
-        if slab_len != free.len() + entries.len() {
-            return Err(SnapshotError::Corrupt("slab population does not match its size".into()));
-        }
-        let mut q = Self::new();
-        q.seq = seq;
-        q.slab.resize_with(slab_len, || (0, None));
-        q.cur_window = now >> BUCKET_BITS;
-        let mut occupied = vec![false; slab_len];
-        for &slot in &free {
-            let i = slot as usize;
-            if i >= slab_len || occupied[i] {
-                return Err(SnapshotError::Corrupt("free-list slot invalid or duplicated".into()));
-            }
-            occupied[i] = true;
-        }
-        q.free = free;
-        for (tick, kseq, slot, item) in entries {
-            let i = slot as usize;
-            if i >= slab_len || occupied[i] {
-                return Err(SnapshotError::Corrupt("entry slot invalid or duplicated".into()));
-            }
-            occupied[i] = true;
+            let order = r.u64()?;
             if tick < now {
                 return Err(SnapshotError::Corrupt("queued entry is in the past".into()));
             }
-            if kseq >= seq {
-                return Err(SnapshotError::Corrupt("entry sequence beyond the allocator".into()));
+            if let Some(prev) = last {
+                if prev >= (tick, order) {
+                    return Err(SnapshotError::Corrupt(
+                        "queue entries out of order or duplicated".into(),
+                    ));
+                }
             }
-            let live = item.is_some();
-            q.slab[i] = (kseq, item);
-            let key = Key { tick, seq: kseq, slot };
-            let w = tick >> BUCKET_BITS;
-            if w <= q.cur_window {
-                q.cur.push(Reverse(key));
-            } else if w - q.cur_window < NUM_BUCKETS {
-                q.ring_len += 1;
-                q.buckets[(w & MASK) as usize].push(key);
-            } else {
-                q.overflow.push(Reverse(key));
-            }
-            if live {
-                q.len += 1;
-            }
+            last = Some((tick, order));
+            let item = dec(r)?;
+            q.push_restored(tick, order, item);
         }
         Ok(q)
     }
@@ -430,6 +453,17 @@ impl<T> CalendarQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pushes with a test-local monotonically increasing order stamp, the
+    /// way the simulation kernel's serial scheduler effectively behaves.
+    struct Seq(u64);
+    impl Seq {
+        fn push<T>(&mut self, q: &mut CalendarQueue<T>, tick: Tick, item: T) -> EventHandle {
+            let order = self.0;
+            self.0 += 1;
+            q.push(tick, order, item)
+        }
+    }
 
     #[test]
     fn empty_queue_behaves() {
@@ -441,12 +475,13 @@ mod tests {
     }
 
     #[test]
-    fn pops_in_tick_then_insertion_order() {
+    fn pops_in_tick_then_order_stamp_order() {
         let mut q = CalendarQueue::new();
-        q.push(50, "b");
-        q.push(10, "a");
-        q.push(50, "c");
-        q.push(5, "z");
+        let mut s = Seq(0);
+        s.push(&mut q, 50, "b");
+        s.push(&mut q, 10, "a");
+        s.push(&mut q, 50, "c");
+        s.push(&mut q, 5, "z");
         assert_eq!(q.pop(), Some((5, "z")));
         assert_eq!(q.pop(), Some((10, "a")));
         assert_eq!(q.pop(), Some((50, "b")));
@@ -455,15 +490,27 @@ mod tests {
     }
 
     #[test]
+    fn same_tick_ties_break_on_order_not_insertion() {
+        // The stamp, not the push sequence, decides same-tick ordering —
+        // the property that makes sharded execution order-identical.
+        let mut q = CalendarQueue::new();
+        q.push(40, 7, "late");
+        q.push(40, 3, "early");
+        assert_eq!(q.pop(), Some((40, "early")));
+        assert_eq!(q.pop(), Some((40, "late")));
+    }
+
+    #[test]
     fn far_future_entries_route_through_overflow() {
         let mut q = CalendarQueue::new();
+        let mut s = Seq(0);
         let far = (NUM_BUCKETS + 5) << BUCKET_BITS;
-        q.push(far, "far");
-        q.push(1, "near");
+        s.push(&mut q, far, "far");
+        s.push(&mut q, 1, "near");
         assert_eq!(q.pop(), Some((1, "near")));
         assert_eq!(q.next_tick(), Some(far));
         // A push landing before the far entry, after the cursor advanced.
-        q.push(far - 3, "nearer");
+        s.push(&mut q, far - 3, "nearer");
         assert_eq!(q.pop(), Some((far - 3, "nearer")));
         assert_eq!(q.pop(), Some((far, "far")));
         assert!(q.is_empty());
@@ -474,10 +521,11 @@ mod tests {
         // Two ticks whose windows map to the same ring bucket (w and
         // w + NUM_BUCKETS) must still pop in tick order.
         let mut q = CalendarQueue::new();
+        let mut s = Seq(0);
         let near = 3 << BUCKET_BITS;
         let colliding = (3 + NUM_BUCKETS) << BUCKET_BITS;
-        q.push(colliding, "late");
-        q.push(near, "early");
+        s.push(&mut q, colliding, "late");
+        s.push(&mut q, near, "early");
         assert_eq!(q.pop(), Some((near, "early")));
         assert_eq!(q.pop(), Some((colliding, "late")));
     }
@@ -485,9 +533,10 @@ mod tests {
     #[test]
     fn slab_slots_are_recycled_across_push_pop_cycles() {
         let mut q = CalendarQueue::new();
+        let mut s = Seq(0);
         for round in 0u64..1000 {
-            q.push(round * 7, round);
-            q.push(round * 7 + 3, round + 1_000_000);
+            s.push(&mut q, round * 7, round);
+            s.push(&mut q, round * 7 + 3, round + 1_000_000);
             assert_eq!(q.pop(), Some((round * 7, round)));
             assert_eq!(q.pop(), Some((round * 7 + 3, round + 1_000_000)));
         }
@@ -499,9 +548,10 @@ mod tests {
     #[test]
     fn cancel_removes_an_entry_without_disturbing_the_rest() {
         let mut q = CalendarQueue::new();
-        q.push(10, "a");
-        let h = q.push(20, "b");
-        q.push(30, "c");
+        let mut s = Seq(0);
+        s.push(&mut q, 10, "a");
+        let h = s.push(&mut q, 20, "b");
+        s.push(&mut q, 30, "c");
         assert_eq!(q.cancel(h), Some("b"));
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop(), Some((10, "a")));
@@ -513,15 +563,16 @@ mod tests {
     #[test]
     fn stale_handles_are_noops() {
         let mut q = CalendarQueue::new();
-        let h = q.push(5, "x");
+        let mut s = Seq(0);
+        let h = s.push(&mut q, 5, "x");
         assert_eq!(q.pop(), Some((5, "x")));
         assert_eq!(q.cancel(h), None, "popped entry cannot be cancelled");
-        let h2 = q.push(7, "y");
+        let h2 = s.push(&mut q, 7, "y");
         assert_eq!(q.cancel(h2), Some("y"));
         assert_eq!(q.cancel(h2), None, "double cancel is a no-op");
         // The tombstone slot must not be resurrectable by the stale handle
         // after a new push reuses the slab.
-        let h3 = q.push(9, "z");
+        let h3 = s.push(&mut q, 9, "z");
         assert_eq!(q.cancel(h), None);
         assert_eq!(q.pop(), Some((9, "z")));
         assert_eq!(q.cancel(h3), None);
@@ -530,28 +581,79 @@ mod tests {
     #[test]
     fn cancelled_head_does_not_gate_next_tick_or_pop_if_at_most() {
         let mut q = CalendarQueue::new();
-        let h = q.push(10, "dead");
-        q.push(500, "live");
+        let mut s = Seq(0);
+        let h = s.push(&mut q, 10, "dead");
+        s.push(&mut q, 500, "live");
         assert_eq!(q.cancel(h), Some("dead"));
         // The tombstone at tick 10 must be invisible: the head is 500.
         assert_eq!(q.next_tick(), Some(500));
         assert_eq!(q.pop_if_at_most(100), Err(500));
-        assert_eq!(q.pop_if_at_most(500), Ok(Some((500, "live"))));
+        assert_eq!(q.pop_if_at_most(500), Ok(Some((500, 1, "live"))));
         assert_eq!(q.pop_if_at_most(u64::MAX), Ok(None));
     }
 
     #[test]
     fn cancel_in_far_future_windows_reclaims_on_reach() {
         let mut q = CalendarQueue::new();
-        let ring = q.push(5 << BUCKET_BITS, "ring");
+        let mut s = Seq(0);
+        let ring = s.push(&mut q, 5 << BUCKET_BITS, "ring");
         let far = (NUM_BUCKETS + 9) << BUCKET_BITS;
-        let over = q.push(far, "overflow");
-        q.push(1, "now");
+        let over = s.push(&mut q, far, "overflow");
+        s.push(&mut q, 1, "now");
         assert_eq!(q.cancel(ring), Some("ring"));
         assert_eq!(q.cancel(over), Some("overflow"));
         assert_eq!(q.pop(), Some((1, "now")));
         assert_eq!(q.pop(), None, "tombstones across ring and overflow never surface");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn save_restore_round_trips_and_resolves_old_handles() {
+        let mut q = CalendarQueue::new();
+        let mut s = Seq(0);
+        s.push(&mut q, 30, 300u64);
+        let h_live = s.push(&mut q, 10, 100u64);
+        let h_dead = s.push(&mut q, 20, 200u64);
+        s.push(&mut q, (NUM_BUCKETS + 3) << BUCKET_BITS, 999u64);
+        assert_eq!(q.cancel(h_dead), Some(200));
+        let mut w = StateWriter::new();
+        q.save(&mut w, |w, v| w.u64(*v));
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let mut q2: CalendarQueue<u64> = CalendarQueue::restore(0, &mut r, |r| r.u64()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(q2.len(), 3, "tombstones are not saved");
+        // A handle from the pre-restore queue cancels through the side map.
+        assert_eq!(q2.cancel(h_live), Some(100));
+        assert_eq!(q2.cancel(h_live), None);
+        assert_eq!(q2.pop(), Some((30, 300)));
+        assert_eq!(q2.pop(), Some(((NUM_BUCKETS + 3) << BUCKET_BITS, 999)));
+        assert_eq!(q2.pop(), None);
+    }
+
+    #[test]
+    fn restore_rejects_out_of_order_or_past_entries() {
+        // Past entry.
+        let mut w = StateWriter::new();
+        w.usize(1);
+        w.u64(5); // tick
+        w.u64(0); // order
+        w.u64(1); // item
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert!(CalendarQueue::<u64>::restore(10, &mut r, |r| r.u64()).is_err());
+        // Duplicated key.
+        let mut w = StateWriter::new();
+        w.usize(2);
+        w.u64(5);
+        w.u64(7);
+        w.u64(1);
+        w.u64(5);
+        w.u64(7);
+        w.u64(2);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert!(CalendarQueue::<u64>::restore(0, &mut r, |r| r.u64()).is_err());
     }
 
     #[test]
@@ -573,7 +675,7 @@ mod tests {
                         0..=7 => r % 300_000,
                         _ => (NUM_BUCKETS << BUCKET_BITS) + r % 1_000_000,
                     };
-                    let h = q.push(now + delay, seq);
+                    let h = q.push(now + delay, seq, seq);
                     reference.push(Reverse((now + delay, seq)));
                     handles.push((h, now + delay, seq));
                     seq += 1;
@@ -628,7 +730,7 @@ mod tests {
                     7 | 8 => r % (NUM_BUCKETS << BUCKET_BITS), // across the ring
                     _ => (NUM_BUCKETS << BUCKET_BITS) * 3 + r % 1_000_000, // overflow
                 };
-                q.push(now + delay, seq);
+                q.push(now + delay, seq, seq);
                 reference.push(Reverse((now + delay, seq)));
                 seq += 1;
             } else if let Some((tick, item)) = q.pop() {

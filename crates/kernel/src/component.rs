@@ -32,6 +32,7 @@ use crate::packet::Packet;
 use crate::sim::Ctx;
 use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::stats::StatsBuilder;
+use crate::tick::Tick;
 
 /// Identifies a component within a [`Simulation`](crate::sim::Simulation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,6 +83,19 @@ pub enum Event {
     DelayedPacket {
         /// Component-private discriminator.
         tag: u32,
+        /// The packet being delayed.
+        pkt: Packet,
+    },
+    /// A delayed packet that also carries an origin timestamp — used by the
+    /// link layer to ship a TLP's admission tick along the wire, so the
+    /// receiving end can attribute delivery latency without reaching into
+    /// the transmitting end's state (the two ends may live in different
+    /// shards).
+    StampedPacket {
+        /// Component-private discriminator.
+        tag: u32,
+        /// The tick the origin stamped on the packet (e.g. link admission).
+        stamp: Tick,
         /// The packet being delayed.
         pkt: Packet,
     },

@@ -42,6 +42,7 @@ pub mod component;
 pub mod dram;
 pub mod iocache;
 pub mod packet;
+pub mod shard;
 pub mod sim;
 pub mod snapshot;
 pub mod stats;

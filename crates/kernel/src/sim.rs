@@ -4,8 +4,12 @@
 //! port wiring. Packet delivery is synchronous (gem5-style): the receiver's
 //! handler runs nested inside the sender's `try_send_*` call and returns an
 //! accept/refuse outcome immediately. Timers and retry notifications are
-//! queued and fire in strict `(tick, insertion order)` order, so execution
-//! is fully deterministic.
+//! queued and fire in strict `(tick, order stamp)` order, where the stamp
+//! is derived from the *scheduling* component's id and a per-component
+//! counter — never from global insertion order. That makes the dispatch
+//! order **partition-independent**: a simulation split across shards (see
+//! [`crate::shard`]) stamps every event exactly as the serial run would,
+//! so sharded execution is bit-identical to serial execution.
 //!
 //! ```
 //! use pcisim_kernel::sim::Simulation;
@@ -39,16 +43,16 @@ pub enum RunOutcome {
 }
 
 #[derive(Debug)]
-enum ActionBody {
+pub(crate) enum ActionBody {
     Event(Event),
     Retry { port: PortId },
 }
 
 /// A queued dispatch: which component to call and with what. Ordering
-/// (tick, insertion sequence) is owned by the [`CalendarQueue`].
-struct Action {
-    target: ComponentId,
-    body: ActionBody,
+/// (tick, order stamp) is owned by the [`CalendarQueue`].
+pub(crate) struct Action {
+    pub(crate) target: ComponentId,
+    pub(crate) body: ActionBody,
 }
 
 type Endpoint = (ComponentId, PortId);
@@ -58,28 +62,94 @@ type Endpoint = (ComponentId, PortId);
 /// every in-flight DMA burst the experiments produce.
 const PAYLOAD_POOL_CAP: usize = 256;
 
+/// Bit layout of the order stamp: `gid:16 | stream:8 | counter:40`.
+/// The stamp is a pure function of *which component* scheduled the event,
+/// on *which stream*, for the *how-many-th* time — all quantities every
+/// shard computes identically — so same-tick ties break the same way no
+/// matter how the component tree is partitioned.
+pub(crate) const ORDER_GID_SHIFT: u32 = 48;
+pub(crate) const ORDER_STREAM_SHIFT: u32 = 40;
+pub(crate) const ORDER_COUNTER_MASK: u64 = (1 << ORDER_STREAM_SHIFT) - 1;
+
+/// Number of independent scheduling streams per component. Stream 0 is the
+/// default; the split-capable link layer uses one stream per physical link
+/// end so each half of a cut link burns its own counter sequence.
+pub(crate) const NUM_STREAMS: usize = 2;
+
+/// Bit layout of a [`PacketId`]: `gid:24 | counter:40`, allocated per
+/// component rather than from a global cursor for the same
+/// partition-independence reason as the order stamp.
+pub(crate) const PKT_GID_SHIFT: u32 = 40;
+pub(crate) const PKT_COUNTER_MASK: u64 = (1 << PKT_GID_SHIFT) - 1;
+
+/// One event bound for a component in another shard, recorded by
+/// [`Ctx::remote_schedule`] and drained by the sharded driver at the next
+/// window barrier. `edge` indexes the shard plan's directed cut-edge
+/// table; `tick` and `order` are final — the receiving shard queues the
+/// event with exactly this key, so it dispatches precisely when and where
+/// the serial run would have dispatched it.
+#[derive(Debug)]
+pub struct OutboundMsg {
+    /// Index into the shard plan's edge table.
+    pub edge: u32,
+    /// Absolute delivery tick (schedule tick + delay).
+    pub tick: Tick,
+    /// Global order stamp minted by the sender at staging time.
+    pub order: u64,
+    /// The event to dispatch into the edge's destination component.
+    pub ev: Event,
+}
+
 /// Shared mutable simulation state reachable from nested dispatches.
-struct Shared {
-    arena: Vec<RefCell<Option<Box<dyn Component>>>>,
-    names: Vec<String>,
+pub(crate) struct Shared {
+    pub(crate) arena: Vec<RefCell<Option<Box<dyn Component>>>>,
+    pub(crate) names: Vec<String>,
     /// Dense routing table: `conns[component][port]` is the wired peer.
     /// Built at `connect` time so `try_send_*` is two array loads, no hash.
     conns: Vec<Vec<Option<Endpoint>>>,
-    queue: RefCell<CalendarQueue<Action>>,
-    now: Cell<Tick>,
-    next_packet_id: Cell<u64>,
-    stop_requested: Cell<bool>,
-    events_processed: Cell<u64>,
+    pub(crate) queue: RefCell<CalendarQueue<Action>>,
+    pub(crate) now: Cell<Tick>,
+    /// Per-component packet-id counters (`PacketId` = gid | counter).
+    pub(crate) pkt_counters: RefCell<Vec<u64>>,
+    /// Per-(component, stream) order-stamp counters.
+    pub(crate) push_counters: RefCell<Vec<[u64; NUM_STREAMS]>>,
+    pub(crate) stop_requested: Cell<bool>,
+    pub(crate) events_processed: Cell<u64>,
+    /// Tick of the most recently dispatched event — the quiesce time of a
+    /// drained shard, aggregated across shards by the sharded driver.
+    pub(crate) last_event_tick: Cell<Tick>,
+    /// Events bound for other shards, staged until the window barrier.
+    pub(crate) outbox: RefCell<Vec<OutboundMsg>>,
     trace: Cell<bool>,
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Free list of payload buffers recycled across DMA bursts.
     payload_pool: RefCell<Vec<Vec<u8>>>,
 }
 
 impl Shared {
+    /// Mints the next order stamp for (`gid`, `stream`).
     #[inline]
-    fn push(&self, tick: Tick, target: ComponentId, body: ActionBody) -> EventHandle {
-        self.queue.borrow_mut().push(tick, Action { target, body })
+    fn order_key(&self, gid: u32, stream: u8) -> u64 {
+        debug_assert!((stream as usize) < NUM_STREAMS);
+        let mut counters = self.push_counters.borrow_mut();
+        let c = &mut counters[gid as usize][stream as usize];
+        let counter = *c;
+        *c += 1;
+        debug_assert!(counter <= ORDER_COUNTER_MASK, "order counter overflow");
+        (u64::from(gid) << ORDER_GID_SHIFT) | (u64::from(stream) << ORDER_STREAM_SHIFT) | counter
+    }
+
+    #[inline]
+    fn push(
+        &self,
+        tick: Tick,
+        source: ComponentId,
+        stream: u8,
+        target: ComponentId,
+        body: ActionBody,
+    ) -> EventHandle {
+        let order = self.order_key(source.0, stream);
+        self.queue.borrow_mut().push(tick, order, Action { target, body })
     }
 
     #[inline]
@@ -87,7 +157,7 @@ impl Shared {
         self.conns.get(ep.0 .0 as usize)?.get(ep.1 .0 as usize).copied().flatten()
     }
 
-    fn with_component<R>(
+    pub(crate) fn with_component<R>(
         &self,
         id: ComponentId,
         f: impl FnOnce(&mut dyn Component, &mut Ctx<'_>) -> R,
@@ -100,7 +170,13 @@ impl Shared {
                 self.names[id.0 as usize]
             )
         });
-        let comp = slot.as_mut().expect("component slot empty");
+        let comp = slot.as_mut().unwrap_or_else(|| {
+            panic!(
+                "dispatch into {:?}, which lives in another shard: a cut must \
+                 only be crossed through the link layer's mailbox stubs",
+                self.names[id.0 as usize]
+            )
+        });
         let mut ctx = Ctx { shared: self, self_id: id };
         f(comp.as_mut(), &mut ctx)
     }
@@ -129,12 +205,19 @@ impl Ctx<'_> {
         self.self_id
     }
 
-    /// Allocates a fresh, globally unique packet id.
+    /// Allocates a fresh packet id, unique across the whole simulation.
+    /// Ids are minted from a per-component counter (`gid | counter`), so
+    /// every shard of a partitioned run allocates exactly the ids the
+    /// serial run would.
     #[inline]
     pub fn alloc_packet_id(&mut self) -> PacketId {
-        let id = self.shared.next_packet_id.get();
-        self.shared.next_packet_id.set(id + 1);
-        PacketId(id)
+        let gid = self.self_id.0;
+        let mut counters = self.shared.pkt_counters.borrow_mut();
+        let c = &mut counters[gid as usize];
+        let counter = *c;
+        *c += 1;
+        debug_assert!(counter <= PKT_COUNTER_MASK, "packet-id counter overflow");
+        PacketId((u64::from(gid) << PKT_GID_SHIFT) | counter)
     }
 
     /// Hands out a zeroed payload buffer of `len` bytes, reusing a
@@ -202,7 +285,38 @@ impl Ctx<'_> {
     /// cancellation need simply ignore it.
     #[inline]
     pub fn schedule(&mut self, delay: Tick, ev: Event) -> EventHandle {
-        self.shared.push(self.now() + delay, self.self_id, ActionBody::Event(ev))
+        self.schedule_stream(delay, 0, ev)
+    }
+
+    /// Like [`Ctx::schedule`], but stamps the event from scheduling stream
+    /// `stream` instead of the default stream 0. A component whose state
+    /// can be split across shards (the link layer) gives each splittable
+    /// half its own stream, so the half runs through the identical counter
+    /// sequence whether it executes fused with its peer or alone.
+    #[inline]
+    pub fn schedule_stream(&mut self, delay: Tick, stream: u8, ev: Event) -> EventHandle {
+        self.shared.push(
+            self.now() + delay,
+            self.self_id,
+            stream,
+            self.self_id,
+            ActionBody::Event(ev),
+        )
+    }
+
+    /// Schedules `ev` for delivery to the component at the far side of
+    /// directed cut edge `edge` (a shard-plan index), after `delay` ticks.
+    /// The event is staged in this shard's outbox and injected into the
+    /// destination shard's queue at the next window barrier; its tick and
+    /// order stamp are computed *now*, on the sending side, so it fires
+    /// exactly as if [`Ctx::schedule_stream`] had queued it locally.
+    /// `delay` must be at least the edge's lookahead horizon — the sharded
+    /// driver asserts it lands beyond the current window.
+    #[inline]
+    pub fn remote_schedule(&mut self, edge: u32, delay: Tick, stream: u8, ev: Event) {
+        let tick = self.now() + delay;
+        let order = self.shared.order_key(self.self_id.0, stream);
+        self.shared.outbox.borrow_mut().push(OutboundMsg { edge, tick, order, ev });
     }
 
     /// Cancels an event previously scheduled by this component, returning
@@ -309,8 +423,23 @@ impl Ctx<'_> {
     /// from the event queue (never nested), at the current tick.
     #[inline]
     pub fn send_retry(&mut self, port: PortId) {
+        self.send_retry_stream(port, 0);
+    }
+
+    /// Like [`Ctx::send_retry`], but mints the retry's order stamp from
+    /// scheduling stream `stream`. A splittable component (the link layer)
+    /// must stamp retries from the owning half's stream, or the stamp
+    /// counters of a split run drift from the fused run's.
+    #[inline]
+    pub fn send_retry_stream(&mut self, port: PortId, stream: u8) {
         let (peer, peer_port) = self.peer(port);
-        self.shared.push(self.now(), peer, ActionBody::Retry { port: peer_port });
+        self.shared.push(
+            self.now(),
+            self.self_id,
+            stream,
+            peer,
+            ActionBody::Retry { port: peer_port },
+        );
     }
 
     /// Requests the simulation loop to stop after the current event.
@@ -370,8 +499,8 @@ impl Ctx<'_> {
 
 /// Owns components, wiring and the event queue; drives simulated time.
 pub struct Simulation {
-    shared: Shared,
-    initialized: bool,
+    pub(crate) shared: Shared,
+    pub(crate) initialized: bool,
 }
 
 impl Default for Simulation {
@@ -390,9 +519,12 @@ impl Simulation {
                 conns: Vec::new(),
                 queue: RefCell::new(CalendarQueue::new()),
                 now: Cell::new(0),
-                next_packet_id: Cell::new(0),
+                pkt_counters: RefCell::new(Vec::new()),
+                push_counters: RefCell::new(Vec::new()),
                 stop_requested: Cell::new(false),
                 events_processed: Cell::new(0),
+                last_event_tick: Cell::new(0),
+                outbox: RefCell::new(Vec::new()),
                 trace: Cell::new(false),
                 tracer: Tracer::new(),
                 payload_pool: RefCell::new(Vec::new()),
@@ -443,6 +575,11 @@ impl Simulation {
         self.shared.events_processed.get()
     }
 
+    /// Tick of the most recently dispatched event (0 before any dispatch).
+    pub fn last_event_tick(&self) -> Tick {
+        self.shared.last_event_tick.get()
+    }
+
     /// Number of events still queued.
     pub fn pending_events(&self) -> usize {
         self.shared.queue.borrow().len()
@@ -456,11 +593,27 @@ impl Simulation {
     /// simulation has started.
     pub fn add(&mut self, component: Box<dyn Component>) -> ComponentId {
         let name = component.name().to_owned();
+        self.add_slot(name, Some(component))
+    }
+
+    /// Reserves the next component id for a component that lives in
+    /// *another shard* of a partitioned run. The slot keeps the global
+    /// name and id (so wiring, fingerprints and checkpoints line up with
+    /// the serial build) but holds no component; dispatching into it
+    /// panics, which is how misrouted cross-shard events fail loudly.
+    pub fn add_remote(&mut self, name: &str) -> ComponentId {
+        self.add_slot(name.to_owned(), None)
+    }
+
+    fn add_slot(&mut self, name: String, component: Option<Box<dyn Component>>) -> ComponentId {
         assert!(!self.shared.names.contains(&name), "duplicate component name {name:?}");
         assert!(!self.initialized, "cannot add components after the simulation started");
         let id = ComponentId(self.shared.arena.len() as u32);
-        self.shared.arena.push(RefCell::new(Some(component)));
+        assert!(u64::from(id.0) < (1 << (64 - ORDER_GID_SHIFT)), "component id overflows stamp");
+        self.shared.arena.push(RefCell::new(component));
         self.shared.names.push(name);
+        self.shared.pkt_counters.borrow_mut().push(0);
+        self.shared.push_counters.borrow_mut().push([0; NUM_STREAMS]);
         id
     }
 
@@ -499,14 +652,38 @@ impl Simulation {
         self.shared.lookup_peer(ep)
     }
 
-    fn ensure_init(&mut self) {
+    pub(crate) fn ensure_init(&mut self) {
         if self.initialized {
             return;
         }
         self.initialized = true;
         for i in 0..self.shared.arena.len() {
-            self.shared.with_component(ComponentId(i as u32), |c, ctx| c.init(ctx));
+            // Remote slots init in the shard that owns them.
+            if self.shared.arena[i].borrow().is_some() {
+                // Init runs before any dispatch; stamp its trace records
+                // with the component's minimal order key so per-shard init
+                // records merge back in global component order.
+                self.shared.tracer.set_stamp((i as u64) << ORDER_GID_SHIFT);
+                self.shared.with_component(ComponentId(i as u32), |c, ctx| c.init(ctx));
+            }
         }
+        self.shared.tracer.set_stamp(0);
+    }
+
+    #[inline]
+    fn dispatch(&self, tick: Tick, order: u64, action: Action) {
+        debug_assert!(tick >= self.now(), "time went backwards");
+        self.shared.now.set(tick);
+        self.shared.last_event_tick.set(tick);
+        self.shared.events_processed.set(self.shared.events_processed.get() + 1);
+        // Stamp the tracer so records emitted during this dispatch carry
+        // the event's global order — the key that merges per-shard traces
+        // back into the exact serial stream.
+        self.shared.tracer.set_stamp(order);
+        self.shared.with_component(action.target, |c, ctx| match action.body {
+            ActionBody::Event(ev) => c.handle(ctx, ev),
+            ActionBody::Retry { port } => c.retry_granted(ctx, port),
+        });
     }
 
     /// Runs until the queue drains, `until` is reached, a component stops
@@ -520,10 +697,10 @@ impl Simulation {
                 return RunOutcome::Stopped;
             }
             // Budget and time limits are checked before the pop, so the head
-            // action stays queued (with its original sequence stamp) and the
+            // action stays queued (with its original order stamp) and the
             // caller can resume exactly where it left off. The fused
             // peek-and-pop settles the queue once per event.
-            let (tick, action) = {
+            let popped = {
                 let mut queue = self.shared.queue.borrow_mut();
                 if self.events_processed() >= budget_end {
                     match queue.next_tick() {
@@ -544,14 +721,59 @@ impl Simulation {
                     Ok(Some(popped)) => popped,
                 }
             };
-            debug_assert!(tick >= self.now(), "time went backwards");
-            self.shared.now.set(tick);
-            self.shared.events_processed.set(self.events_processed() + 1);
-            self.shared.with_component(action.target, |c, ctx| match action.body {
-                ActionBody::Event(ev) => c.handle(ctx, ev),
-                ActionBody::Retry { port } => c.retry_granted(ctx, port),
-            });
+            self.dispatch(popped.0, popped.1, popped.2);
         }
+    }
+
+    /// Runs every queued event with tick strictly below `end`, leaving
+    /// `now` at `end - 1` (the same place [`Simulation::run`]`(end - 1, _)`
+    /// would leave it). This is the sharded driver's inner loop: within a
+    /// window no event at or beyond the barrier may exist that this shard
+    /// hasn't yet been told about, so draining below the barrier is safe.
+    ///
+    /// Unlike [`Simulation::run`], stop requests and event budgets are
+    /// *not* checked here — the driver enforces both at window
+    /// granularity — and a [`Ctx::stop`] flag is left set for the driver
+    /// to read.
+    pub fn run_window(&mut self, end: Tick) {
+        self.ensure_init();
+        debug_assert!(end > self.now() || self.now() == 0);
+        loop {
+            let popped = { self.shared.queue.borrow_mut().pop_if_at_most(end - 1) };
+            match popped {
+                Ok(Some((tick, order, action))) => self.dispatch(tick, order, action),
+                Ok(None) | Err(_) => break,
+            }
+        }
+        self.shared.now.set(end - 1);
+    }
+
+    /// Tick of the earliest queued event, if any — the sharded driver's
+    /// input for computing the next window barrier.
+    pub fn next_event_tick(&self) -> Option<Tick> {
+        self.shared.queue.borrow_mut().next_tick()
+    }
+
+    /// Drains the staged cross-shard messages recorded by
+    /// [`Ctx::remote_schedule`] since the last call.
+    pub fn take_outbox(&mut self) -> Vec<OutboundMsg> {
+        std::mem::take(&mut *self.shared.outbox.borrow_mut())
+    }
+
+    /// Whether a component requested a stop that has not been consumed.
+    pub fn take_stop_request(&mut self) -> bool {
+        self.shared.stop_requested.replace(false)
+    }
+
+    /// Queues `ev` for `target` with an explicit `(tick, order)` key —
+    /// the receiving half of the inter-shard mailbox. The key was minted
+    /// by [`Ctx::remote_schedule`] on the sending shard.
+    pub fn push_keyed(&self, tick: Tick, order: u64, target: ComponentId, ev: Event) {
+        self.shared.queue.borrow_mut().push(
+            tick,
+            order,
+            Action { target, body: ActionBody::Event(ev) },
+        );
     }
 
     /// Runs until the event queue is empty or a component stops the run.
@@ -559,17 +781,19 @@ impl Simulation {
         self.run(Tick::MAX, u64::MAX)
     }
 
-    /// Value the next [`Ctx::alloc_packet_id`] will hand out. Exposed so
-    /// tests can audit PacketId continuity across checkpoint/restore.
-    pub fn next_packet_id(&self) -> u64 {
-        self.shared.next_packet_id.get()
+    /// Total packet ids allocated so far, summed over components. Exposed
+    /// so tests can audit PacketId continuity across checkpoint/restore.
+    pub fn packet_ids_allocated(&self) -> u64 {
+        self.shared.pkt_counters.borrow().iter().sum()
     }
 
     /// FNV-1a fingerprint of the component tree's *shape*: component names
     /// (in id order) and the complete port wiring. Configuration values are
     /// deliberately excluded, so a checkpoint taken on one tree restores
     /// into an identically shaped tree built with different parameters —
-    /// which is what makes warm-started parameter sweeps possible.
+    /// which is what makes warm-started parameter sweeps possible. Remote
+    /// slots carry the same name as the component they stand in for, so a
+    /// sharded build fingerprints identically to the serial build.
     pub fn topology_fingerprint(&self) -> u64 {
         let mut w = StateWriter::new();
         w.usize(self.shared.names.len());
@@ -594,19 +818,28 @@ impl Simulation {
     }
 
     /// Serializes the complete dynamic state — simulated time, the event
-    /// queue (armed timers and all, with slab slots preserved so
-    /// outstanding [`EventHandle`]s stay valid), the PacketId allocator,
-    /// the trace ring, and every component's
-    /// [`Component::save_state`] section — into a self-contained,
-    /// checksummed checkpoint. Runs `init` first if the simulation has
-    /// never run, so a restored simulation never re-runs it.
+    /// queue (armed timers and all, as portable `(tick, order)` entries),
+    /// the per-component PacketId and order-stamp counters, the trace
+    /// ring, and every component's [`Component::save_state`] section —
+    /// into a self-contained, checksummed checkpoint. Runs `init` first if
+    /// the simulation has never run, so a restored simulation never
+    /// re-runs it. The format is independent of how (or whether) the run
+    /// was sharded; `kernel::shard` assembles the identical bytes from a
+    /// partitioned run.
     pub fn checkpoint(&mut self) -> Vec<u8> {
         self.ensure_init();
         let mut body = StateWriter::new();
         body.u64(self.topology_fingerprint());
         body.u64(self.now());
-        body.u64(self.shared.next_packet_id.get());
         body.u64(self.shared.events_processed.get());
+        for &c in self.shared.pkt_counters.borrow().iter() {
+            body.u64(c);
+        }
+        for row in self.shared.push_counters.borrow().iter() {
+            for &c in row {
+                body.u64(c);
+            }
+        }
         self.shared.queue.borrow().save(&mut body, encode_action);
         self.shared.tracer.save_ring(&mut body);
         body.usize(self.shared.arena.len());
@@ -619,12 +852,7 @@ impl Simulation {
             body.bytes(&section.into_bytes());
         }
         let body = body.into_bytes();
-        let mut out = Vec::with_capacity(body.len() + 16);
-        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
-        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        out.extend_from_slice(&fnv1a(FNV_OFFSET, &body).to_le_bytes());
-        out.extend_from_slice(&body);
-        out
+        seal_checkpoint(body)
     }
 
     /// Applies a [`Simulation::checkpoint`] to this simulation, which must
@@ -640,24 +868,7 @@ impl Simulation {
     /// never panics. On error the simulation may be partially overwritten
     /// and must be discarded.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
-        let mut header = StateReader::new(bytes);
-        let magic = header.u32()?;
-        if magic != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadMagic { found: magic });
-        }
-        let version = header.u32()?;
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::VersionMismatch {
-                found: version,
-                expected: SNAPSHOT_VERSION,
-            });
-        }
-        let stored = header.u64()?;
-        let body = &bytes[16..];
-        let computed = fnv1a(FNV_OFFSET, body);
-        if stored != computed {
-            return Err(SnapshotError::ChecksumMismatch { stored, computed });
-        }
+        let body = open_checkpoint(bytes)?;
         let mut r = StateReader::new(body);
         let fingerprint = r.u64()?;
         let expected = self.topology_fingerprint();
@@ -665,11 +876,22 @@ impl Simulation {
             return Err(SnapshotError::TopologyMismatch { stored: fingerprint, expected });
         }
         let now = r.u64()?;
-        let next_packet_id = r.u64()?;
         let events_processed = r.u64()?;
-        let n_components = self.shared.arena.len() as u32;
+        let n = self.shared.arena.len();
+        let mut pkt_counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            pkt_counters.push(r.u64()?);
+        }
+        let mut push_counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = [0u64; NUM_STREAMS];
+            for c in &mut row {
+                *c = r.u64()?;
+            }
+            push_counters.push(row);
+        }
         let queue = CalendarQueue::restore(now, &mut r, |r| {
-            decode_action(r, n_components, next_packet_id)
+            decode_action(r, &pkt_counters, &push_counters)
         })?;
         self.shared.tracer.restore_ring(&mut r)?;
         let count = r.usize()?;
@@ -697,7 +919,9 @@ impl Simulation {
         r.finish("simulation")?;
         *self.shared.queue.borrow_mut() = queue;
         self.shared.now.set(now);
-        self.shared.next_packet_id.set(next_packet_id);
+        self.shared.last_event_tick.set(now);
+        *self.shared.pkt_counters.borrow_mut() = pkt_counters;
+        *self.shared.push_counters.borrow_mut() = push_counters;
         self.shared.events_processed.set(events_processed);
         self.shared.stop_requested.set(false);
         // `init` already ran in the simulation that produced the
@@ -706,12 +930,13 @@ impl Simulation {
         Ok(())
     }
 
-    /// Collects statistics from every component.
+    /// Collects statistics from every component (remote slots excluded —
+    /// their shard reports them).
     pub fn stats(&self) -> StatsSnapshot {
         let mut all = std::collections::BTreeMap::new();
         for (i, cell) in self.shared.arena.iter().enumerate() {
             let slot = cell.borrow();
-            let comp = slot.as_ref().expect("component missing during stats");
+            let Some(comp) = slot.as_ref() else { continue };
             let mut b = StatsBuilder::new(self.shared.names[i].clone());
             comp.report_stats(&mut b);
             all.extend(b.into_values());
@@ -720,7 +945,37 @@ impl Simulation {
     }
 }
 
-fn encode_action(w: &mut StateWriter, a: &Action) {
+/// Wraps a checkpoint body in the magic/version/checksum header.
+pub(crate) fn seal_checkpoint(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fnv1a(FNV_OFFSET, &body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validates the header of `bytes` and returns the checkpoint body.
+pub(crate) fn open_checkpoint(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
+    let mut header = StateReader::new(bytes);
+    let magic = header.u32()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic { found: magic });
+    }
+    let version = header.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::VersionMismatch { found: version, expected: SNAPSHOT_VERSION });
+    }
+    let stored = header.u64()?;
+    let body = &bytes[16..];
+    let computed = fnv1a(FNV_OFFSET, body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    Ok(body)
+}
+
+pub(crate) fn encode_action(w: &mut StateWriter, a: &Action) {
     w.u32(a.target.0);
     match &a.body {
         ActionBody::Event(Event::Timer { kind, data }) => {
@@ -737,34 +992,56 @@ fn encode_action(w: &mut StateWriter, a: &Action) {
             w.u8(2);
             w.u16(port.0);
         }
+        ActionBody::Event(Event::StampedPacket { tag, stamp, pkt }) => {
+            w.u8(3);
+            w.u32(*tag);
+            w.u64(*stamp);
+            pkt.encode(w);
+        }
     }
 }
 
-fn decode_action(
+pub(crate) fn decode_action(
     r: &mut StateReader<'_>,
-    n_components: u32,
-    next_packet_id: u64,
+    pkt_counters: &[u64],
+    push_counters: &[[u64; NUM_STREAMS]],
 ) -> Result<Action, SnapshotError> {
     let target = r.u32()?;
-    if target >= n_components {
+    if target as usize >= pkt_counters.len() {
         return Err(SnapshotError::Corrupt(format!("event target c{target} out of range")));
     }
+    let _ = push_counters;
+    // Continuity audit: a queued packet must predate its owning
+    // component's restored allocator cursor, or future allocations
+    // would collide.
+    let audit = |pkt: &Packet| -> Result<(), SnapshotError> {
+        let id = pkt.id().0;
+        let gid = (id >> PKT_GID_SHIFT) as usize;
+        let counter = id & PKT_COUNTER_MASK;
+        if gid >= pkt_counters.len() || counter >= pkt_counters[gid] {
+            return Err(SnapshotError::Corrupt(format!(
+                "queued {} is beyond component {gid}'s packet-id allocator",
+                pkt.id()
+            )));
+        }
+        Ok(())
+    };
     let body = match r.u8()? {
         0 => ActionBody::Event(Event::Timer { kind: r.u32()?, data: r.u64()? }),
         1 => {
             let tag = r.u32()?;
             let pkt = Packet::decode(r)?;
-            // Continuity audit: a queued packet must predate the restored
-            // allocator cursor, or future allocations would collide.
-            if pkt.id().0 >= next_packet_id {
-                return Err(SnapshotError::Corrupt(format!(
-                    "queued {} is beyond the packet-id allocator ({next_packet_id})",
-                    pkt.id()
-                )));
-            }
+            audit(&pkt)?;
             ActionBody::Event(Event::DelayedPacket { tag, pkt })
         }
         2 => ActionBody::Retry { port: PortId(r.u16()?) },
+        3 => {
+            let tag = r.u32()?;
+            let stamp = r.u64()?;
+            let pkt = Packet::decode(r)?;
+            audit(&pkt)?;
+            ActionBody::Event(Event::StampedPacket { tag, stamp, pkt })
+        }
         other => return Err(SnapshotError::Corrupt(format!("action tag {other}"))),
     };
     Ok(Action { target: ComponentId(target), body })
@@ -819,6 +1096,7 @@ mod tests {
         assert_eq!(*fired.borrow(), vec![(10, 3), (20, 2), (30, 1)]);
         assert_eq!(sim.now(), 30);
         assert_eq!(sim.events_processed(), 3);
+        assert_eq!(sim.last_event_tick(), 30);
     }
 
     #[test]
@@ -836,6 +1114,34 @@ mod tests {
         assert_eq!(sim.now(), 25);
         assert_eq!(sim.run(45, u64::MAX), RunOutcome::TimeLimit);
         assert_eq!(fired.borrow().len(), 4);
+    }
+
+    #[test]
+    fn run_window_matches_inclusive_run() {
+        // run_window(end) must be exactly run(end - 1, MAX) minus the
+        // stop/budget checks: same events fired, same final clock.
+        let fired_a = Rc::new(RefCell::new(Vec::new()));
+        let mut a = Simulation::new();
+        a.add(Box::new(TimerChain {
+            name: "t".into(),
+            fired: fired_a.clone(),
+            remaining: 100,
+            period: 10,
+        }));
+        assert_eq!(a.run(25, u64::MAX), RunOutcome::TimeLimit);
+        let fired_b = Rc::new(RefCell::new(Vec::new()));
+        let mut b = Simulation::new();
+        b.add(Box::new(TimerChain {
+            name: "t".into(),
+            fired: fired_b.clone(),
+            remaining: 100,
+            period: 10,
+        }));
+        b.run_window(26);
+        assert_eq!(*fired_a.borrow(), *fired_b.borrow());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(b.next_event_tick(), Some(30));
     }
 
     #[test]
@@ -964,6 +1270,32 @@ mod tests {
     }
 
     #[test]
+    fn packet_ids_are_unique_and_component_scoped() {
+        let acked = Rc::new(RefCell::new(0));
+        let served = Rc::new(RefCell::new(0));
+        let mut sim = Simulation::new();
+        let p = sim.add(Box::new(Producer {
+            name: "prod".into(),
+            to_send: 3,
+            stalled: None,
+            acked: acked.clone(),
+        }));
+        let s = sim.add(Box::new(Server {
+            name: "serv".into(),
+            busy_with: None,
+            refused: false,
+            served: served.clone(),
+            delay: 10,
+        }));
+        sim.connect((p, P_OUT), (s, S_IN));
+        sim.run_to_quiesce();
+        // Producer is component 0: its ids are counters 0, 1, 2 under gid 0.
+        assert_eq!(sim.packet_ids_allocated(), 3);
+        assert_eq!(sim.shared.pkt_counters.borrow()[p.0 as usize], 3);
+        assert_eq!(sim.shared.pkt_counters.borrow()[s.0 as usize], 0);
+    }
+
+    #[test]
     fn cancelled_timer_never_fires_and_does_not_stretch_the_run() {
         /// Arms a short work timer and a long watchdog; cancels the
         /// watchdog when the work timer fires.
@@ -1037,6 +1369,40 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "lives in another shard")]
+    fn dispatch_into_a_remote_slot_panics() {
+        struct Poker;
+        impl Component for Poker {
+            fn name(&self) -> &str {
+                "poker"
+            }
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                let id = ctx.alloc_packet_id();
+                let pkt = Packet::request(id, Command::ReadReq, 0, 4, ctx.self_id());
+                let _ = ctx.try_send_request(PortId(0), pkt);
+            }
+        }
+        let mut sim = Simulation::new();
+        let p = sim.add(Box::new(Poker));
+        let ghost = sim.add_remote("elsewhere");
+        sim.connect((p, PortId(0)), (ghost, PortId(0)));
+        sim.run_to_quiesce();
+    }
+
+    #[test]
+    fn remote_slots_share_the_fingerprint_and_name_space() {
+        let mut a = Simulation::new();
+        a.add(Box::new(Stub("x")));
+        a.add(Box::new(Stub("y")));
+        a.connect((ComponentId(0), PortId(0)), (ComponentId(1), PortId(0)));
+        let mut b = Simulation::new();
+        b.add(Box::new(Stub("x")));
+        b.add_remote("y");
+        b.connect((ComponentId(0), PortId(0)), (ComponentId(1), PortId(0)));
+        assert_eq!(a.topology_fingerprint(), b.topology_fingerprint());
+    }
+
+    #[test]
     #[should_panic(expected = "already connected")]
     fn double_connect_is_rejected() {
         let mut sim = Simulation::new();
@@ -1084,6 +1450,37 @@ mod tests {
         sim.add(Box::new(Recorder { name: "r".into(), log: log.clone() }));
         sim.run_to_quiesce();
         assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn same_tick_cross_component_order_is_by_id_not_insertion() {
+        // Two components arm timers for the same tick; the lower component
+        // id fires first regardless of which `schedule` call ran first.
+        // This is the partition-independent tiebreak: a shard that never
+        // saw the other component's push still agrees on the order.
+        struct One {
+            name: String,
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Component for One {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(10, Event::Timer { kind: 0, data: 0 });
+            }
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, _ev: Event) {
+                self.log.borrow_mut().push(self.name.clone());
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        // "b" is added first (lower id) — init order follows component id,
+        // but even if "z" had scheduled first the order would hold.
+        sim.add(Box::new(One { name: "b".into(), log: log.clone() }));
+        sim.add(Box::new(One { name: "z".into(), log: log.clone() }));
+        sim.run_to_quiesce();
+        assert_eq!(*log.borrow(), vec!["b".to_owned(), "z".to_owned()]);
     }
 
     #[test]

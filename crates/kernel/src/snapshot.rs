@@ -35,7 +35,7 @@ pub const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"PCSN");
 
 /// Current checkpoint format version. Bump on any layout change; old
 /// files are rejected with [`SnapshotError::VersionMismatch`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit offset basis.
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -170,6 +170,11 @@ impl StateWriter {
     /// Writes one byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
+    }
+
+    /// Appends already-encoded bytes verbatim (no length prefix).
+    pub(crate) fn append_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
     }
 
     /// Writes a little-endian u16.

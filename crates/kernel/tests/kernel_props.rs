@@ -99,7 +99,7 @@ proptest! {
 
     /// For any monotone interleaving of pushes and pops, the calendar
     /// queue agrees exactly with a sorted reference model: items come out
-    /// in (tick, insertion-order) order, including far-future ticks that
+    /// in (tick, order-stamp) order, including far-future ticks that
     /// live in the overflow heap and limit-bounded `pop_if_at_most` calls.
     #[test]
     fn calendar_queue_matches_reference_model(
@@ -119,7 +119,7 @@ proptest! {
                 // ring, large ones (>= bucket span) the overflow heap.
                 0 | 1 => {
                     let delta = if op & 4 == 0 { delta % (1 << 12) } else { delta };
-                    queue.push(now + delta, i as u32);
+                    queue.push(now + delta, seq, i as u32);
                     model.push(Reverse((now + delta, seq, i as u32)));
                     seq += 1;
                 }
@@ -134,10 +134,9 @@ proptest! {
                 _ => {
                     let limit = now + delta % (1 << 13);
                     match queue.pop_if_at_most(limit) {
-                        Ok(Some((t, v))) => {
+                        Ok(Some((t, o, v))) => {
                             let Reverse((mt, ms, mv)) = model.pop().expect("model nonempty");
-                            let _ = ms;
-                            prop_assert_eq!((t, v), (mt, mv));
+                            prop_assert_eq!((t, o, v), (mt, ms, mv));
                             prop_assert!(t <= limit);
                             now = t;
                         }

@@ -24,15 +24,32 @@
 //! Refused deliveries are dropped without advancing the receive sequence,
 //! so the sender's replay timer recovers them, exactly the congestion
 //! mechanism behind the paper's Figure 9(b)–(d).
+//!
+//! # Two ends, one protocol
+//!
+//! Internally the model is organized **per physical end**, not per
+//! direction: [`LinkEnd`] owns the transmit side of its own wire and the
+//! receive side of the peer's wire, and the only way the two ends interact
+//! is by the wire-arrival events themselves (a TLP carrying its admission
+//! tick, or a DLLP). That makes the link the natural *cut point* for
+//! sharded simulation: [`PcieLinkHalf`] hosts one end in one shard and
+//! ships wire arrivals through [`Ctx::remote_schedule`], while the fused
+//! [`PcieLink`] hosts both ends in one component and routes the same
+//! events back to itself. Both arrangements schedule an identical event
+//! sequence with identical order stamps, so a sharded run is bit-identical
+//! to a serial one.
+//!
+//! [`Ctx::remote_schedule`]: pcisim_kernel::sim::Ctx::remote_schedule
 
 use std::collections::VecDeque;
 
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
 use pcisim_kernel::packet::{decode_packet_queue, encode_packet_queue, Packet};
+use pcisim_kernel::shard::QueuedFor;
 use pcisim_kernel::sim::Ctx;
 use pcisim_kernel::snapshot::{SnapshotError, StateReader, StateWriter};
 use pcisim_kernel::stats::{Counter, Histogram, StatsBuilder};
-use pcisim_kernel::tick::Tick;
+use pcisim_kernel::tick::{to_ns, Tick};
 use pcisim_kernel::trace::{TraceCategory, TraceKind};
 
 use pcisim_pci::caps::aer_record_correctable;
@@ -69,25 +86,6 @@ enum Dir {
 }
 
 impl Dir {
-    fn opposite(self) -> Dir {
-        match self {
-            Dir::Down => Dir::Up,
-            Dir::Up => Dir::Down,
-        }
-    }
-
-    fn index(self) -> usize {
-        self as usize
-    }
-
-    fn from_index(i: u64) -> Dir {
-        if i == 0 {
-            Dir::Down
-        } else {
-            Dir::Up
-        }
-    }
-
     fn label(self) -> &'static str {
         match self {
             Dir::Down => "down",
@@ -96,16 +94,72 @@ impl Dir {
     }
 }
 
-// Event kinds (`kind = BASE + dir`).
+// Event kinds (`kind = BASE + dir`, where `dir` names the wire the event
+// concerns — which together with the base determines the physical end the
+// event must be delivered to; see [`event_dest_end`]).
 const K_TX_KICK: u32 = 0;
 const K_REPLAY_TIMEOUT: u32 = 2;
 const K_ACK_TIMER: u32 = 4;
 const K_DLLP_ARRIVE: u32 = 6;
 
-// DelayedPacket tag layout.
+// StampedPacket tag layout.
 const TAG_SEQ_MASK: u32 = (1 << 28) - 1;
 const TAG_DIR_BIT: u32 = 1 << 30;
 const TAG_CORRUPT_BIT: u32 = 1 << 31;
+
+/// The smallest in-flight delay of any wire-crossing event: a DLLP frame's
+/// serialization plus propagation. Every TLP flight time is at least this
+/// (the shortest TLP is longer on the wire than the 8-byte DLLP), so it is
+/// a sound conservative lookahead horizon for a shard cut at this link.
+pub fn link_lookahead(config: &LinkConfig) -> Tick {
+    config.tx_time(DLLP_WIRE_BYTES) + config.propagation_delay
+}
+
+/// The physical end (0 = upstream, 1 = downstream) that must handle a
+/// self-addressed link event.
+fn event_dest_end(ev: &Event) -> u8 {
+    match ev {
+        Event::Timer { kind, .. } => {
+            let dir = (kind & 1) as u8;
+            match kind & !1 {
+                // TX-side timers fire at the wire's transmitter.
+                K_TX_KICK | K_REPLAY_TIMEOUT => dir,
+                // The ACK timer for direction `dir` runs at its receiver;
+                // a DLLP that travelled on `dir` arrives at its sink.
+                K_ACK_TIMER | K_DLLP_ARRIVE => 1 - dir,
+                _ => 0,
+            }
+        }
+        // A TLP travelling Up arrives at the upstream end, and vice versa.
+        Event::StampedPacket { tag, .. } => {
+            if tag & TAG_DIR_BIT != 0 {
+                0
+            } else {
+                1
+            }
+        }
+        Event::DelayedPacket { .. } => 0,
+    }
+}
+
+/// Routes a queued action addressed to a split link to the physical end
+/// that owns it — the [`RouteEndFn`] a shard plan uses when restoring a
+/// checkpoint under a different partitioning. Retries arrive on the port
+/// that refused a delivery, and ports 0–1 belong to the upstream end.
+///
+/// [`RouteEndFn`]: pcisim_kernel::shard::RouteEndFn
+pub fn link_event_dest_end(q: &QueuedFor<'_>) -> u8 {
+    match q {
+        QueuedFor::Event(ev) => event_dest_end(ev),
+        QueuedFor::Retry { port } => {
+            if port.0 < 2 {
+                0
+            } else {
+                1
+            }
+        }
+    }
+}
 
 fn encode_dllp(w: &mut StateWriter, dllp: &Dllp) {
     match dllp {
@@ -135,8 +189,10 @@ fn decode_dllp(r: &mut StateReader<'_>) -> Result<Dllp, SnapshotError> {
     }
 }
 
+/// Transmit-side statistics of one end's wire, reported under the label of
+/// the direction that wire carries.
 #[derive(Debug, Default)]
-struct DirStats {
+struct TxStats {
     tlps_admitted: Counter,
     tlps_tx: Counter,
     bytes_tx: Counter,
@@ -146,38 +202,29 @@ struct DirStats {
     acks_rx: Counter,
     naks_tx: Counter,
     naks_rx: Counter,
-    rx_delivered: Counter,
-    rx_dropped_refused: Counter,
-    rx_dropped_seq: Counter,
-    rx_dropped_corrupt: Counter,
     admission_refusals: Counter,
     /// Admissions refused for lack of flow-control credits (credit mode).
     credit_stalls: Counter,
     updatefc_tx: Counter,
     updatefc_rx: Counter,
     busy_ticks: Counter,
-    /// Admission-to-delivery latency per TLP, in nanoseconds (includes
-    /// wire, queueing and any replay stalls).
-    delivery_latency_ns: Histogram,
 }
 
-impl DirStats {
+impl TxStats {
     fn encode(&self, w: &mut StateWriter) {
         for c in self.counters() {
             c.encode(w);
         }
-        self.delivery_latency_ns.encode(w);
     }
 
     fn decode_into(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
         for c in self.counters_mut() {
             *c = Counter::decode(r)?;
         }
-        self.delivery_latency_ns = Histogram::decode(r)?;
         Ok(())
     }
 
-    fn counters(&self) -> [&Counter; 18] {
+    fn counters(&self) -> [&Counter; 14] {
         [
             &self.tlps_admitted,
             &self.tlps_tx,
@@ -188,10 +235,6 @@ impl DirStats {
             &self.acks_rx,
             &self.naks_tx,
             &self.naks_rx,
-            &self.rx_delivered,
-            &self.rx_dropped_refused,
-            &self.rx_dropped_seq,
-            &self.rx_dropped_corrupt,
             &self.admission_refusals,
             &self.credit_stalls,
             &self.updatefc_tx,
@@ -200,7 +243,7 @@ impl DirStats {
         ]
     }
 
-    fn counters_mut(&mut self) -> [&mut Counter; 18] {
+    fn counters_mut(&mut self) -> [&mut Counter; 14] {
         [
             &mut self.tlps_admitted,
             &mut self.tlps_tx,
@@ -211,10 +254,6 @@ impl DirStats {
             &mut self.acks_rx,
             &mut self.naks_tx,
             &mut self.naks_rx,
-            &mut self.rx_delivered,
-            &mut self.rx_dropped_refused,
-            &mut self.rx_dropped_seq,
-            &mut self.rx_dropped_corrupt,
             &mut self.admission_refusals,
             &mut self.credit_stalls,
             &mut self.updatefc_tx,
@@ -224,36 +263,71 @@ impl DirStats {
     }
 }
 
-/// Per-direction link state: the TX logic at the source interface and the
-/// RX logic at the sink interface.
-struct DirState {
+/// Receive-side statistics of one end, reported under the label of the
+/// direction it receives (the peer's wire).
+#[derive(Debug, Default)]
+struct RxStats {
+    rx_delivered: Counter,
+    rx_dropped_refused: Counter,
+    rx_dropped_seq: Counter,
+    rx_dropped_corrupt: Counter,
+    /// Admission-to-delivery latency per TLP, in nanoseconds (includes
+    /// wire, queueing and any replay stalls).
+    delivery_latency_ns: Histogram,
+}
+
+impl RxStats {
+    fn encode(&self, w: &mut StateWriter) {
+        self.rx_delivered.encode(w);
+        self.rx_dropped_refused.encode(w);
+        self.rx_dropped_seq.encode(w);
+        self.rx_dropped_corrupt.encode(w);
+        self.delivery_latency_ns.encode(w);
+    }
+
+    fn decode_into(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.rx_delivered = Counter::decode(r)?;
+        self.rx_dropped_refused = Counter::decode(r)?;
+        self.rx_dropped_seq = Counter::decode(r)?;
+        self.rx_dropped_corrupt = Counter::decode(r)?;
+        self.delivery_latency_ns = Histogram::decode(r)?;
+        Ok(())
+    }
+}
+
+/// Dynamic state of one physical end: the transmit machinery of its own
+/// wire and the receive machinery of the peer's wire.
+struct EndState {
+    // ── TX side (the wire this end transmits) ──────────────────────────
     tx: ReplayBuffer,
-    rx: RxState,
-    /// DLLPs queued for transmission *on this direction's wire* (they
-    /// acknowledge the opposite direction's TLPs).
+    /// DLLPs queued for transmission on this end's wire (they acknowledge
+    /// the peer wire's TLPs).
     pending_dllps: VecDeque<Dllp>,
     wire_busy_until: Tick,
     kick_scheduled: bool,
-    /// The in-flight frame's arrival event lands exactly when this wire
-    /// frees (store-and-forward, zero propagation), so that event doubles
-    /// as the TX kick and no separate kick timer is scheduled.
-    pump_on_arrival: bool,
     replay_armed: bool,
     /// Lazy replay timer: the tick the armed timeout is due. Re-arming on
     /// an ACK only moves this deadline; at most one timer event is
-    /// outstanding per direction, re-scheduling itself forward on stale
-    /// fires instead of pushing a fresh event per acknowledgement.
+    /// outstanding per end, re-scheduling itself forward on stale fires
+    /// instead of pushing a fresh event per acknowledgement.
     replay_deadline: Tick,
     replay_timer_outstanding: bool,
-    /// RX-side: cumulative ACK not yet sent.
-    pending_ack: Option<u32>,
-    ack_timer_armed: bool,
     /// Admission refusals owed a retry: [request feeder, response feeder].
     owe_retry: [bool; 2],
     /// TLPs put on the wire, for error injection.
     tx_count: u64,
-    /// Credit mode: transmit credits available at this direction's source.
+    /// Credit mode: transmit credits available at this end.
     tx_credits: u32,
+    /// The spec's REPLAY_NUM: a 2-bit count of consecutive replay events
+    /// without acknowledged progress; its rollover is a correctable AER
+    /// error at the transmitter.
+    replay_num: u32,
+    tx_stats: TxStats,
+    // ── RX side (the wire the peer transmits) ──────────────────────────
+    rx: RxState,
+    /// Cumulative ACK not yet sent.
+    pending_ack: Option<u32>,
+    ack_timer_armed: bool,
     /// Credit mode: received TLPs awaiting delivery to the attached port.
     rx_buffer: VecDeque<Packet>,
     /// Credit mode: the attached port refused a delivery; waiting for its
@@ -261,35 +335,31 @@ struct DirState {
     rx_waiting_retry: bool,
     /// Credit mode: credits freed but not yet returned via UpdateFC.
     pending_credit_return: u32,
-    /// The spec's REPLAY_NUM: a 2-bit count of consecutive replay events
-    /// without acknowledged progress; its rollover is a correctable AER
-    /// error at the transmitter.
-    replay_num: u32,
-    stats: DirStats,
+    rx_stats: RxStats,
 }
 
-impl DirState {
+impl EndState {
     fn new(capacity: usize, credits: u32) -> Self {
         Self {
             tx: ReplayBuffer::new(capacity),
-            rx: RxState::new(),
             pending_dllps: VecDeque::new(),
             wire_busy_until: 0,
             kick_scheduled: false,
-            pump_on_arrival: false,
             replay_armed: false,
             replay_deadline: 0,
             replay_timer_outstanding: false,
-            pending_ack: None,
-            ack_timer_armed: false,
             owe_retry: [false; 2],
             tx_count: 0,
             tx_credits: credits,
+            replay_num: 0,
+            tx_stats: TxStats::default(),
+            rx: RxState::new(),
+            pending_ack: None,
+            ack_timer_armed: false,
             rx_buffer: VecDeque::new(),
             rx_waiting_retry: false,
             pending_credit_return: 0,
-            replay_num: 0,
-            stats: DirStats::default(),
+            rx_stats: RxStats::default(),
         }
     }
 }
@@ -302,70 +372,88 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The PCI-Express link component; see the module docs for wiring.
-pub struct PcieLink {
+/// Where this end's wire terminates.
+#[derive(Debug, Clone, Copy)]
+enum PeerTx {
+    /// The far end lives in the same (fused) component: wire arrivals are
+    /// local self-schedules, routed back by [`event_dest_end`].
+    Fused,
+    /// The far end lives in another shard: wire arrivals cross through the
+    /// plan's directed cut edge `edge`.
+    Remote { edge: u32 },
+}
+
+/// Ships a wire-arrival event to the peer end. Local and remote schedules
+/// mint order stamps from the same per-(component, stream) counter, with
+/// `stream` fixed to the transmitting end — so a fused link and a split
+/// pair produce identical stamps for identical traffic.
+fn send_to_peer(ctx: &mut Ctx<'_>, peer: PeerTx, stream: u8, delay: Tick, ev: Event) {
+    match peer {
+        PeerTx::Fused => {
+            ctx.schedule_stream(delay, stream, ev);
+        }
+        PeerTx::Remote { edge } => ctx.remote_schedule(edge, delay, stream, ev),
+    }
+}
+
+/// One physical end of a link: transmitter of its own wire, receiver of
+/// the peer's. End 0 is the upstream interface (transmits Down, ports
+/// 0–1); end 1 is the downstream interface (transmits Up, ports 2–3).
+struct LinkEnd {
     name: String,
+    end: u8,
+    peer: PeerTx,
     config: LinkConfig,
     replay_timeout: Tick,
     ack_timeout: Tick,
-    dirs: [DirState; 2],
-    /// AER reporters for the two interfaces: `[upstream, downstream]`.
-    /// When attached, data-link errors latch into the config space's AER
-    /// correctable-status register — receiver-side errors at the receiving
-    /// end, replay errors at the transmitting end.
-    aer: [Option<SharedConfigSpace>; 2],
+    st: EndState,
+    /// AER reporter for this interface. When attached, data-link errors
+    /// latch into the config space's AER correctable-status register —
+    /// receiver-side errors at the receiving end, replay errors at the
+    /// transmitting end.
+    aer: Option<SharedConfigSpace>,
 }
 
-impl PcieLink {
-    /// Creates a link named `name` with the given configuration.
-    pub fn new(name: impl Into<String>, config: LinkConfig) -> Self {
+impl LinkEnd {
+    fn new(name: String, end: u8, peer: PeerTx, config: LinkConfig) -> Self {
         let rt = replay_timeout(&config);
         let at = ack_timeout(&config);
         let cap = config.replay_buffer_size;
         let credits = config.credit_fc.unwrap_or(0) as u32;
         Self {
-            name: name.into(),
-            config,
+            name,
+            end,
+            peer,
             replay_timeout: rt,
             ack_timeout: at,
-            dirs: [DirState::new(cap, credits), DirState::new(cap, credits)],
-            aer: [None, None],
+            st: EndState::new(cap, credits),
+            aer: None,
+            config,
         }
     }
 
-    /// Attaches AER-capable config spaces to the link's interfaces so
-    /// data-link errors are advised to software the way real hardware
-    /// does: a corrupted TLP latches Receiver Error + Bad TLP at the
-    /// *receiving* end; a replay-timer expiry latches Replay Timer
-    /// Timeout and a REPLAY_NUM rollover latches REPLAY_NUM Rollover at
-    /// the *transmitting* end. Ends without an AER capability (or passed
-    /// as `None`) simply record nothing; the recovery protocol itself is
-    /// unaffected.
-    pub fn attach_aer(
-        &mut self,
-        upstream: Option<SharedConfigSpace>,
-        downstream: Option<SharedConfigSpace>,
-    ) {
-        self.aer = [upstream, downstream];
-    }
-
-    /// The interface transmitting `dir`: the upstream end transmits Down.
-    fn tx_end(dir: Dir) -> usize {
-        match dir {
-            Dir::Down => 0,
-            Dir::Up => 1,
+    /// The direction this end transmits.
+    fn tx_dir(&self) -> Dir {
+        if self.end == 0 {
+            Dir::Down
+        } else {
+            Dir::Up
         }
     }
 
-    /// The interface receiving `dir`.
-    fn rx_end(dir: Dir) -> usize {
-        Self::tx_end(dir.opposite())
+    /// The direction this end receives.
+    fn rx_dir(&self) -> Dir {
+        if self.end == 0 {
+            Dir::Up
+        } else {
+            Dir::Down
+        }
     }
 
-    /// Latches correctable-error `bits` into the AER block of interface
-    /// `end`, if one is attached.
-    fn record_cor(&self, end: usize, bits: u32) {
-        if let Some(cs) = &self.aer[end] {
+    /// Latches correctable-error `bits` into this end's AER block, if one
+    /// is attached.
+    fn record_cor(&self, bits: u32) {
+        if let Some(cs) = &self.aer {
             aer_record_correctable(&mut cs.borrow_mut(), bits, 0);
         }
     }
@@ -373,103 +461,93 @@ impl PcieLink {
     /// Advances the transmitter's REPLAY_NUM counter for one replay event
     /// and latches the AER rollover error when the 2-bit count wraps
     /// (four consecutive replays without acknowledged progress).
-    fn bump_replay_num(&mut self, dir: Dir) {
-        let st = &mut self.dirs[dir.index()];
-        st.replay_num = (st.replay_num + 1) & 3;
-        if st.replay_num == 0 {
-            self.record_cor(Self::tx_end(dir), cor::REPLAY_NUM_ROLLOVER);
+    fn bump_replay_num(&mut self) {
+        self.st.replay_num = (self.st.replay_num + 1) & 3;
+        if self.st.replay_num == 0 {
+            self.record_cor(cor::REPLAY_NUM_ROLLOVER);
         }
     }
 
-    /// The link configuration.
-    pub fn config(&self) -> &LinkConfig {
-        &self.config
-    }
-
-    /// The computed replay-timeout interval.
-    pub fn replay_timeout(&self) -> Tick {
-        self.replay_timeout
-    }
-
-    fn arm_replay(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
-        let st = &mut self.dirs[dir.index()];
-        st.replay_armed = true;
-        st.replay_deadline = ctx.now() + self.replay_timeout;
-        if !st.replay_timer_outstanding {
-            st.replay_timer_outstanding = true;
-            ctx.schedule(
-                self.replay_timeout,
-                Event::Timer { kind: K_REPLAY_TIMEOUT + dir as u32, data: 0 },
-            );
+    fn arm_replay(&mut self, ctx: &mut Ctx<'_>) {
+        self.st.replay_armed = true;
+        self.st.replay_deadline = ctx.now() + self.replay_timeout;
+        if !self.st.replay_timer_outstanding {
+            self.st.replay_timer_outstanding = true;
+            let kind = K_REPLAY_TIMEOUT + self.tx_dir() as u32;
+            ctx.schedule_stream(self.replay_timeout, self.end, Event::Timer { kind, data: 0 });
         }
     }
 
-    fn disarm_replay(&mut self, dir: Dir) {
-        self.dirs[dir.index()].replay_armed = false;
-    }
-
-    /// Queues an ACK/NAK for transmission on `dir`'s wire.
-    fn queue_dllp(&mut self, ctx: &mut Ctx<'_>, dir: Dir, dllp: Dllp) {
-        let st = &mut self.dirs[dir.index()];
+    /// Queues an ACK/NAK/UpdateFC for transmission on this end's wire.
+    fn queue_dllp(&mut self, ctx: &mut Ctx<'_>, dllp: Dllp) {
         match dllp {
             Dllp::Nak { seq } => {
-                st.stats.naks_tx.inc();
+                self.st.tx_stats.naks_tx.inc();
                 ctx.emit(TraceCategory::Link, TraceKind::LinkNak, None, None, u64::from(seq));
             }
             Dllp::Ack { seq } => {
-                st.stats.acks_tx.inc();
+                self.st.tx_stats.acks_tx.inc();
                 ctx.emit(TraceCategory::Link, TraceKind::LinkAck, None, None, u64::from(seq));
             }
-            Dllp::UpdateFc { .. } => st.stats.updatefc_tx.inc(),
+            Dllp::UpdateFc { .. } => self.st.tx_stats.updatefc_tx.inc(),
         }
-        st.pending_dllps.push_back(dllp);
-        self.pump(ctx, dir);
+        self.st.pending_dllps.push_back(dllp);
+        self.pump(ctx);
     }
 
-    /// The transmission engine for one direction: one packet per call while
-    /// the wire is free, priority ACK/NAK > replayed TLPs > new TLPs.
-    fn pump(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
+    /// The transmission engine: one frame per iteration while the wire is
+    /// free, priority ACK/NAK > replayed TLPs > new TLPs. After every
+    /// frame a TX kick is left at the wire-free tick, so transmission
+    /// resumes without any help from the (possibly remote) receiving end.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
         loop {
             let now = ctx.now();
             let prop = self.config.propagation_delay;
-            let st = &mut self.dirs[dir.index()];
-            if now < st.wire_busy_until {
-                // When the in-flight frame's arrival event coincides with
-                // the wire freeing, that event pumps — no kick timer.
-                if !st.kick_scheduled && !st.pump_on_arrival {
-                    st.kick_scheduled = true;
-                    let delay = st.wire_busy_until - now;
-                    ctx.schedule(delay, Event::Timer { kind: K_TX_KICK + dir as u32, data: 0 });
+            if now < self.st.wire_busy_until {
+                if !self.st.kick_scheduled {
+                    self.st.kick_scheduled = true;
+                    let delay = self.st.wire_busy_until - now;
+                    let kind = K_TX_KICK + self.tx_dir() as u32;
+                    ctx.schedule_stream(delay, self.end, Event::Timer { kind, data: 0 });
                 }
                 return;
             }
-            if let Some(dllp) = st.pending_dllps.pop_front() {
+            if let Some(dllp) = self.st.pending_dllps.pop_front() {
                 let t = self.config.tx_time(DLLP_WIRE_BYTES);
-                st.wire_busy_until = now + t;
-                st.pump_on_arrival = prop == 0;
-                st.stats.busy_ticks.add(t);
-                st.stats.bytes_tx.add(u64::from(DLLP_WIRE_BYTES));
+                self.st.wire_busy_until = now + t;
+                self.st.tx_stats.busy_ticks.add(t);
+                self.st.tx_stats.bytes_tx.add(u64::from(DLLP_WIRE_BYTES));
                 let data = match dllp {
                     Dllp::Ack { seq } => u64::from(seq),
                     Dllp::Nak { seq } => u64::from(seq) | (1 << 32),
                     Dllp::UpdateFc { credits } => u64::from(credits) | (1 << 33),
                 };
-                ctx.schedule(t + prop, Event::Timer { kind: K_DLLP_ARRIVE + dir as u32, data });
+                let kind = K_DLLP_ARRIVE + self.tx_dir() as u32;
+                send_to_peer(ctx, self.peer, self.end, t + prop, Event::Timer { kind, data });
                 continue;
             }
-            if let Some((seq, held)) = st.tx.next_to_transmit_ref() {
+            if let Some((seq, held)) = self.st.tx.next_to_transmit_ref() {
                 assert!(seq <= TAG_SEQ_MASK, "sequence numbers exhausted the tag space");
                 // Wire copy via the pooled allocator; the replay buffer
                 // keeps the original until it is acknowledged.
                 let pkt = ctx.clone_packet(held);
-                st.tx.mark_transmitted();
+                self.st.tx.mark_transmitted();
+                // The admission tick rides along the wire so the receiver
+                // can attribute delivery latency without reaching into
+                // this end's replay buffer; replays keep their original
+                // admission tick.
+                let stamp = self
+                    .st
+                    .tx
+                    .admit_tick_of(seq)
+                    .expect("transmitted TLP absent from replay buffer");
                 let wire = tlp_wire_bytes(pkt.payload_len());
                 let t = self.config.tx_time(wire);
-                st.wire_busy_until = now + t;
-                st.stats.tlps_tx.inc();
-                st.stats.bytes_tx.add(u64::from(wire));
-                st.stats.busy_ticks.add(t);
-                st.tx_count += 1;
+                self.st.wire_busy_until = now + t;
+                self.st.tx_stats.tlps_tx.inc();
+                self.st.tx_stats.bytes_tx.add(u64::from(wire));
+                self.st.tx_stats.busy_ticks.add(t);
+                self.st.tx_count += 1;
                 if ctx.tracing(TraceCategory::Link) {
                     ctx.emit(
                         TraceCategory::Link,
@@ -484,9 +562,9 @@ impl PcieLink {
                 // lengths — corrupting the same TLP in every burst forever
                 // — which no physical error process does.
                 let corrupt = self.config.error_interval != 0
-                    && splitmix64(st.tx_count).is_multiple_of(self.config.error_interval);
+                    && splitmix64(self.st.tx_count).is_multiple_of(self.config.error_interval);
                 let mut tag = seq;
-                if dir == Dir::Up {
+                if self.end == 1 {
                     tag |= TAG_DIR_BIT;
                 }
                 if corrupt {
@@ -499,11 +577,15 @@ impl PcieLink {
                 } else {
                     t
                 };
-                ctx.schedule(delivery + prop, Event::DelayedPacket { tag, pkt });
-                let st = &mut self.dirs[dir.index()];
-                st.pump_on_arrival = delivery + prop == t;
-                if !st.replay_armed {
-                    self.arm_replay(ctx, dir);
+                send_to_peer(
+                    ctx,
+                    self.peer,
+                    self.end,
+                    delivery + prop,
+                    Event::StampedPacket { tag, stamp, pkt },
+                );
+                if !self.st.replay_armed {
+                    self.arm_replay(ctx);
                 }
                 continue;
             }
@@ -511,29 +593,28 @@ impl PcieLink {
         }
     }
 
-    /// Admits a TLP from an attached port into `dir`'s transaction layer.
-    /// In credit mode admission also consumes one receive-buffer credit;
-    /// without credits the source is stalled rather than transmitting
-    /// into a full receiver.
-    fn admit(&mut self, ctx: &mut Ctx<'_>, dir: Dir, feeder: usize, pkt: Packet) -> RecvResult {
+    /// Admits a TLP from an attached port into this end's transaction
+    /// layer. In credit mode admission also consumes one receive-buffer
+    /// credit; without credits the source is stalled rather than
+    /// transmitting into a full receiver.
+    fn admit(&mut self, ctx: &mut Ctx<'_>, feeder: usize, pkt: Packet) -> RecvResult {
         let credit_mode = self.config.credit_fc.is_some();
-        let st = &mut self.dirs[dir.index()];
-        if credit_mode && st.tx_credits == 0 {
-            st.stats.credit_stalls.inc();
-            st.owe_retry[feeder] = true;
+        if credit_mode && self.st.tx_credits == 0 {
+            self.st.tx_stats.credit_stalls.inc();
+            self.st.owe_retry[feeder] = true;
             return RecvResult::Refused(pkt);
         }
-        if !st.tx.can_admit() {
-            st.stats.admission_refusals.inc();
-            st.owe_retry[feeder] = true;
+        if !self.st.tx.can_admit() {
+            self.st.tx_stats.admission_refusals.inc();
+            self.st.owe_retry[feeder] = true;
             return RecvResult::Refused(pkt);
         }
         if credit_mode {
-            st.tx_credits -= 1;
+            self.st.tx_credits -= 1;
         }
         let traced = ctx.tracing(TraceCategory::Link).then(|| (pkt.id(), pkt.cmd()));
-        let seq = st.tx.admit_at(ctx.now(), pkt);
-        st.stats.tlps_admitted.inc();
+        let seq = self.st.tx.admit_at(ctx.now(), pkt);
+        self.st.tx_stats.tlps_admitted.inc();
         if let Some((id, cmd)) = traced {
             ctx.emit(
                 TraceCategory::Link,
@@ -543,37 +624,62 @@ impl PcieLink {
                 u64::from(seq),
             );
         }
-        self.pump(ctx, dir);
+        self.pump(ctx);
         RecvResult::Accepted
     }
 
     /// Grants retries to feeders refused earlier, once space is back.
-    fn grant_feeder_retries(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
-        if !self.dirs[dir.index()].tx.can_admit() {
+    fn grant_feeder_retries(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.st.tx.can_admit() {
             return;
         }
-        if self.config.credit_fc.is_some() && self.dirs[dir.index()].tx_credits == 0 {
+        if self.config.credit_fc.is_some() && self.st.tx_credits == 0 {
             return;
         }
-        let owed = std::mem::take(&mut self.dirs[dir.index()].owe_retry);
-        let (req_port, resp_port) = match dir {
-            Dir::Down => (PORT_UP_SLAVE, PORT_UP_MASTER),
-            Dir::Up => (PORT_DOWN_SLAVE, PORT_DOWN_MASTER),
+        let owed = std::mem::take(&mut self.st.owe_retry);
+        let (req_port, resp_port) = if self.end == 0 {
+            (PORT_UP_SLAVE, PORT_UP_MASTER)
+        } else {
+            (PORT_DOWN_SLAVE, PORT_DOWN_MASTER)
         };
         if owed[0] {
-            ctx.send_retry(req_port);
+            ctx.send_retry_stream(req_port, self.end);
         }
         if owed[1] {
-            ctx.send_retry(resp_port);
+            ctx.send_retry_stream(resp_port, self.end);
         }
     }
 
-    /// A TLP reached the sink interface of `dir`.
-    fn tlp_arrived(&mut self, ctx: &mut Ctx<'_>, dir: Dir, seq: u32, corrupt: bool, pkt: Packet) {
+    /// Hands a received TLP out of this end's interface: requests continue
+    /// in their direction of travel through the master port, responses
+    /// through the slave.
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) -> Result<(), Packet> {
+        let is_req = pkt.is_request();
+        if self.end == 1 {
+            if is_req {
+                ctx.try_send_request(PORT_DOWN_MASTER, pkt)
+            } else {
+                ctx.try_send_response(PORT_DOWN_SLAVE, pkt)
+            }
+        } else if is_req {
+            ctx.try_send_request(PORT_UP_MASTER, pkt)
+        } else {
+            ctx.try_send_response(PORT_UP_SLAVE, pkt)
+        }
+    }
+
+    /// A TLP reached this end; `stamp` is its admission tick at the peer.
+    fn tlp_arrived(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        seq: u32,
+        corrupt: bool,
+        stamp: Tick,
+        pkt: Packet,
+    ) {
         let ack_immediate = self.config.ack_immediate;
-        let st = &mut self.dirs[dir.index()];
         if corrupt {
-            st.stats.rx_dropped_corrupt.inc();
+            self.st.rx_stats.rx_dropped_corrupt.inc();
             ctx.emit(
                 TraceCategory::Link,
                 TraceKind::LinkDrop,
@@ -589,15 +695,15 @@ impl PcieLink {
             // every live sequence number — `nak(u32::MAX)` acknowledges
             // nothing and rewinds everything, exactly the intent of
             // "NAK from the start".
-            let nak_seq = st.rx.expected().wrapping_sub(1);
-            self.record_cor(Self::rx_end(dir), cor::RECEIVER_ERROR | cor::BAD_TLP);
-            self.queue_dllp(ctx, dir.opposite(), Dllp::Nak { seq: nak_seq });
+            let nak_seq = self.st.rx.expected().wrapping_sub(1);
+            self.record_cor(cor::RECEIVER_ERROR | cor::BAD_TLP);
+            self.queue_dllp(ctx, Dllp::Nak { seq: nak_seq });
             return;
         }
-        if !st.rx.accepts(seq) {
+        if !self.st.rx.accepts(seq) {
             // Out-of-order (e.g. a replay of something already delivered):
             // discard without advancing, as the paper's model does.
-            st.stats.rx_dropped_seq.inc();
+            self.st.rx_stats.rx_dropped_seq.inc();
             ctx.emit(
                 TraceCategory::Link,
                 TraceKind::LinkDrop,
@@ -614,11 +720,10 @@ impl PcieLink {
             // left to the pending cumulative ACK instead. Error-free
             // runs never reach this branch, so quiet-wire timing is
             // unchanged.
-            let st = &mut self.dirs[dir.index()];
-            if let Some(last) = st.rx.last_received() {
+            if let Some(last) = self.st.rx.last_received() {
                 if seq_le(seq, last) {
-                    st.pending_ack = None;
-                    self.queue_dllp(ctx, dir.opposite(), Dllp::Ack { seq: last });
+                    self.st.pending_ack = None;
+                    self.queue_dllp(ctx, Dllp::Ack { seq: last });
                 }
             }
             return;
@@ -627,13 +732,8 @@ impl PcieLink {
             // Credit mode: the receive buffer always has room (the
             // transmitter consumed a credit), so receipt is unconditional;
             // delivery happens from the buffer.
-            let st = &mut self.dirs[dir.index()];
-            let acked = st.rx.advance();
-            if let Some(admitted) = st.tx.admit_tick_of(acked) {
-                st.stats
-                    .delivery_latency_ns
-                    .record(pcisim_kernel::tick::to_ns(ctx.now().saturating_sub(admitted)));
-            }
+            let acked = self.st.rx.advance();
+            self.st.rx_stats.delivery_latency_ns.record(to_ns(ctx.now().saturating_sub(stamp)));
             if ctx.tracing(TraceCategory::Link) {
                 ctx.emit(
                     TraceCategory::Link,
@@ -643,26 +743,18 @@ impl PcieLink {
                     u64::from(acked),
                 );
             }
-            st.rx_buffer.push_back(pkt);
-            assert!(st.rx_buffer.len() <= credits, "credit accounting violated");
-            self.send_ack(ctx, dir, acked, ack_immediate);
-            self.drain_rx(ctx, dir);
+            self.st.rx_buffer.push_back(pkt);
+            assert!(self.st.rx_buffer.len() <= credits, "credit accounting violated");
+            self.send_ack(ctx, acked, ack_immediate);
+            self.drain_rx(ctx);
             return;
         }
         // Deliver to the attached component.
         let traced = ctx.tracing(TraceCategory::Link).then(|| (pkt.id(), pkt.cmd()));
-        let egress_is_req = pkt.is_request();
-        let result = match (dir, egress_is_req) {
-            (Dir::Down, true) => ctx.try_send_request(PORT_DOWN_MASTER, pkt),
-            (Dir::Down, false) => ctx.try_send_response(PORT_DOWN_SLAVE, pkt),
-            (Dir::Up, true) => ctx.try_send_request(PORT_UP_MASTER, pkt),
-            (Dir::Up, false) => ctx.try_send_response(PORT_UP_SLAVE, pkt),
-        };
-        let st = &mut self.dirs[dir.index()];
-        match result {
+        match self.deliver(ctx, pkt) {
             Ok(()) => {
-                let acked = st.rx.advance();
-                st.stats.rx_delivered.inc();
+                let acked = self.st.rx.advance();
+                self.st.rx_stats.rx_delivered.inc();
                 if let Some((id, cmd)) = traced {
                     ctx.emit(
                         TraceCategory::Link,
@@ -672,20 +764,13 @@ impl PcieLink {
                         u64::from(acked),
                     );
                 }
-                // The receiver of a direction lives in the same component
-                // as its sender, so the replay buffer — which still holds
-                // the unacknowledged TLP — provides the admission tick.
-                if let Some(admitted) = st.tx.admit_tick_of(acked) {
-                    st.stats
-                        .delivery_latency_ns
-                        .record(pcisim_kernel::tick::to_ns(ctx.now().saturating_sub(admitted)));
-                }
-                self.send_ack(ctx, dir, acked, ack_immediate);
+                self.st.rx_stats.delivery_latency_ns.record(to_ns(ctx.now().saturating_sub(stamp)));
+                self.send_ack(ctx, acked, ack_immediate);
             }
             Err(dropped) => {
                 // The attached port's buffers are full: do not increment the
                 // receiving sequence number; the sender replays on timeout.
-                st.stats.rx_dropped_refused.inc();
+                self.st.rx_stats.rx_dropped_refused.inc();
                 if traced.is_some() {
                     ctx.emit(
                         TraceCategory::Link,
@@ -701,84 +786,70 @@ impl PcieLink {
     }
 
     /// Acknowledges receipt of `acked`: immediately when configured or the
-    /// reverse wire is idle ("the receiver has the option to send an ACK
-    /// back to the sender immediately", §V-C), else behind the ACK timer.
-    fn send_ack(&mut self, ctx: &mut Ctx<'_>, dir: Dir, acked: u32, ack_immediate: bool) {
-        let reverse = dir.opposite();
+    /// return wire — this end's own transmitter — is idle ("the receiver
+    /// has the option to send an ACK back to the sender immediately",
+    /// §V-C), else behind the ACK timer.
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, acked: u32, ack_immediate: bool) {
         let reverse_idle = self.config.ack_opportunistic
-            && ctx.now() >= self.dirs[reverse.index()].wire_busy_until
-            && self.dirs[reverse.index()].pending_dllps.is_empty();
-        let st = &mut self.dirs[dir.index()];
-        st.pending_ack = Some(acked);
+            && ctx.now() >= self.st.wire_busy_until
+            && self.st.pending_dllps.is_empty();
+        self.st.pending_ack = Some(acked);
         if ack_immediate || reverse_idle {
-            st.pending_ack = None;
-            self.queue_dllp(ctx, reverse, Dllp::Ack { seq: acked });
-        } else if !st.ack_timer_armed {
-            st.ack_timer_armed = true;
-            ctx.schedule(
-                self.ack_timeout,
-                Event::Timer { kind: K_ACK_TIMER + dir as u32, data: 0 },
-            );
+            self.st.pending_ack = None;
+            self.queue_dllp(ctx, Dllp::Ack { seq: acked });
+        } else if !self.st.ack_timer_armed {
+            self.st.ack_timer_armed = true;
+            let kind = K_ACK_TIMER + self.rx_dir() as u32;
+            ctx.schedule_stream(self.ack_timeout, self.end, Event::Timer { kind, data: 0 });
         }
     }
 
     /// Credit mode: delivers buffered TLPs to the attached port and
     /// returns freed credits via UpdateFC, batched to a quarter of the
     /// advertised window.
-    fn drain_rx(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
+    fn drain_rx(&mut self, ctx: &mut Ctx<'_>) {
         let credits = match self.config.credit_fc {
             Some(c) => c as u32,
             None => return,
         };
         loop {
-            if self.dirs[dir.index()].rx_waiting_retry {
+            if self.st.rx_waiting_retry {
                 break;
             }
-            let Some(pkt) = self.dirs[dir.index()].rx_buffer.pop_front() else { break };
-            let egress_is_req = pkt.is_request();
-            let result = match (dir, egress_is_req) {
-                (Dir::Down, true) => ctx.try_send_request(PORT_DOWN_MASTER, pkt),
-                (Dir::Down, false) => ctx.try_send_response(PORT_DOWN_SLAVE, pkt),
-                (Dir::Up, true) => ctx.try_send_request(PORT_UP_MASTER, pkt),
-                (Dir::Up, false) => ctx.try_send_response(PORT_UP_SLAVE, pkt),
-            };
-            let st = &mut self.dirs[dir.index()];
-            match result {
+            let Some(pkt) = self.st.rx_buffer.pop_front() else { break };
+            match self.deliver(ctx, pkt) {
                 Ok(()) => {
-                    st.stats.rx_delivered.inc();
-                    st.pending_credit_return += 1;
+                    self.st.rx_stats.rx_delivered.inc();
+                    self.st.pending_credit_return += 1;
                 }
                 Err(back) => {
-                    st.rx_buffer.push_front(back);
-                    st.rx_waiting_retry = true;
+                    self.st.rx_buffer.push_front(back);
+                    self.st.rx_waiting_retry = true;
                     break;
                 }
             }
         }
         // Return credits once a quarter of the window accumulates (or the
         // last buffered TLP drained).
-        let st = &mut self.dirs[dir.index()];
         let threshold = (credits / 4).max(1);
-        if st.pending_credit_return >= threshold
-            || (st.pending_credit_return > 0 && st.rx_buffer.is_empty())
+        if self.st.pending_credit_return >= threshold
+            || (self.st.pending_credit_return > 0 && self.st.rx_buffer.is_empty())
         {
-            let returned = st.pending_credit_return;
-            st.pending_credit_return = 0;
-            self.queue_dllp(ctx, dir.opposite(), Dllp::UpdateFc { credits: returned });
+            let returned = self.st.pending_credit_return;
+            self.st.pending_credit_return = 0;
+            self.queue_dllp(ctx, Dllp::UpdateFc { credits: returned });
         }
     }
 
-    /// A DLLP that travelled on `dir` reached `dir`'s sink — which is the
-    /// TX side of the opposite direction.
-    fn dllp_arrived(&mut self, ctx: &mut Ctx<'_>, dir: Dir, dllp: Dllp) {
-        let tx_dir = dir.opposite();
-        let st = &mut self.dirs[tx_dir.index()];
+    /// A DLLP from the peer's wire reached this end — it concerns this
+    /// end's transmitter.
+    fn dllp_arrived(&mut self, ctx: &mut Ctx<'_>, dllp: Dllp) {
         let mut replay_event = false;
         match dllp {
             Dllp::Nak { seq } => {
-                st.stats.naks_rx.inc();
-                let replayed = st.tx.nak_drain(seq, |pkt| ctx.recycle_packet(pkt));
-                st.stats.replays.add(replayed as u64);
+                self.st.tx_stats.naks_rx.inc();
+                let replayed = self.st.tx.nak_drain(seq, |pkt| ctx.recycle_packet(pkt));
+                self.st.tx_stats.replays.add(replayed as u64);
                 replay_event = replayed > 0;
                 if replayed > 0 {
                     ctx.emit(
@@ -791,245 +862,403 @@ impl PcieLink {
                 }
             }
             Dllp::Ack { seq } => {
-                st.stats.acks_rx.inc();
-                st.tx.ack_drain(seq, |pkt| ctx.recycle_packet(pkt));
+                self.st.tx_stats.acks_rx.inc();
+                self.st.tx.ack_drain(seq, |pkt| ctx.recycle_packet(pkt));
                 // Acknowledged progress resets the consecutive-replay
                 // count.
-                st.replay_num = 0;
+                self.st.replay_num = 0;
             }
             Dllp::UpdateFc { credits } => {
-                st.stats.updatefc_rx.inc();
-                st.tx_credits += credits;
-                self.grant_feeder_retries(ctx, tx_dir);
-                self.pump(ctx, tx_dir);
+                self.st.tx_stats.updatefc_rx.inc();
+                self.st.tx_credits += credits;
+                self.grant_feeder_retries(ctx);
+                self.pump(ctx);
                 return;
             }
         }
         if replay_event {
-            self.bump_replay_num(tx_dir);
+            self.bump_replay_num();
         }
         // "The replay timer is reset whenever an interface receives an ACK."
-        if self.dirs[tx_dir.index()].tx.is_empty() {
-            self.disarm_replay(tx_dir);
+        if self.st.tx.is_empty() {
+            self.st.replay_armed = false;
         } else {
-            self.arm_replay(ctx, tx_dir);
+            self.arm_replay(ctx);
         }
-        self.grant_feeder_retries(ctx, tx_dir);
-        self.pump(ctx, tx_dir);
+        self.grant_feeder_retries(ctx);
+        self.pump(ctx);
     }
 
-    fn replay_timeout_fired(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
-        let st = &mut self.dirs[dir.index()];
-        st.replay_timer_outstanding = false;
-        if !st.replay_armed {
+    fn replay_timeout_fired(&mut self, ctx: &mut Ctx<'_>) {
+        self.st.replay_timer_outstanding = false;
+        if !self.st.replay_armed {
             return; // disarmed while in flight
         }
-        if st.tx.is_empty() {
-            self.disarm_replay(dir);
+        if self.st.tx.is_empty() {
+            self.st.replay_armed = false;
             return;
         }
-        let st = &mut self.dirs[dir.index()];
-        if ctx.now() < st.replay_deadline {
+        if ctx.now() < self.st.replay_deadline {
             // An ACK moved the deadline forward since this timer was
             // scheduled: chase it instead of having queued one event per
             // acknowledgement.
-            st.replay_timer_outstanding = true;
-            let delay = st.replay_deadline - ctx.now();
-            ctx.schedule(delay, Event::Timer { kind: K_REPLAY_TIMEOUT + dir as u32, data: 0 });
+            self.st.replay_timer_outstanding = true;
+            let delay = self.st.replay_deadline - ctx.now();
+            let kind = K_REPLAY_TIMEOUT + self.tx_dir() as u32;
+            ctx.schedule_stream(delay, self.end, Event::Timer { kind, data: 0 });
             return;
         }
-        st.stats.timeouts.inc();
-        let replayed = st.tx.rewind();
-        st.stats.replays.add(replayed as u64);
+        self.st.tx_stats.timeouts.inc();
+        let replayed = self.st.tx.rewind();
+        self.st.tx_stats.replays.add(replayed as u64);
         ctx.emit(TraceCategory::Link, TraceKind::LinkReplayTimeout, None, None, replayed as u64);
-        self.record_cor(Self::tx_end(dir), cor::REPLAY_TIMER_TIMEOUT);
-        self.bump_replay_num(dir);
-        self.arm_replay(ctx, dir);
-        self.pump(ctx, dir);
+        self.record_cor(cor::REPLAY_TIMER_TIMEOUT);
+        self.bump_replay_num();
+        self.arm_replay(ctx);
+        self.pump(ctx);
     }
 
-    fn ack_timer_fired(&mut self, ctx: &mut Ctx<'_>, dir: Dir) {
-        let st = &mut self.dirs[dir.index()];
-        st.ack_timer_armed = false;
-        if let Some(seq) = st.pending_ack.take() {
-            self.queue_dllp(ctx, dir.opposite(), Dllp::Ack { seq });
-        }
-    }
-}
-
-impl Component for PcieLink {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
-        match port {
-            PORT_UP_SLAVE => self.admit(ctx, Dir::Down, 0, pkt),
-            PORT_DOWN_SLAVE => self.admit(ctx, Dir::Up, 0, pkt),
-            other => panic!("{}: request on non-slave port {other}", self.name),
+    fn ack_timer_fired(&mut self, ctx: &mut Ctx<'_>) {
+        self.st.ack_timer_armed = false;
+        if let Some(seq) = self.st.pending_ack.take() {
+            self.queue_dllp(ctx, Dllp::Ack { seq });
         }
     }
 
-    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
-        match port {
-            PORT_UP_MASTER => self.admit(ctx, Dir::Down, 1, pkt),
-            PORT_DOWN_MASTER => self.admit(ctx, Dir::Up, 1, pkt),
-            other => panic!("{}: response on non-master port {other}", self.name),
-        }
-    }
-
-    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+    /// Dispatches a self-addressed event that [`event_dest_end`] routed to
+    /// this end.
+    fn handle_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match ev {
-            Event::DelayedPacket { tag, pkt } => {
-                let dir = if tag & TAG_DIR_BIT != 0 { Dir::Up } else { Dir::Down };
+            Event::StampedPacket { tag, stamp, pkt } => {
                 let corrupt = tag & TAG_CORRUPT_BIT != 0;
                 let seq = tag & TAG_SEQ_MASK;
-                // This arrival is the fused TX kick for `dir`'s wire when
-                // the frame's flight time equals its serialization time.
-                let pump_after = std::mem::take(&mut self.dirs[dir.index()].pump_on_arrival);
-                self.tlp_arrived(ctx, dir, seq, corrupt, pkt);
-                if pump_after {
-                    self.pump(ctx, dir);
-                }
+                self.tlp_arrived(ctx, seq, corrupt, stamp, pkt);
             }
-            Event::Timer { kind, data } => {
-                let dir = Dir::from_index(u64::from(kind & 1));
-                match kind & !1 {
-                    K_TX_KICK => {
-                        self.dirs[dir.index()].kick_scheduled = false;
-                        self.pump(ctx, dir);
-                    }
-                    K_REPLAY_TIMEOUT => self.replay_timeout_fired(ctx, dir),
-                    K_ACK_TIMER => self.ack_timer_fired(ctx, dir),
-                    K_DLLP_ARRIVE => {
-                        let value = (data & 0xffff_ffff) as u32;
-                        let dllp = if data & (1 << 33) != 0 {
-                            Dllp::UpdateFc { credits: value }
-                        } else if data & (1 << 32) != 0 {
-                            Dllp::Nak { seq: value }
-                        } else {
-                            Dllp::Ack { seq: value }
-                        };
-                        let pump_after =
-                            std::mem::take(&mut self.dirs[dir.index()].pump_on_arrival);
-                        self.dllp_arrived(ctx, dir, dllp);
-                        if pump_after {
-                            self.pump(ctx, dir);
-                        }
-                    }
-                    other => panic!("{}: unknown timer kind {other}", self.name),
+            Event::Timer { kind, data } => match kind & !1 {
+                K_TX_KICK => {
+                    self.st.kick_scheduled = false;
+                    self.pump(ctx);
                 }
+                K_REPLAY_TIMEOUT => self.replay_timeout_fired(ctx),
+                K_ACK_TIMER => self.ack_timer_fired(ctx),
+                K_DLLP_ARRIVE => {
+                    let value = (data & 0xffff_ffff) as u32;
+                    let dllp = if data & (1 << 33) != 0 {
+                        Dllp::UpdateFc { credits: value }
+                    } else if data & (1 << 32) != 0 {
+                        Dllp::Nak { seq: value }
+                    } else {
+                        Dllp::Ack { seq: value }
+                    };
+                    self.dllp_arrived(ctx, dllp);
+                }
+                other => panic!("{}: unknown timer kind {other}", self.name),
+            },
+            Event::DelayedPacket { .. } => {
+                panic!("{}: unexpected delayed packet", self.name)
             }
         }
     }
 
-    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+    /// The peer of a port we refused a delivery into has space again.
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>) {
         if self.config.credit_fc.is_some() {
             // Credit mode buffers undelivered TLPs: drain now.
-            let dir = match port {
-                PORT_DOWN_MASTER | PORT_DOWN_SLAVE => Dir::Down,
-                PORT_UP_MASTER | PORT_UP_SLAVE => Dir::Up,
-                other => panic!("{}: retry on unknown port {other}", self.name),
-            };
-            self.dirs[dir.index()].rx_waiting_retry = false;
-            self.drain_rx(ctx, dir);
+            self.st.rx_waiting_retry = false;
+            self.drain_rx(ctx);
         }
         // ACK/NAK-only mode: a port we failed to deliver into has space
         // again; the dropped TLP is recovered by the sender's replay
         // timeout, so nothing to do — the paper's timeout-driven recovery.
     }
 
+    /// Reports TX stats under this end's transmit direction and RX stats
+    /// under its receive direction, so the fused and split layouts produce
+    /// the same key set.
+    fn report(&self, out: &mut StatsBuilder) {
+        let t = self.tx_dir().label();
+        out.counter(&format!("{t}.tlps_admitted"), &self.st.tx_stats.tlps_admitted);
+        out.counter(&format!("{t}.tlps_tx"), &self.st.tx_stats.tlps_tx);
+        out.counter(&format!("{t}.bytes_tx"), &self.st.tx_stats.bytes_tx);
+        out.counter(&format!("{t}.replays"), &self.st.tx_stats.replays);
+        out.counter(&format!("{t}.timeouts"), &self.st.tx_stats.timeouts);
+        out.counter(&format!("{t}.acks_tx"), &self.st.tx_stats.acks_tx);
+        out.counter(&format!("{t}.acks_rx"), &self.st.tx_stats.acks_rx);
+        out.counter(&format!("{t}.naks_tx"), &self.st.tx_stats.naks_tx);
+        out.counter(&format!("{t}.naks_rx"), &self.st.tx_stats.naks_rx);
+        out.counter(&format!("{t}.admission_refusals"), &self.st.tx_stats.admission_refusals);
+        out.counter(&format!("{t}.credit_stalls"), &self.st.tx_stats.credit_stalls);
+        out.counter(&format!("{t}.updatefc_tx"), &self.st.tx_stats.updatefc_tx);
+        out.counter(&format!("{t}.updatefc_rx"), &self.st.tx_stats.updatefc_rx);
+        out.counter(&format!("{t}.busy_ticks"), &self.st.tx_stats.busy_ticks);
+        let r = self.rx_dir().label();
+        out.counter(&format!("{r}.rx_delivered"), &self.st.rx_stats.rx_delivered);
+        out.counter(&format!("{r}.rx_dropped_refused"), &self.st.rx_stats.rx_dropped_refused);
+        out.counter(&format!("{r}.rx_dropped_seq"), &self.st.rx_stats.rx_dropped_seq);
+        out.counter(&format!("{r}.rx_dropped_corrupt"), &self.st.rx_stats.rx_dropped_corrupt);
+        out.histogram(&format!("{r}.delivery_latency_ns"), &self.st.rx_stats.delivery_latency_ns);
+    }
+
+    fn save(&self, w: &mut StateWriter) {
+        let st = &self.st;
+        st.tx.encode(w);
+        w.usize(st.pending_dllps.len());
+        for dllp in &st.pending_dllps {
+            encode_dllp(w, dllp);
+        }
+        w.u64(st.wire_busy_until);
+        w.bool(st.kick_scheduled);
+        w.bool(st.replay_armed);
+        w.u64(st.replay_deadline);
+        w.bool(st.replay_timer_outstanding);
+        w.bool(st.owe_retry[0]);
+        w.bool(st.owe_retry[1]);
+        w.u64(st.tx_count);
+        w.u32(st.tx_credits);
+        w.u32(st.replay_num);
+        st.rx.encode(w);
+        w.opt_u64(st.pending_ack.map(u64::from));
+        w.bool(st.ack_timer_armed);
+        encode_packet_queue(w, &st.rx_buffer);
+        w.bool(st.rx_waiting_retry);
+        w.u32(st.pending_credit_return);
+        st.tx_stats.encode(w);
+        st.rx_stats.encode(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let st = &mut self.st;
+        st.tx.decode_into(r)?;
+        let n_dllps = r.usize()?;
+        let mut dllps = VecDeque::with_capacity(n_dllps.min(4096));
+        for _ in 0..n_dllps {
+            dllps.push_back(decode_dllp(r)?);
+        }
+        st.pending_dllps = dllps;
+        st.wire_busy_until = r.u64()?;
+        st.kick_scheduled = r.bool()?;
+        st.replay_armed = r.bool()?;
+        st.replay_deadline = r.u64()?;
+        st.replay_timer_outstanding = r.bool()?;
+        st.owe_retry[0] = r.bool()?;
+        st.owe_retry[1] = r.bool()?;
+        st.tx_count = r.u64()?;
+        st.tx_credits = r.u32()?;
+        st.replay_num = r.u32()?;
+        st.rx.decode_into(r)?;
+        st.pending_ack = match r.opt_u64()? {
+            Some(v) => Some(u32::try_from(v).map_err(|_| {
+                SnapshotError::Corrupt(format!("pending ACK {v} exceeds the sequence space"))
+            })?),
+            None => None,
+        };
+        st.ack_timer_armed = r.bool()?;
+        st.rx_buffer = decode_packet_queue(r)?;
+        st.rx_waiting_retry = r.bool()?;
+        st.pending_credit_return = r.u32()?;
+        st.tx_stats.decode_into(r)?;
+        st.rx_stats.decode_into(r)?;
+        Ok(())
+    }
+}
+
+/// The fused PCI-Express link component — both physical ends in one
+/// component; see the module docs for wiring.
+pub struct PcieLink {
+    ends: [LinkEnd; 2],
+}
+
+impl PcieLink {
+    /// Creates a link named `name` with the given configuration.
+    pub fn new(name: impl Into<String>, config: LinkConfig) -> Self {
+        let name = name.into();
+        Self {
+            ends: [
+                LinkEnd::new(name.clone(), 0, PeerTx::Fused, config.clone()),
+                LinkEnd::new(name, 1, PeerTx::Fused, config),
+            ],
+        }
+    }
+
+    /// Attaches AER-capable config spaces to the link's interfaces so
+    /// data-link errors are advised to software the way real hardware
+    /// does: a corrupted TLP latches Receiver Error + Bad TLP at the
+    /// *receiving* end; a replay-timer expiry latches Replay Timer
+    /// Timeout and a REPLAY_NUM rollover latches REPLAY_NUM Rollover at
+    /// the *transmitting* end. Ends without an AER capability (or passed
+    /// as `None`) simply record nothing; the recovery protocol itself is
+    /// unaffected.
+    pub fn attach_aer(
+        &mut self,
+        upstream: Option<SharedConfigSpace>,
+        downstream: Option<SharedConfigSpace>,
+    ) {
+        self.ends[0].aer = upstream;
+        self.ends[1].aer = downstream;
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.ends[0].config
+    }
+
+    /// The computed replay-timeout interval.
+    pub fn replay_timeout(&self) -> Tick {
+        self.ends[0].replay_timeout
+    }
+}
+
+impl Component for PcieLink {
+    fn name(&self) -> &str {
+        &self.ends[0].name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        match port {
+            PORT_UP_SLAVE => self.ends[0].admit(ctx, 0, pkt),
+            PORT_DOWN_SLAVE => self.ends[1].admit(ctx, 0, pkt),
+            other => panic!("{}: request on non-slave port {other}", self.name()),
+        }
+    }
+
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        match port {
+            PORT_UP_MASTER => self.ends[0].admit(ctx, 1, pkt),
+            PORT_DOWN_MASTER => self.ends[1].admit(ctx, 1, pkt),
+            other => panic!("{}: response on non-master port {other}", self.name()),
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let end = event_dest_end(&ev);
+        self.ends[usize::from(end)].handle_event(ctx, ev);
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        let end = match port {
+            PORT_UP_SLAVE | PORT_UP_MASTER => 0,
+            PORT_DOWN_MASTER | PORT_DOWN_SLAVE => 1,
+            other => panic!("{}: retry on unknown port {other}", self.name()),
+        };
+        self.ends[end].retry_granted(ctx);
+    }
+
     fn report_stats(&self, out: &mut StatsBuilder) {
-        for dir in [Dir::Down, Dir::Up] {
-            let st = &self.dirs[dir.index()];
-            let l = dir.label();
-            out.counter(&format!("{l}.tlps_admitted"), &st.stats.tlps_admitted);
-            out.counter(&format!("{l}.tlps_tx"), &st.stats.tlps_tx);
-            out.counter(&format!("{l}.bytes_tx"), &st.stats.bytes_tx);
-            out.counter(&format!("{l}.replays"), &st.stats.replays);
-            out.counter(&format!("{l}.timeouts"), &st.stats.timeouts);
-            out.counter(&format!("{l}.acks_tx"), &st.stats.acks_tx);
-            out.counter(&format!("{l}.acks_rx"), &st.stats.acks_rx);
-            out.counter(&format!("{l}.naks_tx"), &st.stats.naks_tx);
-            out.counter(&format!("{l}.naks_rx"), &st.stats.naks_rx);
-            out.counter(&format!("{l}.rx_delivered"), &st.stats.rx_delivered);
-            out.counter(&format!("{l}.rx_dropped_refused"), &st.stats.rx_dropped_refused);
-            out.counter(&format!("{l}.rx_dropped_seq"), &st.stats.rx_dropped_seq);
-            out.counter(&format!("{l}.rx_dropped_corrupt"), &st.stats.rx_dropped_corrupt);
-            out.counter(&format!("{l}.admission_refusals"), &st.stats.admission_refusals);
-            out.counter(&format!("{l}.credit_stalls"), &st.stats.credit_stalls);
-            out.counter(&format!("{l}.updatefc_tx"), &st.stats.updatefc_tx);
-            out.counter(&format!("{l}.updatefc_rx"), &st.stats.updatefc_rx);
-            out.counter(&format!("{l}.busy_ticks"), &st.stats.busy_ticks);
-            out.histogram(&format!("{l}.delivery_latency_ns"), &st.stats.delivery_latency_ns);
+        for end in &self.ends {
+            end.report(out);
         }
     }
 
     fn save_state(&self, w: &mut StateWriter) {
-        for st in &self.dirs {
-            st.tx.encode(w);
-            st.rx.encode(w);
-            w.usize(st.pending_dllps.len());
-            for dllp in &st.pending_dllps {
-                encode_dllp(w, dllp);
-            }
-            w.u64(st.wire_busy_until);
-            w.bool(st.kick_scheduled);
-            w.bool(st.pump_on_arrival);
-            w.bool(st.replay_armed);
-            w.u64(st.replay_deadline);
-            w.bool(st.replay_timer_outstanding);
-            w.opt_u64(st.pending_ack.map(u64::from));
-            w.bool(st.ack_timer_armed);
-            w.bool(st.owe_retry[0]);
-            w.bool(st.owe_retry[1]);
-            w.u64(st.tx_count);
-            w.u32(st.tx_credits);
-            encode_packet_queue(w, &st.rx_buffer);
-            w.bool(st.rx_waiting_retry);
-            w.u32(st.pending_credit_return);
-            w.u32(st.replay_num);
-            st.stats.encode(w);
+        // Each end is a self-contained length-prefixed blob — byte-for-byte
+        // the layout a sharded checkpoint assembles from two
+        // [`PcieLinkHalf`] components, so checkpoints cross freely between
+        // fused and split topologies.
+        for end in &self.ends {
+            let mut half = StateWriter::new();
+            end.save(&mut half);
+            w.bytes(&half.into_bytes());
         }
     }
 
     fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
-        for st in &mut self.dirs {
-            st.tx.decode_into(r)?;
-            st.rx.decode_into(r)?;
-            let n_dllps = r.usize()?;
-            let mut dllps = VecDeque::with_capacity(n_dllps.min(4096));
-            for _ in 0..n_dllps {
-                dllps.push_back(decode_dllp(r)?);
-            }
-            st.pending_dllps = dllps;
-            st.wire_busy_until = r.u64()?;
-            st.kick_scheduled = r.bool()?;
-            st.pump_on_arrival = r.bool()?;
-            st.replay_armed = r.bool()?;
-            st.replay_deadline = r.u64()?;
-            st.replay_timer_outstanding = r.bool()?;
-            st.pending_ack = match r.opt_u64()? {
-                Some(v) => Some(u32::try_from(v).map_err(|_| {
-                    SnapshotError::Corrupt(format!("pending ACK {v} exceeds the sequence space"))
-                })?),
-                None => None,
-            };
-            st.ack_timer_armed = r.bool()?;
-            st.owe_retry[0] = r.bool()?;
-            st.owe_retry[1] = r.bool()?;
-            st.tx_count = r.u64()?;
-            st.tx_credits = r.u32()?;
-            st.rx_buffer = decode_packet_queue(r)?;
-            st.rx_waiting_retry = r.bool()?;
-            st.pending_credit_return = r.u32()?;
-            st.replay_num = r.u32()?;
-            st.stats.decode_into(r)?;
+        for end in &mut self.ends {
+            let blob = r.bytes()?;
+            let mut hr = StateReader::new(blob);
+            end.restore(&mut hr)?;
+            hr.finish("pcie link end")?;
         }
         Ok(())
     }
 }
 
+/// One physical end of a split link, hosted alone in a shard. The peer
+/// half lives in another shard; wire arrivals cross through the directed
+/// cut edge given at construction. Both halves must carry the *same* name
+/// (the fused link's name) so every shard builds an identical component
+/// table.
+pub struct PcieLinkHalf {
+    end: LinkEnd,
+}
+
+impl PcieLinkHalf {
+    /// The upstream half (transmits Down, owns ports 0–1). `edge` is the
+    /// index of the directed cut edge from this half's shard to the
+    /// peer's.
+    pub fn new_upstream(name: impl Into<String>, config: LinkConfig, edge: u32) -> Self {
+        Self { end: LinkEnd::new(name.into(), 0, PeerTx::Remote { edge }, config) }
+    }
+
+    /// The downstream half (transmits Up, owns ports 2–3).
+    pub fn new_downstream(name: impl Into<String>, config: LinkConfig, edge: u32) -> Self {
+        Self { end: LinkEnd::new(name.into(), 1, PeerTx::Remote { edge }, config) }
+    }
+
+    /// Attaches an AER-capable config space to this interface; see
+    /// [`PcieLink::attach_aer`].
+    pub fn attach_aer(&mut self, cs: Option<SharedConfigSpace>) {
+        self.end.aer = cs;
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.end.config
+    }
+}
+
+impl Component for PcieLinkHalf {
+    fn name(&self) -> &str {
+        &self.end.name
+    }
+
+    fn recv_request(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        match (self.end.end, port) {
+            (0, PORT_UP_SLAVE) | (1, PORT_DOWN_SLAVE) => self.end.admit(ctx, 0, pkt),
+            (_, other) => panic!("{}: request on foreign port {other}", self.name()),
+        }
+    }
+
+    fn recv_response(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) -> RecvResult {
+        match (self.end.end, port) {
+            (0, PORT_UP_MASTER) | (1, PORT_DOWN_MASTER) => self.end.admit(ctx, 1, pkt),
+            (_, other) => panic!("{}: response on foreign port {other}", self.name()),
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        debug_assert_eq!(
+            event_dest_end(&ev),
+            self.end.end,
+            "{}: event routed to the wrong link half",
+            self.name()
+        );
+        self.end.handle_event(ctx, ev);
+    }
+
+    fn retry_granted(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        debug_assert_eq!(
+            u8::from(port.0 >= 2),
+            self.end.end,
+            "{}: retry routed to the wrong link half",
+            self.name()
+        );
+        self.end.retry_granted(ctx);
+    }
+
+    fn report_stats(&self, out: &mut StatsBuilder) {
+        self.end.report(out);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        // Raw end blob: the sharded checkpoint assembler length-prefixes
+        // it, matching the fused [`PcieLink::save_state`] layout exactly.
+        self.end.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.end.restore(r)
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1614,5 +1843,132 @@ mod tests {
         let stats = sim.stats();
         // 4 TLPs * 168 ns of TLP time, plus DLLP time.
         assert!(stats.get("link.down.busy_ticks").unwrap() >= (4 * ns(168)) as f64);
+    }
+
+    // ── split-link / sharded equivalence ──────────────────────────────
+
+    use pcisim_kernel::component::ComponentId;
+    use pcisim_kernel::shard::{EdgeSpec, Placement, ShardPlan, ShardedSimulator};
+
+    /// The same rig as [`build`], but cut at the link: the requester and
+    /// the upstream half live in shard 0, the responder and the downstream
+    /// half in shard 1. Both shards replay the full name table and wiring
+    /// so their topology fingerprints match the fused build.
+    fn build_split(
+        config: LinkConfig,
+        script: Vec<(Command, u64, u32)>,
+        service: Tick,
+    ) -> (ShardedSimulator, pcisim_kernel::testutil::CompletionLog) {
+        let h = link_lookahead(&config);
+        let mut s0 = Simulation::new();
+        let (req, done) = Requester::new("cpu", script);
+        let r = s0.add(Box::new(req));
+        let l = s0.add(Box::new(PcieLinkHalf::new_upstream("link", config.clone(), 0)));
+        let d = s0.add_remote("dev");
+        s0.connect((r, REQUESTER_PORT), (l, PORT_UP_SLAVE));
+        s0.connect((l, PORT_DOWN_MASTER), (d, RESPONDER_PORT));
+
+        let mut s1 = Simulation::new();
+        let r1 = s1.add_remote("cpu");
+        let l1 = s1.add(Box::new(PcieLinkHalf::new_downstream("link", config, 1)));
+        let (resp, _) = Responder::new("dev", service);
+        let d1 = s1.add(Box::new(resp));
+        s1.connect((r1, REQUESTER_PORT), (l1, PORT_UP_SLAVE));
+        s1.connect((l1, PORT_DOWN_MASTER), (d1, RESPONDER_PORT));
+
+        let plan = ShardPlan {
+            placements: vec![
+                Placement::Shard(0),
+                Placement::Split { end0: 0, end1: 1 },
+                Placement::Shard(1),
+            ],
+            edges: vec![
+                EdgeSpec { from_shard: 0, to_shard: 1, dest: ComponentId(1), horizon: h },
+                EdgeSpec { from_shard: 1, to_shard: 0, dest: ComponentId(1), horizon: h },
+            ],
+            route_end: link_event_dest_end,
+        };
+        (ShardedSimulator::new(vec![s0, s1], plan), done)
+    }
+
+    /// Configurations covering every cross-end mechanism: quiet timing,
+    /// nonzero propagation, error injection with replays/NAKs, and
+    /// credit-based flow control with UpdateFC returns.
+    fn split_configs() -> Vec<LinkConfig> {
+        let base = LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+        vec![
+            quiet(base.clone()),
+            LinkConfig { propagation_delay: ns(600), ..quiet(base.clone()) },
+            LinkConfig { ack_immediate: true, error_interval: 3, ..base.clone() },
+            LinkConfig { credit_fc: Some(2), ..quiet(base) },
+        ]
+    }
+
+    #[test]
+    fn split_halves_match_the_fused_link_bit_for_bit() {
+        for config in split_configs() {
+            let script: Vec<_> = (0..12)
+                .map(|i| {
+                    let cmd = if i % 3 == 0 { Command::ReadReq } else { Command::WriteReq };
+                    (cmd, 0x4000_0000 + i * 64, 64u32)
+                })
+                .collect();
+            let (mut fused, fused_done) = build(config.clone(), script.clone(), ns(25));
+            fused.set_trace_mask(u32::MAX);
+            let fused_out = fused.run_to_quiesce();
+
+            let (mut split, split_done) = build_split(config.clone(), script, ns(25));
+            split.set_trace_mask(u32::MAX);
+            let split_out = split.run_to_quiesce();
+
+            assert_eq!(fused_out, split_out, "config {config:?}");
+            assert_eq!(*fused_done.borrow(), *split_done.borrow(), "config {config:?}");
+            assert_eq!(fused.now(), split.now(), "config {config:?}");
+            assert_eq!(fused.events_processed(), split.events_processed(), "config {config:?}");
+            assert_eq!(
+                fused.stats().iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>(),
+                split.stats().iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>(),
+                "config {config:?}"
+            );
+            let ft = fused.take_trace();
+            let st = split.take_trace();
+            assert_eq!(ft.dropped, st.dropped, "config {config:?}");
+            assert_eq!(ft.events, st.events, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn split_checkpoint_crosses_to_and_from_fused() {
+        let config = quiet(LinkConfig::new(Generation::Gen2, LinkWidth::X1));
+        let script: Vec<_> =
+            (0..10).map(|i| (Command::WriteReq, 0x4000_0000 + i * 64, 64u32)).collect();
+
+        // Stop mid-flight: wire arrivals, the ACK timer and live replay
+        // entries are all pending at ns(700).
+        let (mut fused, _) = build(config.clone(), script.clone(), ns(25));
+        assert_eq!(fused.run(ns(700), u64::MAX), RunOutcome::TimeLimit);
+        let snap = fused.checkpoint();
+
+        let (mut split, _) = build_split(config.clone(), script.clone(), ns(25));
+        assert_eq!(split.run(ns(700), u64::MAX), RunOutcome::TimeLimit);
+        assert_eq!(snap, split.checkpoint(), "fused and split checkpoints must be byte-identical");
+
+        // The same snapshot restores into either arrangement and drains to
+        // the same final state.
+        let (mut fused2, _) = build(config.clone(), script.clone(), ns(25));
+        fused2.restore(&snap).unwrap();
+        fused2.run_to_quiesce();
+
+        let (mut split2, _) = build_split(config, script, ns(25));
+        split2.restore(&snap).unwrap();
+        split2.run_to_quiesce();
+
+        assert_eq!(fused2.now(), split2.now());
+        assert_eq!(fused2.events_processed(), split2.events_processed());
+        assert_eq!(
+            fused2.stats().iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>(),
+            split2.stats().iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>(),
+        );
+        assert_eq!(fused2.checkpoint(), split2.checkpoint());
     }
 }

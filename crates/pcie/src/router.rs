@@ -662,6 +662,7 @@ impl Component for PcieRouter {
                 self.ports[egress].egress.push_back(pkt);
                 self.drain_egress(ctx, egress);
             }
+            Event::StampedPacket { .. } => panic!("{}: unexpected stamped packet", self.name),
         }
     }
 

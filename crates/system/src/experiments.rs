@@ -461,6 +461,9 @@ pub struct DdWarmStart {
     pub seed: WarmSeed,
     /// Block size the workload was attached with; forked runs must match.
     pub block_bytes: u64,
+    /// Scheduler events the warmup simulated — the work each forked sweep
+    /// point skips re-executing (on top of enumeration + driver probe).
+    pub warm_events: u64,
 }
 
 /// Builds the validation system once, attaches `dd` with `block_bytes`,
@@ -472,7 +475,8 @@ pub fn prepare_dd_warm_start(block_bytes: u64) -> DdWarmStart {
     let _ = built.attach_dd(DdConfig { block_bytes, ..DdConfig::default() });
     let outcome = built.sim.run(WARMUP_TICK, MAX_EVENTS);
     assert_eq!(outcome, RunOutcome::TimeLimit, "warmup must pause at the warmup tick");
-    DdWarmStart { snapshot: built.checkpoint(), seed, block_bytes }
+    let warm_events = built.sim.events_processed();
+    DdWarmStart { snapshot: built.checkpoint(), seed, block_bytes, warm_events }
 }
 
 /// Warm-started [`run_dd_experiment`]: builds the experiment's tree from
@@ -1251,5 +1255,79 @@ mod topology_tests {
         // Fair sharing: neither shared stream starves the other.
         let [a, b] = out.shared.per_stream_gbps;
         assert!((a - b).abs() < 0.3 * a.max(b), "unfair share: {a} vs {b}");
+    }
+}
+
+/// FNV-1a fingerprint over every `(key, value)` pair of a stats snapshot
+/// — the same compact hash the determinism suite anchors. Two runs with
+/// equal fingerprints agree on every counter in the simulation.
+pub fn stats_fnv(stats: &pcisim_kernel::stats::StatsSnapshot) -> u64 {
+    use pcisim_kernel::snapshot::fnv1a;
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    for (k, v) in stats.iter() {
+        h = fnv1a(h, k.as_bytes());
+        h = fnv1a(h, &v.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// One measured point of the shard-scaling experiment (`repro shard`).
+#[derive(Debug, Clone)]
+pub struct ShardScalingOutcome {
+    /// Worker shards the topology was partitioned across.
+    pub shards: usize,
+    /// Links cut by the partition (each cut adds two mailbox edges).
+    pub cut_links: usize,
+    /// Tick the run quiesced at — must match every other shard count.
+    pub quiesce_tick: Tick,
+    /// [`stats_fnv`] of the final counters — must match every shard count.
+    pub stats_fnv: u64,
+    /// Total scheduler dispatches across all shards.
+    pub events: u64,
+    /// Host wall-clock of the run (build and attach excluded).
+    pub wall_secs: f64,
+}
+
+impl ShardScalingOutcome {
+    /// Aggregate scheduler events per second of host wall-clock.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+}
+
+/// Runs `topo`'s disk endpoints each streaming one `dd` block of
+/// `block_bytes` through the fabric under the sharded driver, and
+/// returns the identity anchors (quiesce tick, stats FNV) together with
+/// the aggregate event rate. `shards == 1` is the serial baseline: the
+/// driver runs the single shard inline on the calling thread.
+pub fn run_shard_scaling(
+    topo: crate::topology::Topology,
+    shards: usize,
+    block_bytes: u64,
+) -> ShardScalingOutcome {
+    let mut sys = crate::topology::build_topology_sharded(topo, shards);
+    let mut reports = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        if sys.endpoints[i].is_disk {
+            reports.push(sys.attach_dd(i, DdConfig { block_bytes, ..DdConfig::default() }));
+        }
+    }
+    let cut_links = sys.cut_count();
+    let shards = sys.shard_count();
+    let mut driver = sys.into_driver();
+    let start = std::time::Instant::now();
+    let outcome = driver.run(MAX_TIME, MAX_EVENTS);
+    let wall_secs = start.elapsed().as_secs_f64();
+    assert_eq!(outcome, RunOutcome::QueueEmpty, "shard scaling run must drain");
+    for r in &reports {
+        assert!(r.borrow().done, "every dd stream must complete");
+    }
+    ShardScalingOutcome {
+        shards,
+        cut_links,
+        quiesce_tick: driver.now(),
+        stats_fnv: stats_fnv(&driver.stats()),
+        events: driver.events_processed(),
+        wall_secs,
     }
 }

@@ -36,23 +36,25 @@ pub mod prelude {
         run_dd_experiment, run_dd_experiment_warm, run_dd_sweep_warm, run_fault_experiment,
         run_fault_experiment_warm, run_fault_sweep_warm, run_mmio_experiment,
         run_msix_tx_experiment, run_nic_rx_experiment, run_nic_tx_experiment,
-        run_sector_microbench, run_topology_experiment, ContentionOutcome, DdExperiment, DdOutcome,
-        DdWarmStart, FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome, MsixTxExperiment,
-        MsixTxOutcome, NicRxExperiment, NicRxOutcome, NicTxExperiment, NicTxOutcome,
-        TopologyExperiment, TopologyOutcome, WARMUP_TICK,
+        run_sector_microbench, run_shard_scaling, run_topology_experiment, stats_fnv,
+        ContentionOutcome, DdExperiment, DdOutcome, DdWarmStart, FaultExperiment, FaultOutcome,
+        MmioExperiment, MmioOutcome, MsixTxExperiment, MsixTxOutcome, NicRxExperiment,
+        NicRxOutcome, NicTxExperiment, NicTxOutcome, ShardScalingOutcome, TopologyExperiment,
+        TopologyOutcome, WARMUP_TICK,
     };
     pub use crate::platform;
     pub use crate::snapshot::{SystemHandle, WarmSeed};
     pub use crate::sweep::{default_jobs, run_sweep, run_sweep_warm};
     pub use crate::topology::{
-        build_topology, build_topology_warm, Attachment, EndpointHandle, Node, PlannedTopology,
-        Topology, TopologySystem,
+        build_topology, build_topology_sharded, build_topology_warm, Attachment, EndpointHandle,
+        Node, PlannedTopology, ShardedTopologySystem, Topology, TopologySystem,
     };
     pub use crate::workload::dd::{DdConfig, DdReport, DdReportHandle};
     pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
     pub use crate::workload::msix::{MsixTxConfig, MsixTxReport, MsixTxReportHandle};
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};
     pub use crate::workload::nic_tx::{NicTxConfig, NicTxReport, NicTxReportHandle};
+    pub use pcisim_kernel::shard::ShardedSimulator;
     pub use pcisim_kernel::snapshot::SnapshotError;
     pub use pcisim_kernel::trace::{LatencyAttribution, Stage, TraceCategory, TraceLog};
 }

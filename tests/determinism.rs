@@ -343,18 +343,18 @@ fn warm_start_preserves_packet_id_continuity() {
     let mut cold = build_system(SystemConfig::validation());
     let _ = cold.attach_dd(config.clone());
     assert_eq!(cold.sim.run(5 * TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
-    let cold_final_id = cold.sim.next_packet_id();
+    let cold_final_id = cold.sim.packet_ids_allocated();
     let cold_quiesce = cold.sim.now();
 
     let warm = prepare_dd_warm_start(64 * KB);
     let mut resumed = build_system_warm(SystemConfig::validation(), &warm.seed);
     let _ = resumed.attach_dd(config);
     resumed.restore(&warm.snapshot).expect("warm snapshot restores");
-    let id_at_fork = resumed.sim.next_packet_id();
+    let id_at_fork = resumed.sim.packet_ids_allocated();
     assert_eq!(resumed.sim.run(5 * TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
 
     assert!(id_at_fork <= cold_final_id, "fork cannot start past the cold run's allocator");
-    assert_eq!(resumed.sim.next_packet_id(), cold_final_id, "allocator continuity");
+    assert_eq!(resumed.sim.packet_ids_allocated(), cold_final_id, "allocator continuity");
     assert_eq!(resumed.sim.now(), cold_quiesce, "quiesce tick");
     assert_eq!(stats_fnv(&resumed.sim.stats()), stats_fnv(&cold.sim.stats()), "stats");
 }

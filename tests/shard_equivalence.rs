@@ -1,0 +1,289 @@
+//! Equivalence suite for the sharded parallel simulation kernel.
+//!
+//! The tentpole contract of `kernel::shard` is *bit-identity*: a run
+//! partitioned across N worker shards (conservative link-lookahead sync,
+//! deterministic mailbox drains at barrier ticks) must reproduce the
+//! serial run's quiesce tick, stats FNV fingerprint and structured trace
+//! stream exactly — for any topology, any shard count and any workload
+//! mix. This suite checks that promise three ways:
+//!
+//! * fixed mixed disk/NIC trees at 1, 2 and 4 shards (the CI
+//!   `shard-conformance` ladder);
+//! * random trees × random shard counts (1..=8) × dd/NIC-transmit
+//!   workloads, property-tested;
+//! * a mid-run checkpoint taken from a sharded run at a barrier tick,
+//!   restored under *different* shard counts, finishing bit-identical to
+//!   the uninterrupted serial run.
+
+use proptest::prelude::*;
+
+use pcisim::devices::ide::IdeDiskConfig;
+use pcisim::devices::nic::NicConfig;
+use pcisim::kernel::tick::TICKS_PER_SEC;
+use pcisim::kernel::trace::TraceLog;
+use pcisim::pcie::params::{Generation, LinkConfig, LinkWidth};
+use pcisim::pcie::router::RouterConfig;
+use pcisim::system::builder::DeviceSpec;
+use pcisim::system::experiments::stats_fnv;
+use pcisim::system::topology::{
+    build_topology, build_topology_sharded, Attachment, Node, Topology,
+};
+use pcisim::system::workload::dd::DdConfig;
+use pcisim::system::workload::nic_tx::NicTxConfig;
+
+/// Everything a run leaves behind that sharding must not disturb.
+struct RunResult {
+    now: u64,
+    events: u64,
+    fnv: u64,
+    trace: TraceLog,
+    /// Per-disk `(done, bytes)` and per-NIC `(done, frames_sent)`.
+    reports: Vec<(bool, u64)>,
+}
+
+const DD_BLOCK: u64 = 64 * 1024;
+const NIC_FRAMES: u32 = 24;
+
+fn serial_run(topo: Topology) -> RunResult {
+    let mut sys = build_topology(topo.with_tracing());
+    let mut dds = Vec::new();
+    let mut nics = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        if sys.endpoints[i].is_disk {
+            dds.push(sys.attach_dd(i, DdConfig { block_bytes: DD_BLOCK, ..DdConfig::default() }));
+        } else {
+            nics.push(
+                sys.attach_nic_tx(i, NicTxConfig { frames: NIC_FRAMES, ..NicTxConfig::default() }),
+            );
+        }
+    }
+    sys.sim.run(TICKS_PER_SEC, u64::MAX);
+    let mut reports = Vec::new();
+    reports.extend(dds.iter().map(|r| (r.borrow().done, r.borrow().bytes)));
+    reports.extend(nics.iter().map(|r| (r.borrow().done, r.borrow().frames)));
+    RunResult {
+        now: sys.sim.now(),
+        events: sys.sim.events_processed(),
+        fnv: stats_fnv(&sys.sim.stats()),
+        trace: sys.sim.take_trace(),
+        reports,
+    }
+}
+
+fn sharded_run(topo: Topology, shards: usize) -> RunResult {
+    let mut sys = build_topology_sharded(topo.with_tracing(), shards);
+    let mut dds = Vec::new();
+    let mut nics = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        if sys.endpoints[i].is_disk {
+            dds.push(sys.attach_dd(i, DdConfig { block_bytes: DD_BLOCK, ..DdConfig::default() }));
+        } else {
+            nics.push(
+                sys.attach_nic_tx(i, NicTxConfig { frames: NIC_FRAMES, ..NicTxConfig::default() }),
+            );
+        }
+    }
+    let mut driver = sys.into_driver();
+    driver.run(TICKS_PER_SEC, u64::MAX);
+    let mut reports = Vec::new();
+    reports.extend(dds.iter().map(|r| (r.borrow().done, r.borrow().bytes)));
+    reports.extend(nics.iter().map(|r| (r.borrow().done, r.borrow().frames)));
+    RunResult {
+        now: driver.now(),
+        events: driver.events_processed(),
+        fnv: stats_fnv(&driver.stats()),
+        trace: driver.take_trace(),
+        reports,
+    }
+}
+
+fn assert_bit_identical(serial: &RunResult, sharded: &RunResult, what: &str) {
+    assert_eq!(serial.now, sharded.now, "{what}: quiesce tick");
+    assert_eq!(serial.events, sharded.events, "{what}: events processed");
+    assert_eq!(serial.fnv, sharded.fnv, "{what}: stats FNV");
+    assert_eq!(serial.reports, sharded.reports, "{what}: workload reports");
+    assert_eq!(serial.trace.dropped, sharded.trace.dropped, "{what}: trace drops");
+    assert_eq!(serial.trace.events, sharded.trace.events, "{what}: trace stream");
+}
+
+/// A fixed mixed tree: one disk chain, one switch fanning out to a disk
+/// and a NIC, and a directly attached NIC on the third root port.
+fn mixed_tree() -> Topology {
+    let x1 = || LinkConfig::new(Generation::Gen2, LinkWidth::X1);
+    let x4 = || LinkConfig::new(Generation::Gen2, LinkWidth::X4);
+    let chain = Node::Switch {
+        config: RouterConfig::default(),
+        name: None,
+        ports: vec![Some(Attachment::new(
+            x1(),
+            Node::endpoint("disk_chain", DeviceSpec::Disk(IdeDiskConfig::default())),
+        ))],
+    };
+    let fan = Node::Switch {
+        config: RouterConfig::default(),
+        name: None,
+        ports: vec![
+            Some(Attachment::new(
+                x1(),
+                Node::endpoint("disk_fan", DeviceSpec::Disk(IdeDiskConfig::default())),
+            )),
+            Some(Attachment::new(
+                x1(),
+                Node::endpoint("nic_fan", DeviceSpec::Nic(NicConfig::default())),
+            )),
+        ],
+    };
+    Topology::new(
+        RouterConfig::default(),
+        vec![
+            Some(Attachment::new(x4(), chain)),
+            Some(Attachment::new(x4(), fan)),
+            Some(Attachment::new(
+                x4(),
+                Node::endpoint("nic_root", DeviceSpec::Nic(NicConfig::default())),
+            )),
+        ],
+    )
+}
+
+fn mixed_tree_at(shards: usize) {
+    let serial = serial_run(mixed_tree());
+    let sharded = sharded_run(mixed_tree(), shards);
+    assert_bit_identical(&serial, &sharded, &format!("mixed tree at {shards} shards"));
+}
+
+#[test]
+fn mixed_tree_at_one_shard() {
+    mixed_tree_at(1);
+}
+
+#[test]
+fn mixed_tree_at_two_shards() {
+    mixed_tree_at(2);
+}
+
+#[test]
+fn mixed_tree_at_four_shards() {
+    mixed_tree_at(4);
+}
+
+/// Derives a link configuration from one generator byte.
+fn link_for(b: u8) -> LinkConfig {
+    let gens = [Generation::Gen1, Generation::Gen2, Generation::Gen3];
+    let widths = [LinkWidth::X1, LinkWidth::X2, LinkWidth::X4, LinkWidth::X8];
+    LinkConfig::new(gens[(b >> 2) as usize % gens.len()], widths[(b >> 4) as usize % widths.len()])
+}
+
+/// Consumes generator bytes to build one port: empty, an endpoint, or
+/// (while depth remains) a switch with 1–2 ports.
+fn grow_port(
+    bytes: &mut std::iter::Copied<std::slice::Iter<'_, u8>>,
+    depth: usize,
+    count: &mut usize,
+) -> Option<Attachment> {
+    let b = bytes.next().unwrap_or(1);
+    match b % 4 {
+        0 => None,
+        3 if depth > 0 => {
+            let fanout = 1 + (bytes.next().unwrap_or(0) % 2) as usize;
+            let ports = (0..fanout).map(|_| grow_port(bytes, depth - 1, count)).collect();
+            Some(Attachment::new(link_for(b), Node::switch(RouterConfig::default(), ports)))
+        }
+        _ => {
+            *count += 1;
+            let device = if b & 0x10 == 0 {
+                DeviceSpec::Disk(IdeDiskConfig::default())
+            } else {
+                DeviceSpec::Nic(NicConfig::default())
+            };
+            Some(Attachment::new(link_for(b), Node::endpoint(format!("ep{count}"), device)))
+        }
+    }
+}
+
+/// A bounded random topology: up to two root ports, switches nested at
+/// most two levels deep, at least one endpoint.
+fn grow_topology(shape: &[u8]) -> Topology {
+    let mut bytes = shape.iter().copied();
+    let n_roots = 1 + (bytes.next().unwrap_or(0) % 2) as usize;
+    let mut count = 0usize;
+    let mut roots: Vec<Option<Attachment>> =
+        (0..n_roots).map(|_| grow_port(&mut bytes, 2, &mut count)).collect();
+    if count == 0 {
+        roots[0] = Some(Attachment::new(
+            LinkConfig::default(),
+            Node::endpoint("ep0", DeviceSpec::Disk(IdeDiskConfig::default())),
+        ));
+    }
+    Topology::new(RouterConfig::default(), roots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any tree, any shard count, any workload mix: the sharded run is
+    /// bit-identical to the serial run.
+    #[test]
+    fn random_trees_match_serial_at_any_shard_count(
+        shape in proptest::collection::vec(any::<u8>(), 4..16),
+        shards in 1usize..9,
+    ) {
+        let serial = serial_run(grow_topology(&shape));
+        let sharded = sharded_run(grow_topology(&shape), shards);
+        assert_bit_identical(&serial, &sharded, &format!("{shape:?} at {shards} shards"));
+    }
+}
+
+/// A sharded run paused at a barrier tick checkpoints; the checkpoint
+/// restores under a *different* shard count and finishes bit-identical
+/// to the uninterrupted serial run.
+#[test]
+fn mid_run_checkpoint_restores_under_a_different_shard_count() {
+    let serial = serial_run(mixed_tree());
+    let mid = serial.now / 2;
+
+    // Pause a 3-shard run mid-flight and checkpoint at the barrier.
+    let mut sys = build_topology_sharded(mixed_tree().with_tracing(), 3);
+    let mut handles = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        if sys.endpoints[i].is_disk {
+            handles
+                .push(sys.attach_dd(i, DdConfig { block_bytes: DD_BLOCK, ..DdConfig::default() }));
+        } else {
+            let _ =
+                sys.attach_nic_tx(i, NicTxConfig { frames: NIC_FRAMES, ..NicTxConfig::default() });
+        }
+    }
+    let mut paused = sys.into_driver();
+    paused.run(mid, u64::MAX);
+    let snapshot = paused.checkpoint();
+
+    for other in [1usize, 2, 5] {
+        // Rebuild the same tree partitioned differently, restore, resume.
+        let mut sys = build_topology_sharded(mixed_tree().with_tracing(), other);
+        let mut dds = Vec::new();
+        let mut nics = Vec::new();
+        for i in 0..sys.endpoints.len() {
+            if sys.endpoints[i].is_disk {
+                dds.push(
+                    sys.attach_dd(i, DdConfig { block_bytes: DD_BLOCK, ..DdConfig::default() }),
+                );
+            } else {
+                nics.push(sys.attach_nic_tx(
+                    i,
+                    NicTxConfig { frames: NIC_FRAMES, ..NicTxConfig::default() },
+                ));
+            }
+        }
+        let mut driver = sys.into_driver();
+        driver.restore(&snapshot).expect("checkpoint restores under any shard count");
+        driver.run(TICKS_PER_SEC, u64::MAX);
+        assert_eq!(driver.now(), serial.now, "restored at {other} shards: quiesce tick");
+        assert_eq!(driver.events_processed(), serial.events, "restored at {other} shards: events");
+        assert_eq!(stats_fnv(&driver.stats()), serial.fnv, "restored at {other} shards: stats FNV");
+        let mut reports = Vec::new();
+        reports.extend(dds.iter().map(|r| (r.borrow().done, r.borrow().bytes)));
+        reports.extend(nics.iter().map(|r| (r.borrow().done, r.borrow().frames)));
+        assert_eq!(reports, serial.reports, "restored at {other} shards: workload reports");
+    }
+}

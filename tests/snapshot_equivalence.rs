@@ -136,7 +136,7 @@ fn build_with_workloads(shape: &[u8]) -> TopologySystem {
 struct RunFacts {
     quiesce_tick: Tick,
     stats: u64,
-    next_packet_id: u64,
+    packet_ids_allocated: u64,
     trace: TraceLog,
 }
 
@@ -146,7 +146,7 @@ fn run_to_quiesce(mut sys: TopologySystem) -> RunFacts {
     RunFacts {
         quiesce_tick: sys.sim.now(),
         stats: stats_fnv(&sys.sim.stats()),
-        next_packet_id: sys.sim.next_packet_id(),
+        packet_ids_allocated: sys.sim.packet_ids_allocated(),
         trace: sys.sim.take_trace(),
     }
 }
@@ -183,7 +183,7 @@ proptest! {
 
         prop_assert_eq!(resumed.quiesce_tick, reference.quiesce_tick, "quiesce tick");
         prop_assert_eq!(resumed.stats, reference.stats, "stats fingerprint");
-        prop_assert_eq!(resumed.next_packet_id, reference.next_packet_id, "PacketId allocator");
+        prop_assert_eq!(resumed.packet_ids_allocated, reference.packet_ids_allocated, "PacketId allocator");
         prop_assert_eq!(&resumed.trace.names, &reference.trace.names, "trace component names");
         prop_assert_eq!(resumed.trace.dropped, reference.trace.dropped, "trace drops");
         prop_assert_eq!(&resumed.trace.events, &reference.trace.events, "trace events");
@@ -284,7 +284,7 @@ fn msix_moderation_checkpoint_restores_bit_identically() {
     assert!(r.irqs < 64, "holdoff must be coalescing during this run, took {}", r.irqs);
     let ref_tick = reference.sim.now();
     let ref_fnv = stats_fnv(&reference.sim.stats());
-    let ref_pid = reference.sim.next_packet_id();
+    let ref_pid = reference.sim.packet_ids_allocated();
 
     for frac in [25u64, 50, 75] {
         let (mut interrupted, _) = build();
@@ -298,7 +298,7 @@ fn msix_moderation_checkpoint_restores_bit_identically() {
         assert!(report.borrow().done);
         assert_eq!(resumed.sim.now(), ref_tick, "quiesce tick at {frac}%");
         assert_eq!(stats_fnv(&resumed.sim.stats()), ref_fnv, "stats fingerprint at {frac}%");
-        assert_eq!(resumed.sim.next_packet_id(), ref_pid, "PacketId allocator at {frac}%");
+        assert_eq!(resumed.sim.packet_ids_allocated(), ref_pid, "PacketId allocator at {frac}%");
     }
 }
 
