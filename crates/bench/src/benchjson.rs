@@ -3,14 +3,16 @@
 //! The `repro` binary measures the two microbenchmark scenarios of
 //! `benches/simulator_speed.rs` (a crossbar read storm and a saturated
 //! Gen 2 x8 link write storm), a full-system multi-queue MSI-X NIC
-//! transmit run, and two sharded-driver scenarios (a 2-shard cascade cut
+//! transmit run, two sharded-driver scenarios (a 2-shard cascade cut
 //! and a 4-shard fanout tree, shard counts stamped in the JSON next to
-//! the detected host core count), derives ops/sec and raw scheduler
-//! events/sec, and emits them together with per-sweep wall-clock times
-//! and host metadata. CI replays the measurement with `--bench-check`
-//! and fails on a >30% ops/sec regression against the checked-in file,
-//! so the perf trajectory is tracked from the hot-path-overhaul PR
-//! onward.
+//! the detected host core count), and two poll-mode NIC receive
+//! scenarios (busy-poll driver against the million-flow traffic source,
+//! serial and 2-shard), derives ops/sec and raw scheduler events/sec,
+//! and emits them together with per-sweep wall-clock times and host
+//! metadata. CI replays the measurement with `--bench-check` and fails
+//! on a >30% ops/sec regression against the checked-in file — or on any
+//! scenario dipping under the absolute [`EVENTS_PER_SEC_FLOOR`] — so the
+//! perf trajectory is tracked from the hot-path-overhaul PR onward.
 
 use std::time::Instant;
 
@@ -43,6 +45,13 @@ pub const PRE_CHANGE_OPS_PER_SEC: [(&str, f64); 2] =
 /// before the overhaul, on the same host as [`PRE_CHANGE_OPS_PER_SEC`].
 pub const PRE_CHANGE_SWEEP_WALL_MS: [(&str, u64); 4] =
     [("fig9a", 13_207), ("fig9b", 18_704), ("fig9c", 4_867), ("fig9d", 4_970)];
+
+/// Absolute scheduler events/sec floor every scenario must clear under
+/// `--bench-check`, on top of the relative 30% ops/sec gate. Set an
+/// order of magnitude below the slowest observed scenario so it trips
+/// only on a broken build (or a zeroed rate from an unusable timer
+/// reading), never on a noisy host.
+pub const EVENTS_PER_SEC_FLOOR: f64 = 100_000.0;
 
 /// One measured microbenchmark scenario.
 #[derive(Debug, Clone)]
@@ -154,18 +163,87 @@ fn run_sharded_fanout() -> (u64, u64, f64) {
     run_sharded_dd(pcisim_system::topology::Topology::fanout(2, 4, 4), 4, 256 * 1024)
 }
 
+/// Frames settled per poll-mode benchmark scenario.
+const PMD_FRAMES: u32 = 4096;
+
+fn pmd_bench_experiment() -> pcisim_system::experiments::PmdExperiment {
+    use pcisim_system::prelude::*;
+    PmdExperiment {
+        burst: 16,
+        traffic: Some(TrafficSpec::Generate(heavy_traffic(
+            0xb43c_4a11,
+            1 << 20,
+            PMD_FRAMES,
+            ns(1000),
+        ))),
+        ..PmdExperiment::default()
+    }
+}
+
+/// Poll-mode NIC receive: busy-poll driver settling `PMD_FRAMES` frames
+/// from a million-flow heavy-tailed source, interrupts fully masked.
+/// Timed region includes enumeration + driver probe (like the MSI-X
+/// scenario, they are part of the datapath being measured).
+fn run_pmd_poll() -> (u64, u64, f64) {
+    use pcisim_system::experiments::pmd_system_config;
+    use pcisim_system::prelude::*;
+    let exp = pmd_bench_experiment();
+    let mut built = build_system(pmd_system_config(&exp));
+    let report = built.attach_pmd(PmdConfig {
+        burst: exp.burst,
+        rx_expect: PMD_FRAMES,
+        ..PmdConfig::default()
+    });
+    let start = Instant::now();
+    built.sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    let r = report.borrow();
+    assert!(r.done, "pmd bench poll loop must settle");
+    assert_eq!(r.rx_frames + r.rx_dropped, u64::from(PMD_FRAMES));
+    assert_eq!(
+        built.sim.stats().get("gic.raised").unwrap_or(0.0),
+        0.0,
+        "poll mode must take zero interrupts"
+    );
+    (u64::from(PMD_FRAMES), built.sim.events_processed(), secs)
+}
+
+/// The same poll-mode receive under the 2-shard driver (NIC subtree on
+/// its own shard, conservative-window barrier on the cut link).
+fn run_pmd_sharded2() -> (u64, u64, f64) {
+    use pcisim_system::experiments::pmd_system_config;
+    use pcisim_system::prelude::*;
+    let exp = pmd_bench_experiment();
+    let topo = Topology::from_system_config(&pmd_system_config(&exp));
+    let mut sys = build_topology_sharded(topo, 2);
+    let report = sys.attach_pmd(
+        0,
+        PmdConfig { burst: exp.burst, rx_expect: PMD_FRAMES, ..PmdConfig::default() },
+    );
+    let mut driver = sys.into_driver();
+    let start = Instant::now();
+    driver.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    let r = report.borrow();
+    assert!(r.done, "sharded pmd bench poll loop must settle");
+    assert_eq!(r.rx_frames + r.rx_dropped, u64::from(PMD_FRAMES));
+    (u64::from(PMD_FRAMES), driver.events_processed(), secs)
+}
+
 /// Runs the microbenchmark scenarios, best-of-`samples`, and returns the
 /// per-scenario rates. Build setup is excluded from the timed region
 /// (the MSI-X scenario's timed region does include enumeration and driver
 /// probe — they are part of the system datapath being measured).
 pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
     type Scenario = (&'static str, Option<u32>, fn() -> (u64, u64, f64));
-    let scenarios: [Scenario; 5] = [
+    let scenarios: [Scenario; 7] = [
         ("xbar_10k_reads", None, run_xbar_reads),
         ("link_10k_writes", None, run_link_writes),
         ("msix_4q_tx_10k_frames", None, run_msix_tx),
         ("sharded_cascaded3_tx", Some(2), run_sharded_cascaded3),
         ("sharded_fanout32_dd", Some(4), run_sharded_fanout),
+        ("pmd_poll_rx_4k_frames", None, run_pmd_poll),
+        ("pmd_poll_sharded2_rx", Some(2), run_pmd_sharded2),
     ];
     scenarios
         .iter()
@@ -178,10 +256,14 @@ pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
                 }
             }
             let (ops, events, secs) = best.expect("at least one sample");
+            // A sub-resolution timer reading must not divide through to
+            // infinity (and poison the JSON): report zero and let the
+            // floor check flag it.
+            let rate = |count: u64| if secs > 0.0 { count as f64 / secs } else { 0.0 };
             MicroResult {
                 name,
-                ops_per_sec: ops as f64 / secs,
-                events_per_sec: events as f64 / secs,
+                ops_per_sec: rate(ops),
+                events_per_sec: rate(events),
                 wall_ms: secs * 1e3,
                 shards,
             }
@@ -277,7 +359,12 @@ pub fn run_warm_start_benchmark(samples: u32) -> WarmStartResult {
 }
 
 fn json_f64(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity literals; `format!("{v}")` would emit
+        // them bare and poison the document for every consumer. `null`
+        // keeps the file parseable and `--bench-check` rejects it loudly.
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.1}")
     } else {
         format!("{v}")
@@ -314,6 +401,10 @@ pub fn render_json(
         PRE_CHANGE_SWEEP_WALL_MS.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
     s.push_str(&pre.join(", "));
     s.push_str("}\n  },\n");
+    s.push_str(&format!(
+        "  \"floors\": {{\"events_per_sec\": {}}},\n",
+        json_f64(EVENTS_PER_SEC_FLOOR)
+    ));
     s.push_str("  \"current\": {\n");
     s.push_str("    \"ops_per_sec\": {");
     let cur: Vec<String> =
@@ -619,10 +710,29 @@ mod tests {
     #[test]
     fn micro_benchmarks_run_and_report_positive_rates() {
         let results = run_micro_benchmarks(1);
-        assert_eq!(results.len(), 5);
+        assert_eq!(results.len(), 7);
         for r in &results {
             assert!(r.ops_per_sec > 0.0, "{}: {r:?}", r.name);
             assert!(r.events_per_sec >= r.ops_per_sec, "{}: events >= ops", r.name);
         }
+    }
+
+    #[test]
+    fn non_finite_rates_render_as_null_not_bare_nan() {
+        let micro = vec![MicroResult {
+            name: "broken",
+            ops_per_sec: f64::NAN,
+            events_per_sec: f64::INFINITY,
+            wall_ms: 0.0,
+            shards: None,
+        }];
+        let text = render_json(&micro, &[], None);
+        let doc = parse(&text).expect("null must keep the document well-formed");
+        assert_eq!(doc.path(&["current", "ops_per_sec", "broken"]), Some(&Value::Null));
+        assert_eq!(doc.path(&["current", "events_per_sec", "broken"]), Some(&Value::Null));
+        assert_eq!(
+            doc.path(&["floors", "events_per_sec"]).and_then(Value::as_f64),
+            Some(EVENTS_PER_SEC_FLOOR)
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! repro [--full] [--jobs N] [--shards N] [--warm-start] [--trace PATH]
 //!       [--checkpoint PATH] [--bench-json PATH] [--bench-check PATH]
 //!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology]
-//!       [msix] [shard] [all]
+//!       [msix] [pmd] [shard] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
@@ -23,6 +23,13 @@
 //! `msix` (alias `--msix`) runs the interrupt-delivery experiment: the
 //! same NIC transmit load over legacy INTx vs. per-queue MSI-X vectors,
 //! plus queue-count and per-vector moderation sweeps.
+//!
+//! `pmd` (alias `--pmd`) runs the heavy-traffic poll-mode experiment:
+//! the classic interrupt-driven receive driver vs. the busy-poll driver
+//! (interrupts fully masked — zero doorbells) on identical million-flow
+//! heavy-tailed traffic, then a warm-forked offered-load ladder. Along
+//! the way it asserts serial ≡ sharded bit-identity and that replaying
+//! the recorded binary trace reproduces the live generator bit-for-bit.
 //!
 //! `shard` (alias `--shard`) runs the shard-scaling experiment: the same
 //! multi-endpoint `dd` run partitioned across 1, 2, … worker shards
@@ -560,6 +567,105 @@ fn msix(opts: &Opts) {
     println!("{}", table::render(&["holdoff", "Gb/s", "irqs", "irqs/frame", "coalesced"], &rows));
 }
 
+/// The heavy-traffic poll-mode tables: the interrupt-driven receive
+/// driver vs. the busy-poll driver on identical traffic, then the
+/// million-flow offered-load ladder (warm-forked across `--jobs`), with
+/// serial-vs-sharded identity and trace record→replay bit-identity
+/// asserted on the middle rung.
+fn pmd(opts: &Opts) {
+    use std::sync::Arc;
+    let frames: u32 = if opts.full { 4096 } else { 1024 };
+    let base = PmdExperiment {
+        traffic: Some(TrafficSpec::Generate(heavy_traffic(0xd04a_11ce, 1 << 20, frames, ns(1500)))),
+        ..PmdExperiment::default()
+    };
+
+    println!("\n== PMD: interrupt-driven vs busy-poll receive on identical traffic ==");
+    println!("   2^20 flows, heavy-tailed frame sizes, Poisson arrivals (mean gap 1.5 us);");
+    println!("   poll mode never unmasks IMS — the NIC raises zero doorbells");
+    let irq = run_irq_rx_experiment(&base);
+    let poll = run_pmd_experiment(&base);
+    assert!(irq.completed, "interrupt baseline must settle every frame: {irq:?}");
+    assert!(poll.completed, "poll-mode run must settle every frame: {poll:?}");
+    assert!(irq.irqs > 0, "the interrupt baseline takes a doorbell per writeback");
+    assert_eq!(poll.irqs, 0, "poll mode must run with interrupts fully masked");
+    let mut rows = Vec::new();
+    for (label, out) in [("interrupt-driven", &irq), ("busy-poll (PMD)", &poll)] {
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", out.rx_gbps),
+            out.rx_delivered.to_string(),
+            out.rx_dropped.to_string(),
+            out.irqs.to_string(),
+            out.polls.to_string(),
+            format!("{:.0}", out.frame_latency_p50_ns),
+            format!("{:.0}", out.frame_latency_p99_ns),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["mode", "rx Gb/s", "delivered", "dropped", "irqs", "polls", "p50 (ns)", "p99 (ns)"],
+            &rows
+        )
+    );
+    println!("   poll mode settled {} frames with 0 interrupts", poll.rx_delivered);
+
+    println!("\n== PMD: offered-load ladder (busy-poll, warm-forked sweep) ==");
+    println!("   same flow population and size tail, mean inter-arrival gap swept");
+    let gaps = [ns(4000), ns(2500), ns(1500), ns(1000), ns(700)];
+    let Some(TrafficSpec::Generate(base_cfg)) = base.traffic.clone() else { unreachable!() };
+    let configs: Vec<PmdExperiment> = offered_load_ladder(base_cfg, &gaps)
+        .into_iter()
+        .map(|t| PmdExperiment { traffic: Some(TrafficSpec::Generate(t)), ..base.clone() })
+        .collect();
+    let outcomes = run_pmd_sweep_warm(&configs, opts.jobs);
+    let mut rows = Vec::new();
+    for (&gap, out) in gaps.iter().zip(&outcomes) {
+        assert!(out.completed, "ladder rung must settle: gap {gap}");
+        let total = out.rx_delivered + out.rx_dropped;
+        rows.push(vec![
+            format!("{}", gap / 1000),
+            format!("{:.3}", out.rx_gbps),
+            out.rx_delivered.to_string(),
+            format!("{:.1}%", 100.0 * out.rx_dropped as f64 / total as f64),
+            out.polls.to_string(),
+            format!("{:.0}", out.frame_latency_p50_ns),
+            format!("{:.0}", out.frame_latency_p99_ns),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["mean gap (ns)", "rx Gb/s", "delivered", "dropped", "polls", "p50 (ns)", "p99 (ns)"],
+            &rows
+        )
+    );
+
+    println!("\n== PMD: identity checks on the middle rung ==");
+    let mid = &configs[gaps.len() / 2];
+    let serial = run_pmd_sharded(mid, 1);
+    let sharded = run_pmd_sharded(mid, 2);
+    assert_eq!(serial, sharded, "sharded pmd must reproduce the serial run bit-for-bit");
+    println!(
+        "   serial == 2-shard: quiesce tick {}, stats fnv {:#018x}",
+        serial.quiesce_tick, serial.stats_fnv
+    );
+    let Some(TrafficSpec::Generate(mid_cfg)) = &mid.traffic else { unreachable!() };
+    let trace = record_trace(mid_cfg);
+    let live = run_pmd_experiment(mid);
+    let replayed = run_pmd_experiment(&PmdExperiment {
+        traffic: Some(TrafficSpec::Replay(Arc::new(trace.clone()))),
+        ..mid.clone()
+    });
+    assert_eq!(live, replayed, "trace replay must reproduce the live generator bit-for-bit");
+    println!(
+        "   record -> replay: {} bytes for {frames} frames, bit-identical (stats fnv {:#018x})",
+        trace.len(),
+        live.stats_fnv
+    );
+}
+
 /// The shard-scaling tables: the same multi-endpoint `dd` run partitioned
 /// across 1, 2, … worker shards with conservative link-lookahead sync.
 /// Every shard count must reproduce the serial quiesce tick and stats FNV
@@ -731,36 +837,67 @@ fn bench_json(path: &str, sweep_wall_ms: &[(String, u64)]) {
 
 /// CI smoke gate: re-measures the scenarios and compares against the
 /// `current` section of the checked-in JSON. Exits non-zero on a >30%
-/// ops/sec regression.
+/// ops/sec regression, on any scenario dipping under the absolute
+/// events/sec floor, or on a `null`/non-finite baseline entry (a `null`
+/// means a broken measurement was checked in — regenerate the file with
+/// `--bench-json` instead of gating against garbage).
 fn bench_check(path: &str) -> i32 {
     const MAX_REGRESSION: f64 = 0.30;
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read bench baseline {path}: {e}"));
     let doc = benchjson::parse(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    let floor = match doc.path(&["floors", "events_per_sec"]) {
+        // Baselines written before the floor existed fall back to the
+        // compiled-in value.
+        None => benchjson::EVENTS_PER_SEC_FLOOR,
+        Some(v) => v.as_f64().filter(|f| f.is_finite() && *f > 0.0).unwrap_or_else(|| {
+            panic!("floors.events_per_sec in {path} is {v:?}, not a positive finite number")
+        }),
+    };
     let micro = benchjson::run_micro_benchmarks(bench_samples());
     let mut failed = false;
-    println!("== bench smoke: measured vs baseline ({path}) ==");
+    println!("== bench smoke: measured vs baseline ({path}), events/s floor {floor:.0} ==");
     for m in &micro {
-        let Some(base) =
-            doc.path(&["current", "ops_per_sec", m.name]).and_then(benchjson::Value::as_f64)
-        else {
-            println!("{:>16}: no baseline entry — skipped", m.name);
-            continue;
-        };
-        let ratio = m.ops_per_sec / base;
-        let verdict = if ratio < 1.0 - MAX_REGRESSION {
+        let mut verdict = "ok";
+        if m.events_per_sec < floor {
             failed = true;
-            "REGRESSION"
-        } else {
-            "ok"
-        };
-        println!(
-            "{:>16}: {:>12.0} ops/s vs baseline {:>12.0} ({:>5.2}x) {verdict}",
-            m.name, m.ops_per_sec, base, ratio
-        );
+            verdict = "UNDER FLOOR";
+        }
+        match doc.path(&["current", "ops_per_sec", m.name]) {
+            None => {
+                println!(
+                    "{:>22}: {:>12.0} ops/s  {:>12.0} events/s — no baseline entry {verdict}",
+                    m.name, m.ops_per_sec, m.events_per_sec
+                );
+            }
+            Some(entry) => {
+                let base =
+                    entry.as_f64().filter(|b| b.is_finite() && *b > 0.0).unwrap_or_else(|| {
+                        panic!(
+                            "baseline ops_per_sec for {} in {path} is {entry:?} — a null or \
+                             non-finite baseline means a broken measurement was checked in; \
+                             regenerate with --bench-json",
+                            m.name
+                        )
+                    });
+                let ratio = m.ops_per_sec / base;
+                if ratio < 1.0 - MAX_REGRESSION {
+                    failed = true;
+                    verdict = "REGRESSION";
+                }
+                println!(
+                    "{:>22}: {:>12.0} ops/s vs baseline {:>12.0} ({:>5.2}x) {verdict}",
+                    m.name, m.ops_per_sec, base, ratio
+                );
+            }
+        }
     }
     if failed {
-        eprintln!("bench smoke FAILED: ops/sec regressed more than {:.0}%", MAX_REGRESSION * 100.0);
+        eprintln!(
+            "bench smoke FAILED: ops/sec regressed more than {:.0}% or events/sec \
+             fell under the {floor:.0} floor",
+            MAX_REGRESSION * 100.0
+        );
         1
     } else {
         0
@@ -861,6 +998,9 @@ fn main() {
     }
     if run_all || picked.contains(&"msix") || picked.contains(&"--msix") {
         timed("msix", &msix);
+    }
+    if run_all || picked.contains(&"pmd") || picked.contains(&"--pmd") {
+        timed("pmd", &pmd);
     }
     if run_all || picked.contains(&"shard") || picked.contains(&"--shard") {
         timed("shard", &shard_scaling);

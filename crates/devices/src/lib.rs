@@ -9,7 +9,9 @@
 //!   register file for the Table II MMIO-latency experiment (§IV);
 //! * [`driver`] — e1000e/IDE probe models (module device table match,
 //!   capability walk, legacy-interrupt fallback);
-//! * [`intc`] — a minimal interrupt controller terminating INTx messages.
+//! * [`intc`] — a minimal interrupt controller terminating INTx messages;
+//! * [`traffic`] — deterministic open-loop traffic generation and binary
+//!   trace replay feeding the NIC's receive path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -18,6 +20,7 @@ pub mod driver;
 pub mod ide;
 pub mod intc;
 pub mod nic;
+pub mod traffic;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -25,4 +28,8 @@ pub mod prelude {
     pub use crate::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
     pub use crate::intc::{InterruptController, INTC_FABRIC_PORT};
     pub use crate::nic::{Nic, NicConfig, NIC_DEVICE_ID, NIC_DMA_PORT, NIC_PIO_PORT};
+    pub use crate::traffic::{
+        record_trace, ArrivalProcess, FrameEvent, SizeDist, TrafficConfig, TrafficFeed, TrafficGen,
+        TrafficSpec,
+    };
 }

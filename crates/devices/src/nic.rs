@@ -48,6 +48,7 @@ use pcisim_pci::header::{bar_base, Bar, Type0Header};
 use pcisim_pci::regs::{aer, common, status};
 
 use crate::intc::irq_message_addr;
+use crate::traffic::{TrafficFeed, TrafficSpec};
 
 /// MMIO register port (slave).
 pub const NIC_PIO_PORT: PortId = PortId(0);
@@ -92,6 +93,18 @@ pub mod regs {
     /// Frame buffer length used for buffer DMA (u32, RW; model-specific —
     /// stands in for the length field of a real TX descriptor).
     pub const TX_BUFLEN: u64 = 0x3820;
+    /// Missed packets count (u32, RO): frames dropped for want of FIFO
+    /// space or posted buffers (the 8254x MPC statistics register).
+    pub const MPC: u64 = 0x4010;
+    /// Good packets received count (u32, RO): frames fully written to
+    /// memory (the 8254x GPRC statistics register). Together with
+    /// [`MPC`] this lets a poll-mode driver detect end-of-stream without
+    /// any interrupt.
+    pub const GPRC: u64 = 0x4074;
+    /// Good octets received, low half (u32, RO; 8254x GORCL).
+    pub const GORCL: u64 = 0x4088;
+    /// Good octets received, high half (u32, RO; 8254x GORCH).
+    pub const GORCH: u64 = 0x408c;
     /// Stride between per-queue register blocks: queue 0 sits at the
     /// legacy offsets, queue `q` at `reg + q * QUEUE_STRIDE` (the 82574
     /// places its second queue pair the same way).
@@ -209,6 +222,10 @@ pub struct NicConfig {
     /// Distinct receive flows the RSS hash spreads across RX queues;
     /// frame `i` belongs to flow `i % rx_flows`.
     pub rx_flows: u32,
+    /// Open-loop receive traffic source (generated or trace replay) with
+    /// per-frame sizes and flows. Mutually exclusive with `rx_stream`;
+    /// like it, frames start arriving at the first RX tail write.
+    pub rx_source: Option<TrafficSpec>,
 }
 
 impl Default for NicConfig {
@@ -224,6 +241,7 @@ impl Default for NicConfig {
             msix_capable: false,
             moderation: 0,
             rx_flows: 16,
+            rx_source: None,
         }
     }
 }
@@ -311,7 +329,18 @@ const K_TX_WIRE_DONE: u32 = 1;
 const K_DMA_RESP: u32 = 2;
 const K_RX_FRAME: u32 = 3;
 const K_ITR: u32 = 4;
+const K_RX_TRAFFIC: u32 = 5;
 const TAG_PIO_RESP: u32 = 0;
+
+/// Packs a traffic frame into a timer's `data` word: flow in the low 32
+/// bits, frame bytes in the high 32.
+fn pack_traffic_frame(flow: u32, bytes: u32) -> u64 {
+    u64::from(flow) | (u64::from(bytes) << 32)
+}
+
+fn unpack_traffic_frame(data: u64) -> (u32, u32) {
+    (data as u32, (data >> 32) as u32)
+}
 
 /// Which engine a DMA job belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -412,6 +441,9 @@ struct NicStats {
     msix_irqs: Counter,
     /// Interrupt causes absorbed by a running moderation holdoff window.
     irqs_coalesced: Counter,
+    /// Medium-arrival to memory-writeback latency of traffic-source
+    /// frames, in ticks (only populated when `rx_source` is set).
+    rx_frame_latency: Histogram,
 }
 
 /// The NIC component.
@@ -436,6 +468,14 @@ pub struct Nic {
     rx_stream_started: bool,
     /// Arrival sequence number feeding the RSS flow hash.
     rx_frame_seq: u32,
+    // Open-loop traffic source (rx_source): the pull feed, per-queue
+    // FIFO metadata `(bytes, arrival tick)` mirroring `RxQueue::fifo`,
+    // the frame each queue's engine is currently delivering, and the
+    // delivered-octet count behind GORCL/GORCH.
+    rx_feed: Option<TrafficFeed>,
+    rx_fifo_meta: Vec<VecDeque<(u32, Tick)>>,
+    rx_cur: Vec<(u32, Tick)>,
+    rx_octets: u64,
     // MSI-X table (4 dwords per vector), pending-bit array, and the
     // per-vector moderation holdoff / deferred-cause flags.
     msix_table: Vec<u32>,
@@ -462,6 +502,10 @@ impl Nic {
             "NIC queue pairs must be 1..={MAX_QUEUES}, got {}",
             config.queues
         );
+        assert!(
+            config.rx_stream.is_none() || config.rx_source.is_none(),
+            "rx_stream and rx_source are mutually exclusive receive mediums"
+        );
         let cs = shared(nic_config_space_for(&config));
         let vectors = usize::from(num_msix_vectors(config.queues));
         // Vectors power up masked (vector control bit 0 set), per spec.
@@ -487,6 +531,10 @@ impl Nic {
                 rx_frames_left: 0,
                 rx_stream_started: false,
                 rx_frame_seq: 0,
+                rx_feed: config.rx_source.as_ref().map(TrafficFeed::new),
+                rx_fifo_meta: (0..config.queues).map(|_| VecDeque::new()).collect(),
+                rx_cur: vec![(0, 0); config.queues as usize],
+                rx_octets: 0,
                 msix_table,
                 msix_pba: 0,
                 itr_holdoff: vec![false; vectors],
@@ -536,6 +584,10 @@ impl Nic {
             regs::STATUS => STATUS_LINK_UP,
             regs::ICR => std::mem::take(&mut self.icr), // read clears
             regs::IMS => self.ims,
+            regs::MPC => self.stats.rx_overruns.value() as u32,
+            regs::GPRC => self.stats.frames_rx.value() as u32,
+            regs::GORCL => self.rx_octets as u32,
+            regs::GORCH => (self.rx_octets >> 32) as u32,
             o if (regs::RDBAL..regs::RDBAL + nq * regs::QUEUE_STRIDE).contains(&o) => {
                 let q = ((o - regs::RDBAL) / regs::QUEUE_STRIDE) as usize;
                 let rxq = &self.rxq[q];
@@ -812,12 +864,49 @@ impl Nic {
         if self.rx_stream_started {
             return;
         }
+        if self.rx_feed.is_some() {
+            self.rx_stream_started = true;
+            self.schedule_next_traffic_frame(ctx);
+            return;
+        }
         let Some((_, interval, frames)) = self.config.rx_stream else { return };
         self.rx_stream_started = true;
         self.rx_frames_left = frames;
         if frames > 0 {
             ctx.schedule(interval, Event::Timer { kind: K_RX_FRAME, data: 0 });
         }
+    }
+
+    /// Pulls the next open-loop frame from the traffic feed and schedules
+    /// its arrival; the frame itself rides in the timer's data word so a
+    /// checkpoint taken between pull and arrival stays consistent (the
+    /// kernel snapshots the pending event, the feed only its position).
+    fn schedule_next_traffic_frame(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(feed) = &mut self.rx_feed else { return };
+        if let Some(frame) = feed.next_frame() {
+            ctx.schedule(
+                frame.delta,
+                Event::Timer {
+                    kind: K_RX_TRAFFIC,
+                    data: pack_traffic_frame(frame.flow, frame.bytes),
+                },
+            );
+        }
+    }
+
+    /// An open-loop frame reaches the medium: steer it by RSS onto a
+    /// queue FIFO (or count an overrun) and pull the next arrival.
+    fn rx_traffic_arrived(&mut self, ctx: &mut Ctx<'_>, data: u64) {
+        let (flow, bytes) = unpack_traffic_frame(data);
+        self.schedule_next_traffic_frame(ctx);
+        let q = rss_queue(flow, self.config.queues) as usize;
+        if self.rxq[q].fifo >= RX_FIFO_FRAMES {
+            self.stats.rx_overruns.inc();
+        } else {
+            self.rxq[q].fifo += 1;
+            self.rx_fifo_meta[q].push_back((bytes, ctx.now()));
+        }
+        self.rx_kick(ctx, q);
     }
 
     fn rx_frame_arrived(&mut self, ctx: &mut Ctx<'_>) {
@@ -850,12 +939,17 @@ impl Nic {
         // real hardware when the internal FIFO has nowhere to go.
         while self.rxq[q].fifo > 0 && self.rx_ring_empty(q) && self.rxq[q].phase == RxPhase::Idle {
             self.rxq[q].fifo -= 1;
+            self.rx_fifo_meta[q].pop_front();
             self.stats.rx_overruns.inc();
         }
         if self.rxq[q].phase != RxPhase::Idle || self.rxq[q].fifo == 0 || self.rx_ring_empty(q) {
             return;
         }
         self.rxq[q].fifo -= 1;
+        self.rx_cur[q] = match self.rx_fifo_meta[q].pop_front() {
+            Some(meta) => meta,
+            None => (self.config.rx_stream.map(|(bytes, _, _)| bytes).unwrap_or(64), 0),
+        };
         self.rxq[q].phase = RxPhase::FetchDescriptor;
         let desc_addr = self.rxq[q].rdba + u64::from(self.rxq[q].rdh) * u64::from(DESC_BYTES);
         self.enqueue_job(
@@ -874,7 +968,7 @@ impl Nic {
         match self.rxq[q].phase {
             RxPhase::FetchDescriptor => {
                 self.rxq[q].phase = RxPhase::WriteData;
-                let (frame_bytes, _, _) = self.config.rx_stream.expect("rx stream configured");
+                let frame_bytes = self.rx_cur[q].0;
                 // The descriptor names the buffer; the model fabricates it.
                 let buf_addr =
                     0xa000_0000 + (q as u64) * 0x100_0000 + u64::from(self.rxq[q].rdh) * 0x1_0000;
@@ -908,6 +1002,11 @@ impl Nic {
                 let rxq = &mut self.rxq[q];
                 rxq.rdh = (rxq.rdh + 1) % rxq.rdlen.max(1);
                 self.stats.frames_rx.inc();
+                if self.config.rx_source.is_some() {
+                    let (bytes, arrived) = self.rx_cur[q];
+                    self.rx_octets += u64::from(bytes);
+                    self.stats.rx_frame_latency.record(ctx.now().saturating_sub(arrived) as f64);
+                }
                 let cause = rx_cause(q as u32);
                 self.icr |= cause;
                 if self.ims & cause != 0 {
@@ -1130,6 +1229,7 @@ impl Component for Nic {
             Event::Timer { kind: K_TX_WIRE_DONE, data } => self.tx_wire_done(ctx, data as usize),
             Event::Timer { kind: K_DMA_RESP, .. } => self.pump_dma(ctx),
             Event::Timer { kind: K_RX_FRAME, .. } => self.rx_frame_arrived(ctx),
+            Event::Timer { kind: K_RX_TRAFFIC, data } => self.rx_traffic_arrived(ctx, data),
             Event::Timer { kind: K_ITR, data } => self.itr_expired(ctx, data as u16),
             Event::Timer { kind, .. } => panic!("{}: unknown timer {kind}", self.name),
             Event::DelayedPacket { tag: TAG_PIO_RESP, pkt } => {
@@ -1195,6 +1295,12 @@ impl Component for Nic {
         out.counter("irqs", &self.stats.irqs);
         out.counter("msix_irqs", &self.stats.msix_irqs);
         out.counter("irqs_coalesced", &self.stats.irqs_coalesced);
+        // Traffic-source keys appear only when the source is configured,
+        // so legacy systems keep their recorded stats fingerprints.
+        if self.config.rx_source.is_some() {
+            out.scalar("rx_octets", self.rx_octets as f64);
+            out.histogram("rx_frame_latency", &self.stats.rx_frame_latency);
+        }
     }
 
     fn save_state(&self, w: &mut StateWriter) {
@@ -1298,6 +1404,24 @@ impl Component for Nic {
         self.stats.irqs.encode(w);
         self.stats.msix_irqs.encode(w);
         self.stats.irqs_coalesced.encode(w);
+        // Traffic-source state rides at the tail, only when configured,
+        // so legacy checkpoints keep their exact byte layout. The feed
+        // itself is described by its position: restore re-derives the
+        // stream and skips the emitted prefix.
+        if self.config.rx_source.is_some() {
+            w.u32(self.rx_feed.as_ref().map(|f| f.emitted()).unwrap_or(0));
+            w.u64(self.rx_octets);
+            for q in 0..self.rxq.len() {
+                w.u32(self.rx_cur[q].0);
+                w.u64(self.rx_cur[q].1);
+                w.usize(self.rx_fifo_meta[q].len());
+                for &(bytes, arrived) in &self.rx_fifo_meta[q] {
+                    w.u32(bytes);
+                    w.u64(arrived);
+                }
+            }
+            self.stats.rx_frame_latency.encode(w);
+        }
     }
 
     fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
@@ -1396,6 +1520,22 @@ impl Component for Nic {
         self.stats.irqs = Counter::decode(r)?;
         self.stats.msix_irqs = Counter::decode(r)?;
         self.stats.irqs_coalesced = Counter::decode(r)?;
+        if let Some(spec) = self.config.rx_source.as_ref() {
+            let emitted = r.u32()?;
+            self.rx_feed = Some(TrafficFeed::resume(spec, emitted));
+            self.rx_octets = r.u64()?;
+            for q in 0..self.rxq.len() {
+                self.rx_cur[q] = (r.u32()?, r.u64()?);
+                let n = r.usize()?;
+                self.rx_fifo_meta[q].clear();
+                for _ in 0..n {
+                    let bytes = r.u32()?;
+                    let arrived = r.u64()?;
+                    self.rx_fifo_meta[q].push_back((bytes, arrived));
+                }
+            }
+            self.stats.rx_frame_latency = Histogram::decode(r)?;
+        }
         Ok(())
     }
 }
@@ -1645,6 +1785,105 @@ mod tests {
         assert_eq!(stats.get("nic.frames_tx"), Some(4.0));
         assert_eq!(stats.get("nic.frames_rx"), Some(8.0));
         assert_eq!(stats.get("nic.irqs"), Some(12.0));
+    }
+
+    // --- Traffic-source RX -----------------------------------------------------
+
+    use crate::traffic::{record_trace, ArrivalProcess, SizeDist, TrafficConfig, TrafficSpec};
+    use std::sync::Arc;
+
+    fn traffic_cfg() -> TrafficConfig {
+        TrafficConfig {
+            seed: 0x5eed_cafe,
+            flows: 4096,
+            frames: 16,
+            size: SizeDist::Fixed(512),
+            arrival: ArrivalProcess::Periodic(ns(2000)),
+        }
+    }
+
+    #[test]
+    fn traffic_source_delivers_every_frame_without_interrupts() {
+        let config = NicConfig {
+            rx_source: Some(TrafficSpec::Generate(traffic_cfg())),
+            ..NicConfig::default()
+        };
+        // Descriptors posted, interrupts never unmasked: a poll-mode driver.
+        let stats = run_with_driver(
+            config,
+            vec![(regs::RDBAL, 0x8900_0000), (regs::RDLEN, 64), (regs::RDT, 32)],
+        );
+        assert_eq!(stats.get("nic.frames_rx"), Some(16.0));
+        assert_eq!(stats.get("nic.rx_overruns"), Some(0.0));
+        assert_eq!(stats.get("nic.irqs"), Some(0.0), "masked NIC must stay silent");
+        assert_eq!(stats.get("nic.msix_irqs"), Some(0.0));
+        assert_eq!(stats.get("nic.rx_octets"), Some(16.0 * 512.0));
+        assert_eq!(stats.get("nic.rx_frame_latency.count"), Some(16.0));
+    }
+
+    #[test]
+    fn traffic_source_heavy_tail_varies_frame_sizes() {
+        let cfg = TrafficConfig {
+            size: SizeDist::Pareto { min: 64, max: 1514, alpha_milli: 1300 },
+            arrival: ArrivalProcess::Poisson(ns(1500)),
+            ..traffic_cfg()
+        };
+        let config =
+            NicConfig { rx_source: Some(TrafficSpec::Generate(cfg)), ..NicConfig::default() };
+        let stats = run_with_driver(
+            config,
+            vec![(regs::RDBAL, 0x8900_0000), (regs::RDLEN, 64), (regs::RDT, 32)],
+        );
+        assert_eq!(stats.get("nic.frames_rx"), Some(16.0));
+        let octets = stats.get("nic.rx_octets").unwrap();
+        assert!((16.0 * 64.0..=16.0 * 1514.0).contains(&octets));
+        assert_ne!(octets, 16.0 * 512.0, "Pareto sizes should not all collapse to one value");
+    }
+
+    #[test]
+    fn traffic_replay_is_bit_identical_to_generate_live() {
+        let cfg = traffic_cfg();
+        let trace = Arc::new(record_trace(&cfg));
+        let live = run_with_driver(
+            NicConfig { rx_source: Some(TrafficSpec::Generate(cfg)), ..NicConfig::default() },
+            vec![(regs::RDBAL, 0x8900_0000), (regs::RDLEN, 64), (regs::RDT, 32)],
+        );
+        let replay = run_with_driver(
+            NicConfig { rx_source: Some(TrafficSpec::Replay(trace)), ..NicConfig::default() },
+            vec![(regs::RDBAL, 0x8900_0000), (regs::RDLEN, 64), (regs::RDT, 32)],
+        );
+        assert_eq!(live, replay, "replayed trace must reproduce the live run exactly");
+    }
+
+    #[test]
+    fn traffic_source_overruns_when_no_buffers_posted() {
+        let config = NicConfig {
+            rx_source: Some(TrafficSpec::Generate(traffic_cfg())),
+            ..NicConfig::default()
+        };
+        // Only 2 buffers for 16 frames.
+        let stats = run_with_driver(
+            config,
+            vec![(regs::RDBAL, 0x8900_0000), (regs::RDLEN, 64), (regs::RDT, 2)],
+        );
+        assert_eq!(stats.get("nic.frames_rx"), Some(2.0));
+        assert_eq!(stats.get("nic.rx_overruns"), Some(14.0));
+    }
+
+    #[test]
+    fn stats_registers_expose_rx_progress() {
+        let (mut nic, _) = programmed_nic(NicConfig {
+            rx_source: Some(TrafficSpec::Generate(traffic_cfg())),
+            ..NicConfig::default()
+        });
+        nic.stats.frames_rx.inc();
+        nic.stats.frames_rx.inc();
+        nic.stats.rx_overruns.inc();
+        nic.rx_octets = 0x1_2345_6789;
+        assert_eq!(nic.reg_read(regs::GPRC), 2);
+        assert_eq!(nic.reg_read(regs::MPC), 1);
+        assert_eq!(nic.reg_read(regs::GORCL), 0x2345_6789);
+        assert_eq!(nic.reg_read(regs::GORCH), 0x1);
     }
 
     // --- MSI-X / multi-queue ---------------------------------------------------

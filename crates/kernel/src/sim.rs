@@ -295,8 +295,12 @@ impl Ctx<'_> {
     /// sequence whether it executes fused with its peer or alone.
     #[inline]
     pub fn schedule_stream(&mut self, delay: Tick, stream: u8, ev: Event) -> EventHandle {
+        // Saturating: an open-loop arrival process running for simulated
+        // hours can push `now + delay` past u64::MAX picoseconds; a wrapped
+        // tick would land the event in the past and corrupt causality, so
+        // pin it to the end of time instead.
         self.shared.push(
-            self.now() + delay,
+            self.now().saturating_add(delay),
             self.self_id,
             stream,
             self.self_id,
@@ -314,7 +318,7 @@ impl Ctx<'_> {
     /// driver asserts it lands beyond the current window.
     #[inline]
     pub fn remote_schedule(&mut self, edge: u32, delay: Tick, stream: u8, ev: Event) {
-        let tick = self.now() + delay;
+        let tick = self.now().saturating_add(delay);
         let order = self.shared.order_key(self.self_id.0, stream);
         self.shared.outbox.borrow_mut().push(OutboundMsg { edge, tick, order, ev });
     }

@@ -30,22 +30,22 @@ pub const fn ps(v: u64) -> Tick {
     v * TICKS_PER_PS
 }
 
-/// Converts nanoseconds to ticks.
+/// Converts nanoseconds to ticks, saturating at the end of simulated time.
 #[inline]
 pub const fn ns(v: u64) -> Tick {
-    v * TICKS_PER_NS
+    v.saturating_mul(TICKS_PER_NS)
 }
 
-/// Converts microseconds to ticks.
+/// Converts microseconds to ticks, saturating at the end of simulated time.
 #[inline]
 pub const fn us(v: u64) -> Tick {
-    v * TICKS_PER_US
+    v.saturating_mul(TICKS_PER_US)
 }
 
-/// Converts milliseconds to ticks.
+/// Converts milliseconds to ticks, saturating at the end of simulated time.
 #[inline]
 pub const fn ms(v: u64) -> Tick {
-    v * TICKS_PER_MS
+    v.saturating_mul(TICKS_PER_MS)
 }
 
 /// Converts a tick count to fractional seconds.

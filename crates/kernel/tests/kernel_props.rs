@@ -183,3 +183,54 @@ proptest! {
         }
     }
 }
+
+/// Open-loop arrival scheduling at multi-second horizons: `now + delay`
+/// must saturate at the end of simulated time rather than wrap u64 and
+/// land an event in the past (which would corrupt causality or panic the
+/// calendar queue). Regression test for the traffic-generator path.
+#[test]
+fn long_horizon_scheduling_saturates_instead_of_wrapping() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct FarFuture {
+        fired: Rc<RefCell<Vec<Tick>>>,
+    }
+    impl Component for FarFuture {
+        fn name(&self) -> &str {
+            "far"
+        }
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            // Lands 5 ticks shy of the end of time.
+            ctx.schedule(u64::MAX - 5, Event::Timer { kind: 0, data: 0 });
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            self.fired.borrow_mut().push(ctx.now());
+            if let Event::Timer { kind: 0, .. } = ev {
+                // now + delay overflows u64; must pin to u64::MAX, not wrap
+                // to a tick before `now`.
+                ctx.schedule(u64::MAX, Event::Timer { kind: 1, data: 0 });
+            }
+        }
+    }
+
+    let fired = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new();
+    sim.add(Box::new(FarFuture { fired: Rc::clone(&fired) }));
+    assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+    let fired = fired.borrow();
+    assert_eq!(*fired, vec![u64::MAX - 5, u64::MAX]);
+}
+
+/// Tick unit constructors saturate instead of wrapping: a pathological
+/// `us(u64::MAX)` style conversion must stay at the end of time.
+#[test]
+fn tick_conversions_saturate_at_the_horizon() {
+    use pcisim_kernel::tick::{ms, us};
+    assert_eq!(ns(u64::MAX), u64::MAX);
+    assert_eq!(us(u64::MAX / 2), u64::MAX);
+    assert_eq!(ms(u64::MAX), u64::MAX);
+    // Ordinary magnitudes are untouched.
+    assert_eq!(ns(150), 150_000);
+    assert_eq!(us(3), 3_000_000);
+}

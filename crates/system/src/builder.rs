@@ -42,6 +42,7 @@ use crate::workload::nic_rx::{
 use crate::workload::nic_tx::{
     NicTxApp, NicTxConfig, NicTxReportHandle, NIC_TX_IRQ_PORT, NIC_TX_MEM_PORT,
 };
+use crate::workload::pmd::{PmdApp, PmdConfig, PmdReportHandle, PMD_MEM_PORT};
 
 /// Which PCI-Express endpoint the system carries.
 #[derive(Debug, Clone)]
@@ -156,6 +157,16 @@ impl SystemConfig {
             ..Self::nic_direct()
         }
     }
+
+    /// The poll-mode setup: a multi-queue NIC directly on root port 0 with
+    /// an open-loop traffic source on its receive path. Interrupts are
+    /// left entirely alone — the poll-mode driver masks everything.
+    pub fn nic_pmd(queues: u32, rx_source: Option<pcisim_devices::traffic::TrafficSpec>) -> Self {
+        Self {
+            device: DeviceSpec::Nic(NicConfig { queues, rx_source, ..NicConfig::default() }),
+            ..Self::nic_direct()
+        }
+    }
 }
 
 /// A wired, enumerated, probed system awaiting a workload.
@@ -245,6 +256,17 @@ impl BuiltSystem {
             let v = pcisim_devices::nic::tx_vector(q);
             self.sim.connect((id, msix_tx_irq_port(v)), self.cpu_irq_ports[usize::from(v)]);
         }
+        report
+    }
+
+    /// Attaches the poll-mode (DPDK-style) driver against the probed NIC
+    /// and returns its report handle. Only the memory port is wired — a
+    /// poll-mode driver has no interrupt path at all.
+    pub fn attach_pmd(&mut self, mut config: PmdConfig) -> PmdReportHandle {
+        config.nic_bar = self.probe.bar0;
+        let (app, report) = PmdApp::new("pmd", config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, PMD_MEM_PORT), self.cpu_mem_port);
         report
     }
 

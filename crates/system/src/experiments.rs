@@ -1289,8 +1289,13 @@ pub struct ShardScalingOutcome {
 }
 
 impl ShardScalingOutcome {
-    /// Aggregate scheduler events per second of host wall-clock.
+    /// Aggregate scheduler events per second of host wall-clock. 0.0 when
+    /// the run took no measurable wall time (never NaN/Inf — regression
+    /// guard for the zero-duration division bug).
     pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs == 0.0 {
+            return 0.0;
+        }
         self.events as f64 / self.wall_secs
     }
 }
@@ -1329,5 +1334,382 @@ pub fn run_shard_scaling(
         stats_fnv: stats_fnv(&driver.stats()),
         events: driver.events_processed(),
         wall_secs,
+    }
+}
+
+// --- Poll-mode datapath (interrupt-vs-poll, offered-load ladders) ----------
+
+/// Parameters of one poll-mode (or interrupt-baseline) NIC run with an
+/// open-loop traffic source on the receive path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmdExperiment {
+    /// Link width between the root port and the NIC.
+    pub width: LinkWidth,
+    /// TX/RX queue pairs.
+    pub queues: u32,
+    /// Frames to transmit alongside the receive stream (0 = RX only).
+    pub tx_frames: u32,
+    /// TX frame payload bytes.
+    pub frame_bytes: u32,
+    /// Descriptors posted/retired per queue per poll.
+    pub burst: u32,
+    /// Busy-poll interval.
+    pub poll_interval: Tick,
+    /// The open-loop receive stream (generator config or recorded trace);
+    /// `None` runs TX-only.
+    pub traffic: Option<crate::traffic::TrafficSpec>,
+}
+
+impl Default for PmdExperiment {
+    fn default() -> Self {
+        Self {
+            width: LinkWidth::X1,
+            queues: 1,
+            tx_frames: 0,
+            frame_bytes: 1514,
+            burst: 8,
+            poll_interval: tick::ns(500),
+            traffic: Some(crate::traffic::TrafficSpec::Generate(crate::traffic::heavy_traffic(
+                0xbeef_f00d,
+                1 << 20,
+                256,
+                tick::ns(2000),
+            ))),
+        }
+    }
+}
+
+/// Measurements from a poll-mode (or interrupt-baseline) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmdOutcome {
+    /// Delivered RX payload throughput in Gb/s (from GORC octets).
+    pub rx_gbps: f64,
+    /// TX payload throughput in Gb/s.
+    pub tx_gbps: f64,
+    /// Frames the NIC wrote back to RX rings.
+    pub rx_delivered: u64,
+    /// Frames dropped on NIC FIFO overrun (fabric or driver too slow).
+    pub rx_dropped: u64,
+    /// RX payload bytes delivered.
+    pub rx_bytes: u64,
+    /// Interrupts the CPU took (`gic.raised`) — zero for poll mode.
+    pub irqs: u64,
+    /// Poll iterations the driver executed (zero for the interrupt arm).
+    pub polls: u64,
+    /// Arrival→ring-writeback latency, median, in ns.
+    pub frame_latency_p50_ns: f64,
+    /// Arrival→ring-writeback latency, 99th percentile, in ns.
+    pub frame_latency_p99_ns: f64,
+    /// Tick the run quiesced at (identity anchor).
+    pub quiesce_tick: Tick,
+    /// [`stats_fnv`] of the final counters (identity anchor).
+    pub stats_fnv: u64,
+    /// Whether every offered frame settled and the run drained.
+    pub completed: bool,
+}
+
+/// The [`SystemConfig`] a [`PmdExperiment`] runs over (Gen 2 root link at
+/// the experiment's width, NIC with the experiment's traffic source).
+/// Public so benches can build the identical system by hand when they
+/// need direct access to the simulator (event counts, wall-clock).
+pub fn pmd_system_config(exp: &PmdExperiment) -> SystemConfig {
+    let mut config = SystemConfig::nic_pmd(exp.queues, exp.traffic.clone());
+    config.root_link = LinkConfig::new(Generation::Gen2, exp.width);
+    config
+}
+
+fn pmd_workload_config(exp: &PmdExperiment) -> crate::workload::pmd::PmdConfig {
+    crate::workload::pmd::PmdConfig {
+        queues: exp.queues,
+        tx_frames: exp.tx_frames,
+        tx_frame_bytes: exp.frame_bytes,
+        burst: exp.burst,
+        poll_interval: exp.poll_interval,
+        rx_expect: exp.traffic.as_ref().map(|t| t.frames()).unwrap_or(0),
+        ..Default::default()
+    }
+}
+
+fn collect_pmd_outcome(
+    stats: &pcisim_kernel::stats::StatsSnapshot,
+    report: &crate::workload::pmd::PmdReportHandle,
+    quiesce_tick: Tick,
+    drained: bool,
+    rx_expect: u32,
+) -> PmdOutcome {
+    let r = report.borrow();
+    PmdOutcome {
+        rx_gbps: r.rx_throughput_gbps(),
+        tx_gbps: r.tx_throughput_gbps(),
+        rx_delivered: r.rx_frames,
+        rx_dropped: r.rx_dropped,
+        rx_bytes: r.rx_bytes,
+        irqs: stats.get("gic.raised").unwrap_or(0.0) as u64,
+        polls: r.polls,
+        frame_latency_p50_ns: stats.get("nic.rx_frame_latency.p50").unwrap_or(0.0) / 1e3,
+        frame_latency_p99_ns: stats.get("nic.rx_frame_latency.p99").unwrap_or(0.0) / 1e3,
+        quiesce_tick,
+        stats_fnv: stats_fnv(stats),
+        completed: r.done
+            && drained
+            && r.rx_frames + r.rx_dropped == u64::from(rx_expect)
+            && r.tx_frames + r.rx_frames > 0,
+    }
+}
+
+/// Runs the poll-mode arm: busy-poll driver, interrupts fully masked.
+pub fn run_pmd_experiment(exp: &PmdExperiment) -> PmdOutcome {
+    let mut built = build_system(pmd_system_config(exp));
+    let report = built.attach_pmd(pmd_workload_config(exp));
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let stats = built.sim.stats();
+    let rx_expect = exp.traffic.as_ref().map(|t| t.frames()).unwrap_or(0);
+    collect_pmd_outcome(
+        &stats,
+        &report,
+        built.sim.now(),
+        outcome == RunOutcome::QueueEmpty,
+        rx_expect,
+    )
+}
+
+/// Runs the same traffic through the sharded kernel: the NIC's subtree on
+/// its own shard, conservative-window barriers on the cut link. `shards
+/// == 1` is the serial baseline; the quiesce tick and stats FNV must be
+/// identical at every shard count.
+pub fn run_pmd_sharded(exp: &PmdExperiment, shards: usize) -> PmdOutcome {
+    let topo = crate::topology::Topology::from_system_config(&pmd_system_config(exp));
+    let mut sys = crate::topology::build_topology_sharded(topo, shards);
+    let report = sys.attach_pmd(0, pmd_workload_config(exp));
+    let rx_expect = exp.traffic.as_ref().map(|t| t.frames()).unwrap_or(0);
+    let mut driver = sys.into_driver();
+    let outcome = driver.run(MAX_TIME, MAX_EVENTS);
+    collect_pmd_outcome(
+        &driver.stats(),
+        &report,
+        driver.now(),
+        outcome == RunOutcome::QueueEmpty,
+        rx_expect,
+    )
+}
+
+/// Runs the interrupt-driven baseline arm: the same traffic source, but
+/// the classic per-frame-interrupt receive driver (IMS unmasked, one
+/// doorbell per writeback). Single queue only — the comparison the
+/// `repro pmd` table prints.
+///
+/// # Panics
+///
+/// Panics when the experiment configures TX frames or more than one
+/// queue (the interrupt baseline is the paper's single-flow receiver).
+pub fn run_irq_rx_experiment(exp: &PmdExperiment) -> PmdOutcome {
+    assert_eq!(exp.queues, 1, "the interrupt baseline drives one queue");
+    assert_eq!(exp.tx_frames, 0, "the interrupt baseline is RX-only");
+    let traffic = exp.traffic.clone().expect("the interrupt baseline needs a traffic source");
+    let rx_expect = traffic.frames();
+    let mut config = SystemConfig::nic_direct();
+    config.root_link = LinkConfig::new(Generation::Gen2, exp.width);
+    if let DeviceSpec::Nic(nic) = &mut config.device {
+        nic.rx_source = Some(traffic);
+    }
+    let mut built = build_system(config);
+    let report = built.attach_nic_rx(crate::workload::nic_rx::NicRxConfig {
+        expect_frames: rx_expect,
+        frame_bytes: exp.frame_bytes,
+        ..Default::default()
+    });
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let stats = built.sim.stats();
+    let r = report.borrow();
+    let rx_delivered = stats.get("nic.frames_rx").unwrap_or(0.0) as u64;
+    let rx_dropped = stats.get("nic.rx_overruns").unwrap_or(0.0) as u64;
+    let rx_bytes = stats.get("nic.rx_octets").unwrap_or(0.0) as u64;
+    PmdOutcome {
+        rx_gbps: tick::gbps(rx_bytes, r.end.saturating_sub(r.start)),
+        tx_gbps: 0.0,
+        rx_delivered,
+        rx_dropped,
+        rx_bytes,
+        irqs: stats.get("gic.raised").unwrap_or(0.0) as u64,
+        polls: 0,
+        frame_latency_p50_ns: stats.get("nic.rx_frame_latency.p50").unwrap_or(0.0) / 1e3,
+        frame_latency_p99_ns: stats.get("nic.rx_frame_latency.p99").unwrap_or(0.0) / 1e3,
+        quiesce_tick: built.sim.now(),
+        stats_fnv: stats_fnv(&stats),
+        completed: rx_delivered + rx_dropped == u64::from(rx_expect)
+            && outcome == RunOutcome::QueueEmpty,
+    }
+}
+
+/// A warmed-up poll-mode reference run, ready to fork load points from.
+///
+/// The checkpoint is taken at [`WARMUP_TICK`], before the driver's
+/// [`setup_delay`](crate::workload::pmd::PmdConfig::setup_delay) expires:
+/// no ring has been programmed and the traffic source has not emitted a
+/// single frame, so the snapshot is independent of the traffic spec, the
+/// burst size and the poll interval — one warmed fleet forks a whole
+/// offered-load ladder.
+#[derive(Debug, Clone)]
+pub struct PmdWarmStart {
+    /// Checkpoint of the warmed-up system, taken at [`WARMUP_TICK`].
+    pub snapshot: Vec<u8>,
+    /// The functional enumeration + driver-probe results to replay.
+    pub seed: WarmSeed,
+    /// Queue pairs the workload was attached with; forks must match
+    /// (per-queue state vectors are sized at construction).
+    pub queues: u32,
+    /// TX frame budget the workload was attached with; forks must match
+    /// (the budget counter is part of the restored state).
+    pub tx_frames: u32,
+    /// Whether the NIC carried a traffic source (the NIC checkpoint tail
+    /// is conditional on it); forks must match.
+    pub has_traffic: bool,
+    /// Scheduler events the warmup simulated.
+    pub warm_events: u64,
+}
+
+/// Builds the poll-mode system once, runs to [`WARMUP_TICK`] and captures
+/// the checkpoint + warm seed every load point forks from.
+pub fn prepare_pmd_warm_start(exp: &PmdExperiment) -> PmdWarmStart {
+    let mut built = build_system(pmd_system_config(exp));
+    let seed = built.warm_seed();
+    let _ = built.attach_pmd(pmd_workload_config(exp));
+    let outcome = built.sim.run(WARMUP_TICK, MAX_EVENTS);
+    assert_eq!(outcome, RunOutcome::TimeLimit, "warmup must pause at the warmup tick");
+    let warm_events = built.sim.events_processed();
+    PmdWarmStart {
+        snapshot: built.checkpoint(),
+        seed,
+        queues: exp.queues,
+        tx_frames: exp.tx_frames,
+        has_traffic: exp.traffic.is_some(),
+        warm_events,
+    }
+}
+
+/// Warm-started [`run_pmd_experiment`]: builds the load point's tree from
+/// the warm seed, restores the warmed checkpoint and runs to completion.
+/// Bit-identical to the cold runner for any compatible experiment.
+///
+/// # Panics
+///
+/// Panics when the experiment's queues, TX budget, or traffic presence
+/// differ from the warm start's (those live in the restored state).
+pub fn run_pmd_experiment_warm(exp: &PmdExperiment, warm: &PmdWarmStart) -> PmdOutcome {
+    assert_eq!(exp.queues, warm.queues, "a pmd warm start is keyed by queue count");
+    assert_eq!(exp.tx_frames, warm.tx_frames, "a pmd warm start is keyed by the TX budget");
+    assert_eq!(
+        exp.traffic.is_some(),
+        warm.has_traffic,
+        "a pmd warm start is keyed by traffic presence (the NIC checkpoint \
+         tail is conditional on it)"
+    );
+    let mut built = build_system_warm(pmd_system_config(exp), &warm.seed);
+    let report = built.attach_pmd(pmd_workload_config(exp));
+    built.restore(&warm.snapshot).expect("a warm snapshot restores into its own tree shape");
+    let outcome = built.sim.run(MAX_TIME, MAX_EVENTS);
+    let stats = built.sim.stats();
+    let rx_expect = exp.traffic.as_ref().map(|t| t.frames()).unwrap_or(0);
+    collect_pmd_outcome(
+        &stats,
+        &report,
+        built.sim.now(),
+        outcome == RunOutcome::QueueEmpty,
+        rx_expect,
+    )
+}
+
+/// Warm-started offered-load sweep: enumerates + warms up once (from the
+/// first point), then forks every load point across `jobs` workers.
+/// Bit-identical to `run_sweep(configs, jobs, run_pmd_experiment)`.
+pub fn run_pmd_sweep_warm(configs: &[PmdExperiment], jobs: usize) -> Vec<PmdOutcome> {
+    crate::sweep::run_sweep_warm(
+        configs,
+        jobs,
+        || prepare_pmd_warm_start(&configs[0]),
+        run_pmd_experiment_warm,
+    )
+}
+
+#[cfg(test)]
+mod pmd_tests {
+    use super::*;
+    use crate::traffic::{heavy_traffic, TrafficSpec};
+
+    fn small_exp() -> PmdExperiment {
+        PmdExperiment {
+            traffic: Some(TrafficSpec::Generate(heavy_traffic(
+                0x5eed,
+                1 << 20,
+                48,
+                tick::ns(2500),
+            ))),
+            ..PmdExperiment::default()
+        }
+    }
+
+    #[test]
+    fn poll_mode_settles_all_traffic_without_interrupts() {
+        let out = run_pmd_experiment(&small_exp());
+        assert!(out.completed, "{out:?}");
+        assert_eq!(out.irqs, 0, "poll mode must deliver zero doorbells: {out:?}");
+        assert!(out.polls > 0);
+        assert_eq!(out.rx_delivered + out.rx_dropped, 48);
+        assert!(out.rx_gbps > 0.0);
+    }
+
+    #[test]
+    fn interrupt_baseline_takes_one_doorbell_per_frame() {
+        let exp = small_exp();
+        let out = run_irq_rx_experiment(&exp);
+        assert!(out.completed, "{out:?}");
+        assert_eq!(out.polls, 0);
+        assert_eq!(out.irqs, out.rx_delivered, "INTx fires once per writeback: {out:?}");
+        assert!(out.irqs > 0);
+    }
+
+    #[test]
+    fn pmd_is_bit_identical_serial_vs_sharded() {
+        let exp = small_exp();
+        let serial = run_pmd_sharded(&exp, 1);
+        let sharded = run_pmd_sharded(&exp, 2);
+        assert!(serial.completed);
+        assert_eq!(serial, sharded, "shard count must not perturb the run");
+    }
+
+    #[test]
+    fn warm_started_pmd_is_bit_identical_to_cold() {
+        let exp = small_exp();
+        let cold = run_pmd_experiment(&exp);
+        let warm = prepare_pmd_warm_start(&exp);
+        let hot = run_pmd_experiment_warm(&exp, &warm);
+        assert_eq!(cold, hot, "forked run must be indistinguishable from cold");
+        // One warm start forks a different load point too.
+        let heavier = PmdExperiment {
+            traffic: Some(TrafficSpec::Generate(heavy_traffic(
+                0x5eed,
+                1 << 20,
+                48,
+                tick::ns(1250),
+            ))),
+            ..exp
+        };
+        let cold2 = run_pmd_experiment(&heavier);
+        let hot2 = run_pmd_experiment_warm(&heavier, &warm);
+        assert_eq!(cold2, hot2);
+    }
+
+    #[test]
+    fn events_per_sec_is_zero_not_nan_on_zero_wall_time() {
+        let out = ShardScalingOutcome {
+            shards: 1,
+            cut_links: 0,
+            quiesce_tick: 0,
+            stats_fnv: 0,
+            events: 1000,
+            wall_secs: 0.0,
+        };
+        assert_eq!(out.events_per_sec(), 0.0);
+        assert!(!out.events_per_sec().is_nan());
     }
 }

@@ -63,6 +63,7 @@ use crate::workload::nic_rx::{
 use crate::workload::nic_tx::{
     NicTxApp, NicTxConfig, NicTxReportHandle, NIC_TX_IRQ_PORT, NIC_TX_MEM_PORT,
 };
+use crate::workload::pmd::{PmdApp, PmdConfig, PmdReportHandle, PMD_MEM_PORT};
 
 /// MSI vectors (when requested) live above the legacy IRQ range.
 pub(crate) const MSI_VECTOR: u8 = 96;
@@ -764,6 +765,19 @@ impl TopologySystem {
         self.sim.connect((id, MMIO_MEM_PORT), ep.cpu_mem_port);
         report
     }
+
+    /// Attaches a poll-mode driver workload (named `pmd{index}`) to
+    /// endpoint `index`, which must be a NIC. Only the memory port is
+    /// wired — the poll-mode datapath never takes an interrupt.
+    pub fn attach_pmd(&mut self, index: usize, mut config: PmdConfig) -> PmdReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(!ep.is_disk, "endpoint {index} ({}) is not a NIC", ep.name);
+        config.nic_bar = ep.bar0;
+        let (app, report) = PmdApp::new(format!("pmd{index}"), config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, PMD_MEM_PORT), ep.cpu_mem_port);
+        report
+    }
 }
 
 /// Builds the full system for a [`Topology`]: plans and registers the
@@ -1414,6 +1428,19 @@ impl ShardedTopologySystem {
         let mem = ep.cpu_mem_port;
         let (probe, report) = MmioProbe::new(format!("mmio_probe{index}"), config);
         self.attach_cpu_side(Box::new(probe), &[(MMIO_MEM_PORT, mem)]);
+        report
+    }
+
+    /// Attaches a poll-mode driver workload (named `pmd{index}`) to
+    /// endpoint `index`, which must be a NIC. Only the memory port is
+    /// wired — the poll-mode datapath never takes an interrupt.
+    pub fn attach_pmd(&mut self, index: usize, mut config: PmdConfig) -> PmdReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(!ep.is_disk, "endpoint {index} ({}) is not a NIC", ep.name);
+        config.nic_bar = ep.bar0;
+        let mem = ep.cpu_mem_port;
+        let (app, report) = PmdApp::new(format!("pmd{index}"), config);
+        self.attach_cpu_side(Box::new(app), &[(PMD_MEM_PORT, mem)]);
         report
     }
 

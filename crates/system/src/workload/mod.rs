@@ -5,3 +5,4 @@ pub mod mmio;
 pub mod msix;
 pub mod nic_rx;
 pub mod nic_tx;
+pub mod pmd;
