@@ -230,13 +230,68 @@ fn run_pmd_sharded2() -> (u64, u64, f64) {
     (u64::from(PMD_FRAMES), driver.events_processed(), secs)
 }
 
+/// Accesses per CXL.mem benchmark scenario.
+const CXL_ACCESSES: u32 = 2048;
+
+/// Serial pointer chase through a CXL.mem expander behind a switch: the
+/// worst-case latency path, every hop a dependent CxlMemRd round trip.
+fn run_cxl_chase() -> (u64, u64, f64) {
+    use pcisim_system::prelude::*;
+    let mut sys = build_topology(Topology::cxl_behind_switch(CxlExpanderConfig::default()));
+    let report = sys.attach_cxl_host(
+        0,
+        CxlHostConfig {
+            mode: CxlHostMode::PointerChase,
+            requests: CXL_ACCESSES,
+            chain_blocks: 256,
+            ..CxlHostConfig::default()
+        },
+    );
+    let start = Instant::now();
+    sys.sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    assert!(report.borrow().done, "cxl bench chase must complete");
+    (u64::from(CXL_ACCESSES), sys.sim.events_processed(), secs)
+}
+
+/// Two open-loop load/store streams interleaved across two directly
+/// attached expanders — the bandwidth-side CXL.mem scenario.
+fn run_cxl_interleave2() -> (u64, u64, f64) {
+    use pcisim_system::prelude::*;
+    let mut sys = build_topology(Topology::cxl_interleaved(2, CxlExpanderConfig::default()));
+    let mut reports = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        reports.push(sys.attach_cxl_host(
+            i,
+            CxlHostConfig {
+                mode: CxlHostMode::OpenLoop,
+                requests: CXL_ACCESSES,
+                write_every: 4,
+                ..CxlHostConfig::default()
+            },
+        ));
+    }
+    let start = Instant::now();
+    sys.sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    let ops: u64 = reports
+        .iter()
+        .map(|r| {
+            let r = r.borrow();
+            assert!(r.done, "cxl bench interleave must complete");
+            r.completed
+        })
+        .sum();
+    (ops, sys.sim.events_processed(), secs)
+}
+
 /// Runs the microbenchmark scenarios, best-of-`samples`, and returns the
 /// per-scenario rates. Build setup is excluded from the timed region
 /// (the MSI-X scenario's timed region does include enumeration and driver
 /// probe — they are part of the system datapath being measured).
 pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
     type Scenario = (&'static str, Option<u32>, fn() -> (u64, u64, f64));
-    let scenarios: [Scenario; 7] = [
+    let scenarios: [Scenario; 9] = [
         ("xbar_10k_reads", None, run_xbar_reads),
         ("link_10k_writes", None, run_link_writes),
         ("msix_4q_tx_10k_frames", None, run_msix_tx),
@@ -244,6 +299,8 @@ pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
         ("sharded_fanout32_dd", Some(4), run_sharded_fanout),
         ("pmd_poll_rx_4k_frames", None, run_pmd_poll),
         ("pmd_poll_sharded2_rx", Some(2), run_pmd_sharded2),
+        ("cxl_pointer_chase", None, run_cxl_chase),
+        ("cxl_interleave2", None, run_cxl_interleave2),
     ];
     scenarios
         .iter()
@@ -710,7 +767,7 @@ mod tests {
     #[test]
     fn micro_benchmarks_run_and_report_positive_rates() {
         let results = run_micro_benchmarks(1);
-        assert_eq!(results.len(), 7);
+        assert_eq!(results.len(), 9);
         for r in &results {
             assert!(r.ops_per_sec > 0.0, "{}: {r:?}", r.name);
             assert!(r.events_per_sec >= r.ops_per_sec, "{}: events >= ops", r.name);

@@ -4,7 +4,7 @@
 //! repro [--full] [--jobs N] [--shards N] [--warm-start] [--trace PATH]
 //!       [--checkpoint PATH] [--bench-json PATH] [--bench-check PATH]
 //!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology]
-//!       [msix] [pmd] [shard] [all]
+//!       [msix] [pmd] [shard] [cxl] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
@@ -30,6 +30,13 @@
 //! heavy-tailed traffic, then a warm-forked offered-load ladder. Along
 //! the way it asserts serial ≡ sharded bit-identity and that replaying
 //! the recorded binary trace reproduces the live generator bit-for-bit.
+//!
+//! `cxl` (alias `--cxl`) runs the CXL.mem memory-expansion experiment:
+//! host load/store streams against local DRAM vs a CXL-attached expander
+//! (open-loop window sweep), the placement penalty of putting the
+//! expander behind a switch (dependent pointer chase), and 2–4-way HDM
+//! interleaving aggregate bandwidth — asserting serial ≡ sharded
+//! bit-identity on the interleaved tree.
 //!
 //! `shard` (alias `--shard`) runs the shard-scaling experiment: the same
 //! multi-endpoint `dd` run partitioned across 1, 2, … worker shards
@@ -666,6 +673,137 @@ fn pmd(opts: &Opts) {
     );
 }
 
+/// The CXL.mem memory-expansion tables: local-DRAM vs CXL-attached
+/// load/store latency and bandwidth (open-loop window sweep), the
+/// behind-switch placement penalty measured with a fully dependent
+/// pointer chase, and the 2–4-way HDM-interleaving aggregate, with
+/// serial-vs-sharded bit-identity asserted on the interleaved tree.
+fn cxl(opts: &Opts) {
+    let requests: u32 = if opts.full { 1024 } else { 256 };
+
+    println!("\n== CXL: local DRAM vs CXL-attached expander — open-loop load stream ==");
+    println!("   64 B loads every 100 ns, in-flight window swept; expander on Gen3 x8");
+    const WINDOWS: [usize; 4] = [1, 2, 4, 8];
+    let arms = [("local DRAM", CxlPlacement::LocalDram), ("CXL direct", CxlPlacement::Direct)];
+    let configs: Vec<CxlExperiment> = arms
+        .iter()
+        .flat_map(|&(_, placement)| {
+            WINDOWS.iter().map(move |&outstanding| CxlExperiment {
+                placement,
+                requests,
+                outstanding,
+                ..CxlExperiment::default()
+            })
+        })
+        .collect();
+    let outcomes = run_sweep(&configs, opts.jobs, run_cxl_experiment);
+    let mut rows = Vec::new();
+    for (ai, &(label, _)) in arms.iter().enumerate() {
+        for (wi, &window) in WINDOWS.iter().enumerate() {
+            let out = &outcomes[ai * WINDOWS.len() + wi];
+            assert!(out.completed, "cxl curve point must complete: {out:?}");
+            rows.push(vec![
+                label.to_string(),
+                window.to_string(),
+                format!("{:.0}", out.mean_ns),
+                format!("{:.0}", out.max_ns),
+                format!("{:.3}", out.gbps),
+                out.stalls.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table::render(&["target", "window", "mean (ns)", "max (ns)", "Gb/s", "stalls"], &rows)
+    );
+
+    println!("\n== CXL: placement penalty — fully dependent pointer chase ==");
+    println!("   every load's address comes from the previous completion's data;");
+    println!("   the chase rate is the raw round-trip, no overlap to hide it");
+    let chase = |placement| CxlExperiment {
+        placement,
+        mode: CxlHostMode::PointerChase,
+        requests,
+        chain_blocks: 128,
+        ..CxlExperiment::default()
+    };
+    let chase_configs = vec![
+        chase(CxlPlacement::LocalDram),
+        chase(CxlPlacement::Direct),
+        chase(CxlPlacement::BehindSwitch),
+    ];
+    let chase_labels = ["local DRAM", "CXL direct", "CXL behind switch"];
+    let chase_outcomes = run_sweep(&chase_configs, opts.jobs, run_cxl_experiment);
+    for out in &chase_outcomes {
+        assert!(out.completed, "cxl chase arm must complete: {out:?}");
+    }
+    assert!(
+        chase_outcomes[1].mean_ns > chase_outcomes[0].mean_ns,
+        "expander access must cost more than local DRAM"
+    );
+    assert!(
+        chase_outcomes[2].mean_ns > chase_outcomes[1].mean_ns,
+        "the switch hop must add latency"
+    );
+    let local_mean = chase_outcomes[0].mean_ns;
+    let mut rows = Vec::new();
+    for (label, out) in chase_labels.iter().zip(&chase_outcomes) {
+        rows.push(vec![
+            (*label).to_string(),
+            format!("{:.0}", out.mean_ns),
+            format!("{:.0}", out.min_ns),
+            format!("{:.0}", out.max_ns),
+            format!("{:+.0}", out.mean_ns - local_mean),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["placement", "mean (ns)", "min (ns)", "max (ns)", "vs local"], &rows)
+    );
+
+    println!("\n== CXL: HDM interleaving — one open-loop stream per expander ==");
+    println!("   block-granule windows, one root port per expander; aggregate = sum of streams");
+    let ways: [usize; 4] = [1, 2, 3, 4];
+    let ileave_configs: Vec<CxlExperiment> = ways
+        .iter()
+        .map(|&n| CxlExperiment {
+            placement: if n == 1 { CxlPlacement::Direct } else { CxlPlacement::Interleaved(n) },
+            requests,
+            ..CxlExperiment::default()
+        })
+        .collect();
+    let ileave_outcomes = run_sweep(&ileave_configs, opts.jobs, run_cxl_experiment);
+    let base = ileave_outcomes[0].gbps;
+    let mut rows = Vec::new();
+    for (&n, out) in ways.iter().zip(&ileave_outcomes) {
+        assert!(out.completed, "cxl interleave point must complete: {out:?}");
+        rows.push(vec![
+            format!("{n}-way"),
+            out.completed_accesses.to_string(),
+            format!("{:.0}", out.mean_ns),
+            format!("{:.3}", out.gbps),
+            format!("{:.2}x", out.gbps / base),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["interleave", "accesses", "mean (ns)", "aggregate Gb/s", "vs 1-way"],
+            &rows
+        )
+    );
+
+    println!("\n== CXL: identity check on the 2-way interleaved tree ==");
+    let mid = &ileave_configs[1];
+    let serial = run_cxl_sharded(mid, 1);
+    let sharded = run_cxl_sharded(mid, 2);
+    assert_eq!(serial, sharded, "sharded cxl must reproduce the serial run bit-for-bit");
+    println!(
+        "   serial == 2-shard: quiesce tick {}, stats fnv {:#018x}",
+        serial.quiesce_tick, serial.stats_fnv
+    );
+}
+
 /// The shard-scaling tables: the same multi-endpoint `dd` run partitioned
 /// across 1, 2, … worker shards with conservative link-lookahead sync.
 /// Every shard count must reproduce the serial quiesce tick and stats FNV
@@ -1004,6 +1142,9 @@ fn main() {
     }
     if run_all || picked.contains(&"shard") || picked.contains(&"--shard") {
         timed("shard", &shard_scaling);
+    }
+    if run_all || picked.contains(&"cxl") || picked.contains(&"--cxl") {
+        timed("cxl", &cxl);
     }
     if let Some(path) = trace_path {
         trace_dump(&path);

@@ -81,6 +81,9 @@ pub const E1000E_DEVICE_TABLE: &[(u16, u16)] = &[
 /// Device table for the IDE/AHCI disk model.
 pub const IDE_DEVICE_TABLE: &[(u16, u16)] = &[(0x8086, 0x2922)];
 
+/// Device table for the CXL.mem memory expander.
+pub const CXL_DEVICE_TABLE: &[(u16, u16)] = &[(0x8086, 0x0cab)];
+
 /// What the probing driver should do about MSI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsiPolicy {

@@ -7,6 +7,9 @@
 //!   sector barrier (§VI);
 //! * [`nic`] — the 8254x-pcie NIC with the 82574l capability chain and a
 //!   register file for the Table II MMIO-latency experiment (§IV);
+//! * [`cxl`] — a CXL.mem memory-expander endpoint: HDM decoder programmed
+//!   through config space, banked DRAM-style backing store, M2S/S2M
+//!   transaction class over the shared link layer;
 //! * [`driver`] — e1000e/IDE probe models (module device table match,
 //!   capability walk, legacy-interrupt fallback);
 //! * [`intc`] — a minimal interrupt controller terminating INTx messages;
@@ -16,6 +19,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cxl;
 pub mod driver;
 pub mod ide;
 pub mod intc;
@@ -24,6 +28,9 @@ pub mod traffic;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::cxl::{
+        CxlExpander, CxlExpanderConfig, CXL_DEVICE_ID, CXL_DMA_PORT, CXL_PIO_PORT,
+    };
     pub use crate::driver::{e1000e_probe, ide_probe, InterruptMode, ProbeInfo};
     pub use crate::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
     pub use crate::intc::{InterruptController, INTC_FABRIC_PORT};

@@ -34,6 +34,19 @@ pub enum Command {
     ConfigWriteResp,
     /// Message request (posted); used for message-signaled interrupts.
     Message,
+    /// CXL.mem master-to-subordinate read request (M2S Req, MemRd). Carried
+    /// over the same link + ACK-NAK machinery as PCIe TLPs but a distinct
+    /// transaction class: it targets an HDM window, not a BAR.
+    CxlMemRd,
+    /// CXL.mem master-to-subordinate write request (M2S RwD, MemWr);
+    /// carries the store payload.
+    CxlMemWr,
+    /// CXL.mem subordinate-to-master data response (S2M DRS); carries the
+    /// read payload back to the host.
+    CxlMemDrs,
+    /// CXL.mem subordinate-to-master no-data response (S2M NDR); completes
+    /// a write.
+    CxlMemNdr,
 }
 
 impl Command {
@@ -46,6 +59,8 @@ impl Command {
                 | Command::ConfigRead
                 | Command::ConfigWrite
                 | Command::Message
+                | Command::CxlMemRd
+                | Command::CxlMemWr
         )
     }
 
@@ -58,7 +73,12 @@ impl Command {
     pub fn is_read(self) -> bool {
         matches!(
             self,
-            Command::ReadReq | Command::ReadResp | Command::ConfigRead | Command::ConfigReadResp
+            Command::ReadReq
+                | Command::ReadResp
+                | Command::ConfigRead
+                | Command::ConfigReadResp
+                | Command::CxlMemRd
+                | Command::CxlMemDrs
         )
     }
 
@@ -70,6 +90,8 @@ impl Command {
                 | Command::WriteResp
                 | Command::ConfigWrite
                 | Command::ConfigWriteResp
+                | Command::CxlMemWr
+                | Command::CxlMemNdr
         )
     }
 
@@ -85,6 +107,8 @@ impl Command {
             Command::WriteReq => Command::WriteResp,
             Command::ConfigRead => Command::ConfigReadResp,
             Command::ConfigWrite => Command::ConfigWriteResp,
+            Command::CxlMemRd => Command::CxlMemDrs,
+            Command::CxlMemWr => Command::CxlMemNdr,
             other => panic!("{other:?} has no response command"),
         }
     }
@@ -109,6 +133,10 @@ impl Command {
             Command::ConfigWrite => 6,
             Command::ConfigWriteResp => 7,
             Command::Message => 8,
+            Command::CxlMemRd => 9,
+            Command::CxlMemWr => 10,
+            Command::CxlMemDrs => 11,
+            Command::CxlMemNdr => 12,
         }
     }
 
@@ -124,6 +152,10 @@ impl Command {
             6 => Command::ConfigWrite,
             7 => Command::ConfigWriteResp,
             8 => Command::Message,
+            9 => Command::CxlMemRd,
+            10 => Command::CxlMemWr,
+            11 => Command::CxlMemDrs,
+            12 => Command::CxlMemNdr,
             other => return Err(SnapshotError::Corrupt(format!("command byte {other:#04x}"))),
         })
     }
@@ -424,10 +456,12 @@ impl Packet {
         match self.cmd {
             // Reads carry no data in the request direction; writes carry the
             // full access size even when the simulator elides the bytes.
-            Command::ReadReq | Command::ConfigRead => 0,
-            Command::WriteReq | Command::ConfigWrite | Command::Message => self.size,
-            Command::ReadResp | Command::ConfigReadResp => self.size,
-            Command::WriteResp | Command::ConfigWriteResp => 0,
+            Command::ReadReq | Command::ConfigRead | Command::CxlMemRd => 0,
+            Command::WriteReq | Command::ConfigWrite | Command::Message | Command::CxlMemWr => {
+                self.size
+            }
+            Command::ReadResp | Command::ConfigReadResp | Command::CxlMemDrs => self.size,
+            Command::WriteResp | Command::ConfigWriteResp | Command::CxlMemNdr => 0,
         }
     }
 
@@ -515,7 +549,7 @@ impl Packet {
     /// from the request size.
     pub fn into_read_response(mut self, data: Vec<u8>) -> Packet {
         assert!(
-            matches!(self.cmd, Command::ReadReq | Command::ConfigRead),
+            matches!(self.cmd, Command::ReadReq | Command::ConfigRead | Command::CxlMemRd),
             "into_read_response on {:?}",
             self.cmd
         );
@@ -543,7 +577,7 @@ impl Packet {
         assert!(status.is_error(), "error completions must carry an error status");
         self.status = status;
         match self.cmd {
-            Command::ReadReq | Command::ConfigRead => {
+            Command::ReadReq | Command::ConfigRead | Command::CxlMemRd => {
                 self.cmd = self.cmd.response();
                 self.payload = Some(vec![0xff; self.size as usize]);
             }
@@ -796,5 +830,55 @@ mod tests {
     #[should_panic(expected = "must carry an error status")]
     fn error_completion_rejects_success_status() {
         let _ = req(Command::ReadReq).into_error_response(CompletionStatus::SuccessfulCompletion);
+    }
+
+    #[test]
+    fn cxl_command_classification() {
+        assert!(Command::CxlMemRd.is_request());
+        assert!(Command::CxlMemWr.is_request());
+        assert!(Command::CxlMemDrs.is_response());
+        assert!(Command::CxlMemNdr.is_response());
+        assert!(Command::CxlMemRd.is_read());
+        assert!(Command::CxlMemDrs.is_read());
+        assert!(Command::CxlMemWr.is_write());
+        assert!(Command::CxlMemNdr.is_write());
+        assert_eq!(Command::CxlMemRd.response(), Command::CxlMemDrs);
+        assert_eq!(Command::CxlMemWr.response(), Command::CxlMemNdr);
+    }
+
+    #[test]
+    fn cxl_requests_are_non_posted_by_default() {
+        assert!(!req(Command::CxlMemRd).is_posted());
+        assert!(!req(Command::CxlMemWr).is_posted());
+    }
+
+    #[test]
+    fn cxl_payload_len_follows_direction() {
+        assert_eq!(req(Command::CxlMemRd).payload_len(), 0);
+        assert_eq!(req(Command::CxlMemWr).payload_len(), 64);
+        let drs = req(Command::CxlMemRd).into_read_response(vec![0; 64]);
+        assert_eq!(drs.cmd(), Command::CxlMemDrs);
+        assert_eq!(drs.payload_len(), 64);
+        let ndr = req(Command::CxlMemWr).with_payload(vec![0; 64]).into_response();
+        assert_eq!(ndr.cmd(), Command::CxlMemNdr);
+        assert_eq!(ndr.payload_len(), 0);
+        assert!(ndr.payload().is_none());
+    }
+
+    #[test]
+    fn cxl_error_read_completion_returns_all_ones() {
+        let resp = req(Command::CxlMemRd).into_error_response(CompletionStatus::UnsupportedRequest);
+        assert_eq!(resp.cmd(), Command::CxlMemDrs);
+        assert!(resp.payload().unwrap().iter().all(|&b| b == 0xff));
+    }
+
+    #[test]
+    fn cxl_commands_roundtrip_the_checkpoint_codec() {
+        for cmd in [Command::CxlMemRd, Command::CxlMemWr, Command::CxlMemDrs, Command::CxlMemNdr] {
+            assert_eq!(Command::decode(cmd.encode()).unwrap(), cmd);
+        }
+        // Pre-CXL encodings are untouched: old checkpoints stay readable.
+        assert_eq!(Command::Message.encode(), 8);
+        assert_eq!(Command::CxlMemRd.encode(), 9);
     }
 }

@@ -26,6 +26,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use pcisim_kernel::addr::AddrRange;
 use pcisim_kernel::calendar::EventHandle;
 use pcisim_kernel::component::{Component, Event, PortId, RecvResult};
 use pcisim_kernel::packet::{decode_packet_queue, encode_packet_queue, CompletionStatus, Packet};
@@ -203,6 +204,11 @@ pub struct PcieRouter {
     /// Ids whose timeout already fired: a completion showing up now is an
     /// Unexpected Completion and must be swallowed, not forwarded.
     timed_out: HashSet<u64>,
+    /// CXL HDM decoder routes: requests to these address windows forward to
+    /// the named downstream pair, in parallel with the VP2P bridge windows.
+    /// Installed at build time by the topology planner ([`Self::add_hdm_route`])
+    /// and never mutated at run time, so they are not part of the snapshot.
+    hdm_routes: Vec<(AddrRange, usize)>,
 }
 
 impl PcieRouter {
@@ -230,6 +236,7 @@ impl PcieRouter {
             stats: RouterStats::default(),
             pending: HashMap::new(),
             timed_out: HashSet::new(),
+            hdm_routes: Vec::new(),
         }
     }
 
@@ -259,6 +266,7 @@ impl PcieRouter {
             stats: RouterStats::default(),
             pending: HashMap::new(),
             timed_out: HashSet::new(),
+            hdm_routes: Vec::new(),
         }
     }
 
@@ -293,6 +301,59 @@ impl PcieRouter {
         })
     }
 
+    /// Installs a CXL HDM decoder route: requests addressed inside `range`
+    /// forward to downstream pair `pair`. Call **after** enumeration has
+    /// programmed the VP2P bridge windows, so the overlap audit below sees
+    /// the final address map.
+    ///
+    /// # Panics
+    ///
+    /// Panics loudly when `range` overlaps any downstream VP2P memory or
+    /// I/O forwarding window, or a previously installed HDM route. An
+    /// overlapping window would make decode order (bridge window vs HDM
+    /// decoder) decide where the access lands — silent shadowing — so the
+    /// planner must reject the address map instead of building it.
+    pub fn add_hdm_route(&mut self, range: AddrRange, pair: usize) {
+        assert!(pair < self.vp2ps.len(), "{}: HDM route to unknown pair {pair}", self.name);
+        for (i, cs) in self.vp2ps.iter().enumerate() {
+            let cs = cs.borrow();
+            let mem = memory_window(&cs);
+            let io = io_window(&cs);
+            assert!(
+                !range.overlaps(&mem) && !range.overlaps(&io),
+                "{}: HDM window {range} overlaps the VP2P forwarding window of downstream \
+                 pair {i} (mem {mem}, io {io}); bridge-window decode would silently shadow \
+                 the HDM decoder — reject this address map at plan time",
+                self.name
+            );
+        }
+        if let Some(cs) = &self.upstream_vp2p {
+            let cs = cs.borrow();
+            let mem = memory_window(&cs);
+            let io = io_window(&cs);
+            assert!(
+                !range.overlaps(&mem) && !range.overlaps(&io),
+                "{}: HDM window {range} overlaps the upstream VP2P forwarding window \
+                 (mem {mem}, io {io})",
+                self.name
+            );
+        }
+        for (other, p) in &self.hdm_routes {
+            assert!(
+                !range.overlaps(other),
+                "{}: HDM window {range} overlaps HDM window {other} already routed to \
+                 pair {p}",
+                self.name
+            );
+        }
+        self.hdm_routes.push((range, pair));
+    }
+
+    /// Downstream pair whose HDM decoder window contains `addr`, if any.
+    fn hdm_route_for(&self, addr: u64) -> Option<usize> {
+        self.hdm_routes.iter().find(|(r, _)| r.contains(addr)).map(|&(_, pair)| pair)
+    }
+
     /// Downstream pair whose VP2P bus range covers `bus`, if any.
     fn downstream_by_bus(&self, bus: u8) -> Option<usize> {
         self.vp2ps.iter().position(|cs| {
@@ -309,8 +370,11 @@ impl PcieRouter {
         let up_master = PORT_UPSTREAM_MASTER.0 as usize;
         Some(if pkt.is_request() {
             if ingress == up_slave {
-                // CPU request: window routing.
-                let i = self.downstream_by_window(pkt.addr(), None)?;
+                // CPU request: VP2P window routing, with the CXL HDM
+                // decoder as a disjoint (plan-audited) parallel decode.
+                let i = self
+                    .downstream_by_window(pkt.addr(), None)
+                    .or_else(|| self.hdm_route_for(pkt.addr()))?;
                 port_downstream_master(i).0 as usize
             } else {
                 // DMA from a downstream device: peer-to-peer when a
@@ -318,7 +382,10 @@ impl PcieRouter {
                 // much as between switch downstream ports), else upstream.
                 debug_assert!(ingress >= 2 && ingress % 2 == 1, "requests enter slave ports");
                 let pair = (ingress - 2) / 2;
-                if let Some(j) = self.downstream_by_window(pkt.addr(), Some(pair)) {
+                if let Some(j) = self
+                    .downstream_by_window(pkt.addr(), Some(pair))
+                    .or_else(|| self.hdm_route_for(pkt.addr()).filter(|&j| j != pair))
+                {
                     return Some(port_downstream_master(j).0 as usize);
                 }
                 up_master
@@ -556,7 +623,9 @@ impl PcieRouter {
                     let timer = ctx
                         .schedule(timeout, Event::Timer { kind: K_CPL_TIMEOUT, data: pkt.id().0 });
                     let request = ctx.clone_packet(&pkt);
-                    let pair = self.downstream_by_window(pkt.addr(), None);
+                    let pair = self
+                        .downstream_by_window(pkt.addr(), None)
+                        .or_else(|| self.hdm_route_for(pkt.addr()));
                     self.pending.insert(pkt.id().0, PendingCompletion { timer, request, pair });
                 }
             }
@@ -1423,6 +1492,113 @@ mod tests {
     #[should_panic(expected = "at least one root port")]
     fn empty_root_complex_panics() {
         let _ = PcieRouter::root_complex("rc", RouterConfig::default(), vec![]);
+    }
+
+    fn hdm() -> AddrRange {
+        AddrRange::new(0x1_0000_0000, 0x1_1000_0000)
+    }
+
+    #[test]
+    fn hdm_route_forwards_cxl_requests_to_its_pair() {
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new(
+            "cpu",
+            vec![
+                (Command::CxlMemRd, hdm().start() + 0x40, 64),
+                (Command::ReadReq, mem0().start(), 4),
+            ],
+        );
+        let r = sim.add(Box::new(req));
+        let mut rc = rc_two_ports(RouterConfig::default());
+        rc.add_hdm_route(hdm(), 1);
+        let rc = sim.add(Box::new(rc));
+        let (d0, served0) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let (d1, served1) = Responder::new("expander", 0);
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 2, "both the CXL load and the MMIO read complete");
+        assert_eq!(*served1.borrow(), 1, "the CXL load lands on the HDM pair");
+        assert_eq!(*served0.borrow(), 1, "the MMIO read still routes by VP2P window");
+    }
+
+    #[test]
+    fn cxl_request_outside_every_hdm_window_master_aborts() {
+        let mut sim = Simulation::new();
+        let (req, done) =
+            Requester::new("cpu", vec![(Command::CxlMemRd, hdm().end() + 0x1000, 64)]);
+        let r = sim.add(Box::new(req));
+        let mut rc = rc_two_ports(RouterConfig::default());
+        rc.add_hdm_route(hdm(), 1);
+        let rc = sim.add(Box::new(rc));
+        let (d0, _) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let (d1, served1) = Responder::new("expander", 0);
+        let d1 = sim.add(Box::new(d1));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (d1, RESPONDER_PORT));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty, "the UR path must not hang");
+        assert_eq!(done.borrow().len(), 1, "the requester still gets a completion");
+        assert_eq!(*served1.borrow(), 0, "nothing reaches the expander");
+        assert_eq!(sim.stats().get("rc.unsupported_requests"), Some(1.0));
+    }
+
+    #[test]
+    fn hdm_timeout_latches_on_the_hdm_pair() {
+        // A hung expander behind an HDM route: the completion timeout must
+        // attribute the loss to the HDM pair, not the upstream stand-in.
+        let cfg = RouterConfig {
+            completion_timeout: Some(pcisim_kernel::tick::us(50)),
+            ..RouterConfig::default()
+        };
+        let mut sim = Simulation::new();
+        let (req, done) = Requester::new("cpu", vec![(Command::CxlMemRd, hdm().start(), 64)]);
+        let r = sim.add(Box::new(req));
+        let mut rc = rc_two_ports(cfg);
+        rc.add_hdm_route(hdm(), 1);
+        let (rp0, rp1) = (rc.vp2p(0), rc.vp2p(1));
+        let rc = sim.add(Box::new(rc));
+        let (d0, _) = Responder::new("dev0", 0);
+        let d0 = sim.add(Box::new(d0));
+        let b = sim.add(Box::new(BlackHole));
+        sim.connect((r, REQUESTER_PORT), (rc, PORT_UPSTREAM_SLAVE));
+        sim.connect((rc, port_downstream_master(0)), (d0, RESPONDER_PORT));
+        sim.connect((rc, port_downstream_master(1)), (b, PortId(0)));
+        assert_eq!(sim.run_to_quiesce(), RunOutcome::QueueEmpty);
+        assert_eq!(done.borrow().len(), 1);
+        let (uncor1, _) = pcisim_pci::caps::aer_status(&rp1.borrow());
+        assert_ne!(uncor1 & aer::uncor::COMPLETION_TIMEOUT, 0, "the HDM pair logs the timeout");
+        let (uncor0, _) = pcisim_pci::caps::aer_status(&rp0.borrow());
+        assert_eq!(uncor0, 0, "pair 0 stays clean");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps the VP2P forwarding window")]
+    fn hdm_window_overlapping_a_bridge_window_is_rejected() {
+        // Regression: an HDM window shadowed by (or shadowing) a bridge
+        // forwarding range must be rejected when the route is installed,
+        // not silently decided by decode order.
+        let mut rc = rc_two_ports(RouterConfig::default());
+        rc.add_hdm_route(AddrRange::new(mem0().start() + 0x1000, mem0().end() + 0x1000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps HDM window")]
+    fn overlapping_hdm_windows_are_rejected() {
+        let mut rc = rc_two_ports(RouterConfig::default());
+        rc.add_hdm_route(hdm(), 0);
+        rc.add_hdm_route(AddrRange::new(hdm().start() + 0x100, hdm().start() + 0x200), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "HDM route to unknown pair")]
+    fn hdm_route_to_missing_pair_is_rejected() {
+        let mut rc = rc_two_ports(RouterConfig::default());
+        rc.add_hdm_route(hdm(), 7);
     }
 
     #[test]

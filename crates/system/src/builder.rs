@@ -9,6 +9,7 @@
 //! software and the device driver probe, so a built system is ready for
 //! a workload.
 
+use pcisim_devices::cxl::CxlExpanderConfig;
 use pcisim_devices::driver::{ide_probe, ProbeInfo};
 use pcisim_devices::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
 use pcisim_devices::intc::{InterruptController, INTC_FABRIC_PORT};
@@ -51,6 +52,8 @@ pub enum DeviceSpec {
     Disk(IdeDiskConfig),
     /// The 8254x-pcie NIC (the Table II experiment).
     Nic(NicConfig),
+    /// The CXL.mem memory expander (the `repro cxl` experiments).
+    CxlExpander(CxlExpanderConfig),
 }
 
 /// Every knob of the full system.
@@ -703,7 +706,7 @@ pub fn build_dual_disk_system(config: SystemConfig) -> DualDiskSystem {
     let switch_cfg = config.switch.clone().expect("dual-disk topology needs a switch");
     let disk_cfg = match &config.device {
         DeviceSpec::Disk(d) => d.clone(),
-        DeviceSpec::Nic(_) => panic!("dual-disk topology needs DeviceSpec::Disk"),
+        _ => panic!("dual-disk topology needs DeviceSpec::Disk"),
     };
 
     // Two disks: behind downstream port 0 (bus 3) and port 1 (bus 4).

@@ -1713,3 +1713,253 @@ mod pmd_tests {
         assert!(!out.events_per_sec().is_nan());
     }
 }
+
+// --- CXL.mem memory expansion (local vs CXL-attached load/store) -----------
+
+use crate::workload::cxl::{CxlHostConfig, CxlHostMode, CxlHostReportHandle};
+use pcisim_devices::cxl::CxlExpanderConfig;
+
+/// Where the host's load/store stream lands: local DRAM (the baseline
+/// arm), a directly-attached expander, an expander behind a switch, or a
+/// block-interleaved group of expanders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CxlPlacement {
+    /// Plain Memory Read/Write TLPs against a DRAM slice — no CXL link
+    /// in the path. The latency/bandwidth reference the tables compare
+    /// against.
+    LocalDram,
+    /// One expander on a root port (Gen 3 x8).
+    Direct,
+    /// One expander one switch hop below the root port.
+    BehindSwitch,
+    /// 2–4 expanders, one per root port, the stream block-interleaved
+    /// across their HDM windows.
+    Interleaved(usize),
+}
+
+/// Parameters of one `repro cxl` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CxlExperiment {
+    /// Expander placement (or the local-DRAM reference arm).
+    pub placement: CxlPlacement,
+    /// Open-loop stream or dependent pointer chase.
+    pub mode: CxlHostMode,
+    /// Timed accesses per host stream.
+    pub requests: u32,
+    /// In-flight window of the open-loop stream.
+    pub outstanding: usize,
+    /// Open-loop inter-issue gap.
+    pub gap: Tick,
+    /// Pointer-chain length (chase mode).
+    pub chain_blocks: u32,
+    /// Every n-th open-loop access is a store (0 = all loads).
+    pub write_every: u32,
+    /// Expander device model knobs.
+    pub expander: CxlExpanderConfig,
+}
+
+impl Default for CxlExperiment {
+    fn default() -> Self {
+        Self {
+            placement: CxlPlacement::Direct,
+            mode: CxlHostMode::OpenLoop,
+            requests: 256,
+            outstanding: 8,
+            gap: tick::ns(100),
+            chain_blocks: 64,
+            write_every: 0,
+            expander: CxlExpanderConfig::default(),
+        }
+    }
+}
+
+/// Measurements from one `repro cxl` run. Derives `PartialEq` so the
+/// serial-vs-sharded identity assert can compare whole outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CxlOutcome {
+    /// Mean access round-trip latency over every stream, in ns.
+    pub mean_ns: f64,
+    /// Fastest access, in ns.
+    pub min_ns: f64,
+    /// Slowest access, in ns.
+    pub max_ns: f64,
+    /// Aggregate achieved bandwidth across all streams, in Gb/s.
+    pub gbps: f64,
+    /// Completions received across all streams.
+    pub completed_accesses: u64,
+    /// Open-loop issue slots skipped with the window full.
+    pub stalls: u64,
+    /// Tick the run quiesced at (identity anchor).
+    pub quiesce_tick: Tick,
+    /// [`stats_fnv`] of the final counters (identity anchor).
+    pub stats_fnv: u64,
+    /// Whether every stream finished and the run drained.
+    pub completed: bool,
+}
+
+/// The topology a [`CxlExperiment`] runs over. The local-DRAM arm uses
+/// the same tree as [`CxlPlacement::Direct`] — only the host stream's
+/// target window differs — so the two arms pay identical enumeration.
+fn cxl_topology(exp: &CxlExperiment) -> crate::topology::Topology {
+    match exp.placement {
+        CxlPlacement::LocalDram | CxlPlacement::Direct => {
+            crate::topology::Topology::cxl_direct(exp.expander.clone())
+        }
+        CxlPlacement::BehindSwitch => {
+            crate::topology::Topology::cxl_behind_switch(exp.expander.clone())
+        }
+        CxlPlacement::Interleaved(n) => {
+            crate::topology::Topology::cxl_interleaved(n, exp.expander.clone())
+        }
+    }
+}
+
+fn cxl_host_config(exp: &CxlExperiment) -> CxlHostConfig {
+    CxlHostConfig {
+        mode: exp.mode,
+        requests: exp.requests,
+        outstanding: exp.outstanding,
+        gap: exp.gap,
+        chain_blocks: exp.chain_blocks,
+        write_every: exp.write_every,
+        ..CxlHostConfig::default()
+    }
+}
+
+fn collect_cxl_outcome(
+    stats: &pcisim_kernel::stats::StatsSnapshot,
+    reports: &[CxlHostReportHandle],
+    quiesce_tick: Tick,
+    drained: bool,
+    requests: u32,
+) -> CxlOutcome {
+    use pcisim_kernel::tick::to_ns;
+    let mut latencies: Vec<Tick> = Vec::new();
+    let mut gbps = 0.0;
+    let mut completed_accesses = 0u64;
+    let mut stalls = 0u64;
+    let mut done = true;
+    for report in reports {
+        let r = report.borrow();
+        latencies.extend_from_slice(&r.latencies);
+        gbps += r.throughput_gbps();
+        completed_accesses += r.completed;
+        stalls += r.stalls;
+        done &= r.done;
+    }
+    let mean_ns = if latencies.is_empty() {
+        0.0
+    } else {
+        to_ns(latencies.iter().sum::<Tick>()) / latencies.len() as f64
+    };
+    CxlOutcome {
+        mean_ns,
+        min_ns: latencies.iter().copied().min().map_or(0.0, to_ns),
+        max_ns: latencies.iter().copied().max().map_or(0.0, to_ns),
+        gbps,
+        completed_accesses,
+        stalls,
+        quiesce_tick,
+        stats_fnv: stats_fnv(stats),
+        completed: done
+            && drained
+            && completed_accesses == reports.len() as u64 * u64::from(requests),
+    }
+}
+
+/// Runs the experiment under the sharded driver: one host stream per
+/// expander (or one DRAM stream for the reference arm), partitioned
+/// across `shards` workers. `shards == 1` is the serial baseline; the
+/// whole outcome — latencies, bandwidth, quiesce tick, stats FNV — must
+/// be identical at every shard count.
+pub fn run_cxl_sharded(exp: &CxlExperiment, shards: usize) -> CxlOutcome {
+    let mut sys = crate::topology::build_topology_sharded(cxl_topology(exp), shards);
+    let mut reports = Vec::new();
+    if exp.placement == CxlPlacement::LocalDram {
+        reports.push(sys.attach_dram_host(0, cxl_host_config(exp)));
+    } else {
+        for i in 0..sys.endpoints.len() {
+            if sys.endpoints[i].is_cxl {
+                reports.push(sys.attach_cxl_host(i, cxl_host_config(exp)));
+            }
+        }
+    }
+    assert!(!reports.is_empty(), "a cxl experiment needs at least one host stream");
+    let requests = exp.requests;
+    let mut driver = sys.into_driver();
+    let outcome = driver.run(MAX_TIME, MAX_EVENTS);
+    collect_cxl_outcome(
+        &driver.stats(),
+        &reports,
+        driver.now(),
+        outcome == RunOutcome::QueueEmpty,
+        requests,
+    )
+}
+
+/// Runs the experiment serially (the common case for the sweep tables).
+pub fn run_cxl_experiment(exp: &CxlExperiment) -> CxlOutcome {
+    run_cxl_sharded(exp, 1)
+}
+
+#[cfg(test)]
+mod cxl_tests {
+    use super::*;
+
+    #[test]
+    fn cxl_attached_loads_pay_more_than_local_dram() {
+        let local = run_cxl_experiment(&CxlExperiment {
+            placement: CxlPlacement::LocalDram,
+            requests: 64,
+            ..CxlExperiment::default()
+        });
+        let direct = run_cxl_experiment(&CxlExperiment {
+            placement: CxlPlacement::Direct,
+            requests: 64,
+            ..CxlExperiment::default()
+        });
+        assert!(local.completed, "{local:?}");
+        assert!(direct.completed, "{direct:?}");
+        assert!(
+            direct.mean_ns > local.mean_ns,
+            "expander access must cost more than local DRAM: {} vs {}",
+            direct.mean_ns,
+            local.mean_ns
+        );
+    }
+
+    #[test]
+    fn behind_switch_chase_pays_the_extra_hop() {
+        let chase = |placement| {
+            run_cxl_experiment(&CxlExperiment {
+                placement,
+                mode: CxlHostMode::PointerChase,
+                requests: 48,
+                chain_blocks: 32,
+                ..CxlExperiment::default()
+            })
+        };
+        let direct = chase(CxlPlacement::Direct);
+        let switched = chase(CxlPlacement::BehindSwitch);
+        assert!(direct.completed && switched.completed);
+        assert!(
+            switched.mean_ns > direct.mean_ns,
+            "switch hop must add latency: {} vs {}",
+            switched.mean_ns,
+            direct.mean_ns
+        );
+    }
+
+    #[test]
+    fn interleaved_streams_are_bit_identical_serial_vs_sharded() {
+        let exp = CxlExperiment {
+            placement: CxlPlacement::Interleaved(2),
+            requests: 64,
+            ..CxlExperiment::default()
+        };
+        let serial = run_cxl_sharded(&exp, 1);
+        let sharded = run_cxl_sharded(&exp, 2);
+        assert!(serial.completed, "{serial:?}");
+        assert_eq!(serial, sharded, "shard count must not perturb the cxl run");
+    }
+}

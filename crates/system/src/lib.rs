@@ -34,15 +34,16 @@ pub mod prelude {
     };
     pub use crate::experiments::{
         error_rate_ladder, error_rate_sweep, error_rate_sweep_warm, prepare_dd_warm_start,
-        run_dd_experiment, run_dd_experiment_warm, run_dd_sweep_warm, run_fault_experiment,
-        run_fault_experiment_warm, run_fault_sweep_warm, run_irq_rx_experiment,
-        run_mmio_experiment, run_msix_tx_experiment, run_nic_rx_experiment, run_nic_tx_experiment,
-        run_pmd_experiment, run_pmd_experiment_warm, run_pmd_sharded, run_pmd_sweep_warm,
-        run_sector_microbench, run_shard_scaling, run_topology_experiment, stats_fnv,
-        ContentionOutcome, DdExperiment, DdOutcome, DdWarmStart, FaultExperiment, FaultOutcome,
-        MmioExperiment, MmioOutcome, MsixTxExperiment, MsixTxOutcome, NicRxExperiment,
-        NicRxOutcome, NicTxExperiment, NicTxOutcome, PmdExperiment, PmdOutcome, PmdWarmStart,
-        ShardScalingOutcome, TopologyExperiment, TopologyOutcome, WARMUP_TICK,
+        run_cxl_experiment, run_cxl_sharded, run_dd_experiment, run_dd_experiment_warm,
+        run_dd_sweep_warm, run_fault_experiment, run_fault_experiment_warm, run_fault_sweep_warm,
+        run_irq_rx_experiment, run_mmio_experiment, run_msix_tx_experiment, run_nic_rx_experiment,
+        run_nic_tx_experiment, run_pmd_experiment, run_pmd_experiment_warm, run_pmd_sharded,
+        run_pmd_sweep_warm, run_sector_microbench, run_shard_scaling, run_topology_experiment,
+        stats_fnv, ContentionOutcome, CxlExperiment, CxlOutcome, CxlPlacement, DdExperiment,
+        DdOutcome, DdWarmStart, FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome,
+        MsixTxExperiment, MsixTxOutcome, NicRxExperiment, NicRxOutcome, NicTxExperiment,
+        NicTxOutcome, PmdExperiment, PmdOutcome, PmdWarmStart, ShardScalingOutcome,
+        TopologyExperiment, TopologyOutcome, WARMUP_TICK,
     };
     pub use crate::platform;
     pub use crate::snapshot::{SystemHandle, WarmSeed};
@@ -55,12 +56,16 @@ pub mod prelude {
         heavy_traffic, offered_load_ladder, record_trace, ArrivalProcess, SizeDist, TrafficConfig,
         TrafficSpec,
     };
+    pub use crate::workload::cxl::{
+        CxlHostConfig, CxlHostMode, CxlHostReport, CxlHostReportHandle,
+    };
     pub use crate::workload::dd::{DdConfig, DdReport, DdReportHandle};
     pub use crate::workload::mmio::{MmioProbeConfig, MmioReport, MmioReportHandle};
     pub use crate::workload::msix::{MsixTxConfig, MsixTxReport, MsixTxReportHandle};
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};
     pub use crate::workload::nic_tx::{NicTxConfig, NicTxReport, NicTxReportHandle};
     pub use crate::workload::pmd::{PmdConfig, PmdReport, PmdReportHandle};
+    pub use pcisim_devices::cxl::CxlExpanderConfig;
     pub use pcisim_kernel::shard::ShardedSimulator;
     pub use pcisim_kernel::snapshot::SnapshotError;
     pub use pcisim_kernel::trace::{LatencyAttribution, Stage, TraceCategory, TraceLog};

@@ -30,6 +30,14 @@ pub const INTC_BASE: u64 = 0x2c00_0000;
 pub const INTC_SIZE: u64 = 0x1000;
 /// First legacy IRQ handed to PCI devices.
 pub const FIRST_PCI_IRQ: u8 = 32;
+/// Base of the CXL host-managed device memory (HDM) region: the first
+/// address above 4 GB, well clear of every 32-bit window and of DRAM.
+/// Expander HDM decoder windows are carved out of this region.
+pub const CXL_HDM_BASE: u64 = 0x1_0000_0000;
+/// Total size of the HDM region (1 GB — room for four 256 MB expanders).
+pub const CXL_HDM_SIZE: u64 = 0x4000_0000;
+/// HDM decoder window granted to each expander (256 MB).
+pub const CXL_HDM_STRIDE: u64 = 0x1000_0000;
 
 /// The ECAM window.
 pub fn config_range() -> AddrRange {
@@ -56,6 +64,25 @@ pub fn intc_range() -> AddrRange {
     AddrRange::with_size(INTC_BASE, INTC_SIZE)
 }
 
+/// The whole CXL HDM region.
+pub fn cxl_hdm_range() -> AddrRange {
+    AddrRange::with_size(CXL_HDM_BASE, CXL_HDM_SIZE)
+}
+
+/// The HDM decoder window of expander `idx` (0-based, up to 4 expanders).
+///
+/// # Panics
+///
+/// Panics when `idx` would place the window outside the HDM region.
+pub fn cxl_hdm_window(idx: usize) -> AddrRange {
+    let base = CXL_HDM_BASE + idx as u64 * CXL_HDM_STRIDE;
+    assert!(
+        base + CXL_HDM_STRIDE <= CXL_HDM_BASE + CXL_HDM_SIZE,
+        "expander {idx} exceeds the HDM region"
+    );
+    AddrRange::with_size(base, CXL_HDM_STRIDE)
+}
+
 /// Enumeration resources matching this platform.
 pub fn enumeration_config() -> EnumerationConfig {
     EnumerationConfig { mem_window: mem_range(), io_window: io_range(), first_irq: FIRST_PCI_IRQ }
@@ -75,7 +102,8 @@ mod tests {
 
     #[test]
     fn windows_are_disjoint() {
-        let windows = [config_range(), io_range(), mem_range(), dram_range(), intc_range()];
+        let windows =
+            [config_range(), io_range(), mem_range(), dram_range(), intc_range(), cxl_hdm_range()];
         for (i, a) in windows.iter().enumerate() {
             for b in windows.iter().skip(i + 1) {
                 assert!(!a.overlaps(b), "{a} overlaps {b}");
@@ -88,5 +116,24 @@ mod tests {
         assert!(mem_range().end() <= 1 << 32);
         assert!(io_range().end() <= 1 << 32);
         assert!(config_range().end() <= 1 << 32);
+    }
+
+    #[test]
+    fn hdm_windows_tile_the_hdm_region() {
+        assert_eq!(cxl_hdm_range().start(), 1 << 32, "HDM starts right above 4 GB");
+        for i in 0..4 {
+            let w = cxl_hdm_window(i);
+            assert!(cxl_hdm_range().contains(w.start()));
+            assert!(w.end() <= cxl_hdm_range().end());
+            for j in 0..i {
+                assert!(!w.overlaps(&cxl_hdm_window(j)), "windows {i}/{j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the HDM region")]
+    fn fifth_expander_does_not_fit() {
+        let _ = cxl_hdm_window(4);
     }
 }

@@ -25,10 +25,14 @@
 
 use std::collections::HashMap;
 
+use pcisim_devices::cxl::{
+    program_hdm, CxlExpander, CxlExpanderConfig, CXL_DMA_PORT, CXL_PIO_PORT,
+};
 use pcisim_devices::driver::{probe_with_policy, InterruptMode, MsiPolicy, ProbeInfo};
 use pcisim_devices::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
 use pcisim_devices::intc::{InterruptController, INTC_FABRIC_PORT};
 use pcisim_devices::nic::{Nic, NicConfig, NIC_DMA_PORT, NIC_PIO_PORT};
+use pcisim_kernel::addr::AddrRange;
 use pcisim_kernel::component::{Component, ComponentId, PortId};
 use pcisim_kernel::dram::{Dram, DRAM_PORT};
 use pcisim_kernel::iocache::{IoCache, IOCACHE_DEV_SIDE, IOCACHE_MEM_SIDE};
@@ -55,6 +59,7 @@ use pcisim_pcie::router::{
 use crate::builder::DeviceSpec;
 use crate::platform;
 use crate::snapshot::WarmSeed;
+use crate::workload::cxl::{CxlHostApp, CxlHostConfig, CxlHostReportHandle, CXL_HOST_MEM_PORT};
 use crate::workload::dd::{DdApp, DdConfig, DdReportHandle, DD_IRQ_PORT, DD_MEM_PORT};
 use crate::workload::mmio::{MmioProbe, MmioProbeConfig, MmioReportHandle, MMIO_MEM_PORT};
 use crate::workload::nic_rx::{
@@ -300,6 +305,46 @@ impl Topology {
         Self::new(Self::preset_rc(), ports)
     }
 
+    /// A CXL.mem expander directly on root port 0 (Gen 3 x8 — the class
+    /// of link CXL 1.1 runs over), two empty root ports beside it.
+    pub fn cxl_direct(cfg: CxlExpanderConfig) -> Self {
+        let mem = Node::endpoint("mem0", DeviceSpec::CxlExpander(cfg));
+        let root =
+            Attachment::named("cxl_link0", LinkConfig::new(Generation::Gen3, LinkWidth::X8), mem);
+        Self::new(Self::preset_rc(), vec![Some(root), None, None])
+    }
+
+    /// The same expander one switch hop away: quantifies the per-switch
+    /// span added to every CXL.mem access (the behind-switch penalty).
+    pub fn cxl_behind_switch(cfg: CxlExpanderConfig) -> Self {
+        let x8 = || LinkConfig::new(Generation::Gen3, LinkWidth::X8);
+        let mem = Node::endpoint("mem0", DeviceSpec::CxlExpander(cfg));
+        let switch = Node::Switch {
+            config: RouterConfig::default(),
+            name: Some("switch".into()),
+            ports: vec![Some(Attachment::named("cxl_dev_link", x8(), mem)), None],
+        };
+        let root = Attachment::named("cxl_link0", x8(), switch);
+        Self::new(Self::preset_rc(), vec![Some(root), None, None])
+    }
+
+    /// `n` expanders (2–4), one per root port: the host stream interleaves
+    /// across their HDM windows, aggregating bandwidth.
+    pub fn cxl_interleaved(n: usize, cfg: CxlExpanderConfig) -> Self {
+        assert!((2..=4).contains(&n), "interleaving takes 2-4 expanders, got {n}");
+        let ports = (0..n)
+            .map(|i| {
+                let mem = Node::endpoint(format!("mem{i}"), DeviceSpec::CxlExpander(cfg.clone()));
+                Some(Attachment::named(
+                    format!("cxl_link{i}"),
+                    LinkConfig::new(Generation::Gen3, LinkWidth::X8),
+                    mem,
+                ))
+            })
+            .collect();
+        Self::new(Self::preset_rc(), ports)
+    }
+
     /// Two NICs behind one switch on root port 0: both streams share the
     /// single upstream link (the contention arm of `repro --topology`).
     pub fn dual_nic_shared(nic: NicConfig) -> Self {
@@ -337,6 +382,7 @@ impl Topology {
         let device_name = match &config.device {
             DeviceSpec::Disk(_) => "disk",
             DeviceSpec::Nic(_) => "nic",
+            DeviceSpec::CxlExpander(_) => "mem0",
         };
         let device = Node::endpoint(device_name, config.device.clone());
         let node = match &config.switch {
@@ -402,6 +448,7 @@ impl Topology {
             next_switch: 0,
             next_link: 0,
             next_endpoint: 0,
+            next_cxl: 0,
             use_msi: self.use_msi,
             use_msix: self.use_msix,
         };
@@ -490,8 +537,13 @@ pub struct PlannedEndpoint {
     pub parent: PlannedEdge,
     /// The endpoint's configuration space.
     pub config_space: SharedConfigSpace,
-    /// Whether the endpoint is the IDE disk (else the NIC).
+    /// Whether the endpoint is the IDE disk (else a NIC or expander).
     pub is_disk: bool,
+    /// Whether the endpoint is a CXL.mem expander.
+    pub is_cxl: bool,
+    /// The HDM decoder window assigned to the expander (empty for every
+    /// other device class).
+    pub hdm: AddrRange,
 }
 
 /// Depth-first visit order of the tree below the root complex.
@@ -532,6 +584,7 @@ impl PlannedTopology {
 enum EndpointDevice {
     Disk(Box<IdeDisk>),
     Nic(Box<Nic>),
+    Cxl(Box<CxlExpander>),
 }
 
 struct Planner {
@@ -544,6 +597,7 @@ struct Planner {
     next_switch: u16,
     next_link: u32,
     next_endpoint: u32,
+    next_cxl: usize,
     use_msi: bool,
     use_msix: bool,
 }
@@ -573,13 +627,13 @@ impl Planner {
                 let name = name.clone().unwrap_or_else(|| format!("ep{}", self.next_endpoint));
                 self.next_endpoint += 1;
                 let intx = Some((0, 0)); // irq patched after enumeration
-                let (dev, cs) = match device {
+                let (dev, cs, hdm) = match device {
                     DeviceSpec::Disk(cfg) => {
                         let (disk, cs) = IdeDisk::new(
                             name.clone(),
                             IdeDiskConfig { intx, msi_capable: self.use_msi, ..cfg.clone() },
                         );
-                        (EndpointDevice::Disk(Box::new(disk)), cs)
+                        (EndpointDevice::Disk(Box::new(disk)), cs, AddrRange::empty())
                     }
                     DeviceSpec::Nic(cfg) => {
                         let (nic, cs) = Nic::new(
@@ -591,7 +645,17 @@ impl Planner {
                                 ..cfg.clone()
                             },
                         );
-                        (EndpointDevice::Nic(Box::new(nic)), cs)
+                        (EndpointDevice::Nic(Box::new(nic)), cs, AddrRange::empty())
+                    }
+                    DeviceSpec::CxlExpander(cfg) => {
+                        // Each expander gets the next HDM window of the
+                        // platform region, programmed through config space
+                        // like a BAR assignment.
+                        let (exp, cs) = CxlExpander::new(name.clone(), cfg.clone());
+                        let window = platform::cxl_hdm_window(self.next_cxl);
+                        self.next_cxl += 1;
+                        program_hdm(&mut cs.borrow_mut(), window);
+                        (EndpointDevice::Cxl(Box::new(exp)), cs, window)
                     }
                 };
                 let bdf = Bdf::new(bus, 0, 0);
@@ -603,6 +667,8 @@ impl Planner {
                     parent: edge,
                     config_space: cs,
                     is_disk: matches!(device, DeviceSpec::Disk(_)),
+                    is_cxl: matches!(device, DeviceSpec::CxlExpander(_)),
+                    hdm,
                 });
                 self.devices.push(dev);
             }
@@ -670,8 +736,12 @@ pub struct EndpointHandle {
     pub bar0: u64,
     /// Its interrupt line (legacy INTx or the MSI vector).
     pub irq: u8,
-    /// Whether it is the IDE disk (else the NIC).
+    /// Whether it is the IDE disk (else a NIC or expander).
     pub is_disk: bool,
+    /// Whether it is a CXL.mem expander.
+    pub is_cxl: bool,
+    /// The expander's HDM decoder window (empty for other devices).
+    pub hdm: AddrRange,
     /// Reserved memory-bus endpoint for this endpoint's CPU workload.
     pub cpu_mem_port: (ComponentId, PortId),
     /// Interrupt-controller endpoint delivering this endpoint's IRQ.
@@ -778,6 +848,42 @@ impl TopologySystem {
         self.sim.connect((id, PMD_MEM_PORT), ep.cpu_mem_port);
         report
     }
+
+    /// Attaches a CXL.mem host load/store stream (named `cxlhost{index}`)
+    /// against endpoint `index`'s HDM window, which must be an expander.
+    pub fn attach_cxl_host(
+        &mut self,
+        index: usize,
+        mut config: CxlHostConfig,
+    ) -> CxlHostReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(ep.is_cxl, "endpoint {index} ({}) is not a CXL expander", ep.name);
+        config.window = ep.hdm;
+        config.use_cxl = true;
+        let (app, report) = CxlHostApp::new(format!("cxlhost{index}"), config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, CXL_HOST_MEM_PORT), ep.cpu_mem_port);
+        report
+    }
+
+    /// Attaches the same engine (named `dramhost{index}`) against a local
+    /// DRAM slice with plain Memory Read/Write TLPs — the local arm of the
+    /// local-vs-CXL comparison, using endpoint `index`'s reserved CPU
+    /// port.
+    pub fn attach_dram_host(
+        &mut self,
+        index: usize,
+        mut config: CxlHostConfig,
+    ) -> CxlHostReportHandle {
+        let ep = &self.endpoints[index];
+        config.window =
+            AddrRange::with_size(platform::DRAM_BASE + 0x2000_0000, platform::CXL_HDM_STRIDE);
+        config.use_cxl = false;
+        let (app, report) = CxlHostApp::new(format!("dramhost{index}"), config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, CXL_HOST_MEM_PORT), ep.cpu_mem_port);
+        report
+    }
 }
 
 /// Builds the full system for a [`Topology`]: plans and registers the
@@ -822,6 +928,8 @@ fn enumerate_and_probe(
         };
         let table = if plan.endpoints[0].is_disk {
             pcisim_devices::driver::IDE_DEVICE_TABLE
+        } else if plan.endpoints[0].is_cxl {
+            pcisim_devices::driver::CXL_DEVICE_TABLE
         } else {
             pcisim_devices::driver::E1000E_DEVICE_TABLE
         };
@@ -1118,6 +1226,24 @@ fn build_planned_multi(
         match dev {
             EndpointDevice::Disk(disk) => disk.set_intx(intx),
             EndpointDevice::Nic(nic) => nic.set_intx(intx),
+            EndpointDevice::Cxl(exp) => exp.set_intx(intx),
+        }
+    }
+
+    // HDM routing: every router on the path from the root complex down to
+    // an expander forwards its window out the right downstream pair. The
+    // routes are plan-derived configuration (like the VP2P windows), not
+    // run-time state, and `add_hdm_route` rejects — loudly, at build time —
+    // any window that a bridge forwarding range would shadow.
+    let mut hdm_routes: Vec<Vec<(AddrRange, usize)>> = vec![Vec::new(); plan.routers.len()];
+    for ep in &plan.endpoints {
+        if ep.hdm.is_empty() {
+            continue;
+        }
+        let mut edge = Some(&ep.parent);
+        while let Some(e) = edge {
+            hdm_routes[e.router].push((ep.hdm, e.pair));
+            edge = plan.routers[e.router].parent.as_ref();
         }
     }
 
@@ -1154,7 +1280,7 @@ fn build_planned_multi(
     // host, 4 = RC upstream slave (both PCI windows), 5 = IOCache memory
     // side, 6.. = further CPU workloads.
     let num_ports = 6 + plan.endpoints.len().saturating_sub(1);
-    let membus = Crossbar::builder("membus")
+    let mut membus = Crossbar::builder("membus")
         .num_ports(num_ports)
         .frontend_latency(topo.membus_frontend)
         .queue_capacity(64)
@@ -1162,9 +1288,14 @@ fn build_planned_multi(
         .route(platform::intc_range(), PortId(2))
         .route(platform::config_range(), PortId(3))
         .route(platform::mem_range(), PortId(4))
-        .route(platform::io_range(), PortId(4))
-        .build();
-    let membus_id = set.add(0, Box::new(membus));
+        .route(platform::io_range(), PortId(4));
+    // The HDM region routes toward the root complex only when the tree
+    // actually carries an expander, so CXL-free topologies keep their
+    // exact historical route table (and golden fingerprints).
+    if plan.endpoints.iter().any(|e| e.is_cxl) {
+        membus = membus.route(platform::cxl_hdm_range(), PortId(4));
+    }
+    let membus_id = set.add(0, Box::new(membus.build()));
     let dram_id = set.add(
         0,
         Box::new(
@@ -1189,14 +1320,12 @@ fn build_planned_multi(
         set.add(0, Box::new(IoCache::builder("iocache").mshrs(topo.iocache_mshrs).build()));
 
     let rc = &plan.routers[0];
-    let rc_id = set.add(
-        0,
-        Box::new(PcieRouter::root_complex(
-            rc.name.clone(),
-            rc.config.clone(),
-            rc.downstream_vp2ps.clone(),
-        )),
-    );
+    let mut rc_router =
+        PcieRouter::root_complex(rc.name.clone(), rc.config.clone(), rc.downstream_vp2ps.clone());
+    for &(range, pair) in &hdm_routes[0] {
+        rc_router.add_hdm_route(range, pair);
+    }
+    let rc_id = set.add(0, Box::new(rc_router));
 
     set.connect((membus_id, PortId(1)), (dram_id, DRAM_PORT));
     set.connect((membus_id, PortId(2)), (intc_id, INTC_FABRIC_PORT));
@@ -1268,15 +1397,16 @@ fn build_planned_multi(
             PlannedItem::Switch(i) => {
                 let r = &plan.routers[*i];
                 debug_assert_eq!(router_ids.len(), *i);
-                let id = set.add(
-                    child_shard,
-                    Box::new(PcieRouter::switch(
-                        r.name.clone(),
-                        r.config.clone(),
-                        r.upstream_vp2p.clone().unwrap(),
-                        r.downstream_vp2ps.clone(),
-                    )),
+                let mut switch = PcieRouter::switch(
+                    r.name.clone(),
+                    r.config.clone(),
+                    r.upstream_vp2p.clone().unwrap(),
+                    r.downstream_vp2ps.clone(),
                 );
+                for &(range, pair) in &hdm_routes[*i] {
+                    switch.add_hdm_route(range, pair);
+                }
+                let id = set.add(child_shard, Box::new(switch));
                 router_ids.push(id);
                 set.connect((link_id, PORT_DOWN_MASTER), (id, PORT_UPSTREAM_SLAVE));
                 set.connect((link_id, PORT_DOWN_SLAVE), (id, PORT_UPSTREAM_MASTER));
@@ -1289,6 +1419,9 @@ fn build_planned_multi(
                     }
                     EndpointDevice::Nic(nic) => {
                         (set.add(child_shard, nic), NIC_PIO_PORT, NIC_DMA_PORT)
+                    }
+                    EndpointDevice::Cxl(exp) => {
+                        (set.add(child_shard, exp), CXL_PIO_PORT, CXL_DMA_PORT)
                     }
                 };
                 set.connect((link_id, PORT_DOWN_MASTER), (dev_id, pio));
@@ -1305,6 +1438,8 @@ fn build_planned_multi(
                     bar0,
                     irq: irqs[*i],
                     is_disk: ep.is_disk,
+                    is_cxl: ep.is_cxl,
+                    hdm: ep.hdm,
                     cpu_mem_port: (membus_id, mem_port),
                     cpu_irq_port: (intc_id, cpu_irqs[*i][0]),
                     cpu_irq_ports: cpu_irqs[*i].iter().map(|&p| (intc_id, p)).collect(),
@@ -1441,6 +1576,41 @@ impl ShardedTopologySystem {
         let mem = ep.cpu_mem_port;
         let (app, report) = PmdApp::new(format!("pmd{index}"), config);
         self.attach_cpu_side(Box::new(app), &[(PMD_MEM_PORT, mem)]);
+        report
+    }
+
+    /// Attaches a CXL.mem host load/store stream (named `cxlhost{index}`)
+    /// against endpoint `index`'s HDM window, which must be an expander.
+    pub fn attach_cxl_host(
+        &mut self,
+        index: usize,
+        mut config: CxlHostConfig,
+    ) -> CxlHostReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(ep.is_cxl, "endpoint {index} ({}) is not a CXL expander", ep.name);
+        config.window = ep.hdm;
+        config.use_cxl = true;
+        let mem = ep.cpu_mem_port;
+        let (app, report) = CxlHostApp::new(format!("cxlhost{index}"), config);
+        self.attach_cpu_side(Box::new(app), &[(CXL_HOST_MEM_PORT, mem)]);
+        report
+    }
+
+    /// Attaches the same engine (named `dramhost{index}`) against a local
+    /// DRAM slice with plain Memory Read/Write TLPs — the local arm of the
+    /// local-vs-CXL comparison. See [`TopologySystem::attach_dram_host`].
+    pub fn attach_dram_host(
+        &mut self,
+        index: usize,
+        mut config: CxlHostConfig,
+    ) -> CxlHostReportHandle {
+        let ep = &self.endpoints[index];
+        config.window =
+            AddrRange::with_size(platform::DRAM_BASE + 0x2000_0000, platform::CXL_HDM_STRIDE);
+        config.use_cxl = false;
+        let mem = ep.cpu_mem_port;
+        let (app, report) = CxlHostApp::new(format!("dramhost{index}"), config);
+        self.attach_cpu_side(Box::new(app), &[(CXL_HOST_MEM_PORT, mem)]);
         report
     }
 
@@ -1625,6 +1795,112 @@ mod tests {
         // system reports a plausible cut count (at least shards - 1).
         let sys = build_topology_sharded(Topology::fanout(3, 4, 4), 4);
         assert!(sys.cut_count() >= 3, "expected >= 3 cuts, got {}", sys.cut_count());
+    }
+
+    #[test]
+    fn cxl_direct_probes_the_expander_and_assigns_its_hdm_window() {
+        let built = build_topology(Topology::cxl_direct(Default::default()));
+        assert_eq!(built.report.endpoints().count(), 1);
+        let ep = &built.endpoints[0];
+        assert!(ep.is_cxl && !ep.is_disk);
+        assert_eq!(ep.hdm, platform::cxl_hdm_window(0));
+        assert!(built.probe.is_some(), "the CXL device table must match the expander");
+    }
+
+    #[test]
+    fn cxl_host_chases_pointers_through_the_full_fabric() {
+        use crate::workload::cxl::{CxlHostConfig, CxlHostMode};
+        let mut built = build_topology(Topology::cxl_direct(Default::default()));
+        let host = built.attach_cxl_host(
+            0,
+            CxlHostConfig {
+                mode: CxlHostMode::PointerChase,
+                requests: 64,
+                chain_blocks: 16,
+                ..CxlHostConfig::default()
+            },
+        );
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        let r = host.borrow();
+        assert!(r.done, "the chase must complete through links, RC and HDM routing");
+        assert_eq!(r.completed, 64);
+        // Fabric spans (membus + RC + link both ways) sit on top of the
+        // 80 ns device latency.
+        assert!(r.mean_ns() > 80.0, "got {}", r.mean_ns());
+    }
+
+    #[test]
+    fn behind_switch_expander_pays_the_extra_hop() {
+        use crate::workload::cxl::{CxlHostConfig, CxlHostMode};
+        let run = |topo: Topology| {
+            let mut built = build_topology(topo);
+            let host = built.attach_cxl_host(
+                0,
+                CxlHostConfig {
+                    mode: CxlHostMode::PointerChase,
+                    requests: 32,
+                    chain_blocks: 8,
+                    ..CxlHostConfig::default()
+                },
+            );
+            assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+            let r = host.borrow();
+            assert!(r.done);
+            r.mean_ns()
+        };
+        let direct = run(Topology::cxl_direct(Default::default()));
+        let switched = run(Topology::cxl_behind_switch(Default::default()));
+        assert!(switched > direct, "switch hop must cost: {switched} vs {direct} ns");
+    }
+
+    #[test]
+    fn interleaved_expanders_get_disjoint_windows_and_all_complete() {
+        use crate::workload::cxl::CxlHostConfig;
+        let mut built = build_topology(Topology::cxl_interleaved(4, Default::default()));
+        assert_eq!(built.endpoints.len(), 4);
+        for i in 0..4 {
+            assert_eq!(built.endpoints[i].hdm, platform::cxl_hdm_window(i));
+            for j in 0..i {
+                assert!(!built.endpoints[i].hdm.overlaps(&built.endpoints[j].hdm));
+            }
+        }
+        let hosts: Vec<_> = (0..4)
+            .map(|i| {
+                built.attach_cxl_host(i, CxlHostConfig { requests: 32, ..CxlHostConfig::default() })
+            })
+            .collect();
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        for h in hosts {
+            assert!(h.borrow().done);
+            assert_eq!(h.borrow().completed, 32);
+        }
+    }
+
+    #[test]
+    fn cxl_trees_match_serial_across_shards() {
+        use crate::workload::cxl::{CxlHostConfig, CxlHostMode};
+        let config = CxlHostConfig {
+            mode: CxlHostMode::PointerChase,
+            requests: 48,
+            chain_blocks: 12,
+            ..CxlHostConfig::default()
+        };
+
+        let mut serial = build_topology(Topology::cxl_behind_switch(Default::default()));
+        let sh = serial.attach_cxl_host(0, config.clone());
+        assert_eq!(serial.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+
+        let mut sharded =
+            build_topology_sharded(Topology::cxl_behind_switch(Default::default()), 2);
+        let ph = sharded.attach_cxl_host(0, config);
+        let mut driver = sharded.into_driver();
+        assert_eq!(driver.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+
+        assert_eq!(driver.now(), serial.sim.now());
+        let a: Vec<_> = serial.sim.stats().iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let b: Vec<_> = driver.stats().iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        assert_eq!(a, b);
+        assert_eq!(sh.borrow().latencies, ph.borrow().latencies);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! CPU-side workload models: `dd` block reads and the MMIO latency probe.
 
+pub mod cxl;
 pub mod dd;
 pub mod mmio;
 pub mod msix;

@@ -236,6 +236,109 @@ fn cascaded_switch_topology_matches_golden() {
     assert_eq!(fnv, GOLDEN_CASCADE_FNV, "got {fnv:#018x}");
 }
 
+// Golden anchors for the CXL.mem preset: two interleaved expanders, one
+// open-loop load/store stream plus one pointer chase, recorded when the
+// CXL.mem transaction class landed. Quiesce time and the full stats
+// fingerprint must both hold.
+const GOLDEN_CXL_TIME: u64 = 26_860_455;
+const GOLDEN_CXL_FNV: u64 = 0x18f3_f052_d2f8_cef3;
+
+/// The two-way interleaved CXL expander preset quiesces at the recorded
+/// tick with the recorded stats fingerprint — and does so twice in a row.
+#[test]
+fn cxl_interleaved_topology_matches_golden() {
+    use pcisim::system::prelude::CxlExpanderConfig;
+    use pcisim::system::topology::{build_topology, Topology};
+    use pcisim::system::workload::cxl::{CxlHostConfig, CxlHostMode};
+
+    let run = || {
+        let mut built = build_topology(Topology::cxl_interleaved(2, CxlExpanderConfig::default()));
+        let open = built.attach_cxl_host(
+            0,
+            CxlHostConfig {
+                mode: CxlHostMode::OpenLoop,
+                requests: 64,
+                write_every: 4,
+                ..CxlHostConfig::default()
+            },
+        );
+        let chase = built.attach_cxl_host(
+            1,
+            CxlHostConfig {
+                mode: CxlHostMode::PointerChase,
+                requests: 48,
+                chain_blocks: 16,
+                ..CxlHostConfig::default()
+            },
+        );
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(open.borrow().done && chase.borrow().done);
+        (built.sim.now(), stats_fnv(&built.sim.stats()))
+    };
+    let (time, fnv) = run();
+    assert_eq!(run(), (time, fnv), "repeated builds must agree");
+    assert_eq!(time, GOLDEN_CXL_TIME, "got {time}");
+    assert_eq!(fnv, GOLDEN_CXL_FNV, "got {fnv:#018x}");
+}
+
+/// The local-DRAM / CXL-direct / behind-switch latency deltas are exactly
+/// the hand-computed span sums (Table II style): every chase hop over an
+/// idle fabric costs the sum of the CPU overhead, memory-bus frontend,
+/// router traversals, link serialization, and device access latency —
+/// nothing more, nothing less.
+#[test]
+fn cxl_latency_deltas_match_hand_computed_span_sums() {
+    use pcisim::kernel::tick::to_ns;
+    use pcisim::pcie::params::{LinkConfig, LinkWidth};
+    use pcisim::pcie::router::RouterConfig;
+    use pcisim::pcie::tlp::tlp_wire_bytes;
+    use pcisim::system::experiments::{run_cxl_experiment, CxlExperiment, CxlPlacement};
+    use pcisim::system::prelude::CxlExpanderConfig;
+    use pcisim::system::workload::cxl::{CxlHostConfig, CxlHostMode};
+
+    let chase = |placement| CxlExperiment {
+        placement,
+        mode: CxlHostMode::PointerChase,
+        requests: 32,
+        chain_blocks: 16,
+        ..CxlExperiment::default()
+    };
+    let local = run_cxl_experiment(&chase(CxlPlacement::LocalDram));
+    let direct = run_cxl_experiment(&chase(CxlPlacement::Direct));
+    let switched = run_cxl_experiment(&chase(CxlPlacement::BehindSwitch));
+    for o in [&local, &direct, &switched] {
+        assert!(o.completed);
+        // A serial chase over an idle fabric: every hop costs the same.
+        assert_eq!(o.min_ns.to_bits(), o.max_ns.to_bits(), "hop latency must be constant");
+    }
+
+    // The span sums, in picosecond ticks, from the very configs the
+    // presets are built with.
+    let cpu = CxlHostConfig::default().cpu_overhead;
+    let membus = 2 * ns(5); // builder membus_frontend, request + response
+    let dram = ns(30) + 64 * TICKS_PER_SEC / 25_600_000_000; // latency + 64 B transfer
+    let local_hop = cpu + membus + dram;
+
+    let link = LinkConfig::new(Generation::Gen3, LinkWidth::X8); // the presets' CXL link
+    let router = RouterConfig::default().latency; // RC and switch alike
+    let req_tx = link.tx_time(tlp_wire_bytes(0)); // CxlMemRd carries no payload
+    let drs_tx = link.tx_time(tlp_wire_bytes(64)); // 64 B CxlMemDrs
+    let expander = CxlExpanderConfig::default();
+    let access = expander.access_latency + 64 * TICKS_PER_SEC / expander.bytes_per_sec;
+    let direct_hop = cpu + membus + 2 * router + req_tx + drs_tx + access;
+    // One more store-and-forward hop each way: switch latency plus the
+    // extra link's serialization.
+    let switch_extra = 2 * router + req_tx + drs_tx;
+
+    assert_eq!(local.min_ns.to_bits(), to_ns(local_hop).to_bits(), "local DRAM span sum");
+    assert_eq!(direct.min_ns.to_bits(), to_ns(direct_hop).to_bits(), "CXL direct span sum");
+    assert_eq!(
+        switched.min_ns.to_bits(),
+        to_ns(direct_hop + switch_extra).to_bits(),
+        "behind-switch span sum"
+    );
+}
+
 /// Topology contention sweeps parallelize like every other sweep:
 /// `--jobs N` over shared-vs-split experiments is bit-identical to the
 /// serial reference.

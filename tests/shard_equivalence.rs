@@ -167,6 +167,143 @@ fn mixed_tree_at_four_shards() {
     mixed_tree_at(4);
 }
 
+// --- CXL.mem expanders across shard cuts -----------------------------------
+
+use pcisim::devices::cxl::CxlExpanderConfig;
+use pcisim::system::workload::cxl::{CxlHostConfig, CxlHostMode};
+
+/// A mixed tree with two expanders: `mem0` shares a switch with a disk
+/// on the first root port (the partitioner keeps it with the host shard
+/// or cuts the switch link, depending on the shard count), `mem1` hangs
+/// directly off the third root port (cut from the host at 2+ shards).
+fn cxl_mixed_tree() -> Topology {
+    let x4 = || LinkConfig::new(Generation::Gen3, LinkWidth::X4);
+    let fan = Node::Switch {
+        config: RouterConfig::default(),
+        name: None,
+        ports: vec![
+            Some(Attachment::new(
+                x4(),
+                Node::endpoint("mem0", DeviceSpec::CxlExpander(CxlExpanderConfig::default())),
+            )),
+            Some(Attachment::new(
+                x4(),
+                Node::endpoint("disk_fan", DeviceSpec::Disk(IdeDiskConfig::default())),
+            )),
+        ],
+    };
+    Topology::new(
+        RouterConfig::default(),
+        vec![
+            Some(Attachment::new(x4(), fan)),
+            Some(Attachment::new(
+                x4(),
+                Node::endpoint("disk_root", DeviceSpec::Disk(IdeDiskConfig::default())),
+            )),
+            Some(Attachment::new(
+                x4(),
+                Node::endpoint("mem1", DeviceSpec::CxlExpander(CxlExpanderConfig::default())),
+            )),
+        ],
+    )
+}
+
+/// One stream per expander, alternating open-loop load/store mixes with
+/// pointer chases so both datapaths cross the shard cut.
+fn cxl_host_config(index: usize) -> CxlHostConfig {
+    if index.is_multiple_of(2) {
+        CxlHostConfig {
+            mode: CxlHostMode::OpenLoop,
+            requests: 48,
+            write_every: 3,
+            ..CxlHostConfig::default()
+        }
+    } else {
+        CxlHostConfig {
+            mode: CxlHostMode::PointerChase,
+            requests: 40,
+            chain_blocks: 16,
+            ..CxlHostConfig::default()
+        }
+    }
+}
+
+fn cxl_serial_run(topo: Topology) -> RunResult {
+    let mut sys = build_topology(topo.with_tracing());
+    let mut cxls = Vec::new();
+    let mut dds = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        if sys.endpoints[i].is_cxl {
+            cxls.push(sys.attach_cxl_host(i, cxl_host_config(cxls.len())));
+        } else if sys.endpoints[i].is_disk {
+            dds.push(sys.attach_dd(i, DdConfig { block_bytes: DD_BLOCK, ..DdConfig::default() }));
+        }
+    }
+    sys.sim.run(TICKS_PER_SEC, u64::MAX);
+    let mut reports = Vec::new();
+    reports.extend(cxls.iter().map(|r| (r.borrow().done, r.borrow().completed)));
+    reports.extend(dds.iter().map(|r| (r.borrow().done, r.borrow().bytes)));
+    RunResult {
+        now: sys.sim.now(),
+        events: sys.sim.events_processed(),
+        fnv: stats_fnv(&sys.sim.stats()),
+        trace: sys.sim.take_trace(),
+        reports,
+    }
+}
+
+fn cxl_sharded_run(topo: Topology, shards: usize) -> RunResult {
+    let mut sys = build_topology_sharded(topo.with_tracing(), shards);
+    let mut cxls = Vec::new();
+    let mut dds = Vec::new();
+    for i in 0..sys.endpoints.len() {
+        if sys.endpoints[i].is_cxl {
+            cxls.push(sys.attach_cxl_host(i, cxl_host_config(cxls.len())));
+        } else if sys.endpoints[i].is_disk {
+            dds.push(sys.attach_dd(i, DdConfig { block_bytes: DD_BLOCK, ..DdConfig::default() }));
+        }
+    }
+    let mut driver = sys.into_driver();
+    driver.run(TICKS_PER_SEC, u64::MAX);
+    let mut reports = Vec::new();
+    reports.extend(cxls.iter().map(|r| (r.borrow().done, r.borrow().completed)));
+    reports.extend(dds.iter().map(|r| (r.borrow().done, r.borrow().bytes)));
+    RunResult {
+        now: driver.now(),
+        events: driver.events_processed(),
+        fnv: stats_fnv(&driver.stats()),
+        trace: driver.take_trace(),
+        reports,
+    }
+}
+
+fn cxl_tree_at(shards: usize) {
+    let serial = cxl_serial_run(cxl_mixed_tree());
+    let sharded = cxl_sharded_run(cxl_mixed_tree(), shards);
+    assert_bit_identical(&serial, &sharded, &format!("cxl tree at {shards} shards"));
+    // The workload actually ran: both expander streams finished.
+    assert!(serial.reports[..2].iter().all(|&(done, n)| done && n > 0));
+}
+
+/// Expander streams with the host on the same shard: 1-way partition.
+#[test]
+fn cxl_tree_at_one_shard() {
+    cxl_tree_at(1);
+}
+
+/// CXL.mem requests and completions cross a cut root-port link.
+#[test]
+fn cxl_tree_at_two_shards() {
+    cxl_tree_at(2);
+}
+
+/// Both expanders land away from the host shard; the switch fan-out is
+/// cut too.
+#[test]
+fn cxl_tree_at_four_shards() {
+    cxl_tree_at(4);
+}
+
 /// Derives a link configuration from one generator byte.
 fn link_for(b: u8) -> LinkConfig {
     let gens = [Generation::Gen1, Generation::Gen2, Generation::Gen3];

@@ -302,6 +302,54 @@ fn msix_moderation_checkpoint_restores_bit_identically() {
     }
 }
 
+/// Checkpoint a CXL.mem pointer chase in mid-flight — the chase's
+/// current hop, CXL.mem requests sitting in switch queues and the
+/// expander's bank/decoder state all live — restore into a *freshly
+/// built* tree and resume: the quiesce tick, statistics and PacketId
+/// allocator are bit-identical to the uninterrupted run, at several cut
+/// points.
+#[test]
+fn mid_pointer_chase_checkpoint_restores_bit_identically() {
+    use pcisim::devices::cxl::CxlExpanderConfig;
+    use pcisim::system::workload::cxl::{CxlHostConfig, CxlHostMode};
+
+    let build = || {
+        let mut sys = build_topology(Topology::cxl_behind_switch(CxlExpanderConfig::default()));
+        let report = sys.attach_cxl_host(
+            0,
+            CxlHostConfig {
+                mode: CxlHostMode::PointerChase,
+                requests: 96,
+                chain_blocks: 32,
+                ..CxlHostConfig::default()
+            },
+        );
+        (sys, report)
+    };
+
+    let (mut reference, ref_report) = build();
+    assert_eq!(reference.sim.run(MAX_TIME, MAX_EVENTS), RunOutcome::QueueEmpty);
+    assert!(ref_report.borrow().done, "reference chase must finish");
+    let ref_tick = reference.sim.now();
+    let ref_fnv = stats_fnv(&reference.sim.stats());
+    let ref_pid = reference.sim.packet_ids_allocated();
+
+    for frac in [25u64, 50, 75] {
+        let (mut interrupted, _) = build();
+        let outcome = interrupted.sim.run(ref_tick * frac / 100, MAX_EVENTS);
+        assert!(matches!(outcome, RunOutcome::TimeLimit | RunOutcome::QueueEmpty), "{outcome:?}");
+        let snap = interrupted.sim.checkpoint();
+
+        let (mut resumed, report) = build();
+        resumed.sim.restore(&snap).expect("mid-chase checkpoint restores");
+        assert_eq!(resumed.sim.run(MAX_TIME, MAX_EVENTS), RunOutcome::QueueEmpty);
+        assert!(report.borrow().done, "restored chase must finish at {frac}%");
+        assert_eq!(resumed.sim.now(), ref_tick, "quiesce tick at {frac}%");
+        assert_eq!(stats_fnv(&resumed.sim.stats()), ref_fnv, "stats fingerprint at {frac}%");
+        assert_eq!(resumed.sim.packet_ids_allocated(), ref_pid, "PacketId allocator at {frac}%");
+    }
+}
+
 #[test]
 fn truncated_checkpoints_are_rejected_with_typed_errors() {
     let mut built = warmed_validation(64 * 1024);
