@@ -7,7 +7,10 @@
 //! and a 4-shard fanout tree, shard counts stamped in the JSON next to
 //! the detected host core count), and two poll-mode NIC receive
 //! scenarios (busy-poll driver against the million-flow traffic source,
-//! serial and 2-shard), derives ops/sec and raw scheduler events/sec,
+//! serial and 2-shard), two CXL.mem scenarios (pointer chase, 2-way
+//! interleave), and two virtio scenarios (a QD8 virtio-blk read stream
+//! and a virtio-net MTU transmit), derives ops/sec and raw scheduler
+//! events/sec,
 //! and emits them together with per-sweep wall-clock times and host
 //! metadata. CI replays the measurement with `--bench-check` and fails
 //! on a >30% ops/sec regression against the checked-in file — or on any
@@ -285,13 +288,66 @@ fn run_cxl_interleave2() -> (u64, u64, f64) {
     (ops, sys.sim.events_processed(), secs)
 }
 
+/// Requests per virtio benchmark scenario.
+const VIRTIO_REQUESTS: u32 = 2048;
+
+/// virtio-blk read stream at queue depth 8: descriptor chains, avail/used
+/// ring DMA, payload bursts and completion interrupts all on the timed
+/// path (enumeration + driver probe included, like the MSI-X scenario).
+fn run_virtio_blk_qd8() -> (u64, u64, f64) {
+    use pcisim_system::prelude::*;
+    let mut sys = build_topology(Topology::virtio_blk_direct(VirtioConfig::default()));
+    let report = sys.attach_virtio(
+        0,
+        VirtioAppConfig {
+            requests: VIRTIO_REQUESTS,
+            queue_depth: 8,
+            request_bytes: 4096,
+            ..VirtioAppConfig::default()
+        },
+    );
+    let start = Instant::now();
+    sys.sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    let r = report.borrow();
+    assert!(r.done, "virtio-blk bench stream must complete");
+    assert_eq!(r.requests, u64::from(VIRTIO_REQUESTS));
+    (u64::from(VIRTIO_REQUESTS), sys.sim.events_processed(), secs)
+}
+
+/// virtio-net transmit: MTU-sized frames through the TX virtqueue and
+/// out a 10 Gb/s wire, the virtio counterpart of the e1000e scenarios.
+fn run_virtio_net_tx() -> (u64, u64, f64) {
+    use pcisim_system::prelude::*;
+    let mut sys = build_topology(Topology::virtio_net_direct(VirtioConfig {
+        class: VirtioClass::Net,
+        ..VirtioConfig::default()
+    }));
+    let report = sys.attach_virtio(
+        0,
+        VirtioAppConfig {
+            requests: VIRTIO_REQUESTS,
+            queue_depth: 8,
+            request_bytes: 1514,
+            ..VirtioAppConfig::default()
+        },
+    );
+    let start = Instant::now();
+    sys.sim.run_to_quiesce();
+    let secs = start.elapsed().as_secs_f64();
+    let r = report.borrow();
+    assert!(r.done, "virtio-net bench transmit must complete");
+    assert_eq!(r.requests, u64::from(VIRTIO_REQUESTS));
+    (u64::from(VIRTIO_REQUESTS), sys.sim.events_processed(), secs)
+}
+
 /// Runs the microbenchmark scenarios, best-of-`samples`, and returns the
 /// per-scenario rates. Build setup is excluded from the timed region
 /// (the MSI-X scenario's timed region does include enumeration and driver
 /// probe — they are part of the system datapath being measured).
 pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
     type Scenario = (&'static str, Option<u32>, fn() -> (u64, u64, f64));
-    let scenarios: [Scenario; 9] = [
+    let scenarios: [Scenario; 11] = [
         ("xbar_10k_reads", None, run_xbar_reads),
         ("link_10k_writes", None, run_link_writes),
         ("msix_4q_tx_10k_frames", None, run_msix_tx),
@@ -301,6 +357,8 @@ pub fn run_micro_benchmarks(samples: u32) -> Vec<MicroResult> {
         ("pmd_poll_sharded2_rx", Some(2), run_pmd_sharded2),
         ("cxl_pointer_chase", None, run_cxl_chase),
         ("cxl_interleave2", None, run_cxl_interleave2),
+        ("virtio_blk_qd8", None, run_virtio_blk_qd8),
+        ("virtio_net_tx", None, run_virtio_net_tx),
     ];
     scenarios
         .iter()
@@ -767,7 +825,7 @@ mod tests {
     #[test]
     fn micro_benchmarks_run_and_report_positive_rates() {
         let results = run_micro_benchmarks(1);
-        assert_eq!(results.len(), 9);
+        assert_eq!(results.len(), 11);
         for r in &results {
             assert!(r.ops_per_sec > 0.0, "{}: {r:?}", r.name);
             assert!(r.events_per_sec >= r.ops_per_sec, "{}: events >= ops", r.name);

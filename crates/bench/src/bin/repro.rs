@@ -4,7 +4,7 @@
 //! repro [--full] [--jobs N] [--shards N] [--warm-start] [--trace PATH]
 //!       [--checkpoint PATH] [--bench-json PATH] [--bench-check PATH]
 //!       [fig9a] [fig9b] [fig9c] [fig9d] [table2] [sector] [ext] [faults] [topology]
-//!       [msix] [pmd] [shard] [cxl] [all]
+//!       [msix] [pmd] [shard] [cxl] [virtio] [all]
 //! ```
 //!
 //! `ext` runs the extension experiments beyond the paper's evaluation:
@@ -37,6 +37,12 @@
 //! expander behind a switch (dependent pointer chase), and 2–4-way HDM
 //! interleaving aggregate bandwidth — asserting serial ≡ sharded
 //! bit-identity on the interleaved tree.
+//!
+//! `virtio` (alias `--virtio`) runs the virtio-over-PCIe experiment:
+//! virtio-blk against the IDE `dd` baseline on per-request latency,
+//! virtio-net transmit against the e1000e NIC on payload throughput,
+//! and a queue-depth sweep of the blk virtqueue — asserting serial ≡
+//! sharded bit-identity on the mixed blk + net + IDE fleet.
 //!
 //! `shard` (alias `--shard`) runs the shard-scaling experiment: the same
 //! multi-endpoint `dd` run partitioned across 1, 2, … worker shards
@@ -804,6 +810,126 @@ fn cxl(opts: &Opts) {
     );
 }
 
+/// The virtio-over-PCIe tables: virtio-blk vs the IDE `dd` baseline on
+/// per-request latency, virtio-net transmit vs the e1000e NIC on payload
+/// throughput, and a queue-depth sweep of the blk virtqueue, with
+/// serial-vs-sharded bit-identity asserted on the mixed-fleet tree.
+fn virtio(opts: &Opts) {
+    let requests: u32 = if opts.full { 512 } else { 128 };
+
+    println!("\n== Virtio: virtio-blk vs IDE — per-request completion latency ==");
+    println!("   4 KB reads, one request in flight; identical OS submit overhead");
+    let blk_arm = |arm| VirtioExperiment { arm, requests, ..VirtioExperiment::default() };
+    let lat_configs = vec![blk_arm(VirtioArm::IdeBaseline), blk_arm(VirtioArm::Blk)];
+    let lat_labels = ["IDE (PIO regs + INTx)", "virtio-blk (virtqueue)"];
+    let lat_outcomes = run_sweep(&lat_configs, opts.jobs, run_virtio_experiment);
+    for out in &lat_outcomes {
+        assert!(out.completed, "latency arm must complete: {out:?}");
+    }
+    assert!(
+        lat_outcomes[1].mean_ns < lat_outcomes[0].mean_ns,
+        "the paravirtual queue must beat the IDE register dance"
+    );
+    let ide_mean = lat_outcomes[0].mean_ns;
+    let mut rows = Vec::new();
+    for (label, out) in lat_labels.iter().zip(&lat_outcomes) {
+        rows.push(vec![
+            (*label).to_string(),
+            out.requests.to_string(),
+            format!("{:.0}", out.mean_ns),
+            format!("{:.0}", out.max_ns),
+            format!("{:.2}x", ide_mean / out.mean_ns),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["driver", "requests", "mean (ns)", "max (ns)", "speedup"], &rows)
+    );
+
+    println!("\n== Virtio: virtio-net TX vs e1000e — 1514 B frames, payload Gb/s ==");
+    println!("   both on a Gen2 x4 link with a 10 Gb/s wire; virtio at QD8 over MSI-X");
+    let nic = run_nic_tx_experiment(&NicTxExperiment {
+        width: LinkWidth::X4,
+        frames: requests,
+        ..NicTxExperiment::default()
+    });
+    assert!(nic.completed, "e1000e baseline must complete");
+    let vnet = |use_msix| VirtioExperiment {
+        arm: VirtioArm::NetTx,
+        requests,
+        queue_depth: 8,
+        request_bytes: 1514,
+        use_msix,
+        ..VirtioExperiment::default()
+    };
+    let net_configs = vec![vnet(false), vnet(true)];
+    let net_outcomes = run_sweep(&net_configs, opts.jobs, run_virtio_experiment);
+    for out in &net_outcomes {
+        assert!(out.completed, "net arm must complete: {out:?}");
+    }
+    let mut rows = vec![vec![
+        "e1000e (tail doorbell)".to_string(),
+        requests.to_string(),
+        format!("{:.3}", nic.throughput_gbps),
+        "-".to_string(),
+    ]];
+    for (label, out) in
+        ["virtio-net (INTx)", "virtio-net (MSI-X)"].iter().zip(&net_outcomes)
+    {
+        rows.push(vec![
+            (*label).to_string(),
+            out.requests.to_string(),
+            format!("{:.3}", out.gbps),
+            out.irqs.to_string(),
+        ]);
+    }
+    println!("{}", table::render(&["driver", "frames", "Gb/s", "irqs"], &rows));
+
+    println!("\n== Virtio: blk queue-depth sweep — 4 KB reads, one virtqueue ==");
+    const DEPTHS: [u32; 5] = [1, 2, 4, 8, 16];
+    let qd_configs: Vec<VirtioExperiment> = DEPTHS
+        .iter()
+        .map(|&queue_depth| VirtioExperiment {
+            queue_depth,
+            requests,
+            ..VirtioExperiment::default()
+        })
+        .collect();
+    let qd_outcomes = run_sweep(&qd_configs, opts.jobs, run_virtio_experiment);
+    let base = qd_outcomes[0].gbps;
+    let mut rows = Vec::new();
+    for (&qd, out) in DEPTHS.iter().zip(&qd_outcomes) {
+        assert!(out.completed, "queue-depth point must complete: {out:?}");
+        rows.push(vec![
+            qd.to_string(),
+            format!("{:.0}", out.mean_ns),
+            format!("{:.3}", out.gbps),
+            out.irqs.to_string(),
+            format!("{:.2}x", out.gbps / base),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["depth", "mean (ns)", "Gb/s", "irqs", "vs QD1"], &rows)
+    );
+
+    println!("\n== Virtio: identity check on the mixed fleet (blk + net + IDE) ==");
+    let mixed = VirtioExperiment {
+        arm: VirtioArm::Mixed,
+        requests: 32,
+        queue_depth: 2,
+        ..VirtioExperiment::default()
+    };
+    let serial = run_virtio_sharded(&mixed, 1);
+    let sharded = run_virtio_sharded(&mixed, 2);
+    assert!(serial.completed, "mixed fleet must complete: {serial:?}");
+    assert_eq!(serial, sharded, "sharded virtio must reproduce the serial run bit-for-bit");
+    println!(
+        "   serial == 2-shard: quiesce tick {}, stats fnv {:#018x}",
+        serial.quiesce_tick, serial.stats_fnv
+    );
+}
+
 /// The shard-scaling tables: the same multi-endpoint `dd` run partitioned
 /// across 1, 2, … worker shards with conservative link-lookahead sync.
 /// Every shard count must reproduce the serial quiesce tick and stats FNV
@@ -1145,6 +1271,9 @@ fn main() {
     }
     if run_all || picked.contains(&"cxl") || picked.contains(&"--cxl") {
         timed("cxl", &cxl);
+    }
+    if run_all || picked.contains(&"virtio") || picked.contains(&"--virtio") {
+        timed("virtio", &virtio);
     }
     if let Some(path) = trace_path {
         trace_dump(&path);

@@ -84,6 +84,13 @@ pub const IDE_DEVICE_TABLE: &[(u16, u16)] = &[(0x8086, 0x2922)];
 /// Device table for the CXL.mem memory expander.
 pub const CXL_DEVICE_TABLE: &[(u16, u16)] = &[(0x8086, 0x0cab)];
 
+/// Device table for the virtio-blk endpoint (modern virtio-pci IDs:
+/// 0x1040 + device type 2).
+pub const VIRTIO_BLK_DEVICE_TABLE: &[(u16, u16)] = &[(0x1af4, 0x1042)];
+
+/// Device table for the virtio-net endpoint (0x1040 + device type 1).
+pub const VIRTIO_NET_DEVICE_TABLE: &[(u16, u16)] = &[(0x1af4, 0x1041)];
+
 /// What the probing driver should do about MSI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsiPolicy {
@@ -215,6 +222,24 @@ pub fn ide_probe<A: ConfigAccess>(
     report: &EnumerationReport,
 ) -> Result<ProbeInfo, ProbeError> {
     probe(access, report, IDE_DEVICE_TABLE)
+}
+
+/// The virtio-blk probe: modern virtio-pci devices advertise MSI-X, so
+/// the driver requests it and only falls back to INTx if the enable
+/// bounces.
+pub fn virtio_blk_probe<A: ConfigAccess>(
+    access: &mut A,
+    report: &EnumerationReport,
+) -> Result<ProbeInfo, ProbeError> {
+    probe_with_policy(access, report, VIRTIO_BLK_DEVICE_TABLE, MsiPolicy::RequestMsix)
+}
+
+/// The virtio-net probe (same MSI-X-first policy as virtio-blk).
+pub fn virtio_net_probe<A: ConfigAccess>(
+    access: &mut A,
+    report: &EnumerationReport,
+) -> Result<ProbeInfo, ProbeError> {
+    probe_with_policy(access, report, VIRTIO_NET_DEVICE_TABLE, MsiPolicy::RequestMsix)
 }
 
 #[cfg(test)]

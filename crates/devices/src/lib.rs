@@ -14,7 +14,10 @@
 //!   capability walk, legacy-interrupt fallback);
 //! * [`intc`] — a minimal interrupt controller terminating INTx messages;
 //! * [`traffic`] — deterministic open-loop traffic generation and binary
-//!   trace replay feeding the NIC's receive path.
+//!   trace replay feeding the NIC's receive path;
+//! * [`virtio`] — a virtio-pci transport (modern capability layout) with
+//!   virtio-blk and virtio-net device classes whose virtqueues live in
+//!   host DRAM and are walked entirely through simulated TLPs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,18 +28,25 @@ pub mod ide;
 pub mod intc;
 pub mod nic;
 pub mod traffic;
+pub mod virtio;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::cxl::{
         CxlExpander, CxlExpanderConfig, CXL_DEVICE_ID, CXL_DMA_PORT, CXL_PIO_PORT,
     };
-    pub use crate::driver::{e1000e_probe, ide_probe, InterruptMode, ProbeInfo};
+    pub use crate::driver::{
+        e1000e_probe, ide_probe, virtio_blk_probe, virtio_net_probe, InterruptMode, ProbeInfo,
+    };
     pub use crate::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
     pub use crate::intc::{InterruptController, INTC_FABRIC_PORT};
     pub use crate::nic::{Nic, NicConfig, NIC_DEVICE_ID, NIC_DMA_PORT, NIC_PIO_PORT};
     pub use crate::traffic::{
         record_trace, ArrivalProcess, FrameEvent, SizeDist, TrafficConfig, TrafficFeed, TrafficGen,
         TrafficSpec,
+    };
+    pub use crate::virtio::{
+        Virtio, VirtioClass, VirtioConfig, VIRTIO_BLK_DEVICE_ID, VIRTIO_DMA_PORT,
+        VIRTIO_NET_DEVICE_ID, VIRTIO_PIO_PORT, VIRTIO_VENDOR_ID,
     };
 }

@@ -7,7 +7,7 @@
 //! need memory to be fast enough never to be the bottleneck, which the
 //! defaults guarantee.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::addr::AddrRange;
 use crate::component::{Component, Event, PortId, RecvResult};
@@ -29,6 +29,7 @@ pub struct DramBuilder {
     latency: Tick,
     bytes_per_sec: u64,
     max_outstanding: usize,
+    functional: bool,
 }
 
 impl DramBuilder {
@@ -51,6 +52,16 @@ impl DramBuilder {
         self
     }
 
+    /// Makes the memory functional: write payloads are retained in a
+    /// sparse block store and reads return them. The default (timing-only)
+    /// memory discards writes and reads back zeroes, which is all the
+    /// bandwidth experiments need; virtqueues, whose descriptor rings are
+    /// genuinely walked through DMA, require the contents to survive.
+    pub fn functional(mut self, yes: bool) -> Self {
+        self.functional = yes;
+        self
+    }
+
     /// Builds the memory model.
     pub fn build(self) -> Dram {
         Dram {
@@ -64,12 +75,17 @@ impl DramBuilder {
             blocked_resp: VecDeque::new(),
             waiting_retry: false,
             owe_retry: false,
+            functional: self.functional,
+            store: BTreeMap::new(),
             reads: Counter::new(),
             writes: Counter::new(),
             bytes: Counter::new(),
         }
     }
 }
+
+/// Granularity of the sparse functional store.
+const STORE_BLOCK: u64 = 64;
 
 /// Fixed-latency, bandwidth-limited memory.
 #[derive(Debug)]
@@ -84,6 +100,8 @@ pub struct Dram {
     blocked_resp: VecDeque<Packet>,
     waiting_retry: bool,
     owe_retry: bool,
+    functional: bool,
+    store: BTreeMap<u64, Vec<u8>>,
     reads: Counter,
     writes: Counter,
     bytes: Counter,
@@ -99,12 +117,46 @@ impl Dram {
             latency: crate::tick::ns(30),
             bytes_per_sec: 25_600_000_000,
             max_outstanding: 32,
+            functional: false,
         }
     }
 
     /// The address range this memory claims.
     pub fn range(&self) -> AddrRange {
         self.range
+    }
+
+    /// Whether write payloads are retained (see [`DramBuilder::functional`]).
+    pub fn is_functional(&self) -> bool {
+        self.functional
+    }
+
+    fn store_write(&mut self, addr: u64, data: &[u8]) {
+        let mut pos = 0;
+        while pos < data.len() {
+            let at = addr + pos as u64;
+            let block = at / STORE_BLOCK * STORE_BLOCK;
+            let off = (at - block) as usize;
+            let n = data.len().min(pos + (STORE_BLOCK as usize - off)) - pos;
+            let buf = self.store.entry(block).or_insert_with(|| vec![0; STORE_BLOCK as usize]);
+            buf[off..off + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    fn store_read(&self, addr: u64, out: &mut [u8]) {
+        let mut pos = 0;
+        while pos < out.len() {
+            let at = addr + pos as u64;
+            let block = at / STORE_BLOCK * STORE_BLOCK;
+            let off = (at - block) as usize;
+            let n = out.len().min(pos + (STORE_BLOCK as usize - off)) - pos;
+            match self.store.get(&block) {
+                Some(buf) => out[pos..pos + n].copy_from_slice(&buf[off..off + n]),
+                None => out[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
@@ -182,6 +234,9 @@ impl Component for Dram {
         // to the pool so the next DMA burst reuses them.
         if pkt.cmd().is_write() {
             if let Some(buf) = pkt.take_payload() {
+                if self.functional {
+                    self.store_write(pkt.addr(), &buf);
+                }
                 ctx.recycle_payload(buf);
             }
         }
@@ -191,7 +246,11 @@ impl Component for Dram {
         }
         let resp = if pkt.cmd().is_read() {
             let size = pkt.size() as usize;
-            let data = ctx.alloc_payload(size);
+            let mut data = ctx.alloc_payload(size);
+            if self.functional {
+                let addr = pkt.addr();
+                self.store_read(addr, &mut data);
+            }
             pkt.into_read_response(data)
         } else {
             pkt.into_response()
@@ -220,6 +279,15 @@ impl Component for Dram {
         self.reads.encode(w);
         self.writes.encode(w);
         self.bytes.encode(w);
+        // The store is appended only for functional memories, so timing-only
+        // checkpoints keep their pre-existing byte layout.
+        if self.functional {
+            w.usize(self.store.len());
+            for (&block, buf) in &self.store {
+                w.u64(block);
+                w.bytes(buf);
+            }
+        }
     }
 
     fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
@@ -231,6 +299,21 @@ impl Component for Dram {
         self.reads = Counter::decode(r)?;
         self.writes = Counter::decode(r)?;
         self.bytes = Counter::decode(r)?;
+        if self.functional {
+            self.store.clear();
+            let n = r.usize()?;
+            for _ in 0..n {
+                let block = r.u64()?;
+                let buf = r.bytes()?.to_vec();
+                if buf.len() != STORE_BLOCK as usize {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "dram store block of {} bytes",
+                        buf.len()
+                    )));
+                }
+                self.store.insert(block, buf);
+            }
+        }
         Ok(())
     }
 }
@@ -305,5 +388,46 @@ mod tests {
     #[should_panic(expected = "outside memory range")]
     fn out_of_range_access_panics() {
         let _ = run_dram(vec![(Command::ReadReq, 0x100, 4)], ns(30), 0);
+    }
+
+    #[test]
+    fn functional_store_roundtrips_unaligned_spans() {
+        let mut d = Dram::builder("dram", AddrRange::with_size(BASE, 0x1000_0000))
+            .functional(true)
+            .build();
+        // A write straddling three 64 B blocks, at an unaligned offset.
+        let data: Vec<u8> = (0..150u8).collect();
+        d.store_write(BASE + 37, &data);
+        let mut back = vec![0xAA; 150];
+        d.store_read(BASE + 37, &mut back);
+        assert_eq!(back, data);
+        // Untouched bytes read as zero.
+        let mut hole = vec![0xAA; 8];
+        d.store_read(BASE + 0x9000, &mut hole);
+        assert_eq!(hole, vec![0; 8]);
+        // Overlapping rewrite wins.
+        d.store_write(BASE + 40, &[0xFF; 4]);
+        let mut again = vec![0; 8];
+        d.store_read(BASE + 37, &mut again);
+        assert_eq!(again, [0, 1, 2, 0xFF, 0xFF, 0xFF, 0xFF, 7]);
+    }
+
+    #[test]
+    fn functional_store_survives_snapshot() {
+        let mut d = Dram::builder("dram", AddrRange::with_size(BASE, 0x1000_0000))
+            .functional(true)
+            .build();
+        d.store_write(BASE + 0x100, &[1, 2, 3, 4]);
+        let mut w = StateWriter::new();
+        d.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = Dram::builder("dram", AddrRange::with_size(BASE, 0x1000_0000))
+            .functional(true)
+            .build();
+        let mut r = StateReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        let mut back = vec![0; 4];
+        fresh.store_read(BASE + 0x100, &mut back);
+        assert_eq!(back, [1, 2, 3, 4]);
     }
 }

@@ -156,6 +156,11 @@ pub enum TraceKind {
     Doorbell,
     /// A device raised an interrupt (arg = interrupt message address).
     Interrupt,
+    /// A virtqueue doorbell fired (arg = queue index).
+    VirtqueueNotify,
+    /// A descriptor chain was retired to the used ring (arg = head
+    /// descriptor index).
+    VirtqueueUsed,
 }
 
 impl TraceKind {
@@ -182,10 +187,12 @@ impl TraceKind {
             TraceKind::DmaWrite => "dma_write",
             TraceKind::Doorbell => "doorbell",
             TraceKind::Interrupt => "interrupt",
+            TraceKind::VirtqueueNotify => "vq_notify",
+            TraceKind::VirtqueueUsed => "vq_used",
         }
     }
 
-    const ALL_KINDS: [TraceKind; 20] = [
+    const ALL_KINDS: [TraceKind; 22] = [
         TraceKind::HopRequest,
         TraceKind::HopResponse,
         TraceKind::HopRefused,
@@ -206,6 +213,8 @@ impl TraceKind {
         TraceKind::DmaWrite,
         TraceKind::Doorbell,
         TraceKind::Interrupt,
+        TraceKind::VirtqueueNotify,
+        TraceKind::VirtqueueUsed,
     ];
 
     /// Stable wire encoding for checkpoints.
@@ -671,7 +680,11 @@ impl Stage {
             Stage::RootComplex
         } else if name.contains("switch") {
             Stage::Switch
-        } else if name.contains("nic") || name.contains("disk") {
+        } else if name.contains("nic")
+            || name.contains("disk")
+            || name.contains("vblk")
+            || name.contains("vnet")
+        {
             Stage::Device
         } else if name.contains("membus")
             || name.contains("iobus")

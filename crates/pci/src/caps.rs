@@ -86,6 +86,24 @@ pub enum Capability {
         /// Byte offset of the PBA within that BAR (8-byte aligned).
         pba_offset: u32,
     },
+    /// A vendor-specific capability in the virtio-pci layout: the
+    /// structure names a BAR-resident register block (`cfg_type` says
+    /// which — common config, notify, ISR or device config) so drivers
+    /// discover the transport by walking the chain rather than by
+    /// hard-coded offsets (virtio spec §4.1.4).
+    VendorSpecific {
+        /// Which structure this capability locates (common=1, notify=2,
+        /// ISR=3, device config=4).
+        cfg_type: u8,
+        /// BAR index holding the structure.
+        bar: u8,
+        /// Byte offset of the structure within that BAR.
+        offset: u32,
+        /// Byte length of the structure.
+        length: u32,
+        /// Trailing dword (the notify capability's offset multiplier).
+        extra: Option<u32>,
+    },
     /// The PCI-Express capability structure.
     PciExpress {
         /// Reported device/port type.
@@ -104,6 +122,7 @@ impl Capability {
             Capability::PowerManagement => cap_id::POWER_MANAGEMENT,
             Capability::MsiDisabled | Capability::MsiCapable => cap_id::MSI,
             Capability::MsixDisabled | Capability::MsixCapable { .. } => cap_id::MSI_X,
+            Capability::VendorSpecific { .. } => cap_id::VENDOR_SPECIFIC,
             Capability::PciExpress { .. } => cap_id::PCI_EXPRESS,
         }
     }
@@ -114,6 +133,8 @@ impl Capability {
             Capability::PowerManagement => 8,
             Capability::MsiDisabled | Capability::MsiCapable => 16,
             Capability::MsixDisabled | Capability::MsixCapable { .. } => 12,
+            Capability::VendorSpecific { extra: None, .. } => 16,
+            Capability::VendorSpecific { extra: Some(_), .. } => 20,
             Capability::PciExpress { port_type: PortType::Endpoint, .. } => pcie_cap::ENDPOINT_LEN,
             Capability::PciExpress { .. } => pcie_cap::LEN,
         }
@@ -175,6 +196,21 @@ impl Capability {
                 // Table / PBA locators: BIR in the low 3 bits, offset above.
                 cs.init_u32(offset + msix::TABLE, table_offset | u32::from(table_bar));
                 cs.init_u32(offset + msix::PBA, pba_offset | u32::from(pba_bar));
+            }
+            Capability::VendorSpecific { cfg_type, bar, offset: loc, length, extra } => {
+                assert!(bar < 6, "BIR must name a type-0 BAR (0..=5)");
+                assert!(cfg_type != 0, "cfg_type 0 is reserved");
+                // Layout per virtio spec §4.1.4: cap_len, cfg_type, bar,
+                // then (after 3 padding bytes) offset and length dwords,
+                // with the notify multiplier trailing when present.
+                cs.init_u8(offset + vendor_cap::CAP_LEN, self.len() as u8);
+                cs.init_u8(offset + vendor_cap::CFG_TYPE, cfg_type);
+                cs.init_u8(offset + vendor_cap::BAR, bar);
+                cs.init_u32(offset + vendor_cap::OFFSET, loc);
+                cs.init_u32(offset + vendor_cap::LENGTH, length);
+                if let Some(mult) = extra {
+                    cs.init_u32(offset + vendor_cap::EXTRA, mult);
+                }
             }
             Capability::PciExpress { port_type, generation, max_width } => {
                 assert!(
@@ -399,6 +435,55 @@ pub fn aer_status(cs: &ConfigSpace) -> (u32, u32) {
         Some(off) => (cs.read(off + aer::UNCOR_STATUS, 4), cs.read(off + aer::COR_STATUS, 4)),
         None => (0, 0),
     }
+}
+
+/// Offsets within a vendor-specific (virtio-pci) capability structure.
+pub mod vendor_cap {
+    /// Total structure length in bytes (u8).
+    pub const CAP_LEN: u16 = 0x02;
+    /// Structure type discriminator (u8).
+    pub const CFG_TYPE: u16 = 0x03;
+    /// BAR index (u8).
+    pub const BAR: u16 = 0x04;
+    /// Byte offset of the located structure within the BAR (u32).
+    pub const OFFSET: u16 = 0x08;
+    /// Byte length of the located structure (u32).
+    pub const LENGTH: u16 = 0x0c;
+    /// Trailing dword (notify offset multiplier) when `cap_len` is 20.
+    pub const EXTRA: u16 = 0x10;
+    /// `cfg_type` naming the common configuration structure.
+    pub const TYPE_COMMON: u8 = 1;
+    /// `cfg_type` naming the notify (doorbell) region.
+    pub const TYPE_NOTIFY: u8 = 2;
+    /// `cfg_type` naming the ISR status byte.
+    pub const TYPE_ISR: u8 = 3;
+    /// `cfg_type` naming the device-specific configuration structure.
+    pub const TYPE_DEVICE: u8 = 4;
+}
+
+/// One parsed vendor-specific structure locator:
+/// `(cfg_type, bar, offset, length, extra)`.
+pub type VendorStructure = (u8, u8, u32, u32, Option<u32>);
+
+/// Parses every vendor-specific capability in the chain into structure
+/// locators, in chain order (what a virtio driver does at probe).
+pub fn vendor_structures(cs: &ConfigSpace) -> Vec<VendorStructure> {
+    walk_capabilities(cs)
+        .into_iter()
+        .filter(|&(_, id)| id == cap_id::VENDOR_SPECIFIC)
+        .map(|(off, _)| {
+            let cap_len = cs.read(off + vendor_cap::CAP_LEN, 1) as u8;
+            let extra =
+                if cap_len >= 20 { Some(cs.read(off + vendor_cap::EXTRA, 4)) } else { None };
+            (
+                cs.read(off + vendor_cap::CFG_TYPE, 1) as u8,
+                cs.read(off + vendor_cap::BAR, 1) as u8,
+                cs.read(off + vendor_cap::OFFSET, 4),
+                cs.read(off + vendor_cap::LENGTH, 4),
+                extra,
+            )
+        })
+        .collect()
 }
 
 /// Offsets within a 64-bit MSI capability structure.
@@ -776,6 +861,94 @@ mod tests {
                     pba_bar: 0,
                     pba_offset: 0x1_8000,
                 },
+            )
+            .write_into(&mut cs);
+    }
+
+    #[test]
+    fn vendor_specific_chain_parses_back() {
+        let mut cs = ConfigSpace::new();
+        let first = CapChain::new()
+            .add(
+                0x40,
+                Capability::VendorSpecific {
+                    cfg_type: vendor_cap::TYPE_COMMON,
+                    bar: 0,
+                    offset: 0,
+                    length: 0x100,
+                    extra: None,
+                },
+            )
+            .add(
+                0x50,
+                Capability::VendorSpecific {
+                    cfg_type: vendor_cap::TYPE_NOTIFY,
+                    bar: 0,
+                    offset: 0x1000,
+                    length: 0x100,
+                    extra: Some(4),
+                },
+            )
+            .add(
+                0x64,
+                Capability::VendorSpecific {
+                    cfg_type: vendor_cap::TYPE_ISR,
+                    bar: 0,
+                    offset: 0x2000,
+                    length: 4,
+                    extra: None,
+                },
+            )
+            .write_into(&mut cs);
+        cs.init_u8(crate::regs::common::CAP_PTR, first);
+        let parsed = vendor_structures(&cs);
+        assert_eq!(
+            parsed,
+            vec![
+                (vendor_cap::TYPE_COMMON, 0, 0, 0x100, None),
+                (vendor_cap::TYPE_NOTIFY, 0, 0x1000, 0x100, Some(4)),
+                (vendor_cap::TYPE_ISR, 0, 0x2000, 4, None),
+            ]
+        );
+        // The trailing-dword variant really occupies 20 bytes: a cap at
+        // 0x50 with extra reaches 0x64, where the next one starts.
+        assert_eq!(cs.read(0x50 + vendor_cap::CAP_LEN, 1), 20);
+        assert_eq!(cs.read(0x40 + vendor_cap::CAP_LEN, 1), 16);
+    }
+
+    #[test]
+    fn vendor_specific_mixes_with_standard_caps() {
+        let mut cs = ConfigSpace::new();
+        let first = CapChain::new()
+            .add(
+                0x40,
+                Capability::VendorSpecific {
+                    cfg_type: vendor_cap::TYPE_DEVICE,
+                    bar: 2,
+                    offset: 0x3000,
+                    length: 0x40,
+                    extra: None,
+                },
+            )
+            .add(0xc8, Capability::PowerManagement)
+            .write_into(&mut cs);
+        cs.init_u8(crate::regs::common::CAP_PTR, first);
+        let walked = walk_capabilities(&cs);
+        assert_eq!(
+            walked,
+            vec![(0x40, cap_id::VENDOR_SPECIFIC), (0xc8, cap_id::POWER_MANAGEMENT)]
+        );
+        assert_eq!(vendor_structures(&cs), vec![(vendor_cap::TYPE_DEVICE, 2, 0x3000, 0x40, None)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cfg_type 0 is reserved")]
+    fn vendor_specific_rejects_reserved_type() {
+        let mut cs = ConfigSpace::new();
+        CapChain::new()
+            .add(
+                0x40,
+                Capability::VendorSpecific { cfg_type: 0, bar: 0, offset: 0, length: 4, extra: None },
             )
             .write_into(&mut cs);
     }

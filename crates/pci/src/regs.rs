@@ -145,6 +145,8 @@ pub mod cap_id {
     pub const POWER_MANAGEMENT: u8 = 0x01;
     /// Message-signaled interrupts.
     pub const MSI: u8 = 0x05;
+    /// Vendor-specific capability (carries virtio structure locations).
+    pub const VENDOR_SPECIFIC: u8 = 0x09;
     /// PCI-Express capability.
     pub const PCI_EXPRESS: u8 = 0x10;
     /// MSI-X.

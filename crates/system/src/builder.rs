@@ -14,6 +14,7 @@ use pcisim_devices::driver::{ide_probe, ProbeInfo};
 use pcisim_devices::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
 use pcisim_devices::intc::{InterruptController, INTC_FABRIC_PORT};
 use pcisim_devices::nic::NicConfig;
+use pcisim_devices::virtio::VirtioConfig;
 use pcisim_kernel::component::{ComponentId, PortId};
 use pcisim_kernel::dram::{Dram, DRAM_PORT};
 use pcisim_kernel::iocache::{IoCache, IOCACHE_DEV_SIDE, IOCACHE_MEM_SIDE};
@@ -54,6 +55,9 @@ pub enum DeviceSpec {
     Nic(NicConfig),
     /// The CXL.mem memory expander (the `repro cxl` experiments).
     CxlExpander(CxlExpanderConfig),
+    /// A virtio-pci function — blk or net by
+    /// [`VirtioConfig::class`] (the `repro virtio` experiments).
+    Virtio(VirtioConfig),
 }
 
 /// Every knob of the full system.

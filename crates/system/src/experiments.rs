@@ -1963,3 +1963,323 @@ mod cxl_tests {
         assert_eq!(serial, sharded, "shard count must not perturb the cxl run");
     }
 }
+
+use crate::workload::virtio::{VirtioAppConfig, VirtioReportHandle};
+use pcisim_devices::virtio::{VirtioClass, VirtioConfig};
+
+/// Which tree and guest driver one `repro virtio` arm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtioArm {
+    /// virtio-blk directly on root port 0, driven by the virtqueue guest
+    /// driver.
+    Blk,
+    /// The paper's validation IDE chain driven by `dd` with the same
+    /// request size and per-submission OS overhead — the latency
+    /// baseline the blk table compares against.
+    IdeBaseline,
+    /// virtio-net transmit directly on root port 0 (Gen 2 x4, 10 Gb/s
+    /// wire), frames fetched chain by chain over DMA.
+    NetTx,
+    /// The mixed-fleet preset: vblk0 and vnet0 behind one switch, an
+    /// IDE disk on the second root port, all three drivers concurrent.
+    Mixed,
+}
+
+/// Parameters of one `repro virtio` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtioExperiment {
+    /// Tree and driver selection.
+    pub arm: VirtioArm,
+    /// Descriptor chains (or IDE commands) pushed through each driver.
+    pub requests: u32,
+    /// Chains kept in flight by the virtio driver.
+    pub queue_depth: u32,
+    /// Payload bytes per chain (blk transfer or net frame).
+    pub request_bytes: u32,
+    /// Blk: submit writes instead of reads.
+    pub write: bool,
+    /// Deliver completions over per-queue MSI-X vectors instead of
+    /// INTx (single-endpoint arms only).
+    pub use_msix: bool,
+    /// Virtio device model knobs (class is overridden per arm).
+    pub device: VirtioConfig,
+}
+
+impl Default for VirtioExperiment {
+    fn default() -> Self {
+        Self {
+            arm: VirtioArm::Blk,
+            requests: 64,
+            queue_depth: 1,
+            request_bytes: 4096,
+            write: false,
+            use_msix: false,
+            device: VirtioConfig::default(),
+        }
+    }
+}
+
+/// Measurements from one `repro virtio` run. Derives `PartialEq` so the
+/// serial-vs-sharded identity assert can compare whole outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtioOutcome {
+    /// Mean submission-to-retirement latency, in ns. For the IDE
+    /// baseline this is the aggregate per-command mean (`dd` keeps no
+    /// per-command samples), and min == mean == max.
+    pub mean_ns: f64,
+    /// Fastest chain, in ns.
+    pub min_ns: f64,
+    /// Slowest chain, in ns.
+    pub max_ns: f64,
+    /// Aggregate payload throughput across all drivers, in Gb/s.
+    pub gbps: f64,
+    /// Chains retired (plus IDE commands completed), all drivers.
+    pub requests: u64,
+    /// Completion interrupts taken by the virtio drivers.
+    pub irqs: u64,
+    /// Tick the run quiesced at (identity anchor).
+    pub quiesce_tick: Tick,
+    /// [`stats_fnv`] of the final counters (identity anchor).
+    pub stats_fnv: u64,
+    /// Whether every driver finished and the run drained.
+    pub completed: bool,
+}
+
+fn virtio_app_config(exp: &VirtioExperiment) -> VirtioAppConfig {
+    VirtioAppConfig {
+        requests: exp.requests,
+        queue_depth: exp.queue_depth,
+        request_bytes: exp.request_bytes,
+        write: exp.write,
+        use_msix: exp.use_msix,
+        queue_size: exp.device.queue_size,
+        capacity_sectors: exp.device.capacity_sectors,
+        ..VirtioAppConfig::default()
+    }
+}
+
+fn collect_virtio_outcome(
+    stats: &pcisim_kernel::stats::StatsSnapshot,
+    virtio: &[VirtioReportHandle],
+    dd: Option<&DdReportHandle>,
+    quiesce_tick: Tick,
+    drained: bool,
+    expected_requests: u64,
+) -> VirtioOutcome {
+    use pcisim_kernel::tick::to_ns;
+    let mut requests = 0u64;
+    let mut irqs = 0u64;
+    let mut gbps = 0.0;
+    let mut lat_sum: Tick = 0;
+    let mut lat_min: Option<Tick> = None;
+    let mut lat_max: Tick = 0;
+    let mut done = true;
+    for report in virtio {
+        let r = report.borrow();
+        requests += r.requests;
+        irqs += r.irqs;
+        gbps += r.throughput_gbps();
+        lat_sum += r.lat_sum;
+        if r.requests > 0 {
+            lat_min = Some(lat_min.map_or(r.lat_min, |m| m.min(r.lat_min)));
+            lat_max = lat_max.max(r.lat_max);
+        }
+        done &= r.done;
+    }
+    let virtio_chains = requests;
+    let (mean_ns, min_ns, max_ns) = if virtio_chains > 0 {
+        (
+            to_ns(lat_sum) / virtio_chains as f64,
+            lat_min.map_or(0.0, to_ns),
+            to_ns(lat_max),
+        )
+    } else if let Some(report) = dd {
+        // `dd` reports only the aggregate window; spread it evenly.
+        let r = report.borrow();
+        let per = if r.commands == 0 {
+            0.0
+        } else {
+            to_ns(r.end.saturating_sub(r.start)) / r.commands as f64
+        };
+        (per, per, per)
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+    if let Some(report) = dd {
+        let r = report.borrow();
+        requests += r.commands;
+        gbps += r.throughput_gbps();
+        done &= r.done;
+    }
+    VirtioOutcome {
+        mean_ns,
+        min_ns,
+        max_ns,
+        gbps,
+        requests,
+        irqs,
+        quiesce_tick,
+        stats_fnv: stats_fnv(stats),
+        completed: done && drained && requests >= expected_requests,
+    }
+}
+
+/// Runs the experiment under the sharded driver; `shards == 1` is the
+/// serial baseline, and the whole outcome — latencies, throughput,
+/// quiesce tick, stats FNV — must be identical at every shard count.
+pub fn run_virtio_sharded(exp: &VirtioExperiment, shards: usize) -> VirtioOutcome {
+    let mut virtio_reports = Vec::new();
+    let mut dd_report = None;
+    let mut expected = u64::from(exp.requests);
+    let topo = match exp.arm {
+        VirtioArm::Blk => crate::topology::Topology::virtio_blk_direct(exp.device.clone()),
+        VirtioArm::NetTx => crate::topology::Topology::virtio_net_direct(VirtioConfig {
+            class: VirtioClass::Net,
+            ..exp.device.clone()
+        }),
+        VirtioArm::IdeBaseline => crate::topology::Topology::validation(),
+        VirtioArm::Mixed => crate::topology::Topology::virtio_mixed(
+            VirtioConfig { class: VirtioClass::Blk, ..exp.device.clone() },
+            VirtioConfig { class: VirtioClass::Net, ..exp.device.clone() },
+        ),
+    };
+    let mut topo = topo;
+    topo.use_msix = exp.use_msix;
+    let mut sys = crate::topology::build_topology_sharded(topo, shards);
+    match exp.arm {
+        VirtioArm::Blk | VirtioArm::NetTx => {
+            virtio_reports.push(sys.attach_virtio(0, virtio_app_config(exp)));
+        }
+        VirtioArm::IdeBaseline => {
+            assert!(!exp.use_msix, "the IDE baseline is INTx-only");
+            assert!(
+                exp.request_bytes % 4096 == 0,
+                "IDE commands move whole 4 KB sectors"
+            );
+            let sectors = exp.request_bytes / 4096;
+            dd_report = Some(sys.attach_dd(
+                0,
+                DdConfig {
+                    block_bytes: u64::from(exp.requests) * u64::from(exp.request_bytes),
+                    blocks: 1,
+                    request_sectors: sectors,
+                    os_request_overhead: VirtioAppConfig::default().os_submit_overhead,
+                    ..DdConfig::default()
+                },
+            ));
+        }
+        VirtioArm::Mixed => {
+            assert!(!exp.use_msix, "multi-endpoint trees are INTx-only");
+            virtio_reports.push(sys.attach_virtio(0, virtio_app_config(exp)));
+            virtio_reports.push(sys.attach_virtio(
+                1,
+                VirtioAppConfig { request_bytes: 1514, ..virtio_app_config(exp) },
+            ));
+            let dd = sys.attach_dd(
+                2,
+                DdConfig { block_bytes: 64 * 1024, ..DdConfig::default() },
+            );
+            expected = 2 * u64::from(exp.requests) + 64 * 1024 / (32 * 4096);
+            dd_report = Some(dd);
+        }
+    }
+    let mut driver = sys.into_driver();
+    let outcome = driver.run(MAX_TIME, MAX_EVENTS);
+    collect_virtio_outcome(
+        &driver.stats(),
+        &virtio_reports,
+        dd_report.as_ref(),
+        driver.now(),
+        outcome == RunOutcome::QueueEmpty,
+        expected,
+    )
+}
+
+/// Runs the experiment serially (the common case for the sweep tables).
+pub fn run_virtio_experiment(exp: &VirtioExperiment) -> VirtioOutcome {
+    run_virtio_sharded(exp, 1)
+}
+
+#[cfg(test)]
+mod virtio_exp_tests {
+    use super::*;
+
+    #[test]
+    fn virtio_blk_beats_the_ide_baseline_on_per_request_latency() {
+        let blk = run_virtio_experiment(&VirtioExperiment {
+            requests: 32,
+            ..VirtioExperiment::default()
+        });
+        let ide = run_virtio_experiment(&VirtioExperiment {
+            arm: VirtioArm::IdeBaseline,
+            requests: 32,
+            ..VirtioExperiment::default()
+        });
+        assert!(blk.completed, "{blk:?}");
+        assert!(ide.completed, "{ide:?}");
+        assert!(blk.mean_ns > 0.0 && ide.mean_ns > 0.0);
+        assert!(
+            blk.mean_ns < ide.mean_ns,
+            "paravirtual blk must beat the IDE PIO register dance: {} vs {}",
+            blk.mean_ns,
+            ide.mean_ns
+        );
+    }
+
+    #[test]
+    fn deeper_queues_raise_blk_throughput() {
+        let at = |queue_depth| {
+            run_virtio_experiment(&VirtioExperiment {
+                queue_depth,
+                requests: 48,
+                ..VirtioExperiment::default()
+            })
+        };
+        let qd1 = at(1);
+        let qd8 = at(8);
+        assert!(qd1.completed && qd8.completed);
+        assert!(
+            qd8.gbps > qd1.gbps,
+            "queue depth must buy throughput: {} vs {}",
+            qd8.gbps,
+            qd1.gbps
+        );
+    }
+
+    #[test]
+    fn net_tx_is_within_reach_of_the_wire_and_msix_matches_intx_payload() {
+        let intx = run_virtio_experiment(&VirtioExperiment {
+            arm: VirtioArm::NetTx,
+            requests: 64,
+            queue_depth: 8,
+            request_bytes: 1514,
+            ..VirtioExperiment::default()
+        });
+        assert!(intx.completed, "{intx:?}");
+        assert!(intx.gbps > 1.0, "tx must stream: {intx:?}");
+        let msix = run_virtio_experiment(&VirtioExperiment {
+            arm: VirtioArm::NetTx,
+            requests: 64,
+            queue_depth: 8,
+            request_bytes: 1514,
+            use_msix: true,
+            ..VirtioExperiment::default()
+        });
+        assert!(msix.completed, "{msix:?}");
+        assert_eq!(msix.requests, intx.requests);
+    }
+
+    #[test]
+    fn mixed_fleet_is_bit_identical_serial_vs_sharded() {
+        let exp = VirtioExperiment {
+            arm: VirtioArm::Mixed,
+            requests: 16,
+            queue_depth: 2,
+            ..VirtioExperiment::default()
+        };
+        let serial = run_virtio_sharded(&exp, 1);
+        let sharded = run_virtio_sharded(&exp, 2);
+        assert!(serial.completed, "{serial:?}");
+        assert_eq!(serial, sharded, "shard count must not perturb the virtio run");
+    }
+}

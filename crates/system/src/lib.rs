@@ -39,11 +39,12 @@ pub mod prelude {
         run_irq_rx_experiment, run_mmio_experiment, run_msix_tx_experiment, run_nic_rx_experiment,
         run_nic_tx_experiment, run_pmd_experiment, run_pmd_experiment_warm, run_pmd_sharded,
         run_pmd_sweep_warm, run_sector_microbench, run_shard_scaling, run_topology_experiment,
-        stats_fnv, ContentionOutcome, CxlExperiment, CxlOutcome, CxlPlacement, DdExperiment,
-        DdOutcome, DdWarmStart, FaultExperiment, FaultOutcome, MmioExperiment, MmioOutcome,
-        MsixTxExperiment, MsixTxOutcome, NicRxExperiment, NicRxOutcome, NicTxExperiment,
-        NicTxOutcome, PmdExperiment, PmdOutcome, PmdWarmStart, ShardScalingOutcome,
-        TopologyExperiment, TopologyOutcome, WARMUP_TICK,
+        run_virtio_experiment, run_virtio_sharded, stats_fnv, ContentionOutcome, CxlExperiment,
+        CxlOutcome, CxlPlacement, DdExperiment, DdOutcome, DdWarmStart, FaultExperiment,
+        FaultOutcome, MmioExperiment, MmioOutcome, MsixTxExperiment, MsixTxOutcome,
+        NicRxExperiment, NicRxOutcome, NicTxExperiment, NicTxOutcome, PmdExperiment, PmdOutcome,
+        PmdWarmStart, ShardScalingOutcome, TopologyExperiment, TopologyOutcome, VirtioArm,
+        VirtioExperiment, VirtioOutcome, WARMUP_TICK,
     };
     pub use crate::platform;
     pub use crate::snapshot::{SystemHandle, WarmSeed};
@@ -65,7 +66,9 @@ pub mod prelude {
     pub use crate::workload::nic_rx::{NicRxConfig, NicRxReport, NicRxReportHandle};
     pub use crate::workload::nic_tx::{NicTxConfig, NicTxReport, NicTxReportHandle};
     pub use crate::workload::pmd::{PmdConfig, PmdReport, PmdReportHandle};
+    pub use crate::workload::virtio::{VirtioAppConfig, VirtioReport, VirtioReportHandle};
     pub use pcisim_devices::cxl::CxlExpanderConfig;
+    pub use pcisim_devices::virtio::{VirtioClass, VirtioConfig};
     pub use pcisim_kernel::shard::ShardedSimulator;
     pub use pcisim_kernel::snapshot::SnapshotError;
     pub use pcisim_kernel::trace::{LatencyAttribution, Stage, TraceCategory, TraceLog};

@@ -38,6 +38,16 @@ pub const CXL_HDM_BASE: u64 = 0x1_0000_0000;
 pub const CXL_HDM_SIZE: u64 = 0x4000_0000;
 /// HDM decoder window granted to each expander (256 MB).
 pub const CXL_HDM_STRIDE: u64 = 0x1000_0000;
+/// Base of the virtio virtqueue region: the top 16 MB of DRAM, clear of
+/// the per-endpoint `dd` DMA buffers (index × 256 MB from the DRAM base)
+/// and of the `dramhost` comparison slice. Each virtio endpoint's
+/// descriptor table, avail/used rings and payload buffers are carved from
+/// here by the topology planner.
+pub const VIRTIO_RING_BASE: u64 = DRAM_BASE + 0x3F00_0000;
+/// Virtqueue memory granted to each virtio endpoint (1 MB).
+pub const VIRTIO_RING_STRIDE: u64 = 0x10_0000;
+/// Maximum virtio endpoints the ring region accommodates.
+pub const VIRTIO_MAX_ENDPOINTS: usize = 16;
 
 /// The ECAM window.
 pub fn config_range() -> AddrRange {
@@ -81,6 +91,19 @@ pub fn cxl_hdm_window(idx: usize) -> AddrRange {
         "expander {idx} exceeds the HDM region"
     );
     AddrRange::with_size(base, CXL_HDM_STRIDE)
+}
+
+/// The virtqueue memory window of virtio endpoint `idx` (0-based).
+///
+/// # Panics
+///
+/// Panics when `idx` would place the window outside the ring region.
+pub fn virtio_ring_window(idx: usize) -> AddrRange {
+    assert!(
+        idx < VIRTIO_MAX_ENDPOINTS,
+        "virtio endpoint {idx} exceeds the ring region ({VIRTIO_MAX_ENDPOINTS} windows)"
+    );
+    AddrRange::with_size(VIRTIO_RING_BASE + idx as u64 * VIRTIO_RING_STRIDE, VIRTIO_RING_STRIDE)
 }
 
 /// Enumeration resources matching this platform.

@@ -32,6 +32,9 @@ use pcisim_devices::driver::{probe_with_policy, InterruptMode, MsiPolicy, ProbeI
 use pcisim_devices::ide::{IdeDisk, IdeDiskConfig, IDE_DMA_PORT, IDE_PIO_PORT};
 use pcisim_devices::intc::{InterruptController, INTC_FABRIC_PORT};
 use pcisim_devices::nic::{Nic, NicConfig, NIC_DMA_PORT, NIC_PIO_PORT};
+use pcisim_devices::virtio::{
+    Virtio, VirtioClass, VirtioConfig, VIRTIO_DMA_PORT, VIRTIO_PIO_PORT,
+};
 use pcisim_kernel::addr::AddrRange;
 use pcisim_kernel::component::{Component, ComponentId, PortId};
 use pcisim_kernel::dram::{Dram, DRAM_PORT};
@@ -69,6 +72,10 @@ use crate::workload::nic_tx::{
     NicTxApp, NicTxConfig, NicTxReportHandle, NIC_TX_IRQ_PORT, NIC_TX_MEM_PORT,
 };
 use crate::workload::pmd::{PmdApp, PmdConfig, PmdReportHandle, PMD_MEM_PORT};
+use crate::workload::virtio::{
+    virtio_app_irq_port, VirtioApp, VirtioAppConfig, VirtioReportHandle, VIRTIO_APP_IRQ_PORT,
+    VIRTIO_APP_MEM_PORT,
+};
 
 /// MSI vectors (when requested) live above the legacy IRQ range.
 pub(crate) const MSI_VECTOR: u8 = 96;
@@ -375,6 +382,54 @@ impl Topology {
         Self::new(Self::preset_rc(), ports)
     }
 
+    /// A virtio-blk function directly on root port 0 (Gen 2 x1, the IDE
+    /// disk's class of link, so `repro virtio` compares like for like).
+    pub fn virtio_blk_direct(cfg: VirtioConfig) -> Self {
+        let dev = Node::endpoint("vblk0", DeviceSpec::Virtio(cfg));
+        let root =
+            Attachment::named("root_link", LinkConfig::new(Generation::Gen2, LinkWidth::X1), dev);
+        Self::new(Self::preset_rc(), vec![Some(root), None, None])
+    }
+
+    /// A virtio-net function directly on root port 0 (Gen 2 x4, the
+    /// e1000e NIC's class of link).
+    pub fn virtio_net_direct(cfg: VirtioConfig) -> Self {
+        let dev = Node::endpoint("vnet0", DeviceSpec::Virtio(cfg));
+        let root =
+            Attachment::named("root_link", LinkConfig::new(Generation::Gen2, LinkWidth::X4), dev);
+        Self::new(Self::preset_rc(), vec![Some(root), None, None])
+    }
+
+    /// A mixed endpoint fleet: virtio-blk and virtio-net behind a switch
+    /// on root port 0, the IDE disk on root port 1 — the tree the virtio
+    /// determinism anchor and the shard ladder pin down.
+    pub fn virtio_mixed(blk: VirtioConfig, net: VirtioConfig) -> Self {
+        assert_eq!(blk.class, VirtioClass::Blk, "first config must be the blk function");
+        assert_eq!(net.class, VirtioClass::Net, "second config must be the net function");
+        let x4 = || LinkConfig::new(Generation::Gen2, LinkWidth::X4);
+        let vblk = Node::endpoint("vblk0", DeviceSpec::Virtio(blk));
+        let vnet = Node::endpoint("vnet0", DeviceSpec::Virtio(net));
+        let switch = Node::Switch {
+            config: RouterConfig::default(),
+            name: Some("switch".into()),
+            ports: vec![
+                Some(Attachment::named("vblk_link", x4(), vblk)),
+                Some(Attachment::named("vnet_link", x4(), vnet)),
+            ],
+        };
+        let disk = Node::endpoint("disk", DeviceSpec::Disk(IdeDiskConfig::default()));
+        let ports = vec![
+            Some(Attachment::named("root_link", x4(), switch)),
+            Some(Attachment::named(
+                "disk_link",
+                LinkConfig::new(Generation::Gen2, LinkWidth::X1),
+                disk,
+            )),
+            None,
+        ];
+        Self::new(Self::preset_rc(), ports)
+    }
+
     /// The tree a [`SystemConfig`](crate::builder::SystemConfig)
     /// describes: the device on root port 0, behind a switch when one is
     /// configured, with two empty root ports beside it.
@@ -383,6 +438,10 @@ impl Topology {
             DeviceSpec::Disk(_) => "disk",
             DeviceSpec::Nic(_) => "nic",
             DeviceSpec::CxlExpander(_) => "mem0",
+            DeviceSpec::Virtio(cfg) => match cfg.class {
+                VirtioClass::Blk => "vblk0",
+                VirtioClass::Net => "vnet0",
+            },
         };
         let device = Node::endpoint(device_name, config.device.clone());
         let node = match &config.switch {
@@ -449,6 +508,7 @@ impl Topology {
             next_link: 0,
             next_endpoint: 0,
             next_cxl: 0,
+            next_virtio: 0,
             use_msi: self.use_msi,
             use_msix: self.use_msix,
         };
@@ -541,9 +601,16 @@ pub struct PlannedEndpoint {
     pub is_disk: bool,
     /// Whether the endpoint is a CXL.mem expander.
     pub is_cxl: bool,
+    /// Whether the endpoint is a virtio-blk function.
+    pub is_virtio_blk: bool,
+    /// Whether the endpoint is a virtio-net function.
+    pub is_virtio_net: bool,
     /// The HDM decoder window assigned to the expander (empty for every
     /// other device class).
     pub hdm: AddrRange,
+    /// The host-DRAM window the guest driver lays this function's
+    /// virtqueues out in (empty for every other device class).
+    pub virtio_ring: AddrRange,
 }
 
 /// Depth-first visit order of the tree below the root complex.
@@ -585,6 +652,7 @@ enum EndpointDevice {
     Disk(Box<IdeDisk>),
     Nic(Box<Nic>),
     Cxl(Box<CxlExpander>),
+    Virtio(Box<Virtio>),
 }
 
 struct Planner {
@@ -598,6 +666,7 @@ struct Planner {
     next_link: u32,
     next_endpoint: u32,
     next_cxl: usize,
+    next_virtio: usize,
     use_msi: bool,
     use_msix: bool,
 }
@@ -627,13 +696,18 @@ impl Planner {
                 let name = name.clone().unwrap_or_else(|| format!("ep{}", self.next_endpoint));
                 self.next_endpoint += 1;
                 let intx = Some((0, 0)); // irq patched after enumeration
-                let (dev, cs, hdm) = match device {
+                let (dev, cs, hdm, virtio_ring) = match device {
                     DeviceSpec::Disk(cfg) => {
                         let (disk, cs) = IdeDisk::new(
                             name.clone(),
                             IdeDiskConfig { intx, msi_capable: self.use_msi, ..cfg.clone() },
                         );
-                        (EndpointDevice::Disk(Box::new(disk)), cs, AddrRange::empty())
+                        (
+                            EndpointDevice::Disk(Box::new(disk)),
+                            cs,
+                            AddrRange::empty(),
+                            AddrRange::empty(),
+                        )
                     }
                     DeviceSpec::Nic(cfg) => {
                         let (nic, cs) = Nic::new(
@@ -645,7 +719,12 @@ impl Planner {
                                 ..cfg.clone()
                             },
                         );
-                        (EndpointDevice::Nic(Box::new(nic)), cs, AddrRange::empty())
+                        (
+                            EndpointDevice::Nic(Box::new(nic)),
+                            cs,
+                            AddrRange::empty(),
+                            AddrRange::empty(),
+                        )
                     }
                     DeviceSpec::CxlExpander(cfg) => {
                         // Each expander gets the next HDM window of the
@@ -655,7 +734,23 @@ impl Planner {
                         let window = platform::cxl_hdm_window(self.next_cxl);
                         self.next_cxl += 1;
                         program_hdm(&mut cs.borrow_mut(), window);
-                        (EndpointDevice::Cxl(Box::new(exp)), cs, window)
+                        (EndpointDevice::Cxl(Box::new(exp)), cs, window, AddrRange::empty())
+                    }
+                    DeviceSpec::Virtio(cfg) => {
+                        // Each virtio function gets the next virtqueue
+                        // window of host DRAM; the guest driver lays its
+                        // rings out inside it.
+                        let (dev, cs) = Virtio::new(
+                            name.clone(),
+                            VirtioConfig {
+                                intx,
+                                msix_capable: cfg.msix_capable || self.use_msix,
+                                ..cfg.clone()
+                            },
+                        );
+                        let ring = platform::virtio_ring_window(self.next_virtio);
+                        self.next_virtio += 1;
+                        (EndpointDevice::Virtio(Box::new(dev)), cs, AddrRange::empty(), ring)
                     }
                 };
                 let bdf = Bdf::new(bus, 0, 0);
@@ -668,7 +763,16 @@ impl Planner {
                     config_space: cs,
                     is_disk: matches!(device, DeviceSpec::Disk(_)),
                     is_cxl: matches!(device, DeviceSpec::CxlExpander(_)),
+                    is_virtio_blk: matches!(
+                        device,
+                        DeviceSpec::Virtio(c) if c.class == VirtioClass::Blk
+                    ),
+                    is_virtio_net: matches!(
+                        device,
+                        DeviceSpec::Virtio(c) if c.class == VirtioClass::Net
+                    ),
                     hdm,
+                    virtio_ring,
                 });
                 self.devices.push(dev);
             }
@@ -740,8 +844,15 @@ pub struct EndpointHandle {
     pub is_disk: bool,
     /// Whether it is a CXL.mem expander.
     pub is_cxl: bool,
+    /// Whether it is a virtio-blk function.
+    pub is_virtio_blk: bool,
+    /// Whether it is a virtio-net function.
+    pub is_virtio_net: bool,
     /// The expander's HDM decoder window (empty for other devices).
     pub hdm: AddrRange,
+    /// The function's virtqueue window in host DRAM (empty for other
+    /// devices).
+    pub virtio_ring: AddrRange,
     /// Reserved memory-bus endpoint for this endpoint's CPU workload.
     pub cpu_mem_port: (ComponentId, PortId),
     /// Interrupt-controller endpoint delivering this endpoint's IRQ.
@@ -884,6 +995,43 @@ impl TopologySystem {
         self.sim.connect((id, CXL_HOST_MEM_PORT), ep.cpu_mem_port);
         report
     }
+
+    /// Attaches a virtio guest driver (named `vdrv{index}`) to endpoint
+    /// `index`, which must be a virtio function. The device class, BAR0
+    /// and virtqueue window come from the handle; under MSI-X every
+    /// table vector's doorbell port is wired.
+    pub fn attach_virtio(
+        &mut self,
+        index: usize,
+        mut config: VirtioAppConfig,
+    ) -> VirtioReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(
+            ep.is_virtio_blk || ep.is_virtio_net,
+            "endpoint {index} ({}) is not a virtio function",
+            ep.name
+        );
+        config.class = if ep.is_virtio_blk { VirtioClass::Blk } else { VirtioClass::Net };
+        config.bar0 = ep.bar0;
+        config.ring_base = ep.virtio_ring.start();
+        if config.use_msix {
+            assert!(ep.cpu_irq_ports.len() > 1, "MSI-X vectors not enabled for {}", ep.name);
+        }
+        let use_msix = config.use_msix;
+        let (mem, irq) = (ep.cpu_mem_port, ep.cpu_irq_port);
+        let vector_ports = ep.cpu_irq_ports.clone();
+        let (app, report) = VirtioApp::new(format!("vdrv{index}"), config);
+        let id = self.sim.add(Box::new(app));
+        self.sim.connect((id, VIRTIO_APP_MEM_PORT), mem);
+        if use_msix {
+            for (v, port) in vector_ports.iter().enumerate() {
+                self.sim.connect((id, virtio_app_irq_port(v as u16)), *port);
+            }
+        } else {
+            self.sim.connect((id, VIRTIO_APP_IRQ_PORT), irq);
+        }
+        report
+    }
 }
 
 /// Builds the full system for a [`Topology`]: plans and registers the
@@ -930,6 +1078,10 @@ fn enumerate_and_probe(
             pcisim_devices::driver::IDE_DEVICE_TABLE
         } else if plan.endpoints[0].is_cxl {
             pcisim_devices::driver::CXL_DEVICE_TABLE
+        } else if plan.endpoints[0].is_virtio_blk {
+            pcisim_devices::driver::VIRTIO_BLK_DEVICE_TABLE
+        } else if plan.endpoints[0].is_virtio_net {
+            pcisim_devices::driver::VIRTIO_NET_DEVICE_TABLE
         } else {
             pcisim_devices::driver::E1000E_DEVICE_TABLE
         };
@@ -1227,6 +1379,7 @@ fn build_planned_multi(
             EndpointDevice::Disk(disk) => disk.set_intx(intx),
             EndpointDevice::Nic(nic) => nic.set_intx(intx),
             EndpointDevice::Cxl(exp) => exp.set_intx(intx),
+            EndpointDevice::Virtio(dev) => dev.set_intx(intx),
         }
     }
 
@@ -1296,12 +1449,18 @@ fn build_planned_multi(
         membus = membus.route(platform::cxl_hdm_range(), PortId(4));
     }
     let membus_id = set.add(0, Box::new(membus.build()));
+    // Virtqueues live in DRAM and are walked through real reads, so trees
+    // carrying a virtio function need the functional backing store. Gated
+    // so virtio-free topologies keep their exact historical DRAM snapshot
+    // layout (and golden fingerprints).
+    let functional_dram = plan.endpoints.iter().any(|e| e.is_virtio_blk || e.is_virtio_net);
     let dram_id = set.add(
         0,
         Box::new(
             Dram::builder("dram", platform::dram_range())
                 .latency(topo.dram_latency)
                 .bandwidth(topo.dram_bandwidth)
+                .functional(functional_dram)
                 .build(),
         ),
     );
@@ -1423,6 +1582,9 @@ fn build_planned_multi(
                     EndpointDevice::Cxl(exp) => {
                         (set.add(child_shard, exp), CXL_PIO_PORT, CXL_DMA_PORT)
                     }
+                    EndpointDevice::Virtio(dev) => {
+                        (set.add(child_shard, dev), VIRTIO_PIO_PORT, VIRTIO_DMA_PORT)
+                    }
                 };
                 set.connect((link_id, PORT_DOWN_MASTER), (dev_id, pio));
                 set.connect((link_id, PORT_DOWN_SLAVE), (dev_id, dma));
@@ -1439,7 +1601,10 @@ fn build_planned_multi(
                     irq: irqs[*i],
                     is_disk: ep.is_disk,
                     is_cxl: ep.is_cxl,
+                    is_virtio_blk: ep.is_virtio_blk,
+                    is_virtio_net: ep.is_virtio_net,
                     hdm: ep.hdm,
+                    virtio_ring: ep.virtio_ring,
                     cpu_mem_port: (membus_id, mem_port),
                     cpu_irq_port: (intc_id, cpu_irqs[*i][0]),
                     cpu_irq_ports: cpu_irqs[*i].iter().map(|&p| (intc_id, p)).collect(),
@@ -1611,6 +1776,40 @@ impl ShardedTopologySystem {
         let mem = ep.cpu_mem_port;
         let (app, report) = CxlHostApp::new(format!("dramhost{index}"), config);
         self.attach_cpu_side(Box::new(app), &[(CXL_HOST_MEM_PORT, mem)]);
+        report
+    }
+
+    /// Attaches a virtio guest driver (named `vdrv{index}`) to endpoint
+    /// `index`, which must be a virtio function. See
+    /// [`TopologySystem::attach_virtio`].
+    pub fn attach_virtio(
+        &mut self,
+        index: usize,
+        mut config: VirtioAppConfig,
+    ) -> VirtioReportHandle {
+        let ep = &self.endpoints[index];
+        assert!(
+            ep.is_virtio_blk || ep.is_virtio_net,
+            "endpoint {index} ({}) is not a virtio function",
+            ep.name
+        );
+        config.class = if ep.is_virtio_blk { VirtioClass::Blk } else { VirtioClass::Net };
+        config.bar0 = ep.bar0;
+        config.ring_base = ep.virtio_ring.start();
+        if config.use_msix {
+            assert!(ep.cpu_irq_ports.len() > 1, "MSI-X vectors not enabled for {}", ep.name);
+        }
+        let use_msix = config.use_msix;
+        let mut wires = vec![(VIRTIO_APP_MEM_PORT, ep.cpu_mem_port)];
+        if use_msix {
+            for (v, port) in ep.cpu_irq_ports.iter().enumerate() {
+                wires.push((virtio_app_irq_port(v as u16), *port));
+            }
+        } else {
+            wires.push((VIRTIO_APP_IRQ_PORT, ep.cpu_irq_port));
+        }
+        let (app, report) = VirtioApp::new(format!("vdrv{index}"), config);
+        self.attach_cpu_side(Box::new(app), &wires);
         report
     }
 
@@ -1901,6 +2100,75 @@ mod tests {
         let b: Vec<_> = driver.stats().iter().map(|(k, v)| (k.to_owned(), v)).collect();
         assert_eq!(a, b);
         assert_eq!(sh.borrow().latencies, ph.borrow().latencies);
+    }
+
+    #[test]
+    fn virtio_blk_direct_probes_and_reads_through_the_fabric() {
+        use crate::workload::virtio::VirtioAppConfig;
+        let mut built = build_topology(Topology::virtio_blk_direct(VirtioConfig::default()));
+        let ep = &built.endpoints[0];
+        assert!(ep.is_virtio_blk && !ep.is_virtio_net && !ep.is_disk);
+        assert_eq!(ep.virtio_ring, platform::virtio_ring_window(0));
+        assert!(built.probe.is_some(), "the virtio-blk device table must match");
+        let drv = built.attach_virtio(
+            0,
+            VirtioAppConfig { requests: 8, queue_depth: 2, ..VirtioAppConfig::default() },
+        );
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        let r = drv.borrow();
+        assert!(r.done, "all chains must retire");
+        assert_eq!(r.requests, 8);
+        assert_eq!(r.bytes, 8 * 4096);
+        assert_eq!(r.irqs, 8, "one completion interrupt per chain");
+        // Every chain pays at least the 1 us device access latency.
+        assert!(r.lat_min >= us(1), "lat_min {}", r.lat_min);
+    }
+
+    #[test]
+    fn virtio_net_tx_and_msix_retire_frames() {
+        use crate::workload::virtio::VirtioAppConfig;
+        let cfg = VirtioConfig { class: VirtioClass::Net, ..Default::default() };
+        let mut topo = Topology::virtio_net_direct(cfg);
+        topo.use_msix = true;
+        let mut built = build_topology(topo);
+        let drv = built.attach_virtio(
+            0,
+            VirtioAppConfig {
+                requests: 16,
+                queue_depth: 4,
+                request_bytes: 1514,
+                use_msix: true,
+                ..VirtioAppConfig::default()
+            },
+        );
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        let r = drv.borrow();
+        assert!(r.done, "all frames must transmit");
+        assert_eq!(r.requests, 16);
+        assert_eq!(r.bytes, 16 * 1514);
+    }
+
+    #[test]
+    fn virtio_mixed_tree_runs_blk_and_net_concurrently() {
+        use crate::workload::virtio::VirtioAppConfig;
+        let net = VirtioConfig { class: VirtioClass::Net, ..Default::default() };
+        let mut built =
+            build_topology(Topology::virtio_mixed(VirtioConfig::default(), net));
+        assert_eq!(built.endpoints.len(), 3);
+        assert!(built.endpoint("vblk0").is_virtio_blk);
+        assert!(built.endpoint("vnet0").is_virtio_net);
+        assert!(built.endpoint("disk").is_disk);
+        let blk = built.attach_virtio(
+            0,
+            VirtioAppConfig { requests: 4, ..VirtioAppConfig::default() },
+        );
+        let tx = built.attach_virtio(
+            1,
+            VirtioAppConfig { requests: 8, request_bytes: 1514, ..VirtioAppConfig::default() },
+        );
+        let dd = built.attach_dd(2, DdConfig { block_bytes: 64 * 1024, ..DdConfig::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(blk.borrow().done && tx.borrow().done && dd.borrow().done);
     }
 
     #[test]

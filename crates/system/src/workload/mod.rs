@@ -7,3 +7,4 @@ pub mod msix;
 pub mod nic_rx;
 pub mod nic_tx;
 pub mod pmd;
+pub mod virtio;

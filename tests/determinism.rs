@@ -461,3 +461,105 @@ fn warm_start_preserves_packet_id_continuity() {
     assert_eq!(resumed.sim.now(), cold_quiesce, "quiesce tick");
     assert_eq!(stats_fnv(&resumed.sim.stats()), stats_fnv(&cold.sim.stats()), "stats");
 }
+
+// Golden anchor for the virtio device family: the mixed virtio tree
+// (blk + net behind a switch, IDE disk on the second root port) driving
+// a queued blk read stream, a net transmit stream and a dd read,
+// recorded when the virtio transport landed. Quiesce time and the full
+// stats fingerprint must both hold.
+const GOLDEN_VIRTIO_TIME: u64 = 627_132_600;
+const GOLDEN_VIRTIO_FNV: u64 = 0x9a52_8e4c_b2dd_128f;
+
+/// The mixed virtio preset quiesces at the recorded tick with the
+/// recorded stats fingerprint — and does so twice in a row.
+#[test]
+fn virtio_mixed_topology_matches_golden() {
+    use pcisim::devices::virtio::{VirtioClass, VirtioConfig};
+    use pcisim::system::topology::{build_topology, Topology};
+    use pcisim::system::workload::virtio::VirtioAppConfig;
+
+    let run = || {
+        let mut built = build_topology(Topology::virtio_mixed(
+            VirtioConfig::default(),
+            VirtioConfig { class: VirtioClass::Net, ..VirtioConfig::default() },
+        ));
+        let blk = built.attach_virtio(
+            0,
+            VirtioAppConfig { requests: 32, queue_depth: 4, ..VirtioAppConfig::default() },
+        );
+        let net = built.attach_virtio(
+            1,
+            VirtioAppConfig {
+                requests: 24,
+                queue_depth: 2,
+                request_bytes: 1514,
+                ..VirtioAppConfig::default()
+            },
+        );
+        let dd = built.attach_dd(2, DdConfig { block_bytes: 64 * KB, ..DdConfig::default() });
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        assert!(blk.borrow().done && net.borrow().done && dd.borrow().done);
+        (built.sim.now(), stats_fnv(&built.sim.stats()))
+    };
+    let (time, fnv) = run();
+    assert_eq!(run(), (time, fnv), "repeated builds must agree");
+    assert_eq!(time, GOLDEN_VIRTIO_TIME, "got {time}");
+    assert_eq!(fnv, GOLDEN_VIRTIO_FNV, "got {fnv:#018x}");
+}
+
+/// The virtio-blk media model adds exactly its hand-computed span sum
+/// to every request (Table II style): on an idle QD1 fabric each
+/// doorbell-to-retirement latency contains the media term — the constant
+/// access latency plus the per-sector overhead times the request's
+/// 512 B sectors — exactly once, so reconfiguring the media shifts min,
+/// max and the whole 16-request latency sum by exactly the configured
+/// delta. Nothing more, nothing less.
+#[test]
+fn virtio_blk_latency_deltas_match_hand_computed_span_sums() {
+    use pcisim::devices::virtio::VirtioConfig;
+    use pcisim::kernel::tick::{us, Tick};
+    use pcisim::system::topology::{build_topology, Topology};
+    use pcisim::system::workload::virtio::{VirtioAppConfig, VirtioReport};
+
+    // A QD1 read stream: the device walks one chain at a time, so each
+    // request's critical path contains the media timer exactly once.
+    let run = |device: VirtioConfig| -> VirtioReport {
+        let mut built = build_topology(Topology::virtio_blk_direct(device));
+        let report = built.attach_virtio(
+            0,
+            VirtioAppConfig {
+                requests: 16,
+                queue_depth: 1,
+                request_bytes: 4096,
+                ..VirtioAppConfig::default()
+            },
+        );
+        assert_eq!(built.sim.run(TICKS_PER_SEC, u64::MAX), RunOutcome::QueueEmpty);
+        let r = report.borrow().clone();
+        assert!(r.done && r.requests == 16);
+        r
+    };
+
+    let sectors: Tick = 4096 / 512;
+    let baseline = run(VirtioConfig::default()); // us(1) + 8 x ns(300)
+    let slow_media = run(VirtioConfig { access_latency: us(3), ..VirtioConfig::default() });
+    let slow_sectors =
+        run(VirtioConfig { per_sector_overhead: ns(700), ..VirtioConfig::default() });
+
+    // A serial stream over an idle fabric: every request costs the same.
+    for r in [&baseline, &slow_media, &slow_sectors] {
+        assert_eq!(r.lat_min, r.lat_max, "hop latency must be constant");
+        assert_eq!(r.lat_sum, 16 * r.lat_min, "every request identical");
+    }
+
+    // The hand-computed span deltas, in picosecond ticks, from the very
+    // configs the runs were built with.
+    let media_delta = us(3) - us(1);
+    let sector_delta = (ns(700) - ns(300)) * sectors;
+    assert_eq!(slow_media.lat_min, baseline.lat_min + media_delta, "access-latency span sum");
+    assert_eq!(
+        slow_sectors.lat_min,
+        baseline.lat_min + sector_delta,
+        "per-sector span sum"
+    );
+}
